@@ -1,0 +1,96 @@
+// Fig. 10 reproduction: HTTPS server response time and throughput vs.
+// concurrent connections, all policies (P1-P6) enforced.
+//
+// The service time per request is *measured* on the VM (instrumented vs.
+// baseline handler, including OCall boundary crossings and the P0 output
+// crypto of the bootstrap wrapper). Concurrency is then modelled as a
+// closed-loop single-server queue — the enclave serves one request at a
+// time, as in the paper's single-TCS server — with a client think time
+// calibrated so the baseline server saturates near 75-100 concurrent
+// connections, matching the paper's Siege setup.
+#include <algorithm>
+#include <cstdio>
+
+#include "workloads/runner.h"
+#include "workloads/workloads.h"
+
+using namespace deflection;
+
+namespace {
+
+// Measured cost of serving one request of `size` bytes.
+double service_cost(PolicySet policies, std::size_t size, std::size_t requests) {
+  std::string src = workloads::with_params(
+      workloads::https_handler_source(), {{"CONTENT", "4096"}, {"MAXRESP", "65536"}});
+  std::vector<Bytes> inputs;
+  for (std::size_t i = 0; i < requests; ++i) {
+    Bytes req;
+    ByteWriter w(req);
+    w.u64(size);
+    inputs.push_back(std::move(req));
+  }
+  core::BootstrapConfig config;
+  config.aex.interval_cost = 20'000'000;
+  config.host_size = 16 * 1024 * 1024;
+  auto run = workloads::run_workload(src, policies, config, inputs);
+  if (!run.is_ok()) {
+    std::fprintf(stderr, "measurement failed: %s\n", run.message().c_str());
+    return 0;
+  }
+  return static_cast<double>(run.value().cost) / static_cast<double>(requests);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 10: HTTPS server with all policies (P1-P6): response time and\n");
+  std::printf("throughput vs concurrent connections (8 KB responses)\n\n");
+
+  const std::size_t kResponse = 8192;
+  const std::size_t kWarm = 40;
+  double s_base = service_cost(PolicySet::none(), kResponse, kWarm);
+  double s_inst = service_cost(PolicySet::p1to6(), kResponse, kWarm);
+  if (s_base <= 0 || s_inst <= 0) return 1;
+
+  // Closed-loop single-server queue with C clients and think time Z,
+  // solved exactly by Mean Value Analysis — this smooths the saturation
+  // knee the way a real Siege run does. Z is calibrated so the baseline
+  // server saturates near ~90 connections, as in the paper's setup.
+  const double think = 89.0 * s_base;
+  std::printf("measured per-request service cost: baseline=%.0f instrumented=%.0f "
+              "(+%.1f%%)\n\n",
+              s_base, s_inst, 100.0 * (s_inst - s_base) / s_base);
+  std::printf("%-12s %16s %16s %14s %14s\n", "concurrency", "resp(base)", "resp(P1-P6)",
+              "thr(base)", "thr(P1-P6)");
+
+  auto mva = [&](double s, int clients) {
+    double queue = 0.0;
+    double response = s;
+    double throughput = 0.0;
+    for (int n = 1; n <= clients; ++n) {
+      response = s * (1.0 + queue);
+      throughput = static_cast<double>(n) / (response + think);
+      queue = throughput * response;
+    }
+    return std::pair<double, double>(response, throughput);
+  };
+
+  double resp_overhead_sum = 0;
+  int rows = 0;
+  for (int c : {25, 50, 75, 100, 150, 200, 250}) {
+    auto [rb, tb] = mva(s_base, c);
+    auto [ri, ti] = mva(s_inst, c);
+    // Throughput in requests per 1M cost units; response in cost units.
+    std::printf("%-12d %16.0f %16.0f %14.2f %14.2f\n", c, rb, ri, tb * 1e6, ti * 1e6);
+    resp_overhead_sum += (ri - rb) / rb;
+    ++rows;
+  }
+  std::printf("\naverage response-time overhead: %.1f%% (saturated-region overhead: "
+              "%.1f%%)\n",
+              100.0 * resp_overhead_sum / rows, 100.0 * (s_inst - s_base) / s_base);
+  std::printf(
+      "Paper reference: similar response times below ~75 connections, knee\n"
+      "after 100, ~14.1%% average response-time overhead, <10%% throughput\n"
+      "loss between 75 and 200 connections.\n");
+  return 0;
+}

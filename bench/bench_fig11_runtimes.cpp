@@ -1,0 +1,83 @@
+// Fig. 11 reproduction: HTTPS transfer rate vs. requested file size,
+// DEFLECTION (P0-P5, measured on the VM) against native and cost models of
+// Graphene-like and Occlum-like shielding runtimes (see src/runtimes).
+#include <cstdio>
+
+#include "runtimes/runtimes.h"
+#include "workloads/runner.h"
+#include "workloads/workloads.h"
+
+using namespace deflection;
+
+namespace {
+
+struct Measured {
+  double per_request_cost;  // includes OCall boundaries + handler compute
+  double compute_only;      // handler compute without boundary crossings
+};
+
+Measured measure(PolicySet policies, std::size_t size) {
+  std::string src = workloads::with_params(
+      workloads::https_handler_source(),
+      {{"CONTENT", "4096"}, {"MAXRESP", "1200000"}});
+  const std::size_t kRequests = 6;
+  std::vector<Bytes> inputs;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    Bytes req;
+    ByteWriter w(req);
+    w.u64(size);
+    inputs.push_back(std::move(req));
+  }
+  core::BootstrapConfig config;
+  config.aex.interval_cost = 20'000'000;
+  config.host_size = 32 * 1024 * 1024;
+  config.layout.data_size = 8 * 1024 * 1024;
+  config.vm.max_cost = 20'000'000'000ull;
+  auto run = workloads::run_workload(src, policies, config, inputs);
+  if (!run.is_ok()) {
+    std::fprintf(stderr, "measurement failed: %s\n", run.message().c_str());
+    return {0, 0};
+  }
+  double per_request = static_cast<double>(run.value().cost) / kRequests;
+  // Two boundary crossings per request (recv + send).
+  double boundaries = 2.0 * static_cast<double>(config.vm.ocall_boundary_cost);
+  return {per_request, per_request - boundaries};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 11: transfer rate vs file size — DEFLECTION (P0-P5, measured)\n");
+  std::printf("vs native / Graphene-like / Occlum-like (cost models)\n\n");
+  std::printf("%-10s %12s %14s %14s %14s | %s\n", "size(B)", "native", "graphene-like",
+              "occlum-like", "DEFLECTION", "DEFLECTION vs native");
+
+  for (std::size_t size : {1024, 4096, 16384, 65536, 262144, 1048576}) {
+    Measured base = measure(PolicySet::none(), size);
+    Measured defl = measure(PolicySet::p1to5(), size);
+    if (base.per_request_cost <= 0 || defl.per_request_cost <= 0) continue;
+
+    // Transfer rate in bytes per 1K cost units.
+    auto rate = [&](double request_cost) {
+      return static_cast<double>(size) / request_cost * 1000.0;
+    };
+    double rates[3];
+    int i = 0;
+    for (const auto& model : runtimes::comparison_models()) {
+      double cost = base.compute_only * model.compute_factor + model.per_request_cost +
+                    model.per_byte_cost * static_cast<double>(size);
+      rates[i++] = rate(cost);
+    }
+    // DEFLECTION: measured instrumented handler + P0 output crypto per byte.
+    double defl_cost = defl.per_request_cost + 6.0 * static_cast<double>(size);
+    double defl_rate = rate(defl_cost);
+    std::printf("%-10zu %12.1f %14.1f %14.1f %14.1f | %5.1f%%\n", size, rates[0],
+                rates[1], rates[2], defl_rate, 100.0 * defl_rate / rates[0]);
+  }
+  std::printf(
+      "\nPaper reference: unprotected Graphene-SGX leads on small files; with\n"
+      "growing size DEFLECTION overtakes both shielding runtimes and reaches\n"
+      "~77%% of native — despite enforcing P0-P5 while the others enforce\n"
+      "no such policies.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Micro-benchmarks (paper Sec. VI-A turnaround claims): wall-clock cost of
+// the consumer pipeline stages — load, recursive-descent disassembly,
+// policy verification, immediate rewriting — plus the crypto primitives on
+// the attestation path. Uses google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "codegen/compile.h"
+#include "crypto/cipher.h"
+#include "crypto/dh.h"
+#include "sgx/platform.h"
+#include "verifier/loader.h"
+#include "verifier/verify.h"
+#include "workloads/workloads.h"
+
+using namespace deflection;
+
+namespace {
+
+// A compiled kernel of tunable size, shared across iterations.
+const codegen::Dxo& kernel_dxo(int which) {
+  static std::map<int, codegen::Dxo> cache;
+  auto it = cache.find(which);
+  if (it == cache.end()) {
+    const auto& k = workloads::nbench_kernels()[static_cast<std::size_t>(which)];
+    auto built = codegen::compile(workloads::with_params(k.source, k.test_params),
+                                  PolicySet::p1to6());
+    cache[which] = built.is_ok() ? built.value().dxo : codegen::Dxo{};
+    it = cache.find(which);
+  }
+  return it->second;
+}
+
+struct LoadedFixture {
+  std::unique_ptr<sgx::AddressSpace> space;
+  std::unique_ptr<sgx::Enclave> enclave;
+  verifier::EnclaveLayout layout;
+  verifier::LoadedBinary binary;
+
+  explicit LoadedFixture(const codegen::Dxo& dxo) {
+    verifier::LayoutConfig config;
+    std::uint64_t base = 0x7000'0000'0000ull;
+    layout = verifier::EnclaveLayout::compute(base, config);
+    space = std::make_unique<sgx::AddressSpace>(0x10000, 1 << 20, base,
+                                                layout.enclave_size);
+    enclave = std::make_unique<sgx::Enclave>(*space, layout.ssa_addr);
+    auto built = verifier::Loader::build_enclave(*enclave, base, config, {});
+    layout = built.value();
+    verifier::Loader loader(*enclave, layout);
+    binary = loader.load(dxo).take();
+  }
+};
+
+void BM_ProducerCompile(benchmark::State& state) {
+  const auto& k = workloads::nbench_kernels()[static_cast<std::size_t>(state.range(0))];
+  std::string src = workloads::with_params(k.source, k.test_params);
+  for (auto _ : state) {
+    auto built = codegen::compile(src, PolicySet::p1to6());
+    benchmark::DoNotOptimize(built);
+  }
+}
+BENCHMARK(BM_ProducerCompile)->Arg(0)->Arg(7);
+
+void BM_LoaderRelocate(benchmark::State& state) {
+  const codegen::Dxo& dxo = kernel_dxo(static_cast<int>(state.range(0)));
+  LoadedFixture fixture(dxo);
+  verifier::Loader loader(*fixture.enclave, fixture.layout);
+  for (auto _ : state) {
+    auto loaded = loader.load(dxo);
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dxo.text.size()));
+}
+BENCHMARK(BM_LoaderRelocate)->Arg(0)->Arg(7);
+
+void BM_VerifyPolicyCompliance(benchmark::State& state) {
+  const codegen::Dxo& dxo = kernel_dxo(static_cast<int>(state.range(0)));
+  LoadedFixture fixture(dxo);
+  verifier::VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  for (auto _ : state) {
+    auto report = verifier::verify(*fixture.space, fixture.binary, config);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dxo.text.size()));
+}
+BENCHMARK(BM_VerifyPolicyCompliance)->Arg(0)->Arg(7);
+
+void BM_ImmRewrite(benchmark::State& state) {
+  const codegen::Dxo& dxo = kernel_dxo(static_cast<int>(state.range(0)));
+  LoadedFixture fixture(dxo);
+  verifier::VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  auto report = verifier::verify(*fixture.space, fixture.binary, config).take();
+  for (auto _ : state) {
+    auto status = verifier::rewrite_immediates(*fixture.space, fixture.binary, report);
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_ImmRewrite)->Arg(0)->Arg(7);
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    auto digest = crypto::Sha256::hash(BytesView(data));
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1024)->Arg(65536);
+
+void BM_AeadSeal(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0x5A);
+  crypto::Key256 key{};
+  key[0] = 7;
+  crypto::Nonce96 nonce{};
+  for (auto _ : state) {
+    auto sealed = crypto::aead_seal(key, nonce, BytesView(data));
+    benchmark::DoNotOptimize(sealed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(1024)->Arg(65536);
+
+void BM_DhKeyAgreement(benchmark::State& state) {
+  Rng rng(42);
+  auto a = crypto::dh_generate(rng);
+  auto b = crypto::dh_generate(rng);
+  for (auto _ : state) {
+    auto key = crypto::dh_shared_key(a.secret, b.public_value);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_DhKeyAgreement);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Example: privacy-preserving genomic analysis (the paper's Sec. VI-B
+// biomedical scenario). A hospital (data owner) submits two genomic
+// sequences to a pharmaceutical company's *proprietary* alignment service;
+// DEFLECTION proves policy compliance to the hospital without revealing the
+// company's algorithm, and the sequences never leave the enclave in the
+// clear.
+#include <cstdio>
+#include <string>
+
+#include "support/rng.h"
+#include "workloads/runner.h"
+#include "workloads/workloads.h"
+
+using namespace deflection;
+
+namespace {
+
+Bytes make_fasta_pair(std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  auto sequence = [&](std::size_t n) {
+    Bytes s(n);
+    const char bases[] = {'A', 'C', 'G', 'T'};
+    for (auto& c : s) c = static_cast<std::uint8_t>(bases[rng.below(4)]);
+    return s;
+  };
+  Bytes a = sequence(len), b = sequence(len);
+  Bytes msg;
+  ByteWriter w(msg);
+  w.u64(a.size());
+  w.bytes(BytesView(a));
+  w.u64(b.size());
+  w.bytes(BytesView(b));
+  return msg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Genome alignment as a confidential service ==\n\n");
+  std::string source =
+      workloads::with_params(workloads::needleman_wunsch_source(), {{"BUFCAP", "4096"}});
+
+  // The hospital demands the full policy set including side-channel
+  // mitigation: genomes are identifying.
+  PolicySet policies = PolicySet::p1to6();
+  core::BootstrapConfig config;
+  config.aex.interval_cost = 20'000'000;  // benign OS timer
+
+  for (std::size_t len : {120, 360, 600}) {
+    Bytes input = make_fasta_pair(len, 7000 + len);
+    auto run = workloads::run_workload(source, policies, config, {input});
+    if (!run.is_ok()) {
+      std::printf("run failed: %s\n", run.message().c_str());
+      return 1;
+    }
+    if (run.value().outcome.policy_violation) {
+      std::printf("service violated policy — aborted by annotations\n");
+      return 1;
+    }
+    long long score = -1;
+    if (!run.value().plain_outputs.empty() && run.value().plain_outputs[0].size() == 8)
+      score = static_cast<long long>(load_le64(run.value().plain_outputs[0].data()));
+    std::printf("aligned 2 x %4zu nt   score=%-6lld cost=%llu (all policies enforced)\n",
+                len, score, static_cast<unsigned long long>(run.value().cost));
+  }
+  std::printf("\nThe hospital saw: the bootstrap measurement, the service-code hash,\n"
+              "and sealed results. The company's alignment algorithm never left the\n"
+              "enclave unencrypted; the annotations stop it from leaking sequences.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Example: image editing as a confidential service (the paper's intro
+// scenario: "image editing ... as a service" where customers upload
+// sensitive images). The provider's processing pipeline stays private; the
+// customer's photo never leaves the enclave unencrypted.
+#include <cstdio>
+
+#include "support/rng.h"
+#include "workloads/runner.h"
+#include "workloads/workloads.h"
+
+using namespace deflection;
+
+int main() {
+  std::printf("== Private photo processing service ==\n\n");
+  std::string source =
+      workloads::with_params(workloads::image_editing_source(), {{"BUFCAP", "65536"}});
+
+  const int w = 48, h = 32;
+  Bytes image;
+  ByteWriter writer(image);
+  writer.u64(w);
+  writer.u64(h);
+  Rng rng(0x1336);
+  // A synthetic "photo": bright blob on dark noise.
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      int dx = x - w / 2, dy = y - h / 2;
+      int v = dx * dx + dy * dy < 80 ? 200 : 40;
+      writer.u8(static_cast<std::uint8_t>(v + rng.below(30)));
+    }
+
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  auto run = workloads::run_workload(source, PolicySet::p1to5(), config, {image});
+  if (!run.is_ok()) {
+    std::printf("run failed: %s\n", run.message().c_str());
+    return 1;
+  }
+  if (run.value().plain_outputs.empty()) {
+    std::printf("no output\n");
+    return 1;
+  }
+  const Bytes& out = run.value().plain_outputs[0];
+  std::printf("processed %dx%d image in-enclave (cost %llu). Result:\n\n", w, h,
+              static_cast<unsigned long long>(run.value().cost));
+  for (int y = 0; y < h; y += 2) {  // halve vertically for terminal aspect
+    for (int x = 0; x < w; ++x)
+      std::putchar(out[static_cast<std::size_t>(y * w + x)] ? '#' : '.');
+    std::putchar('\n');
+  }
+  std::printf("\nThe platform saw only sealed, padded frames; the provider's\n"
+              "filter pipeline was verified for policy compliance, not disclosed.\n");
+  return 0;
+}

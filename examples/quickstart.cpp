@@ -1,0 +1,120 @@
+// Quickstart: the full DEFLECTION flow on a toy service.
+//
+//   1. The code provider compiles a (private) MiniC service with security
+//      annotations for the agreed policy set.
+//   2. Data owner and code provider attest the bootstrap enclave against
+//      the measurement they computed from its published source, and each
+//      establishes a DH session channel bound into the quote.
+//   3. The provider delivers the binary sealed; the enclave loads,
+//      verifies and rewrites it; the data owner approves the reported
+//      service-code hash and feeds sealed input.
+//   4. The service runs; results come back sealed and padded (policy P0).
+#include <cstdio>
+
+#include "core/protocol.h"
+
+using namespace deflection;
+
+namespace {
+
+const char* kServiceSource = R"(
+  /* Proprietary service: sums the squares of the input bytes. */
+  int main() {
+    byte* buf = alloc(256);
+    int n = ocall_recv(buf, 256);
+    int sum = 0;
+    for (int i = 0; i < n; i += 1) { sum += buf[i] * buf[i]; }
+    byte* out = alloc(8);
+    for (int i = 0; i < 8; i += 1) { out[i] = (sum >> (i * 8)) & 255; }
+    ocall_send(out, 8);
+    return 0;
+  }
+)";
+
+}  // namespace
+
+int main() {
+  std::printf("== DEFLECTION quickstart ==\n\n");
+
+  // -- The agreed policy set: everything except the side-channel probes.
+  PolicySet policies = PolicySet::p1to5();
+  core::BootstrapConfig config;
+  config.verify.required = policies;
+
+  // -- 1. Producer (untrusted toolchain, runs outside any enclave).
+  auto compiled = core::CodeProducer::build(kServiceSource, policies);
+  if (!compiled.is_ok()) {
+    std::printf("compile failed: %s\n", compiled.message().c_str());
+    return 1;
+  }
+  std::printf("[producer] compiled service: %zu bytes of text, %d store guards, "
+              "%d shadow prologues\n",
+              compiled.value().dxo.text.size(), compiled.value().stats.store_guards,
+              compiled.value().stats.shadow_prologues);
+
+  // -- 2. Platform + attestation service + bootstrap enclave.
+  sgx::AttestationService ias;
+  sgx::QuotingEnclave quoting = ias.provision("cloud-host-1", /*seed=*/2024);
+  core::BootstrapEnclave enclave(quoting, config);
+
+  // Both remote parties audited the (public) bootstrap source and computed
+  // the expected measurement themselves:
+  crypto::Digest expected = core::BootstrapEnclave::expected_mrenclave(config);
+  core::DataOwner owner(ias, expected);
+  core::CodeProvider provider(ias, expected);
+
+  auto owner_offer = enclave.open_channel(core::Role::DataOwner, owner.dh_public());
+  if (auto s = owner.accept(owner_offer); !s.is_ok()) {
+    std::printf("owner attestation failed: %s\n", s.message().c_str());
+    return 1;
+  }
+  auto provider_offer =
+      enclave.open_channel(core::Role::CodeProvider, provider.dh_public());
+  if (auto s = provider.accept(provider_offer); !s.is_ok()) {
+    std::printf("provider attestation failed: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("[attest  ] both parties verified MRENCLAVE and bound DH channels\n");
+
+  // -- 3. Sealed delivery; the enclave reports the service-code hash.
+  auto code_hash = enclave.ecall_receive_binary(provider.seal_binary(compiled.value().dxo));
+  if (!code_hash.is_ok()) {
+    std::printf("delivery failed: %s\n", code_hash.message().c_str());
+    return 1;
+  }
+  std::printf("[enclave ] service accepted; code hash %s...\n",
+              to_hex(BytesView(code_hash.value().data(), 8)).c_str());
+
+  Bytes input = {3, 4, 12};
+  if (auto s = enclave.ecall_receive_userdata(owner.seal_input(BytesView(input)));
+      !s.is_ok()) {
+    std::printf("input rejected: %s\n", s.message().c_str());
+    return 1;
+  }
+
+  // -- 4. Run: load -> verify -> rewrite -> execute.
+  auto outcome = enclave.ecall_run();
+  if (!outcome.is_ok()) {
+    std::printf("verification/run failed: %s\n", outcome.message().c_str());
+    return 1;
+  }
+  const auto* report = enclave.verify_report();
+  std::printf("[verifier] %zu instructions disassembled; %d store guards, "
+              "%d indirect guards, %d epilogues checked; %zu immediates rewritten\n",
+              report->instructions, report->store_guards, report->indirect_guards,
+              report->shadow_epilogues, report->patches.size());
+  std::printf("[run     ] cost=%llu instructions=%llu exit=%llu\n",
+              static_cast<unsigned long long>(outcome.value().result.cost),
+              static_cast<unsigned long long>(outcome.value().result.instructions),
+              static_cast<unsigned long long>(outcome.value().result.exit_code));
+
+  for (const auto& sealed : outcome.value().sealed_output) {
+    auto plain = owner.open_output(BytesView(sealed));
+    if (plain.is_ok() && plain.value().size() == 8) {
+      std::printf("[owner   ] result: %llu (expected %d)\n",
+                  static_cast<unsigned long long>(load_le64(plain.value().data())),
+                  3 * 3 + 4 * 4 + 12 * 12);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// The security-annotation convention shared by the (untrusted) code
+// producer and the (trusted) in-enclave verifier.
+//
+// Annotations are emitted with placeholder immediate operands — the paper's
+// Fig. 5 uses 0x3FFFFFFFFFFFFFFF / 0x4FFFFFFFFFFFFFFF as temporary bounds —
+// which the consumer's immediate rewriter replaces with the real loaded
+// addresses after verification succeeds. Each magic value below identifies
+// one rewrite slot kind.
+//
+// All annotations are written purely in terms of the reserved scratch
+// registers R14/R15, so they never need to spill program state; the
+// verifier checks (it does not trust) that guarded operations do not use
+// the scratch registers themselves.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace deflection::codegen {
+
+// ---- Placeholder immediates (rewritten by the loader's imm rewriter) ----
+inline constexpr std::int64_t kMagicStoreLo = 0x3FFFFFFFFFFFFFFF;  // paper Fig. 5
+inline constexpr std::int64_t kMagicStoreHi = 0x4FFFFFFFFFFFFFFF;  // paper Fig. 5
+inline constexpr std::int64_t kMagicStackLo = 0x5FFFFFFFFFFFFFFF;
+inline constexpr std::int64_t kMagicStackHi = 0x5FFFFFFFFFFFFFFE;
+inline constexpr std::int64_t kMagicTextBase = 0x7FFFFFFFFFFFFF01;
+inline constexpr std::int64_t kMagicTextSize = 0x7FFFFFFFFFFFFF02;
+inline constexpr std::int64_t kMagicBtTable = 0x7FFFFFFFFFFFFF03;
+inline constexpr std::int64_t kMagicSsPtr = 0x7FFFFFFFFFFFFF04;    // &shadow-stack top
+inline constexpr std::int64_t kMagicSsBase = 0x7FFFFFFFFFFFFF05;
+inline constexpr std::int64_t kMagicSsLimit = 0x7FFFFFFFFFFFFF06;
+inline constexpr std::int64_t kMagicSsaMarker = 0x7FFFFFFFFFFFFF07;
+inline constexpr std::int64_t kMagicAexCount = 0x7FFFFFFFFFFFFF08;
+
+// ---- Fixed annotation constants ----
+// Value the P6 instrumentation plants in the SSA marker slot; an AEX
+// overwrites it with the saved register context.
+inline constexpr std::int32_t kSsaMarkerValue = 0x5A5AA5A5;
+// Default AEX-count abort threshold baked into P6 probes (the paper's
+// profiling-derived threshold; a policy parameter of the producer). Sized
+// for the longest benign benchmark runs under a ~20M-cost timer tick.
+inline constexpr std::int32_t kDefaultAexThreshold = 256;
+// Producer-side probe spacing: at most this many (final-stream)
+// instructions between two SSA probes inside a basic block.
+inline constexpr int kProbeSpacing = 48;
+// Verifier-side maximum tolerated gap (spacing + one annotation group).
+inline constexpr int kMaxProbeGap = 80;
+
+// Exit codes of the runtime stubs.
+inline constexpr std::uint64_t kViolationExitCode = 0xDF01;  // policy violation
+inline constexpr std::uint64_t kOomExitCode = 0xDF02;        // alloc() exhausted
+
+// Stores at [RSP + disp] with 0 <= disp and disp+8 <= kRspSlack are exempt
+// from P1 store guards: RSP itself is protected by P2 and the loader's
+// guard pages are at least this large, so such stores cannot leave the
+// stack region undetected. (This mirrors the paper's split between P1
+// store mediation and P2 + guard-page stack protection.)
+inline constexpr std::int32_t kRspSlack = 4096;
+
+// Well-known symbol names of the producer's runtime scaffolding.
+inline constexpr const char* kEntrySymbol = "_start";
+inline constexpr const char* kViolationSymbol = "__df_violation";
+inline constexpr const char* kOomSymbol = "__df_oom";
+inline constexpr const char* kHeapPtrSymbol = "__heap_ptr";   // data+0
+inline constexpr const char* kHeapEndSymbol = "__heap_end";   // data+8
+
+// OCall numbers of the restricted interface (policy P0): the EDL-equivalent
+// surface the bootstrap enclave exposes.
+inline constexpr std::uint8_t kOcallSend = 1;
+inline constexpr std::uint8_t kOcallRecv = 2;
+inline constexpr std::uint8_t kOcallPrint = 3;  // debug; denied in secure mode
+
+using isa::kScratch0;  // R14
+using isa::kScratch1;  // R15
+
+}  // namespace deflection::codegen

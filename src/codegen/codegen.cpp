@@ -1,0 +1,856 @@
+#include "codegen/codegen.h"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "codegen/annotations.h"
+#include "minic/sema.h"
+
+namespace deflection::codegen {
+
+using isa::AsmProgram;
+using isa::Cond;
+using isa::Mem;
+using isa::Op;
+using isa::Reg;
+using minic::BaseType;
+using minic::Expr;
+using minic::ExprKind;
+using minic::FuncDecl;
+using minic::Module;
+using minic::Stmt;
+using minic::StmtKind;
+using minic::Type;
+
+namespace {
+
+// Frame layout (all RSP-relative, within the kRspSlack exemption window):
+//   [0, kTempArea)              expression temporaries
+//   [kTempArea, frame_size)     named locals and local arrays
+constexpr std::int32_t kTempArea = 256;
+constexpr std::int32_t kMaxFrame = kRspSlack;
+
+struct LocalVar {
+  std::int32_t offset = 0;
+  Type type;
+  bool is_array = false;
+};
+
+class FuncGen;
+
+class ModuleGen {
+ public:
+  explicit ModuleGen(const Module& module) : module_(module) {}
+
+  Result<CodegenResult> run();
+
+  // Data section management.
+  std::uint64_t add_string(const std::string& value) {
+    auto it = string_labels_.find(value);
+    if (it != string_labels_.end()) return it->second;
+    std::uint64_t off = result_.data.size();
+    std::string name = "__str" + std::to_string(string_labels_.size());
+    result_.data.insert(result_.data.end(), value.begin(), value.end());
+    result_.data.push_back(0);
+    while (result_.data.size() % 8 != 0) result_.data.push_back(0);
+    result_.data_symbols[name] = off;
+    string_labels_[value] = off;
+    string_names_[value] = name;
+    return off;
+  }
+  std::string string_symbol(const std::string& value) { return string_names_.at(value); }
+
+  bool is_global(const std::string& name) const { return globals_.contains(name); }
+  const LocalVar& global(const std::string& name) const { return globals_.at(name); }
+  bool is_function(const std::string& name) const { return function_sigs_.contains(name); }
+  const minic::FuncSig& function_sig(const std::string& name) const {
+    return function_sigs_.at(name);
+  }
+  void note_address_taken(const std::string& name) { address_taken_.insert(name); }
+
+  CodegenResult& result() { return result_; }
+
+ private:
+  friend class FuncGen;
+  const Module& module_;
+  CodegenResult result_;
+  std::map<std::string, LocalVar> globals_;  // offset = data offset
+  std::map<std::string, minic::FuncSig> function_sigs_;
+  std::map<std::string, std::uint64_t> string_labels_;
+  std::map<std::string, std::string> string_names_;
+  std::set<std::string> address_taken_;
+};
+
+// Per-function code generation.
+class FuncGen {
+ public:
+  FuncGen(ModuleGen& mod, const FuncDecl& func, AsmProgram& out)
+      : mod_(mod), func_(func), out_(out) {}
+
+  Status run() {
+    // Pre-pass: allocate frame slots for every declaration in the body.
+    next_local_ = kTempArea;
+    if (auto s = allocate_params(); !s.is_ok()) return s;
+    if (auto s = allocate_locals(*func_.body); !s.is_ok()) return s;
+    frame_size_ = (next_local_ + 15) / 16 * 16;
+    if (frame_size_ > kMaxFrame)
+      return fail(func_.line, "frame of '" + func_.name +
+                                  "' exceeds the guarded window; move arrays to alloc()");
+
+    out_.label(func_.name);
+    out_.op_ri(Op::SubRI, Reg::RSP, frame_size_);
+    spill_params();
+    scopes_.clear();
+    scopes_.push_back(param_slots_);
+    alloc_cursor_ = first_body_slot_;
+    if (auto s = gen_stmt(*func_.body); !s.is_ok()) return s;
+    // Implicit return (void functions or missing return). Skipped when the
+    // body already ended with an unconditional transfer: the verifier's
+    // recursive-descent disassembler requires full code coverage, so the
+    // producer must not emit unreachable instructions.
+    if (!flow_ended()) out_.movri(Reg::RAX, 0);
+    out_.label(epilogue_label());
+    out_.op_ri(Op::AddRI, Reg::RSP, frame_size_);
+    out_.ret();
+    return status_;
+  }
+
+ private:
+  std::string epilogue_label() const { return ".L" + func_.name + "_epilogue"; }
+
+  // True when the last emitted item is an unconditional control transfer,
+  // i.e. the current position is unreachable unless a label follows.
+  bool flow_ended() const {
+    const auto& items = out_.items();
+    if (items.empty() || items.back().kind != isa::AsmItem::Kind::Instr) return false;
+    Op op = items.back().instr.op;
+    return op == Op::Jmp || op == Op::Hlt || op == Op::Ret;
+  }
+  std::string fresh_label() {
+    return ".L" + func_.name + "_" + std::to_string(label_counter_++);
+  }
+  Status fail(int line, const std::string& msg) {
+    if (status_.is_ok())
+      status_ = Status::fail("codegen_error", "line " + std::to_string(line) + ": " + msg);
+    return status_;
+  }
+
+  // ---- Frame allocation ----
+
+  Status allocate_params() {
+    for (const auto& p : func_.params) {
+      Type t = p.type.is_byte() ? Type::int_type() : p.type;
+      param_slots_[p.name] = LocalVar{next_local_, t, false};
+      next_local_ += 8;
+    }
+    first_body_slot_ = next_local_;
+    return Status::ok();
+  }
+
+  // Walks the body in source order and assigns a distinct slot to every
+  // declaration (no slot reuse; simple and predictable).
+  Status allocate_locals(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::Block:
+        for (const auto& s : stmt.body)
+          if (auto st = allocate_locals(*s); !st.is_ok()) return st;
+        return Status::ok();
+      case StmtKind::VarDecl: {
+        std::int32_t size = 8;
+        if (stmt.array_size > 0)
+          size = static_cast<std::int32_t>(stmt.array_size) *
+                 (stmt.var_type.is_byte() && stmt.var_type.pointer_depth == 0 ? 1 : 8);
+        size = (size + 7) / 8 * 8;
+        decl_slots_.push_back(next_local_);
+        next_local_ += size;
+        return Status::ok();
+      }
+      case StmtKind::If: {
+        if (auto s = allocate_locals(*stmt.then_stmt); !s.is_ok()) return s;
+        if (stmt.else_stmt) return allocate_locals(*stmt.else_stmt);
+        return Status::ok();
+      }
+      case StmtKind::While:
+        return allocate_locals(*stmt.loop_body);
+      case StmtKind::For: {
+        if (stmt.for_init)
+          if (auto s = allocate_locals(*stmt.for_init); !s.is_ok()) return s;
+        if (stmt.for_step)
+          if (auto s = allocate_locals(*stmt.for_step); !s.is_ok()) return s;
+        return allocate_locals(*stmt.loop_body);
+      }
+      default:
+        return Status::ok();
+    }
+  }
+
+  void spill_params() {
+    static const Reg kArgRegs[6] = {Reg::RDI, Reg::RSI, Reg::RDX,
+                                    Reg::RCX, Reg::R8, Reg::R9};
+    for (std::size_t i = 0; i < func_.params.size(); ++i) {
+      const LocalVar& v = param_slots_.at(func_.params[i].name);
+      out_.store(Mem::base_disp(Reg::RSP, v.offset), kArgRegs[i]);
+    }
+  }
+
+  // ---- Scope handling during generation ----
+
+  LocalVar* lookup_local(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  // ---- Temporaries ----
+
+  std::int32_t push_temp() {
+    std::int32_t off = 8 * temp_depth_++;
+    if (8 * temp_depth_ > kTempArea)
+      fail(func_.line, "expression too deeply nested");
+    return off;
+  }
+  void pop_temp() { --temp_depth_; }
+
+  // ---- Statements ----
+
+  Status gen_stmt(const Stmt& stmt) {
+    if (!status_.is_ok()) return status_;
+    switch (stmt.kind) {
+      case StmtKind::Block: {
+        scopes_.emplace_back();
+        for (const auto& s : stmt.body) {
+          // Statements after an unconditional transfer are unreachable;
+          // emitting them would fail the verifier's coverage check.
+          if (flow_ended()) break;
+          if (auto st = gen_stmt(*s); !st.is_ok()) return st;
+        }
+        scopes_.pop_back();
+        return Status::ok();
+      }
+      case StmtKind::VarDecl: {
+        std::int32_t slot = decl_slots_[decl_cursor_++];
+        Type t = stmt.var_type.is_byte() && stmt.array_size == 0 ? Type::int_type()
+                                                                 : stmt.var_type;
+        scopes_.back()[stmt.var_name] = LocalVar{slot, t, stmt.array_size > 0};
+        if (stmt.init) {
+          if (auto s = gen_expr(*stmt.init); !s.is_ok()) return s;
+          out_.store(Mem::base_disp(Reg::RSP, slot), Reg::RAX);
+        }
+        return Status::ok();
+      }
+      case StmtKind::If: {
+        std::string lelse = fresh_label();
+        std::string lend = fresh_label();
+        if (auto s = gen_branch_false(*stmt.cond, lelse); !s.is_ok()) return s;
+        if (auto s = gen_stmt(*stmt.then_stmt); !s.is_ok()) return s;
+        if (stmt.else_stmt) {
+          bool need_join = !flow_ended();
+          if (need_join) out_.jmp(lend);
+          out_.label(lelse);
+          if (auto s = gen_stmt(*stmt.else_stmt); !s.is_ok()) return s;
+          if (need_join) out_.label(lend);
+        } else {
+          out_.label(lelse);
+        }
+        return Status::ok();
+      }
+      case StmtKind::While: {
+        std::string lhead = fresh_label();
+        std::string lend = fresh_label();
+        out_.label(lhead);
+        if (auto s = gen_branch_false(*stmt.cond, lend); !s.is_ok()) return s;
+        loop_stack_.push_back({lhead, lend});
+        if (auto s = gen_stmt(*stmt.loop_body); !s.is_ok()) return s;
+        loop_stack_.pop_back();
+        if (!flow_ended()) out_.jmp(lhead);
+        out_.label(lend);
+        return Status::ok();
+      }
+      case StmtKind::For: {
+        scopes_.emplace_back();
+        if (stmt.for_init)
+          if (auto s = gen_stmt(*stmt.for_init); !s.is_ok()) return s;
+        std::string lhead = fresh_label();
+        std::string lstep = fresh_label();
+        std::string lend = fresh_label();
+        out_.label(lhead);
+        if (stmt.cond)
+          if (auto s = gen_branch_false(*stmt.cond, lend); !s.is_ok()) return s;
+        loop_stack_.push_back({lstep, lend});
+        if (auto s = gen_stmt(*stmt.loop_body); !s.is_ok()) return s;
+        loop_stack_.pop_back();
+        out_.label(lstep);
+        if (stmt.for_step)
+          if (auto s = gen_stmt(*stmt.for_step); !s.is_ok()) return s;
+        out_.jmp(lhead);
+        out_.label(lend);
+        scopes_.pop_back();
+        return Status::ok();
+      }
+      case StmtKind::Return: {
+        if (stmt.expr) {
+          if (auto s = gen_expr(*stmt.expr); !s.is_ok()) return s;
+        }
+        out_.jmp(epilogue_label());
+        return Status::ok();
+      }
+      case StmtKind::Break:
+        if (loop_stack_.empty()) return fail(stmt.line, "break outside loop");
+        out_.jmp(loop_stack_.back().second);
+        return Status::ok();
+      case StmtKind::Continue:
+        if (loop_stack_.empty()) return fail(stmt.line, "continue outside loop");
+        out_.jmp(loop_stack_.back().first);
+        return Status::ok();
+      case StmtKind::ExprStmt:
+        return gen_expr(*stmt.expr);
+    }
+    return Status::ok();
+  }
+
+  // ---- Condition branching (jump to `lfalse` when e is false) ----
+
+  Status gen_branch_false(const Expr& e, const std::string& lfalse) {
+    if (e.kind == ExprKind::Unary && e.op == '!') {
+      std::string ltrue = fresh_label();
+      if (auto s = gen_branch_false(*e.a, ltrue); !s.is_ok()) return s;
+      out_.jmp(lfalse);
+      out_.label(ltrue);
+      return Status::ok();
+    }
+    if (e.kind == ExprKind::Binary && e.op == 'A') {
+      if (auto s = gen_branch_false(*e.a, lfalse); !s.is_ok()) return s;
+      return gen_branch_false(*e.b, lfalse);
+    }
+    if (e.kind == ExprKind::Binary && e.op == 'O') {
+      std::string ltrue = fresh_label();
+      std::string lnext = fresh_label();
+      if (auto s = gen_branch_false(*e.a, lnext); !s.is_ok()) return s;
+      out_.jmp(ltrue);
+      out_.label(lnext);
+      if (auto s = gen_branch_false(*e.b, lfalse); !s.is_ok()) return s;
+      out_.label(ltrue);
+      return Status::ok();
+    }
+    if (e.kind == ExprKind::Binary && is_comparison(e.op)) {
+      Cond cc;
+      if (auto s = gen_comparison(e, cc); !s.is_ok()) return s;
+      out_.jcc(invert(cc), lfalse);
+      return Status::ok();
+    }
+    if (auto s = gen_expr(e); !s.is_ok()) return s;
+    out_.op_ri(Op::CmpRI, Reg::RAX, 0);
+    out_.jcc(Cond::E, lfalse);
+    return Status::ok();
+  }
+
+  static bool is_comparison(char op) {
+    return op == 'E' || op == 'N' || op == '<' || op == 'l' || op == '>' || op == 'g';
+  }
+  static Cond invert(Cond c) {
+    switch (c) {
+      case Cond::E: return Cond::NE;
+      case Cond::NE: return Cond::E;
+      case Cond::L: return Cond::GE;
+      case Cond::LE: return Cond::G;
+      case Cond::G: return Cond::LE;
+      case Cond::GE: return Cond::L;
+      case Cond::B: return Cond::AE;
+      case Cond::BE: return Cond::A;
+      case Cond::A: return Cond::BE;
+      case Cond::AE: return Cond::B;
+    }
+    return Cond::E;
+  }
+
+  // Emits a compare of e.a vs e.b (RAX vs RBX) and returns the condition
+  // that makes the comparison TRUE.
+  Status gen_comparison(const Expr& e, Cond& cc) {
+    if (auto s = gen_binary_operands(e); !s.is_ok()) return s;
+    bool flt = e.a->type.is_float();
+    bool uns = e.a->type.is_pointer() || e.a->type.is_fn();
+    out_.op_rr(flt ? Op::FCmpRR : Op::CmpRR, Reg::RAX, Reg::RBX);
+    switch (e.op) {
+      case 'E': cc = Cond::E; break;
+      case 'N': cc = Cond::NE; break;
+      case '<': cc = uns ? Cond::B : Cond::L; break;
+      case 'l': cc = uns ? Cond::BE : Cond::LE; break;
+      case '>': cc = uns ? Cond::A : Cond::G; break;
+      case 'g': cc = uns ? Cond::AE : Cond::GE; break;
+      default: return fail(e.line, "bad comparison");
+    }
+    return Status::ok();
+  }
+
+  // Evaluates e.a -> RAX, e.b -> RBX.
+  Status gen_binary_operands(const Expr& e) {
+    if (auto s = gen_expr(*e.a); !s.is_ok()) return s;
+    std::int32_t t = push_temp();
+    out_.store(Mem::base_disp(Reg::RSP, t), Reg::RAX);
+    if (auto s = gen_expr(*e.b); !s.is_ok()) return s;
+    out_.movrr(Reg::RBX, Reg::RAX);
+    out_.load(Reg::RAX, Mem::base_disp(Reg::RSP, t));
+    pop_temp();
+    return Status::ok();
+  }
+
+  // ---- Expressions (result in RAX) ----
+
+  Status gen_expr(const Expr& e) {
+    if (!status_.is_ok()) return status_;
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        out_.movri(Reg::RAX, e.int_value);
+        return Status::ok();
+      case ExprKind::FloatLit:
+        out_.movri(Reg::RAX, std::bit_cast<std::int64_t>(e.float_value));
+        return Status::ok();
+      case ExprKind::StringLit: {
+        mod_.add_string(e.str_value);
+        out_.movri_sym(Reg::RAX, mod_.string_symbol(e.str_value));
+        return Status::ok();
+      }
+      case ExprKind::Ident:
+        return gen_ident_load(e);
+      case ExprKind::Unary:
+        return gen_unary(e);
+      case ExprKind::Binary:
+        return gen_binary(e);
+      case ExprKind::Assign:
+        return gen_assign(e);
+      case ExprKind::Call:
+        return gen_call(e);
+      case ExprKind::Index: {
+        // Load element: address via [base + index*scale].
+        int elem = e.type.store_size();
+        if (auto s = gen_index_address(e); !s.is_ok()) return s;
+        if (elem == 1)
+          out_.load8(Reg::RAX, Mem::base_disp(Reg::RAX, 0));
+        else
+          out_.load(Reg::RAX, Mem::base_disp(Reg::RAX, 0));
+        return Status::ok();
+      }
+    }
+    return Status::ok();
+  }
+
+  Status gen_ident_load(const Expr& e) {
+    if (LocalVar* v = lookup_local(e.name)) {
+      if (v->is_array)
+        out_.lea(Reg::RAX, Mem::base_disp(Reg::RSP, v->offset));
+      else
+        out_.load(Reg::RAX, Mem::base_disp(Reg::RSP, v->offset));
+      return Status::ok();
+    }
+    if (mod_.is_global(e.name)) {
+      const LocalVar& g = mod_.global(e.name);
+      out_.movri_sym(Reg::RAX, e.name);
+      if (!g.is_array) out_.load(Reg::RAX, Mem::base_disp(Reg::RAX, 0));
+      return Status::ok();
+    }
+    return fail(e.line, "unknown identifier '" + e.name + "'");
+  }
+
+  Status gen_unary(const Expr& e) {
+    if (e.op == '&') return gen_address_of(*e.a, e);
+    if (auto s = gen_expr(*e.a); !s.is_ok()) return s;
+    switch (e.op) {
+      case '-':
+        out_.op_r(e.a->type.is_float() ? Op::FNegR : Op::NegR, Reg::RAX);
+        return Status::ok();
+      case '~':
+        out_.op_r(Op::NotR, Reg::RAX);
+        return Status::ok();
+      case '!': {
+        std::string ldone = fresh_label();
+        out_.op_ri(Op::CmpRI, Reg::RAX, 0);
+        out_.movri(Reg::RAX, 1);
+        out_.jcc(Cond::E, ldone);
+        out_.movri(Reg::RAX, 0);
+        out_.label(ldone);
+        return Status::ok();
+      }
+      case '*': {
+        if (e.type.store_size() == 1)
+          out_.load8(Reg::RAX, Mem::base_disp(Reg::RAX, 0));
+        else
+          out_.load(Reg::RAX, Mem::base_disp(Reg::RAX, 0));
+        return Status::ok();
+      }
+      default:
+        return fail(e.line, "bad unary op");
+    }
+  }
+
+  // &lvalue or &function. `outer` provides the line for diagnostics.
+  Status gen_address_of(const Expr& target, const Expr& outer) {
+    if (target.kind == ExprKind::Ident) {
+      if (LocalVar* v = lookup_local(target.name)) {
+        out_.lea(Reg::RAX, Mem::base_disp(Reg::RSP, v->offset));
+        return Status::ok();
+      }
+      if (mod_.is_global(target.name)) {
+        out_.movri_sym(Reg::RAX, target.name);
+        return Status::ok();
+      }
+      if (mod_.is_function(target.name)) {
+        mod_.note_address_taken(target.name);
+        out_.movri_sym(Reg::RAX, target.name);
+        return Status::ok();
+      }
+      return fail(outer.line, "unknown identifier '" + target.name + "'");
+    }
+    if (target.kind == ExprKind::Unary && target.op == '*') return gen_expr(*target.a);
+    if (target.kind == ExprKind::Index) return gen_index_address(target);
+    return fail(outer.line, "'&' needs an lvalue");
+  }
+
+  // Computes the byte address of base[index] into RAX.
+  Status gen_index_address(const Expr& e) {
+    int elem = e.a->type.pointee().store_size();
+    if (auto s = gen_expr(*e.a); !s.is_ok()) return s;
+    std::int32_t t = push_temp();
+    out_.store(Mem::base_disp(Reg::RSP, t), Reg::RAX);
+    if (auto s = gen_expr(*e.b); !s.is_ok()) return s;
+    out_.load(Reg::RBX, Mem::base_disp(Reg::RSP, t));
+    pop_temp();
+    // addr = base + index * elem
+    std::uint8_t scale = elem == 8 ? 3 : 0;
+    out_.lea(Reg::RAX, Mem::base_index(Reg::RBX, Reg::RAX, scale));
+    return Status::ok();
+  }
+
+  Status gen_binary(const Expr& e) {
+    switch (e.op) {
+      case 'A': {
+        std::string lfalse = fresh_label();
+        std::string ldone = fresh_label();
+        if (auto s = gen_branch_false(e, lfalse); !s.is_ok()) return s;
+        out_.movri(Reg::RAX, 1);
+        out_.jmp(ldone);
+        out_.label(lfalse);
+        out_.movri(Reg::RAX, 0);
+        out_.label(ldone);
+        return Status::ok();
+      }
+      case 'O': {
+        std::string lfalse = fresh_label();
+        std::string ldone = fresh_label();
+        if (auto s = gen_branch_false(e, lfalse); !s.is_ok()) return s;
+        out_.movri(Reg::RAX, 1);
+        out_.jmp(ldone);
+        out_.label(lfalse);
+        out_.movri(Reg::RAX, 0);
+        out_.label(ldone);
+        return Status::ok();
+      }
+      default:
+        break;
+    }
+    if (is_comparison(e.op)) {
+      Cond cc;
+      if (auto s = gen_comparison(e, cc); !s.is_ok()) return s;
+      std::string ldone = fresh_label();
+      out_.movri(Reg::RAX, 1);
+      out_.jcc(cc, ldone);
+      out_.movri(Reg::RAX, 0);
+      out_.label(ldone);
+      return Status::ok();
+    }
+
+    if (auto s = gen_binary_operands(e); !s.is_ok()) return s;
+    bool flt = e.type.is_float();
+    bool lhs_ptr = e.a->type.is_pointer();
+    switch (e.op) {
+      case '+':
+        if (lhs_ptr && e.a->type.pointee().store_size() == 8) out_.op_ri(Op::ShlRI, Reg::RBX, 3);
+        out_.op_rr(flt ? Op::FAddRR : Op::AddRR, Reg::RAX, Reg::RBX);
+        return Status::ok();
+      case '-':
+        if (lhs_ptr && e.a->type.pointee().store_size() == 8) out_.op_ri(Op::ShlRI, Reg::RBX, 3);
+        out_.op_rr(flt ? Op::FSubRR : Op::SubRR, Reg::RAX, Reg::RBX);
+        return Status::ok();
+      case '*':
+        out_.op_rr(flt ? Op::FMulRR : Op::ImulRR, Reg::RAX, Reg::RBX);
+        return Status::ok();
+      case '/':
+        out_.op_rr(flt ? Op::FDivRR : Op::IdivRR, Reg::RAX, Reg::RBX);
+        return Status::ok();
+      case '%':
+        out_.op_rr(Op::IremRR, Reg::RAX, Reg::RBX);
+        return Status::ok();
+      case '&':
+        out_.op_rr(Op::AndRR, Reg::RAX, Reg::RBX);
+        return Status::ok();
+      case '|':
+        out_.op_rr(Op::OrRR, Reg::RAX, Reg::RBX);
+        return Status::ok();
+      case '^':
+        out_.op_rr(Op::XorRR, Reg::RAX, Reg::RBX);
+        return Status::ok();
+      case 'L':
+        out_.op_rr(Op::ShlRR, Reg::RAX, Reg::RBX);
+        return Status::ok();
+      case 'R':
+        out_.op_rr(Op::SarRR, Reg::RAX, Reg::RBX);
+        return Status::ok();
+      default:
+        return fail(e.line, "bad binary op");
+    }
+  }
+
+  Status gen_assign(const Expr& e) {
+    const Expr& lhs = *e.a;
+    // Compute the value to store into RAX.
+    auto compute_value = [&]() -> Status {
+      if (e.op == 0) return gen_expr(*e.b);
+      // Compound: value = lhs-value op rhs. Build the value explicitly.
+      if (auto s = gen_expr(lhs); !s.is_ok()) return s;
+      std::int32_t t = push_temp();
+      out_.store(Mem::base_disp(Reg::RSP, t), Reg::RAX);
+      if (auto s = gen_expr(*e.b); !s.is_ok()) return s;
+      out_.movrr(Reg::RBX, Reg::RAX);
+      out_.load(Reg::RAX, Mem::base_disp(Reg::RSP, t));
+      pop_temp();
+      bool flt = lhs.type.is_float();
+      bool lhs_ptr = lhs.type.is_pointer();
+      switch (e.op) {
+        case '+':
+          if (lhs_ptr && lhs.type.pointee().store_size() == 8)
+            out_.op_ri(Op::ShlRI, Reg::RBX, 3);
+          out_.op_rr(flt ? Op::FAddRR : Op::AddRR, Reg::RAX, Reg::RBX);
+          return Status::ok();
+        case '-':
+          if (lhs_ptr && lhs.type.pointee().store_size() == 8)
+            out_.op_ri(Op::ShlRI, Reg::RBX, 3);
+          out_.op_rr(flt ? Op::FSubRR : Op::SubRR, Reg::RAX, Reg::RBX);
+          return Status::ok();
+        case '*':
+          out_.op_rr(flt ? Op::FMulRR : Op::ImulRR, Reg::RAX, Reg::RBX);
+          return Status::ok();
+        case '/':
+          out_.op_rr(flt ? Op::FDivRR : Op::IdivRR, Reg::RAX, Reg::RBX);
+          return Status::ok();
+        case '%':
+          out_.op_rr(Op::IremRR, Reg::RAX, Reg::RBX);
+          return Status::ok();
+        default:
+          return fail(e.line, "bad compound assignment");
+      }
+    };
+
+    // Local scalar: value -> RAX; exempt RSP-relative store.
+    if (lhs.kind == ExprKind::Ident) {
+      if (LocalVar* v = lookup_local(lhs.name)) {
+        if (auto s = compute_value(); !s.is_ok()) return s;
+        out_.store(Mem::base_disp(Reg::RSP, v->offset), Reg::RAX);
+        return Status::ok();
+      }
+      if (mod_.is_global(lhs.name)) {
+        if (auto s = compute_value(); !s.is_ok()) return s;
+        std::int32_t t = push_temp();
+        out_.store(Mem::base_disp(Reg::RSP, t), Reg::RAX);
+        out_.movri_sym(Reg::RBX, lhs.name);
+        out_.load(Reg::RCX, Mem::base_disp(Reg::RSP, t));
+        pop_temp();
+        out_.store(Mem::base_disp(Reg::RBX, 0), Reg::RCX);  // guarded by P1
+        out_.movrr(Reg::RAX, Reg::RCX);
+        return Status::ok();
+      }
+      return fail(e.line, "unknown identifier '" + lhs.name + "'");
+    }
+
+    // Pointer/array target: value -> temp, address -> RAX, store.
+    if (auto s = compute_value(); !s.is_ok()) return s;
+    std::int32_t t = push_temp();
+    out_.store(Mem::base_disp(Reg::RSP, t), Reg::RAX);
+    Status addr_status;
+    int elem = lhs.type.store_size();
+    if (lhs.kind == ExprKind::Unary && lhs.op == '*') {
+      addr_status = gen_expr(*lhs.a);
+    } else if (lhs.kind == ExprKind::Index) {
+      addr_status = gen_index_address(lhs);
+    } else {
+      addr_status = fail(e.line, "bad assignment target");
+    }
+    if (!addr_status.is_ok()) return addr_status;
+    out_.load(Reg::RCX, Mem::base_disp(Reg::RSP, t));
+    pop_temp();
+    if (elem == 1)
+      out_.store8(Mem::base_disp(Reg::RAX, 0), Reg::RCX);  // guarded by P1
+    else
+      out_.store(Mem::base_disp(Reg::RAX, 0), Reg::RCX);   // guarded by P1
+    out_.movrr(Reg::RAX, Reg::RCX);
+    return Status::ok();
+  }
+
+  Status gen_call(const Expr& e) {
+    static const Reg kArgRegs[6] = {Reg::RDI, Reg::RSI, Reg::RDX,
+                                    Reg::RCX, Reg::R8, Reg::R9};
+    // Builtin or direct function call?
+    bool direct = e.callee->kind == ExprKind::Ident && lookup_local(e.callee->name) == nullptr &&
+                  !mod_.is_global(e.callee->name);
+    if (direct) {
+      const std::string& name = e.callee->name;
+      if (minic::builtin_signatures().contains(name) && !mod_.is_function(name))
+        return gen_builtin(e, name);
+      if (!mod_.is_function(name)) return fail(e.line, "unknown function '" + name + "'");
+    }
+
+    // Evaluate arguments into temporaries.
+    std::vector<std::int32_t> temps;
+    for (const auto& arg : e.args) {
+      if (auto s = gen_expr(*arg); !s.is_ok()) return s;
+      std::int32_t t = push_temp();
+      out_.store(Mem::base_disp(Reg::RSP, t), Reg::RAX);
+      temps.push_back(t);
+    }
+    std::int32_t callee_temp = -1;
+    if (!direct) {
+      if (auto s = gen_expr(*e.callee); !s.is_ok()) return s;
+      callee_temp = push_temp();
+      out_.store(Mem::base_disp(Reg::RSP, callee_temp), Reg::RAX);
+    }
+    for (std::size_t i = 0; i < temps.size(); ++i)
+      out_.load(kArgRegs[i], Mem::base_disp(Reg::RSP, temps[i]));
+    if (direct) {
+      out_.call(e.callee->name);
+    } else {
+      out_.load(Reg::R10, Mem::base_disp(Reg::RSP, callee_temp));
+      pop_temp();
+      out_.callind(Reg::R10);  // guarded by P5
+    }
+    for (std::size_t i = 0; i < temps.size(); ++i) pop_temp();
+    return Status::ok();
+  }
+
+  Status gen_builtin(const Expr& e, const std::string& name) {
+    if (name == "itof" || name == "ftoi" || name == "f_sqrt" || name == "f_sin" ||
+        name == "f_cos" || name == "f_exp" || name == "f_log" || name == "f_abs" ||
+        name == "to_int_ptr" || name == "to_float_ptr" || name == "to_byte_ptr" ||
+        name == "as_ptr" || name == "ptr_to_int") {
+      if (auto s = gen_expr(*e.args[0]); !s.is_ok()) return s;
+      if (name == "itof") out_.op_rr(Op::CvtI2F, Reg::RAX, Reg::RAX);
+      else if (name == "ftoi") out_.op_rr(Op::CvtF2I, Reg::RAX, Reg::RAX);
+      else if (name == "f_sqrt") out_.op_r(Op::FSqrtR, Reg::RAX);
+      else if (name == "f_sin") out_.op_r(Op::FSinR, Reg::RAX);
+      else if (name == "f_cos") out_.op_r(Op::FCosR, Reg::RAX);
+      else if (name == "f_exp") out_.op_r(Op::FExpR, Reg::RAX);
+      else if (name == "f_log") out_.op_r(Op::FLogR, Reg::RAX);
+      else if (name == "f_abs") out_.op_r(Op::FAbsR, Reg::RAX);
+      // to_*_ptr: value passthrough
+      return Status::ok();
+    }
+    if (name == "alloc") {
+      if (auto s = gen_expr(*e.args[0]); !s.is_ok()) return s;
+      // Bump allocation against the loader-initialized heap bounds.
+      out_.op_ri(Op::AddRI, Reg::RAX, 15);
+      out_.op_ri(Op::AndRI, Reg::RAX, -16);
+      out_.movri_sym(Reg::RBX, kHeapPtrSymbol);
+      out_.load(Reg::RCX, Mem::base_disp(Reg::RBX, 0));  // old ptr
+      out_.op_rr(Op::AddRR, Reg::RAX, Reg::RCX);         // new end
+      out_.movri_sym(Reg::R10, kHeapEndSymbol);
+      out_.load(Reg::R10, Mem::base_disp(Reg::R10, 0));
+      out_.op_rr(Op::CmpRR, Reg::RAX, Reg::R10);
+      out_.jcc(Cond::A, kOomSymbol);
+      out_.store(Mem::base_disp(Reg::RBX, 0), Reg::RAX);  // guarded by P1
+      out_.movrr(Reg::RAX, Reg::RCX);
+      return Status::ok();
+    }
+    if (name == "ocall_send" || name == "ocall_recv") {
+      if (auto s = gen_expr(*e.args[0]); !s.is_ok()) return s;
+      std::int32_t t = push_temp();
+      out_.store(Mem::base_disp(Reg::RSP, t), Reg::RAX);
+      if (auto s = gen_expr(*e.args[1]); !s.is_ok()) return s;
+      out_.movrr(Reg::RSI, Reg::RAX);
+      out_.load(Reg::RDI, Mem::base_disp(Reg::RSP, t));
+      pop_temp();
+      out_.ocall(name == "ocall_send" ? kOcallSend : kOcallRecv);
+      return Status::ok();
+    }
+    if (name == "print_int") {
+      if (auto s = gen_expr(*e.args[0]); !s.is_ok()) return s;
+      out_.movrr(Reg::RDI, Reg::RAX);
+      out_.ocall(kOcallPrint);
+      return Status::ok();
+    }
+    return fail(e.line, "unhandled builtin '" + name + "'");
+  }
+
+  ModuleGen& mod_;
+  const FuncDecl& func_;
+  AsmProgram& out_;
+  Status status_;
+
+  std::map<std::string, LocalVar> param_slots_;
+  std::vector<std::map<std::string, LocalVar>> scopes_;
+  std::vector<std::int32_t> decl_slots_;
+  std::size_t decl_cursor_ = 0;
+  std::vector<std::pair<std::string, std::string>> loop_stack_;  // continue, break
+
+  std::int32_t next_local_ = kTempArea;
+  std::int32_t first_body_slot_ = kTempArea;
+  std::int32_t frame_size_ = 0;
+  std::int32_t alloc_cursor_ = 0;
+  int temp_depth_ = 0;
+  int label_counter_ = 0;
+};
+
+Result<CodegenResult> ModuleGen::run() {
+  // Data layout: heap bookkeeping slots first (loader initializes them),
+  // then globals (zero-initialized), then string literals as they appear.
+  result_.data.assign(16, 0);
+  result_.data_symbols[kHeapPtrSymbol] = 0;
+  result_.data_symbols[kHeapEndSymbol] = 8;
+  for (const auto& g : module_.globals) {
+    std::uint64_t off = result_.data.size();
+    Type t = g.type.is_byte() && g.array_size == 0 ? Type::int_type() : g.type;
+    std::uint64_t size = 8;
+    if (g.array_size > 0)
+      size = static_cast<std::uint64_t>(g.array_size) *
+             static_cast<std::uint64_t>(t.store_size());
+    size = (size + 7) / 8 * 8;
+    result_.data.insert(result_.data.end(), size, 0);
+    result_.data_symbols[g.name] = off;
+    globals_[g.name] = LocalVar{static_cast<std::int32_t>(off), t, g.array_size > 0};
+  }
+  for (const auto& f : module_.functions) {
+    minic::FuncSig sig;
+    sig.return_type = f.return_type;
+    for (const auto& p : f.params) sig.params.push_back(p.type);
+    function_sigs_[f.name] = sig;
+  }
+  if (!function_sigs_.contains("main"))
+    return Result<CodegenResult>::fail("codegen_error", "missing 'main'");
+
+  // Runtime scaffolding: entry stub and the alloc-failure stub.
+  AsmProgram& prog = result_.program;
+  prog.label(kEntrySymbol);
+  prog.call("main");
+  prog.hlt();
+  prog.label(kOomSymbol);
+  prog.movri(Reg::RAX, static_cast<std::int64_t>(kOomExitCode));
+  prog.hlt();
+  result_.functions.push_back(kEntrySymbol);
+  result_.functions.push_back(kOomSymbol);
+
+  for (const auto& f : module_.functions) {
+    FuncGen gen(*this, f, prog);
+    if (auto s = gen.run(); !s.is_ok()) return s.error();
+    result_.functions.push_back(f.name);
+  }
+  result_.address_taken.assign(address_taken_.begin(), address_taken_.end());
+  return std::move(result_);
+}
+
+}  // namespace
+
+Result<CodegenResult> generate(const Module& module) {
+  ModuleGen gen(module);
+  return gen.run();
+}
+
+}  // namespace deflection::codegen

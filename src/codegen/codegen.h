@@ -1,0 +1,32 @@
+// MiniC -> DX64 code generation (the untrusted producer's backend).
+//
+// A deliberately simple backend: every local and expression temporary lives
+// in an RSP-relative frame slot (within the kRspSlack exemption window), so
+// only *real* memory traffic — arrays, pointers, globals, the heap — shows
+// up as guardable Store instructions. That keeps the instrumentation
+// overhead profile shaped like the paper's LLVM-produced binaries, where
+// register allocation keeps scalar traffic off the guarded-store path.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/assemble.h"
+#include "minic/ast.h"
+#include "support/result.h"
+
+namespace deflection::codegen {
+
+struct CodegenResult {
+  isa::AsmProgram program;
+  Bytes data;                                    // initialized data image
+  std::map<std::string, std::uint64_t> data_symbols;
+  std::vector<std::string> functions;            // function labels, in order
+  std::vector<std::string> address_taken;        // future branch-target list
+};
+
+// Generates code for a type-checked module (run minic::analyze first).
+Result<CodegenResult> generate(const minic::Module& module);
+
+}  // namespace deflection::codegen

@@ -1,0 +1,70 @@
+#include "codegen/compile.h"
+
+#include "codegen/annotations.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+
+namespace deflection::codegen {
+
+Result<CompileOutput> finish(CodegenResult code, PolicySet policies,
+                             const InstrumentOptions* options) {
+  InstrumentOptions opts;
+  if (options != nullptr) opts = *options;
+  opts.policies = policies;
+  auto stats = instrument(code, opts);
+  if (!stats.is_ok()) return stats.error();
+
+  auto encoded = isa::assemble(code.program);
+  if (!encoded.is_ok()) return encoded.error();
+  const isa::Encoded& enc = encoded.value();
+
+  CompileOutput out;
+  out.stats = stats.value();
+  out.assembly_listing = code.program.to_string();
+  Dxo& dxo = out.dxo;
+  dxo.policies = policies;
+  dxo.text = enc.text;
+  dxo.data = code.data;
+  dxo.entry = kEntrySymbol;
+
+  // Symbol table: functions (from their labels) + data symbols.
+  for (const auto& fname : code.functions) {
+    auto it = enc.labels.find(fname);
+    if (it == enc.labels.end())
+      return Result<CompileOutput>::fail("link_error", "missing function label " + fname);
+    dxo.symbols.push_back(DxoSymbol{fname, Section::Text, it->second, true});
+  }
+  for (const auto& [name, offset] : code.data_symbols)
+    dxo.symbols.push_back(DxoSymbol{name, Section::Data, offset, false});
+
+  for (const auto& reloc : enc.relocs) {
+    bool internal = enc.labels.contains(reloc.symbol);
+    if (internal && dxo.find_symbol(reloc.symbol) == nullptr) {
+      // Label referenced via movri_sym but not exported as a function
+      // symbol (e.g. hand-written payloads): export it.
+      dxo.symbols.push_back(
+          DxoSymbol{reloc.symbol, Section::Text, enc.labels.at(reloc.symbol), false});
+    }
+    if (dxo.find_symbol(reloc.symbol) == nullptr)
+      return Result<CompileOutput>::fail("link_error", "undefined symbol " + reloc.symbol);
+    dxo.relocs.push_back(DxoReloc{reloc.offset, reloc.symbol, reloc.addend});
+  }
+
+  // The indirect-branch-target list: all address-taken functions.
+  dxo.branch_targets = code.address_taken;
+  return out;
+}
+
+Result<CompileOutput> compile(const std::string& source, PolicySet policies,
+                              const InstrumentOptions* options) {
+  auto parsed = minic::parse(source);
+  if (!parsed.is_ok()) return parsed.error();
+  minic::Module module = parsed.take();
+  if (auto s = minic::analyze(module); !s.is_ok()) return s.error();
+
+  auto generated = generate(module);
+  if (!generated.is_ok()) return generated.error();
+  return finish(generated.take(), policies, options);
+}
+
+}  // namespace deflection::codegen

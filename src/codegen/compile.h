@@ -1,0 +1,27 @@
+// The full untrusted producer pipeline:
+//   MiniC source -> parse -> sema -> codegen -> policy instrumentation
+//   -> assemble -> DXO link.
+#pragma once
+
+#include "codegen/dxo.h"
+#include "codegen/passes.h"
+
+namespace deflection::codegen {
+
+struct CompileOutput {
+  Dxo dxo;
+  InstrumentStats stats;
+  std::string assembly_listing;  // post-instrumentation, for debugging
+};
+
+// Compiles MiniC `source` with annotations for `policies`.
+Result<CompileOutput> compile(const std::string& source, PolicySet policies,
+                              const InstrumentOptions* options = nullptr);
+
+// Back half of the pipeline: instruments an already-generated program and
+// links the DXO. Exposed so tests and tools can feed hand-written assembly
+// (e.g. attack payloads) through the same producer machinery.
+Result<CompileOutput> finish(CodegenResult code, PolicySet policies,
+                             const InstrumentOptions* options = nullptr);
+
+}  // namespace deflection::codegen

@@ -1,0 +1,89 @@
+#include "codegen/dxo.h"
+
+namespace deflection::codegen {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x314F5844;  // "DXO1"
+// Parser hardening limits: the DXO arrives from an untrusted producer.
+constexpr std::uint64_t kMaxSection = 64ull << 20;
+constexpr std::uint32_t kMaxEntries = 1u << 20;
+}  // namespace
+
+Bytes Dxo::serialize() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.u32(kMagic);
+  w.u32(policies.mask());
+  w.str(entry);
+  w.blob(text);
+  w.blob(data);
+  w.u32(static_cast<std::uint32_t>(symbols.size()));
+  for (const auto& s : symbols) {
+    w.str(s.name);
+    w.u8(static_cast<std::uint8_t>(s.section));
+    w.u64(s.offset);
+    w.u8(s.is_function ? 1 : 0);
+  }
+  w.u32(static_cast<std::uint32_t>(relocs.size()));
+  for (const auto& r : relocs) {
+    w.u64(r.text_offset);
+    w.str(r.symbol);
+    w.i64(r.addend);
+  }
+  w.u32(static_cast<std::uint32_t>(branch_targets.size()));
+  for (const auto& t : branch_targets) w.str(t);
+  return out;
+}
+
+Result<Dxo> Dxo::deserialize(BytesView bytes) {
+  ByteReader r(bytes);
+  auto fail = [](const std::string& msg) { return Result<Dxo>::fail("dxo_malformed", msg); };
+
+  if (r.u32() != kMagic) return fail("bad magic");
+  Dxo dxo;
+  dxo.policies = PolicySet(r.u32());
+  dxo.entry = r.str();
+  dxo.text = r.blob();
+  dxo.data = r.blob();
+  if (!r.ok()) return fail("truncated sections");
+  if (dxo.text.size() > kMaxSection || dxo.data.size() > kMaxSection)
+    return fail("section too large");
+
+  std::uint32_t nsyms = r.u32();
+  if (nsyms > kMaxEntries) return fail("too many symbols");
+  for (std::uint32_t i = 0; i < nsyms && r.ok(); ++i) {
+    DxoSymbol s;
+    s.name = r.str();
+    std::uint8_t section = r.u8();
+    if (section > 1) return fail("bad section id");
+    s.section = static_cast<Section>(section);
+    s.offset = r.u64();
+    s.is_function = r.u8() != 0;
+    std::uint64_t limit = s.section == Section::Text ? dxo.text.size() : dxo.data.size();
+    if (s.offset > limit) return fail("symbol offset out of range");
+    dxo.symbols.push_back(std::move(s));
+  }
+
+  std::uint32_t nrelocs = r.u32();
+  if (nrelocs > kMaxEntries) return fail("too many relocations");
+  for (std::uint32_t i = 0; i < nrelocs && r.ok(); ++i) {
+    DxoReloc rel;
+    rel.text_offset = r.u64();
+    rel.symbol = r.str();
+    rel.addend = r.i64();
+    if (rel.text_offset + 8 > dxo.text.size()) return fail("relocation out of range");
+    dxo.relocs.push_back(std::move(rel));
+  }
+
+  std::uint32_t ntargets = r.u32();
+  if (ntargets > kMaxEntries) return fail("too many branch targets");
+  for (std::uint32_t i = 0; i < ntargets && r.ok(); ++i)
+    dxo.branch_targets.push_back(r.str());
+
+  if (!r.ok()) return fail("truncated object");
+  if (r.remaining() != 0) return fail("trailing bytes");
+  if (dxo.find_symbol(dxo.entry) == nullptr) return fail("missing entry symbol");
+  return dxo;
+}
+
+}  // namespace deflection::codegen

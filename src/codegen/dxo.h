@@ -1,0 +1,57 @@
+// DXO: the relocatable object format the producer delivers to the enclave.
+//
+// Mirrors the paper's "relocatable file" produced by static linking: one
+// self-contained object holding text, data, a symbol table, Abs64
+// relocation entries, and the indirect-branch-target list as *symbol
+// names* ("the symbol name on the list", Sec. IV-D) that the in-enclave
+// loader translates to addresses while rebasing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codegen/policy.h"
+#include "support/bytes.h"
+#include "support/result.h"
+
+namespace deflection::codegen {
+
+enum class Section : std::uint8_t { Text = 0, Data = 1 };
+
+struct DxoSymbol {
+  std::string name;
+  Section section = Section::Text;
+  std::uint64_t offset = 0;
+  bool is_function = false;
+};
+
+struct DxoReloc {
+  std::uint64_t text_offset = 0;  // offset of the imm64 field inside text
+  std::string symbol;
+  std::int64_t addend = 0;
+};
+
+struct Dxo {
+  // Policies this binary claims to carry annotations for; the consumer
+  // verifies the claim and rejects binaries whose mask does not cover the
+  // policies the data owner requires.
+  PolicySet policies;
+  Bytes text;
+  Bytes data;
+  std::string entry = "_start";
+  std::vector<DxoSymbol> symbols;
+  std::vector<DxoReloc> relocs;
+  std::vector<std::string> branch_targets;  // legitimate indirect targets
+
+  const DxoSymbol* find_symbol(const std::string& name) const {
+    for (const auto& s : symbols)
+      if (s.name == name) return &s;
+    return nullptr;
+  }
+
+  Bytes serialize() const;
+  static Result<Dxo> deserialize(BytesView bytes);
+};
+
+}  // namespace deflection::codegen

@@ -1,0 +1,350 @@
+#include "codegen/passes.h"
+
+#include <set>
+
+#include "codegen/annotations.h"
+#include "codegen/peephole.h"
+
+namespace deflection::codegen {
+
+using isa::AsmInstr;
+using isa::AsmItem;
+using isa::Cond;
+using isa::Mem;
+using isa::Op;
+using isa::Reg;
+
+namespace {
+
+bool mem_uses_scratch(const Mem& mem) {
+  return (mem.has_base && (mem.base == kScratch0 || mem.base == kScratch1)) ||
+         (mem.has_index && (mem.index == kScratch0 || mem.index == kScratch1));
+}
+
+bool is_store(const AsmInstr& ins) {
+  return ins.op == Op::Store || ins.op == Op::Store8 || ins.op == Op::StoreI;
+}
+
+// Stores to [RSP + small positive disp] are exempt (see kRspSlack).
+bool is_exempt_store(const AsmInstr& ins) {
+  return ins.mem.has_base && ins.mem.base == Reg::RSP && !ins.mem.has_index &&
+         ins.mem.disp >= 0 && ins.mem.disp + 8 <= kRspSlack;
+}
+
+bool writes_rsp_explicitly(const AsmInstr& ins) {
+  switch (isa::op_layout(ins.op)) {
+    case isa::Layout::RR:
+      if (ins.op == Op::CmpRR || ins.op == Op::TestRR || ins.op == Op::FCmpRR) return false;
+      return ins.rd == Reg::RSP;
+    case isa::Layout::RI32:
+      if (ins.op == Op::CmpRI) return false;
+      return ins.rd == Reg::RSP;
+    case isa::Layout::RI64:
+    case isa::Layout::RM:
+      return ins.rd == Reg::RSP;
+    case isa::Layout::R:
+      if (ins.op == Op::JmpInd || ins.op == Op::CallInd || ins.op == Op::Push) return false;
+      return ins.rd == Reg::RSP;
+    default:
+      return false;
+  }
+}
+
+bool sets_flags(Op op) {
+  return op == Op::CmpRR || op == Op::CmpRI || op == Op::TestRR || op == Op::FCmpRR;
+}
+
+// Small helper collecting annotation instructions for one pattern group.
+class PatternBuilder {
+ public:
+  PatternBuilder(std::vector<AsmItem>& out, int group) : out_(out), group_(group) {}
+
+  void instr(AsmInstr ins) {
+    ins.annotation = true;
+    ins.group = group_;
+    out_.push_back(AsmItem{AsmItem::Kind::Instr, {}, std::move(ins)});
+  }
+  // The guarded program operation itself (keeps annotation=false).
+  void guarded(AsmInstr ins) {
+    ins.group = group_;
+    out_.push_back(AsmItem{AsmItem::Kind::Instr, {}, std::move(ins)});
+  }
+  void label(const std::string& name) {
+    out_.push_back(AsmItem{AsmItem::Kind::Label, name, {}});
+  }
+
+  void movri(Reg rd, std::int64_t imm) { instr({.op = Op::MovRI, .rd = rd, .imm = imm}); }
+  void movrr(Reg rd, Reg rs) { instr({.op = Op::MovRR, .rd = rd, .rs = rs}); }
+  void load(Reg rd, Mem mem) { instr({.op = Op::Load, .rd = rd, .mem = mem}); }
+  void load8(Reg rd, Mem mem) { instr({.op = Op::Load8, .rd = rd, .mem = mem}); }
+  void store(Mem mem, Reg rs) { instr({.op = Op::Store, .rs = rs, .mem = mem}); }
+  void storei(Mem mem, std::int32_t imm) { instr({.op = Op::StoreI, .mem = mem, .imm = imm}); }
+  void lea(Reg rd, Mem mem) { instr({.op = Op::Lea, .rd = rd, .mem = mem}); }
+  void cmprr(Reg rd, Reg rs) { instr({.op = Op::CmpRR, .rd = rd, .rs = rs}); }
+  void cmpri(Reg rd, std::int64_t imm) { instr({.op = Op::CmpRI, .rd = rd, .imm = imm}); }
+  void addri(Reg rd, std::int64_t imm) { instr({.op = Op::AddRI, .rd = rd, .imm = imm}); }
+  void subri(Reg rd, std::int64_t imm) { instr({.op = Op::SubRI, .rd = rd, .imm = imm}); }
+  void subrr(Reg rd, Reg rs) { instr({.op = Op::SubRR, .rd = rd, .rs = rs}); }
+  void jcc(Cond cond, const std::string& target) {
+    instr({.op = Op::Jcc, .cond = cond, .target = target});
+  }
+
+ private:
+  std::vector<AsmItem>& out_;
+  int group_;
+};
+
+class Instrumenter {
+ public:
+  Instrumenter(CodegenResult& code, const InstrumentOptions& options)
+      : code_(code), options_(options) {}
+
+  Result<InstrumentStats> run() {
+    if (options_.optimize) peephole_optimize(code_.program);
+    if (options_.custom_pass) {
+      if (auto s = options_.custom_pass(code_); !s.is_ok()) return s.error();
+    }
+    if (options_.policies.has(kPolicyP1) || options_.policies.has(kPolicyP3) ||
+        options_.policies.has(kPolicyP4)) {
+      if (auto s = pass_store_guards(); !s.is_ok()) return s.error();
+    }
+    if (options_.policies.has(kPolicyP2)) pass_rsp_guards();
+    if (options_.policies.has(kPolicyP5)) {
+      if (auto s = pass_cfi(); !s.is_ok()) return s.error();
+    }
+    if (options_.policies.has(kPolicyP6)) pass_aex_probes();
+    if (needs_violation_stub()) append_violation_stub();
+    return stats_;
+  }
+
+ private:
+  bool needs_violation_stub() const {
+    auto p = options_.policies;
+    return p.has(kPolicyP1) || p.has(kPolicyP2) || p.has(kPolicyP3) ||
+           p.has(kPolicyP4) || p.has(kPolicyP5) || p.has(kPolicyP6);
+  }
+
+  // ---- P1/P3/P4: store-bound annotations (paper Fig. 5 shape) ----
+  Status pass_store_guards() {
+    std::vector<AsmItem> out;
+    out.reserve(code_.program.items().size() * 2);
+    for (auto& item : code_.program.items()) {
+      if (item.kind != AsmItem::Kind::Instr || !is_store(item.instr) ||
+          item.instr.group != 0 || is_exempt_store(item.instr)) {
+        out.push_back(std::move(item));
+        continue;
+      }
+      if (mem_uses_scratch(item.instr.mem))
+        return Status::fail("instrument_scratch",
+                            "guarded store uses a reserved scratch register");
+      PatternBuilder p(out, next_group_++);
+      p.lea(kScratch0, item.instr.mem);
+      p.movri(kScratch1, kMagicStoreLo);
+      p.cmprr(kScratch0, kScratch1);
+      p.jcc(Cond::B, kViolationSymbol);
+      p.movri(kScratch1, kMagicStoreHi);
+      p.cmprr(kScratch0, kScratch1);
+      p.jcc(Cond::AE, kViolationSymbol);
+      p.guarded(std::move(item.instr));
+      ++stats_.store_guards;
+    }
+    code_.program.items() = std::move(out);
+    return Status::ok();
+  }
+
+  // ---- P2: RSP-validity annotations after explicit stack-pointer writes ----
+  void pass_rsp_guards() {
+    std::vector<AsmItem> out;
+    out.reserve(code_.program.items().size() * 2);
+    for (auto& item : code_.program.items()) {
+      if (item.kind != AsmItem::Kind::Instr || item.instr.group != 0 ||
+          !writes_rsp_explicitly(item.instr)) {
+        out.push_back(std::move(item));
+        continue;
+      }
+      PatternBuilder p(out, next_group_++);
+      p.guarded(std::move(item.instr));  // the RSP write heads the pattern
+      p.movri(kScratch1, kMagicStackLo);
+      p.cmprr(Reg::RSP, kScratch1);
+      p.jcc(Cond::B, kViolationSymbol);
+      p.movri(kScratch1, kMagicStackHi);
+      p.cmprr(Reg::RSP, kScratch1);
+      p.jcc(Cond::A, kViolationSymbol);
+      ++stats_.rsp_guards;
+    }
+    code_.program.items() = std::move(out);
+  }
+
+  // ---- P5: shadow stack (backward edges) + branch-target table checks
+  //      (forward edges) ----
+  Status pass_cfi() {
+    std::set<std::string> prologue_funcs(code_.functions.begin(), code_.functions.end());
+    prologue_funcs.erase(kEntrySymbol);   // entered by jump, no return address
+    prologue_funcs.erase(kOomSymbol);     // direct-jump trap stub
+    prologue_funcs.erase(kViolationSymbol);
+
+    std::vector<AsmItem> out;
+    out.reserve(code_.program.items().size() * 2);
+    for (auto& item : code_.program.items()) {
+      if (item.kind == AsmItem::Kind::Label) {
+        bool is_func = prologue_funcs.contains(item.label);
+        out.push_back(std::move(item));
+        if (is_func) {
+          emit_shadow_prologue(out);
+          ++stats_.shadow_prologues;
+        }
+        continue;
+      }
+      AsmInstr& ins = item.instr;
+      if (ins.group == 0 && ins.op == Op::Ret) {
+        emit_shadow_epilogue(out, std::move(ins));
+        ++stats_.shadow_epilogues;
+        continue;
+      }
+      if (ins.group == 0 && (ins.op == Op::CallInd || ins.op == Op::JmpInd)) {
+        if (ins.rd == kScratch0 || ins.rd == kScratch1)
+          return Status::fail("instrument_scratch",
+                              "indirect branch uses a reserved scratch register");
+        emit_indirect_guard(out, std::move(ins));
+        ++stats_.indirect_guards;
+        continue;
+      }
+      out.push_back(std::move(item));
+    }
+    code_.program.items() = std::move(out);
+    return Status::ok();
+  }
+
+  void emit_shadow_prologue(std::vector<AsmItem>& out) {
+    PatternBuilder p(out, next_group_++);
+    p.movri(kScratch1, kMagicSsPtr);
+    p.load(kScratch0, Mem::base_disp(kScratch1, 0));   // top
+    p.load(kScratch1, Mem::base_disp(Reg::RSP, 0));    // return address
+    p.store(Mem::base_disp(kScratch0, 0), kScratch1);  // *top = retaddr
+    p.addri(kScratch0, 8);
+    p.movri(kScratch1, kMagicSsLimit);
+    p.cmprr(kScratch0, kScratch1);
+    p.jcc(Cond::A, kViolationSymbol);                  // shadow-stack overflow
+    p.movri(kScratch1, kMagicSsPtr);
+    p.store(Mem::base_disp(kScratch1, 0), kScratch0);  // save new top
+  }
+
+  void emit_shadow_epilogue(std::vector<AsmItem>& out, AsmInstr ret) {
+    PatternBuilder p(out, next_group_++);
+    p.movri(kScratch1, kMagicSsPtr);
+    p.load(kScratch0, Mem::base_disp(kScratch1, 0));   // top
+    p.subri(kScratch0, 8);
+    p.movri(kScratch1, kMagicSsBase);
+    p.cmprr(kScratch0, kScratch1);
+    p.jcc(Cond::B, kViolationSymbol);                  // shadow-stack underflow
+    p.movri(kScratch1, kMagicSsPtr);
+    p.store(Mem::base_disp(kScratch1, 0), kScratch0);  // save new top
+    p.load(kScratch0, Mem::base_disp(kScratch0, 0));   // expected retaddr
+    p.load(kScratch1, Mem::base_disp(Reg::RSP, 0));    // actual retaddr
+    p.cmprr(kScratch0, kScratch1);
+    p.jcc(Cond::NE, kViolationSymbol);                 // backward-edge violation
+    p.guarded(std::move(ret));
+  }
+
+  void emit_indirect_guard(std::vector<AsmItem>& out, AsmInstr branch) {
+    PatternBuilder p(out, next_group_++);
+    p.movrr(kScratch0, branch.rd);
+    p.movri(kScratch1, kMagicTextBase);
+    p.subrr(kScratch0, kScratch1);                     // offset into text
+    p.movri(kScratch1, kMagicTextSize);
+    p.cmprr(kScratch0, kScratch1);
+    p.jcc(Cond::AE, kViolationSymbol);                 // outside the text
+    p.movri(kScratch1, kMagicBtTable);
+    p.load8(kScratch0, Mem::base_index(kScratch1, kScratch0, 0));
+    p.cmpri(kScratch0, 1);
+    p.jcc(Cond::NE, kViolationSymbol);                 // not a listed target
+    p.guarded(std::move(branch));
+  }
+
+  // ---- P6: SSA-marker AEX probes (HyperRace-style) ----
+  void pass_aex_probes() {
+    std::vector<AsmItem> out;
+    out.reserve(code_.program.items().size() * 2);
+    int since_probe = 0;
+    int prev_group = 0;
+    // FLAGS liveness: a probe clobbers the flags, so none may be inserted
+    // between a flag-setting compare and the conditional jump that consumes
+    // it — even with unrelated instructions (e.g. MovRI materializations)
+    // in between.
+    bool flags_live = false;
+    bool pending_label_probe = false;
+
+    auto emit_probe = [&]() {
+      PatternBuilder p(out, next_group_++);
+      std::string lok = ".Laex" + std::to_string(stats_.aex_probes);
+      p.movri(kScratch0, kMagicSsaMarker);
+      p.load(kScratch0, Mem::base_disp(kScratch0, 0));
+      p.cmpri(kScratch0, kSsaMarkerValue);
+      p.jcc(Cond::E, lok);                             // marker intact: no AEX
+      p.movri(kScratch0, kMagicAexCount);
+      p.load(kScratch1, Mem::base_disp(kScratch0, 0));
+      p.addri(kScratch1, 1);
+      p.store(Mem::base_disp(kScratch0, 0), kScratch1);
+      p.cmpri(kScratch1, options_.aex_threshold);
+      p.jcc(Cond::G, kViolationSymbol);                // too many AEXes: abort
+      p.movri(kScratch0, kMagicSsaMarker);
+      p.storei(Mem::base_disp(kScratch0, 0), kSsaMarkerValue);
+      p.label(lok);
+      ++stats_.aex_probes;
+      since_probe = 0;
+      prev_group = 0;
+    };
+
+    for (auto& item : code_.program.items()) {
+      if (item.kind == AsmItem::Kind::Label) {
+        // Emit the probe only after the whole run of co-located labels, so
+        // every label in the run points at the probe itself.
+        out.push_back(std::move(item));
+        pending_label_probe = true;
+        continue;
+      }
+      const AsmInstr& ins = item.instr;
+      if (pending_label_probe) {
+        emit_probe();  // labels never sit inside a live-flags window
+        pending_label_probe = false;
+      } else {
+        bool boundary = ins.group == 0 || ins.group != prev_group;
+        if (since_probe >= options_.probe_spacing && boundary && !flags_live)
+          emit_probe();
+      }
+      prev_group = ins.group;
+      if (sets_flags(ins.op)) flags_live = true;
+      else if (ins.op == Op::Jcc) flags_live = false;
+      ++since_probe;
+      out.push_back(std::move(item));
+    }
+    code_.program.items() = std::move(out);
+  }
+
+  void append_violation_stub() {
+    auto& prog = code_.program;
+    prog.label(kViolationSymbol);
+    AsmInstr mov{.op = Op::MovRI, .rd = Reg::RAX,
+                 .imm = static_cast<std::int64_t>(kViolationExitCode)};
+    mov.annotation = true;
+    prog.emit(std::move(mov));
+    AsmInstr hlt{.op = Op::Hlt};
+    hlt.annotation = true;
+    prog.emit(std::move(hlt));
+    code_.functions.push_back(kViolationSymbol);
+  }
+
+  CodegenResult& code_;
+  const InstrumentOptions& options_;
+  InstrumentStats stats_;
+  int next_group_ = 1;
+};
+
+}  // namespace
+
+Result<InstrumentStats> instrument(CodegenResult& code, const InstrumentOptions& options) {
+  Instrumenter pass(code, options);
+  return pass.run();
+}
+
+}  // namespace deflection::codegen

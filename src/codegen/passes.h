@@ -1,0 +1,48 @@
+// Policy instrumentation passes (the producer's "backend passes", paper
+// Fig. 4): per-policy switches that rewrite the assembly program emitted by
+// codegen, inserting the security annotations the in-enclave verifier later
+// checks. Run order matters and is fixed by instrument():
+//   P1 (store guards) -> P2 (RSP guards) -> P5 (shadow stack + forward CFI)
+//   -> P6 (SSA probes, on the final stream) -> violation stub.
+#pragma once
+
+#include <functional>
+
+#include "codegen/annotations.h"
+#include "codegen/codegen.h"
+#include "codegen/policy.h"
+
+namespace deflection::codegen {
+
+struct InstrumentOptions {
+  PolicySet policies;
+  // AEX-count abort threshold baked into P6 probes.
+  std::int32_t aex_threshold = kDefaultAexThreshold;
+  // Max final-stream instructions between P6 probes.
+  int probe_spacing = kProbeSpacing;
+  // Run the producer's peephole optimizer before instrumenting (ablation
+  // knob: relative overhead is sensitive to baseline code quality).
+  bool optimize = false;
+  // Plugin hook (paper Sec. V-A: "high-level APIs that allow developers to
+  // implement their instrumentation ... passes"): runs FIRST, before the
+  // built-in policy passes, so its inserted code is itself policed (e.g.
+  // its stores get P1 guards). Used for on-demand policies and quick
+  // 1-day-vulnerability patches.
+  std::function<Status(CodegenResult&)> custom_pass;
+};
+
+// Statistics for the producer log / benches.
+struct InstrumentStats {
+  int store_guards = 0;
+  int rsp_guards = 0;
+  int shadow_prologues = 0;
+  int shadow_epilogues = 0;
+  int indirect_guards = 0;
+  int aex_probes = 0;
+};
+
+// Instruments `code` in place according to the options. `code.functions`
+// must list every function label (entry stubs included).
+Result<InstrumentStats> instrument(CodegenResult& code, const InstrumentOptions& options);
+
+}  // namespace deflection::codegen

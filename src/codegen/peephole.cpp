@@ -1,0 +1,111 @@
+#include "codegen/peephole.h"
+
+namespace deflection::codegen {
+
+using isa::AsmInstr;
+using isa::AsmItem;
+using isa::Layout;
+using isa::Mem;
+using isa::Op;
+using isa::Reg;
+
+namespace {
+
+bool same_slot(const Mem& a, const Mem& b) {
+  return a.has_base && b.has_base && a.base == Reg::RSP && b.base == Reg::RSP &&
+         !a.has_index && !b.has_index && a.disp == b.disp;
+}
+
+bool is_store_slot(const AsmInstr& ins) {
+  return ins.op == Op::Store && ins.mem.has_base && ins.mem.base == Reg::RSP &&
+         !ins.mem.has_index;
+}
+bool is_load_slot(const AsmInstr& ins) {
+  return ins.op == Op::Load && ins.mem.has_base && ins.mem.base == Reg::RSP &&
+         !ins.mem.has_index;
+}
+
+// One fixpoint iteration; returns instructions removed.
+int pass_once(std::vector<AsmItem>& items) {
+  int removed = 0;
+  std::vector<AsmItem> out;
+  out.reserve(items.size());
+
+  auto last_instr = [&]() -> AsmInstr* {
+    if (out.empty() || out.back().kind != AsmItem::Kind::Instr) return nullptr;
+    return &out.back().instr;
+  };
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    AsmItem& item = items[i];
+    if (item.kind != AsmItem::Kind::Instr) {
+      out.push_back(std::move(item));
+      continue;
+    }
+    AsmInstr& ins = item.instr;
+
+    // Rule 1: self-move.
+    if (ins.op == Op::MovRR && ins.rd == ins.rs) {
+      ++removed;
+      continue;
+    }
+
+    AsmInstr* prev = last_instr();
+
+    // Rule 2: store [rsp+o], R ; load R, [rsp+o]  -> drop the load.
+    if (prev != nullptr && is_load_slot(ins) && is_store_slot(*prev) &&
+        prev->rs == ins.rd && same_slot(prev->mem, ins.mem)) {
+      ++removed;
+      continue;
+    }
+
+    // Rule 3 (binary-operand shuffle with a constant RHS):
+    //   store [rsp+t], RAX ; movri RAX, imm ; movrr RBX, RAX ;
+    //   load RAX, [rsp+t]
+    // ->
+    //   store [rsp+t], RAX ; movri RBX, imm
+    // (keeps the slot live for any later reads; removes two instructions).
+    if (prev != nullptr && ins.op == Op::MovRI && ins.rd == Reg::RAX &&
+        ins.reloc_symbol.empty() && is_store_slot(*prev) && prev->rs == Reg::RAX &&
+        i + 2 < items.size() && items[i + 1].kind == AsmItem::Kind::Instr &&
+        items[i + 2].kind == AsmItem::Kind::Instr) {
+      const AsmInstr& mov = items[i + 1].instr;
+      const AsmInstr& reload = items[i + 2].instr;
+      if (mov.op == Op::MovRR && mov.rs == Reg::RAX && mov.rd != Reg::RAX &&
+          is_load_slot(reload) && reload.rd == Reg::RAX &&
+          same_slot(reload.mem, prev->mem)) {
+        AsmInstr folded = ins;
+        folded.rd = mov.rd;
+        out.push_back(AsmItem{AsmItem::Kind::Instr, {}, std::move(folded)});
+        i += 2;  // consume movrr + load
+        removed += 2;
+        continue;
+      }
+    }
+
+    // Rule 4: load R, [slot] right after load R, [same slot] (re-load).
+    if (prev != nullptr && is_load_slot(ins) && is_load_slot(*prev) &&
+        prev->rd == ins.rd && same_slot(prev->mem, ins.mem)) {
+      ++removed;
+      continue;
+    }
+
+    out.push_back(std::move(item));
+  }
+  items = std::move(out);
+  return removed;
+}
+
+}  // namespace
+
+int peephole_optimize(isa::AsmProgram& program) {
+  int total = 0;
+  for (;;) {
+    int removed = pass_once(program.items());
+    total += removed;
+    if (removed == 0) break;
+  }
+  return total;
+}
+
+}  // namespace deflection::codegen

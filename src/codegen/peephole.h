@@ -1,0 +1,21 @@
+// Producer-side peephole optimizer (opt-in).
+//
+// The naive backend spills every temporary to an (exempt) RSP-relative
+// slot; this pass removes the most common redundant spill traffic inside
+// straight-line windows. It exists both as ordinary compiler hygiene and as
+// an *ablation knob*: the paper's overheads were measured over LLVM -O2
+// output, and relative instrumentation overhead is sensitive to baseline
+// code quality (see bench_ablation part D).
+//
+// Runs BEFORE the policy passes, on program instructions only, so the
+// instrumentation always sees (and polices) the final instruction stream.
+#pragma once
+
+#include "isa/assemble.h"
+
+namespace deflection::codegen {
+
+// Applies the rewrites until fixpoint; returns instructions removed.
+int peephole_optimize(isa::AsmProgram& program);
+
+}  // namespace deflection::codegen

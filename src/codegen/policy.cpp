@@ -1,0 +1,18 @@
+#include "codegen/policy.h"
+
+namespace deflection {
+
+std::string PolicySet::to_string() const {
+  if (mask_ == 0) return "none";
+  std::string out;
+  static const char* kNames[] = {"P0", "P1", "P2", "P3", "P4", "P5", "P6"};
+  for (int i = 0; i < 7; ++i) {
+    if ((mask_ & (1u << i)) != 0) {
+      if (!out.empty()) out += "+";
+      out += kNames[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace deflection

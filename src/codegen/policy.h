@@ -1,0 +1,64 @@
+// Security policy set (the paper's P0-P6).
+//
+//  P0: enclave entry/exit control — restricted ECalls, encrypted + padded
+//      OCall output, entropy budget. Enforced by the bootstrap enclave's
+//      configuration (src/core), not by code instrumentation.
+//  P1: no explicit out-of-enclave memory stores (store-bound annotations).
+//  P2: no implicit out-of-enclave stores via RSP (RSP-write annotations +
+//      loader guard pages around the stack).
+//  P3: no writes to security-critical in-enclave data (same annotation
+//      shape as P1 with tightened bounds rewritten by the loader).
+//  P4: no runtime code modification (bounds exclude the RWX text pages).
+//  P5: control-flow integrity — forward edges checked against the loaded
+//      branch-target table, backward edges via a shadow stack.
+//  P6: AEX-frequency side/covert-channel mitigation (SSA marker probes,
+//      HyperRace-style).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace deflection {
+
+enum Policy : std::uint32_t {
+  kPolicyP0 = 1u << 0,
+  kPolicyP1 = 1u << 1,
+  kPolicyP2 = 1u << 2,
+  kPolicyP3 = 1u << 3,
+  kPolicyP4 = 1u << 4,
+  kPolicyP5 = 1u << 5,
+  kPolicyP6 = 1u << 6,
+};
+
+class PolicySet {
+ public:
+  constexpr PolicySet() = default;
+  constexpr explicit PolicySet(std::uint32_t mask) : mask_(mask) {}
+
+  constexpr bool has(Policy p) const { return (mask_ & p) != 0; }
+  constexpr PolicySet with(Policy p) const { return PolicySet(mask_ | p); }
+  constexpr PolicySet without(Policy p) const { return PolicySet(mask_ & ~p); }
+  constexpr std::uint32_t mask() const { return mask_; }
+  // True if this set enforces at least everything `required` does.
+  constexpr bool covers(PolicySet required) const {
+    return (mask_ & required.mask_) == required.mask_;
+  }
+  constexpr bool operator==(const PolicySet&) const = default;
+
+  // The evaluation configurations of the paper (Table II columns).
+  static constexpr PolicySet none() { return PolicySet(0); }
+  static constexpr PolicySet p1() { return PolicySet(kPolicyP1); }
+  static constexpr PolicySet p1p2() { return PolicySet(kPolicyP1 | kPolicyP2); }
+  static constexpr PolicySet p1to5() {
+    return PolicySet(kPolicyP1 | kPolicyP2 | kPolicyP3 | kPolicyP4 | kPolicyP5);
+  }
+  static constexpr PolicySet p1to6() { return p1to5().with(kPolicyP6); }
+  static constexpr PolicySet all() { return p1to6().with(kPolicyP0); }
+
+  std::string to_string() const;
+
+ private:
+  std::uint32_t mask_ = 0;
+};
+
+}  // namespace deflection

@@ -1,0 +1,267 @@
+#include "core/bootstrap.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "codegen/annotations.h"
+#include "verifier/loader.h"
+
+namespace deflection::core {
+
+namespace {
+constexpr const char* kConsumerVersion = "deflection-bootstrap-1.0";
+}
+
+Bytes BootstrapEnclave::consumer_image(const BootstrapConfig& config) {
+  // A deterministic stand-in for the loader/verifier code pages: version
+  // string plus the security-relevant configuration, so any change to the
+  // consumer's behaviour changes the measurement (as rebuilding the real
+  // enclave binary would).
+  Bytes image;
+  ByteWriter w(image);
+  w.str(kConsumerVersion);
+  w.u32(config.verify.required.mask());
+  w.u64(config.output_pad_block);
+  w.u64(config.entropy_budget);
+  w.u64(config.time_blur_quantum);
+  w.u8(config.sgxv2 ? 1 : 0);
+  w.u8(config.allow_debug_print ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(config.verify.max_aex_threshold));
+  w.u32(static_cast<std::uint32_t>(config.verify.max_probe_gap));
+  for (std::uint8_t n : config.verify.allowed_ocalls) w.u8(n);
+  return image;
+}
+
+crypto::Digest BootstrapEnclave::expected_mrenclave(const BootstrapConfig& config,
+                                                    std::uint64_t enclave_base_arg) {
+  // Replays the measurement the hardware performs in Loader::build_enclave;
+  // the data owner runs this locally against the published consumer source.
+  std::uint64_t base = enclave_base_arg == 0 ? config.enclave_base : enclave_base_arg;
+  verifier::EnclaveLayout layout = verifier::EnclaveLayout::compute(base, config.layout);
+  sgx::AddressSpace space(config.host_base, config.host_size, base, layout.enclave_size);
+  sgx::Enclave shadow(space, layout.ssa_addr);
+  auto built = verifier::Loader::build_enclave(shadow, base, config.layout,
+                                               consumer_image(config));
+  (void)built;
+  return shadow.mrenclave();
+}
+
+BootstrapEnclave::BootstrapEnclave(sgx::QuotingEnclave& quoting,
+                                   const BootstrapConfig& config)
+    : config_(config), rng_(config.rng_seed), quoting_(quoting) {
+  layout_ = verifier::EnclaveLayout::compute(config_.enclave_base, config_.layout);
+  space_ = std::make_unique<sgx::AddressSpace>(config_.host_base, config_.host_size,
+                                               config_.enclave_base, layout_.enclave_size);
+  enclave_ = std::make_unique<sgx::Enclave>(*space_, layout_.ssa_addr);
+  auto built = verifier::Loader::build_enclave(*enclave_, config_.enclave_base,
+                                               config_.layout, consumer_image(config_));
+  if (built.is_ok()) layout_ = built.value();
+  enclave_->set_aex_policy(config_.aex);
+  enclave_->set_sgxv2(config_.sgxv2);
+}
+
+crypto::Digest BootstrapEnclave::channel_report_data(Role role,
+                                                     std::uint64_t enclave_dh_public) {
+  Bytes msg;
+  ByteWriter w(msg);
+  w.u8(static_cast<std::uint8_t>(role));
+  w.u64(enclave_dh_public);
+  return crypto::Sha256::hash(msg);
+}
+
+BootstrapEnclave::ChannelOffer BootstrapEnclave::open_channel(
+    Role role, std::uint64_t peer_dh_public) {
+  crypto::DhKeyPair pair = crypto::dh_generate(rng_);
+  crypto::Key256 key = crypto::dh_shared_key(pair.secret, peer_dh_public);
+  if (role == Role::DataOwner)
+    owner_key_ = key;
+  else
+    provider_key_ = key;
+  ChannelOffer offer;
+  offer.enclave_dh_public = pair.public_value;
+  offer.quote = quoting_.quote(enclave_->mrenclave(),
+                               channel_report_data(role, pair.public_value));
+  return offer;
+}
+
+Result<crypto::Digest> BootstrapEnclave::ecall_receive_binary(BytesView sealed) {
+  if (!provider_key_.has_value())
+    return Result<crypto::Digest>::fail("no_channel", "code-provider channel not open");
+  auto plain = crypto::aead_open(*provider_key_, sealed);
+  if (!plain.has_value())
+    return Result<crypto::Digest>::fail("auth_fail", "binary payload failed authentication");
+  auto dxo = codegen::Dxo::deserialize(*plain);
+  if (!dxo.is_ok()) return dxo.error();
+  dxo_ = dxo.take();
+  verified_ = false;
+  loaded_.reset();
+  // The paper's flow: the bootstrap extracts the service-code measurement
+  // and forwards it to the data owner, who approves before feeding data.
+  return crypto::Sha256::hash(*plain);
+}
+
+Status BootstrapEnclave::ecall_receive_userdata(BytesView sealed) {
+  if (!owner_key_.has_value())
+    return Status::fail("no_channel", "data-owner channel not open");
+  auto plain = crypto::aead_open(*owner_key_, sealed);
+  if (!plain.has_value())
+    return Status::fail("auth_fail", "user data failed authentication");
+  inbox_.push_back(std::move(*plain));
+  return Status::ok();
+}
+
+Result<std::uint64_t> BootstrapEnclave::handle_ocall(std::uint8_t num, std::uint64_t rdi,
+                                                     std::uint64_t rsi, std::uint64_t rdx,
+                                                     RunOutcome& outcome) {
+  (void)rdx;
+  switch (num) {
+    case codegen::kOcallSend: {
+      // P0 wrapper: copy out of the enclave, enforce the entropy budget,
+      // encrypt under the data-owner session key and pad to a fixed block.
+      if (rsi > config_.host_size)
+        return Result<std::uint64_t>::fail("ocall_send_len", "implausible send length");
+      auto payload = space_->copy_out(rdi, rsi);
+      if (!payload.is_ok())
+        return Result<std::uint64_t>::fail("ocall_send_oob", "send buffer unmapped");
+      if (entropy_spent_ + rsi > config_.entropy_budget)
+        return Result<std::uint64_t>::fail("entropy_budget",
+                                           "output exceeds the entropy budget");
+      entropy_spent_ += rsi;
+      if (!owner_key_.has_value())
+        return Result<std::uint64_t>::fail("no_channel", "no data-owner channel");
+      Bytes framed;
+      ByteWriter w(framed);
+      w.u64(rsi);  // true length inside the padded frame
+      w.bytes(BytesView(payload.value()));
+      std::uint64_t block = config_.output_pad_block;
+      std::uint64_t padded = (framed.size() + block - 1) / block * block;
+      framed.resize(padded, 0);
+      crypto::Nonce96 nonce{};
+      std::uint64_t n0 = rng_.next(), n1 = rng_.next();
+      std::memcpy(nonce.data(), &n0, 8);
+      std::memcpy(nonce.data() + 8, &n1, 4);
+      outcome.sealed_output.push_back(crypto::aead_seal(*owner_key_, nonce, framed));
+      return rsi;
+    }
+    case codegen::kOcallRecv: {
+      if (inbox_.empty()) return 0;  // nothing pending
+      Bytes& msg = inbox_.front();
+      std::uint64_t n = std::min<std::uint64_t>(msg.size(), rsi);
+      if (auto s = space_->copy_in(rdi, BytesView(msg.data(), n)); !s.is_ok())
+        return Result<std::uint64_t>::fail("ocall_recv_oob", "recv buffer unmapped");
+      inbox_.pop_front();
+      return n;
+    }
+    case codegen::kOcallPrint: {
+      if (!config_.allow_debug_print)
+        return Result<std::uint64_t>::fail("ocall_denied",
+                                           "debug print denied by enclave configuration");
+      outcome.debug_prints.push_back(static_cast<std::int64_t>(rdi));
+      return 0;
+    }
+    default:
+      return Result<std::uint64_t>::fail("ocall_unknown", "OCall not in the allowed set");
+  }
+}
+
+Result<Bytes> BootstrapEnclave::seal_service_state() {
+  if (!verified_ || !loaded_.has_value())
+    return Result<Bytes>::fail("no_state", "no verified service loaded");
+  // Snapshot globals + the heap up to the current bump pointer.
+  std::uint64_t heap_ptr = loaded_->heap_base;
+  auto slot = loaded_->symbols.find(codegen::kHeapPtrSymbol);
+  sgx::MemFault mf;
+  if (slot != loaded_->symbols.end()) {
+    if (!space_->read_u64(slot->second, heap_ptr, mf))
+      return Result<Bytes>::fail("seal_read", "cannot read heap pointer");
+  }
+  std::uint64_t end = std::max(heap_ptr, loaded_->data_base + loaded_->data_image_size);
+  auto snapshot = space_->copy_out(loaded_->data_base, end - loaded_->data_base);
+  if (!snapshot.is_ok()) return snapshot.error();
+
+  Bytes plain;
+  ByteWriter w(plain);
+  w.u64(end - loaded_->data_base);
+  w.u64(heap_ptr - loaded_->data_base);  // heap offset, layout-independent
+  w.bytes(BytesView(snapshot.value()));
+  crypto::Key256 key = quoting_.seal_key(enclave_->mrenclave());
+  crypto::Nonce96 nonce{};
+  std::uint64_t n0 = rng_.next(), n1 = rng_.next();
+  std::memcpy(nonce.data(), &n0, 8);
+  std::memcpy(nonce.data() + 8, &n1, 4);
+  return crypto::aead_seal(key, nonce, plain);
+}
+
+Status BootstrapEnclave::unseal_service_state(BytesView sealed) {
+  if (!verified_ || !loaded_.has_value())
+    return Status::fail("no_state", "no verified service loaded");
+  crypto::Key256 key = quoting_.seal_key(enclave_->mrenclave());
+  auto plain = crypto::aead_open(key, sealed);
+  if (!plain.has_value())
+    return Status::fail("unseal_fail",
+                        "sealed blob does not match this enclave/platform");
+  ByteReader r{BytesView(*plain)};
+  std::uint64_t size = r.u64();
+  std::uint64_t heap_off = r.u64();
+  Bytes image = r.bytes(size);
+  if (!r.ok() || r.remaining() != 0 || heap_off > size)
+    return Status::fail("unseal_malformed", "sealed state is malformed");
+  if (loaded_->data_base + size > loaded_->heap_end)
+    return Status::fail("unseal_size", "sealed state larger than the data region");
+  if (auto s = space_->copy_in(loaded_->data_base, BytesView(image)); !s.is_ok())
+    return s;
+  auto slot = loaded_->symbols.find(codegen::kHeapPtrSymbol);
+  sgx::MemFault mf;
+  if (slot != loaded_->symbols.end() &&
+      !space_->write_u64(slot->second, loaded_->data_base + heap_off, mf))
+    return Status::fail("unseal_write", "cannot restore heap pointer");
+  return Status::ok();
+}
+
+Result<RunOutcome> BootstrapEnclave::ecall_run() {
+  if (!dxo_.has_value())
+    return Result<RunOutcome>::fail("no_binary", "no service binary delivered");
+  if (!verified_) {
+    verifier::Loader loader(*enclave_, layout_);
+    auto loaded = loader.load(*dxo_);
+    if (!loaded.is_ok()) return loaded.error();
+    loaded_ = loaded.take();
+    auto report = verifier::verify(*space_, *loaded_, config_.verify);
+    if (!report.is_ok()) return report.error();
+    report_ = report.take();
+    if (auto s = verifier::rewrite_immediates(*space_, *loaded_, report_); !s.is_ok())
+      return s.error();
+    // SGXv2 path: with relocation + rewriting done, the consumer never
+    // writes the text again — restrict it to RX so self-modification is
+    // also hardware-impossible (not just P4-checked).
+    if (config_.sgxv2) {
+      if (auto s = enclave_->modify_page_perms(layout_.text_base, layout_.text_size,
+                                               sgx::kPermRX);
+          !s.is_ok())
+        return s.error();
+    }
+    verified_ = true;
+  }
+
+  RunOutcome outcome;
+  vm::Vm machine(*enclave_, config_.vm);
+  if (trace_) machine.set_trace_hook(trace_);
+  machine.set_ocall_handler([this, &outcome](std::uint8_t num, std::uint64_t rdi,
+                                             std::uint64_t rsi, std::uint64_t rdx) {
+    return handle_ocall(num, rdi, rsi, rdx, outcome);
+  });
+  outcome.result = machine.run(loaded_->entry, layout_.stack_top());
+  // Sec. VII extension: blur the observable completion time to a quantum
+  // boundary (the paper's "on-demand aligning/blurring processing time").
+  if (config_.time_blur_quantum > 0 && outcome.result.exit == vm::Exit::Halt) {
+    std::uint64_t q = config_.time_blur_quantum;
+    outcome.result.cost = (outcome.result.cost + q - 1) / q * q;
+  }
+  if (outcome.result.exit == vm::Exit::Halt) {
+    outcome.policy_violation = outcome.result.exit_code == codegen::kViolationExitCode;
+    outcome.alloc_failure = outcome.result.exit_code == codegen::kOomExitCode;
+  }
+  return outcome;
+}
+
+}  // namespace deflection::core

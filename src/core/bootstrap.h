@@ -1,0 +1,141 @@
+// The bootstrap enclave — DEFLECTION's trusted code consumer.
+//
+// Public, measurable, and small: it owns the enclave layout, performs
+// RA-TLS-style attested key agreement with the data owner and the code
+// provider, accepts the encrypted target binary and user data through the
+// restricted ECall surface (policy P0), runs the loader -> verifier ->
+// immediate-rewriter pipeline, and finally executes the verified binary
+// with OCall stubs that encrypt, pad and budget everything leaving the
+// enclave.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "codegen/dxo.h"
+#include "crypto/dh.h"
+#include "sgx/attestation.h"
+#include "sgx/platform.h"
+#include "verifier/verify.h"
+#include "vm/vm.h"
+
+namespace deflection::core {
+
+enum class Role : std::uint8_t { DataOwner = 0, CodeProvider = 1 };
+
+struct BootstrapConfig {
+  verifier::LayoutConfig layout;
+  verifier::VerifyConfig verify;     // includes the required policy set
+  vm::VmConfig vm;
+  sgx::AexPolicy aex;                // platform interrupt schedule (simulated OS)
+  std::uint64_t output_pad_block = 1024;  // P0: fixed-size output padding
+  std::uint64_t entropy_budget = ~0ull;   // P0: max plaintext bytes out
+  // Extension (paper Sec. VII): SGXv2/EDMM platform. After verification and
+  // immediate rewriting, the loader drops the target text pages from RWX to
+  // RX, so runtime code modification is blocked by hardware in addition to
+  // the P4 software DEP.
+  bool sgxv2 = false;
+  // Extension (paper Sec. VII): on-demand processing-time blurring. When
+  // non-zero, the enclave spins until the next multiple of this quantum
+  // before reporting completion, so data-dependent running time is not
+  // observable at finer granularity (mitigates processing-time covert
+  // channels). 0 disables.
+  std::uint64_t time_blur_quantum = 0;
+  bool allow_debug_print = false;         // P0: deny the debug OCall by default
+  std::uint64_t host_base = 0x10000;
+  std::uint64_t host_size = 4 * 1024 * 1024;
+  std::uint64_t enclave_base = 0x7000'0000'0000ull;
+  std::uint64_t rng_seed = 0x0DEF1EC7;
+};
+
+struct RunOutcome {
+  vm::RunResult result;
+  bool policy_violation = false;  // exit through the violation stub
+  bool alloc_failure = false;     // exit through the OOM stub
+  // P0-sealed output messages for the data owner (encrypt-then-MAC, padded
+  // to output_pad_block).
+  std::vector<Bytes> sealed_output;
+  std::vector<std::int64_t> debug_prints;  // only when allow_debug_print
+};
+
+class BootstrapEnclave {
+ public:
+  // The measured consumer image: a deterministic byte string derived from
+  // the consumer version and configuration, standing in for the verifier's
+  // code pages. Data owners compute the expected MRENCLAVE from this.
+  static Bytes consumer_image(const BootstrapConfig& config);
+  static crypto::Digest expected_mrenclave(const BootstrapConfig& config,
+                                           std::uint64_t enclave_base_arg = 0);
+
+  BootstrapEnclave(sgx::QuotingEnclave& quoting, const BootstrapConfig& config);
+
+  const BootstrapConfig& config() const { return config_; }
+  crypto::Digest mrenclave() const { return enclave_->mrenclave(); }
+  sgx::Enclave& enclave() { return *enclave_; }
+
+  // --- RA-TLS-style channel establishment (one channel per role) ---
+  struct ChannelOffer {
+    std::uint64_t enclave_dh_public = 0;
+    sgx::Quote quote;  // report_data binds H(role || dh_public)
+  };
+  ChannelOffer open_channel(Role role, std::uint64_t peer_dh_public);
+  static crypto::Digest channel_report_data(Role role, std::uint64_t enclave_dh_public);
+
+  // --- Restricted ECall surface (policy P0) ---
+  // ecall_receive_binary: sealed DXO from the code provider. On success
+  // returns the measurement (SHA-256) of the *decrypted* service binary,
+  // which the bootstrap forwards to the data owner for approval.
+  Result<crypto::Digest> ecall_receive_binary(BytesView sealed);
+  // ecall_receive_userdata: sealed input from the data owner, queued for
+  // the service's ocall_recv.
+  Status ecall_receive_userdata(BytesView sealed);
+  // ecall_run: verify (if not yet verified) and execute the service.
+  Result<RunOutcome> ecall_run();
+
+  // --- Sealed service state (SGX sealing, EGETKEY-bound) ---
+  // Snapshots the service's data region (globals + used heap) sealed under
+  // the platform/MRENCLAVE sealing key; a fresh instance of the SAME
+  // bootstrap on the SAME platform can restore it. State persists across
+  // enclave restarts without ever touching the host in plaintext.
+  Result<Bytes> seal_service_state();
+  Status unseal_service_state(BytesView sealed);
+
+  // Debug tracing (forwarded to the VM on the next ecall_run).
+  void set_trace_hook(vm::TraceHook hook) { trace_ = std::move(hook); }
+
+  // Introspection for tests/benches.
+  const verifier::VerifyReport* verify_report() const {
+    return verified_ ? &report_ : nullptr;
+  }
+  const verifier::LoadedBinary* loaded() const {
+    return loaded_.has_value() ? &*loaded_ : nullptr;
+  }
+
+ private:
+  Result<std::uint64_t> handle_ocall(std::uint8_t num, std::uint64_t rdi,
+                                     std::uint64_t rsi, std::uint64_t rdx,
+                                     RunOutcome& outcome);
+
+  BootstrapConfig config_;
+  Rng rng_;
+  std::unique_ptr<sgx::AddressSpace> space_;
+  std::unique_ptr<sgx::Enclave> enclave_;
+  verifier::EnclaveLayout layout_;
+  sgx::Quote base_quote_;
+  sgx::QuotingEnclave& quoting_;
+
+  std::optional<crypto::Key256> owner_key_;
+  std::optional<crypto::Key256> provider_key_;
+
+  std::optional<codegen::Dxo> dxo_;
+  std::optional<verifier::LoadedBinary> loaded_;
+  verifier::VerifyReport report_;
+  bool verified_ = false;
+
+  std::deque<Bytes> inbox_;            // decrypted user inputs
+  std::uint64_t entropy_spent_ = 0;    // plaintext bytes sent out so far
+  vm::TraceHook trace_;
+};
+
+}  // namespace deflection::core

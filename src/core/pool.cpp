@@ -1,0 +1,57 @@
+#include "core/pool.h"
+
+namespace deflection::core {
+
+Result<std::unique_ptr<ServicePool>> ServicePool::create(const codegen::Dxo& service,
+                                                         const BootstrapConfig& config,
+                                                         int workers) {
+  if (workers < 1)
+    return Result<std::unique_ptr<ServicePool>>::fail("pool_size", "need >= 1 worker");
+  auto pool = std::make_unique<ServicePool>();
+  crypto::Digest expected = BootstrapEnclave::expected_mrenclave(config);
+  for (int i = 0; i < workers; ++i) {
+    Worker w;
+    std::string platform = "pool-platform-" + std::to_string(i);
+    w.quoting = std::make_unique<sgx::QuotingEnclave>(
+        pool->as_.provision(platform, 1000 + static_cast<std::uint64_t>(i)));
+    BootstrapConfig worker_config = config;
+    worker_config.rng_seed = config.rng_seed + static_cast<std::uint64_t>(i) + 1;
+    w.enclave = std::make_unique<BootstrapEnclave>(*w.quoting, worker_config);
+    w.owner = std::make_unique<DataOwner>(pool->as_, expected,
+                                          0xDA7A00 + static_cast<std::uint64_t>(i));
+    w.provider = std::make_unique<CodeProvider>(pool->as_, expected,
+                                                0xC0DE00 + static_cast<std::uint64_t>(i));
+    auto owner_offer = w.enclave->open_channel(Role::DataOwner, w.owner->dh_public());
+    if (auto s = w.owner->accept(owner_offer); !s.is_ok()) return s.error();
+    auto provider_offer =
+        w.enclave->open_channel(Role::CodeProvider, w.provider->dh_public());
+    if (auto s = w.provider->accept(provider_offer); !s.is_ok()) return s.error();
+    auto digest = w.enclave->ecall_receive_binary(w.provider->seal_binary(service));
+    if (!digest.is_ok()) return digest.error();
+    pool->workers_.push_back(std::move(w));
+  }
+  return pool;
+}
+
+Result<std::vector<Bytes>> ServicePool::submit(BytesView request) {
+  Worker& w = workers_[next_];
+  next_ = (next_ + 1) % workers_.size();
+  if (auto s = w.enclave->ecall_receive_userdata(w.owner->seal_input(request));
+      !s.is_ok())
+    return s.error();
+  auto outcome = w.enclave->ecall_run();
+  if (!outcome.is_ok()) return outcome.error();
+  total_cost_ += outcome.value().result.cost;
+  if (outcome.value().policy_violation)
+    return Result<std::vector<Bytes>>::fail("policy_violation",
+                                            "worker aborted through the violation stub");
+  std::vector<Bytes> outputs;
+  for (const auto& sealed : outcome.value().sealed_output) {
+    auto plain = w.owner->open_output(BytesView(sealed));
+    if (!plain.is_ok()) return plain.error();
+    outputs.push_back(plain.take());
+  }
+  return outputs;
+}
+
+}  // namespace deflection::core

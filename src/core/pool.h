@@ -1,0 +1,48 @@
+// Multi-worker service pool (paper Sec. VII, "Supporting multi-threading").
+//
+// The paper discusses concurrently serving many clients and the hazards of
+// doing so in one enclave (TOCTOU on CFI metadata, shared shadow stacks).
+// This reproduction takes the safe deployment the discussion converges on:
+// one single-threaded verified service instance per worker enclave, each
+// with fully private stacks/shadow stacks/SSA, fronted by a dispatcher.
+// Verification cost is paid once per worker; requests are load-balanced
+// round-robin and there is no shared mutable state to race on.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/protocol.h"
+
+namespace deflection::core {
+
+class ServicePool {
+ public:
+  // Spins up `workers` bootstrap enclaves on distinct (simulated)
+  // platforms, attests each, and delivers the same sealed service binary.
+  static Result<std::unique_ptr<ServicePool>> create(const codegen::Dxo& service,
+                                                     const BootstrapConfig& config,
+                                                     int workers);
+
+  // Dispatches one request to the next worker; returns the opened outputs.
+  Result<std::vector<Bytes>> submit(BytesView request);
+
+  int workers() const { return static_cast<int>(workers_.size()); }
+  // Total VM cost accrued across all workers (for benches).
+  std::uint64_t total_cost() const { return total_cost_; }
+
+ private:
+  struct Worker {
+    std::unique_ptr<sgx::QuotingEnclave> quoting;
+    std::unique_ptr<BootstrapEnclave> enclave;
+    std::unique_ptr<DataOwner> owner;
+    std::unique_ptr<CodeProvider> provider;
+  };
+
+  sgx::AttestationService as_;
+  std::vector<Worker> workers_;
+  std::size_t next_ = 0;
+  std::uint64_t total_cost_ = 0;
+};
+
+}  // namespace deflection::core

@@ -1,0 +1,43 @@
+#include "core/protocol.h"
+
+#include <cstring>
+
+namespace deflection::core {
+
+Status RemoteParty::accept(const BootstrapEnclave::ChannelOffer& offer) {
+  sgx::AttestationService::Report report = as_.verify(offer.quote);
+  if (!report.valid)
+    return Status::fail("attest_fail", "attestation service rejected quote: " + report.reason);
+  if (!crypto::digest_equal(report.mrenclave, expected_))
+    return Status::fail("mrenclave_mismatch",
+                        "bootstrap enclave measurement does not match the audited source");
+  crypto::Digest expect_rd =
+      BootstrapEnclave::channel_report_data(role_, offer.enclave_dh_public);
+  if (!crypto::digest_equal(report.report_data, expect_rd))
+    return Status::fail("binding_mismatch", "quote does not bind the offered DH key");
+  key_ = crypto::dh_shared_key(pair_.secret, offer.enclave_dh_public);
+  return Status::ok();
+}
+
+Bytes RemoteParty::seal(BytesView plaintext) {
+  crypto::Nonce96 nonce{};
+  std::uint64_t n0 = rng_.next(), n1 = rng_.next();
+  std::memcpy(nonce.data(), &n0, 8);
+  std::memcpy(nonce.data() + 8, &n1, 4);
+  return crypto::aead_seal(*key_, nonce, plaintext);
+}
+
+Result<Bytes> DataOwner::open_output(BytesView sealed) const {
+  auto frame = open(sealed);
+  if (!frame.has_value())
+    return Result<Bytes>::fail("auth_fail", "output frame failed authentication");
+  if (frame->size() < 8)
+    return Result<Bytes>::fail("frame_malformed", "output frame too short");
+  ByteReader r{BytesView(*frame)};
+  std::uint64_t len = r.u64();
+  if (len > frame->size() - 8)
+    return Result<Bytes>::fail("frame_malformed", "output frame length field invalid");
+  return Bytes(frame->begin() + 8, frame->begin() + 8 + static_cast<std::ptrdiff_t>(len));
+}
+
+}  // namespace deflection::core

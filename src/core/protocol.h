@@ -1,0 +1,81 @@
+// Protocol actors: the untrusted code producer/provider and the remote data
+// owner (paper Fig. 1). Both parties attest the bootstrap enclave against
+// the measurement they computed themselves from its published source, then
+// run DH key agreement over the quote-bound channel.
+#pragma once
+
+#include "codegen/compile.h"
+#include "core/bootstrap.h"
+
+namespace deflection::core {
+
+// The code producer: the provider's untrusted compiler toolchain.
+class CodeProducer {
+ public:
+  static Result<codegen::CompileOutput> build(
+      const std::string& minic_source, PolicySet policies,
+      const codegen::InstrumentOptions* options = nullptr) {
+    return codegen::compile(minic_source, policies, options);
+  }
+};
+
+// Client-side attested-channel logic shared by both remote parties.
+class RemoteParty {
+ public:
+  RemoteParty(const sgx::AttestationService& as, crypto::Digest expected_mrenclave,
+              Role role, std::uint64_t seed)
+      : as_(as), expected_(expected_mrenclave), role_(role), rng_(seed) {
+    pair_ = crypto::dh_generate(rng_);
+  }
+
+  std::uint64_t dh_public() const { return pair_.public_value; }
+
+  // Verifies the enclave's quote (via the attestation service) and the
+  // binding of the enclave's DH key, then derives the session key.
+  Status accept(const BootstrapEnclave::ChannelOffer& offer);
+
+  bool has_session() const { return key_.has_value(); }
+  const crypto::Key256& session_key() const { return *key_; }
+
+  Bytes seal(BytesView plaintext);
+  std::optional<Bytes> open(BytesView sealed) const {
+    if (!key_.has_value()) return std::nullopt;
+    return crypto::aead_open(*key_, sealed);
+  }
+
+ private:
+  const sgx::AttestationService& as_;
+  crypto::Digest expected_;
+  Role role_;
+  Rng rng_;
+  crypto::DhKeyPair pair_{};
+  std::optional<crypto::Key256> key_;
+};
+
+// The code provider: owns the proprietary service binary; delivers it
+// encrypted so the platform never sees it in the clear.
+class CodeProvider : public RemoteParty {
+ public:
+  CodeProvider(const sgx::AttestationService& as, crypto::Digest expected_mrenclave,
+               std::uint64_t seed = 0xC0DE)
+      : RemoteParty(as, expected_mrenclave, Role::CodeProvider, seed) {}
+
+  Bytes seal_binary(const codegen::Dxo& dxo) { return seal(dxo.serialize()); }
+};
+
+// The data owner: approves the (hash of the) service code reported by the
+// attested bootstrap enclave, then feeds sealed inputs and opens sealed,
+// padded outputs.
+class DataOwner : public RemoteParty {
+ public:
+  DataOwner(const sgx::AttestationService& as, crypto::Digest expected_mrenclave,
+            std::uint64_t seed = 0xDA7A)
+      : RemoteParty(as, expected_mrenclave, Role::DataOwner, seed) {}
+
+  Bytes seal_input(BytesView data) { return seal(data); }
+
+  // Unwraps one padded output frame: [u64 true_len][payload][zero pad].
+  Result<Bytes> open_output(BytesView sealed) const;
+};
+
+}  // namespace deflection::core

@@ -1,0 +1,111 @@
+#include "crypto/cipher.h"
+
+#include <cstring>
+
+namespace deflection::crypto {
+
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = rotl(d, 16);
+  c += d;
+  b ^= c;
+  b = rotl(b, 12);
+  a += b;
+  d ^= a;
+  d = rotl(d, 8);
+  c += d;
+  b ^= c;
+  b = rotl(b, 7);
+}
+
+void chacha20_block(const Key256& key, const Nonce96& nonce, std::uint32_t counter,
+                    std::uint8_t out[64]) {
+  std::uint32_t st[16];
+  st[0] = 0x61707865;
+  st[1] = 0x3320646e;
+  st[2] = 0x79622d32;
+  st[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) st[4 + i] = load_le32(key.data() + 4 * i);
+  st[12] = counter;
+  for (int i = 0; i < 3; ++i) st[13 + i] = load_le32(nonce.data() + 4 * i);
+
+  std::uint32_t w[16];
+  std::memcpy(w, st, sizeof(w));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t v = w[i] + st[i];
+    store_le32(out + 4 * i, v);
+  }
+}
+
+}  // namespace
+
+void chacha20_xor(const Key256& key, const Nonce96& nonce, std::uint32_t counter,
+                  BytesView in, std::uint8_t* out) {
+  std::uint8_t ks[64];
+  std::size_t off = 0;
+  while (off < in.size()) {
+    chacha20_block(key, nonce, counter++, ks);
+    std::size_t n = std::min<std::size_t>(64, in.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = in[off + i] ^ ks[i];
+    off += n;
+  }
+}
+
+Bytes aead_seal(const Key256& key, const Nonce96& nonce, BytesView plaintext,
+                BytesView aad) {
+  Bytes out(12 + plaintext.size() + 32);
+  std::memcpy(out.data(), nonce.data(), 12);
+  chacha20_xor(key, nonce, 1, plaintext, out.data() + 12);
+
+  // MAC over aad || nonce || ciphertext with a derived MAC key.
+  Digest mac_key = derive_key(BytesView(key.data(), key.size()), "deflection-aead-mac");
+  Bytes mac_input;
+  mac_input.insert(mac_input.end(), aad.begin(), aad.end());
+  mac_input.insert(mac_input.end(), out.begin(), out.begin() + 12 + static_cast<std::ptrdiff_t>(plaintext.size()));
+  Digest tag = hmac_sha256(BytesView(mac_key.data(), mac_key.size()), mac_input);
+  std::memcpy(out.data() + 12 + plaintext.size(), tag.data(), 32);
+  return out;
+}
+
+std::optional<Bytes> aead_open(const Key256& key, BytesView sealed, BytesView aad) {
+  if (sealed.size() < 12 + 32) return std::nullopt;
+  std::size_t ct_len = sealed.size() - 12 - 32;
+
+  Digest mac_key = derive_key(BytesView(key.data(), key.size()), "deflection-aead-mac");
+  Bytes mac_input;
+  mac_input.insert(mac_input.end(), aad.begin(), aad.end());
+  mac_input.insert(mac_input.end(), sealed.begin(), sealed.begin() + 12 + static_cast<std::ptrdiff_t>(ct_len));
+  Digest expect = hmac_sha256(BytesView(mac_key.data(), mac_key.size()), mac_input);
+  Digest got;
+  std::memcpy(got.data(), sealed.data() + 12 + ct_len, 32);
+  if (!digest_equal(expect, got)) return std::nullopt;
+
+  Nonce96 nonce;
+  std::memcpy(nonce.data(), sealed.data(), 12);
+  Bytes plain(ct_len);
+  chacha20_xor(key, nonce, 1, sealed.subspan(12, ct_len), plain.data());
+  return plain;
+}
+
+Key256 key_from_digest(const Digest& d) {
+  Key256 k;
+  std::memcpy(k.data(), d.data(), 32);
+  return k;
+}
+
+}  // namespace deflection::crypto

@@ -1,0 +1,35 @@
+// ChaCha20 stream cipher (RFC 8439 core) and an encrypt-then-MAC
+// authenticated-encryption construction (ChaCha20 + HMAC-SHA256).
+//
+// The paper's prototype uses mbedTLS inside the enclave for its RA-TLS
+// channels and for the P0 output-encryption wrappers; this module is our
+// from-scratch substitute. ChaCha20 and HMAC are the genuine algorithms;
+// the AEAD composition is textbook encrypt-then-MAC rather than Poly1305.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "crypto/sha256.h"
+#include "support/bytes.h"
+
+namespace deflection::crypto {
+
+using Key256 = std::array<std::uint8_t, 32>;
+using Nonce96 = std::array<std::uint8_t, 12>;
+
+// Raw ChaCha20 keystream XOR (encrypt == decrypt).
+void chacha20_xor(const Key256& key, const Nonce96& nonce, std::uint32_t counter,
+                  BytesView in, std::uint8_t* out);
+
+// Authenticated encryption. Wire format: nonce(12) || ciphertext || tag(32).
+Bytes aead_seal(const Key256& key, const Nonce96& nonce, BytesView plaintext,
+                BytesView aad = {});
+
+// Returns nullopt on authentication failure.
+std::optional<Bytes> aead_open(const Key256& key, BytesView sealed, BytesView aad = {});
+
+Key256 key_from_digest(const Digest& d);
+
+}  // namespace deflection::crypto

@@ -1,0 +1,41 @@
+#include "crypto/dh.h"
+
+namespace deflection::crypto {
+
+namespace {
+// Largest 64-bit prime; not a safe prime, but adequate for the simulated
+// handshake (see header).
+constexpr std::uint64_t kPrime = 0xFFFFFFFFFFFFFFC5ull;
+constexpr std::uint64_t kGenerator = 5;
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % kPrime);
+}
+}  // namespace
+
+std::uint64_t dh_modexp(std::uint64_t base, std::uint64_t exp) {
+  std::uint64_t result = 1;
+  base %= kPrime;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base);
+    base = mulmod(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+DhKeyPair dh_generate(Rng& rng) {
+  std::uint64_t secret = 0;
+  while (secret < 2) secret = rng.next() % kPrime;
+  return DhKeyPair{secret, dh_modexp(kGenerator, secret)};
+}
+
+Key256 dh_shared_key(std::uint64_t my_secret, std::uint64_t peer_public) {
+  std::uint64_t shared = dh_modexp(peer_public, my_secret);
+  Bytes material(8);
+  store_le64(material.data(), shared);
+  return key_from_digest(derive_key(material, "deflection-dh-session"));
+}
+
+}  // namespace deflection::crypto

@@ -1,0 +1,30 @@
+// Finite-field Diffie–Hellman key agreement (simulation-grade).
+//
+// The paper negotiates session keys with Diffie–Hellman during its RA-TLS
+// handshakes. We implement classic DH over the 64-bit safe-prime field
+// p = 0xFFFFFFFFFFFFFFC5 with generator 5, using 128-bit intermediate
+// arithmetic. The group is far too small for real security — DESIGN.md
+// documents this substitution; the protocol flow (ephemeral keys, shared
+// secret -> HKDF -> channel keys) is exactly the paper's.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/cipher.h"
+#include "support/rng.h"
+
+namespace deflection::crypto {
+
+struct DhKeyPair {
+  std::uint64_t secret;
+  std::uint64_t public_value;
+};
+
+std::uint64_t dh_modexp(std::uint64_t base, std::uint64_t exp);
+
+DhKeyPair dh_generate(Rng& rng);
+
+// shared = peer_public ^ my_secret mod p, expanded to a 256-bit key.
+Key256 dh_shared_key(std::uint64_t my_secret, std::uint64_t peer_public);
+
+}  // namespace deflection::crypto

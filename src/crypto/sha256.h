@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4). Used for enclave measurement (the simulated
+// MRENCLAVE), attestation report MACs (via HMAC), and session key
+// derivation. This is the genuine algorithm, implemented from the spec.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.h"
+
+namespace deflection::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  Digest finish();
+
+  static Digest hash(BytesView data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint8_t buf_[64];
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+// HMAC-SHA256 (RFC 2104).
+Digest hmac_sha256(BytesView key, BytesView msg);
+
+// HKDF-style two-step key derivation used for session keys:
+// derive(key, label) = HMAC(key, label || 0x01).
+Digest derive_key(BytesView key, const std::string& label);
+
+bool digest_equal(const Digest& a, const Digest& b);
+
+}  // namespace deflection::crypto

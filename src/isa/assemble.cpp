@@ -1,0 +1,140 @@
+#include "isa/assemble.h"
+
+#include <limits>
+#include <sstream>
+
+namespace deflection::isa {
+
+namespace {
+
+void encode_mem(ByteWriter& w, const Mem& mem) {
+  std::uint8_t mode = 0;
+  if (mem.has_base) mode |= 0x1;
+  if (mem.has_index) mode |= 0x2;
+  mode |= static_cast<std::uint8_t>((mem.scale_log2 & 0x3) << 2);
+  w.u8(mode);
+  std::uint8_t regs = 0;
+  if (mem.has_base) regs |= static_cast<std::uint8_t>(static_cast<int>(mem.base) << 4);
+  if (mem.has_index) regs |= static_cast<std::uint8_t>(static_cast<int>(mem.index));
+  w.u8(regs);
+  w.i32(mem.disp);
+}
+
+}  // namespace
+
+Bytes encode_instr(const AsmInstr& ins) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(ins.op));
+  switch (op_layout(ins.op)) {
+    case Layout::None:
+      break;
+    case Layout::R:
+      w.u8(static_cast<std::uint8_t>(static_cast<int>(ins.rd) << 4));
+      break;
+    case Layout::RR:
+      w.u8(static_cast<std::uint8_t>(static_cast<int>(ins.rd) << 4 |
+                                     static_cast<int>(ins.rs)));
+      break;
+    case Layout::RI32:
+      w.u8(static_cast<std::uint8_t>(static_cast<int>(ins.rd) << 4));
+      w.i32(static_cast<std::int32_t>(ins.imm));
+      break;
+    case Layout::RI64:
+      w.u8(static_cast<std::uint8_t>(static_cast<int>(ins.rd) << 4));
+      w.i64(ins.imm);
+      break;
+    case Layout::RM:
+      w.u8(static_cast<std::uint8_t>(static_cast<int>(ins.rd) << 4));
+      encode_mem(w, ins.mem);
+      break;
+    case Layout::MR:
+      w.u8(static_cast<std::uint8_t>(static_cast<int>(ins.rs) << 4));
+      encode_mem(w, ins.mem);
+      break;
+    case Layout::MI32:
+      encode_mem(w, ins.mem);
+      w.i32(static_cast<std::int32_t>(ins.imm));
+      break;
+    case Layout::I32:
+      w.i32(static_cast<std::int32_t>(ins.imm));
+      break;
+    case Layout::I8:
+      w.u8(static_cast<std::uint8_t>(ins.imm));
+      break;
+    case Layout::Rel32:
+      w.i32(static_cast<std::int32_t>(ins.imm));
+      break;
+    case Layout::CondRel32:
+      w.u8(static_cast<std::uint8_t>(ins.cond));
+      w.i32(static_cast<std::int32_t>(ins.imm));
+      break;
+  }
+  return out;
+}
+
+Result<Encoded> assemble(const AsmProgram& program) {
+  // Pass 1: lay out offsets and collect label positions.
+  std::map<std::string, std::uint64_t> labels;
+  std::uint64_t offset = 0;
+  for (const auto& item : program.items()) {
+    if (item.kind == AsmItem::Kind::Label) {
+      auto [it, inserted] = labels.emplace(item.label, offset);
+      (void)it;
+      if (!inserted)
+        return Result<Encoded>::fail("asm_dup_label", "duplicate label: " + item.label);
+    } else {
+      offset += op_length(item.instr.op);
+    }
+  }
+
+  // Pass 2: encode, resolving rel32 branch targets against the label map.
+  Encoded out;
+  out.labels = labels;
+  out.text.reserve(offset);
+  std::uint64_t pc = 0;
+  for (const auto& item : program.items()) {
+    if (item.kind == AsmItem::Kind::Label) continue;
+    AsmInstr ins = item.instr;
+    std::uint32_t len = op_length(ins.op);
+    if (!ins.target.empty()) {
+      auto it = labels.find(ins.target);
+      if (it == labels.end())
+        return Result<Encoded>::fail("asm_undef_label", "undefined label: " + ins.target);
+      std::int64_t rel = static_cast<std::int64_t>(it->second) -
+                         static_cast<std::int64_t>(pc + len);
+      if (rel < std::numeric_limits<std::int32_t>::min() ||
+          rel > std::numeric_limits<std::int32_t>::max())
+        return Result<Encoded>::fail("asm_rel_overflow", "rel32 overflow to " + ins.target);
+      ins.imm = rel;
+    }
+    if (!ins.reloc_symbol.empty()) {
+      if (op_layout(ins.op) != Layout::RI64)
+        return Result<Encoded>::fail("asm_bad_reloc", "relocation on non-imm64 instruction");
+      // imm64 field sits 2 bytes into a RI64 instruction.
+      out.relocs.push_back(Encoded::Reloc{pc + 2, ins.reloc_symbol, ins.imm});
+    }
+    Bytes enc = encode_instr(ins);
+    out.text.insert(out.text.end(), enc.begin(), enc.end());
+    pc += len;
+  }
+  return out;
+}
+
+std::string AsmProgram::to_string() const {
+  std::ostringstream os;
+  for (const auto& item : items_) {
+    if (item.kind == AsmItem::Kind::Label) {
+      os << item.label << ":\n";
+      continue;
+    }
+    const AsmInstr& ins = item.instr;
+    os << (ins.annotation ? "  # " : "    ") << op_name(ins.op);
+    if (!ins.target.empty()) os << " -> " << ins.target;
+    if (!ins.reloc_symbol.empty()) os << " @" << ins.reloc_symbol << "+" << ins.imm;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace deflection::isa

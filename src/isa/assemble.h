@@ -1,0 +1,118 @@
+// DX64 assembler: the producer-side program representation that the code
+// generator emits into and the instrumentation passes rewrite, plus the
+// two-pass encoder that turns it into bytes, a symbol table and Abs64
+// relocation records for the DXO object format.
+//
+// Everything in this file runs OUTSIDE the enclave (it is part of the
+// untrusted code producer); the trusted consumer only ever sees the encoded
+// bytes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+#include "support/bytes.h"
+#include "support/result.h"
+
+namespace deflection::isa {
+
+// One assembly-level instruction, possibly carrying symbolic operands that
+// the encoder resolves (branch label) or that the DXO linker resolves at
+// load time (Abs64 relocation against a data/text symbol).
+struct AsmInstr {
+  Op op = Op::Nop;
+  Reg rd = Reg::RAX;
+  Reg rs = Reg::RAX;
+  Cond cond = Cond::E;
+  Mem mem;
+  std::int64_t imm = 0;
+  std::string target;        // branch label for Rel32/CondRel32 layouts
+  std::string reloc_symbol;  // MovRI only: symbol address + imm(addend) at load
+  bool annotation = false;   // producer bookkeeping: inserted by a policy pass
+  // Pattern group id (> 0): instructions forming one indivisible annotation
+  // pattern (guard + guarded operation). Later passes must not insert
+  // instructions inside a group. Producer bookkeeping only — the verifier
+  // rediscovers groups by shape.
+  int group = 0;
+};
+
+struct AsmItem {
+  enum class Kind { Label, Instr };
+  Kind kind = Kind::Instr;
+  std::string label;  // Kind::Label
+  AsmInstr instr;     // Kind::Instr
+};
+
+// A linear assembly program (labels interleaved with instructions), with
+// convenience emitters used by both the code generator and the policy
+// instrumentation passes.
+class AsmProgram {
+ public:
+  std::vector<AsmItem>& items() { return items_; }
+  const std::vector<AsmItem>& items() const { return items_; }
+
+  void label(const std::string& name) {
+    items_.push_back(AsmItem{AsmItem::Kind::Label, name, {}});
+  }
+  AsmInstr& emit(AsmInstr ins) {
+    items_.push_back(AsmItem{AsmItem::Kind::Instr, {}, std::move(ins)});
+    return items_.back().instr;
+  }
+
+  // ---- Shorthand emitters ----
+  void op0(Op op) { emit({.op = op}); }
+  void op_r(Op op, Reg rd) { emit({.op = op, .rd = rd}); }
+  void op_rr(Op op, Reg rd, Reg rs) { emit({.op = op, .rd = rd, .rs = rs}); }
+  void op_ri(Op op, Reg rd, std::int64_t imm) { emit({.op = op, .rd = rd, .imm = imm}); }
+  void movri(Reg rd, std::int64_t imm) { op_ri(Op::MovRI, rd, imm); }
+  void movri_sym(Reg rd, const std::string& symbol, std::int64_t addend = 0) {
+    emit({.op = Op::MovRI, .rd = rd, .imm = addend, .reloc_symbol = symbol});
+  }
+  void movrr(Reg rd, Reg rs) { op_rr(Op::MovRR, rd, rs); }
+  void load(Reg rd, Mem mem) { emit({.op = Op::Load, .rd = rd, .mem = mem}); }
+  void load8(Reg rd, Mem mem) { emit({.op = Op::Load8, .rd = rd, .mem = mem}); }
+  void lea(Reg rd, Mem mem) { emit({.op = Op::Lea, .rd = rd, .mem = mem}); }
+  void store(Mem mem, Reg rs) { emit({.op = Op::Store, .rs = rs, .mem = mem}); }
+  void store8(Mem mem, Reg rs) { emit({.op = Op::Store8, .rs = rs, .mem = mem}); }
+  void storei(Mem mem, std::int32_t imm) { emit({.op = Op::StoreI, .mem = mem, .imm = imm}); }
+  void push(Reg r) { op_r(Op::Push, r); }
+  void pop(Reg r) { op_r(Op::Pop, r); }
+  void jmp(const std::string& label) { emit({.op = Op::Jmp, .target = label}); }
+  void jcc(Cond cond, const std::string& label) {
+    emit({.op = Op::Jcc, .cond = cond, .target = label});
+  }
+  void call(const std::string& label) { emit({.op = Op::Call, .target = label}); }
+  void callind(Reg r) { op_r(Op::CallInd, r); }
+  void jmpind(Reg r) { op_r(Op::JmpInd, r); }
+  void ret() { op0(Op::Ret); }
+  void hlt() { op0(Op::Hlt); }
+  void ocall(std::uint8_t number) { emit({.op = Op::Ocall, .imm = number}); }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<AsmItem> items_;
+};
+
+// Encoded output of the assembler.
+struct Encoded {
+  Bytes text;
+  std::map<std::string, std::uint64_t> labels;  // label -> offset in text
+  struct Reloc {
+    std::uint64_t offset;  // offset of the imm64 field inside text
+    std::string symbol;
+    std::int64_t addend;
+  };
+  std::vector<Reloc> relocs;
+};
+
+// Two-pass encoder. Fails on duplicate/undefined labels or rel32 overflow.
+Result<Encoded> assemble(const AsmProgram& program);
+
+// Encodes a single instruction (no symbolic operands) — used by tests and
+// by the verifier's pattern-matching tests to build raw byte sequences.
+Bytes encode_instr(const AsmInstr& ins);
+
+}  // namespace deflection::isa

@@ -1,0 +1,132 @@
+#include "isa/decode.h"
+
+namespace deflection::isa {
+
+namespace {
+
+bool decode_mem(BytesView text, std::size_t& pos, Mem& mem) {
+  std::uint8_t mode = text[pos++];
+  // Bits 4+ of the mode byte must be zero: any other value is a malformed
+  // encoding, which the TCB decoder must reject.
+  if ((mode & ~0x0Fu) != 0) return false;
+  mem.has_base = (mode & 0x1) != 0;
+  mem.has_index = (mode & 0x2) != 0;
+  mem.scale_log2 = static_cast<std::uint8_t>((mode >> 2) & 0x3);
+  std::uint8_t regs = text[pos++];
+  mem.base = static_cast<Reg>(regs >> 4);
+  mem.index = static_cast<Reg>(regs & 0xF);
+  if (!mem.has_index && (regs & 0xF) != 0) return false;
+  if (!mem.has_base && (regs >> 4) != 0) return false;
+  mem.disp = static_cast<std::int32_t>(load_le32(text.data() + pos));
+  pos += 4;
+  return true;
+}
+
+std::int64_t read_i32(BytesView text, std::size_t& pos) {
+  std::int32_t v = static_cast<std::int32_t>(load_le32(text.data() + pos));
+  pos += 4;
+  return v;
+}
+
+}  // namespace
+
+Result<Instr> decode_one(BytesView text, std::size_t offset, std::uint64_t base_addr) {
+  if (offset >= text.size())
+    return Result<Instr>::fail("decode_oob", "decode offset beyond text end");
+
+  Instr ins;
+  ins.addr = base_addr + offset;
+  std::uint8_t opbyte = text[offset];
+  if (opbyte >= static_cast<std::uint8_t>(Op::kOpCount))
+    return Result<Instr>::fail("decode_bad_opcode",
+                               "invalid opcode byte " + std::to_string(opbyte));
+  ins.op = static_cast<Op>(opbyte);
+  Layout layout = ins.layout();
+  std::uint32_t len = layout_length(layout);
+  if (offset + len > text.size())
+    return Result<Instr>::fail("decode_truncated", "instruction extends past text end");
+  ins.length = len;
+
+  std::size_t pos = offset + 1;
+  auto reg_byte_single = [&](Reg& out) -> bool {
+    std::uint8_t b = text[pos++];
+    if ((b & 0x0F) != 0) return false;  // low nibble reserved
+    out = static_cast<Reg>(b >> 4);
+    return true;
+  };
+
+  switch (layout) {
+    case Layout::None:
+      break;
+    case Layout::R:
+      if (!reg_byte_single(ins.rd))
+        return Result<Instr>::fail("decode_bad_reg", "reserved bits set in register byte");
+      break;
+    case Layout::RR: {
+      std::uint8_t b = text[pos++];
+      ins.rd = static_cast<Reg>(b >> 4);
+      ins.rs = static_cast<Reg>(b & 0xF);
+      break;
+    }
+    case Layout::RI32:
+      if (!reg_byte_single(ins.rd))
+        return Result<Instr>::fail("decode_bad_reg", "reserved bits set in register byte");
+      ins.imm = read_i32(text, pos);
+      break;
+    case Layout::RI64:
+      if (!reg_byte_single(ins.rd))
+        return Result<Instr>::fail("decode_bad_reg", "reserved bits set in register byte");
+      ins.imm = static_cast<std::int64_t>(load_le64(text.data() + pos));
+      pos += 8;
+      break;
+    case Layout::RM:
+      if (!reg_byte_single(ins.rd))
+        return Result<Instr>::fail("decode_bad_reg", "reserved bits set in register byte");
+      if (!decode_mem(text, pos, ins.mem))
+        return Result<Instr>::fail("decode_bad_mem", "malformed memory operand");
+      break;
+    case Layout::MR:
+      if (!reg_byte_single(ins.rs))
+        return Result<Instr>::fail("decode_bad_reg", "reserved bits set in register byte");
+      if (!decode_mem(text, pos, ins.mem))
+        return Result<Instr>::fail("decode_bad_mem", "malformed memory operand");
+      break;
+    case Layout::MI32:
+      if (!decode_mem(text, pos, ins.mem))
+        return Result<Instr>::fail("decode_bad_mem", "malformed memory operand");
+      ins.imm = read_i32(text, pos);
+      break;
+    case Layout::I32:
+      ins.imm = read_i32(text, pos);
+      break;
+    case Layout::I8:
+      ins.imm = text[pos++];
+      break;
+    case Layout::Rel32:
+      ins.imm = read_i32(text, pos);
+      break;
+    case Layout::CondRel32: {
+      std::uint8_t c = text[pos++];
+      if (c >= kNumConds)
+        return Result<Instr>::fail("decode_bad_cond", "invalid condition code");
+      ins.cond = static_cast<Cond>(c);
+      ins.imm = read_i32(text, pos);
+      break;
+    }
+  }
+  return ins;
+}
+
+Result<std::vector<Instr>> decode_all(BytesView text, std::uint64_t base_addr) {
+  std::vector<Instr> out;
+  std::size_t offset = 0;
+  while (offset < text.size()) {
+    auto r = decode_one(text, offset, base_addr);
+    if (!r.is_ok()) return r.error();
+    offset += r.value().length;
+    out.push_back(r.take());
+  }
+  return out;
+}
+
+}  // namespace deflection::isa

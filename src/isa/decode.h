@@ -1,0 +1,23 @@
+// DX64 decoder — the disassembling primitive of the in-enclave verifier.
+//
+// This is the analogue of the paper's "clipped Capstone": a minimal,
+// table-driven decoder that the just-enough recursive-descent disassembler
+// (src/verifier/disasm.*) is built on. It is part of the trusted computing
+// base, so it rejects malformed bytes instead of guessing.
+#pragma once
+
+#include "isa/isa.h"
+#include "support/bytes.h"
+#include "support/result.h"
+
+namespace deflection::isa {
+
+// Decodes one instruction at `offset` within `text`. `base_addr` is the
+// virtual address of text[0]; the decoded Instr::addr is base_addr+offset.
+Result<Instr> decode_one(BytesView text, std::size_t offset, std::uint64_t base_addr);
+
+// Linear sweep decode of a whole buffer (used by tests and the printer; the
+// verifier proper uses recursive descent instead).
+Result<std::vector<Instr>> decode_all(BytesView text, std::uint64_t base_addr);
+
+}  // namespace deflection::isa

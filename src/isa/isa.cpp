@@ -1,0 +1,255 @@
+#include "isa/isa.h"
+
+#include <array>
+#include <sstream>
+
+namespace deflection::isa {
+
+const char* reg_name(Reg r) {
+  static const char* kNames[kNumRegs] = {
+      "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+      "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15",
+  };
+  return kNames[static_cast<int>(r) & 0xF];
+}
+
+const char* cond_name(Cond c) {
+  static const char* kNames[kNumConds] = {"e", "ne", "l", "le", "g", "ge", "b", "be", "a", "ae"};
+  return kNames[static_cast<int>(c) % kNumConds];
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Nop: return "nop";
+    case Op::Hlt: return "hlt";
+    case Op::MovRR: return "mov";
+    case Op::MovRI: return "mov";
+    case Op::Load: return "load";
+    case Op::Load8: return "load8";
+    case Op::Store: return "store";
+    case Op::Store8: return "store8";
+    case Op::StoreI: return "storei";
+    case Op::Lea: return "lea";
+    case Op::AddRR: case Op::AddRI: return "add";
+    case Op::SubRR: case Op::SubRI: return "sub";
+    case Op::ImulRR: case Op::ImulRI: return "imul";
+    case Op::IdivRR: return "idiv";
+    case Op::IremRR: return "irem";
+    case Op::AndRR: case Op::AndRI: return "and";
+    case Op::OrRR: case Op::OrRI: return "or";
+    case Op::XorRR: case Op::XorRI: return "xor";
+    case Op::ShlRR: case Op::ShlRI: return "shl";
+    case Op::ShrRR: case Op::ShrRI: return "shr";
+    case Op::SarRR: case Op::SarRI: return "sar";
+    case Op::NotR: return "not";
+    case Op::NegR: return "neg";
+    case Op::CmpRR: case Op::CmpRI: return "cmp";
+    case Op::TestRR: return "test";
+    case Op::Jmp: return "jmp";
+    case Op::Jcc: return "jcc";
+    case Op::JmpInd: return "jmp*";
+    case Op::Call: return "call";
+    case Op::CallInd: return "call*";
+    case Op::Ret: return "ret";
+    case Op::Push: return "push";
+    case Op::Pop: return "pop";
+    case Op::PushI: return "push";
+    case Op::FAddRR: return "fadd";
+    case Op::FSubRR: return "fsub";
+    case Op::FMulRR: return "fmul";
+    case Op::FDivRR: return "fdiv";
+    case Op::FCmpRR: return "fcmp";
+    case Op::CvtI2F: return "cvti2f";
+    case Op::CvtF2I: return "cvtf2i";
+    case Op::FNegR: return "fneg";
+    case Op::FAbsR: return "fabs";
+    case Op::FSqrtR: return "fsqrt";
+    case Op::FSinR: return "fsin";
+    case Op::FCosR: return "fcos";
+    case Op::FExpR: return "fexp";
+    case Op::FLogR: return "flog";
+    case Op::Ocall: return "ocall";
+    default: return "?";
+  }
+}
+
+Layout op_layout(Op op) {
+  switch (op) {
+    case Op::Nop:
+    case Op::Hlt:
+    case Op::Ret:
+      return Layout::None;
+    case Op::NotR:
+    case Op::NegR:
+    case Op::FNegR:
+    case Op::FAbsR:
+    case Op::FSqrtR:
+    case Op::FSinR:
+    case Op::FCosR:
+    case Op::FExpR:
+    case Op::FLogR:
+    case Op::JmpInd:
+    case Op::CallInd:
+    case Op::Push:
+    case Op::Pop:
+      return Layout::R;
+    case Op::MovRR:
+    case Op::AddRR:
+    case Op::SubRR:
+    case Op::ImulRR:
+    case Op::IdivRR:
+    case Op::IremRR:
+    case Op::AndRR:
+    case Op::OrRR:
+    case Op::XorRR:
+    case Op::ShlRR:
+    case Op::ShrRR:
+    case Op::SarRR:
+    case Op::CmpRR:
+    case Op::TestRR:
+    case Op::FAddRR:
+    case Op::FSubRR:
+    case Op::FMulRR:
+    case Op::FDivRR:
+    case Op::FCmpRR:
+    case Op::CvtI2F:
+    case Op::CvtF2I:
+      return Layout::RR;
+    case Op::AddRI:
+    case Op::SubRI:
+    case Op::ImulRI:
+    case Op::AndRI:
+    case Op::OrRI:
+    case Op::XorRI:
+    case Op::ShlRI:
+    case Op::ShrRI:
+    case Op::SarRI:
+    case Op::CmpRI:
+      return Layout::RI32;
+    case Op::MovRI:
+      return Layout::RI64;
+    case Op::Load:
+    case Op::Load8:
+    case Op::Lea:
+      return Layout::RM;
+    case Op::Store:
+    case Op::Store8:
+      return Layout::MR;
+    case Op::StoreI:
+      return Layout::MI32;
+    case Op::PushI:
+      return Layout::I32;
+    case Op::Ocall:
+      return Layout::I8;
+    case Op::Jmp:
+    case Op::Call:
+      return Layout::Rel32;
+    case Op::Jcc:
+      return Layout::CondRel32;
+    default:
+      return Layout::None;
+  }
+}
+
+std::uint32_t layout_length(Layout layout) {
+  switch (layout) {
+    case Layout::None: return 1;
+    case Layout::R: return 2;
+    case Layout::RR: return 2;
+    case Layout::RI32: return 6;
+    case Layout::RI64: return 10;
+    case Layout::RM: return 8;   // op + reg + mode + regs + disp32
+    case Layout::MR: return 8;
+    case Layout::MI32: return 11;  // op + mode + regs + disp32 + imm32
+    case Layout::I32: return 5;
+    case Layout::I8: return 2;
+    case Layout::Rel32: return 5;
+    case Layout::CondRel32: return 6;
+  }
+  return 1;
+}
+
+bool Instr::writes_rsp_explicitly() const {
+  switch (layout()) {
+    case Layout::RR:
+      // Compare/test read rd but do not write it.
+      if (op == Op::CmpRR || op == Op::TestRR || op == Op::FCmpRR) return false;
+      return rd == Reg::RSP;
+    case Layout::RI32:
+      if (op == Op::CmpRI) return false;
+      return rd == Reg::RSP;
+    case Layout::RI64:
+      return rd == Reg::RSP;
+    case Layout::RM:
+      return rd == Reg::RSP;  // load/lea into rsp
+    case Layout::R:
+      // Pop rsp is an explicit rewrite of the stack pointer; unary ALU ops
+      // on rsp likewise.
+      if (op == Op::JmpInd || op == Op::CallInd || op == Op::Push) return false;
+      return rd == Reg::RSP;
+    default:
+      return false;
+  }
+}
+
+std::string mem_to_string(const Mem& mem) {
+  std::ostringstream os;
+  os << "[";
+  bool need_plus = false;
+  if (mem.has_base) {
+    os << reg_name(mem.base);
+    need_plus = true;
+  }
+  if (mem.has_index) {
+    if (need_plus) os << "+";
+    os << reg_name(mem.index) << "*" << (1 << mem.scale_log2);
+    need_plus = true;
+  }
+  if (mem.disp != 0 || !need_plus) {
+    if (need_plus && mem.disp >= 0) os << "+";
+    os << mem.disp;
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string Instr::to_string() const {
+  std::ostringstream os;
+  os << op_name(op);
+  switch (layout()) {
+    case Layout::None:
+      break;
+    case Layout::R:
+      os << " " << reg_name(rd);
+      break;
+    case Layout::RR:
+      os << " " << reg_name(rd) << ", " << reg_name(rs);
+      break;
+    case Layout::RI32:
+    case Layout::RI64:
+      os << " " << reg_name(rd) << ", " << imm;
+      break;
+    case Layout::RM:
+      os << " " << reg_name(rd) << ", " << mem_to_string(mem);
+      break;
+    case Layout::MR:
+      os << " " << mem_to_string(mem) << ", " << reg_name(rs);
+      break;
+    case Layout::MI32:
+      os << " " << mem_to_string(mem) << ", " << imm;
+      break;
+    case Layout::I32:
+    case Layout::I8:
+      os << " " << imm;
+      break;
+    case Layout::Rel32:
+      os << " " << branch_target();
+      break;
+    case Layout::CondRel32:
+      os << cond_name(cond) << " " << branch_target();
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace deflection::isa

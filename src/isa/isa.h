@@ -1,0 +1,208 @@
+// DX64: a compact x86-64-modelled instruction set.
+//
+// The paper's policies are defined over x86-64 instruction *classes*
+// (instructions that may store, that write RSP, indirect branches, RET) and
+// are enforced by a clipped Capstone disassembler inside the enclave. DX64
+// reproduces those classes faithfully — including SIB-style memory operands
+// (base + index*scale + disp) — in a byte encoding that a just-enough
+// recursive-descent disassembler can decode with a per-opcode layout table.
+//
+// Register conventions (mirroring the prototype's code generator):
+//   - RSP is the stack pointer; pushes/pops/call/ret adjust it implicitly.
+//   - R14/R15 are reserved annotation scratch registers: the (untrusted)
+//     code producer never allocates them for program values, so security
+//     annotations can use them without save/restore. The in-enclave
+//     verifier does NOT trust this convention; it only checks annotation
+//     shapes, which are written purely in terms of R14/R15.
+//   - Call arguments are passed in RDI, RSI, RDX, RCX, R8, R9; the return
+//     value is in RAX.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace deflection::isa {
+
+enum class Reg : std::uint8_t {
+  RAX = 0,
+  RBX,
+  RCX,
+  RDX,
+  RSI,
+  RDI,
+  RBP,
+  RSP,
+  R8,
+  R9,
+  R10,
+  R11,
+  R12,
+  R13,
+  R14,
+  R15,
+};
+constexpr int kNumRegs = 16;
+
+// Annotation scratch registers (reserved by the producer's register
+// allocator; see file comment).
+constexpr Reg kScratch0 = Reg::R14;
+constexpr Reg kScratch1 = Reg::R15;
+
+const char* reg_name(Reg r);
+
+enum class Cond : std::uint8_t {
+  E = 0,  // equal / zero
+  NE,
+  L,   // signed less
+  LE,
+  G,   // signed greater
+  GE,
+  B,   // unsigned below
+  BE,
+  A,   // unsigned above
+  AE,
+};
+constexpr int kNumConds = 10;
+
+const char* cond_name(Cond c);
+
+enum class Op : std::uint8_t {
+  Nop = 0,
+  Hlt,       // terminate enclave run; exit code in RAX
+
+  MovRR,     // rd = rs
+  MovRI,     // rd = imm64
+
+  Load,      // rd = *(i64*)mem
+  Load8,     // rd = *(u8*)mem (zero-extended)
+  Store,     // *(i64*)mem = rs
+  Store8,    // *(u8*)mem = (u8)rs
+  StoreI,    // *(i64*)mem = sext(imm32)
+  Lea,       // rd = effective address of mem
+
+  AddRR, AddRI,
+  SubRR, SubRI,
+  ImulRR, ImulRI,
+  IdivRR,    // rd = rd / rs (signed; traps on rs==0 or overflow)
+  IremRR,    // rd = rd % rs
+  AndRR, AndRI,
+  OrRR, OrRI,
+  XorRR, XorRI,
+  ShlRR, ShlRI,
+  ShrRR, ShrRI,   // logical
+  SarRR, SarRI,   // arithmetic
+  NotR,
+  NegR,
+
+  CmpRR, CmpRI,   // set flags from rd - operand (signed + unsigned views)
+  TestRR,         // set flags from rd & rs
+
+  Jmp,       // rel32
+  Jcc,       // cond, rel32
+  JmpInd,    // jump to address in rd
+  Call,      // rel32; pushes return address
+  CallInd,   // call address in rd
+  Ret,
+
+  Push,      // push rd
+  Pop,       // pop into rd
+  PushI,     // push sext(imm32)
+
+  // Floating point: GPRs hold raw IEEE-754 double bits. Models the SSE2
+  // scalar-double subset the prototype's compiled programs use.
+  FAddRR, FSubRR, FMulRR, FDivRR,
+  FCmpRR,    // ordered compare; sets flags so L/LE/G/GE/E/NE apply
+  CvtI2F,    // rd = double(int64(rs)) bits
+  CvtF2I,    // rd = int64(trunc(double(rs bits)))
+  FNegR, FAbsR,
+  // Transcendentals model the statically linked libm of the prototype's
+  // relocatable objects (needed by the Fourier / neural-net workloads).
+  FSqrtR, FSinR, FCosR, FExpR, FLogR,
+
+  Ocall,     // imm8 = ocall number; args RDI/RSI/RDX, result RAX
+
+  kOpCount,
+};
+
+const char* op_name(Op op);
+
+// Operand layout of each opcode; drives both the encoder and the
+// recursive-descent decoder. Every layout has a fixed instruction length.
+enum class Layout : std::uint8_t {
+  None,       // [op]
+  R,          // [op][rd]
+  RR,         // [op][rd<<4|rs]
+  RI32,       // [op][rd][imm32]
+  RI64,       // [op][rd][imm64]
+  RM,         // [op][rd][mem:6]   (Load/Load8/Lea: rd <- mem)
+  MR,         // [op][rs][mem:6]   (Store/Store8: mem <- rs)
+  MI32,       // [op][mem:6][imm32] (StoreI)
+  I32,        // [op][imm32]
+  I8,         // [op][imm8]
+  Rel32,      // [op][rel32]
+  CondRel32,  // [op][cond][rel32]
+};
+
+Layout op_layout(Op op);
+std::uint32_t layout_length(Layout layout);
+inline std::uint32_t op_length(Op op) { return layout_length(op_layout(op)); }
+
+// SIB-style memory operand: [base + index*scale + disp32].
+struct Mem {
+  bool has_base = false;
+  bool has_index = false;
+  Reg base = Reg::RAX;
+  Reg index = Reg::RAX;
+  std::uint8_t scale_log2 = 0;  // scale = 1 << scale_log2 (1,2,4,8)
+  std::int32_t disp = 0;
+
+  static Mem abs(std::int32_t disp) { return Mem{false, false, Reg::RAX, Reg::RAX, 0, disp}; }
+  static Mem base_disp(Reg base, std::int32_t disp = 0) {
+    return Mem{true, false, base, Reg::RAX, 0, disp};
+  }
+  static Mem base_index(Reg base, Reg index, std::uint8_t scale_log2, std::int32_t disp = 0) {
+    return Mem{true, true, base, index, scale_log2, disp};
+  }
+
+  bool operator==(const Mem&) const = default;
+};
+
+// A fully decoded instruction.
+struct Instr {
+  Op op = Op::Nop;
+  Reg rd = Reg::RAX;
+  Reg rs = Reg::RAX;
+  Cond cond = Cond::E;
+  Mem mem;
+  std::int64_t imm = 0;   // imm64/imm32(sext)/imm8/rel32 depending on layout
+  std::uint64_t addr = 0; // address the instruction was decoded at
+  std::uint32_t length = 0;
+
+  Layout layout() const { return op_layout(op); }
+
+  // ---- Instruction classes the security policies are defined over ----
+
+  // Writes to memory (the paper's MachineInstr::mayStore()).
+  bool may_store() const {
+    return op == Op::Store || op == Op::Store8 || op == Op::StoreI;
+  }
+  // Explicitly writes the stack pointer (paper policy P2 trigger). Push/
+  // Pop/Call/Ret adjust RSP implicitly and are covered by guard pages.
+  bool writes_rsp_explicitly() const;
+  bool is_indirect_branch() const { return op == Op::JmpInd || op == Op::CallInd; }
+  bool is_ret() const { return op == Op::Ret; }
+  bool is_call() const { return op == Op::Call || op == Op::CallInd; }
+  bool is_direct_branch() const { return op == Op::Jmp || op == Op::Jcc || op == Op::Call; }
+  // Control never falls through to the next instruction.
+  bool ends_flow() const {
+    return op == Op::Jmp || op == Op::JmpInd || op == Op::Ret || op == Op::Hlt;
+  }
+  // Target of a direct branch (valid for Jmp/Jcc/Call once decoded).
+  std::uint64_t branch_target() const { return addr + length + static_cast<std::uint64_t>(imm); }
+
+  std::string to_string() const;
+};
+
+std::string mem_to_string(const Mem& mem);
+
+}  // namespace deflection::isa

@@ -1,0 +1,158 @@
+// MiniC abstract syntax tree.
+//
+// MiniC is the source language of this reproduction's code producer — the
+// stand-in for "the target program (in C)" that the paper compiles with its
+// customized LLVM. It is a small, C-like language with 64-bit integers,
+// doubles, bytes, pointers, fixed-size arrays, function pointers (the
+// `fn` type — needed by the nBench ASSIGNMENT kernel, which the paper calls
+// out as function-pointer heavy), and the builtins the enclave runtime
+// provides (heap allocation, OCall send/recv, libm-style math).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace deflection::minic {
+
+// ---- Types ----
+
+enum class BaseType : std::uint8_t { Void, Int, Float, Byte, Fn };
+
+struct Type {
+  BaseType base = BaseType::Void;
+  int pointer_depth = 0;  // int** -> base=Int, depth=2
+
+  static Type void_type() { return {BaseType::Void, 0}; }
+  static Type int_type() { return {BaseType::Int, 0}; }
+  static Type float_type() { return {BaseType::Float, 0}; }
+  static Type byte_type() { return {BaseType::Byte, 0}; }
+  static Type fn_type() { return {BaseType::Fn, 0}; }
+  static Type ptr(BaseType base, int depth = 1) { return {base, depth}; }
+
+  bool is_void() const { return base == BaseType::Void && pointer_depth == 0; }
+  bool is_int() const { return base == BaseType::Int && pointer_depth == 0; }
+  bool is_float() const { return base == BaseType::Float && pointer_depth == 0; }
+  bool is_byte() const { return base == BaseType::Byte && pointer_depth == 0; }
+  bool is_fn() const { return base == BaseType::Fn && pointer_depth == 0; }
+  bool is_pointer() const { return pointer_depth > 0; }
+  // Scalars that fit a register as an integer-like value.
+  bool is_integral() const { return is_int() || is_byte() || is_pointer() || is_fn(); }
+
+  Type pointee() const { return {base, pointer_depth - 1}; }
+  Type pointer_to() const { return {base, pointer_depth + 1}; }
+
+  // Size of one element of this type when stored in memory.
+  int store_size() const { return (is_byte()) ? 1 : 8; }
+
+  bool operator==(const Type&) const = default;
+  std::string to_string() const;
+};
+
+// ---- Expressions ----
+
+enum class ExprKind {
+  IntLit,
+  FloatLit,
+  StringLit,   // byte* into the data section
+  Ident,
+  Unary,       // op: '-', '!', '~', '*', '&'
+  Binary,      // arithmetic / comparison / logic / shifts
+  Assign,      // lhs op= rhs (op == 0 for plain '=')
+  Call,        // callee is Ident (direct or builtin) or expression (fn value)
+  Index,       // base[index]
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // Filled by sema:
+  Type type;
+
+  // IntLit / FloatLit / StringLit
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  std::string str_value;
+
+  // Ident
+  std::string name;
+
+  // Unary / Binary / Assign: op is a token char or 2-char code
+  // ("==" -> 'E', "!=" -> 'N', "<=" -> 'l', ">=" -> 'g', "&&" -> 'A',
+  //  "||" -> 'O', "<<" -> 'L', ">>" -> 'R').
+  char op = 0;
+
+  ExprPtr a, b;                 // operands (unary: a; binary/assign/index: a,b)
+  std::vector<ExprPtr> args;    // Call arguments
+  ExprPtr callee;               // Call: expression form (fn value call)
+};
+
+// ---- Statements ----
+
+enum class StmtKind {
+  Block,
+  VarDecl,
+  If,
+  While,
+  For,
+  Return,
+  Break,
+  Continue,
+  ExprStmt,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  std::vector<StmtPtr> body;      // Block
+  // VarDecl
+  Type var_type;
+  std::string var_name;
+  std::int64_t array_size = 0;    // > 0 for array declarations
+  ExprPtr init;
+  // If / While / For
+  ExprPtr cond;
+  StmtPtr then_stmt, else_stmt;   // If
+  StmtPtr loop_body;              // While / For
+  StmtPtr for_init, for_step;     // For (simple statements)
+  // Return / ExprStmt
+  ExprPtr expr;
+};
+
+// ---- Declarations ----
+
+struct Param {
+  Type type;
+  std::string name;
+};
+
+struct FuncDecl {
+  Type return_type;
+  std::string name;
+  std::vector<Param> params;
+  StmtPtr body;
+  int line = 0;
+};
+
+struct GlobalDecl {
+  Type type;
+  std::string name;
+  std::int64_t array_size = 0;  // > 0 for arrays (zero-initialized)
+  int line = 0;
+};
+
+struct Module {
+  std::vector<GlobalDecl> globals;
+  std::vector<FuncDecl> functions;
+};
+
+}  // namespace deflection::minic

@@ -1,0 +1,610 @@
+#include "minic/interp.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "minic/sema.h"
+
+namespace deflection::minic {
+
+namespace {
+
+class Interp {
+ public:
+  Interp(const Module& module, const std::vector<Bytes>& inputs,
+         const InterpLimits& limits)
+      : module_(module), limits_(limits) {
+    for (const auto& in : inputs) inbox_.push_back(in);
+  }
+
+  Result<InterpResult> run() {
+    // Layout: [8 null guard][globals][stack 1MB][heap].
+    std::uint64_t cursor = 8;
+    for (const auto& g : module_.globals) {
+      Type t = g.type.is_byte() && g.array_size == 0 ? Type::int_type() : g.type;
+      std::uint64_t size = 8;
+      if (g.array_size > 0)
+        size = static_cast<std::uint64_t>(g.array_size) *
+               static_cast<std::uint64_t>(t.store_size());
+      size = (size + 7) / 8 * 8;
+      globals_[g.name] = GlobalInfo{cursor, t, g.array_size > 0};
+      cursor += size;
+    }
+    stack_base_ = cursor;
+    stack_ptr_ = stack_base_;
+    heap_ptr_ = stack_base_ + (1 << 20);
+    memory_.assign(heap_ptr_ + limits_.heap_size, 0);
+
+    for (const auto& f : module_.functions) functions_[f.name] = &f;
+    auto main_it = functions_.find("main");
+    if (main_it == functions_.end())
+      return Result<InterpResult>::fail("interp_no_main", "missing main");
+
+    std::uint64_t value = 0;
+    if (auto s = call_function(*main_it->second, {}, value); !s.is_ok())
+      return s.error();
+    result_.exit_code = static_cast<std::int64_t>(value);
+    return std::move(result_);
+  }
+
+ private:
+  struct GlobalInfo {
+    std::uint64_t addr;
+    Type type;
+    bool is_array;
+  };
+  struct Local {
+    std::uint64_t addr;
+    Type type;
+    bool is_array;
+  };
+  enum class FlowKind { Normal, Return, Break, Continue };
+  struct Flow {
+    FlowKind kind = FlowKind::Normal;
+    std::uint64_t value = 0;
+  };
+
+  Status fail(const std::string& code, const std::string& msg) {
+    return Status::fail(code, msg);
+  }
+  Status step() {
+    if (++steps_ > limits_.max_steps) return fail("interp_steps", "step limit");
+    return Status::ok();
+  }
+
+  // ---- memory ----
+  bool valid(std::uint64_t addr, std::uint64_t n) const {
+    return addr >= 8 && addr + n <= memory_.size();
+  }
+  Status load64(std::uint64_t addr, std::uint64_t& out) {
+    if (!valid(addr, 8)) return fail("interp_mem", "load out of range");
+    out = load_le64(memory_.data() + addr);
+    return Status::ok();
+  }
+  Status store64(std::uint64_t addr, std::uint64_t v) {
+    if (!valid(addr, 8)) return fail("interp_mem", "store out of range");
+    store_le64(memory_.data() + addr, v);
+    return Status::ok();
+  }
+  Status load8(std::uint64_t addr, std::uint64_t& out) {
+    if (!valid(addr, 1)) return fail("interp_mem", "load8 out of range");
+    out = memory_[addr];
+    return Status::ok();
+  }
+  Status store8(std::uint64_t addr, std::uint64_t v) {
+    if (!valid(addr, 1)) return fail("interp_mem", "store8 out of range");
+    memory_[addr] = static_cast<std::uint8_t>(v);
+    return Status::ok();
+  }
+
+  std::uint64_t intern_string(const std::string& s) {
+    auto it = strings_.find(s);
+    if (it != strings_.end()) return it->second;
+    // Strings live at the top of the heap region.
+    std::uint64_t addr = heap_ptr_;
+    for (char c : s) memory_[heap_ptr_++] = static_cast<std::uint8_t>(c);
+    memory_[heap_ptr_++] = 0;
+    heap_ptr_ = (heap_ptr_ + 15) / 16 * 16;
+    strings_[s] = addr;
+    return addr;
+  }
+
+  // ---- functions ----
+  Status call_function(const FuncDecl& func, const std::vector<std::uint64_t>& args,
+                       std::uint64_t& out) {
+    if (args.size() != func.params.size())
+      return fail("interp_call", "argument count mismatch for " + func.name);
+    if (++depth_ > 4000) return fail("interp_depth", "recursion too deep");
+    scopes_.emplace_back();
+    std::uint64_t saved_stack = stack_ptr_;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      Type t = func.params[i].type.is_byte() ? Type::int_type() : func.params[i].type;
+      std::uint64_t slot = push_slot(8);
+      if (auto s = store64(slot, args[i]); !s.is_ok()) return s;
+      scopes_.back()[func.params[i].name] = Local{slot, t, false};
+    }
+    Flow flow;
+    Status status = exec_stmt(*func.body, flow);
+    scopes_.pop_back();
+    stack_ptr_ = saved_stack;
+    --depth_;
+    if (!status.is_ok()) return status;
+    out = flow.kind == FlowKind::Return ? flow.value : 0;
+    return Status::ok();
+  }
+
+  std::uint64_t push_slot(std::uint64_t size) {
+    std::uint64_t addr = stack_ptr_;
+    stack_ptr_ += (size + 7) / 8 * 8;
+    return addr;
+  }
+
+  Local* lookup(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  // ---- statements ----
+  Status exec_stmt(const Stmt& stmt, Flow& flow) {
+    if (auto s = step(); !s.is_ok()) return s;
+    switch (stmt.kind) {
+      case StmtKind::Block: {
+        scopes_.emplace_back();
+        Status status = Status::ok();
+        for (const auto& child : stmt.body) {
+          status = exec_stmt(*child, flow);
+          if (!status.is_ok() || flow.kind != FlowKind::Normal) break;
+        }
+        scopes_.pop_back();
+        return status;
+      }
+      case StmtKind::VarDecl: {
+        Type t = stmt.var_type.is_byte() && stmt.array_size == 0 ? Type::int_type()
+                                                                 : stmt.var_type;
+        std::uint64_t size = 8;
+        if (stmt.array_size > 0)
+          size = static_cast<std::uint64_t>(stmt.array_size) *
+                 static_cast<std::uint64_t>(stmt.var_type.store_size());
+        std::uint64_t slot = push_slot(size);
+        std::memset(memory_.data() + slot, 0, size);
+        scopes_.back()[stmt.var_name] =
+            Local{slot, stmt.array_size > 0 ? stmt.var_type : t, stmt.array_size > 0};
+        if (stmt.init) {
+          std::uint64_t v;
+          if (auto s = eval(*stmt.init, v); !s.is_ok()) return s;
+          return store64(slot, v);
+        }
+        return Status::ok();
+      }
+      case StmtKind::If: {
+        std::uint64_t c;
+        if (auto s = eval(*stmt.cond, c); !s.is_ok()) return s;
+        if (c != 0) return exec_stmt(*stmt.then_stmt, flow);
+        if (stmt.else_stmt) return exec_stmt(*stmt.else_stmt, flow);
+        return Status::ok();
+      }
+      case StmtKind::While: {
+        for (;;) {
+          if (auto s = step(); !s.is_ok()) return s;
+          std::uint64_t c;
+          if (auto s = eval(*stmt.cond, c); !s.is_ok()) return s;
+          if (c == 0) break;
+          if (auto s = exec_stmt(*stmt.loop_body, flow); !s.is_ok()) return s;
+          if (flow.kind == FlowKind::Break) {
+            flow.kind = FlowKind::Normal;
+            break;
+          }
+          if (flow.kind == FlowKind::Continue) flow.kind = FlowKind::Normal;
+          if (flow.kind == FlowKind::Return) break;
+        }
+        return Status::ok();
+      }
+      case StmtKind::For: {
+        scopes_.emplace_back();
+        Status status = Status::ok();
+        if (stmt.for_init) status = exec_stmt(*stmt.for_init, flow);
+        while (status.is_ok() && flow.kind == FlowKind::Normal) {
+          if (auto s = step(); !s.is_ok()) {
+            status = s;
+            break;
+          }
+          if (stmt.cond) {
+            std::uint64_t c;
+            status = eval(*stmt.cond, c);
+            if (!status.is_ok() || c == 0) break;
+          }
+          status = exec_stmt(*stmt.loop_body, flow);
+          if (!status.is_ok()) break;
+          if (flow.kind == FlowKind::Break) {
+            flow.kind = FlowKind::Normal;
+            break;
+          }
+          if (flow.kind == FlowKind::Continue) flow.kind = FlowKind::Normal;
+          if (flow.kind == FlowKind::Return) break;
+          if (stmt.for_step) {
+            status = exec_stmt(*stmt.for_step, flow);
+            if (!status.is_ok()) break;
+          }
+        }
+        scopes_.pop_back();
+        return status;
+      }
+      case StmtKind::Return:
+        flow.kind = FlowKind::Return;
+        flow.value = 0;
+        if (stmt.expr) return eval(*stmt.expr, flow.value);
+        return Status::ok();
+      case StmtKind::Break:
+        flow.kind = FlowKind::Break;
+        return Status::ok();
+      case StmtKind::Continue:
+        flow.kind = FlowKind::Continue;
+        return Status::ok();
+      case StmtKind::ExprStmt: {
+        std::uint64_t v;
+        return eval(*stmt.expr, v);
+      }
+    }
+    return Status::ok();
+  }
+
+  // ---- expressions ----
+  static double as_f(std::uint64_t v) { return std::bit_cast<double>(v); }
+  static std::uint64_t as_u(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+  // Address of an lvalue + the element type stored there.
+  Status lvalue_addr(const Expr& e, std::uint64_t& addr, int& elem_size) {
+    if (e.kind == ExprKind::Ident) {
+      if (Local* local = lookup(e.name)) {
+        addr = local->addr;
+        elem_size = 8;
+        return Status::ok();
+      }
+      auto g = globals_.find(e.name);
+      if (g != globals_.end()) {
+        addr = g->second.addr;
+        elem_size = 8;
+        return Status::ok();
+      }
+      return fail("interp_name", "unknown identifier " + e.name);
+    }
+    if (e.kind == ExprKind::Unary && e.op == '*') {
+      std::uint64_t p;
+      if (auto s = eval(*e.a, p); !s.is_ok()) return s;
+      addr = p;
+      elem_size = e.type.store_size();
+      return Status::ok();
+    }
+    if (e.kind == ExprKind::Index) {
+      std::uint64_t base, idx;
+      if (auto s = eval(*e.a, base); !s.is_ok()) return s;
+      if (auto s = eval(*e.b, idx); !s.is_ok()) return s;
+      int sz = e.a->type.pointee().store_size();
+      addr = base + idx * static_cast<std::uint64_t>(sz);
+      elem_size = sz;
+      return Status::ok();
+    }
+    return fail("interp_lvalue", "not an lvalue");
+  }
+
+  Status eval(const Expr& e, std::uint64_t& out) {
+    if (auto s = step(); !s.is_ok()) return s;
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        out = static_cast<std::uint64_t>(e.int_value);
+        return Status::ok();
+      case ExprKind::FloatLit:
+        out = as_u(e.float_value);
+        return Status::ok();
+      case ExprKind::StringLit:
+        out = intern_string(e.str_value);
+        return Status::ok();
+      case ExprKind::Ident: {
+        if (Local* local = lookup(e.name)) {
+          if (local->is_array) {
+            out = local->addr;
+            return Status::ok();
+          }
+          return load64(local->addr, out);
+        }
+        auto g = globals_.find(e.name);
+        if (g != globals_.end()) {
+          if (g->second.is_array) {
+            out = g->second.addr;
+            return Status::ok();
+          }
+          return load64(g->second.addr, out);
+        }
+        return fail("interp_name", "unknown identifier " + e.name);
+      }
+      case ExprKind::Unary:
+        return eval_unary(e, out);
+      case ExprKind::Binary:
+        return eval_binary(e, out);
+      case ExprKind::Assign:
+        return eval_assign(e, out);
+      case ExprKind::Call:
+        return eval_call(e, out);
+      case ExprKind::Index: {
+        std::uint64_t addr;
+        int elem;
+        if (auto s = lvalue_addr(e, addr, elem); !s.is_ok()) return s;
+        return elem == 1 ? load8(addr, out) : load64(addr, out);
+      }
+    }
+    return Status::ok();
+  }
+
+  Status eval_unary(const Expr& e, std::uint64_t& out) {
+    if (e.op == '&') {
+      if (e.a->kind == ExprKind::Ident && lookup(e.a->name) == nullptr &&
+          !globals_.contains(e.a->name)) {
+        // &function: tag = 1-based function ordinal (never a valid address
+        // below 8, so misuse as a pointer traps).
+        std::size_t idx = 0;
+        for (const auto& f : module_.functions) {
+          ++idx;
+          if (f.name == e.a->name) {
+            out = idx;
+            return Status::ok();
+          }
+        }
+        return fail("interp_name", "unknown function " + e.a->name);
+      }
+      std::uint64_t addr;
+      int elem;
+      if (auto s = lvalue_addr(*e.a, addr, elem); !s.is_ok()) return s;
+      out = addr;
+      return Status::ok();
+    }
+    std::uint64_t v;
+    if (auto s = eval(*e.a, v); !s.is_ok()) return s;
+    switch (e.op) {
+      case '-': out = e.a->type.is_float() ? as_u(-as_f(v)) : (0 - v); return Status::ok();
+      case '~': out = ~v; return Status::ok();
+      case '!': out = (v == 0) ? 1 : 0; return Status::ok();
+      case '*': {
+        int elem = e.type.store_size();
+        return elem == 1 ? load8(v, out) : load64(v, out);
+      }
+      default:
+        return fail("interp_unary", "bad unary");
+    }
+  }
+
+  Status eval_binary(const Expr& e, std::uint64_t& out) {
+    if (e.op == 'A') {  // &&
+      std::uint64_t a;
+      if (auto s = eval(*e.a, a); !s.is_ok()) return s;
+      if (a == 0) {
+        out = 0;
+        return Status::ok();
+      }
+      std::uint64_t b;
+      if (auto s = eval(*e.b, b); !s.is_ok()) return s;
+      out = b != 0 ? 1 : 0;
+      return Status::ok();
+    }
+    if (e.op == 'O') {  // ||
+      std::uint64_t a;
+      if (auto s = eval(*e.a, a); !s.is_ok()) return s;
+      if (a != 0) {
+        out = 1;
+        return Status::ok();
+      }
+      std::uint64_t b;
+      if (auto s = eval(*e.b, b); !s.is_ok()) return s;
+      out = b != 0 ? 1 : 0;
+      return Status::ok();
+    }
+
+    std::uint64_t a, b;
+    if (auto s = eval(*e.a, a); !s.is_ok()) return s;
+    if (auto s = eval(*e.b, b); !s.is_ok()) return s;
+    bool flt = e.a->type.is_float() || e.b->type.is_float();
+    bool uns = e.a->type.is_pointer() || e.a->type.is_fn();
+    std::int64_t sa = static_cast<std::int64_t>(a), sb = static_cast<std::int64_t>(b);
+    bool lhs_scaled = e.a->type.is_pointer() && e.a->type.pointee().store_size() == 8;
+
+    switch (e.op) {
+      case '+':
+        out = flt ? as_u(as_f(a) + as_f(b)) : a + (lhs_scaled ? b * 8 : b);
+        return Status::ok();
+      case '-':
+        out = flt ? as_u(as_f(a) - as_f(b)) : a - (lhs_scaled ? b * 8 : b);
+        return Status::ok();
+      case '*':
+        out = flt ? as_u(as_f(a) * as_f(b))
+                  : static_cast<std::uint64_t>(sa * sb);
+        return Status::ok();
+      case '/':
+        if (flt) {
+          out = as_u(as_f(a) / as_f(b));
+          return Status::ok();
+        }
+        if (sb == 0) return fail("interp_div", "division by zero");
+        if (sa == std::numeric_limits<std::int64_t>::min() && sb == -1)
+          return fail("interp_div", "division overflow");
+        out = static_cast<std::uint64_t>(sa / sb);
+        return Status::ok();
+      case '%':
+        if (sb == 0) return fail("interp_div", "mod by zero");
+        if (sa == std::numeric_limits<std::int64_t>::min() && sb == -1)
+          return fail("interp_div", "mod overflow");
+        out = static_cast<std::uint64_t>(sa % sb);
+        return Status::ok();
+      case '&': out = a & b; return Status::ok();
+      case '|': out = a | b; return Status::ok();
+      case '^': out = a ^ b; return Status::ok();
+      case 'L': out = a << (b & 63); return Status::ok();
+      case 'R': out = static_cast<std::uint64_t>(sa >> (b & 63)); return Status::ok();
+      case 'E': out = compare(e, a, b, flt, uns) == 0 ? 1 : 0; return Status::ok();
+      case 'N': out = compare(e, a, b, flt, uns) != 0 ? 1 : 0; return Status::ok();
+      case '<': out = compare(e, a, b, flt, uns) < 0 ? 1 : 0; return Status::ok();
+      case 'l': out = compare(e, a, b, flt, uns) <= 0 ? 1 : 0; return Status::ok();
+      case '>': out = compare(e, a, b, flt, uns) > 0 ? 1 : 0; return Status::ok();
+      case 'g': out = compare(e, a, b, flt, uns) >= 0 ? 1 : 0; return Status::ok();
+      default:
+        return fail("interp_binary", "bad binary");
+    }
+  }
+
+  // Comparison result: -1/0/1; NaN compares as "greater+unordered" the way
+  // the VM models it (all conds false except NE -> encoded as 2).
+  int compare(const Expr& e, std::uint64_t a, std::uint64_t b, bool flt, bool uns) {
+    (void)e;
+    if (flt) {
+      double fa = as_f(a), fb = as_f(b);
+      if (std::isnan(fa) || std::isnan(fb)) return 2;  // unordered: only != true
+      return fa < fb ? -1 : (fa > fb ? 1 : 0);
+    }
+    if (uns) return a < b ? -1 : (a > b ? 1 : 0);
+    std::int64_t sa = static_cast<std::int64_t>(a), sb = static_cast<std::int64_t>(b);
+    return sa < sb ? -1 : (sa > sb ? 1 : 0);
+  }
+
+  Status eval_assign(const Expr& e, std::uint64_t& out) {
+    std::uint64_t value;
+    if (e.op == 0) {
+      if (auto s = eval(*e.b, value); !s.is_ok()) return s;
+    } else {
+      // Compound: lhs op rhs with the binary semantics above.
+      std::uint64_t a, b;
+      if (auto s = eval(*e.a, a); !s.is_ok()) return s;
+      if (auto s = eval(*e.b, b); !s.is_ok()) return s;
+      bool flt = e.a->type.is_float();
+      bool lhs_scaled = e.a->type.is_pointer() && e.a->type.pointee().store_size() == 8;
+      std::int64_t sa = static_cast<std::int64_t>(a), sb = static_cast<std::int64_t>(b);
+      switch (e.op) {
+        case '+': value = flt ? as_u(as_f(a) + as_f(b)) : a + (lhs_scaled ? b * 8 : b); break;
+        case '-': value = flt ? as_u(as_f(a) - as_f(b)) : a - (lhs_scaled ? b * 8 : b); break;
+        case '*': value = flt ? as_u(as_f(a) * as_f(b)) : static_cast<std::uint64_t>(sa * sb); break;
+        case '/':
+          if (flt) { value = as_u(as_f(a) / as_f(b)); break; }
+          if (sb == 0) return fail("interp_div", "division by zero");
+          value = static_cast<std::uint64_t>(sa / sb);
+          break;
+        case '%':
+          if (sb == 0) return fail("interp_div", "mod by zero");
+          value = static_cast<std::uint64_t>(sa % sb);
+          break;
+        default:
+          return fail("interp_assign", "bad compound");
+      }
+    }
+    std::uint64_t addr;
+    int elem;
+    if (auto s = lvalue_addr(*e.a, addr, elem); !s.is_ok()) return s;
+    int size = e.a->type.is_byte() ? 1 : elem;
+    out = value;
+    return size == 1 ? store8(addr, value) : store64(addr, value);
+  }
+
+  Status eval_call(const Expr& e, std::uint64_t& out) {
+    bool named = e.callee->kind == ExprKind::Ident && lookup(e.callee->name) == nullptr &&
+                 !globals_.contains(e.callee->name);
+    std::vector<std::uint64_t> args;
+    for (const auto& arg : e.args) {
+      std::uint64_t v;
+      if (auto s = eval(*arg, v); !s.is_ok()) return s;
+      args.push_back(v);
+    }
+    if (named) {
+      const std::string& name = e.callee->name;
+      auto fn = functions_.find(name);
+      if (fn == functions_.end() || builtin_signatures().contains(name))
+        return eval_builtin(name, args, out);
+      return call_function(*fn->second, args, out);
+    }
+    std::uint64_t target;
+    if (auto s = eval(*e.callee, target); !s.is_ok()) return s;
+    if (target == 0 || target > module_.functions.size())
+      return fail("interp_callind", "bad function value");
+    return call_function(module_.functions[target - 1], args, out);
+  }
+
+  Status eval_builtin(const std::string& name, const std::vector<std::uint64_t>& args,
+                      std::uint64_t& out) {
+    out = 0;
+    if (name == "itof") { out = as_u(static_cast<double>(static_cast<std::int64_t>(args[0]))); return Status::ok(); }
+    if (name == "ftoi") {
+      double v = as_f(args[0]);
+      out = (std::isnan(v) || v >= 9.3e18 || v <= -9.3e18)
+                ? static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::min())
+                : static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+      return Status::ok();
+    }
+    if (name == "f_sqrt") { out = as_u(std::sqrt(as_f(args[0]))); return Status::ok(); }
+    if (name == "f_sin") { out = as_u(std::sin(as_f(args[0]))); return Status::ok(); }
+    if (name == "f_cos") { out = as_u(std::cos(as_f(args[0]))); return Status::ok(); }
+    if (name == "f_exp") { out = as_u(std::exp(as_f(args[0]))); return Status::ok(); }
+    if (name == "f_log") { out = as_u(std::log(as_f(args[0]))); return Status::ok(); }
+    if (name == "f_abs") { out = as_u(std::fabs(as_f(args[0]))); return Status::ok(); }
+    if (name == "to_int_ptr" || name == "to_float_ptr" || name == "to_byte_ptr" ||
+        name == "as_ptr" || name == "ptr_to_int") {
+      out = args[0];
+      return Status::ok();
+    }
+    if (name == "alloc") {
+      std::uint64_t n = (args[0] + 15) / 16 * 16;
+      if (heap_ptr_ + n > memory_.size()) return fail("interp_oom", "heap exhausted");
+      out = heap_ptr_;
+      heap_ptr_ += n;
+      return Status::ok();
+    }
+    if (name == "ocall_send") {
+      std::uint64_t p = args[0], n = args[1];
+      if (!valid(p, n)) return fail("interp_mem", "send out of range");
+      result_.sent.emplace_back(memory_.begin() + static_cast<std::ptrdiff_t>(p),
+                                memory_.begin() + static_cast<std::ptrdiff_t>(p + n));
+      out = n;
+      return Status::ok();
+    }
+    if (name == "ocall_recv") {
+      if (inbox_.empty()) {
+        out = 0;
+        return Status::ok();
+      }
+      Bytes& msg = inbox_.front();
+      std::uint64_t n = std::min<std::uint64_t>(msg.size(), args[1]);
+      if (!valid(args[0], n)) return fail("interp_mem", "recv out of range");
+      std::memcpy(memory_.data() + args[0], msg.data(), n);
+      inbox_.pop_front();
+      out = n;
+      return Status::ok();
+    }
+    if (name == "print_int") {
+      result_.printed.push_back(static_cast<std::int64_t>(args[0]));
+      return Status::ok();
+    }
+    return fail("interp_builtin", "unknown builtin " + name);
+  }
+
+  const Module& module_;
+  InterpLimits limits_;
+  InterpResult result_;
+  Bytes memory_;
+  std::map<std::string, GlobalInfo> globals_;
+  std::map<std::string, const FuncDecl*> functions_;
+  std::map<std::string, std::uint64_t> strings_;
+  std::vector<std::map<std::string, Local>> scopes_;
+  std::deque<Bytes> inbox_;
+  std::uint64_t stack_base_ = 0, stack_ptr_ = 0, heap_ptr_ = 0;
+  std::uint64_t steps_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<InterpResult> interpret(const Module& module, const std::vector<Bytes>& inputs,
+                               const InterpLimits& limits) {
+  Interp interp(module, inputs, limits);
+  return interp.run();
+}
+
+}  // namespace deflection::minic

@@ -1,0 +1,37 @@
+// Reference AST interpreter for MiniC.
+//
+// Executes a type-checked module directly over the AST, with its own flat
+// memory model. It exists for *differential testing*: the compiled DX64
+// binary running in the enclave VM must produce the same result as this
+// interpreter on the same program — a disagreement means a bug in the
+// code generator, the instrumentation passes, or the VM.
+//
+// Supported surface: everything the code generator supports except OCalls
+// (ocall_send/ocall_recv/print_int are modeled against an in-memory mailbox
+// so I/O-bearing programs can be diffed too).
+#pragma once
+
+#include <deque>
+
+#include "minic/ast.h"
+#include "support/bytes.h"
+#include "support/result.h"
+
+namespace deflection::minic {
+
+struct InterpResult {
+  std::int64_t exit_code = 0;
+  std::vector<Bytes> sent;  // ocall_send payloads, in order
+  std::vector<std::int64_t> printed;
+};
+
+struct InterpLimits {
+  std::uint64_t max_steps = 200'000'000;
+  std::uint64_t heap_size = 16 * 1024 * 1024;
+};
+
+// Runs `module` (must have passed analyze()). `inputs` feed ocall_recv.
+Result<InterpResult> interpret(const Module& module, const std::vector<Bytes>& inputs,
+                               const InterpLimits& limits = {});
+
+}  // namespace deflection::minic

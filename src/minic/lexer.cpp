@@ -1,0 +1,224 @@
+#include "minic/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace deflection::minic {
+
+namespace {
+
+const std::map<std::string, Tok>& keywords() {
+  static const std::map<std::string, Tok> kw = {
+      {"int", Tok::KwInt},       {"float", Tok::KwFloat}, {"byte", Tok::KwByte},
+      {"void", Tok::KwVoid},     {"fn", Tok::KwFn},       {"if", Tok::KwIf},
+      {"else", Tok::KwElse},     {"while", Tok::KwWhile}, {"for", Tok::KwFor},
+      {"return", Tok::KwReturn}, {"break", Tok::KwBreak}, {"continue", Tok::KwContinue},
+  };
+  return kw;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> lex(const std::string& source) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  auto fail = [&](const std::string& msg) {
+    return Result<std::vector<Token>>::fail(
+        "lex_error", "line " + std::to_string(line) + ": " + msg);
+  };
+  auto push = [&](Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < source.size() && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= source.size()) return fail("unterminated block comment");
+      i += 2;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) || source[i] == '_'))
+        ++i;
+      std::string word = source.substr(start, i - start);
+      auto it = keywords().find(word);
+      if (it != keywords().end()) {
+        push(it->second);
+      } else {
+        Token t;
+        t.kind = Tok::Ident;
+        t.line = line;
+        t.text = word;
+        out.push_back(std::move(t));
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      bool is_float = false;
+      bool is_hex = c == '0' && i + 1 < source.size() &&
+                    (source[i + 1] == 'x' || source[i + 1] == 'X');
+      if (is_hex) {
+        i += 2;
+        while (i < source.size() && std::isxdigit(static_cast<unsigned char>(source[i]))) ++i;
+      } else {
+        while (i < source.size() && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+        if (i < source.size() && source[i] == '.') {
+          is_float = true;
+          ++i;
+          while (i < source.size() && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+        }
+        if (i < source.size() && (source[i] == 'e' || source[i] == 'E')) {
+          is_float = true;
+          ++i;
+          if (i < source.size() && (source[i] == '+' || source[i] == '-')) ++i;
+          while (i < source.size() && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+        }
+      }
+      std::string num = source.substr(start, i - start);
+      Token t;
+      t.line = line;
+      if (is_float) {
+        t.kind = Tok::FloatLit;
+        t.float_value = std::stod(num);
+      } else {
+        t.kind = Tok::IntLit;
+        t.int_value = is_hex ? static_cast<std::int64_t>(std::stoull(num, nullptr, 16))
+                             : static_cast<std::int64_t>(std::stoll(num));
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string s;
+      while (i < source.size() && source[i] != '"') {
+        char ch = source[i];
+        if (ch == '\\' && i + 1 < source.size()) {
+          ++i;
+          char esc = source[i];
+          if (esc == 'n') ch = '\n';
+          else if (esc == 't') ch = '\t';
+          else if (esc == '0') ch = '\0';
+          else ch = esc;
+        }
+        if (ch == '\n') ++line;
+        s.push_back(ch);
+        ++i;
+      }
+      if (i >= source.size()) return fail("unterminated string literal");
+      ++i;
+      Token t;
+      t.kind = Tok::StringLit;
+      t.line = line;
+      t.text = std::move(s);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      if (i + 2 >= source.size()) return fail("unterminated char literal");
+      char v = source[i + 1];
+      std::size_t close = i + 2;
+      if (v == '\\') {
+        char esc = source[i + 2];
+        if (esc == 'n') v = '\n';
+        else if (esc == 't') v = '\t';
+        else if (esc == '0') v = '\0';
+        else v = esc;
+        close = i + 3;
+      }
+      if (close >= source.size() || source[close] != '\'')
+        return fail("unterminated char literal");
+      Token t;
+      t.kind = Tok::CharLit;
+      t.line = line;
+      t.int_value = static_cast<unsigned char>(v);
+      out.push_back(std::move(t));
+      i = close + 1;
+      continue;
+    }
+
+    auto two = [&](char second) {
+      return i + 1 < source.size() && source[i + 1] == second;
+    };
+    switch (c) {
+      case '(': push(Tok::LParen); ++i; break;
+      case ')': push(Tok::RParen); ++i; break;
+      case '{': push(Tok::LBrace); ++i; break;
+      case '}': push(Tok::RBrace); ++i; break;
+      case '[': push(Tok::LBracket); ++i; break;
+      case ']': push(Tok::RBracket); ++i; break;
+      case ',': push(Tok::Comma); ++i; break;
+      case ';': push(Tok::Semi); ++i; break;
+      case '~': push(Tok::Tilde); ++i; break;
+      case '^': push(Tok::Caret); ++i; break;
+      case '+':
+        if (two('=')) { push(Tok::PlusAssign); i += 2; } else { push(Tok::Plus); ++i; }
+        break;
+      case '-':
+        if (two('=')) { push(Tok::MinusAssign); i += 2; } else { push(Tok::Minus); ++i; }
+        break;
+      case '*':
+        if (two('=')) { push(Tok::StarAssign); i += 2; } else { push(Tok::Star); ++i; }
+        break;
+      case '/':
+        if (two('=')) { push(Tok::SlashAssign); i += 2; } else { push(Tok::Slash); ++i; }
+        break;
+      case '%':
+        if (two('=')) { push(Tok::PercentAssign); i += 2; } else { push(Tok::Percent); ++i; }
+        break;
+      case '=':
+        if (two('=')) { push(Tok::Eq); i += 2; } else { push(Tok::Assign); ++i; }
+        break;
+      case '!':
+        if (two('=')) { push(Tok::Ne); i += 2; } else { push(Tok::Bang); ++i; }
+        break;
+      case '<':
+        if (two('=')) { push(Tok::Le); i += 2; }
+        else if (two('<')) { push(Tok::Shl); i += 2; }
+        else { push(Tok::Lt); ++i; }
+        break;
+      case '>':
+        if (two('=')) { push(Tok::Ge); i += 2; }
+        else if (two('>')) { push(Tok::Shr); i += 2; }
+        else { push(Tok::Gt); ++i; }
+        break;
+      case '&':
+        if (two('&')) { push(Tok::AndAnd); i += 2; } else { push(Tok::Amp); ++i; }
+        break;
+      case '|':
+        if (two('|')) { push(Tok::OrOr); i += 2; } else { push(Tok::Pipe); ++i; }
+        break;
+      default:
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(Tok::End);
+  return out;
+}
+
+}  // namespace deflection::minic

@@ -1,0 +1,44 @@
+// MiniC lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/result.h"
+
+namespace deflection::minic {
+
+enum class Tok : std::uint8_t {
+  End,
+  Ident,
+  IntLit,
+  FloatLit,
+  StringLit,
+  CharLit,
+  KwInt, KwFloat, KwByte, KwVoid, KwFn,
+  KwIf, KwElse, KwWhile, KwFor, KwReturn, KwBreak, KwContinue,
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi,
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  Assign,            // =
+  PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  AndAnd, OrOr,
+  Shl, Shr,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  int line = 1;
+  std::string text;        // Ident / StringLit
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+};
+
+// Tokenizes MiniC source. `//` line comments and `/* */` block comments are
+// supported. Fails with a line-tagged error on bad input.
+Result<std::vector<Token>> lex(const std::string& source);
+
+}  // namespace deflection::minic

@@ -1,0 +1,436 @@
+#include "minic/parser.h"
+
+#include "minic/lexer.h"
+
+namespace deflection::minic {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<Module> run() {
+    Module module;
+    while (peek().kind != Tok::End) {
+      if (!parse_top_level(module)) return err_;
+      if (failed_) return err_;
+    }
+    return module;
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const {
+    std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  Token take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool at(Tok kind) const { return peek().kind == kind; }
+  bool accept(Tok kind) {
+    if (!at(kind)) return false;
+    take();
+    return true;
+  }
+  bool expect(Tok kind, const std::string& what) {
+    if (accept(kind)) return true;
+    fail("expected " + what);
+    return false;
+  }
+  void fail(const std::string& msg) {
+    if (failed_) return;
+    failed_ = true;
+    err_ = Error::make("parse_error",
+                       "line " + std::to_string(peek().line) + ": " + msg);
+  }
+
+  bool at_type() const {
+    Tok k = peek().kind;
+    return k == Tok::KwInt || k == Tok::KwFloat || k == Tok::KwByte ||
+           k == Tok::KwVoid || k == Tok::KwFn;
+  }
+
+  Type parse_type() {
+    Type t;
+    switch (take().kind) {
+      case Tok::KwInt: t.base = BaseType::Int; break;
+      case Tok::KwFloat: t.base = BaseType::Float; break;
+      case Tok::KwByte: t.base = BaseType::Byte; break;
+      case Tok::KwVoid: t.base = BaseType::Void; break;
+      case Tok::KwFn: t.base = BaseType::Fn; break;
+      default:
+        fail("expected type");
+        return t;
+    }
+    while (accept(Tok::Star)) ++t.pointer_depth;
+    return t;
+  }
+
+  bool parse_top_level(Module& module) {
+    if (!at_type()) {
+      fail("expected declaration");
+      return false;
+    }
+    int line = peek().line;
+    Type type = parse_type();
+    if (failed_) return false;
+    if (!at(Tok::Ident)) {
+      fail("expected identifier");
+      return false;
+    }
+    std::string name = take().text;
+
+    if (at(Tok::LParen)) {
+      FuncDecl func;
+      func.return_type = type;
+      func.name = std::move(name);
+      func.line = line;
+      take();  // (
+      if (!at(Tok::RParen)) {
+        do {
+          if (!at_type()) {
+            fail("expected parameter type");
+            return false;
+          }
+          Param p;
+          p.type = parse_type();
+          if (!at(Tok::Ident)) {
+            fail("expected parameter name");
+            return false;
+          }
+          p.name = take().text;
+          func.params.push_back(std::move(p));
+        } while (accept(Tok::Comma));
+      }
+      if (!expect(Tok::RParen, "')'")) return false;
+      func.body = parse_block();
+      if (failed_) return false;
+      module.functions.push_back(std::move(func));
+      return true;
+    }
+
+    GlobalDecl g;
+    g.type = type;
+    g.name = std::move(name);
+    g.line = line;
+    if (accept(Tok::LBracket)) {
+      if (!at(Tok::IntLit)) {
+        fail("expected array size");
+        return false;
+      }
+      g.array_size = take().int_value;
+      if (!expect(Tok::RBracket, "']'")) return false;
+    }
+    if (!expect(Tok::Semi, "';' after global")) return false;
+    module.globals.push_back(std::move(g));
+    return true;
+  }
+
+  StmtPtr make_stmt(StmtKind kind) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->line = peek().line;
+    return s;
+  }
+
+  StmtPtr parse_block() {
+    auto block = make_stmt(StmtKind::Block);
+    if (!expect(Tok::LBrace, "'{'")) return block;
+    while (!at(Tok::RBrace) && !at(Tok::End) && !failed_) {
+      block->body.push_back(parse_stmt());
+    }
+    expect(Tok::RBrace, "'}'");
+    return block;
+  }
+
+  StmtPtr parse_stmt() {
+    if (at(Tok::LBrace)) return parse_block();
+    if (at_type()) return parse_var_decl();
+    if (accept(Tok::KwIf)) {
+      auto s = make_stmt(StmtKind::If);
+      expect(Tok::LParen, "'(' after if");
+      s->cond = parse_expr();
+      expect(Tok::RParen, "')'");
+      s->then_stmt = parse_stmt();
+      if (accept(Tok::KwElse)) s->else_stmt = parse_stmt();
+      return s;
+    }
+    if (accept(Tok::KwWhile)) {
+      auto s = make_stmt(StmtKind::While);
+      expect(Tok::LParen, "'(' after while");
+      s->cond = parse_expr();
+      expect(Tok::RParen, "')'");
+      s->loop_body = parse_stmt();
+      return s;
+    }
+    if (accept(Tok::KwFor)) {
+      auto s = make_stmt(StmtKind::For);
+      expect(Tok::LParen, "'(' after for");
+      if (!at(Tok::Semi)) {
+        s->for_init = at_type() ? parse_var_decl_nosemi() : parse_expr_stmt_nosemi();
+      }
+      expect(Tok::Semi, "';' in for");
+      if (!at(Tok::Semi)) s->cond = parse_expr();
+      expect(Tok::Semi, "';' in for");
+      if (!at(Tok::RParen)) s->for_step = parse_expr_stmt_nosemi();
+      expect(Tok::RParen, "')'");
+      s->loop_body = parse_stmt();
+      return s;
+    }
+    if (accept(Tok::KwReturn)) {
+      auto s = make_stmt(StmtKind::Return);
+      if (!at(Tok::Semi)) s->expr = parse_expr();
+      expect(Tok::Semi, "';' after return");
+      return s;
+    }
+    if (accept(Tok::KwBreak)) {
+      auto s = make_stmt(StmtKind::Break);
+      expect(Tok::Semi, "';' after break");
+      return s;
+    }
+    if (accept(Tok::KwContinue)) {
+      auto s = make_stmt(StmtKind::Continue);
+      expect(Tok::Semi, "';' after continue");
+      return s;
+    }
+    auto s = parse_expr_stmt_nosemi();
+    expect(Tok::Semi, "';' after expression");
+    return s;
+  }
+
+  StmtPtr parse_var_decl() {
+    auto s = parse_var_decl_nosemi();
+    expect(Tok::Semi, "';' after declaration");
+    return s;
+  }
+
+  StmtPtr parse_var_decl_nosemi() {
+    auto s = make_stmt(StmtKind::VarDecl);
+    s->var_type = parse_type();
+    if (!at(Tok::Ident)) {
+      fail("expected variable name");
+      return s;
+    }
+    s->var_name = take().text;
+    if (accept(Tok::LBracket)) {
+      if (!at(Tok::IntLit)) {
+        fail("expected array size");
+        return s;
+      }
+      s->array_size = take().int_value;
+      expect(Tok::RBracket, "']'");
+    }
+    if (accept(Tok::Assign)) s->init = parse_expr();
+    return s;
+  }
+
+  StmtPtr parse_expr_stmt_nosemi() {
+    auto s = make_stmt(StmtKind::ExprStmt);
+    s->expr = parse_expr();
+    return s;
+  }
+
+  // ---- Expressions ----
+
+  ExprPtr make_expr(ExprKind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = peek().line;
+    return e;
+  }
+
+  ExprPtr parse_expr() { return parse_assign(); }
+
+  ExprPtr parse_assign() {
+    ExprPtr lhs = parse_or();
+    char compound = 0;
+    switch (peek().kind) {
+      case Tok::Assign: compound = 0; break;
+      case Tok::PlusAssign: compound = '+'; break;
+      case Tok::MinusAssign: compound = '-'; break;
+      case Tok::StarAssign: compound = '*'; break;
+      case Tok::SlashAssign: compound = '/'; break;
+      case Tok::PercentAssign: compound = '%'; break;
+      default:
+        return lhs;
+    }
+    take();
+    auto e = make_expr(ExprKind::Assign);
+    e->op = compound;
+    e->a = std::move(lhs);
+    e->b = parse_assign();
+    return e;
+  }
+
+  ExprPtr binary(char op, ExprPtr a, ExprPtr b) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Binary;
+    e->line = a ? a->line : 0;
+    e->op = op;
+    e->a = std::move(a);
+    e->b = std::move(b);
+    return e;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_and();
+    while (accept(Tok::OrOr)) e = binary('O', std::move(e), parse_and());
+    return e;
+  }
+  ExprPtr parse_and() {
+    ExprPtr e = parse_bitor();
+    while (accept(Tok::AndAnd)) e = binary('A', std::move(e), parse_bitor());
+    return e;
+  }
+  ExprPtr parse_bitor() {
+    ExprPtr e = parse_bitxor();
+    while (accept(Tok::Pipe)) e = binary('|', std::move(e), parse_bitxor());
+    return e;
+  }
+  ExprPtr parse_bitxor() {
+    ExprPtr e = parse_bitand();
+    while (accept(Tok::Caret)) e = binary('^', std::move(e), parse_bitand());
+    return e;
+  }
+  ExprPtr parse_bitand() {
+    ExprPtr e = parse_equality();
+    while (accept(Tok::Amp)) e = binary('&', std::move(e), parse_equality());
+    return e;
+  }
+  ExprPtr parse_equality() {
+    ExprPtr e = parse_relational();
+    for (;;) {
+      if (accept(Tok::Eq)) e = binary('E', std::move(e), parse_relational());
+      else if (accept(Tok::Ne)) e = binary('N', std::move(e), parse_relational());
+      else return e;
+    }
+  }
+  ExprPtr parse_relational() {
+    ExprPtr e = parse_shift();
+    for (;;) {
+      if (accept(Tok::Lt)) e = binary('<', std::move(e), parse_shift());
+      else if (accept(Tok::Le)) e = binary('l', std::move(e), parse_shift());
+      else if (accept(Tok::Gt)) e = binary('>', std::move(e), parse_shift());
+      else if (accept(Tok::Ge)) e = binary('g', std::move(e), parse_shift());
+      else return e;
+    }
+  }
+  ExprPtr parse_shift() {
+    ExprPtr e = parse_additive();
+    for (;;) {
+      if (accept(Tok::Shl)) e = binary('L', std::move(e), parse_additive());
+      else if (accept(Tok::Shr)) e = binary('R', std::move(e), parse_additive());
+      else return e;
+    }
+  }
+  ExprPtr parse_additive() {
+    ExprPtr e = parse_multiplicative();
+    for (;;) {
+      if (accept(Tok::Plus)) e = binary('+', std::move(e), parse_multiplicative());
+      else if (accept(Tok::Minus)) e = binary('-', std::move(e), parse_multiplicative());
+      else return e;
+    }
+  }
+  ExprPtr parse_multiplicative() {
+    ExprPtr e = parse_unary();
+    for (;;) {
+      if (accept(Tok::Star)) e = binary('*', std::move(e), parse_unary());
+      else if (accept(Tok::Slash)) e = binary('/', std::move(e), parse_unary());
+      else if (accept(Tok::Percent)) e = binary('%', std::move(e), parse_unary());
+      else return e;
+    }
+  }
+
+  ExprPtr parse_unary() {
+    char op = 0;
+    if (accept(Tok::Minus)) op = '-';
+    else if (accept(Tok::Bang)) op = '!';
+    else if (accept(Tok::Tilde)) op = '~';
+    else if (accept(Tok::Star)) op = '*';
+    else if (accept(Tok::Amp)) op = '&';
+    if (op != 0) {
+      auto e = make_expr(ExprKind::Unary);
+      e->op = op;
+      e->a = parse_unary();
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    for (;;) {
+      if (at(Tok::LParen)) {
+        take();
+        auto call = make_expr(ExprKind::Call);
+        call->callee = std::move(e);
+        if (!at(Tok::RParen)) {
+          do {
+            call->args.push_back(parse_expr());
+          } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "')' after arguments");
+        e = std::move(call);
+      } else if (at(Tok::LBracket)) {
+        take();
+        auto idx = make_expr(ExprKind::Index);
+        idx->a = std::move(e);
+        idx->b = parse_expr();
+        expect(Tok::RBracket, "']'");
+        e = std::move(idx);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_primary() {
+    if (at(Tok::IntLit)) {
+      auto e = make_expr(ExprKind::IntLit);
+      e->int_value = take().int_value;
+      return e;
+    }
+    if (at(Tok::CharLit)) {
+      auto e = make_expr(ExprKind::IntLit);
+      e->int_value = take().int_value;
+      return e;
+    }
+    if (at(Tok::FloatLit)) {
+      auto e = make_expr(ExprKind::FloatLit);
+      e->float_value = take().float_value;
+      return e;
+    }
+    if (at(Tok::StringLit)) {
+      auto e = make_expr(ExprKind::StringLit);
+      e->str_value = take().text;
+      return e;
+    }
+    if (at(Tok::Ident)) {
+      auto e = make_expr(ExprKind::Ident);
+      e->name = take().text;
+      return e;
+    }
+    if (accept(Tok::LParen)) {
+      ExprPtr e = parse_expr();
+      expect(Tok::RParen, "')'");
+      return e;
+    }
+    fail("expected expression");
+    return make_expr(ExprKind::IntLit);
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  Error err_{};
+};
+
+}  // namespace
+
+Result<Module> parse(const std::string& source) {
+  auto tokens = lex(source);
+  if (!tokens.is_ok()) return tokens.error();
+  Parser parser(tokens.take());
+  return parser.run();
+}
+
+}  // namespace deflection::minic

@@ -1,0 +1,13 @@
+// MiniC recursive-descent parser.
+#pragma once
+
+#include "minic/ast.h"
+#include "support/result.h"
+
+namespace deflection::minic {
+
+// Parses a full MiniC module (globals + functions). Types are not checked
+// here; run sema (minic/sema.h) on the result before code generation.
+Result<Module> parse(const std::string& source);
+
+}  // namespace deflection::minic

@@ -1,0 +1,493 @@
+#include "minic/sema.h"
+
+namespace deflection::minic {
+
+std::string Type::to_string() const {
+  std::string s;
+  switch (base) {
+    case BaseType::Void: s = "void"; break;
+    case BaseType::Int: s = "int"; break;
+    case BaseType::Float: s = "float"; break;
+    case BaseType::Byte: s = "byte"; break;
+    case BaseType::Fn: s = "fn"; break;
+  }
+  for (int i = 0; i < pointer_depth; ++i) s += "*";
+  return s;
+}
+
+const std::map<std::string, FuncSig>& builtin_signatures() {
+  static const std::map<std::string, FuncSig> builtins = {
+      {"itof", {Type::float_type(), {Type::int_type()}}},
+      {"ftoi", {Type::int_type(), {Type::float_type()}}},
+      {"f_sqrt", {Type::float_type(), {Type::float_type()}}},
+      {"f_sin", {Type::float_type(), {Type::float_type()}}},
+      {"f_cos", {Type::float_type(), {Type::float_type()}}},
+      {"f_exp", {Type::float_type(), {Type::float_type()}}},
+      {"f_log", {Type::float_type(), {Type::float_type()}}},
+      {"f_abs", {Type::float_type(), {Type::float_type()}}},
+      {"alloc", {Type::ptr(BaseType::Byte), {Type::int_type()}}},
+      {"to_int_ptr", {Type::ptr(BaseType::Int), {Type::ptr(BaseType::Byte)}}},
+      {"to_float_ptr", {Type::ptr(BaseType::Float), {Type::ptr(BaseType::Byte)}}},
+      {"to_byte_ptr", {Type::ptr(BaseType::Byte), {Type::ptr(BaseType::Byte)}}},
+      // Forges a pointer from an integer. Legitimate code rarely needs it;
+      // it is the escape hatch a malicious service would use to address
+      // untrusted host memory — exactly what P1 exists to stop.
+      {"as_ptr", {Type::ptr(BaseType::Byte), {Type::int_type()}}},
+      {"ptr_to_int", {Type::int_type(), {Type::ptr(BaseType::Byte)}}},
+      {"ocall_send", {Type::int_type(), {Type::ptr(BaseType::Byte), Type::int_type()}}},
+      {"ocall_recv", {Type::int_type(), {Type::ptr(BaseType::Byte), Type::int_type()}}},
+      {"print_int", {Type::void_type(), {Type::int_type()}}},
+  };
+  return builtins;
+}
+
+namespace {
+
+struct Symbol {
+  Type type;
+  bool is_array = false;
+};
+
+class Sema {
+ public:
+  Status run(Module& module) {
+    for (const auto& g : module.globals) {
+      Type t = normalize_scalar(g.type);
+      if (t.is_void())
+        return fail(g.line, "global '" + g.name + "' cannot be void");
+      if (globals_.contains(g.name))
+        return fail(g.line, "duplicate global '" + g.name + "'");
+      globals_[g.name] = Symbol{t, g.array_size > 0};
+    }
+    for (const auto& f : module.functions) {
+      if (functions_.contains(f.name))
+        return fail(f.line, "duplicate function '" + f.name + "'");
+      if (builtin_signatures().contains(f.name))
+        return fail(f.line, "'" + f.name + "' shadows a builtin");
+      FuncSig sig;
+      sig.return_type = f.return_type;
+      for (const auto& p : f.params) sig.params.push_back(normalize_scalar(p.type));
+      functions_[f.name] = sig;
+    }
+    for (auto& f : module.functions) {
+      if (auto s = check_function(f); !s.is_ok()) return s;
+    }
+    return Status::ok();
+  }
+
+ private:
+  // Scalar `byte` variables are held in 8-byte slots and behave like int;
+  // only *pointers to* byte select 1-byte memory accesses.
+  static Type normalize_scalar(Type t) {
+    if (t.is_byte()) return Type::int_type();
+    return t;
+  }
+
+  Status fail(int line, const std::string& msg) {
+    return Status::fail("type_error", "line " + std::to_string(line) + ": " + msg);
+  }
+
+  Status check_function(FuncDecl& func) {
+    scopes_.clear();
+    scopes_.emplace_back();
+    current_return_ = func.return_type;
+    for (const auto& p : func.params) {
+      if (p.type.is_void()) return fail(func.line, "void parameter");
+      scopes_.back()[p.name] = Symbol{normalize_scalar(p.type), false};
+    }
+    if (func.params.size() > 6)
+      return fail(func.line, "more than 6 parameters are not supported");
+    return check_stmt(*func.body);
+  }
+
+  Symbol* lookup(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    auto g = globals_.find(name);
+    if (g != globals_.end()) return &g->second;
+    return nullptr;
+  }
+
+  Status check_stmt(Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::Block: {
+        scopes_.emplace_back();
+        for (auto& s : stmt.body)
+          if (auto st = check_stmt(*s); !st.is_ok()) return st;
+        scopes_.pop_back();
+        return Status::ok();
+      }
+      case StmtKind::VarDecl: {
+        Type t = normalize_scalar(stmt.var_type);
+        if (t.is_void()) return fail(stmt.line, "void variable");
+        if (scopes_.back().contains(stmt.var_name))
+          return fail(stmt.line, "duplicate variable '" + stmt.var_name + "'");
+        if (stmt.array_size < 0 ||
+            (stmt.array_size > 0 && stmt.array_size > 4096))
+          return fail(stmt.line,
+                      "local array too large for the guarded frame; use alloc()");
+        // Local byte arrays keep byte element type (1-byte accesses).
+        Type elem = stmt.array_size > 0 ? stmt.var_type : t;
+        if (stmt.array_size > 0 && elem.store_size() * stmt.array_size > 2048)
+          return fail(stmt.line,
+                      "local array too large for the guarded frame; use alloc()");
+        scopes_.back()[stmt.var_name] = Symbol{stmt.array_size > 0 ? elem : t,
+                                               stmt.array_size > 0};
+        if (stmt.init) {
+          if (stmt.array_size > 0) return fail(stmt.line, "cannot initialize arrays");
+          if (auto s = check_expr(*stmt.init); !s.is_ok()) return s;
+          if (auto s = coerce(stmt.init, t); !s.is_ok())
+            return fail(stmt.line, "initializer type mismatch for '" + stmt.var_name +
+                                       "': " + stmt.init->type.to_string() + " vs " +
+                                       t.to_string());
+        }
+        return Status::ok();
+      }
+      case StmtKind::If: {
+        if (auto s = check_expr(*stmt.cond); !s.is_ok()) return s;
+        if (!stmt.cond->type.is_integral())
+          return fail(stmt.line, "condition must be integral");
+        if (auto s = check_stmt(*stmt.then_stmt); !s.is_ok()) return s;
+        if (stmt.else_stmt) return check_stmt(*stmt.else_stmt);
+        return Status::ok();
+      }
+      case StmtKind::While: {
+        if (auto s = check_expr(*stmt.cond); !s.is_ok()) return s;
+        if (!stmt.cond->type.is_integral())
+          return fail(stmt.line, "condition must be integral");
+        ++loop_depth_;
+        auto s = check_stmt(*stmt.loop_body);
+        --loop_depth_;
+        return s;
+      }
+      case StmtKind::For: {
+        scopes_.emplace_back();
+        if (stmt.for_init)
+          if (auto s = check_stmt(*stmt.for_init); !s.is_ok()) return s;
+        if (stmt.cond) {
+          if (auto s = check_expr(*stmt.cond); !s.is_ok()) return s;
+          if (!stmt.cond->type.is_integral())
+            return fail(stmt.line, "condition must be integral");
+        }
+        if (stmt.for_step)
+          if (auto s = check_stmt(*stmt.for_step); !s.is_ok()) return s;
+        ++loop_depth_;
+        auto s = check_stmt(*stmt.loop_body);
+        --loop_depth_;
+        scopes_.pop_back();
+        return s;
+      }
+      case StmtKind::Return: {
+        if (stmt.expr) {
+          if (auto s = check_expr(*stmt.expr); !s.is_ok()) return s;
+          if (auto s = coerce(stmt.expr, current_return_); !s.is_ok())
+            return fail(stmt.line, "return type mismatch");
+        } else if (!current_return_.is_void()) {
+          return fail(stmt.line, "missing return value");
+        }
+        return Status::ok();
+      }
+      case StmtKind::Break:
+      case StmtKind::Continue:
+        if (loop_depth_ == 0) return fail(stmt.line, "break/continue outside loop");
+        return Status::ok();
+      case StmtKind::ExprStmt:
+        return check_expr(*stmt.expr);
+    }
+    return Status::ok();
+  }
+
+  // Implicit int -> float conversion only (wrapped at codegen by checking
+  // types); everything else must match exactly.
+  Status coerce(ExprPtr& e, const Type& target) {
+    if (e->type == target) return Status::ok();
+    // Byte loads are zero-extended into registers, so byte values coerce to
+    // int with no conversion code.
+    if (e->type.is_byte() && target.is_int()) return Status::ok();
+    if ((e->type.is_int() || e->type.is_byte()) && target.is_float()) {
+      auto conv = std::make_unique<Expr>();
+      conv->kind = ExprKind::Call;
+      conv->line = e->line;
+      conv->type = Type::float_type();
+      auto callee = std::make_unique<Expr>();
+      callee->kind = ExprKind::Ident;
+      callee->name = "itof";
+      callee->line = e->line;
+      conv->callee = std::move(callee);
+      conv->args.push_back(std::move(e));
+      e = std::move(conv);
+      return Status::ok();
+    }
+    return Status::fail("type_error", "cannot convert " + e->type.to_string() +
+                                          " to " + target.to_string());
+  }
+
+  Status check_expr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        e.type = Type::int_type();
+        return Status::ok();
+      case ExprKind::FloatLit:
+        e.type = Type::float_type();
+        return Status::ok();
+      case ExprKind::StringLit:
+        e.type = Type::ptr(BaseType::Byte);
+        return Status::ok();
+      case ExprKind::Ident: {
+        Symbol* sym = lookup(e.name);
+        if (sym == nullptr) {
+          // A bare function name is only meaningful under '&' or as a direct
+          // callee; both handle it before recursing here.
+          return fail_expr(e, "unknown identifier '" + e.name + "'");
+        }
+        e.type = sym->is_array ? sym->type.pointer_to() : sym->type;
+        return Status::ok();
+      }
+      case ExprKind::Unary:
+        return check_unary(e);
+      case ExprKind::Binary:
+        return check_binary(e);
+      case ExprKind::Assign:
+        return check_assign(e);
+      case ExprKind::Call:
+        return check_call(e);
+      case ExprKind::Index: {
+        if (auto s = check_expr(*e.a); !s.is_ok()) return s;
+        if (auto s = check_expr(*e.b); !s.is_ok()) return s;
+        if (!e.a->type.is_pointer())
+          return fail_expr(e, "indexing a non-pointer");
+        if (!e.b->type.is_int() && !e.b->type.is_byte())
+          return fail_expr(e, "index must be int");
+        e.type = e.a->type.pointee();
+        if (e.type.is_byte()) e.type = e.type;  // byte loads produce int at use
+        return Status::ok();
+      }
+    }
+    return Status::ok();
+  }
+
+  Status fail_expr(const Expr& e, const std::string& msg) {
+    return fail(e.line, msg);
+  }
+
+  Status check_unary(Expr& e) {
+    if (e.op == '&') {
+      // &function or &lvalue.
+      if (e.a->kind == ExprKind::Ident && lookup(e.a->name) == nullptr) {
+        if (!functions_.contains(e.a->name))
+          return fail_expr(e, "unknown function '" + e.a->name + "'");
+        e.a->type = Type::fn_type();
+        e.type = Type::fn_type();
+        return Status::ok();
+      }
+      if (auto s = check_expr(*e.a); !s.is_ok()) return s;
+      if (!is_lvalue(*e.a)) return fail_expr(e, "'&' needs an lvalue");
+      if (e.a->type.is_byte()) e.type = Type::ptr(BaseType::Byte);
+      else e.type = e.a->type.pointer_to();
+      return Status::ok();
+    }
+    if (auto s = check_expr(*e.a); !s.is_ok()) return s;
+    switch (e.op) {
+      case '-':
+        if (!e.a->type.is_int() && !e.a->type.is_float())
+          return fail_expr(e, "unary '-' needs int or float");
+        e.type = e.a->type;
+        return Status::ok();
+      case '!':
+        if (!e.a->type.is_integral()) return fail_expr(e, "'!' needs integral");
+        e.type = Type::int_type();
+        return Status::ok();
+      case '~':
+        if (!e.a->type.is_int()) return fail_expr(e, "'~' needs int");
+        e.type = Type::int_type();
+        return Status::ok();
+      case '*':
+        if (!e.a->type.is_pointer()) return fail_expr(e, "deref of non-pointer");
+        e.type = e.a->type.pointee();
+        return Status::ok();
+      default:
+        return fail_expr(e, "bad unary operator");
+    }
+  }
+
+  Status check_binary(Expr& e) {
+    if (auto s = check_expr(*e.a); !s.is_ok()) return s;
+    if (auto s = check_expr(*e.b); !s.is_ok()) return s;
+    Type ta = e.a->type, tb = e.b->type;
+    // Byte element loads act as int.
+    if (ta.is_byte()) ta = Type::int_type();
+    if (tb.is_byte()) tb = Type::int_type();
+
+    switch (e.op) {
+      case '+':
+      case '-':
+        if (ta.is_pointer() && tb.is_int()) {
+          e.type = ta;
+          return Status::ok();
+        }
+        [[fallthrough]];
+      case '*':
+      case '/':
+        if (ta.is_int() && tb.is_int()) {
+          e.type = Type::int_type();
+          return Status::ok();
+        }
+        // int/float mixing: promote the int side.
+        if (ta.is_float() && tb.is_int()) {
+          if (auto s = coerce(e.b, Type::float_type()); !s.is_ok()) return s;
+          e.type = Type::float_type();
+          return Status::ok();
+        }
+        if (ta.is_int() && tb.is_float()) {
+          if (auto s = coerce(e.a, Type::float_type()); !s.is_ok()) return s;
+          e.type = Type::float_type();
+          return Status::ok();
+        }
+        if (ta.is_float() && tb.is_float()) {
+          e.type = Type::float_type();
+          return Status::ok();
+        }
+        return fail_expr(e, std::string("bad operands for '") + e.op + "'");
+      case '%':
+      case '&':
+      case '|':
+      case '^':
+      case 'L':
+      case 'R':
+        if (ta.is_int() && tb.is_int()) {
+          e.type = Type::int_type();
+          return Status::ok();
+        }
+        return fail_expr(e, "bitwise/shift/mod needs ints");
+      case 'E':
+      case 'N':
+      case '<':
+      case 'l':
+      case '>':
+      case 'g': {
+        bool both_num = (ta.is_int() || ta.is_float()) && (tb.is_int() || tb.is_float());
+        bool both_ptr = ta.is_pointer() && tb.is_pointer();
+        bool both_fn = ta.is_fn() && tb.is_fn();
+        if (!both_num && !both_ptr && !both_fn)
+          return fail_expr(e, "bad comparison operands");
+        if (both_num && ta != tb) {
+          if (ta.is_int()) {
+            if (auto s = coerce(e.a, Type::float_type()); !s.is_ok()) return s;
+          } else {
+            if (auto s = coerce(e.b, Type::float_type()); !s.is_ok()) return s;
+          }
+        }
+        e.type = Type::int_type();
+        return Status::ok();
+      }
+      case 'A':
+      case 'O':
+        if (!ta.is_integral() || !tb.is_integral())
+          return fail_expr(e, "'&&'/'||' need integral operands");
+        e.type = Type::int_type();
+        return Status::ok();
+      default:
+        return fail_expr(e, "bad binary operator");
+    }
+  }
+
+  bool is_lvalue(const Expr& e) {
+    if (e.kind == ExprKind::Ident) {
+      Symbol* sym = const_cast<Sema*>(this)->lookup(e.name);
+      return sym != nullptr && !sym->is_array;
+    }
+    return (e.kind == ExprKind::Unary && e.op == '*') || e.kind == ExprKind::Index;
+  }
+
+  Status check_assign(Expr& e) {
+    if (auto s = check_expr(*e.a); !s.is_ok()) return s;
+    if (!is_lvalue(*e.a)) return fail_expr(e, "assignment target is not an lvalue");
+    if (auto s = check_expr(*e.b); !s.is_ok()) return s;
+    Type target = e.a->type;
+    // Stores through byte pointers take int values (truncated).
+    Type value_target = target.is_byte() ? Type::int_type() : target;
+    if (e.op != 0) {
+      // Compound assignment: lhs op rhs must type-check like binary.
+      if (target.is_byte()) {
+        if (!e.b->type.is_int() && !e.b->type.is_byte())
+          return fail_expr(e, "byte compound needs int");
+      } else if (target.is_float()) {
+        if (auto s = coerce(e.b, Type::float_type()); !s.is_ok()) return s;
+      } else if (target.is_int()) {
+        if (!e.b->type.is_int() && !e.b->type.is_byte())
+          return fail_expr(e, "int compound needs int");
+      } else if (target.is_pointer() && (e.op == '+' || e.op == '-')) {
+        if (!e.b->type.is_int()) return fail_expr(e, "pointer += needs int");
+      } else {
+        return fail_expr(e, "bad compound assignment");
+      }
+    } else {
+      if (auto s = coerce(e.b, value_target); !s.is_ok())
+        return fail_expr(e, "assignment type mismatch: " + e.b->type.to_string() +
+                                " to " + target.to_string());
+    }
+    e.type = target;
+    return Status::ok();
+  }
+
+  Status check_call(Expr& e) {
+    // Direct call / builtin: callee is a bare identifier naming a function.
+    if (e.callee->kind == ExprKind::Ident && lookup(e.callee->name) == nullptr) {
+      const std::string& name = e.callee->name;
+      const FuncSig* sig = nullptr;
+      auto bi = builtin_signatures().find(name);
+      if (bi != builtin_signatures().end()) sig = &bi->second;
+      auto fi = functions_.find(name);
+      if (sig == nullptr && fi != functions_.end()) sig = &fi->second;
+      if (sig == nullptr) return fail_expr(e, "unknown function '" + name + "'");
+      if (e.args.size() != sig->params.size())
+        return fail_expr(e, "wrong argument count for '" + name + "'");
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (auto s = check_expr(*e.args[i]); !s.is_ok()) return s;
+        Type want = sig->params[i];
+        // to_*_ptr / ptr_to_int accept any pointer.
+        bool any_ptr_ok = (name.rfind("to_", 0) == 0 || name == "ptr_to_int") &&
+                          e.args[i]->type.is_pointer();
+        if (!any_ptr_ok) {
+          if (auto s = coerce(e.args[i], want); !s.is_ok())
+            return fail_expr(e, "argument " + std::to_string(i + 1) + " of '" + name +
+                                    "': cannot convert " +
+                                    e.args[i]->type.to_string() + " to " +
+                                    want.to_string());
+        }
+      }
+      e.type = sig->return_type;
+      e.callee->type = Type::fn_type();
+      return Status::ok();
+    }
+    // Indirect call through a fn value: int args, int result.
+    if (auto s = check_expr(*e.callee); !s.is_ok()) return s;
+    if (!e.callee->type.is_fn())
+      return fail_expr(e, "call of non-function value");
+    if (e.args.size() > 6) return fail_expr(e, "too many arguments");
+    for (auto& arg : e.args) {
+      if (auto s = check_expr(*arg); !s.is_ok()) return s;
+      if (!arg->type.is_integral())
+        return fail_expr(e, "fn-pointer calls take integral arguments");
+    }
+    e.type = Type::int_type();
+    return Status::ok();
+  }
+
+  std::map<std::string, Symbol> globals_;
+  std::map<std::string, FuncSig> functions_;
+  std::vector<std::map<std::string, Symbol>> scopes_;
+  Type current_return_;
+  int loop_depth_ = 0;
+};
+
+}  // namespace
+
+Status analyze(Module& module) {
+  Sema sema;
+  return sema.run(module);
+}
+
+}  // namespace deflection::minic

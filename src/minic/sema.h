@@ -1,0 +1,35 @@
+// MiniC semantic analysis: symbol resolution and type checking.
+//
+// Annotates every expression with its Type (written into Expr::type) and
+// rejects ill-typed programs so the code generator can assume a well-typed
+// tree. Also exposes the builtin signature table shared with codegen.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minic/ast.h"
+#include "support/result.h"
+
+namespace deflection::minic {
+
+struct FuncSig {
+  Type return_type;
+  std::vector<Type> params;
+};
+
+// Builtins provided by the enclave runtime / inline codegen:
+//   itof(int)->float, ftoi(float)->int,
+//   f_sqrt/f_sin/f_cos/f_exp/f_log/f_abs(float)->float,
+//   alloc(int)->byte*                (bump allocator on the enclave heap)
+//   to_int_ptr(p)->int*, to_float_ptr(p)->float*, to_byte_ptr(p)->byte*,
+//   ocall_send(byte*,int)->int, ocall_recv(byte*,int)->int,
+//   print_int(int)->void             (debug OCall; consumer may deny it)
+const std::map<std::string, FuncSig>& builtin_signatures();
+
+// Type-checks `module` in place. On success, every Expr::type is filled.
+Status analyze(Module& module);
+
+}  // namespace deflection::minic

@@ -1,0 +1,78 @@
+#include "runtimes/runtimes.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace deflection::runtimes {
+
+const std::vector<RuntimeModel>& comparison_models() {
+  // Calibration rationale (trend drivers, not absolute truth):
+  //  - native: bare handler + kernel network stack.
+  //  - Graphene-SGX: unmodified handler (no instrumentation), LibOS syscall
+  //    emulation keeps small requests cheap, but every response byte is
+  //    copied through the LibOS + exit-less RPC buffers.
+  //  - Occlum: SFI-style MPX checks tax compute; moderate copy overhead.
+  // per_byte_cost is in VM cost units per response byte and is calibrated
+  // against the VM's measured handler compute (~27 cost units/byte), so the
+  // relative penalties track the paper's Fig. 11: Graphene's exit-less RPC
+  // keeps the per-request cost low (it leads on small files) but every byte
+  // crosses the LibOS copy path; Occlum pays an SFI compute tax.
+  static const std::vector<RuntimeModel> models = {
+      {"native", 1.00, 1000.0, 0.5},
+      {"graphene-like", 1.00, 2000.0, 18.0},
+      {"occlum-like", 1.15, 9000.0, 8.0},
+  };
+  return models;
+}
+
+double count_kloc(const std::vector<std::string>& subdirs) {
+#ifdef DEFLECTION_SOURCE_DIR
+  namespace fs = std::filesystem;
+  std::uint64_t lines = 0;
+  for (const auto& sub : subdirs) {
+    fs::path dir = fs::path(DEFLECTION_SOURCE_DIR) / sub;
+    std::error_code ec;
+    if (!fs::exists(dir, ec)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file()) continue;
+      auto ext = entry.path().extension();
+      if (ext != ".cpp" && ext != ".h") continue;
+      std::ifstream in(entry.path());
+      std::string line;
+      while (std::getline(in, line)) ++lines;
+    }
+  }
+  return static_cast<double>(lines) / 1000.0;
+#else
+  (void)subdirs;
+  return 0.0;
+#endif
+}
+
+std::vector<TcbRow> tcb_comparison() {
+  std::vector<TcbRow> rows;
+  // Published numbers, paper Table I.
+  rows.push_back({"Ryoan", "Eglibc + NaCl sandbox + Naclports", 892 + 216 + 460, 19.0, false});
+  rows.push_back({"SCONE", "OS shield and shim libc", 187, 16.0, false});
+  rows.push_back({"Graphene-SGX", "Glibc + LibPAL + LibOS", 1200 + 22 + 34, 58.5, false});
+  rows.push_back({"Occlum", "shim libc + verifier + LibOS/PAL", 93 + 24.5, 8.6, false});
+
+  // DEFLECTION rows, measured from this repository's trusted sources. The
+  // decoder plays the paper's "Capstone base" role; loader/verifier are the
+  // in-enclave consumer; bootstrap+crypto are the RA/encryption layer.
+  double loader_verifier = count_kloc({"verifier"});
+  double decoder = count_kloc({"isa"});
+  double ra_crypto = count_kloc({"core", "crypto"});
+  double runtime_vm = count_kloc({"vm", "sgx"});
+  rows.push_back({"DEFLECTION (this repo)", "loader/verifier", loader_verifier,
+                  loader_verifier * 0.04, true});
+  rows.push_back({"DEFLECTION (this repo)", "decoder (Capstone-base role)", decoder,
+                  decoder * 0.04, true});
+  rows.push_back({"DEFLECTION (this repo)", "RA/encryption", ra_crypto,
+                  ra_crypto * 0.04, true});
+  rows.push_back({"DEFLECTION (this repo)", "platform model (not in real TCB)",
+                  runtime_vm, runtime_vm * 0.04, true});
+  return rows;
+}
+
+}  // namespace deflection::runtimes

@@ -1,0 +1,46 @@
+// Comparison shielding runtimes (paper Table I and Fig. 11).
+//
+// Graphene-SGX, Occlum, SCONE and Ryoan are not rebuilt here; they enter the
+// evaluation as (a) the TCB inventory the paper publishes in Table I and
+// (b) per-request cost models for the HTTPS transfer-rate comparison of
+// Fig. 11. The models keep the trend drivers the paper identifies: LibOS
+// runtimes carry a heavy syscall-emulation layer (high per-byte copy cost,
+// competitive fixed cost), SFI runtimes pay a compute multiplier, and
+// DEFLECTION pays instrumentation + boundary crossings but stays close to
+// native on bulk transfer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deflection::runtimes {
+
+struct RuntimeModel {
+  std::string name;
+  double compute_factor;    // multiplier on the measured handler compute cost
+  double per_request_cost;  // fixed cost units per request (boundary/shim)
+  double per_byte_cost;     // cost units per response byte (copies/crypto)
+};
+
+// Models used by bench_fig11. DEFLECTION itself is *measured* (VM cost of
+// the instrumented handler); these models cover the comparators.
+const std::vector<RuntimeModel>& comparison_models();
+
+// One row of the Table I TCB comparison.
+struct TcbRow {
+  std::string runtime;
+  std::string components;
+  double kloc;      // thousands of lines of code
+  double size_mb;   // binary size estimate
+  bool measured;    // true: counted from this repository's sources
+};
+
+// Published comparator numbers (from the paper) + DEFLECTION components
+// measured by counting this repository's trusted sources.
+std::vector<TcbRow> tcb_comparison();
+
+// Lines of code under src/<subdir> (measured rows; 0 if unavailable).
+double count_kloc(const std::vector<std::string>& subdirs);
+
+}  // namespace deflection::runtimes

@@ -1,0 +1,96 @@
+#include "sgx/attestation.h"
+
+#include "crypto/cipher.h"
+#include "support/rng.h"
+
+namespace deflection::sgx {
+
+Bytes Quote::serialize() const {
+  Bytes out;
+  ByteWriter w(out);
+  w.str(platform_id);
+  w.bytes(BytesView(mrenclave.data(), mrenclave.size()));
+  w.bytes(BytesView(report_data.data(), report_data.size()));
+  w.bytes(BytesView(mac.data(), mac.size()));
+  return out;
+}
+
+Result<Quote> Quote::deserialize(BytesView data) {
+  ByteReader r(data);
+  Quote q;
+  q.platform_id = r.str();
+  Bytes m = r.bytes(32), rd = r.bytes(32), mac = r.bytes(32);
+  if (!r.ok() || r.remaining() != 0)
+    return Result<Quote>::fail("quote_malformed", "truncated or oversized quote");
+  std::copy(m.begin(), m.end(), q.mrenclave.begin());
+  std::copy(rd.begin(), rd.end(), q.report_data.begin());
+  std::copy(mac.begin(), mac.end(), q.mac.begin());
+  return q;
+}
+
+static crypto::Digest mac_input_of(const Quote& quote) {
+  Bytes msg;
+  ByteWriter w(msg);
+  w.str(quote.platform_id);
+  w.bytes(BytesView(quote.mrenclave.data(), quote.mrenclave.size()));
+  w.bytes(BytesView(quote.report_data.data(), quote.report_data.size()));
+  return crypto::Sha256::hash(msg);
+}
+
+Quote QuotingEnclave::quote(const crypto::Digest& mrenclave,
+                            const ReportData& report_data) const {
+  Quote q;
+  q.platform_id = platform_id_;
+  q.mrenclave = mrenclave;
+  q.report_data = report_data;
+  crypto::Digest input = mac_input_of(q);
+  q.mac = crypto::hmac_sha256(BytesView(key_.data(), key_.size()),
+                              BytesView(input.data(), input.size()));
+  return q;
+}
+
+crypto::Key256 QuotingEnclave::seal_key(const crypto::Digest& mrenclave) const {
+  Bytes msg;
+  ByteWriter w(msg);
+  w.str("egetkey-seal");
+  w.bytes(BytesView(mrenclave.data(), mrenclave.size()));
+  return crypto::key_from_digest(
+      crypto::hmac_sha256(BytesView(key_.data(), key_.size()), msg));
+}
+
+QuotingEnclave AttestationService::provision(const std::string& platform_id,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  crypto::Key256 key;
+  for (std::size_t i = 0; i < key.size(); i += 8) store_le64(key.data() + i, rng.next());
+  platform_keys_[platform_id] = key;
+  revoked_.erase(platform_id);
+  return QuotingEnclave(platform_id, key);
+}
+
+AttestationService::Report AttestationService::verify(const Quote& quote) const {
+  Report report;
+  auto it = platform_keys_.find(quote.platform_id);
+  if (it == platform_keys_.end()) {
+    report.reason = "unknown platform";
+    return report;
+  }
+  if (revoked_.contains(quote.platform_id)) {
+    report.reason = "platform revoked";
+    return report;
+  }
+  crypto::Digest input = mac_input_of(quote);
+  crypto::Digest expect = crypto::hmac_sha256(
+      BytesView(it->second.data(), it->second.size()),
+      BytesView(input.data(), input.size()));
+  if (!crypto::digest_equal(expect, quote.mac)) {
+    report.reason = "bad quote MAC";
+    return report;
+  }
+  report.valid = true;
+  report.mrenclave = quote.mrenclave;
+  report.report_data = quote.report_data;
+  return report;
+}
+
+}  // namespace deflection::sgx

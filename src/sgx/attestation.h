@@ -1,0 +1,84 @@
+// Simulated remote attestation: quoting + attestation service.
+//
+// Models the EPID/IAS flow the paper uses: the platform's quoting enclave
+// holds a per-platform attestation key provisioned by Intel; a Quote binds
+// (MRENCLAVE, report_data) under that key; the data owner submits the quote
+// to the Attestation Service, which verifies it and returns a report. In
+// this reproduction the "attestation key" is a MAC key shared between the
+// simulated platform and the simulated AS (EPID group signatures replaced
+// by HMAC — the substitution preserves the protocol's trust decisions, not
+// its cryptographic anonymity properties; see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "crypto/cipher.h"
+#include "crypto/sha256.h"
+#include "support/bytes.h"
+#include "support/result.h"
+
+namespace deflection::sgx {
+
+// REPORTDATA equivalent: 32 bytes of caller-chosen data bound into the
+// quote (DEFLECTION binds the hash of the bootstrap enclave's ephemeral DH
+// public key, RA-TLS style).
+using ReportData = crypto::Digest;
+
+struct Quote {
+  std::string platform_id;
+  crypto::Digest mrenclave{};
+  ReportData report_data{};
+  crypto::Digest mac{};
+
+  Bytes serialize() const;
+  static Result<Quote> deserialize(BytesView data);
+};
+
+class AttestationService;
+
+// The quoting side of one platform (QE + provisioned key).
+class QuotingEnclave {
+ public:
+  QuotingEnclave(std::string platform_id, crypto::Key256 attestation_key)
+      : platform_id_(std::move(platform_id)), key_(attestation_key) {}
+
+  Quote quote(const crypto::Digest& mrenclave, const ReportData& report_data) const;
+
+  // EGETKEY(SEAL) equivalent: a sealing key bound to (platform, MRENCLAVE).
+  // Only the same enclave code on the same platform can re-derive it.
+  crypto::Key256 seal_key(const crypto::Digest& mrenclave) const;
+
+ private:
+  std::string platform_id_;
+  crypto::Key256 key_;
+};
+
+// The Intel-Attestation-Service stand-in: provisions platforms and verifies
+// quotes on behalf of data owners / code providers.
+class AttestationService {
+ public:
+  // Provisions a platform and returns its quoting enclave.
+  QuotingEnclave provision(const std::string& platform_id, std::uint64_t seed);
+
+  // Revocation models a compromised platform (tests exercise this path).
+  void revoke(const std::string& platform_id) { revoked_.insert({platform_id, true}); }
+
+  struct Report {
+    bool valid = false;
+    std::string reason;
+    crypto::Digest mrenclave{};
+    ReportData report_data{};
+  };
+  Report verify(const Quote& quote) const;
+
+ private:
+  static crypto::Digest quote_mac_input(const Quote& quote);
+  friend class QuotingEnclave;
+
+  std::map<std::string, crypto::Key256> platform_keys_;
+  std::map<std::string, bool> revoked_;
+};
+
+}  // namespace deflection::sgx

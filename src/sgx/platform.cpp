@@ -1,0 +1,214 @@
+#include "sgx/platform.h"
+
+#include <bit>
+#include <cstring>
+
+namespace deflection::sgx {
+
+static_assert(std::endian::native == std::endian::little,
+              "DX64 memory image assumes a little-endian host");
+
+AddressSpace::AddressSpace(std::uint64_t host_base, std::uint64_t host_size,
+                           std::uint64_t enclave_base, std::uint64_t enclave_size)
+    : host_base_(host_base),
+      host_size_(host_size),
+      enclave_base_(enclave_base),
+      enclave_size_(enclave_size),
+      host_mem_(host_size, 0),
+      enclave_mem_(enclave_size, 0),
+      page_perms_(enclave_size / kPageSize, kPermNone) {}
+
+Status AddressSpace::set_page_perms(std::uint64_t addr, std::uint64_t size,
+                                    std::uint8_t perms) {
+  if (!in_enclave(addr) || size == 0 || addr + size > enclave_end())
+    return Status::fail("perm_range", "permission range outside ELRANGE");
+  if (addr % kPageSize != 0 || size % kPageSize != 0)
+    return Status::fail("perm_align", "permission range not page aligned");
+  std::uint64_t first = (addr - enclave_base_) / kPageSize;
+  std::uint64_t count = size / kPageSize;
+  for (std::uint64_t i = 0; i < count; ++i) page_perms_[first + i] = perms;
+  return Status::ok();
+}
+
+std::uint8_t AddressSpace::page_perms(std::uint64_t addr) const {
+  if (!in_enclave(addr)) return kPermNone;
+  return page_perms_[(addr - enclave_base_) / kPageSize];
+}
+
+bool AddressSpace::check(std::uint64_t addr, std::uint64_t len, Access access,
+                         MemFault& fault) const {
+  // Accesses must not straddle the region boundary; len is at most 8 so a
+  // single end check suffices.
+  if (in_enclave(addr)) {
+    if (addr + len > enclave_end()) {
+      fault = MemFault{"oob", addr};
+      return false;
+    }
+    std::uint8_t perms = page_perms_[(addr - enclave_base_) / kPageSize];
+    // An 8-byte access that crosses a page boundary must satisfy both pages.
+    std::uint8_t perms2 = page_perms_[(addr + len - 1 - enclave_base_) / kPageSize];
+    std::uint8_t need = access == Access::Read ? kPermR
+                        : access == Access::Write ? kPermW
+                                                  : kPermX;
+    if ((perms & need) == 0 || (perms2 & need) == 0) {
+      fault = MemFault{"perm", addr};
+      return false;
+    }
+    return true;
+  }
+  if (in_host(addr)) {
+    if (addr + len > host_base_ + host_size_) {
+      fault = MemFault{"oob", addr};
+      return false;
+    }
+    // Host memory: the attacker's memory. Reads and writes succeed (this is
+    // exactly the exfiltration channel DEFLECTION polices); execution of
+    // host memory from inside the enclave is blocked by the hardware.
+    if (access == Access::Execute) {
+      fault = MemFault{"exec_outside_enclave", addr};
+      return false;
+    }
+    return true;
+  }
+  fault = MemFault{"oob", addr};
+  return false;
+}
+
+std::uint8_t* AddressSpace::raw(std::uint64_t addr, std::uint64_t len) {
+  if (in_enclave(addr) && addr + len <= enclave_end())
+    return enclave_mem_.data() + (addr - enclave_base_);
+  if (in_host(addr) && addr + len <= host_base_ + host_size_)
+    return host_mem_.data() + (addr - host_base_);
+  return nullptr;
+}
+
+const std::uint8_t* AddressSpace::raw(std::uint64_t addr, std::uint64_t len) const {
+  return const_cast<AddressSpace*>(this)->raw(addr, len);
+}
+
+bool AddressSpace::read_u8(std::uint64_t addr, std::uint8_t& out, MemFault& fault) const {
+  if (!check(addr, 1, Access::Read, fault)) return false;
+  out = *raw(addr, 1);
+  return true;
+}
+
+bool AddressSpace::read_u64(std::uint64_t addr, std::uint64_t& out, MemFault& fault) const {
+  if (!check(addr, 8, Access::Read, fault)) return false;
+  out = load_le64(raw(addr, 8));
+  return true;
+}
+
+bool AddressSpace::write_u8(std::uint64_t addr, std::uint8_t v, MemFault& fault) {
+  if (!check(addr, 1, Access::Write, fault)) return false;
+  if (in_enclave(addr) && (page_perms(addr) & kPermX) != 0) ++text_write_generation_;
+  *raw(addr, 1) = v;
+  return true;
+}
+
+bool AddressSpace::write_u64(std::uint64_t addr, std::uint64_t v, MemFault& fault) {
+  if (!check(addr, 8, Access::Write, fault)) return false;
+  if (in_enclave(addr) && (page_perms(addr) & kPermX) != 0) ++text_write_generation_;
+  store_le64(raw(addr, 8), v);
+  return true;
+}
+
+bool AddressSpace::check_exec(std::uint64_t addr, MemFault& fault) const {
+  return check(addr, 1, Access::Execute, fault);
+}
+
+Status AddressSpace::copy_in(std::uint64_t addr, BytesView data) {
+  std::uint8_t* p = raw(addr, data.size());
+  if (p == nullptr) return Status::fail("copy_oob", "copy_in outside mapped regions");
+  std::memcpy(p, data.data(), data.size());
+  return Status::ok();
+}
+
+Result<Bytes> AddressSpace::copy_out(std::uint64_t addr, std::uint64_t len) const {
+  const std::uint8_t* p = raw(addr, len);
+  if (p == nullptr) return Result<Bytes>::fail("copy_oob", "copy_out outside mapped regions");
+  return Bytes(p, p + len);
+}
+
+Enclave::Enclave(AddressSpace& space, std::uint64_t ssa_addr)
+    : space_(space), ssa_addr_(ssa_addr) {
+  // ECREATE: measure the enclave geometry.
+  Bytes header;
+  ByteWriter w(header);
+  w.u64(space.enclave_base());
+  w.u64(space.enclave_size());
+  w.u64(ssa_addr);
+  measure_.update(header);
+}
+
+Status Enclave::add_pages(std::uint64_t offset, BytesView data, std::uint8_t perms) {
+  if (initialized_) return Status::fail("enclave_sealed", "enclave already initialized");
+  std::uint64_t addr = space_.enclave_base() + offset;
+  std::uint64_t size = (data.size() + kPageSize - 1) / kPageSize * kPageSize;
+  if (auto s = space_.set_page_perms(addr, size, perms); !s.is_ok()) return s;
+  if (auto s = space_.copy_in(addr, data); !s.is_ok()) return s;
+  // EEXTEND: fold (offset, perms, content) into the measurement.
+  Bytes meta;
+  ByteWriter w(meta);
+  w.u64(offset);
+  w.u8(perms);
+  measure_.update(meta);
+  measure_.update(data);
+  return Status::ok();
+}
+
+Status Enclave::add_zero_pages(std::uint64_t offset, std::uint64_t size, std::uint8_t perms) {
+  if (initialized_) return Status::fail("enclave_sealed", "enclave already initialized");
+  std::uint64_t addr = space_.enclave_base() + offset;
+  if (auto s = space_.set_page_perms(addr, size, perms); !s.is_ok()) return s;
+  Bytes meta;
+  ByteWriter w(meta);
+  w.u64(offset);
+  w.u64(size);
+  w.u8(perms);
+  measure_.update(meta);
+  return Status::ok();
+}
+
+void Enclave::init() {
+  mrenclave_ = measure_.finish();
+  initialized_ = true;
+}
+
+Status Enclave::modify_page_perms(std::uint64_t addr, std::uint64_t size,
+                                  std::uint8_t perms) {
+  if (!sgxv2_)
+    return Status::fail("sgxv1_frozen",
+                        "page permissions are immutable after EINIT on SGXv1");
+  if (!initialized_)
+    return Status::fail("enclave_uninit", "EDMM only operates on a running enclave");
+  // EMODPE/EACCEPT can only restrict; escalation requires EAUG semantics we
+  // do not model (and DEFLECTION never needs).
+  for (std::uint64_t a = addr; a < addr + size; a += kPageSize) {
+    std::uint8_t current = space_.page_perms(a);
+    if ((perms & ~current) != 0)
+      return Status::fail("edmm_escalation", "EDMM cannot add permissions");
+  }
+  return space_.set_page_perms(addr, size, perms);
+}
+
+void Enclave::tick(std::uint64_t total_cost, const std::uint64_t* regs) {
+  if (aex_policy_.interval_cost == 0) return;
+  if (next_aex_cost_ == 0) next_aex_cost_ = aex_policy_.interval_cost;
+  while (total_cost >= next_aex_cost_) {
+    for (std::uint32_t i = 0; i < aex_policy_.burst; ++i) deliver_aex(regs);
+    next_aex_cost_ += aex_policy_.interval_cost;
+  }
+}
+
+void Enclave::deliver_aex(const std::uint64_t* regs) {
+  // The hardware saves the interrupted register file into the SSA frame,
+  // clobbering whatever the enclave code had planted there (the HyperRace
+  // observable: the P6 marker at kSsaMarkerOffset is overwritten).
+  std::uint8_t* ssa = space_.raw(ssa_addr_, 16 * 8);
+  if (ssa != nullptr) {
+    for (int i = 0; i < 16; ++i) store_le64(ssa + 8 * i, regs != nullptr ? regs[i] : 0);
+  }
+  ++aex_count_;
+}
+
+}  // namespace deflection::sgx

@@ -1,0 +1,179 @@
+// Simulated SGX platform.
+//
+// DESIGN.md substitution: the paper runs on real SGX hardware; this module
+// is a functional model of the pieces the DEFLECTION consumer actually
+// consumes:
+//   - an ELRANGE (enclave linear address range) of EPC pages with per-page
+//     R/W/X permissions fixed at EINIT (SGXv1 semantics: permissions cannot
+//     change while the enclave runs — which is *why* the target binary must
+//     live on RWX pages and why policy P4 exists),
+//   - untrusted host memory that in-enclave code can freely read AND WRITE
+//     (the leak channel policies P1/P2 close),
+//   - an enclave measurement (MRENCLAVE) extended page-by-page,
+//   - an SSA (state save area) that an asynchronous exit (AEX) clobbers
+//     with the interrupted register context — the observable HyperRace/P6
+//     builds on,
+//   - a configurable AEX injection policy standing in for the OS-controlled
+//     interrupt/page-fault schedule (the side-channel attacker's lever).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "support/bytes.h"
+#include "support/result.h"
+
+namespace deflection::sgx {
+
+constexpr std::uint64_t kPageSize = 4096;
+
+// Page permissions (bitmask).
+enum Perm : std::uint8_t {
+  kPermNone = 0,
+  kPermR = 1,
+  kPermW = 2,
+  kPermX = 4,
+  kPermRW = kPermR | kPermW,
+  kPermRX = kPermR | kPermX,
+  kPermRWX = kPermR | kPermW | kPermX,
+};
+
+enum class Access { Read, Write, Execute };
+
+// A memory access fault, reported to the VM.
+struct MemFault {
+  std::string code;    // "oob", "perm", "exec_outside_enclave"
+  std::uint64_t addr = 0;
+};
+
+// The machine's address space: untrusted host memory plus at most one
+// enclave. Addresses are 64-bit virtual; the two regions are disjoint.
+class AddressSpace {
+ public:
+  AddressSpace(std::uint64_t host_base, std::uint64_t host_size,
+               std::uint64_t enclave_base, std::uint64_t enclave_size);
+
+  std::uint64_t host_base() const { return host_base_; }
+  std::uint64_t host_size() const { return host_size_; }
+  std::uint64_t enclave_base() const { return enclave_base_; }
+  std::uint64_t enclave_size() const { return enclave_size_; }
+  std::uint64_t enclave_end() const { return enclave_base_ + enclave_size_; }
+
+  bool in_enclave(std::uint64_t addr) const {
+    return addr >= enclave_base_ && addr < enclave_base_ + enclave_size_;
+  }
+  bool in_host(std::uint64_t addr) const {
+    return addr >= host_base_ && addr < host_base_ + host_size_;
+  }
+
+  // Page permission management (consumer/loader side; models EADD-time
+  // permission assignment, immutable during execution under SGXv1).
+  Status set_page_perms(std::uint64_t addr, std::uint64_t size, std::uint8_t perms);
+  std::uint8_t page_perms(std::uint64_t addr) const;
+
+  // Typed accessors with permission checks. On failure, `fault` is filled
+  // and the access does not happen. Host memory is always readable and
+  // writable (it is the attacker's memory), never executable from the
+  // enclave's point of view.
+  bool read_u8(std::uint64_t addr, std::uint8_t& out, MemFault& fault) const;
+  bool read_u64(std::uint64_t addr, std::uint64_t& out, MemFault& fault) const;
+  bool write_u8(std::uint64_t addr, std::uint8_t v, MemFault& fault);
+  bool write_u64(std::uint64_t addr, std::uint64_t v, MemFault& fault);
+  // Fetch check for execution at addr (permission only; decoding reads raw).
+  bool check_exec(std::uint64_t addr, MemFault& fault) const;
+
+  // Raw (no-check) access for the trusted runtime itself (loader writing
+  // pages before EINIT, OCall stubs copying buffers, tests). Returns
+  // nullptr if [addr, addr+len) is not fully inside one region.
+  std::uint8_t* raw(std::uint64_t addr, std::uint64_t len);
+  const std::uint8_t* raw(std::uint64_t addr, std::uint64_t len) const;
+
+  Status copy_in(std::uint64_t addr, BytesView data);
+  Result<Bytes> copy_out(std::uint64_t addr, std::uint64_t len) const;
+
+  // Write generation for executable enclave pages; bumped whenever a store
+  // lands on an X page so the VM can invalidate its decode cache (needed to
+  // faithfully emulate self-modifying malicious code when P4 is off).
+  std::uint64_t text_write_generation() const { return text_write_generation_; }
+
+ private:
+  bool check(std::uint64_t addr, std::uint64_t len, Access access, MemFault& fault) const;
+
+  std::uint64_t host_base_, host_size_;
+  std::uint64_t enclave_base_, enclave_size_;
+  Bytes host_mem_;
+  Bytes enclave_mem_;
+  std::vector<std::uint8_t> page_perms_;
+  std::uint64_t text_write_generation_ = 0;
+};
+
+// AEX (asynchronous exit) injection policy: models the OS interrupt /
+// page-fault schedule. interval_cost == 0 disables injection (a quiescent,
+// benign platform); small intervals model a controlled-channel attacker
+// interrupting the enclave at high frequency.
+struct AexPolicy {
+  std::uint64_t interval_cost = 0;
+  // Number of AEXes delivered per interrupt burst (attacks often cause
+  // several consecutive exits).
+  std::uint32_t burst = 1;
+};
+
+// One simulated enclave: ELRANGE + SSA + measurement + AEX accounting.
+class Enclave {
+ public:
+  Enclave(AddressSpace& space, std::uint64_t ssa_addr);
+
+  AddressSpace& space() { return space_; }
+  const AddressSpace& space() const { return space_; }
+
+  // --- Build phase (models ECREATE/EADD/EEXTEND/EINIT) ---
+  // Adds `data` at enclave-relative page-aligned offset with `perms`,
+  // extending the measurement.
+  Status add_pages(std::uint64_t offset, BytesView data, std::uint8_t perms);
+  // Reserves zeroed pages (measured by their metadata only, like
+  // unmeasured EADD for heap/stack in SGX manifests).
+  Status add_zero_pages(std::uint64_t offset, std::uint64_t size, std::uint8_t perms);
+  void init();
+  bool initialized() const { return initialized_; }
+  crypto::Digest mrenclave() const { return mrenclave_; }
+
+  // SGXv2 (EDMM): permission restriction at runtime via EMODPE/EACCEPT.
+  // Only available on v2 platforms; v1 permissions are frozen at EINIT —
+  // which is exactly why DEFLECTION's software DEP (policy P4) exists.
+  void set_sgxv2(bool enabled) { sgxv2_ = enabled; }
+  bool sgxv2() const { return sgxv2_; }
+  // Restricting only (new perms must be a subset of the current ones).
+  Status modify_page_perms(std::uint64_t addr, std::uint64_t size, std::uint8_t perms);
+
+  // --- Run phase ---
+  std::uint64_t ssa_addr() const { return ssa_addr_; }
+  // Marker dword the P6 instrumentation plants at the head of the SSA; an
+  // AEX overwrites the whole SSA frame with the interrupted context.
+  static constexpr std::uint64_t kSsaMarkerOffset = 0;
+
+  void set_aex_policy(AexPolicy policy) { aex_policy_ = policy; }
+  const AexPolicy& aex_policy() const { return aex_policy_; }
+
+  // Called by the VM as cost accrues; delivers AEX(s) when the policy says
+  // so. Writes the (simulated) interrupted context over the SSA frame.
+  void tick(std::uint64_t total_cost, const std::uint64_t* regs);
+  std::uint64_t aex_count() const { return aex_count_; }
+  void deliver_aex(const std::uint64_t* regs);
+
+ private:
+  AddressSpace& space_;
+  std::uint64_t ssa_addr_;
+  crypto::Sha256 measure_;
+  crypto::Digest mrenclave_{};
+  bool initialized_ = false;
+
+  AexPolicy aex_policy_{};
+  std::uint64_t next_aex_cost_ = 0;
+  std::uint64_t aex_count_ = 0;
+  bool sgxv2_ = false;
+};
+
+}  // namespace deflection::sgx

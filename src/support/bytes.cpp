@@ -1,0 +1,37 @@
+#include "support/bytes.h"
+
+namespace deflection {
+
+static const char kHexDigits[] = "0123456789abcdef";
+
+std::string to_hex(BytesView v) {
+  std::string out;
+  out.reserve(v.size() * 2);
+  for (std::uint8_t b : v) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+static int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+Bytes from_hex(const std::string& s) {
+  Bytes out;
+  if (s.size() % 2 != 0) return out;
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i + 1 < s.size(); i += 2) {
+    int hi = hex_val(s[i]);
+    int lo = hex_val(s[i + 1]);
+    if (hi < 0 || lo < 0) return {};
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+}  // namespace deflection

@@ -1,0 +1,124 @@
+// Byte-buffer helpers: little-endian serialization used by the DXO object
+// format, the DX64 instruction encoder, and the attestation/session wire
+// protocol.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace deflection {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+// Appends fixed-width little-endian integers to a growing buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u64(std::uint64_t v) { le(v, 8); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void bytes(BytesView v) { out_.insert(out_.end(), v.begin(), v.end()); }
+  // Length-prefixed (u32) byte string.
+  void blob(BytesView v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    bytes(v);
+  }
+  // Length-prefixed (u32) UTF-8 string.
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  void le(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  Bytes& out_;
+};
+
+// Reads fixed-width little-endian integers from a buffer; records overrun
+// instead of crashing so the (trusted) DXO parser can reject truncated
+// inputs gracefully.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView in) : in_(in) {}
+
+  bool ok() const { return ok_; }
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return ok_ ? in_.size() - pos_ : 0; }
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(le(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  std::uint64_t u64() { return le(8); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  Bytes bytes(std::size_t n) {
+    if (!take(n)) return {};
+    Bytes out(in_.begin() + static_cast<std::ptrdiff_t>(pos_ - n),
+              in_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    return out;
+  }
+  Bytes blob() {
+    std::uint32_t n = u32();
+    return bytes(n);
+  }
+  std::string str() {
+    std::uint32_t n = u32();
+    if (!take(n)) return {};
+    return std::string(reinterpret_cast<const char*>(in_.data()) + pos_ - n, n);
+  }
+
+ private:
+  std::uint64_t le(std::size_t n) {
+    if (!take(n)) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      v |= static_cast<std::uint64_t>(in_[pos_ - n + i]) << (8 * i);
+    return v;
+  }
+  bool take(std::size_t n) {
+    if (!ok_ || in_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  BytesView in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// In-place little-endian load/store against raw memory (used by the VM and
+// the immediate rewriter, which patches imm64 fields inside encoded text).
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // assumes little-endian host; asserted in platform.cpp
+}
+inline void store_le64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline void store_le32(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+
+std::string to_hex(BytesView v);
+Bytes from_hex(const std::string& s);
+
+}  // namespace deflection

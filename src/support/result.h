@@ -1,0 +1,96 @@
+// Lightweight status/result types used across the DEFLECTION code base.
+//
+// The trusted code consumer (loader + verifier) must never throw across the
+// simulated enclave boundary, so fallible operations in that layer return
+// Result<T> / Status values instead of raising exceptions.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace deflection {
+
+// A failure description. `code` is a short machine-checkable tag (used by
+// tests to assert on the *reason* a verification failed, not just that it
+// failed); `message` is a human-readable elaboration.
+struct Error {
+  std::string code;
+  std::string message;
+
+  static Error make(std::string code, std::string message) {
+    return Error{std::move(code), std::move(message)};
+  }
+};
+
+// Status: success or an Error.
+class Status {
+ public:
+  Status() = default;  // success
+  explicit Status(Error e) : error_(std::move(e)) {}
+
+  static Status ok() { return Status{}; }
+  static Status fail(std::string code, std::string message) {
+    return Status{Error::make(std::move(code), std::move(message))};
+  }
+
+  bool is_ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const Error& error() const {
+    assert(error_.has_value());
+    return *error_;
+  }
+  const std::string& code() const { return error().code; }
+  const std::string& message() const { return error().message; }
+
+ private:
+  std::optional<Error> error_;
+};
+
+// Result<T>: either a value or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}        // NOLINT: implicit by design
+  Result(Error error) : v_(std::move(error)) {}    // NOLINT: implicit by design
+
+  static Result fail(std::string code, std::string message) {
+    return Result(Error::make(std::move(code), std::move(message)));
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return is_ok(); }
+
+  T& value() {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  T&& take() {
+    assert(is_ok());
+    return std::move(std::get<T>(v_));
+  }
+
+  const Error& error() const {
+    assert(!is_ok());
+    return std::get<Error>(v_);
+  }
+  const std::string& code() const { return error().code; }
+  const std::string& message() const { return error().message; }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return Status(error());
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+}  // namespace deflection

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Every experiment in this reproduction is seeded, so runs are bit-for-bit
+// repeatable; the same generator doubles as the "entropy source" of the
+// simulated platform (nonces, DH private keys) — documented in DESIGN.md as
+// simulation-grade randomness, not a CSPRNG.
+#pragma once
+
+#include <cstdint>
+
+namespace deflection {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  // Uniform in [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+}  // namespace deflection

@@ -1,0 +1,73 @@
+#include "verifier/disasm.h"
+
+namespace deflection::verifier {
+
+Result<Disassembly> disassemble(const sgx::AddressSpace& space,
+                                const LoadedBinary& binary) {
+  auto fail = [](const std::string& code, const std::string& msg) {
+    return Result<Disassembly>::fail(code, msg);
+  };
+  const std::uint64_t base = binary.text_base;
+  const std::uint64_t size = binary.text_size;
+  if (size == 0) return fail("disasm_empty", "empty text");
+  const std::uint8_t* raw = space.raw(base, size);
+  if (raw == nullptr) return fail("disasm_unmapped", "text not mapped");
+  BytesView text(raw, size);
+
+  std::map<std::uint64_t, isa::Instr> decoded;
+  std::vector<std::uint64_t> worklist;
+  auto push = [&](std::uint64_t addr) {
+    if (!decoded.contains(addr)) worklist.push_back(addr);
+  };
+
+  push(binary.entry);
+  for (std::uint64_t f : binary.function_addrs) push(f);
+  for (std::uint64_t t : binary.branch_targets) push(t);
+
+  while (!worklist.empty()) {
+    std::uint64_t addr = worklist.back();
+    worklist.pop_back();
+    // Follow straight-line flow from addr (recursive descent with an
+    // explicit worklist for branch targets).
+    while (!decoded.contains(addr)) {
+      if (addr < base || addr >= base + size)
+        return fail("disasm_oob", "control flow leaves the text at " +
+                                      std::to_string(addr));
+      auto r = isa::decode_one(text, addr - base, base);
+      if (!r.is_ok())
+        return fail(r.code(), r.message() + " at " + std::to_string(addr));
+      isa::Instr ins = r.take();
+      decoded.emplace(addr, ins);
+      if (ins.is_direct_branch()) {
+        std::uint64_t target = ins.branch_target();
+        if (target < base || target >= base + size)
+          return fail("disasm_target_oob", "branch target outside text");
+        push(target);
+      }
+      if (ins.ends_flow()) break;
+      addr += ins.length;
+    }
+  }
+
+  // Coverage: decoded instructions must tile the text exactly.
+  Disassembly out;
+  out.instrs.reserve(decoded.size());
+  std::uint64_t cursor = base;
+  for (auto& [addr, ins] : decoded) {
+    if (addr != cursor) {
+      if (addr < cursor)
+        return fail("disasm_overlap", "overlapping instructions at " +
+                                          std::to_string(addr));
+      return fail("disasm_gap",
+                  "unreachable bytes at " + std::to_string(cursor));
+    }
+    cursor += ins.length;
+    out.index.emplace(addr, out.instrs.size());
+    out.instrs.push_back(ins);
+  }
+  if (cursor != base + size)
+    return fail("disasm_gap", "unreachable bytes at tail");
+  return out;
+}
+
+}  // namespace deflection::verifier

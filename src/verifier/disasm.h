@@ -1,0 +1,33 @@
+// Just-enough recursive-descent disassembler (trusted, in-TCB).
+//
+// The paper's clipped-Capstone equivalent: starting from the program entry
+// and the loader-provided roots (function symbols + indirect-branch list),
+// it follows control flow, deferring direct-branch targets onto a worklist,
+// and decodes every reachable instruction exactly once. Verification then
+// requires *full* coverage — every byte of the loaded text must belong to
+// exactly one decoded instruction — so no bytes can hide from inspection.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "isa/decode.h"
+#include "verifier/loader.h"
+
+namespace deflection::verifier {
+
+struct Disassembly {
+  // Decoded instructions, sorted by address, contiguous over the text.
+  std::vector<isa::Instr> instrs;
+  // addr -> index into instrs.
+  std::map<std::uint64_t, std::size_t> index;
+
+  bool is_boundary(std::uint64_t addr) const { return index.contains(addr); }
+};
+
+// Disassembles the loaded text. Fails on: undecodable bytes, branches
+// leaving the text, overlapping decodes, or unreachable (uncovered) bytes.
+Result<Disassembly> disassemble(const sgx::AddressSpace& space, const LoadedBinary& binary);
+
+}  // namespace deflection::verifier

@@ -1,0 +1,43 @@
+#include "verifier/layout.h"
+
+namespace deflection::verifier {
+
+EnclaveLayout EnclaveLayout::compute(std::uint64_t enclave_base,
+                                     const LayoutConfig& config) {
+  auto page_round = [](std::uint64_t v) {
+    return (v + sgx::kPageSize - 1) / sgx::kPageSize * sgx::kPageSize;
+  };
+  EnclaveLayout out;
+  out.enclave_base = enclave_base;
+  std::uint64_t cursor = enclave_base;
+  auto region = [&](std::uint64_t size) {
+    std::uint64_t base = cursor;
+    cursor += page_round(size);
+    return base;
+  };
+  out.consumer_base = region(config.consumer_size);
+  out.consumer_size = page_round(config.consumer_size);
+  out.critical_base = region(config.critical_size);
+  out.critical_size = page_round(config.critical_size);
+  out.bt_table_base = region(config.bt_table_size);
+  out.bt_table_size = page_round(config.bt_table_size);
+  out.shadow_base = region(config.shadow_stack_size);
+  out.shadow_size = page_round(config.shadow_stack_size);
+  out.text_base = region(config.text_size);
+  out.text_size = page_round(config.text_size);
+  out.data_base = region(config.data_size);
+  out.data_size = page_round(config.data_size);
+  out.guard_lo_base = region(config.guard_size);
+  out.guard_size = page_round(config.guard_size);
+  out.stack_base = region(config.stack_size);
+  out.stack_size = page_round(config.stack_size);
+  out.guard_hi_base = region(config.guard_size);
+  out.enclave_size = cursor - enclave_base;
+
+  out.ssa_addr = out.critical_base;  // marker dword sits at SSA+0
+  out.aex_count_addr = out.critical_base + 0x200;
+  out.ss_ptr_slot = out.critical_base + 0x208;
+  return out;
+}
+
+}  // namespace deflection::verifier

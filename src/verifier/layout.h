@@ -1,0 +1,66 @@
+// In-enclave memory layout managed by the bootstrap enclave's loader.
+//
+// Region order is security-relevant: the store-bound annotations check a
+// single [lo, hi) range, so the regions each policy level protects must be
+// *contiguous below* the writable program area:
+//
+//   enclave_base
+//     consumer      RX    bootstrap enclave image (measured)
+//     critical      RW    SSA frame + runtime slots (AEX count, shadow top)
+//     bt_table      RW*   branch-target byte table   } P3 excludes these
+//     shadow_stack  RW    return-address shadow      }
+//     text          RWX   target binary (SGXv1: perms fixed, hence P4)
+//     data          RW    rodata + globals + heap
+//     guard         --    no-permission pages (P2 backstop)
+//     stack         RW
+//     guard         --
+//   enclave_end
+//
+// Rewritten store bounds per policy level (cumulative, as evaluated in the
+// paper): P1 -> [enclave_base, stack_top); +P3 -> [text_base, stack_top);
+// +P4 -> [data_base, stack_top).
+#pragma once
+
+#include <cstdint>
+
+#include "sgx/platform.h"
+
+namespace deflection::verifier {
+
+struct LayoutConfig {
+  std::uint64_t consumer_size = 64 * 1024;
+  std::uint64_t critical_size = 16 * 1024;
+  std::uint64_t bt_table_size = 256 * 1024;
+  std::uint64_t shadow_stack_size = 1024 * 1024;  // paper: 1 MB reserved
+  std::uint64_t text_size = 256 * 1024;           // max target text
+  std::uint64_t data_size = 24 * 1024 * 1024;     // rodata+globals+heap
+  std::uint64_t guard_size = 2 * sgx::kPageSize;
+  std::uint64_t stack_size = 1024 * 1024;
+};
+
+// Absolute addresses of every region, derived from a base + config.
+struct EnclaveLayout {
+  std::uint64_t enclave_base = 0;
+
+  std::uint64_t consumer_base = 0, consumer_size = 0;
+  std::uint64_t critical_base = 0, critical_size = 0;
+  std::uint64_t bt_table_base = 0, bt_table_size = 0;
+  std::uint64_t shadow_base = 0, shadow_size = 0;
+  std::uint64_t text_base = 0, text_size = 0;
+  std::uint64_t data_base = 0, data_size = 0;
+  std::uint64_t guard_lo_base = 0, guard_size = 0;
+  std::uint64_t stack_base = 0, stack_size = 0;
+  std::uint64_t guard_hi_base = 0;
+  std::uint64_t enclave_size = 0;
+
+  // Runtime slot addresses inside the critical region.
+  std::uint64_t ssa_addr = 0;          // SSA frame (marker at +0)
+  std::uint64_t aex_count_addr = 0;
+  std::uint64_t ss_ptr_slot = 0;       // holds the shadow-stack top pointer
+
+  std::uint64_t stack_top() const { return stack_base + stack_size; }
+
+  static EnclaveLayout compute(std::uint64_t enclave_base, const LayoutConfig& config);
+};
+
+}  // namespace deflection::verifier

@@ -1,0 +1,159 @@
+#include "verifier/loader.h"
+
+#include <cstring>
+
+#include "codegen/annotations.h"
+
+namespace deflection::verifier {
+
+Result<EnclaveLayout> Loader::build_enclave(sgx::Enclave& enclave,
+                                            std::uint64_t enclave_base,
+                                            const LayoutConfig& config,
+                                            BytesView consumer_image) {
+  EnclaveLayout layout = EnclaveLayout::compute(enclave_base, config);
+  if (enclave.space().enclave_base() != enclave_base ||
+      enclave.space().enclave_size() < layout.enclave_size)
+    return Result<EnclaveLayout>::fail("layout_space",
+                                       "address space smaller than layout");
+  if (consumer_image.size() > layout.consumer_size)
+    return Result<EnclaveLayout>::fail("layout_consumer", "consumer image too large");
+
+  auto off = [&](std::uint64_t addr) { return addr - enclave_base; };
+  // Consumer code: measured content, RX.
+  if (!consumer_image.empty()) {
+    if (auto s =
+            enclave.add_pages(off(layout.consumer_base), consumer_image, sgx::kPermRX);
+        !s.is_ok())
+      return s.error();
+  }
+  if (consumer_image.size() < layout.consumer_size) {
+    // Remaining consumer pages stay RX and zeroed (measured as metadata).
+    std::uint64_t used = (consumer_image.size() + sgx::kPageSize - 1) /
+                         sgx::kPageSize * sgx::kPageSize;
+    if (used < layout.consumer_size) {
+      if (auto s = enclave.add_zero_pages(off(layout.consumer_base) + used,
+                                          layout.consumer_size - used, sgx::kPermRX);
+          !s.is_ok())
+        return s.error();
+    }
+  }
+  struct RegionSpec {
+    std::uint64_t base, size;
+    std::uint8_t perms;
+  };
+  const RegionSpec regions[] = {
+      {layout.critical_base, layout.critical_size, sgx::kPermRW},
+      {layout.bt_table_base, layout.bt_table_size, sgx::kPermRW},
+      {layout.shadow_base, layout.shadow_size, sgx::kPermRW},
+      {layout.text_base, layout.text_size, sgx::kPermRWX},  // SGXv1: RWX forever
+      {layout.data_base, layout.data_size, sgx::kPermRW},
+      {layout.guard_lo_base, layout.guard_size, sgx::kPermNone},
+      {layout.stack_base, layout.stack_size, sgx::kPermRW},
+      {layout.guard_hi_base, layout.guard_size, sgx::kPermNone},
+  };
+  for (const auto& r : regions) {
+    if (auto s = enclave.add_zero_pages(off(r.base), r.size, r.perms); !s.is_ok())
+      return s.error();
+  }
+  enclave.init();
+  return layout;
+}
+
+Result<LoadedBinary> Loader::load(const codegen::Dxo& dxo) {
+  auto fail = [](const std::string& code, const std::string& msg) {
+    return Result<LoadedBinary>::fail(code, msg);
+  };
+  if (!enclave_.initialized()) return fail("load_uninit", "enclave not initialized");
+  if (dxo.text.size() > layout_.text_size) return fail("load_text", "text too large");
+  if (dxo.data.size() + 4096 > layout_.data_size)
+    return fail("load_data", "data image too large");
+  if (dxo.text.size() > layout_.bt_table_size)
+    return fail("load_bt", "text larger than branch-target table");
+
+  LoadedBinary out;
+  out.layout = layout_;
+  out.policies = dxo.policies;
+  out.text_base = layout_.text_base;
+  out.text_size = dxo.text.size();
+  out.data_base = layout_.data_base;
+  out.data_image_size = dxo.data.size();
+  out.heap_base = (layout_.data_base + dxo.data.size() + 15) / 16 * 16;
+  out.heap_end = layout_.data_base + layout_.data_size;
+
+  sgx::AddressSpace& space = enclave_.space();
+
+  // Copy sections into the reserved regions (consumer-privilege writes; the
+  // text pages are RWX so this models the paper's relocation into heap-like
+  // pages under SGXv1).
+  if (auto s = space.copy_in(out.text_base, dxo.text); !s.is_ok()) return s.error();
+  if (auto s = space.copy_in(out.data_base, dxo.data); !s.is_ok()) return s.error();
+
+  // Resolve symbols against the loaded bases.
+  for (const auto& sym : dxo.symbols) {
+    std::uint64_t base =
+        sym.section == codegen::Section::Text ? out.text_base : out.data_base;
+    std::uint64_t addr = base + sym.offset;
+    if (out.symbols.contains(sym.name)) return fail("load_dup_symbol", sym.name);
+    out.symbols[sym.name] = addr;
+    if (sym.is_function) {
+      if (sym.section != codegen::Section::Text)
+        return fail("load_sym", "function symbol outside text: " + sym.name);
+      if (sym.offset >= dxo.text.size())
+        return fail("load_sym", "function symbol beyond text: " + sym.name);
+      out.function_addrs.insert(addr);
+    }
+  }
+  auto entry_it = out.symbols.find(dxo.entry);
+  if (entry_it == out.symbols.end()) return fail("load_entry", "missing entry symbol");
+  out.entry = entry_it->second;
+  if (auto viol = out.symbols.find(codegen::kViolationSymbol); viol != out.symbols.end())
+    out.violation_addr = viol->second;
+
+  // Apply Abs64 relocations into the text image.
+  for (const auto& rel : dxo.relocs) {
+    auto sym = out.symbols.find(rel.symbol);
+    if (sym == out.symbols.end()) return fail("load_reloc", "undefined " + rel.symbol);
+    if (rel.text_offset + 8 > dxo.text.size())
+      return fail("load_reloc", "relocation outside text");
+    std::uint8_t* p = space.raw(out.text_base + rel.text_offset, 8);
+    if (p == nullptr) return fail("load_reloc", "relocation target unmapped");
+    store_le64(p, sym->second + static_cast<std::uint64_t>(rel.addend));
+  }
+
+  // Translate the indirect-branch symbol list and build the byte table.
+  std::uint8_t* table = space.raw(layout_.bt_table_base, layout_.bt_table_size);
+  if (table == nullptr) return fail("load_bt", "branch-target table unmapped");
+  std::memset(table, 0, layout_.bt_table_size);
+  for (const auto& name : dxo.branch_targets) {
+    auto sym = out.symbols.find(name);
+    if (sym == out.symbols.end())
+      return fail("load_bt", "branch target names unknown symbol " + name);
+    std::uint64_t addr = sym->second;
+    if (addr < out.text_base || addr >= out.text_base + out.text_size)
+      return fail("load_bt", "branch target outside loaded text");
+    table[addr - out.text_base] = 1;
+    out.branch_targets.push_back(addr);
+  }
+
+  // Initialize the runtime slots.
+  sgx::MemFault mf;
+  bool ok = true;
+  ok &= space.write_u64(layout_.ss_ptr_slot, layout_.shadow_base, mf);
+  ok &= space.write_u64(layout_.aex_count_addr, 0, mf);
+  ok &= space.write_u64(layout_.ssa_addr + sgx::Enclave::kSsaMarkerOffset,
+                        static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(codegen::kSsaMarkerValue)),
+                        mf);
+  // Heap bookkeeping slots inside the data image (producer convention).
+  auto heap_ptr_sym = out.symbols.find(codegen::kHeapPtrSymbol);
+  auto heap_end_sym = out.symbols.find(codegen::kHeapEndSymbol);
+  if (heap_ptr_sym != out.symbols.end())
+    ok &= space.write_u64(heap_ptr_sym->second, out.heap_base, mf);
+  if (heap_end_sym != out.symbols.end())
+    ok &= space.write_u64(heap_end_sym->second, out.heap_end, mf);
+  if (!ok) return fail("load_slots", "runtime slot initialization faulted");
+
+  return out;
+}
+
+}  // namespace deflection::verifier

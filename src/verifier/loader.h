@@ -1,0 +1,68 @@
+// The bootstrap enclave's dynamic loader (trusted, in-TCB).
+//
+// Responsibilities (paper Sec. IV-D / Fig. 6):
+//   1. Build-phase: reserve + measure all enclave regions (the target
+//      binary's future text pages get RWX — SGXv1 cannot change permissions
+//      after EINIT, which is exactly why policy P4 exists).
+//   2. Load-phase ("in-enclave rebase"): parse the delivered DXO, copy text
+//      and data into the reserved regions, resolve symbols, apply Abs64
+//      relocations, translate the indirect-branch symbol list into loaded
+//      addresses, build the branch-target byte table, and initialize the
+//      runtime slots (heap bounds, shadow-stack top, SSA marker, AEX count).
+//
+// Loading does NOT make the binary runnable: the policy verifier must pass
+// and the immediate rewriter must patch the annotation placeholders first.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "codegen/dxo.h"
+#include "verifier/layout.h"
+
+namespace deflection::verifier {
+
+// Everything the verifier, rewriter and runtime need to know about a
+// loaded target binary.
+struct LoadedBinary {
+  EnclaveLayout layout;
+  PolicySet policies;  // claimed by the binary (checked against required)
+
+  std::uint64_t text_base = 0;
+  std::uint64_t text_size = 0;   // actual bytes loaded (not region size)
+  std::uint64_t data_base = 0;
+  std::uint64_t data_image_size = 0;
+  std::uint64_t heap_base = 0;
+  std::uint64_t heap_end = 0;
+
+  std::uint64_t entry = 0;
+  std::uint64_t violation_addr = 0;  // 0 when the binary carries no stub
+
+  std::map<std::string, std::uint64_t> symbols;  // resolved addresses
+  std::set<std::uint64_t> function_addrs;        // disassembly roots
+  std::vector<std::uint64_t> branch_targets;     // resolved indirect targets
+};
+
+class Loader {
+ public:
+  Loader(sgx::Enclave& enclave, const EnclaveLayout& layout)
+      : enclave_(enclave), layout_(layout) {}
+
+  // Build-phase: adds all pages (consumer image measured, everything else
+  // reserved) and initializes the enclave, producing its measurement.
+  static Result<EnclaveLayout> build_enclave(sgx::Enclave& enclave,
+                                             std::uint64_t enclave_base,
+                                             const LayoutConfig& config,
+                                             BytesView consumer_image);
+
+  // Load-phase: rebases `dxo` into the reserved regions.
+  Result<LoadedBinary> load(const codegen::Dxo& dxo);
+
+ private:
+  sgx::Enclave& enclave_;
+  EnclaveLayout layout_;
+};
+
+}  // namespace deflection::verifier

@@ -1,0 +1,550 @@
+#include "verifier/verify.h"
+
+namespace deflection::verifier {
+
+using codegen::kMagicAexCount;
+using codegen::kMagicBtTable;
+using codegen::kMagicSsaMarker;
+using codegen::kMagicSsBase;
+using codegen::kMagicSsLimit;
+using codegen::kMagicSsPtr;
+using codegen::kMagicStackHi;
+using codegen::kMagicStackLo;
+using codegen::kMagicStoreHi;
+using codegen::kMagicStoreLo;
+using isa::Cond;
+using isa::Instr;
+using isa::Mem;
+using isa::Op;
+using isa::Reg;
+
+namespace {
+
+constexpr Reg kS0 = isa::kScratch0;  // R14
+constexpr Reg kS1 = isa::kScratch1;  // R15
+
+enum class PatternKind : std::uint8_t {
+  None = 0,
+  StoreGuard,
+  RspGuard,
+  ShadowProlog,
+  ShadowEpilog,
+  IndirectGuard,
+  AexProbe,
+};
+
+bool is_exempt_store(const Instr& ins) {
+  return ins.mem.has_base && ins.mem.base == Reg::RSP && !ins.mem.has_index &&
+         ins.mem.disp >= 0 && ins.mem.disp + 8 <= codegen::kRspSlack;
+}
+
+bool mem_uses_scratch(const Mem& mem) {
+  return (mem.has_base && (mem.base == kS0 || mem.base == kS1)) ||
+         (mem.has_index && (mem.index == kS0 || mem.index == kS1));
+}
+
+class Verifier {
+ public:
+  Verifier(const Disassembly& dis, const LoadedBinary& binary, const VerifyConfig& config)
+      : dis_(dis),
+        binary_(binary),
+        config_(config),
+        verify_(binary.policies),
+        kind_(dis.instrs.size(), PatternKind::None),
+        start_(dis.instrs.size(), false) {}
+
+  Result<VerifyReport> run() {
+    if (!binary_.policies.covers(config_.required))
+      return fail_at(0, "policy_uncovered",
+                     "binary claims " + binary_.policies.to_string() +
+                         " but the data owner requires " + config_.required.to_string());
+    if (auto s = scan_patterns(); !s.is_ok()) return s.error();
+    if (auto s = check_singletons(); !s.is_ok()) return s.error();
+    if (auto s = check_entries(); !s.is_ok()) return s.error();
+    if (auto s = check_probe_density(); !s.is_ok()) return s.error();
+    if (auto s = check_violation_stub(); !s.is_ok()) return s.error();
+    report_.instructions = dis_.instrs.size();
+    return report_;
+  }
+
+ private:
+  // ---- small helpers ----
+  const Instr& at(std::size_t i) const { return dis_.instrs[i]; }
+  std::size_t count() const { return dis_.instrs.size(); }
+
+  Result<VerifyReport> fail_at(std::uint64_t addr, const std::string& code,
+                               const std::string& msg) {
+    return Result<VerifyReport>::fail(code, msg + " (at " + std::to_string(addr) + ")");
+  }
+  Status err(std::uint64_t addr, const std::string& code, const std::string& msg) {
+    return Status::fail(code, msg + " (at " + std::to_string(addr) + ")");
+  }
+
+  bool p(Policy policy) const { return verify_.has(policy); }
+  bool store_policy() const {
+    return p(kPolicyP1) || p(kPolicyP3) || p(kPolicyP4);
+  }
+
+  bool is_movri(const Instr& i, Reg rd, std::int64_t imm) const {
+    return i.op == Op::MovRI && i.rd == rd && i.imm == imm;
+  }
+  bool is_load(const Instr& i, Reg rd, Reg base) const {
+    return i.op == Op::Load && i.rd == rd && i.mem.has_base && i.mem.base == base &&
+           !i.mem.has_index && i.mem.disp == 0;
+  }
+  bool is_store_to(const Instr& i, Reg base, Reg rs) const {
+    return i.op == Op::Store && i.rs == rs && i.mem.has_base && i.mem.base == base &&
+           !i.mem.has_index && i.mem.disp == 0;
+  }
+  bool is_cmprr(const Instr& i, Reg rd, Reg rs) const {
+    return i.op == Op::CmpRR && i.rd == rd && i.rs == rs;
+  }
+  // Conditional jump to the violation stub.
+  bool is_jcc_violation(const Instr& i, Cond cond) const {
+    return i.op == Op::Jcc && i.cond == cond && binary_.violation_addr != 0 &&
+           i.branch_target() == binary_.violation_addr;
+  }
+
+  void mark(std::size_t begin, std::size_t end, PatternKind kind) {
+    start_[begin] = true;
+    for (std::size_t i = begin; i < end; ++i) kind_[i] = kind;
+  }
+  void patch(std::size_t i, PatchKind kind) {
+    // imm64 of an RI64-layout instruction sits 2 bytes in.
+    report_.patches.push_back(PatchSite{at(i).addr + 2, kind});
+  }
+
+  bool writes_rsp(const Instr& i) const { return i.writes_rsp_explicitly(); }
+
+  // ---- pattern scan ----
+
+  Status scan_patterns() {
+    std::size_t i = 0;
+    while (i < count()) {
+      const Instr& head = at(i);
+      if (p(kPolicyP6) && is_movri(head, kS0, kMagicSsaMarker)) {
+        if (auto s = match_aex_probe(i); !s.is_ok()) return s;
+        continue;
+      }
+      if (store_policy() && head.op == Op::Lea && head.rd == kS0) {
+        if (auto s = match_store_guard(i); !s.is_ok()) return s;
+        continue;
+      }
+      if (p(kPolicyP5) && is_movri(head, kS1, kMagicSsPtr)) {
+        if (auto s = match_shadow(i); !s.is_ok()) return s;
+        continue;
+      }
+      if (p(kPolicyP5) && head.op == Op::MovRR && head.rd == kS0) {
+        if (auto s = match_indirect_guard(i); !s.is_ok()) return s;
+        continue;
+      }
+      if (p(kPolicyP2) && writes_rsp(head)) {
+        if (auto s = match_rsp_guard(i); !s.is_ok()) return s;
+        continue;
+      }
+      ++i;  // plain instruction; singleton rules run later
+    }
+    return Status::ok();
+  }
+
+  Status match_store_guard(std::size_t& i) {
+    const std::uint64_t a = at(i).addr;
+    auto bad = [&](const std::string& why) {
+      return err(a, "verify_store_guard", "malformed store annotation: " + why);
+    };
+    if (i + 8 > count()) return bad("truncated");
+    const Mem& m = at(i).mem;
+    if (mem_uses_scratch(m)) return bad("guarded address uses scratch registers");
+    if (!is_movri(at(i + 1), kS1, kMagicStoreLo)) return bad("missing lower bound");
+    if (!is_cmprr(at(i + 2), kS0, kS1)) return bad("missing lower compare");
+    if (!is_jcc_violation(at(i + 3), Cond::B)) return bad("missing lower exit");
+    if (!is_movri(at(i + 4), kS1, kMagicStoreHi)) return bad("missing upper bound");
+    if (!is_cmprr(at(i + 5), kS0, kS1)) return bad("missing upper compare");
+    if (!is_jcc_violation(at(i + 6), Cond::AE)) return bad("missing upper exit");
+    const Instr& store = at(i + 7);
+    if (!store.may_store()) return bad("no store after annotation");
+    if (!(store.mem == m)) return bad("annotation guards a different address");
+    patch(i + 1, PatchKind::StoreLo);
+    patch(i + 4, PatchKind::StoreHi);
+    mark(i, i + 8, PatternKind::StoreGuard);
+    ++report_.store_guards;
+    i += 8;
+    return Status::ok();
+  }
+
+  Status match_rsp_guard(std::size_t& i) {
+    const std::uint64_t a = at(i).addr;
+    auto bad = [&](const std::string& why) {
+      return err(a, "verify_rsp_guard", "malformed RSP annotation: " + why);
+    };
+    if (i + 7 > count()) return bad("truncated");
+    if (!is_movri(at(i + 1), kS1, kMagicStackLo)) return bad("missing lower bound");
+    if (!is_cmprr(at(i + 2), Reg::RSP, kS1)) return bad("missing lower compare");
+    if (!is_jcc_violation(at(i + 3), Cond::B)) return bad("missing lower exit");
+    if (!is_movri(at(i + 4), kS1, kMagicStackHi)) return bad("missing upper bound");
+    if (!is_cmprr(at(i + 5), Reg::RSP, kS1)) return bad("missing upper compare");
+    if (!is_jcc_violation(at(i + 6), Cond::A)) return bad("missing upper exit");
+    patch(i + 1, PatchKind::StackLo);
+    patch(i + 4, PatchKind::StackHi);
+    mark(i, i + 7, PatternKind::RspGuard);
+    ++report_.rsp_guards;
+    i += 7;
+    return Status::ok();
+  }
+
+  Status match_shadow(std::size_t& i) {
+    // Disambiguate prologue vs epilogue by the third instruction.
+    if (i + 3 <= count() && at(i + 2).op == Op::SubRI) return match_shadow_epilog(i);
+    return match_shadow_prolog(i);
+  }
+
+  Status match_shadow_prolog(std::size_t& i) {
+    const std::uint64_t a = at(i).addr;
+    auto bad = [&](const std::string& why) {
+      return err(a, "verify_shadow_prolog", "malformed shadow prologue: " + why);
+    };
+    if (i + 10 > count()) return bad("truncated");
+    if (!is_movri(at(i), kS1, kMagicSsPtr)) return bad("missing top-slot address");
+    if (!is_load(at(i + 1), kS0, kS1)) return bad("missing top load");
+    if (!is_load(at(i + 2), kS1, Reg::RSP)) return bad("missing return-address load");
+    if (!is_store_to(at(i + 3), kS0, kS1)) return bad("missing shadow push");
+    if (at(i + 4).op != Op::AddRI || at(i + 4).rd != kS0 || at(i + 4).imm != 8)
+      return bad("missing top increment");
+    if (!is_movri(at(i + 5), kS1, kMagicSsLimit)) return bad("missing limit");
+    if (!is_cmprr(at(i + 6), kS0, kS1)) return bad("missing limit compare");
+    if (!is_jcc_violation(at(i + 7), Cond::A)) return bad("missing overflow exit");
+    if (!is_movri(at(i + 8), kS1, kMagicSsPtr)) return bad("missing top-slot reload");
+    if (!is_store_to(at(i + 9), kS1, kS0)) return bad("missing top writeback");
+    patch(i, PatchKind::SsPtr);
+    patch(i + 5, PatchKind::SsLimit);
+    patch(i + 8, PatchKind::SsPtr);
+    mark(i, i + 10, PatternKind::ShadowProlog);
+    ++report_.shadow_prologues;
+    i += 10;
+    return Status::ok();
+  }
+
+  Status match_shadow_epilog(std::size_t& i) {
+    const std::uint64_t a = at(i).addr;
+    auto bad = [&](const std::string& why) {
+      return err(a, "verify_shadow_epilog", "malformed shadow epilogue: " + why);
+    };
+    if (i + 13 > count()) return bad("truncated");
+    if (!is_movri(at(i), kS1, kMagicSsPtr)) return bad("missing top-slot address");
+    if (!is_load(at(i + 1), kS0, kS1)) return bad("missing top load");
+    if (at(i + 2).op != Op::SubRI || at(i + 2).rd != kS0 || at(i + 2).imm != 8)
+      return bad("missing top decrement");
+    if (!is_movri(at(i + 3), kS1, kMagicSsBase)) return bad("missing base");
+    if (!is_cmprr(at(i + 4), kS0, kS1)) return bad("missing base compare");
+    if (!is_jcc_violation(at(i + 5), Cond::B)) return bad("missing underflow exit");
+    if (!is_movri(at(i + 6), kS1, kMagicSsPtr)) return bad("missing top-slot reload");
+    if (!is_store_to(at(i + 7), kS1, kS0)) return bad("missing top writeback");
+    if (!is_load(at(i + 8), kS0, kS0)) return bad("missing expected-return load");
+    if (!is_load(at(i + 9), kS1, Reg::RSP)) return bad("missing actual-return load");
+    if (!is_cmprr(at(i + 10), kS0, kS1)) return bad("missing return compare");
+    if (!is_jcc_violation(at(i + 11), Cond::NE)) return bad("missing mismatch exit");
+    if (at(i + 12).op != Op::Ret) return bad("no RET after epilogue");
+    patch(i, PatchKind::SsPtr);
+    patch(i + 3, PatchKind::SsBase);
+    patch(i + 6, PatchKind::SsPtr);
+    mark(i, i + 13, PatternKind::ShadowEpilog);
+    ++report_.shadow_epilogues;
+    i += 13;
+    return Status::ok();
+  }
+
+  Status match_indirect_guard(std::size_t& i) {
+    const std::uint64_t a = at(i).addr;
+    auto bad = [&](const std::string& why) {
+      return err(a, "verify_indirect_guard", "malformed indirect-branch annotation: " + why);
+    };
+    if (i + 11 > count()) return bad("truncated");
+    Reg target = at(i).rs;
+    if (target == kS0 || target == kS1) return bad("target is a scratch register");
+    if (!is_movri(at(i + 1), kS1, codegen::kMagicTextBase)) return bad("missing text base");
+    if (at(i + 2).op != Op::SubRR || at(i + 2).rd != kS0 || at(i + 2).rs != kS1)
+      return bad("missing offset computation");
+    if (!is_movri(at(i + 3), kS1, codegen::kMagicTextSize)) return bad("missing text size");
+    if (!is_cmprr(at(i + 4), kS0, kS1)) return bad("missing range compare");
+    if (!is_jcc_violation(at(i + 5), Cond::AE)) return bad("missing range exit");
+    if (!is_movri(at(i + 6), kS1, kMagicBtTable)) return bad("missing table base");
+    const Instr& tbl = at(i + 7);
+    if (tbl.op != Op::Load8 || tbl.rd != kS0 || !tbl.mem.has_base ||
+        tbl.mem.base != kS1 || !tbl.mem.has_index || tbl.mem.index != kS0 ||
+        tbl.mem.scale_log2 != 0 || tbl.mem.disp != 0)
+      return bad("missing table lookup");
+    if (at(i + 8).op != Op::CmpRI || at(i + 8).rd != kS0 || at(i + 8).imm != 1)
+      return bad("missing table compare");
+    if (!is_jcc_violation(at(i + 9), Cond::NE)) return bad("missing unlisted exit");
+    const Instr& branch = at(i + 10);
+    if (!branch.is_indirect_branch()) return bad("no indirect branch after annotation");
+    if (branch.rd != target) return bad("annotation checks a different register");
+    patch(i + 1, PatchKind::TextBase);
+    patch(i + 3, PatchKind::TextSize);
+    patch(i + 6, PatchKind::BtTable);
+    mark(i, i + 11, PatternKind::IndirectGuard);
+    ++report_.indirect_guards;
+    i += 11;
+    return Status::ok();
+  }
+
+  Status match_aex_probe(std::size_t& i) {
+    const std::uint64_t a = at(i).addr;
+    auto bad = [&](const std::string& why) {
+      return err(a, "verify_aex_probe", "malformed SSA probe: " + why);
+    };
+    if (i + 12 > count()) return bad("truncated");
+    if (!is_movri(at(i), kS0, kMagicSsaMarker)) return bad("missing marker address");
+    if (!is_load(at(i + 1), kS0, kS0)) return bad("missing marker load");
+    if (at(i + 2).op != Op::CmpRI || at(i + 2).rd != kS0 ||
+        at(i + 2).imm != codegen::kSsaMarkerValue)
+      return bad("missing marker compare");
+    const Instr& skip = at(i + 3);
+    std::uint64_t end_addr = at(i + 11).addr + at(i + 11).length;
+    if (skip.op != Op::Jcc || skip.cond != Cond::E || skip.branch_target() != end_addr)
+      return bad("fast-path jump does not skip the probe");
+    if (!is_movri(at(i + 4), kS0, kMagicAexCount)) return bad("missing counter address");
+    if (!is_load(at(i + 5), kS1, kS0)) return bad("missing counter load");
+    if (at(i + 6).op != Op::AddRI || at(i + 6).rd != kS1 || at(i + 6).imm != 1)
+      return bad("missing counter increment");
+    if (!is_store_to(at(i + 7), kS0, kS1)) return bad("missing counter store");
+    const Instr& thresh = at(i + 8);
+    if (thresh.op != Op::CmpRI || thresh.rd != kS1)
+      return bad("missing threshold compare");
+    if (thresh.imm < 1 || thresh.imm > config_.max_aex_threshold)
+      return bad("threshold outside the allowed range");
+    if (!is_jcc_violation(at(i + 9), Cond::G)) return bad("missing threshold exit");
+    if (!is_movri(at(i + 10), kS0, kMagicSsaMarker)) return bad("missing marker reload");
+    const Instr& reset = at(i + 11);
+    if (reset.op != Op::StoreI || !reset.mem.has_base || reset.mem.base != kS0 ||
+        reset.mem.has_index || reset.mem.disp != 0 ||
+        reset.imm != codegen::kSsaMarkerValue)
+      return bad("missing marker reset");
+    patch(i, PatchKind::SsaMarker);
+    patch(i + 4, PatchKind::AexCount);
+    patch(i + 10, PatchKind::SsaMarker);
+    mark(i, i + 12, PatternKind::AexProbe);
+    ++report_.aex_probes;
+    i += 12;
+    return Status::ok();
+  }
+
+  // ---- singleton rules: guardable operations outside patterns ----
+
+  Status check_singletons() {
+    for (std::size_t i = 0; i < count(); ++i) {
+      if (kind_[i] != PatternKind::None) continue;
+      const Instr& ins = at(i);
+      if (store_policy() && ins.may_store() && !is_exempt_store(ins))
+        return err(ins.addr, "verify_unguarded_store",
+                   "store without a bound annotation");
+      if (p(kPolicyP2) && writes_rsp(ins))
+        return err(ins.addr, "verify_unguarded_rsp",
+                   "explicit RSP write without annotation");
+      if (p(kPolicyP5) && ins.is_indirect_branch())
+        return err(ins.addr, "verify_unguarded_indirect",
+                   "indirect branch without target check");
+      if (p(kPolicyP5) && ins.is_ret())
+        return err(ins.addr, "verify_unguarded_ret",
+                   "RET without shadow-stack epilogue");
+      if (ins.op == Op::Ocall &&
+          !config_.allowed_ocalls.contains(static_cast<std::uint8_t>(ins.imm)))
+        return err(ins.addr, "verify_ocall",
+                   "OCall number not permitted by enclave configuration");
+    }
+    // OCalls inside patterns cannot occur (patterns contain none), but an
+    // adversarial producer cannot smuggle one in either: every pattern
+    // instruction was shape-checked above.
+    return Status::ok();
+  }
+
+  // ---- control-flow entry rules ----
+
+  // Returns the instruction index at `target` or an error.
+  Result<std::size_t> target_index(std::uint64_t target, std::uint64_t from) {
+    auto it = dis_.index.find(target);
+    if (it == dis_.index.end())
+      return Result<std::size_t>::fail(
+          "verify_target_misaligned",
+          "branch target is not an instruction boundary (from " +
+              std::to_string(from) + ")");
+    std::size_t idx = it->second;
+    if (kind_[idx] != PatternKind::None && !start_[idx])
+      return Result<std::size_t>::fail(
+          "verify_target_in_annotation",
+          "branch target lands inside an annotation (from " + std::to_string(from) + ")");
+    return idx;
+  }
+
+  Status check_entry(std::uint64_t target, std::uint64_t from, bool want_prologue) {
+    if (binary_.violation_addr != 0 && target == binary_.violation_addr)
+      return Status::ok();  // trapping into the stub is always safe
+    auto idx_r = target_index(target, from);
+    if (!idx_r.is_ok()) return idx_r.status();
+    std::size_t idx = idx_r.value();
+    if (p(kPolicyP6)) {
+      if (!(kind_[idx] == PatternKind::AexProbe && start_[idx]))
+        return err(target, "verify_missing_probe",
+                   "branch target lacks an SSA probe");
+      idx += 12;  // probe length
+    }
+    if (p(kPolicyP5) && want_prologue) {
+      if (idx >= count() || !(kind_[idx] == PatternKind::ShadowProlog && start_[idx]))
+        return err(target, "verify_missing_prologue",
+                   "call target lacks a shadow-stack prologue");
+    }
+    return Status::ok();
+  }
+
+  Status check_entries() {
+    // Program-level direct branches.
+    for (std::size_t i = 0; i < count(); ++i) {
+      if (kind_[i] != PatternKind::None) continue;
+      const Instr& ins = at(i);
+      if (ins.op == Op::Call) {
+        if (auto s = check_entry(ins.branch_target(), ins.addr, true); !s.is_ok()) return s;
+      } else if (ins.op == Op::Jmp || ins.op == Op::Jcc) {
+        if (auto s = check_entry(ins.branch_target(), ins.addr, false); !s.is_ok()) return s;
+      }
+    }
+    // Indirect-branch list entries are call targets.
+    for (std::uint64_t t : binary_.branch_targets) {
+      if (auto s = check_entry(t, t, true); !s.is_ok()) return s;
+    }
+    // The program entry (jumped to by the bootstrap, not called).
+    if (p(kPolicyP6)) {
+      if (auto s = check_entry(binary_.entry, binary_.entry, false); !s.is_ok()) return s;
+    } else {
+      if (auto s = target_index(binary_.entry, binary_.entry).status(); !s.is_ok()) return s;
+    }
+    return Status::ok();
+  }
+
+  // ---- P6 probe density ----
+
+  Status check_probe_density() {
+    if (!p(kPolicyP6)) return Status::ok();
+    int since = 0;
+    for (std::size_t i = 0; i < count(); ++i) {
+      if (kind_[i] == PatternKind::AexProbe && start_[i]) since = 0;
+      ++since;
+      if (at(i).ends_flow()) {
+        since = 0;  // linear successor is a fresh (probed) target or dead
+        continue;
+      }
+      if (since > config_.max_probe_gap)
+        return err(at(i).addr, "verify_probe_gap",
+                   "more than " + std::to_string(config_.max_probe_gap) +
+                       " instructions without an SSA probe");
+    }
+    return Status::ok();
+  }
+
+  // ---- violation stub ----
+
+  Status check_violation_stub() {
+    bool any_patterns = report_.store_guards + report_.rsp_guards +
+                            report_.shadow_prologues + report_.shadow_epilogues +
+                            report_.indirect_guards + report_.aex_probes >
+                        0;
+    bool need = store_policy() || p(kPolicyP2) || p(kPolicyP5) || p(kPolicyP6);
+    if (!any_patterns && !need) return Status::ok();
+    if (binary_.violation_addr == 0)
+      return Status::fail("verify_no_stub", "annotated binary lacks a violation stub");
+    auto it = dis_.index.find(binary_.violation_addr);
+    if (it == dis_.index.end())
+      return Status::fail("verify_no_stub", "violation stub is not decodable");
+    std::size_t i = it->second;
+    if (i + 2 > count())
+      return Status::fail("verify_bad_stub", "violation stub truncated");
+    const Instr& mov = at(i);
+    const Instr& hlt = at(i + 1);
+    if (mov.op != Op::MovRI || mov.rd != Reg::RAX ||
+        mov.imm != static_cast<std::int64_t>(codegen::kViolationExitCode) ||
+        hlt.op != Op::Hlt)
+      return Status::fail("verify_bad_stub",
+                          "violation stub does not terminate the enclave");
+    return Status::ok();
+  }
+
+  const Disassembly& dis_;
+  const LoadedBinary& binary_;
+  const VerifyConfig& config_;
+  PolicySet verify_;  // policies whose annotations must be present: claimed
+  std::vector<PatternKind> kind_;
+  std::vector<bool> start_;
+  VerifyReport report_;
+};
+
+}  // namespace
+
+Result<VerifyReport> verify(const sgx::AddressSpace& space, const LoadedBinary& binary,
+                            const VerifyConfig& config) {
+  auto dis = disassemble(space, binary);
+  if (!dis.is_ok()) return dis.error();
+  if (config.cross_check_linear) {
+    const std::uint8_t* raw = space.raw(binary.text_base, binary.text_size);
+    auto linear = isa::decode_all(BytesView(raw, binary.text_size), binary.text_base);
+    if (!linear.is_ok())
+      return Result<VerifyReport>::fail("verify_cross_check",
+                                        "linear sweep failed: " + linear.message());
+    const auto& a = dis.value().instrs;
+    const auto& b = linear.value();
+    if (a.size() != b.size())
+      return Result<VerifyReport>::fail("verify_cross_check",
+                                        "linear/recursive instruction counts differ");
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].addr != b[i].addr || a[i].length != b[i].length || a[i].op != b[i].op)
+        return Result<VerifyReport>::fail("verify_cross_check",
+                                          "linear/recursive decode disagreement");
+    }
+  }
+  Verifier verifier(dis.value(), binary, config);
+  auto report = verifier.run();
+  if (!report.is_ok()) return report;
+  if (config.custom_check) {
+    if (auto s = config.custom_check(dis.value(), binary); !s.is_ok()) return s.error();
+  }
+  return report;
+}
+
+Status rewrite_immediates(sgx::AddressSpace& space, const LoadedBinary& binary,
+                          const VerifyReport& report) {
+  const EnclaveLayout& lay = binary.layout;
+  // Effective store bounds follow the *claimed* policy ladder (see
+  // layout.h): each added policy tightens the lower bound.
+  std::uint64_t store_lo = lay.enclave_base;
+  if (binary.policies.has(kPolicyP3)) store_lo = binary.text_base;
+  if (binary.policies.has(kPolicyP4)) store_lo = binary.data_base;
+
+  auto value_of = [&](PatchKind kind) -> std::uint64_t {
+    switch (kind) {
+      case PatchKind::StoreLo: return store_lo;
+      case PatchKind::StoreHi: return lay.stack_top() - 7;  // 8-byte stores stay inside
+      case PatchKind::StackLo: return lay.stack_base;
+      case PatchKind::StackHi: return lay.stack_top();
+      case PatchKind::TextBase: return binary.text_base;
+      case PatchKind::TextSize: return binary.text_size;
+      case PatchKind::BtTable: return lay.bt_table_base;
+      case PatchKind::SsPtr: return lay.ss_ptr_slot;
+      case PatchKind::SsBase: return lay.shadow_base;
+      case PatchKind::SsLimit: return lay.shadow_base + lay.shadow_size;
+      case PatchKind::AexCount: return lay.aex_count_addr;
+      case PatchKind::SsaMarker:
+        return lay.ssa_addr + sgx::Enclave::kSsaMarkerOffset;
+    }
+    return 0;
+  };
+
+  for (const PatchSite& site : report.patches) {
+    std::uint8_t* field = space.raw(site.field_addr, 8);
+    if (field == nullptr ||
+        site.field_addr < binary.text_base ||
+        site.field_addr + 8 > binary.text_base + binary.text_size)
+      return Status::fail("rewrite_oob", "patch site outside loaded text");
+    store_le64(field, value_of(site.kind));
+  }
+  return Status::ok();
+}
+
+}  // namespace deflection::verifier

@@ -1,0 +1,92 @@
+// The policy-compliance verifier and immediate rewriter (trusted, in-TCB).
+//
+// After the loader rebases the target binary, the verifier:
+//   1. disassembles it (recursive descent, full coverage required),
+//   2. matches every security-annotation pattern the binary's claimed
+//      policy mask implies, rejecting any guardable operation (store,
+//      explicit RSP write, indirect branch, RET) that is not protected by a
+//      correctly-shaped annotation,
+//   3. checks control-flow hygiene: no branch may land inside an annotation
+//      pattern, every jump/call target carries the required entry sequence
+//      (P6 probe, P5 shadow-stack prologue), the SSA-probe density bound
+//      holds, and the violation stub is well-formed,
+//   4. records the addresses of every placeholder immediate.
+//
+// If (and only if) verification succeeds, rewrite_immediates() patches the
+// placeholders with the real loaded addresses — the paper's "Imm rewriter".
+#pragma once
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "codegen/annotations.h"
+#include "verifier/disasm.h"
+
+namespace deflection::verifier {
+
+enum class PatchKind {
+  StoreLo,
+  StoreHi,
+  StackLo,
+  StackHi,
+  TextBase,
+  TextSize,
+  BtTable,
+  SsPtr,
+  SsBase,
+  SsLimit,
+  SsaMarker,
+  AexCount,
+};
+
+struct PatchSite {
+  std::uint64_t field_addr = 0;  // address of the imm64 field to rewrite
+  PatchKind kind = PatchKind::StoreLo;
+};
+
+struct VerifyConfig {
+  // Policies the data owner requires; the binary's claimed mask must cover
+  // them (and everything claimed is verified).
+  PolicySet required;
+  // Largest AEX-abort threshold a P6 probe may bake in.
+  std::int32_t max_aex_threshold = 4096;
+  // Maximum instructions between successive P6 probes.
+  int max_probe_gap = codegen::kMaxProbeGap;
+  // OCall numbers the enclave configuration permits (policy P0 surface).
+  std::set<std::uint8_t> allowed_ocalls = {codegen::kOcallSend, codegen::kOcallRecv,
+                                           codegen::kOcallPrint};
+  // Defense in depth: additionally decode the text with a plain linear
+  // sweep and require it to agree with the recursive-descent result
+  // instruction-for-instruction. With full coverage enforced the two must
+  // coincide; a disagreement indicates a decoder bug being exploited.
+  bool cross_check_linear = true;
+  // Plugin hook (paper Sec. V-A: validation passes plugged into the
+  // loader): runs over the full disassembly after the built-in policy
+  // checks pass. Lets a deployment enforce on-demand policies — e.g. an
+  // emergency rule banning a vulnerable instruction pattern — without
+  // changing the core verifier.
+  std::function<Status(const Disassembly&, const LoadedBinary&)> custom_check;
+};
+
+struct VerifyReport {
+  std::vector<PatchSite> patches;
+  std::size_t instructions = 0;
+  int store_guards = 0;
+  int rsp_guards = 0;
+  int shadow_prologues = 0;
+  int shadow_epilogues = 0;
+  int indirect_guards = 0;
+  int aex_probes = 0;
+};
+
+// Verifies the loaded binary. Does not modify memory.
+Result<VerifyReport> verify(const sgx::AddressSpace& space, const LoadedBinary& binary,
+                            const VerifyConfig& config);
+
+// Patches the placeholder immediates recorded by verify(). Must only be
+// called with a report produced for the same loaded binary.
+Status rewrite_immediates(sgx::AddressSpace& space, const LoadedBinary& binary,
+                          const VerifyReport& report);
+
+}  // namespace deflection::verifier

@@ -1,0 +1,359 @@
+#include "vm/vm.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace deflection::vm {
+
+using isa::Cond;
+using isa::Instr;
+using isa::Op;
+using isa::Reg;
+
+Vm::Vm(sgx::Enclave& enclave, VmConfig config)
+    : enclave_(enclave), space_(enclave.space()), config_(config) {}
+
+std::uint64_t Vm::cost_of(const Instr& ins) {
+  switch (ins.op) {
+    case Op::Load:
+    case Op::Load8:
+    case Op::Store:
+    case Op::Store8:
+    case Op::StoreI:
+      return 4;
+    case Op::Push:
+    case Op::Pop:
+    case Op::PushI:
+      return 2;
+    case Op::Call:
+    case Op::Ret:
+      return 4;
+    case Op::CallInd:
+    case Op::JmpInd:
+      return 6;  // indirect-branch prediction penalty
+    case Op::ImulRR:
+    case Op::ImulRI:
+      return 3;
+    case Op::IdivRR:
+    case Op::IremRR:
+      return 20;
+    case Op::FAddRR:
+    case Op::FSubRR:
+    case Op::FMulRR:
+      return 3;
+    case Op::FDivRR:
+      return 15;
+    case Op::FCmpRR:
+    case Op::CvtI2F:
+    case Op::CvtF2I:
+      return 2;
+    case Op::FSqrtR:
+      return 15;
+    case Op::FSinR:
+    case Op::FCosR:
+    case Op::FExpR:
+    case Op::FLogR:
+      return 40;  // models a statically linked libm call
+    case Op::Ocall:
+      return 1;  // boundary cost added separately
+    default:
+      return 1;  // mov/lea/alu/cmp/branch
+  }
+}
+
+bool Vm::fault(RunResult& result, std::string code, std::uint64_t addr) {
+  result.exit = Exit::Fault;
+  result.fault_code = std::move(code);
+  result.fault_addr = addr;
+  halted_ = true;
+  return false;
+}
+
+bool Vm::mem_addr(const isa::Mem& mem, std::uint64_t& addr) const {
+  std::uint64_t a = static_cast<std::uint64_t>(static_cast<std::int64_t>(mem.disp));
+  if (mem.has_base) a += regs_[static_cast<int>(mem.base)];
+  if (mem.has_index) a += regs_[static_cast<int>(mem.index)] << mem.scale_log2;
+  addr = a;
+  return true;
+}
+
+bool Vm::eval_cond(Cond cond) const {
+  if (flags_.unordered) return cond == Cond::NE;  // NaN: only != holds
+  switch (cond) {
+    case Cond::E: return flags_.signed_cmp == 0;
+    case Cond::NE: return flags_.signed_cmp != 0;
+    case Cond::L: return flags_.signed_cmp < 0;
+    case Cond::LE: return flags_.signed_cmp <= 0;
+    case Cond::G: return flags_.signed_cmp > 0;
+    case Cond::GE: return flags_.signed_cmp >= 0;
+    case Cond::B: return flags_.unsigned_cmp < 0;
+    case Cond::BE: return flags_.unsigned_cmp <= 0;
+    case Cond::A: return flags_.unsigned_cmp > 0;
+    case Cond::AE: return flags_.unsigned_cmp >= 0;
+  }
+  return false;
+}
+
+RunResult Vm::run(std::uint64_t entry, std::uint64_t stack_top) {
+  RunResult result;
+  rip_ = entry;
+  regs_[static_cast<int>(Reg::RSP)] = stack_top;
+  halted_ = false;
+  while (step(result)) {
+  }
+  result.cost = cost_;
+  result.instructions = instructions_;
+  result.aex_count = enclave_.aex_count();
+  return result;
+}
+
+bool Vm::step(RunResult& result) {
+  if (halted_) return false;
+  if (cost_ > config_.max_cost) {
+    result.exit = Exit::CostLimit;
+    halted_ = true;
+    return false;
+  }
+
+  sgx::MemFault mf;
+  if (!space_.check_exec(rip_, mf)) return fault(result, "exec_" + mf.code, mf.addr);
+
+  // Decode (through the direct-mapped cache, invalidated when executable
+  // pages are written).
+  if (cache_generation_ != space_.text_write_generation()) {
+    for (auto& e : cache_) e.addr = ~0ull;
+    cache_generation_ = space_.text_write_generation();
+  }
+  CacheEntry& slot = cache_[(rip_ >> 1) % kCacheSize];
+  if (slot.addr != rip_) {
+    // Decode from the raw enclave image. The longest instruction is 11
+    // bytes; clamp the view to the region end.
+    const std::uint8_t* base = space_.raw(rip_, 1);
+    if (base == nullptr) return fault(result, "exec_oob", rip_);
+    std::uint64_t avail = space_.enclave_end() - rip_;
+    if (avail > 16) avail = 16;
+    auto decoded = isa::decode_one(BytesView(base, avail), 0, rip_);
+    if (!decoded.is_ok()) return fault(result, decoded.code(), rip_);
+    slot.addr = rip_;
+    slot.instr = decoded.take();
+  }
+  // All bytes of the instruction must be executable (it may cross pages).
+  if (!space_.check_exec(rip_ + slot.instr.length - 1, mf))
+    return fault(result, "exec_" + mf.code, mf.addr);
+
+  const Instr& ins = slot.instr;
+  if (trace_) trace_(ins, regs_);
+  cost_ += cost_of(ins);
+  ++instructions_;
+  enclave_.tick(cost_, regs_.data());
+  return exec(ins, result);
+}
+
+bool Vm::exec(const Instr& ins, RunResult& result) {
+  auto& rd = regs_[static_cast<int>(ins.rd)];
+  std::uint64_t rs = regs_[static_cast<int>(ins.rs)];
+  std::uint64_t next = ins.addr + ins.length;
+  sgx::MemFault mf;
+
+  auto push64 = [&](std::uint64_t v) -> bool {
+    std::uint64_t& rsp = regs_[static_cast<int>(Reg::RSP)];
+    rsp -= 8;
+    if (!space_.write_u64(rsp, v, mf)) return fault(result, "stack_" + mf.code, mf.addr);
+    return true;
+  };
+  auto pop64 = [&](std::uint64_t& v) -> bool {
+    std::uint64_t& rsp = regs_[static_cast<int>(Reg::RSP)];
+    if (!space_.read_u64(rsp, v, mf)) return fault(result, "stack_" + mf.code, mf.addr);
+    rsp += 8;
+    return true;
+  };
+  auto set_cmp = [&](std::int64_t a, std::int64_t b) {
+    flags_.unordered = false;
+    flags_.signed_cmp = a < b ? -1 : (a > b ? 1 : 0);
+    std::uint64_t ua = static_cast<std::uint64_t>(a), ub = static_cast<std::uint64_t>(b);
+    flags_.unsigned_cmp = ua < ub ? -1 : (ua > ub ? 1 : 0);
+  };
+  auto as_f = [](std::uint64_t v) { return std::bit_cast<double>(v); };
+  auto as_u = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+
+  switch (ins.op) {
+    case Op::Nop:
+      break;
+    case Op::Hlt:
+      result.exit = Exit::Halt;
+      result.exit_code = regs_[static_cast<int>(Reg::RAX)];
+      halted_ = true;
+      rip_ = next;
+      return false;
+
+    case Op::MovRR: rd = rs; break;
+    case Op::MovRI: rd = static_cast<std::uint64_t>(ins.imm); break;
+
+    case Op::Load: {
+      std::uint64_t addr;
+      mem_addr(ins.mem, addr);
+      std::uint64_t v;
+      if (!space_.read_u64(addr, v, mf)) return fault(result, "load_" + mf.code, mf.addr);
+      rd = v;
+      break;
+    }
+    case Op::Load8: {
+      std::uint64_t addr;
+      mem_addr(ins.mem, addr);
+      std::uint8_t v;
+      if (!space_.read_u8(addr, v, mf)) return fault(result, "load_" + mf.code, mf.addr);
+      rd = v;
+      break;
+    }
+    case Op::Store: {
+      std::uint64_t addr;
+      mem_addr(ins.mem, addr);
+      if (!space_.write_u64(addr, rs, mf)) return fault(result, "store_" + mf.code, mf.addr);
+      break;
+    }
+    case Op::Store8: {
+      std::uint64_t addr;
+      mem_addr(ins.mem, addr);
+      if (!space_.write_u8(addr, static_cast<std::uint8_t>(rs), mf))
+        return fault(result, "store_" + mf.code, mf.addr);
+      break;
+    }
+    case Op::StoreI: {
+      std::uint64_t addr;
+      mem_addr(ins.mem, addr);
+      if (!space_.write_u64(addr, static_cast<std::uint64_t>(ins.imm), mf))
+        return fault(result, "store_" + mf.code, mf.addr);
+      break;
+    }
+    case Op::Lea: {
+      std::uint64_t addr;
+      mem_addr(ins.mem, addr);
+      rd = addr;
+      break;
+    }
+
+    case Op::AddRR: rd += rs; break;
+    case Op::AddRI: rd += static_cast<std::uint64_t>(ins.imm); break;
+    case Op::SubRR: rd -= rs; break;
+    case Op::SubRI: rd -= static_cast<std::uint64_t>(ins.imm); break;
+    case Op::ImulRR: rd = static_cast<std::uint64_t>(static_cast<std::int64_t>(rd) *
+                                                     static_cast<std::int64_t>(rs)); break;
+    case Op::ImulRI: rd = static_cast<std::uint64_t>(static_cast<std::int64_t>(rd) * ins.imm); break;
+    case Op::IdivRR:
+    case Op::IremRR: {
+      std::int64_t a = static_cast<std::int64_t>(rd);
+      std::int64_t b = static_cast<std::int64_t>(rs);
+      if (b == 0) return fault(result, "div_zero", ins.addr);
+      if (a == std::numeric_limits<std::int64_t>::min() && b == -1)
+        return fault(result, "div_overflow", ins.addr);
+      rd = static_cast<std::uint64_t>(ins.op == Op::IdivRR ? a / b : a % b);
+      break;
+    }
+    case Op::AndRR: rd &= rs; break;
+    case Op::AndRI: rd &= static_cast<std::uint64_t>(ins.imm); break;
+    case Op::OrRR: rd |= rs; break;
+    case Op::OrRI: rd |= static_cast<std::uint64_t>(ins.imm); break;
+    case Op::XorRR: rd ^= rs; break;
+    case Op::XorRI: rd ^= static_cast<std::uint64_t>(ins.imm); break;
+    case Op::ShlRR: rd <<= (rs & 63); break;
+    case Op::ShlRI: rd <<= (ins.imm & 63); break;
+    case Op::ShrRR: rd >>= (rs & 63); break;
+    case Op::ShrRI: rd >>= (ins.imm & 63); break;
+    case Op::SarRR: rd = static_cast<std::uint64_t>(static_cast<std::int64_t>(rd) >> (rs & 63)); break;
+    case Op::SarRI: rd = static_cast<std::uint64_t>(static_cast<std::int64_t>(rd) >> (ins.imm & 63)); break;
+    case Op::NotR: rd = ~rd; break;
+    case Op::NegR: rd = 0 - rd; break;
+
+    case Op::CmpRR: set_cmp(static_cast<std::int64_t>(rd), static_cast<std::int64_t>(rs)); break;
+    case Op::CmpRI: set_cmp(static_cast<std::int64_t>(rd), ins.imm); break;
+    case Op::TestRR: set_cmp(static_cast<std::int64_t>(rd & rs), 0); break;
+
+    case Op::Jmp: rip_ = ins.branch_target(); return true;
+    case Op::Jcc:
+      rip_ = eval_cond(ins.cond) ? ins.branch_target() : next;
+      return true;
+    case Op::JmpInd: rip_ = rd; return true;
+    case Op::Call:
+      if (!push64(next)) return false;
+      rip_ = ins.branch_target();
+      return true;
+    case Op::CallInd:
+      if (!push64(next)) return false;
+      rip_ = rd;
+      return true;
+    case Op::Ret: {
+      std::uint64_t target;
+      if (!pop64(target)) return false;
+      rip_ = target;
+      return true;
+    }
+
+    case Op::Push: if (!push64(rd)) return false; break;
+    case Op::Pop: {
+      std::uint64_t v;
+      if (!pop64(v)) return false;
+      rd = v;
+      break;
+    }
+    case Op::PushI: if (!push64(static_cast<std::uint64_t>(ins.imm))) return false; break;
+
+    case Op::FAddRR: rd = as_u(as_f(rd) + as_f(rs)); break;
+    case Op::FSubRR: rd = as_u(as_f(rd) - as_f(rs)); break;
+    case Op::FMulRR: rd = as_u(as_f(rd) * as_f(rs)); break;
+    case Op::FDivRR: rd = as_u(as_f(rd) / as_f(rs)); break;
+    case Op::FCmpRR: {
+      double a = as_f(rd), b = as_f(rs);
+      if (std::isnan(a) || std::isnan(b)) {
+        flags_.unordered = true;
+        flags_.signed_cmp = flags_.unsigned_cmp = 1;
+      } else {
+        flags_.unordered = false;
+        flags_.signed_cmp = a < b ? -1 : (a > b ? 1 : 0);
+        flags_.unsigned_cmp = flags_.signed_cmp;
+      }
+      break;
+    }
+    case Op::CvtI2F: rd = as_u(static_cast<double>(static_cast<std::int64_t>(rs))); break;
+    case Op::CvtF2I: {
+      double v = as_f(rs);
+      if (std::isnan(v) || v >= 9.3e18 || v <= -9.3e18)
+        rd = static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::min());
+      else
+        rd = static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+      break;
+    }
+    case Op::FNegR: rd = as_u(-as_f(rd)); break;
+    case Op::FAbsR: rd = as_u(std::fabs(as_f(rd))); break;
+    case Op::FSqrtR: rd = as_u(std::sqrt(as_f(rd))); break;
+    case Op::FSinR: rd = as_u(std::sin(as_f(rd))); break;
+    case Op::FCosR: rd = as_u(std::cos(as_f(rd))); break;
+    case Op::FExpR: rd = as_u(std::exp(as_f(rd))); break;
+    case Op::FLogR: rd = as_u(std::log(as_f(rd))); break;
+
+    case Op::Ocall: {
+      if (!ocall_) return fault(result, "ocall_no_handler", ins.addr);
+      cost_ += config_.ocall_boundary_cost;
+      auto r = ocall_(static_cast<std::uint8_t>(ins.imm),
+                      regs_[static_cast<int>(Reg::RDI)],
+                      regs_[static_cast<int>(Reg::RSI)],
+                      regs_[static_cast<int>(Reg::RDX)]);
+      if (!r.is_ok()) {
+        result.exit = Exit::OcallError;
+        result.fault_code = r.code();
+        halted_ = true;
+        return false;
+      }
+      regs_[static_cast<int>(Reg::RAX)] = r.value();
+      break;
+    }
+
+    default:
+      return fault(result, "bad_instruction", ins.addr);
+  }
+
+  rip_ = next;
+  return true;
+}
+
+}  // namespace deflection::vm

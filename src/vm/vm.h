@@ -1,0 +1,117 @@
+// DX64 CPU emulator.
+//
+// Executes a loaded target binary inside the simulated enclave, enforcing
+// page permissions, counting a deterministic cost model (the reproduction's
+// replacement for wall-clock cycles on the authors' Xeon testbed), invoking
+// registered OCall handlers, and driving the enclave's AEX-injection policy
+// so the P6 SSA-marker instrumentation has something to observe.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "isa/decode.h"
+#include "sgx/platform.h"
+
+namespace deflection::vm {
+
+struct VmConfig {
+  std::uint64_t max_cost = 2'000'000'000;  // runaway-program backstop
+  // Cost of one enclave boundary crossing (EEXIT+OCall+EENTER). The paper's
+  // world pays roughly 8-10k cycles per transition.
+  std::uint64_t ocall_boundary_cost = 8000;
+};
+
+enum class Exit {
+  Halt,        // Hlt executed; exit code in rax
+  Fault,       // memory/permission/decode/arith fault
+  CostLimit,   // exceeded max_cost
+  OcallError,  // OCall handler refused the call
+};
+
+struct RunResult {
+  Exit exit = Exit::Halt;
+  std::uint64_t exit_code = 0;   // rax at Hlt
+  std::string fault_code;        // machine-readable reason for Fault
+  std::uint64_t fault_addr = 0;
+  std::uint64_t cost = 0;        // accumulated model cost
+  std::uint64_t instructions = 0;
+  std::uint64_t aex_count = 0;   // AEXes the platform injected
+};
+
+// An OCall handler: receives the ocall number and the three argument
+// registers; returns the value placed in RAX, or an Error to abort the run.
+// Handlers access guest memory through the address space (copying buffers
+// across the boundary, as real OCall stubs must).
+using OcallHandler =
+    std::function<Result<std::uint64_t>(std::uint8_t num, std::uint64_t rdi,
+                                        std::uint64_t rsi, std::uint64_t rdx)>;
+
+// Debug tracing: invoked before each instruction executes with the decoded
+// instruction and the current register file. Development tooling only — a
+// real enclave exposes no such channel.
+using TraceHook =
+    std::function<void(const isa::Instr&, const std::array<std::uint64_t, 16>&)>;
+
+class Vm {
+ public:
+  Vm(sgx::Enclave& enclave, VmConfig config = {});
+
+  void set_ocall_handler(OcallHandler handler) { ocall_ = std::move(handler); }
+  void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
+
+  std::uint64_t& reg(isa::Reg r) { return regs_[static_cast<int>(r)]; }
+  std::uint64_t reg(isa::Reg r) const { return regs_[static_cast<int>(r)]; }
+
+  // Runs from `entry` with RSP=stack_top until exit. Extra cost charged per
+  // instruction class; see cost_of().
+  RunResult run(std::uint64_t entry, std::uint64_t stack_top);
+
+  // Single step (used by tests); returns true while running.
+  bool step(RunResult& result);
+
+  // The deterministic per-instruction cost model (public so benches can
+  // reason about it).
+  static std::uint64_t cost_of(const isa::Instr& ins);
+
+  std::uint64_t cost() const { return cost_; }
+
+ private:
+  struct Flags {
+    int signed_cmp = 0;    // -1/0/1 comparison of last Cmp/Test
+    int unsigned_cmp = 0;
+    bool unordered = false;  // FCmp with NaN
+  };
+
+  bool eval_cond(isa::Cond cond) const;
+  bool exec(const isa::Instr& ins, RunResult& result);
+  bool mem_addr(const isa::Mem& mem, std::uint64_t& addr) const;
+  bool fault(RunResult& result, std::string code, std::uint64_t addr);
+
+  sgx::Enclave& enclave_;
+  sgx::AddressSpace& space_;
+  VmConfig config_;
+  OcallHandler ocall_;
+  TraceHook trace_;
+
+  std::array<std::uint64_t, isa::kNumRegs> regs_{};
+  std::uint64_t rip_ = 0;
+  Flags flags_{};
+  std::uint64_t cost_ = 0;
+  std::uint64_t instructions_ = 0;
+  bool halted_ = false;
+
+  // Decode cache, invalidated when any executable page is written
+  // (self-modifying code support for the P4-off attack tests).
+  struct CacheEntry {
+    std::uint64_t addr = ~0ull;
+    isa::Instr instr;
+  };
+  static constexpr std::size_t kCacheSize = 4096;  // direct-mapped
+  std::array<CacheEntry, kCacheSize> cache_;
+  std::uint64_t cache_generation_ = ~0ull;
+};
+
+}  // namespace deflection::vm

@@ -1,0 +1,297 @@
+// Macro-benchmark services (paper Sec. VI-B, Figs. 7-10): real-world-shaped
+// MiniC programs that consume sealed user input through ocall_recv and emit
+// sealed, padded results through ocall_send.
+#include "workloads/workloads.h"
+
+namespace deflection::workloads {
+
+namespace {
+
+// Little-endian u64 load/store helpers shared by the services.
+const char* kIoPrelude = R"PRE(
+int rseed;
+int rnd() {
+  rseed = rseed * 25214903917 + 11;
+  return (rseed >> 16) & 32767;
+}
+int get64(byte* b, int off) {
+  int v = 0;
+  for (int i = 7; i >= 0; i -= 1) { v = (v << 8) | b[off + i]; }
+  return v;
+}
+void put64(byte* b, int off, int v) {
+  for (int i = 0; i < 8; i += 1) { b[off + i] = (v >> (i * 8)) & 255; }
+}
+)PRE";
+
+// Fig. 7: Needleman-Wunsch global alignment of two FASTA-style sequences.
+// Computed recursively with memoization — the paper describes the algorithm
+// as computing the similarity matrix "recursively", and the call-heavy
+// structure is what makes the P2 (RSP checks) and P5 (shadow stack) columns
+// of Fig. 7 visible. Input frame: [u64 la][seq a][u64 lb][seq b];
+// output: [u64 score].
+const char* kNeedlemanWunsch = R"SRC(
+int nw_w;
+int* nw_m;
+byte* nw_a;
+byte* nw_b;
+int nw_gap;
+
+int score(int i, int j) {
+  int idx = i * nw_w + j;
+  int v = nw_m[idx];
+  if (v != 0 - 1000000000) { return v; }
+  if (i == 0) { v = 0 - j * nw_gap; }
+  else {
+    if (j == 0) { v = 0 - i * nw_gap; }
+    else {
+      int s = 0 - 1;
+      if (nw_a[i - 1] == nw_b[j - 1]) { s = 1; }
+      int best = score(i - 1, j - 1) + s;
+      int up = score(i - 1, j) - nw_gap;
+      if (up > best) { best = up; }
+      int lf = score(i, j - 1) - nw_gap;
+      if (lf > best) { best = lf; }
+      v = best;
+    }
+  }
+  nw_m[idx] = v;
+  return v;
+}
+
+int main() {
+  byte* buf = alloc(${BUFCAP});
+  int n = ocall_recv(buf, ${BUFCAP});
+  if (n < 16) { return 1; }
+  int la = get64(buf, 0);
+  int lb = get64(buf, 8 + la);
+  if (16 + la + lb > n) { return 2; }
+  nw_a = &buf[8];
+  nw_b = &buf[16 + la];
+  nw_w = lb + 1;
+  nw_gap = 2;
+  nw_m = to_int_ptr(alloc(8 * (la + 1) * nw_w));
+  for (int i = 0; i < (la + 1) * nw_w; i += 1) { nw_m[i] = 0 - 1000000000; }
+  /* fill row by row so the recursion depth stays bounded */
+  for (int i = 0; i <= la; i += 1) {
+    for (int j = 0; j <= lb; j += 1) { score(i, j); }
+  }
+  int result = score(la, lb);
+  byte* outb = alloc(8);
+  put64(outb, 0, result);
+  ocall_send(outb, 8);
+  return ((result % 251) + 251) % 251;
+}
+)SRC";
+
+// Fig. 8: sequence generation. Input: [u64 length][u64 seed]; output: the
+// generated nucleotide string (sealed + padded by the P0 wrapper).
+const char* kSequenceGeneration = R"SRC(
+int main() {
+  byte* buf = alloc(64);
+  int n = ocall_recv(buf, 64);
+  if (n < 16) { return 1; }
+  int length = get64(buf, 0);
+  rseed = get64(buf, 8);
+  byte* seq = alloc(length + 8);
+  /* first-order Markov chain over A,C,G,T */
+  int prev = 0;
+  for (int i = 0; i < length; i += 1) {
+    int r = rnd() % 100;
+    int next = prev;
+    if (r < 40) { next = prev; }
+    else { if (r < 60) { next = (prev + 1) % 4; }
+           else { if (r < 80) { next = (prev + 2) % 4; } else { next = (prev + 3) % 4; } } }
+    int c = 65;                      /* A */
+    if (next == 1) { c = 67; }       /* C */
+    if (next == 2) { c = 71; }       /* G */
+    if (next == 3) { c = 84; }       /* T */
+    seq[i] = c;
+    prev = next;
+  }
+  ocall_send(seq, length);
+  int check = 0;
+  for (int i = 0; i < length; i += 1) { check = (check * 31 + seq[i]) % 65521; }
+  return check % 251;
+}
+)SRC";
+
+// Fig. 9: BP-network credit scoring. The model is trained in-enclave on
+// ${TRAIN} synthetic records (the paper trains on 10000), then scores the
+// query records. Input: [u64 n_query][u64 seed]; output: [u64 avg_score_ppm].
+const char* kCreditScoring = R"SRC(
+float sigmoid(float x) { return 1.0 / (1.0 + f_exp(0.0 - x)); }
+
+int main() {
+  byte* buf = alloc(64);
+  int n = ocall_recv(buf, 64);
+  if (n < 16) { return 1; }
+  int queries = get64(buf, 0);
+  rseed = get64(buf, 8);
+
+  int feats = 8;
+  int hidden = 6;
+  int train_n = ${TRAIN};
+  int epochs = ${EPOCHS};
+  float* w1 = to_float_ptr(alloc(8 * feats * hidden));
+  float* w2 = to_float_ptr(alloc(8 * hidden));
+  float* h = to_float_ptr(alloc(8 * hidden));
+  float* rec = to_float_ptr(alloc(8 * feats));
+  for (int i = 0; i < feats * hidden; i += 1) { w1[i] = itof(rnd() % 100 - 50) / 100.0; }
+  for (int i = 0; i < hidden; i += 1) { w2[i] = itof(rnd() % 100 - 50) / 100.0; }
+
+  float rate = 0.2;
+  for (int e = 0; e < epochs; e += 1) {
+    int save = rseed;
+    rseed = 90210;
+    for (int t = 0; t < train_n; t += 1) {
+      float sum = 0.0;
+      for (int i = 0; i < feats; i += 1) {
+        rec[i] = itof(rnd() % 1000) / 1000.0;
+        sum += rec[i];
+      }
+      float target = 0.0;
+      if (sum > itof(feats) / 2.0) { target = 1.0; }
+      for (int j = 0; j < hidden; j += 1) {
+        float s = 0.0;
+        for (int i = 0; i < feats; i += 1) { s += rec[i] * w1[i * hidden + j]; }
+        h[j] = sigmoid(s);
+      }
+      float o = 0.0;
+      for (int j = 0; j < hidden; j += 1) { o += h[j] * w2[j]; }
+      o = sigmoid(o);
+      float grad_o = (target - o) * o * (1.0 - o);
+      for (int j = 0; j < hidden; j += 1) {
+        float grad_h = grad_o * w2[j] * h[j] * (1.0 - h[j]);
+        w2[j] += rate * grad_o * h[j];
+        for (int i = 0; i < feats; i += 1) {
+          w1[i * hidden + j] += rate * grad_h * rec[i];
+        }
+      }
+    }
+    rseed = save;
+  }
+
+  /* score the query records */
+  float total = 0.0;
+  for (int q = 0; q < queries; q += 1) {
+    for (int i = 0; i < feats; i += 1) { rec[i] = itof(rnd() % 1000) / 1000.0; }
+    for (int j = 0; j < hidden; j += 1) {
+      float s = 0.0;
+      for (int i = 0; i < feats; i += 1) { s += rec[i] * w1[i * hidden + j]; }
+      h[j] = sigmoid(s);
+    }
+    float o = 0.0;
+    for (int j = 0; j < hidden; j += 1) { o += h[j] * w2[j]; }
+    total += sigmoid(o);
+  }
+  int ppm = ftoi(total / itof(queries) * 1000000.0);
+  byte* outb = alloc(8);
+  put64(outb, 0, ppm);
+  ocall_send(outb, 8);
+  return ppm % 251;
+}
+)SRC";
+
+// Figs. 10/11: HTTPS-style request service. Each request frame asks for a
+// file of a given size; the handler serves it from an in-enclave content
+// buffer. The TLS layer is the bootstrap channel (session crypto + padding),
+// standing in for the paper's in-enclave mbedTLS.
+const char* kHttpsHandler = R"SRC(
+int main() {
+  int content_size = ${CONTENT};
+  byte* content = alloc(content_size);
+  rseed = 1009;
+  for (int i = 0; i < content_size; i += 1) { content[i] = 32 + rnd() % 95; }
+
+  byte* req = alloc(64);
+  byte* resp = alloc(${MAXRESP});
+  int handled = 0;
+  while (1) {
+    int n = ocall_recv(req, 64);
+    if (n < 8) { break; }
+    int want = get64(req, 0);
+    if (want > ${MAXRESP}) { want = ${MAXRESP}; }
+    /* "read the file": copy from the content region (wrapping; the content
+       size is a power of two so the copy loop stays lean) */
+    int mask = content_size - 1;
+    for (int i = 0; i < want; i += 1) {
+      resp[i] = content[(i + handled) & mask];
+    }
+    ocall_send(resp, want);
+    handled += 1;
+  }
+  return handled % 251;
+}
+)SRC";
+
+// Intro scenario: image editing as a confidential service. The customer
+// uploads a private grayscale photo; the provider's proprietary pipeline
+// (3x3 box blur + adaptive threshold) runs in-enclave. Input frame:
+// [u64 w][u64 h][w*h gray bytes]; output: the processed w*h bytes.
+const char* kImageEditing = R"SRC(
+int main() {
+  byte* buf = alloc(${BUFCAP});
+  int n = ocall_recv(buf, ${BUFCAP});
+  if (n < 16) { return 1; }
+  int w = get64(buf, 0);
+  int h = get64(buf, 8);
+  if (w < 3 || h < 3 || 16 + w * h > n) { return 2; }
+  byte* src = &buf[16];
+  byte* blur = alloc(w * h);
+  /* 3x3 box blur (edges copied) */
+  for (int y = 0; y < h; y += 1) {
+    for (int x = 0; x < w; x += 1) {
+      if (x == 0 || y == 0 || x == w - 1 || y == h - 1) {
+        blur[y * w + x] = src[y * w + x];
+      } else {
+        int sum = 0;
+        for (int dy = 0 - 1; dy <= 1; dy += 1) {
+          for (int dx = 0 - 1; dx <= 1; dx += 1) {
+            sum += src[(y + dy) * w + (x + dx)];
+          }
+        }
+        blur[y * w + x] = sum / 9;
+      }
+    }
+  }
+  /* adaptive threshold at the global mean */
+  int total = 0;
+  for (int i = 0; i < w * h; i += 1) { total += blur[i]; }
+  int mean = total / (w * h);
+  for (int i = 0; i < w * h; i += 1) {
+    if (blur[i] >= mean) { blur[i] = 255; } else { blur[i] = 0; }
+  }
+  ocall_send(blur, w * h);
+  int check = 0;
+  for (int i = 0; i < w * h; i += 1) { check = (check * 31 + blur[i]) % 65521; }
+  return check % 251;
+}
+)SRC";
+
+std::string store(const char* body) { return std::string(kIoPrelude) + body; }
+
+}  // namespace
+
+const char* needleman_wunsch_source() {
+  static const std::string src = store(kNeedlemanWunsch);
+  return src.c_str();
+}
+const char* sequence_generation_source() {
+  static const std::string src = store(kSequenceGeneration);
+  return src.c_str();
+}
+const char* credit_scoring_source() {
+  static const std::string src = store(kCreditScoring);
+  return src.c_str();
+}
+const char* https_handler_source() {
+  static const std::string src = store(kHttpsHandler);
+  return src.c_str();
+}
+const char* image_editing_source() {
+  static const std::string src = store(kImageEditing);
+  return src.c_str();
+}
+
+}  // namespace deflection::workloads

@@ -1,0 +1,509 @@
+// The ten nBench (BYTEmark) kernels of Table II, rewritten in MiniC with
+// operation mixes matching the originals:
+//   NUMERIC SORT   heap sort over an int array (load/store + compares)
+//   STRING SORT    insertion sort of byte strings (byte traffic, copies)
+//   BITFIELD       bit-range set/clear/complement over a word array
+//   FP EMULATION   software floating point in integer registers (almost no
+//                  memory stores -> the paper's near-zero P1 overhead)
+//   FOURIER        trapezoid integration of x*cos(nx) (libm-heavy)
+//   ASSIGNMENT     cost-matrix reduction driven through comparator function
+//                  pointers (the paper calls out its P5-heavy profile)
+//   IDEA           IDEA-style block cipher rounds (mul-mod 65537)
+//   HUFFMAN        frequency count + tree build + bit-packed encode
+//                  (store-dominated, the paper's worst P1 row)
+//   NEURAL NET     8-4-1 MLP with sigmoid back-propagation
+//   LU DECOMPOSITION  in-place LU factorization of a dominant matrix
+//
+// Every kernel seeds its own xorshift-style generator and returns a small
+// checksum as the exit code, so all policy levels can be cross-checked for
+// identical semantics.
+#include "workloads/workloads.h"
+
+#include <deque>
+
+namespace deflection::workloads {
+
+namespace {
+
+// Shared MiniC helpers prepended to every kernel.
+const char* kPrelude = R"PRE(
+int rseed;
+int rnd() {
+  rseed = rseed * 25214903917 + 11;
+  return (rseed >> 16) & 32767;
+}
+)PRE";
+
+const char* kNumericSort = R"SRC(
+void sift(int* a, int start, int end) {
+  int root = start;
+  while (root * 2 + 1 < end) {
+    int child = root * 2 + 1;
+    if (child + 1 < end && a[child] < a[child + 1]) { child += 1; }
+    if (a[root] < a[child]) {
+      int t = a[root]; a[root] = a[child]; a[child] = t;
+      root = child;
+    } else {
+      return;
+    }
+  }
+}
+
+int main() {
+  int n = ${N};
+  int* a = to_int_ptr(alloc(8 * n));
+  rseed = 12345;
+  for (int i = 0; i < n; i += 1) { a[i] = rnd(); }
+  int start = n / 2 - 1;
+  while (start >= 0) { sift(a, start, n); start -= 1; }
+  int end = n - 1;
+  while (end > 0) {
+    int t = a[0]; a[0] = a[end]; a[end] = t;
+    sift(a, 0, end);
+    end -= 1;
+  }
+  int ok = 1;
+  int sum = 0;
+  for (int i = 1; i < n; i += 1) {
+    if (a[i - 1] > a[i]) { ok = 0; }
+    sum += a[i] % 7;
+  }
+  return ok * 100 + sum % 100;
+}
+)SRC";
+
+const char* kStringSort = R"SRC(
+int scmp(byte* a, byte* b) {
+  int i = 0;
+  while (a[i] != 0 && a[i] == b[i]) { i += 1; }
+  return a[i] - b[i];
+}
+
+void scopy(byte* d, byte* s) {
+  int i = 0;
+  while (s[i] != 0) { d[i] = s[i]; i += 1; }
+  d[i] = 0;
+}
+
+int main() {
+  int n = ${N};
+  int stride = 32;
+  byte* pool = alloc(n * stride);
+  byte* tmp = alloc(stride);
+  rseed = 777;
+  for (int i = 0; i < n; i += 1) {
+    int len = 4 + rnd() % 24;
+    for (int j = 0; j < len; j += 1) { pool[i * stride + j] = 97 + rnd() % 26; }
+    pool[i * stride + len] = 0;
+  }
+  /* insertion sort */
+  for (int i = 1; i < n; i += 1) {
+    scopy(tmp, &pool[i * stride]);
+    int j = i - 1;
+    while (j >= 0 && scmp(&pool[j * stride], tmp) > 0) {
+      scopy(&pool[(j + 1) * stride], &pool[j * stride]);
+      j -= 1;
+    }
+    scopy(&pool[(j + 1) * stride], tmp);
+  }
+  int ok = 1;
+  int sum = 0;
+  for (int i = 1; i < n; i += 1) {
+    if (scmp(&pool[(i - 1) * stride], &pool[i * stride]) > 0) { ok = 0; }
+    sum += pool[i * stride];
+  }
+  return ok * 100 + sum % 100;
+}
+)SRC";
+
+const char* kBitfield = R"SRC(
+int main() {
+  int words = ${W};
+  int bits = words * 64;
+  int* map = to_int_ptr(alloc(8 * words));
+  for (int i = 0; i < words; i += 1) { map[i] = 0; }
+  rseed = 4242;
+  int iters = ${ITERS};
+  for (int it = 0; it < iters; it += 1) {
+    int op = rnd() % 3;
+    int start = rnd() % bits;
+    int len = rnd() % 150;
+    for (int b = start; b < start + len; b += 1) {
+      int pos = b % bits;
+      int w = pos / 64;
+      int off = pos % 64;
+      int mask = 1 << off;
+      if (op == 0) { map[w] = map[w] | mask; }
+      else { if (op == 1) { map[w] = map[w] & ~mask; } else { map[w] = map[w] ^ mask; } }
+    }
+  }
+  int count = 0;
+  for (int i = 0; i < words; i += 1) {
+    int v = map[i];
+    for (int b = 0; b < 64; b += 1) { count += (v >> b) & 1; }
+  }
+  return count % 256;
+}
+)SRC";
+
+// Software floating point: (exp, mantissa) pairs manipulated entirely in
+// integer registers inside one straight-line loop — like nBench's FP
+// emulator, whose big emulation routines keep everything register-resident
+// (hence the paper's near-zero overhead row for this kernel).
+const char* kFpEmulation = R"SRC(
+int main() {
+  rseed = 31415;
+  int acc_e = 1024;
+  int acc_m = 2147483648;
+  int iters = ${ITERS};
+  int check = 0;
+  for (int i = 0; i < iters; i += 1) {
+    /* operand: random normalized emulated float (generator inlined so the
+       loop stays call-free, like nBench's monolithic emulation routines) */
+    rseed = rseed * 25214903917 + 11;
+    int xe = 1020 + ((rseed >> 16) & 7);
+    rseed = rseed * 25214903917 + 11;
+    int xm = 2147483648 + ((rseed >> 16) & 32767) * 32768;
+    while (xm >= 4294967296) { xm = xm >> 1; xe += 1; }
+    /* multiply: acc *= x (32x32 -> upper bits) */
+    int pm = (acc_m >> 16) * (xm >> 16);
+    int pe = acc_e + xe - 1024 + 1;
+    while (pm >= 4294967296) { pm = pm >> 1; pe += 1; }
+    while (pm < 2147483648) { pm = pm << 1; pe -= 1; }
+    /* add: acc = p + 2^-8 (align, add, renormalize) */
+    int be = 1016;
+    int bm = 2147483648;
+    int shift = pe - be;
+    if (shift < 0) { shift = 0 - shift; pm = pm >> shift; pe = be; }
+    else { if (shift > 40) { bm = 0; } else { bm = bm >> shift; } }
+    int sm = pm + bm;
+    int se = pe;
+    while (sm >= 4294967296) { sm = sm >> 1; se += 1; }
+    while (sm < 2147483648) { sm = sm << 1; se -= 1; }
+    /* clamp the exponent so the chain stays bounded */
+    acc_e = 1024;
+    acc_m = sm;
+    check = check ^ (sm + se);
+  }
+  return (check & 255) % 256;
+}
+)SRC";
+
+const char* kFourier = R"SRC(
+/* trapezoid rule over [0, 2] with the integrand x*cos(n*x) inlined: the
+   libm work dominates, as in nBench's numeric-integration kernel */
+float coeff(int n, int steps) {
+  float lo = 0.0;
+  float hi = 2.0;
+  float freq = itof(n);
+  float dx = (hi - lo) / itof(steps);
+  float sum = (lo * f_cos(freq * lo) + hi * f_cos(freq * hi)) / 2.0;
+  for (int i = 1; i < steps; i += 1) {
+    float x = lo + itof(i) * dx;
+    sum += x * f_cos(freq * x);
+  }
+  return sum * dx;
+}
+int main() {
+  int terms = ${TERMS};
+  int steps = ${STEPS};
+  float* c = to_float_ptr(alloc(8 * terms));
+  for (int n = 0; n < terms; n += 1) { c[n] = coeff(n + 1, steps); }
+  float total = 0.0;
+  for (int n = 0; n < terms; n += 1) { total += f_abs(c[n]); }
+  return ftoi(total * 10.0) % 256;
+}
+)SRC";
+
+// Cost-matrix reduction with comparator function pointers in the inner
+// loop: every scan call goes through an indirect call (P5's worst case).
+const char* kAssignment = R"SRC(
+int less_(int a, int b) { if (a < b) { return 1; } return 0; }
+int greater_(int a, int b) { if (a > b) { return 1; } return 0; }
+
+int scan_extreme(int* row, int m, fn cmp) {
+  int best = 0;
+  for (int j = 1; j < m; j += 1) {
+    if (cmp(row[j], row[best]) != 0) { best = j; }
+  }
+  return best;
+}
+
+int main() {
+  int m = ${M};
+  int* cost = to_int_ptr(alloc(8 * m * m));
+  rseed = 99;
+  for (int i = 0; i < m * m; i += 1) { cost[i] = rnd() % 1000; }
+  fn cmp = &less_;
+  int zeros = 0;
+  int passes = ${PASSES};
+  for (int p = 0; p < passes; p += 1) {
+    if (p % 2 == 0) { cmp = &less_; } else { cmp = &greater_; }
+    for (int i = 0; i < m; i += 1) {
+      int j = scan_extreme(&cost[i * m], m, cmp);
+      int v = cost[i * m + j];
+      for (int k = 0; k < m; k += 1) { cost[i * m + k] = cost[i * m + k] - v + 1; }
+    }
+    for (int i = 0; i < m * m; i += 1) {
+      if (cost[i] == 0) { zeros += 1; }
+    }
+  }
+  return zeros % 256;
+}
+)SRC";
+
+const char* kIdea = R"SRC(
+int mul16(int a, int b) {
+  if (a == 0) { a = 65536; }
+  if (b == 0) { b = 65536; }
+  return (a * b) % 65537 % 65536;
+}
+int main() {
+  int blocks = ${BLOCKS};
+  byte* data = alloc(blocks * 8);
+  int* key = to_int_ptr(alloc(8 * 52));
+  rseed = 1001;
+  for (int i = 0; i < blocks * 8; i += 1) { data[i] = rnd() % 256; }
+  for (int i = 0; i < 52; i += 1) { key[i] = rnd() % 65536; }
+  for (int blk = 0; blk < blocks; blk += 1) {
+    int x0 = data[blk * 8] | (data[blk * 8 + 1] << 8);
+    int x1 = data[blk * 8 + 2] | (data[blk * 8 + 3] << 8);
+    int x2 = data[blk * 8 + 4] | (data[blk * 8 + 5] << 8);
+    int x3 = data[blk * 8 + 6] | (data[blk * 8 + 7] << 8);
+    int k = 0;
+    for (int round = 0; round < 8; round += 1) {
+      x0 = mul16(x0, key[k]);
+      x1 = (x1 + key[k + 1]) % 65536;
+      x2 = (x2 + key[k + 2]) % 65536;
+      x3 = mul16(x3, key[k + 3]);
+      int t0 = x0 ^ x2;
+      int t1 = x1 ^ x3;
+      t0 = mul16(t0, key[k + 4]);
+      t1 = (t1 + t0) % 65536;
+      t1 = mul16(t1, key[k + 5]);
+      t0 = (t0 + t1) % 65536;
+      x0 = x0 ^ t1;
+      x2 = x2 ^ t1;
+      x1 = x1 ^ t0;
+      x3 = x3 ^ t0;
+      k += 6;
+    }
+    data[blk * 8] = x0 % 256;
+    data[blk * 8 + 1] = (x0 >> 8) % 256;
+    data[blk * 8 + 2] = x1 % 256;
+    data[blk * 8 + 3] = (x1 >> 8) % 256;
+    data[blk * 8 + 4] = x2 % 256;
+    data[blk * 8 + 5] = (x2 >> 8) % 256;
+    data[blk * 8 + 6] = x3 % 256;
+    data[blk * 8 + 7] = (x3 >> 8) % 256;
+  }
+  int check = 0;
+  for (int i = 0; i < blocks * 8; i += 1) { check = (check + data[i]) % 65536; }
+  return check % 256;
+}
+)SRC";
+
+const char* kHuffman = R"SRC(
+int main() {
+  int n = ${N};
+  byte* text = alloc(n);
+  rseed = 2718;
+  /* skewed distribution so the tree is non-trivial */
+  for (int i = 0; i < n; i += 1) {
+    int r = rnd() % 100;
+    if (r < 40) { text[i] = 101; }
+    else { if (r < 65) { text[i] = 116; } else { text[i] = 97 + rnd() % 26; } }
+  }
+  int* weight = to_int_ptr(alloc(8 * 512));
+  int* left = to_int_ptr(alloc(8 * 512));
+  int* right = to_int_ptr(alloc(8 * 512));
+  int* parent = to_int_ptr(alloc(8 * 512));
+  int* alive = to_int_ptr(alloc(8 * 512));
+  for (int i = 0; i < 512; i += 1) {
+    weight[i] = 0; left[i] = -1; right[i] = -1; parent[i] = -1; alive[i] = 0;
+  }
+  for (int i = 0; i < n; i += 1) { weight[text[i]] += 1; }
+  for (int i = 0; i < 256; i += 1) { if (weight[i] > 0) { alive[i] = 1; } }
+  int next = 256;
+  while (1) {
+    int m1 = -1;
+    int m2 = -1;
+    for (int i = 0; i < next; i += 1) {
+      if (alive[i] == 1) {
+        if (m1 == -1 || weight[i] < weight[m1]) { m2 = m1; m1 = i; }
+        else { if (m2 == -1 || weight[i] < weight[m2]) { m2 = i; } }
+      }
+    }
+    if (m2 == -1) { break; }
+    alive[m1] = 0; alive[m2] = 0;
+    weight[next] = weight[m1] + weight[m2];
+    left[next] = m1; right[next] = m2;
+    parent[m1] = next; parent[m2] = next;
+    alive[next] = 1;
+    next += 1;
+  }
+  /* encode: walk leaf-to-root, reverse bits, pack into out */
+  byte* out = alloc(n * 2 + 16);
+  int* bits = to_int_ptr(alloc(8 * 64));
+  int bitpos = 0;
+  for (int i = 0; i < n; i += 1) {
+    int node = text[i];
+    int len = 0;
+    while (parent[node] != -1) {
+      int p = parent[node];
+      if (right[p] == node) { bits[len] = 1; } else { bits[len] = 0; }
+      len += 1;
+      node = p;
+    }
+    for (int b = len - 1; b >= 0; b -= 1) {
+      int byteidx = bitpos / 8;
+      int off = bitpos % 8;
+      if (off == 0) { out[byteidx] = 0; }
+      out[byteidx] = out[byteidx] | (bits[b] << off);
+      bitpos += 1;
+    }
+  }
+  int check = 0;
+  for (int i = 0; i < bitpos / 8; i += 1) { check = (check * 31 + out[i]) % 65521; }
+  return check % 256;
+}
+)SRC";
+
+const char* kNeuralNet = R"SRC(
+float sigmoid(float x) { return 1.0 / (1.0 + f_exp(0.0 - x)); }
+
+int main() {
+  int inputs = 8;
+  int hidden = 4;
+  int patterns = 16;
+  int epochs = ${EPOCHS};
+  float* w1 = to_float_ptr(alloc(8 * inputs * hidden));
+  float* w2 = to_float_ptr(alloc(8 * hidden));
+  float* x = to_float_ptr(alloc(8 * patterns * inputs));
+  float* target = to_float_ptr(alloc(8 * patterns));
+  float* h = to_float_ptr(alloc(8 * hidden));
+  rseed = 1313;
+  for (int i = 0; i < inputs * hidden; i += 1) { w1[i] = itof(rnd() % 100 - 50) / 100.0; }
+  for (int i = 0; i < hidden; i += 1) { w2[i] = itof(rnd() % 100 - 50) / 100.0; }
+  for (int p = 0; p < patterns; p += 1) {
+    int ones = 0;
+    for (int i = 0; i < inputs; i += 1) {
+      int bit = rnd() % 2;
+      x[p * inputs + i] = itof(bit);
+      ones += bit;
+    }
+    if (ones % 2 == 1) { target[p] = 1.0; } else { target[p] = 0.0; }
+  }
+  float rate = 0.5;
+  float err = 0.0;
+  for (int e = 0; e < epochs; e += 1) {
+    err = 0.0;
+    for (int p = 0; p < patterns; p += 1) {
+      /* forward */
+      for (int j = 0; j < hidden; j += 1) {
+        float s = 0.0;
+        for (int i = 0; i < inputs; i += 1) { s += x[p * inputs + i] * w1[i * hidden + j]; }
+        h[j] = sigmoid(s);
+      }
+      float o = 0.0;
+      for (int j = 0; j < hidden; j += 1) { o += h[j] * w2[j]; }
+      o = sigmoid(o);
+      float d = target[p] - o;
+      err += d * d;
+      /* backward */
+      float grad_o = d * o * (1.0 - o);
+      for (int j = 0; j < hidden; j += 1) {
+        float grad_h = grad_o * w2[j] * h[j] * (1.0 - h[j]);
+        w2[j] += rate * grad_o * h[j];
+        for (int i = 0; i < inputs; i += 1) {
+          w1[i * hidden + j] += rate * grad_h * x[p * inputs + i];
+        }
+      }
+    }
+  }
+  return ftoi(err * 100.0) % 256;
+}
+)SRC";
+
+const char* kLuDecomposition = R"SRC(
+int main() {
+  int n = ${N};
+  float* a = to_float_ptr(alloc(8 * n * n));
+  rseed = 5151;
+  for (int i = 0; i < n; i += 1) {
+    float rowsum = 0.0;
+    for (int j = 0; j < n; j += 1) {
+      float v = itof(rnd() % 1000) / 1000.0;
+      a[i * n + j] = v;
+      rowsum += v;
+    }
+    a[i * n + i] = rowsum + 1.0;  /* diagonally dominant */
+  }
+  /* in-place LU (Doolittle) */
+  for (int k = 0; k < n; k += 1) {
+    for (int i = k + 1; i < n; i += 1) {
+      float factor = a[i * n + k] / a[k * n + k];
+      a[i * n + k] = factor;
+      for (int j = k + 1; j < n; j += 1) {
+        a[i * n + j] -= factor * a[k * n + j];
+      }
+    }
+  }
+  float det = 1.0;
+  for (int k = 0; k < n; k += 1) { det *= a[k * n + k] / itof(n); }
+  float mag = f_abs(det);
+  int scaled = 0;
+  if (mag > 0.000001) { scaled = ftoi(f_log(mag) * 10.0); }
+  if (scaled < 0) { scaled = 0 - scaled; }
+  return scaled % 256;
+}
+)SRC";
+
+std::string prefixed(const char* body) { return std::string(kPrelude) + body; }
+
+}  // namespace
+
+std::string with_params(std::string source,
+                        const std::map<std::string, std::string>& params) {
+  for (const auto& [key, value] : params) {
+    std::string needle = "${" + key + "}";
+    std::size_t pos = 0;
+    while ((pos = source.find(needle, pos)) != std::string::npos) {
+      source.replace(pos, needle.size(), value);
+      pos += value.size();
+    }
+  }
+  return source;
+}
+
+const std::vector<NbenchKernel>& nbench_kernels() {
+  static const std::vector<NbenchKernel> kernels = [] {
+    std::vector<NbenchKernel> v;
+    // Deque: element references stay valid as sources accumulate.
+    static std::deque<std::string> storage;
+    auto add = [&](const char* name, const char* body,
+                   std::map<std::string, std::string> test_params,
+                   std::map<std::string, std::string> bench_params) {
+      storage.push_back(prefixed(body));
+      v.push_back(NbenchKernel{name, storage.back().c_str(), std::move(test_params),
+                               std::move(bench_params), 0});
+    };
+    add("NUMERIC SORT", kNumericSort, {{"N", "120"}}, {{"N", "900"}});
+    add("STRING SORT", kStringSort, {{"N", "40"}}, {{"N", "220"}});
+    add("BITFIELD", kBitfield, {{"W", "32"}, {"ITERS", "60"}},
+        {{"W", "256"}, {"ITERS", "600"}});
+    add("FP EMULATION", kFpEmulation, {{"ITERS", "400"}}, {{"ITERS", "9000"}});
+    add("FOURIER", kFourier, {{"TERMS", "6"}, {"STEPS", "40"}},
+        {{"TERMS", "16"}, {"STEPS", "160"}});
+    add("ASSIGNMENT", kAssignment, {{"M", "12"}, {"PASSES", "4"}},
+        {{"M", "34"}, {"PASSES", "12"}});
+    add("IDEA", kIdea, {{"BLOCKS", "40"}}, {{"BLOCKS", "700"}});
+    add("HUFFMAN", kHuffman, {{"N", "400"}}, {{"N", "4500"}});
+    add("NEURAL NET", kNeuralNet, {{"EPOCHS", "6"}}, {{"EPOCHS", "80"}});
+    add("LU DECOMPOSITION", kLuDecomposition, {{"N", "12"}}, {{"N", "42"}});
+    return v;
+  }();
+  return kernels;
+}
+
+}  // namespace deflection::workloads

@@ -1,0 +1,51 @@
+#include "workloads/runner.h"
+
+namespace deflection::workloads {
+
+Result<RunMeasurement> run_dxo(const codegen::Dxo& dxo, PolicySet required,
+                               core::BootstrapConfig config,
+                               const std::vector<Bytes>& inputs) {
+  config.verify.required = required;
+  sgx::AttestationService as;
+  sgx::QuotingEnclave quoting = as.provision("bench-platform", 11);
+  core::BootstrapEnclave enclave(quoting, config);
+  crypto::Digest expected = core::BootstrapEnclave::expected_mrenclave(config);
+  core::DataOwner owner(as, expected);
+  core::CodeProvider provider(as, expected);
+
+  auto owner_offer = enclave.open_channel(core::Role::DataOwner, owner.dh_public());
+  if (auto s = owner.accept(owner_offer); !s.is_ok()) return s.error();
+  auto provider_offer =
+      enclave.open_channel(core::Role::CodeProvider, provider.dh_public());
+  if (auto s = provider.accept(provider_offer); !s.is_ok()) return s.error();
+
+  auto digest = enclave.ecall_receive_binary(provider.seal_binary(dxo));
+  if (!digest.is_ok()) return digest.error();
+  for (const auto& input : inputs) {
+    if (auto s = enclave.ecall_receive_userdata(owner.seal_input(BytesView(input)));
+        !s.is_ok())
+      return s.error();
+  }
+  auto outcome = enclave.ecall_run();
+  if (!outcome.is_ok()) return outcome.error();
+
+  RunMeasurement m;
+  m.outcome = outcome.take();
+  m.cost = m.outcome.result.cost;
+  m.instructions = m.outcome.result.instructions;
+  for (const auto& sealed : m.outcome.sealed_output) {
+    auto plain = owner.open_output(BytesView(sealed));
+    if (plain.is_ok()) m.plain_outputs.push_back(plain.take());
+  }
+  return m;
+}
+
+Result<RunMeasurement> run_workload(const std::string& source, PolicySet policies,
+                                    core::BootstrapConfig config,
+                                    const std::vector<Bytes>& inputs) {
+  auto compiled = codegen::compile(source, policies);
+  if (!compiled.is_ok()) return compiled.error();
+  return run_dxo(compiled.value().dxo, policies, config, inputs);
+}
+
+}  // namespace deflection::workloads

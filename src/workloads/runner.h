@@ -1,0 +1,29 @@
+// One-call harness shared by benches, examples and tests: spins up the
+// attestation service, bootstrap enclave and both remote parties, delivers
+// the compiled service, feeds inputs, runs, and reports the deterministic
+// cost measurements.
+#pragma once
+
+#include "core/protocol.h"
+
+namespace deflection::workloads {
+
+struct RunMeasurement {
+  core::RunOutcome outcome;
+  std::uint64_t cost = 0;          // deterministic VM cost (the "cycles")
+  std::uint64_t instructions = 0;
+  std::vector<Bytes> plain_outputs;  // opened by the data owner
+};
+
+// Compiles `source` with `policies` and runs it under `config` with the
+// given sealed inputs. `config.verify.required` is set to `policies`.
+Result<RunMeasurement> run_workload(const std::string& source, PolicySet policies,
+                                    core::BootstrapConfig config = {},
+                                    const std::vector<Bytes>& inputs = {});
+
+// Same, for an already-built DXO.
+Result<RunMeasurement> run_dxo(const codegen::Dxo& dxo, PolicySet required,
+                               core::BootstrapConfig config = {},
+                               const std::vector<Bytes>& inputs = {});
+
+}  // namespace deflection::workloads

@@ -1,0 +1,180 @@
+#include "workloads/stdlib.h"
+
+namespace deflection::workloads {
+
+namespace {
+
+const char* kStdlib = R"LIB(
+/* ---- mc_ standard library (MiniC shim libc) ---- */
+
+/* memory */
+void mc_memcpy(byte* dst, byte* src, int n) {
+  for (int i = 0; i < n; i += 1) { dst[i] = src[i]; }
+  return;
+}
+void mc_memset(byte* dst, int value, int n) {
+  for (int i = 0; i < n; i += 1) { dst[i] = value; }
+  return;
+}
+int mc_memcmp(byte* a, byte* b, int n) {
+  for (int i = 0; i < n; i += 1) {
+    if (a[i] != b[i]) { return a[i] - b[i]; }
+  }
+  return 0;
+}
+
+/* strings (NUL-terminated byte buffers) */
+int mc_strlen(byte* s) {
+  int n = 0;
+  while (s[n] != 0) { n += 1; }
+  return n;
+}
+int mc_strcmp(byte* a, byte* b) {
+  int i = 0;
+  while (a[i] != 0 && a[i] == b[i]) { i += 1; }
+  return a[i] - b[i];
+}
+void mc_strcpy(byte* dst, byte* src) {
+  int i = 0;
+  while (src[i] != 0) { dst[i] = src[i]; i += 1; }
+  dst[i] = 0;
+  return;
+}
+/* writes the decimal representation of v into dst; returns its length */
+int mc_itoa(int v, byte* dst) {
+  int pos = 0;
+  int neg = 0;
+  if (v < 0) { neg = 1; v = 0 - v; }
+  byte tmp[24];
+  if (v == 0) { tmp[pos] = 48; pos += 1; }
+  while (v > 0) { tmp[pos] = 48 + v % 10; v /= 10; pos += 1; }
+  int out = 0;
+  if (neg == 1) { dst[0] = 45; out = 1; }
+  for (int i = pos - 1; i >= 0; i -= 1) { dst[out] = tmp[i]; out += 1; }
+  dst[out] = 0;
+  return out;
+}
+/* parses a decimal integer (optional leading '-') */
+int mc_atoi(byte* s) {
+  int i = 0;
+  int neg = 0;
+  if (s[0] == 45) { neg = 1; i = 1; }
+  int v = 0;
+  while (s[i] >= 48 && s[i] <= 57) { v = v * 10 + (s[i] - 48); i += 1; }
+  if (neg == 1) { return 0 - v; }
+  return v;
+}
+
+/* math */
+int mc_abs(int v) { if (v < 0) { return 0 - v; } return v; }
+int mc_min(int a, int b) { if (a < b) { return a; } return b; }
+int mc_max(int a, int b) { if (a > b) { return a; } return b; }
+/* integer power (exponent >= 0) */
+int mc_ipow(int base, int exp) {
+  int r = 1;
+  while (exp > 0) {
+    if (exp % 2 == 1) { r *= base; }
+    base *= base;
+    exp /= 2;
+  }
+  return r;
+}
+/* integer square root (floor) */
+int mc_isqrt(int v) {
+  if (v < 2) { return v; }
+  int lo = 1;
+  int hi = v;
+  if (hi > 3037000499) { hi = 3037000499; }
+  while (lo < hi) {
+    int mid = (lo + hi + 1) / 2;
+    if (mid * mid <= v) { lo = mid; } else { hi = mid - 1; }
+  }
+  return lo;
+}
+/* greatest common divisor (non-negative inputs) */
+int mc_gcd(int a, int b) {
+  while (b != 0) { int t = a % b; a = b; b = t; }
+  return a;
+}
+
+/* sorting and searching over int arrays */
+void mc_sort_int(int* a, int n) {
+  /* heapsort: in-place, no recursion */
+  int start = n / 2 - 1;
+  while (start >= 0) {
+    int root = start;
+    while (root * 2 + 1 < n) {
+      int child = root * 2 + 1;
+      if (child + 1 < n && a[child] < a[child + 1]) { child += 1; }
+      if (a[root] < a[child]) {
+        int t = a[root]; a[root] = a[child]; a[child] = t;
+        root = child;
+      } else { break; }
+    }
+    start -= 1;
+  }
+  int end = n - 1;
+  while (end > 0) {
+    int t = a[0]; a[0] = a[end]; a[end] = t;
+    int root = 0;
+    while (root * 2 + 1 < end) {
+      int child = root * 2 + 1;
+      if (child + 1 < end && a[child] < a[child + 1]) { child += 1; }
+      if (a[root] < a[child]) {
+        int u = a[root]; a[root] = a[child]; a[child] = u;
+        root = child;
+      } else { break; }
+    }
+    end -= 1;
+  }
+  return;
+}
+/* binary search in a sorted array; returns index or -1 */
+int mc_bsearch_int(int* a, int n, int key) {
+  int lo = 0;
+  int hi = n - 1;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    if (a[mid] == key) { return mid; }
+    if (a[mid] < key) { lo = mid + 1; } else { hi = mid - 1; }
+  }
+  return 0 - 1;
+}
+
+/* checksums */
+int mc_adler32(byte* data, int n) {
+  int a = 1;
+  int b = 0;
+  for (int i = 0; i < n; i += 1) {
+    a = (a + data[i]) % 65521;
+    b = (b + a) % 65521;
+  }
+  return b * 65536 + a;
+}
+int mc_fnv1a(byte* data, int n) {
+  int h = 2166136261;
+  for (int i = 0; i < n; i += 1) {
+    h = h ^ data[i];
+    h = (h * 16777619) & 0xFFFFFFFF;
+  }
+  return h;
+}
+
+/* PRNG (splitmix-style; state passed by pointer) */
+int mc_rand(int* state) {
+  state[0] = state[0] * 6364136223846793005 + 1442695040888963407;
+  return (state[0] >> 33) & 0x7FFFFFFF;
+}
+
+/* ---- end of mc_ standard library ---- */
+)LIB";
+
+}  // namespace
+
+const char* stdlib_source() { return kStdlib; }
+
+std::string with_stdlib(const std::string& source) {
+  return std::string(kStdlib) + source;
+}
+
+}  // namespace deflection::workloads

@@ -1,0 +1,24 @@
+// MiniC standard library ("shim libc").
+//
+// The paper's target binaries statically link a shim libc into the
+// relocatable object (Table I lists it at 33 kLoC / 2.6 MB). This is the
+// reproduction's equivalent: a library of MiniC routines the producer
+// prepends to service sources, compiled and instrumented together with
+// them — memory ops, string ops, sorting/searching, checksums, fixed-point
+// math and a PRNG.
+//
+// Use `with_stdlib(source)` to prepend it; every function is prefixed
+// `mc_` to avoid collisions.
+#pragma once
+
+#include <string>
+
+namespace deflection::workloads {
+
+// The library source (MiniC).
+const char* stdlib_source();
+
+// source -> stdlib + source.
+std::string with_stdlib(const std::string& source);
+
+}  // namespace deflection::workloads

@@ -1,0 +1,44 @@
+// Workload registry: the MiniC programs this reproduction compiles with the
+// DEFLECTION producer and runs inside the simulated enclave.
+//
+//  - nBench kernels (Table II): ten kernels matching the operation mixes of
+//    the BYTEmark suite the paper instruments (SGX-nBench).
+//  - Macro benchmarks: Needleman-Wunsch alignment (Fig. 7), sequence
+//    generation (Fig. 8), BP-network credit scoring (Fig. 9), HTTPS-style
+//    request service (Figs. 10/11).
+//
+// Sources are templates: `${NAME}` placeholders are substituted with
+// workload parameters before compilation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace deflection::workloads {
+
+struct NbenchKernel {
+  const char* name;        // paper Table II row name
+  const char* source;      // MiniC template
+  // Default parameter assignment used by tests (small) and benches (larger).
+  std::map<std::string, std::string> test_params;
+  std::map<std::string, std::string> bench_params;
+  std::uint64_t expected_exit;  // checksum under test_params (validated)
+};
+
+// The ten Table II kernels, in paper order.
+const std::vector<NbenchKernel>& nbench_kernels();
+
+// Macro workload sources.
+const char* needleman_wunsch_source();   // Fig. 7: input = two sequences
+const char* sequence_generation_source();// Fig. 8: input = length + seed
+const char* credit_scoring_source();     // Fig. 9: input = training + queries
+const char* https_handler_source();      // Fig. 10/11: request/response loop
+const char* image_editing_source();      // intro scenario: private photo edit
+
+// `${NAME}` substitution.
+std::string with_params(std::string source,
+                        const std::map<std::string, std::string>& params);
+
+}  // namespace deflection::workloads

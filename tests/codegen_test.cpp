@@ -1,0 +1,326 @@
+// Producer-side tests: instrumentation pass output shapes (decoded
+// instruction-by-instruction against the documented annotation convention),
+// exemption rules, pattern-group integrity, probe density, and the DXO
+// object format.
+#include <gtest/gtest.h>
+
+#include "codegen/annotations.h"
+#include "codegen/compile.h"
+#include "isa/decode.h"
+#include "test_helpers.h"
+
+namespace deflection::testing {
+namespace {
+
+using codegen::CodegenResult;
+using isa::AsmProgram;
+using isa::Cond;
+using isa::Instr;
+using isa::Mem;
+using isa::Op;
+using isa::Reg;
+
+std::vector<Instr> decode_or_die(const Bytes& text) {
+  auto r = isa::decode_all(BytesView(text), 0);
+  EXPECT_TRUE(r.is_ok()) << (r.is_ok() ? "" : r.message());
+  return r.is_ok() ? r.take() : std::vector<Instr>{};
+}
+
+std::size_t find_op(const std::vector<Instr>& v, Op op, std::size_t from = 0) {
+  for (std::size_t i = from; i < v.size(); ++i)
+    if (v[i].op == op) return i;
+  return v.size();
+}
+
+CodegenResult store_skeleton() {
+  CodegenResult code;
+  AsmProgram& prog = code.program;
+  prog.label(codegen::kEntrySymbol);
+  prog.movri(Reg::RBX, 7);
+  prog.movri_sym(Reg::RCX, "g");
+  prog.store(Mem::base_disp(Reg::RCX, 8), Reg::RBX);
+  prog.movri(Reg::RAX, 0);
+  prog.hlt();
+  code.functions = {codegen::kEntrySymbol};
+  code.data.assign(32, 0);
+  code.data_symbols = {{codegen::kHeapPtrSymbol, 0},
+                       {codegen::kHeapEndSymbol, 8},
+                       {"g", 16}};
+  return code;
+}
+
+TEST(StoreGuardShape, MatchesFigure5Convention) {
+  auto built = codegen::finish(store_skeleton(), PolicySet::p1());
+  ASSERT_TRUE(built.is_ok());
+  auto v = decode_or_die(built.value().dxo.text);
+  std::size_t lea = find_op(v, Op::Lea);
+  ASSERT_LT(lea + 7, v.size());
+  // Lea r14, [rcx+8]
+  EXPECT_EQ(v[lea].rd, Reg::R14);
+  EXPECT_EQ(v[lea].mem, Mem::base_disp(Reg::RCX, 8));
+  // MovRI r15, paper's 0x3FFF... placeholder
+  EXPECT_EQ(v[lea + 1].op, Op::MovRI);
+  EXPECT_EQ(v[lea + 1].rd, Reg::R15);
+  EXPECT_EQ(v[lea + 1].imm, codegen::kMagicStoreLo);
+  // CmpRR r14, r15 ; Jcc B -> violation stub
+  EXPECT_EQ(v[lea + 2].op, Op::CmpRR);
+  EXPECT_EQ(v[lea + 3].op, Op::Jcc);
+  EXPECT_EQ(v[lea + 3].cond, Cond::B);
+  // MovRI r15, 0x4FFF... ; CmpRR ; Jcc AE -> violation stub
+  EXPECT_EQ(v[lea + 4].imm, codegen::kMagicStoreHi);
+  EXPECT_EQ(v[lea + 6].cond, Cond::AE);
+  // The guarded store itself, with the identical memory operand.
+  EXPECT_EQ(v[lea + 7].op, Op::Store);
+  EXPECT_EQ(v[lea + 7].mem, Mem::base_disp(Reg::RCX, 8));
+  // Both Jccs target the violation stub (MovRI rax, code; Hlt at end).
+  const auto* stub = built.value().dxo.find_symbol(codegen::kViolationSymbol);
+  ASSERT_NE(stub, nullptr);
+  EXPECT_EQ(v[lea + 3].branch_target(), stub->offset);
+  EXPECT_EQ(v[lea + 6].branch_target(), stub->offset);
+}
+
+TEST(StoreGuardShape, RspRelativeStoresAreExempt) {
+  CodegenResult code;
+  AsmProgram& prog = code.program;
+  prog.label(codegen::kEntrySymbol);
+  prog.store(Mem::base_disp(Reg::RSP, 0), Reg::RBX);     // exempt
+  prog.store(Mem::base_disp(Reg::RSP, 4088), Reg::RBX);  // last exempt slot
+  prog.movri(Reg::RAX, 0);
+  prog.hlt();
+  code.functions = {codegen::kEntrySymbol};
+  auto built = codegen::finish(code, PolicySet::p1());
+  ASSERT_TRUE(built.is_ok());
+  EXPECT_EQ(built.value().stats.store_guards, 0);
+}
+
+TEST(StoreGuardShape, NonExemptRspFormsAreGuarded) {
+  CodegenResult code;
+  AsmProgram& prog = code.program;
+  prog.label(codegen::kEntrySymbol);
+  prog.store(Mem::base_disp(Reg::RSP, 4089), Reg::RBX);            // beyond slack
+  prog.store(Mem::base_disp(Reg::RSP, -8), Reg::RBX);              // negative disp
+  prog.store(Mem::base_index(Reg::RSP, Reg::RCX, 0, 0), Reg::RBX); // indexed
+  prog.movri(Reg::RAX, 0);
+  prog.hlt();
+  code.functions = {codegen::kEntrySymbol};
+  auto built = codegen::finish(code, PolicySet::p1());
+  ASSERT_TRUE(built.is_ok());
+  EXPECT_EQ(built.value().stats.store_guards, 3);
+}
+
+TEST(StoreGuardShape, ScratchRegisterAddressesAreRejected) {
+  CodegenResult code;
+  AsmProgram& prog = code.program;
+  prog.label(codegen::kEntrySymbol);
+  prog.store(Mem::base_disp(Reg::R14, 0), Reg::RBX);
+  prog.hlt();
+  code.functions = {codegen::kEntrySymbol};
+  auto built = codegen::finish(code, PolicySet::p1());
+  ASSERT_FALSE(built.is_ok());
+  EXPECT_EQ(built.code(), "instrument_scratch");
+}
+
+TEST(RspGuardShape, FollowsEveryExplicitRspWrite) {
+  CodegenResult code;
+  AsmProgram& prog = code.program;
+  prog.label(codegen::kEntrySymbol);
+  prog.op_ri(Op::SubRI, Reg::RSP, 64);
+  prog.op_ri(Op::AddRI, Reg::RSP, 64);
+  prog.movri(Reg::RAX, 0);
+  prog.hlt();
+  code.functions = {codegen::kEntrySymbol};
+  auto built = codegen::finish(code, PolicySet::p1p2());
+  ASSERT_TRUE(built.is_ok());
+  EXPECT_EQ(built.value().stats.rsp_guards, 2);
+  auto v = decode_or_die(built.value().dxo.text);
+  std::size_t sub = find_op(v, Op::SubRI);
+  ASSERT_LT(sub + 6, v.size());
+  EXPECT_EQ(v[sub + 1].op, Op::MovRI);
+  EXPECT_EQ(v[sub + 1].imm, codegen::kMagicStackLo);
+  EXPECT_EQ(v[sub + 2].op, Op::CmpRR);
+  EXPECT_EQ(v[sub + 2].rd, Reg::RSP);
+  EXPECT_EQ(v[sub + 3].cond, Cond::B);
+  EXPECT_EQ(v[sub + 4].imm, codegen::kMagicStackHi);
+  EXPECT_EQ(v[sub + 6].cond, Cond::A);
+}
+
+TEST(CfiShape, PrologueEpilogueAndIndirectGuardEmitted) {
+  const char* src = R"(
+    int f(int x) { return x + 1; }
+    int main() { fn p = &f; return p(1); }
+  )";
+  auto compiled = compile_or_die(src, PolicySet::p1to5());
+  // _start calls main; f and main both get prologue+epilogue; one CallInd.
+  EXPECT_EQ(compiled.stats.shadow_prologues, 2);
+  EXPECT_EQ(compiled.stats.shadow_epilogues, 2);
+  EXPECT_EQ(compiled.stats.indirect_guards, 1);
+  EXPECT_EQ(compiled.dxo.branch_targets, std::vector<std::string>{"f"});
+
+  auto v = decode_or_die(compiled.dxo.text);
+  // Find the indirect guard: MovRR r14, r10 ... Load8 ... CallInd r10.
+  std::size_t callind = find_op(v, Op::CallInd);
+  ASSERT_LT(callind, v.size());
+  ASSERT_GE(callind, 10u);
+  EXPECT_EQ(v[callind - 10].op, Op::MovRR);
+  EXPECT_EQ(v[callind - 10].rd, Reg::R14);
+  EXPECT_EQ(v[callind - 10].rs, v[callind].rd);
+  EXPECT_EQ(v[callind - 9].imm, codegen::kMagicTextBase);
+  EXPECT_EQ(v[callind - 7].imm, codegen::kMagicTextSize);
+  EXPECT_EQ(v[callind - 4].imm, codegen::kMagicBtTable);
+  EXPECT_EQ(v[callind - 3].op, Op::Load8);
+  // Every Ret is preceded by the shadow epilogue compare+jcc.
+  for (std::size_t i = find_op(v, Op::Ret); i < v.size(); i = find_op(v, Op::Ret, i + 1)) {
+    ASSERT_GE(i, 2u);
+    EXPECT_EQ(v[i - 1].op, Op::Jcc);
+    EXPECT_EQ(v[i - 1].cond, Cond::NE);
+    EXPECT_EQ(v[i - 2].op, Op::CmpRR);
+  }
+}
+
+TEST(ProbeShape, DensityBoundHolds) {
+  // A long straight-line function: probes must appear at least every
+  // kMaxProbeGap instructions.
+  std::string body;
+  for (int i = 0; i < 120; ++i) body += "x = x + " + std::to_string(i) + "; ";
+  std::string src = "int main() { int x = 0; " + body + " return x % 251; }";
+  auto compiled = compile_or_die(src, PolicySet::p1to6());
+  EXPECT_GT(compiled.stats.aex_probes, 2);
+  auto v = decode_or_die(compiled.dxo.text);
+  int since = 0;
+  for (const auto& ins : v) {
+    if (ins.op == Op::MovRI && ins.rd == Reg::R14 &&
+        ins.imm == codegen::kMagicSsaMarker) {
+      since = 0;
+      continue;
+    }
+    if (ins.ends_flow()) {
+      since = 0;
+      continue;
+    }
+    ++since;
+    EXPECT_LE(since, codegen::kMaxProbeGap);
+  }
+}
+
+TEST(ProbeShape, NeverSplitsCmpFromJcc) {
+  // Comparisons immediately followed by their Jcc must stay adjacent after
+  // probe insertion (the probe clobbers flags).
+  std::string body;
+  for (int i = 0; i < 60; ++i)
+    body += "if (x > " + std::to_string(i) + ") { x -= 1; } ";
+  std::string src = "int main() { int x = 100; " + body + " return x; }";
+  auto compiled = compile_or_die(src, PolicySet::p1to6());
+  auto v = decode_or_die(compiled.dxo.text);
+  // No probe head may appear anywhere inside a live-flags window, i.e.
+  // between a flag-setting compare and the Jcc that consumes it.
+  bool flags_live = false;
+  for (const auto& ins : v) {
+    bool is_probe_head = ins.op == Op::MovRI && ins.rd == Reg::R14 &&
+                         ins.imm == codegen::kMagicSsaMarker;
+    if (flags_live) {
+      EXPECT_FALSE(is_probe_head) << "probe inside live-flags window at " << ins.addr;
+    }
+    if (ins.op == Op::CmpRR || ins.op == Op::CmpRI || ins.op == Op::TestRR ||
+        ins.op == Op::FCmpRR)
+      flags_live = true;
+    else if (ins.op == Op::Jcc)
+      flags_live = false;
+  }
+}
+
+TEST(ProbeShape, ValueFormComparisonsSurviveProbes) {
+  // Regression for the bug found by differential testing: a probe inserted
+  // between a comparison's MovRI materialization and its Jcc clobbered the
+  // flags. Build a function that is nothing but value-form comparisons.
+  std::string body;
+  for (int i = 0; i < 50; ++i)
+    body += "x += (x < " + std::to_string(1000 + i) + "); ";
+  std::string src = "int main() { int x = 0; " + body + " return x; }";
+  EXPECT_EQ(exit_code_of(src, PolicySet::p1to6()), 50u);
+}
+
+TEST(InstrumentStats, NoAnnotationsWithoutPolicies) {
+  auto compiled = compile_or_die("int g; int main() { g = 1; return g; }",
+                                 PolicySet::none());
+  EXPECT_EQ(compiled.stats.store_guards, 0);
+  EXPECT_EQ(compiled.stats.rsp_guards, 0);
+  EXPECT_EQ(compiled.stats.shadow_prologues, 0);
+  EXPECT_EQ(compiled.stats.aex_probes, 0);
+  // No violation stub either.
+  EXPECT_EQ(compiled.dxo.find_symbol(codegen::kViolationSymbol), nullptr);
+}
+
+// ---- DXO format ----
+
+TEST(DxoFormat, SerializeDeserializeRoundTrip) {
+  auto compiled = compile_or_die(
+      "int g; int f(int x) { return x; } int main() { fn p = &f; return p(1); }",
+      PolicySet::p1to5());
+  Bytes wire = compiled.dxo.serialize();
+  auto parsed = codegen::Dxo::deserialize(BytesView(wire));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.message();
+  const codegen::Dxo& d = parsed.value();
+  EXPECT_EQ(d.policies, compiled.dxo.policies);
+  EXPECT_EQ(d.text, compiled.dxo.text);
+  EXPECT_EQ(d.data, compiled.dxo.data);
+  EXPECT_EQ(d.entry, compiled.dxo.entry);
+  EXPECT_EQ(d.symbols.size(), compiled.dxo.symbols.size());
+  EXPECT_EQ(d.relocs.size(), compiled.dxo.relocs.size());
+  EXPECT_EQ(d.branch_targets, compiled.dxo.branch_targets);
+}
+
+TEST(DxoFormat, RejectsMalformedInputs) {
+  auto compiled = compile_or_die("int main() { return 0; }", PolicySet::p1());
+  Bytes wire = compiled.dxo.serialize();
+
+  Bytes bad_magic = wire;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_EQ(codegen::Dxo::deserialize(BytesView(bad_magic)).code(), "dxo_malformed");
+
+  Bytes truncated(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(wire.size() / 2));
+  EXPECT_FALSE(codegen::Dxo::deserialize(BytesView(truncated)).is_ok());
+
+  Bytes trailing = wire;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(codegen::Dxo::deserialize(BytesView(trailing)).is_ok());
+
+  EXPECT_FALSE(codegen::Dxo::deserialize(BytesView()).is_ok());
+}
+
+TEST(DxoFormat, RejectsOutOfRangeMetadata) {
+  auto compiled = compile_or_die("int main() { return 0; }", PolicySet::p1());
+  codegen::Dxo dxo = compiled.dxo;
+  dxo.symbols.push_back(
+      codegen::DxoSymbol{"ghost", codegen::Section::Text, dxo.text.size() + 10, true});
+  auto parsed = codegen::Dxo::deserialize(BytesView(dxo.serialize()));
+  EXPECT_FALSE(parsed.is_ok());
+
+  dxo = compiled.dxo;
+  dxo.relocs.push_back(codegen::DxoReloc{dxo.text.size() - 2, "x", 0});
+  parsed = codegen::Dxo::deserialize(BytesView(dxo.serialize()));
+  EXPECT_FALSE(parsed.is_ok());
+
+  dxo = compiled.dxo;
+  dxo.entry = "not_a_symbol";
+  parsed = codegen::Dxo::deserialize(BytesView(dxo.serialize()));
+  EXPECT_FALSE(parsed.is_ok());
+}
+
+TEST(DxoFormat, FuzzedHeadersNeverCrash) {
+  auto compiled = compile_or_die("int main() { return 0; }", PolicySet::p1());
+  Bytes wire = compiled.dxo.serialize();
+  Rng rng(1234);
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes fuzzed = wire;
+    int flips = 1 + static_cast<int>(rng.below(8));
+    for (int i = 0; i < flips; ++i) {
+      std::size_t pos = rng.below(fuzzed.size());
+      fuzzed[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    auto parsed = codegen::Dxo::deserialize(BytesView(fuzzed));  // must not crash
+    (void)parsed;
+  }
+}
+
+}  // namespace
+}  // namespace deflection::testing

@@ -1,0 +1,116 @@
+// Bootstrap-enclave misuse paths: the restricted ECall surface must fail
+// closed in every out-of-order or malformed interaction.
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace deflection::testing {
+namespace {
+
+TEST(EcallSurface, SealedGarbageIsRejectedEverywhere) {
+  core::BootstrapConfig config;
+  Pipeline pipe(config);
+  // Authenticated-but-garbage binary payload: decrypts fine, fails parsing.
+  Bytes garbage(100, 0x5A);
+  Bytes sealed = pipe.provider->seal(BytesView(garbage));
+  auto digest = pipe.enclave->ecall_receive_binary(sealed);
+  ASSERT_FALSE(digest.is_ok());
+  EXPECT_EQ(digest.code(), "dxo_malformed");
+}
+
+TEST(EcallSurface, EmptyPayloadsAreRejected) {
+  core::BootstrapConfig config;
+  Pipeline pipe(config);
+  EXPECT_FALSE(pipe.enclave->ecall_receive_binary({}).is_ok());
+  EXPECT_FALSE(pipe.enclave->ecall_receive_userdata({}).is_ok());
+}
+
+TEST(EcallSurface, UserDataQueuesInOrder) {
+  const char* src = R"(
+    int main() {
+      byte* buf = alloc(16);
+      int first = 0;
+      int second = 0;
+      int n = ocall_recv(buf, 16);
+      if (n > 0) { first = buf[0]; }
+      n = ocall_recv(buf, 16);
+      if (n > 0) { second = buf[0]; }
+      return first * 100 + second;
+    }
+  )";
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1();
+  auto compiled = compile_or_die(src, PolicySet::p1());
+  Pipeline pipe(config);
+  ASSERT_TRUE(pipe.deliver(compiled.dxo).is_ok());
+  Bytes a = {7}, b = {9};
+  ASSERT_TRUE(pipe.feed(BytesView(a)).is_ok());
+  ASSERT_TRUE(pipe.feed(BytesView(b)).is_ok());
+  auto outcome = pipe.run();
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().result.exit_code, 709u);
+}
+
+TEST(EcallSurface, RecvOnEmptyInboxReturnsZero) {
+  const char* src = R"(
+    int main() {
+      byte* buf = alloc(16);
+      return ocall_recv(buf, 16) + 50;
+    }
+  )";
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1();
+  core::RunOutcome outcome = run_service(src, PolicySet::p1(), config);
+  EXPECT_EQ(outcome.result.exit_code, 50u);
+}
+
+TEST(EcallSurface, SealBeforeVerifyFails) {
+  core::BootstrapConfig config;
+  Pipeline pipe(config);
+  EXPECT_EQ(pipe.enclave->seal_service_state().code(), "no_state");
+  Bytes junk(60, 1);
+  EXPECT_EQ(pipe.enclave->unseal_service_state(BytesView(junk)).code(), "no_state");
+}
+
+TEST(EcallSurface, OversizedSendLengthIsRefused) {
+  // A malicious/buggy service asks the send stub to copy an implausible
+  // length out of the enclave; the wrapper refuses before touching memory.
+  const char* src = R"(
+    int main() {
+      byte* buf = alloc(8);
+      ocall_send(buf, 1 << 40);
+      return 0;
+    }
+  )";
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1();
+  auto compiled = compile_or_die(src, PolicySet::p1());
+  Pipeline pipe(config);
+  ASSERT_TRUE(pipe.deliver(compiled.dxo).is_ok());
+  auto outcome = pipe.run();
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().result.exit, vm::Exit::OcallError);
+  EXPECT_TRUE(outcome.value().sealed_output.empty());
+}
+
+TEST(EcallSurface, SendFromUnmappedPointerIsRefused) {
+  const char* src = R"(
+    int main() {
+      byte* p = as_ptr(1);   /* below every mapped region */
+      ocall_send(p, 8);
+      return 0;
+    }
+  )";
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1();
+  auto compiled = compile_or_die(src, PolicySet::p1());
+  Pipeline pipe(config);
+  ASSERT_TRUE(pipe.deliver(compiled.dxo).is_ok());
+  auto outcome = pipe.run();
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().result.exit, vm::Exit::OcallError);
+  EXPECT_EQ(outcome.value().result.fault_code, "ocall_send_oob");
+}
+
+}  // namespace
+}  // namespace deflection::testing

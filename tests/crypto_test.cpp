@@ -1,0 +1,242 @@
+// Crypto primitive tests against published vectors (the primitives are the
+// genuine algorithms; see DESIGN.md) plus property tests on the AEAD and
+// key-agreement constructions.
+#include <gtest/gtest.h>
+
+#include "crypto/cipher.h"
+#include "crypto/dh.h"
+#include "crypto/sha256.h"
+#include "support/rng.h"
+
+namespace deflection::crypto {
+namespace {
+
+std::string hex_of(const Digest& d) { return to_hex(BytesView(d.data(), d.size())); }
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// ---- SHA-256: FIPS 180-4 / NIST CAVP vectors ----
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of(Sha256::hash(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(Sha256::hash(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(BytesView(chunk));
+  EXPECT_EQ(hex_of(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalEqualsOneShot) {
+  Rng rng(77);
+  Bytes data(4097);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  Digest oneshot = Sha256::hash(BytesView(data));
+  for (std::size_t split : {0ul, 1ul, 63ul, 64ul, 65ul, 1000ul, 4096ul}) {
+    Sha256 h;
+    h.update(BytesView(data.data(), split));
+    h.update(BytesView(data.data() + split, data.size() - split));
+    EXPECT_EQ(hex_of(h.finish()), hex_of(oneshot)) << "split " << split;
+  }
+}
+
+// ---- HMAC-SHA256: RFC 4231 test cases ----
+
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(hex_of(hmac_sha256(BytesView(key), bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(hex_of(hmac_sha256(bytes_of("Jefe"),
+                               bytes_of("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes msg(50, 0xdd);
+  EXPECT_EQ(hex_of(hmac_sha256(BytesView(key), BytesView(msg))),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231LongKey) {
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(hex_of(hmac_sha256(
+                BytesView(key),
+                bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// ---- ChaCha20: RFC 8439 Sec. 2.4.2 vector ----
+
+TEST(ChaCha20, Rfc8439Vector) {
+  Key256 key;
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  Nonce96 nonce{};  // 00 00 00 00 00 00 00 4a 00 00 00 00
+  nonce[7] = 0x4a;
+  Bytes plaintext = bytes_of(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  Bytes out(plaintext.size());
+  chacha20_xor(key, nonce, 1, BytesView(plaintext), out.data());
+  EXPECT_EQ(to_hex(BytesView(out)),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, BlockCounterAdvancesIndependently) {
+  // Encrypting at counter c then c+1 must equal one two-block encryption —
+  // pins down the per-block counter chaining.
+  Key256 key{};
+  key[7] = 0x11;
+  Nonce96 nonce{};
+  nonce[11] = 0x22;
+  Bytes plain(128, 0x5C);
+  Bytes whole(128), parts(128);
+  chacha20_xor(key, nonce, 3, BytesView(plain), whole.data());
+  chacha20_xor(key, nonce, 3, BytesView(plain.data(), 64), parts.data());
+  chacha20_xor(key, nonce, 4, BytesView(plain.data() + 64, 64), parts.data() + 64);
+  EXPECT_EQ(whole, parts);
+}
+
+TEST(ChaCha20, XorIsInvolution) {
+  Key256 key{};
+  key[0] = 1;
+  Nonce96 nonce{};
+  Rng rng(3);
+  Bytes data(777);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  Bytes ct(data.size()), pt(data.size());
+  chacha20_xor(key, nonce, 7, BytesView(data), ct.data());
+  chacha20_xor(key, nonce, 7, BytesView(ct), pt.data());
+  EXPECT_EQ(pt, data);
+  EXPECT_NE(ct, data);
+}
+
+// ---- AEAD properties ----
+
+class AeadSizes : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, AeadSizes,
+                         ::testing::Values(0, 1, 15, 16, 64, 100, 1024, 65536));
+
+TEST_P(AeadSizes, SealOpenRoundTrip) {
+  Key256 key{};
+  key[5] = 0x42;
+  Nonce96 nonce{};
+  nonce[0] = 9;
+  Rng rng(GetParam() + 1);
+  Bytes plain(GetParam());
+  for (auto& b : plain) b = static_cast<std::uint8_t>(rng.next());
+  Bytes sealed = aead_seal(key, nonce, BytesView(plain));
+  EXPECT_EQ(sealed.size(), 12 + plain.size() + 32);
+  auto opened = aead_open(key, BytesView(sealed));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plain);
+}
+
+TEST_P(AeadSizes, AnySingleBitFlipIsDetected) {
+  Key256 key{};
+  Nonce96 nonce{};
+  Bytes plain(GetParam(), 0x77);
+  Bytes sealed = aead_seal(key, nonce, BytesView(plain));
+  Rng rng(99);
+  for (int trial = 0; trial < 32; ++trial) {
+    Bytes bad = sealed;
+    std::size_t byte = rng.below(bad.size());
+    bad[byte] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    EXPECT_FALSE(aead_open(key, BytesView(bad)).has_value());
+  }
+}
+
+TEST(Aead, WrongKeyFails) {
+  Key256 key{}, other{};
+  other[31] = 1;
+  Nonce96 nonce{};
+  Bytes sealed = aead_seal(key, nonce, bytes_of("secret"));
+  EXPECT_FALSE(aead_open(other, BytesView(sealed)).has_value());
+  EXPECT_TRUE(aead_open(key, BytesView(sealed)).has_value());
+}
+
+TEST(Aead, AadMismatchFails) {
+  Key256 key{};
+  Nonce96 nonce{};
+  Bytes aad = bytes_of("role=owner");
+  Bytes sealed = aead_seal(key, nonce, bytes_of("hello"), BytesView(aad));
+  EXPECT_TRUE(aead_open(key, BytesView(sealed), BytesView(aad)).has_value());
+  Bytes other_aad = bytes_of("role=provider");
+  EXPECT_FALSE(aead_open(key, BytesView(sealed), BytesView(other_aad)).has_value());
+}
+
+TEST(Aead, TruncatedInputRejected) {
+  Key256 key{};
+  EXPECT_FALSE(aead_open(key, BytesView()).has_value());
+  Bytes tiny(43, 0);  // one byte short of nonce+tag
+  EXPECT_FALSE(aead_open(key, BytesView(tiny)).has_value());
+}
+
+// ---- DH ----
+
+TEST(DiffieHellman, SharedKeyAgrees) {
+  Rng rng(123);
+  for (int i = 0; i < 20; ++i) {
+    auto a = dh_generate(rng);
+    auto b = dh_generate(rng);
+    Key256 ka = dh_shared_key(a.secret, b.public_value);
+    Key256 kb = dh_shared_key(b.secret, a.public_value);
+    EXPECT_EQ(ka, kb);
+  }
+}
+
+TEST(DiffieHellman, DistinctPairsDisagree) {
+  Rng rng(124);
+  auto a = dh_generate(rng);
+  auto b = dh_generate(rng);
+  auto c = dh_generate(rng);
+  EXPECT_NE(dh_shared_key(a.secret, b.public_value),
+            dh_shared_key(a.secret, c.public_value));
+}
+
+TEST(DiffieHellman, ModExpIdentities) {
+  EXPECT_EQ(dh_modexp(5, 0), 1u);
+  EXPECT_EQ(dh_modexp(5, 1), 5u);
+  EXPECT_EQ(dh_modexp(2, 10), 1024u);
+  // Fermat: a^(p-1) = 1 mod p for prime p = 0xFFFFFFFFFFFFFFC5.
+  EXPECT_EQ(dh_modexp(3, 0xFFFFFFFFFFFFFFC4ull), 1u);
+}
+
+TEST(KeyDerivation, LabelsSeparateKeys) {
+  Bytes secret = bytes_of("master");
+  EXPECT_NE(derive_key(BytesView(secret), "a"), derive_key(BytesView(secret), "b"));
+  EXPECT_EQ(derive_key(BytesView(secret), "a"), derive_key(BytesView(secret), "a"));
+}
+
+TEST(DigestEqual, ConstantTimeComparerIsCorrect) {
+  Digest a{}, b{};
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] = 1;
+  EXPECT_FALSE(digest_equal(a, b));
+  b[31] = 0;
+  b[0] = 0x80;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+}  // namespace
+}  // namespace deflection::crypto

@@ -1,0 +1,216 @@
+// Differential testing: randomly generated MiniC programs are executed both
+// by the reference AST interpreter and by the full DEFLECTION pipeline
+// (compile -> instrument -> verify -> VM). Any divergence exposes a bug in
+// the code generator, an instrumentation pass, the verifier's rewriting, or
+// the VM. Instrumentation at every policy level must be semantically
+// invisible.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "minic/interp.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+#include "support/rng.h"
+#include "test_helpers.h"
+
+namespace deflection::testing {
+namespace {
+
+// ---- Random program generator ----
+// Generates terminating, well-defined programs: bounded for-loops only,
+// division/modulo by positive literals, shifts by literal amounts, array
+// indices masked into range.
+class ProgramGen {
+ public:
+  explicit ProgramGen(std::uint64_t seed) : rng_(seed) {}
+
+  std::string generate() {
+    out_.str("");
+    out_ << "int garr[8];\n";
+    int helpers = static_cast<int>(rng_.below(3));
+    for (int i = 0; i < helpers; ++i) gen_helper(i);
+    out_ << "int main() {\n";
+    gen_body(/*params=*/0, /*depth=*/0, /*helpers=*/helpers);
+    out_ << "  return (v0 ^ v1 ^ v2 ^ v3) & 0xFFFFFF;\n}\n";
+    return out_.str();
+  }
+
+ private:
+  void gen_helper(int index) {
+    int params = 1 + static_cast<int>(rng_.below(3));
+    out_ << "int helper" << index << "(";
+    for (int p = 0; p < params; ++p) out_ << (p ? ", int p" : "int p") << p;
+    out_ << ") {\n";
+    gen_body(params, 0, index);  // may call earlier helpers only
+    out_ << "  return (v0 + v1 * 3 + v2) ^ v3;\n}\n";
+    helper_params_.push_back(params);
+  }
+
+  void gen_body(int params, int depth, int helpers) {
+    out_ << "  int v0 = " << lit() << "; int v1 = " << lit() << ";\n";
+    out_ << "  int v2 = " << lit() << "; int v3 = " << lit() << ";\n";
+    out_ << "  int arr[8];\n";
+    out_ << "  for (int z = 0; z < 8; z += 1) { arr[z] = z * " << lit() << "; }\n";
+    int statements = 4 + static_cast<int>(rng_.below(10));
+    for (int i = 0; i < statements; ++i) gen_stmt(params, depth, helpers);
+  }
+
+  std::string lit() { return std::to_string(rng_.range(-100, 100)); }
+  std::string var(int params) {
+    std::uint64_t pick = rng_.below(params > 0 ? 5 : 4);
+    if (pick == 4) return "p" + std::to_string(rng_.below(static_cast<std::uint64_t>(params)));
+    return "v" + std::to_string(rng_.below(4));
+  }
+
+  std::string expr(int params, int depth) {
+    if (depth > 3 || rng_.chance(0.3)) {
+      switch (rng_.below(3)) {
+        case 0: return lit();
+        case 1: return var(params);
+        default: return "arr[(" + var(params) + ") & 7]";
+      }
+    }
+    std::string a = expr(params, depth + 1);
+    std::string b = expr(params, depth + 1);
+    switch (rng_.below(12)) {
+      case 0: return "(" + a + " + " + b + ")";
+      case 1: return "(" + a + " - " + b + ")";
+      case 2: return "(" + a + " * " + b + ")";
+      case 3: return "(" + a + " / " + std::to_string(1 + rng_.below(7)) + ")";
+      case 4: return "(" + a + " % " + std::to_string(1 + rng_.below(7)) + ")";
+      case 5: return "(" + a + " & " + b + ")";
+      case 6: return "(" + a + " | " + b + ")";
+      case 7: return "(" + a + " ^ " + b + ")";
+      case 8: return "(" + a + " << " + std::to_string(rng_.below(8)) + ")";
+      case 9: return "(" + a + " >> " + std::to_string(rng_.below(8)) + ")";
+      case 10: return "(" + a + " < " + b + ")";
+      default: return "(" + a + " == " + b + ")";
+    }
+  }
+
+  void gen_stmt(int params, int depth, int helpers) {
+    switch (rng_.below(depth < 2 ? 6 : 4)) {
+      case 0:
+        out_ << "  " << var(params) << " = " << expr(params, 0) << ";\n";
+        break;
+      case 1:
+        out_ << "  arr[(" << expr(params, 1) << ") & 7] = " << expr(params, 0) << ";\n";
+        break;
+      case 2:
+        out_ << "  garr[(" << expr(params, 1) << ") & 7] "
+             << (rng_.chance(0.5) ? "=" : "+=") << " " << expr(params, 0) << ";\n";
+        break;
+      case 3:
+        if (helpers > 0) {
+          int h = static_cast<int>(rng_.below(static_cast<std::uint64_t>(helpers)));
+          out_ << "  " << var(params) << " = helper" << h << "(";
+          for (int p = 0; p < helper_params_[static_cast<std::size_t>(h)]; ++p)
+            out_ << (p ? ", " : "") << expr(params, 1);
+          out_ << ");\n";
+        } else {
+          out_ << "  " << var(params) << " += " << expr(params, 0) << ";\n";
+        }
+        break;
+      case 4:
+        out_ << "  if (" << expr(params, 0) << ") {\n";
+        gen_stmt(params, depth + 1, helpers);
+        if (rng_.chance(0.5)) {
+          out_ << "  } else {\n";
+          gen_stmt(params, depth + 1, helpers);
+        }
+        out_ << "  }\n";
+        break;
+      default: {
+        std::string i = "i" + std::to_string(loop_counter_++);
+        out_ << "  for (int " << i << " = 0; " << i << " < " << (1 + rng_.below(9))
+             << "; " << i << " += 1) {\n";
+        gen_stmt(params, depth + 1, helpers);
+        out_ << "  }\n";
+        break;
+      }
+    }
+  }
+
+  Rng rng_;
+  std::ostringstream out_;
+  std::vector<int> helper_params_;
+  int loop_counter_ = 0;
+};
+
+class DifferentialSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSeeds,
+                         ::testing::Range<std::uint64_t>(1, 91));
+
+TEST_P(DifferentialSeeds, CompiledMatchesInterpreter) {
+  ProgramGen gen(GetParam() * 0x9E3779B9u);
+  std::string source = gen.generate();
+
+  // Reference semantics.
+  auto parsed = minic::parse(source);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.message() << "\n" << source;
+  minic::Module module = parsed.take();
+  ASSERT_TRUE(minic::analyze(module).is_ok()) << source;
+  auto reference = minic::interpret(module, {});
+  ASSERT_TRUE(reference.is_ok()) << reference.message() << "\n" << source;
+  std::uint64_t expected =
+      static_cast<std::uint64_t>(reference.value().exit_code);
+
+  // Compiled semantics, uninstrumented and fully instrumented.
+  for (PolicySet policies : {PolicySet::none(), PolicySet::p1to6()}) {
+    core::RunOutcome outcome = run_service(source, policies);
+    ASSERT_EQ(outcome.result.exit, vm::Exit::Halt)
+        << outcome.result.fault_code << "\n" << source;
+    ASSERT_FALSE(outcome.policy_violation) << source;
+    EXPECT_EQ(outcome.result.exit_code, expected)
+        << "divergence at " << policies.to_string() << "\n" << source;
+  }
+}
+
+TEST(DifferentialIo, OcallTrafficMatches) {
+  const char* src = R"(
+    int main() {
+      byte* buf = alloc(64);
+      int n = ocall_recv(buf, 64);
+      for (int i = 0; i < n; i += 1) { buf[i] = buf[i] * 3 + 1; }
+      ocall_send(buf, n);
+      byte* more = alloc(8);
+      for (int i = 0; i < 8; i += 1) { more[i] = i * i; }
+      ocall_send(more, 8);
+      return n;
+    }
+  )";
+  Bytes input = {5, 10, 15};
+  auto parsed = minic::parse(src);
+  ASSERT_TRUE(parsed.is_ok());
+  minic::Module module = parsed.take();
+  ASSERT_TRUE(minic::analyze(module).is_ok());
+  auto reference = minic::interpret(module, {input});
+  ASSERT_TRUE(reference.is_ok());
+
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to6();
+  core::RunOutcome outcome =
+      run_service(src, PolicySet::p1to6(), config, {input});
+  ASSERT_EQ(outcome.result.exit, vm::Exit::Halt);
+  ASSERT_EQ(outcome.sealed_output.size(), reference.value().sent.size());
+  // Compare opened payloads against the interpreter's plaintext sends.
+  Pipeline pipe(config);  // fresh pipeline only for framing helpers? No —
+  // open with the same owner that sealed: rebuild via run_service is not
+  // possible here, so re-run through an explicit pipeline instead.
+  auto compiled = compile_or_die(src, PolicySet::p1to6());
+  Pipeline explicit_pipe(config);
+  ASSERT_TRUE(explicit_pipe.deliver(compiled.dxo).is_ok());
+  ASSERT_TRUE(explicit_pipe.feed(BytesView(input)).is_ok());
+  auto run = explicit_pipe.run();
+  ASSERT_TRUE(run.is_ok());
+  ASSERT_EQ(run.value().sealed_output.size(), reference.value().sent.size());
+  for (std::size_t i = 0; i < reference.value().sent.size(); ++i) {
+    auto plain = explicit_pipe.owner->open_output(BytesView(run.value().sealed_output[i]));
+    ASSERT_TRUE(plain.is_ok());
+    EXPECT_EQ(plain.value(), reference.value().sent[i]) << "message " << i;
+  }
+}
+
+}  // namespace
+}  // namespace deflection::testing

@@ -1,0 +1,161 @@
+// End-to-end pipeline tests: MiniC source -> producer -> attested delivery
+// -> load -> verify -> rewrite -> execute, across every policy level the
+// paper evaluates (none, P1, P1+P2, P1-P5, P1-P6).
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace deflection::testing {
+namespace {
+
+class PolicyLevels : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  PolicySet policies() const { return PolicySet(GetParam()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, PolicyLevels,
+                         ::testing::Values(PolicySet::none().mask(),
+                                           PolicySet::p1().mask(),
+                                           PolicySet::p1p2().mask(),
+                                           PolicySet::p1to5().mask(),
+                                           PolicySet::p1to6().mask()));
+
+TEST_P(PolicyLevels, ReturnsConstant) {
+  EXPECT_EQ(exit_code_of("int main() { return 42; }", policies()), 42u);
+}
+
+TEST_P(PolicyLevels, Arithmetic) {
+  EXPECT_EQ(exit_code_of("int main() { return (3 + 4) * 5 - 36 / 6 % 4; }", policies()),
+            (3 + 4) * 5 - 36 / 6 % 4);
+}
+
+TEST_P(PolicyLevels, LoopsAndLocals) {
+  const char* src = R"(
+    int main() {
+      int sum = 0;
+      for (int i = 1; i <= 100; i += 1) { sum += i; }
+      return sum % 251;
+    }
+  )";
+  EXPECT_EQ(exit_code_of(src, policies()), 5050 % 251);
+}
+
+TEST_P(PolicyLevels, FunctionsAndRecursion) {
+  const char* src = R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return fib(15); }
+  )";
+  EXPECT_EQ(exit_code_of(src, policies()), 610u);
+}
+
+TEST_P(PolicyLevels, GlobalsAndArrays) {
+  const char* src = R"(
+    int table[16];
+    int total;
+    int main() {
+      for (int i = 0; i < 16; i += 1) { table[i] = i * i; }
+      total = 0;
+      for (int i = 0; i < 16; i += 1) { total += table[i]; }
+      return total;
+    }
+  )";
+  EXPECT_EQ(exit_code_of(src, policies()), 1240u);
+}
+
+TEST_P(PolicyLevels, HeapAllocation) {
+  const char* src = R"(
+    int main() {
+      int* a = to_int_ptr(alloc(8 * 1000));
+      for (int i = 0; i < 1000; i += 1) { a[i] = i; }
+      int sum = 0;
+      for (int i = 0; i < 1000; i += 1) { sum += a[i]; }
+      return sum % 1009;
+    }
+  )";
+  EXPECT_EQ(exit_code_of(src, policies()), (999 * 1000 / 2) % 1009);
+}
+
+TEST_P(PolicyLevels, FloatMath) {
+  const char* src = R"(
+    int main() {
+      float x = 2.0;
+      float y = f_sqrt(x) * f_sqrt(x);
+      float diff = f_abs(y - 2.0);
+      if (diff < 0.000001) { return 1; }
+      return 0;
+    }
+  )";
+  EXPECT_EQ(exit_code_of(src, policies()), 1u);
+}
+
+TEST_P(PolicyLevels, FunctionPointers) {
+  const char* src = R"(
+    int add(int a, int b) { return a + b; }
+    int mul(int a, int b) { return a * b; }
+    int main() {
+      fn op = &add;
+      int x = op(3, 4);
+      op = &mul;
+      return x + op(3, 4);
+    }
+  )";
+  EXPECT_EQ(exit_code_of(src, policies()), 19u);
+}
+
+TEST_P(PolicyLevels, ByteBuffers) {
+  const char* src = R"(
+    int main() {
+      byte* buf = alloc(256);
+      for (int i = 0; i < 256; i += 1) { buf[i] = i; }
+      int sum = 0;
+      for (int i = 0; i < 256; i += 1) { sum += buf[i]; }
+      return sum % 251;
+    }
+  )";
+  EXPECT_EQ(exit_code_of(src, policies()), (255 * 256 / 2) % 251);
+}
+
+TEST_P(PolicyLevels, StringsAndPointers) {
+  const char* src = R"(
+    int strlen_(byte* s) {
+      int n = 0;
+      while (s[n] != 0) { n += 1; }
+      return n;
+    }
+    int main() { return strlen_("deflection"); }
+  )";
+  EXPECT_EQ(exit_code_of(src, policies()), 10u);
+}
+
+TEST_P(PolicyLevels, OcallRoundTrip) {
+  const char* src = R"(
+    int main() {
+      byte* buf = alloc(64);
+      int n = ocall_recv(buf, 64);
+      /* increment every byte and echo it back, sealed */
+      for (int i = 0; i < n; i += 1) { buf[i] = buf[i] + 1; }
+      ocall_send(buf, n);
+      return n;
+    }
+  )";
+  core::BootstrapConfig config;
+  config.verify.required = policies();
+  auto compiled = compile_or_die(src, policies());
+  Pipeline pipe(config);
+  ASSERT_TRUE(pipe.deliver(compiled.dxo).is_ok());
+  Bytes input = {10, 20, 30, 40};
+  ASSERT_TRUE(pipe.feed(BytesView(input)).is_ok());
+  auto outcome = pipe.run();
+  ASSERT_TRUE(outcome.is_ok()) << outcome.message();
+  EXPECT_EQ(outcome.value().result.exit_code, 4u);
+  ASSERT_EQ(outcome.value().sealed_output.size(), 1u);
+  auto plain = pipe.owner->open_output(BytesView(outcome.value().sealed_output[0]));
+  ASSERT_TRUE(plain.is_ok()) << plain.message();
+  EXPECT_EQ(plain.value(), (Bytes{11, 21, 31, 41}));
+}
+
+}  // namespace
+}  // namespace deflection::testing

@@ -1,0 +1,100 @@
+// Image-editing workload tests: output matches a host-side reference
+// implementation of the same pipeline, and semantics are identical across
+// policy levels.
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "test_helpers.h"
+#include "workloads/runner.h"
+#include "workloads/workloads.h"
+
+namespace deflection::testing {
+namespace {
+
+Bytes make_image(int w, int h, std::uint64_t seed, Bytes* pixels_out) {
+  Rng rng(seed);
+  Bytes msg;
+  ByteWriter writer(msg);
+  writer.u64(static_cast<std::uint64_t>(w));
+  writer.u64(static_cast<std::uint64_t>(h));
+  Bytes pixels(static_cast<std::size_t>(w * h));
+  for (auto& p : pixels) p = static_cast<std::uint8_t>(rng.below(256));
+  writer.bytes(BytesView(pixels));
+  if (pixels_out != nullptr) *pixels_out = pixels;
+  return msg;
+}
+
+// Host reference of the in-enclave pipeline (blur + adaptive threshold).
+Bytes reference_pipeline(const Bytes& src, int w, int h) {
+  Bytes blur(static_cast<std::size_t>(w * h));
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      if (x == 0 || y == 0 || x == w - 1 || y == h - 1) {
+        blur[static_cast<std::size_t>(y * w + x)] = src[static_cast<std::size_t>(y * w + x)];
+      } else {
+        int sum = 0;
+        for (int dy = -1; dy <= 1; ++dy)
+          for (int dx = -1; dx <= 1; ++dx)
+            sum += src[static_cast<std::size_t>((y + dy) * w + (x + dx))];
+        blur[static_cast<std::size_t>(y * w + x)] = static_cast<std::uint8_t>(sum / 9);
+      }
+    }
+  long total = 0;
+  for (std::uint8_t v : blur) total += v;
+  int mean = static_cast<int>(total / (w * h));
+  for (auto& v : blur) v = v >= mean ? 255 : 0;
+  return blur;
+}
+
+TEST(ImageWorkload, MatchesHostReference) {
+  const int w = 24, h = 16;
+  Bytes pixels;
+  Bytes input = make_image(w, h, 555, &pixels);
+  std::string src =
+      workloads::with_params(workloads::image_editing_source(), {{"BUFCAP", "16384"}});
+  core::BootstrapConfig config;
+  auto run = workloads::run_workload(src, PolicySet::p1to5(), config, {input});
+  ASSERT_TRUE(run.is_ok()) << run.message();
+  ASSERT_EQ(run.value().plain_outputs.size(), 1u);
+  EXPECT_EQ(run.value().plain_outputs[0], reference_pipeline(pixels, w, h));
+}
+
+TEST(ImageWorkload, SameOutputAtEveryPolicyLevel) {
+  const int w = 16, h = 12;
+  Bytes input = make_image(w, h, 777, nullptr);
+  std::string src =
+      workloads::with_params(workloads::image_editing_source(), {{"BUFCAP", "16384"}});
+  Bytes baseline;
+  for (PolicySet level : {PolicySet::none(), PolicySet::p1(), PolicySet::p1to5(),
+                          PolicySet::p1to6()}) {
+    core::BootstrapConfig config;
+    config.aex.interval_cost = 20'000'000;
+    auto run = workloads::run_workload(src, level, config, {input});
+    ASSERT_TRUE(run.is_ok()) << level.to_string() << ": " << run.message();
+    ASSERT_EQ(run.value().plain_outputs.size(), 1u) << level.to_string();
+    if (baseline.empty())
+      baseline = run.value().plain_outputs[0];
+    else
+      EXPECT_EQ(run.value().plain_outputs[0], baseline) << level.to_string();
+  }
+}
+
+TEST(ImageWorkload, RejectsMalformedHeaders) {
+  std::string src =
+      workloads::with_params(workloads::image_editing_source(), {{"BUFCAP", "16384"}});
+  core::BootstrapConfig config;
+  // Claimed dimensions exceed the payload: the service bails out with a
+  // diagnostic exit code instead of reading out of bounds.
+  Bytes lying;
+  ByteWriter writer(lying);
+  writer.u64(1000);
+  writer.u64(1000);
+  writer.bytes(BytesView(Bytes(64, 7)));
+  auto run = workloads::run_workload(src, PolicySet::p1to5(), config, {lying});
+  ASSERT_TRUE(run.is_ok()) << run.message();
+  EXPECT_EQ(run.value().outcome.result.exit_code, 2u);
+  EXPECT_TRUE(run.value().plain_outputs.empty());
+}
+
+}  // namespace
+}  // namespace deflection::testing

@@ -1,0 +1,147 @@
+// Exhaustive DX64 ALU semantics sweep: every binary/unary integer opcode is
+// executed in the VM over a grid of interesting operands (boundary values +
+// random) and compared against a host-side reference function. This is the
+// ISA's executable specification.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+
+#include "isa/assemble.h"
+#include "sgx/platform.h"
+#include "support/rng.h"
+#include "vm/vm.h"
+
+namespace deflection::vm {
+namespace {
+
+using isa::AsmProgram;
+using isa::Op;
+using isa::Reg;
+
+constexpr std::uint64_t kEnclaveBase = 0x400000;
+
+// Runs `op rax, rbx` with the given inputs and returns rax (or nullopt on
+// fault).
+std::optional<std::uint64_t> run_binop(Op op, std::uint64_t a, std::uint64_t b) {
+  sgx::AddressSpace space(0x10000, 0x1000, kEnclaveBase, 0x3000);
+  sgx::Enclave enclave(space, kEnclaveBase + 0x2000);
+  EXPECT_TRUE(enclave.add_zero_pages(0, 0x1000, sgx::kPermRWX).is_ok());
+  EXPECT_TRUE(enclave.add_zero_pages(0x1000, 0x2000, sgx::kPermRW).is_ok());
+  enclave.init();
+
+  AsmProgram prog;
+  prog.movri(Reg::RAX, static_cast<std::int64_t>(a));
+  prog.movri(Reg::RBX, static_cast<std::int64_t>(b));
+  prog.op_rr(op, Reg::RAX, Reg::RBX);
+  prog.hlt();
+  auto enc = isa::assemble(prog);
+  EXPECT_TRUE(enc.is_ok());
+  EXPECT_TRUE(space.copy_in(kEnclaveBase, BytesView(enc.value().text)).is_ok());
+  Vm vm(enclave, {});
+  RunResult r = vm.run(kEnclaveBase, kEnclaveBase + 0x3000);
+  if (r.exit != Exit::Halt) return std::nullopt;
+  return r.exit_code;
+}
+
+struct BinOpSpec {
+  const char* name;
+  Op op;
+  // nullopt = the reference predicts a fault.
+  std::function<std::optional<std::uint64_t>(std::uint64_t, std::uint64_t)> ref;
+};
+
+class AluSweep : public ::testing::TestWithParam<BinOpSpec> {};
+
+TEST_P(AluSweep, MatchesReferenceOnOperandGrid) {
+  const BinOpSpec& spec = GetParam();
+  std::vector<std::uint64_t> grid = {
+      0,
+      1,
+      2,
+      7,
+      63,
+      64,
+      255,
+      4096,
+      static_cast<std::uint64_t>(-1),
+      static_cast<std::uint64_t>(-2),
+      static_cast<std::uint64_t>(-64),
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()),
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::min()),
+      0x8000000000000000ull,
+      0x5555555555555555ull,
+  };
+  Rng rng(0xA10);
+  for (int i = 0; i < 10; ++i) grid.push_back(rng.next());
+
+  for (std::uint64_t a : grid) {
+    for (std::uint64_t b : grid) {
+      auto expected = spec.ref(a, b);
+      auto actual = run_binop(spec.op, a, b);
+      ASSERT_EQ(actual.has_value(), expected.has_value())
+          << spec.name << "(" << a << ", " << b << ") fault mismatch";
+      if (expected.has_value()) {
+        ASSERT_EQ(*actual, *expected) << spec.name << "(" << a << ", " << b << ")";
+      }
+    }
+  }
+}
+
+std::optional<std::uint64_t> wrap(std::uint64_t v) { return v; }
+std::int64_t s(std::uint64_t v) { return static_cast<std::int64_t>(v); }
+std::uint64_t u(std::int64_t v) { return static_cast<std::uint64_t>(v); }
+
+INSTANTIATE_TEST_SUITE_P(
+    IntegerOps, AluSweep,
+    ::testing::Values(
+        BinOpSpec{"add", Op::AddRR, [](auto a, auto b) { return wrap(a + b); }},
+        BinOpSpec{"sub", Op::SubRR, [](auto a, auto b) { return wrap(a - b); }},
+        BinOpSpec{"imul", Op::ImulRR, [](auto a, auto b) { return wrap(a * b); }},
+        BinOpSpec{"and", Op::AndRR, [](auto a, auto b) { return wrap(a & b); }},
+        BinOpSpec{"or", Op::OrRR, [](auto a, auto b) { return wrap(a | b); }},
+        BinOpSpec{"xor", Op::XorRR, [](auto a, auto b) { return wrap(a ^ b); }},
+        BinOpSpec{"shl", Op::ShlRR, [](auto a, auto b) { return wrap(a << (b & 63)); }},
+        BinOpSpec{"shr", Op::ShrRR, [](auto a, auto b) { return wrap(a >> (b & 63)); }},
+        BinOpSpec{"sar", Op::SarRR,
+                  [](auto a, auto b) { return wrap(u(s(a) >> (b & 63))); }},
+        BinOpSpec{"idiv", Op::IdivRR,
+                  [](auto a, auto b) -> std::optional<std::uint64_t> {
+                    if (s(b) == 0) return std::nullopt;
+                    if (s(a) == std::numeric_limits<std::int64_t>::min() && s(b) == -1)
+                      return std::nullopt;
+                    return u(s(a) / s(b));
+                  }},
+        BinOpSpec{"irem", Op::IremRR,
+                  [](auto a, auto b) -> std::optional<std::uint64_t> {
+                    if (s(b) == 0) return std::nullopt;
+                    if (s(a) == std::numeric_limits<std::int64_t>::min() && s(b) == -1)
+                      return std::nullopt;
+                    return u(s(a) % s(b));
+                  }}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(AluUnary, NotNegReference) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    std::uint64_t v = rng.next();
+    {
+      sgx::AddressSpace space(0x10000, 0x1000, kEnclaveBase, 0x3000);
+      sgx::Enclave enclave(space, kEnclaveBase + 0x2000);
+      ASSERT_TRUE(enclave.add_zero_pages(0, 0x1000, sgx::kPermRWX).is_ok());
+      ASSERT_TRUE(enclave.add_zero_pages(0x1000, 0x2000, sgx::kPermRW).is_ok());
+      enclave.init();
+      AsmProgram prog;
+      prog.movri(Reg::RAX, static_cast<std::int64_t>(v));
+      prog.op_r(Op::NotR, Reg::RAX);
+      prog.hlt();
+      auto enc = isa::assemble(prog);
+      ASSERT_TRUE(space.copy_in(kEnclaveBase, BytesView(enc.value().text)).is_ok());
+      Vm vm(enclave, {});
+      EXPECT_EQ(vm.run(kEnclaveBase, kEnclaveBase + 0x3000).exit_code, ~v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deflection::vm

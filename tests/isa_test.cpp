@@ -1,0 +1,267 @@
+// DX64 ISA tests: encode/decode round-trip properties over randomized
+// instructions, decoder rejection of malformed bytes (TCB hardening), the
+// assembler's label machinery, and the instruction-class predicates the
+// policies are defined over.
+#include <gtest/gtest.h>
+
+#include "isa/assemble.h"
+#include "isa/decode.h"
+#include "support/rng.h"
+
+namespace deflection::isa {
+namespace {
+
+AsmInstr random_instr(Rng& rng) {
+  AsmInstr ins;
+  do {
+    ins.op = static_cast<Op>(rng.below(static_cast<std::uint64_t>(Op::kOpCount)));
+  } while (false);
+  ins.rd = static_cast<Reg>(rng.below(16));
+  ins.rs = static_cast<Reg>(rng.below(16));
+  ins.cond = static_cast<Cond>(rng.below(kNumConds));
+  switch (op_layout(ins.op)) {
+    case Layout::RI64:
+      ins.imm = static_cast<std::int64_t>(rng.next());
+      break;
+    case Layout::RI32:
+    case Layout::MI32:
+    case Layout::I32:
+    case Layout::Rel32:
+    case Layout::CondRel32:
+      ins.imm = static_cast<std::int32_t>(rng.next());
+      break;
+    case Layout::I8:
+      ins.imm = static_cast<std::int64_t>(rng.below(256));
+      break;
+    default:
+      ins.imm = 0;
+  }
+  ins.mem.has_base = rng.chance(0.7);
+  ins.mem.has_index = rng.chance(0.4);
+  ins.mem.base = ins.mem.has_base ? static_cast<Reg>(rng.below(16)) : Reg::RAX;
+  ins.mem.index = ins.mem.has_index ? static_cast<Reg>(rng.below(16)) : Reg::RAX;
+  ins.mem.scale_log2 = static_cast<std::uint8_t>(rng.below(4));
+  if (!ins.mem.has_index) ins.mem.scale_log2 = 0;
+  ins.mem.disp = static_cast<std::int32_t>(rng.next());
+  return ins;
+}
+
+bool uses_mem(Op op) {
+  Layout l = op_layout(op);
+  return l == Layout::RM || l == Layout::MR || l == Layout::MI32;
+}
+bool uses_rd(Op op) {
+  Layout l = op_layout(op);
+  return l == Layout::R || l == Layout::RR || l == Layout::RI32 || l == Layout::RI64 ||
+         l == Layout::RM;
+}
+
+TEST(IsaRoundTrip, RandomizedEncodeDecode) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 5000; ++trial) {
+    AsmInstr ins = random_instr(rng);
+    Bytes enc = encode_instr(ins);
+    ASSERT_EQ(enc.size(), op_length(ins.op)) << op_name(ins.op);
+    auto dec = decode_one(BytesView(enc), 0, 0x4000);
+    ASSERT_TRUE(dec.is_ok()) << dec.message() << " op=" << op_name(ins.op);
+    const Instr& out = dec.value();
+    EXPECT_EQ(out.op, ins.op);
+    EXPECT_EQ(out.length, enc.size());
+    EXPECT_EQ(out.addr, 0x4000u);
+    if (uses_rd(ins.op)) { EXPECT_EQ(out.rd, ins.rd); }
+    if (op_layout(ins.op) == Layout::RR) { EXPECT_EQ(out.rs, ins.rs); }
+    if (op_layout(ins.op) == Layout::MR) { EXPECT_EQ(out.rs, ins.rs); }
+    if (op_layout(ins.op) == Layout::CondRel32) { EXPECT_EQ(out.cond, ins.cond); }
+    if (uses_mem(ins.op)) {
+      EXPECT_EQ(out.mem.has_base, ins.mem.has_base);
+      EXPECT_EQ(out.mem.has_index, ins.mem.has_index);
+      if (ins.mem.has_base) { EXPECT_EQ(out.mem.base, ins.mem.base); }
+      if (ins.mem.has_index) {
+        EXPECT_EQ(out.mem.index, ins.mem.index);
+        EXPECT_EQ(out.mem.scale_log2, ins.mem.scale_log2);
+      }
+      EXPECT_EQ(out.mem.disp, ins.mem.disp);
+    }
+    switch (op_layout(ins.op)) {
+      case Layout::RI64:
+      case Layout::RI32:
+      case Layout::MI32:
+      case Layout::I32:
+      case Layout::I8:
+      case Layout::Rel32:
+      case Layout::CondRel32:
+        EXPECT_EQ(out.imm, ins.imm) << op_name(ins.op);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(IsaDecode, RejectsInvalidOpcode) {
+  Bytes bad = {static_cast<std::uint8_t>(Op::kOpCount)};
+  EXPECT_EQ(decode_one(BytesView(bad), 0, 0).code(), "decode_bad_opcode");
+  Bytes worse = {0xFF};
+  EXPECT_EQ(decode_one(BytesView(worse), 0, 0).code(), "decode_bad_opcode");
+}
+
+TEST(IsaDecode, RejectsTruncatedInstruction) {
+  AsmInstr mov{.op = Op::MovRI, .rd = Reg::RAX, .imm = 123456789};
+  Bytes enc = encode_instr(mov);
+  for (std::size_t cut = 1; cut < enc.size(); ++cut) {
+    auto r = decode_one(BytesView(enc.data(), cut), 0, 0);
+    EXPECT_FALSE(r.is_ok()) << "cut " << cut;
+  }
+}
+
+TEST(IsaDecode, RejectsReservedRegisterBits) {
+  // Layout::R encodes the register in the high nibble; low nibble reserved.
+  Bytes bad = {static_cast<std::uint8_t>(Op::Push), 0x31};
+  EXPECT_EQ(decode_one(BytesView(bad), 0, 0).code(), "decode_bad_reg");
+}
+
+TEST(IsaDecode, RejectsReservedMemModeBits) {
+  AsmInstr load{.op = Op::Load, .rd = Reg::RAX,
+                .mem = Mem::base_disp(Reg::RBX, 8)};
+  Bytes enc = encode_instr(load);
+  enc[2] |= 0x80;  // reserved bit in the mode byte
+  EXPECT_EQ(decode_one(BytesView(enc), 0, 0).code(), "decode_bad_mem");
+}
+
+TEST(IsaDecode, RejectsBadCondition) {
+  AsmInstr jcc{.op = Op::Jcc, .cond = Cond::E, .imm = 0};
+  Bytes enc = encode_instr(jcc);
+  enc[1] = kNumConds;  // invalid condition code
+  EXPECT_EQ(decode_one(BytesView(enc), 0, 0).code(), "decode_bad_cond");
+}
+
+TEST(IsaDecode, RejectsNonCanonicalMemRegisterBits) {
+  // has_base=0 but base bits set: a second encoding of the same semantics
+  // would let annotation shapes be aliased — the TCB decoder must reject.
+  AsmInstr load{.op = Op::Load, .rd = Reg::RAX, .mem = Mem::abs(4)};
+  Bytes enc = encode_instr(load);
+  enc[3] = 0x50;  // base nibble set while has_base = 0
+  EXPECT_EQ(decode_one(BytesView(enc), 0, 0).code(), "decode_bad_mem");
+}
+
+TEST(IsaAssemble, ResolvesForwardAndBackwardLabels) {
+  AsmProgram prog;
+  prog.label("start");
+  prog.jmp("end");        // forward
+  prog.label("mid");
+  prog.movri(Reg::RAX, 1);
+  prog.jmp("mid");        // backward
+  prog.label("end");
+  prog.hlt();
+  auto enc = assemble(prog);
+  ASSERT_TRUE(enc.is_ok());
+  auto instrs = decode_all(BytesView(enc.value().text), 0);
+  ASSERT_TRUE(instrs.is_ok());
+  const auto& v = instrs.value();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0].branch_target(), enc.value().labels.at("end"));
+  EXPECT_EQ(v[2].branch_target(), enc.value().labels.at("mid"));
+}
+
+TEST(IsaAssemble, DuplicateLabelFails) {
+  AsmProgram prog;
+  prog.label("x");
+  prog.hlt();
+  prog.label("x");
+  EXPECT_EQ(assemble(prog).code(), "asm_dup_label");
+}
+
+TEST(IsaAssemble, UndefinedLabelFails) {
+  AsmProgram prog;
+  prog.jmp("nowhere");
+  EXPECT_EQ(assemble(prog).code(), "asm_undef_label");
+}
+
+TEST(IsaAssemble, RecordsAbs64Relocations) {
+  AsmProgram prog;
+  prog.label("f");
+  prog.movri_sym(Reg::RAX, "globalvar", 16);
+  prog.hlt();
+  auto enc = assemble(prog);
+  ASSERT_TRUE(enc.is_ok());
+  ASSERT_EQ(enc.value().relocs.size(), 1u);
+  EXPECT_EQ(enc.value().relocs[0].offset, 2u);  // imm64 field of the MovRI
+  EXPECT_EQ(enc.value().relocs[0].symbol, "globalvar");
+  EXPECT_EQ(enc.value().relocs[0].addend, 16);
+}
+
+TEST(IsaClassification, StoreAndBranchPredicates) {
+  auto decoded = [](AsmInstr a) {
+    Bytes enc = encode_instr(a);
+    return decode_one(BytesView(enc), 0, 0).take();
+  };
+  EXPECT_TRUE(decoded({.op = Op::Store, .rs = Reg::RBX,
+                       .mem = Mem::base_disp(Reg::RAX, 0)}).may_store());
+  EXPECT_TRUE(decoded({.op = Op::Store8, .rs = Reg::RBX,
+                       .mem = Mem::base_disp(Reg::RAX, 0)}).may_store());
+  EXPECT_TRUE(decoded({.op = Op::StoreI, .mem = Mem::base_disp(Reg::RAX, 0)}).may_store());
+  EXPECT_FALSE(decoded({.op = Op::Load, .rd = Reg::RAX,
+                        .mem = Mem::base_disp(Reg::RAX, 0)}).may_store());
+  EXPECT_FALSE(decoded({.op = Op::Push, .rd = Reg::RAX}).may_store());
+
+  EXPECT_TRUE(decoded({.op = Op::CallInd, .rd = Reg::R10}).is_indirect_branch());
+  EXPECT_TRUE(decoded({.op = Op::JmpInd, .rd = Reg::R10}).is_indirect_branch());
+  EXPECT_FALSE(decoded({.op = Op::Call, .imm = 4}).is_indirect_branch());
+  EXPECT_TRUE(decoded({.op = Op::Ret}).is_ret());
+}
+
+TEST(IsaClassification, ExplicitRspWrites) {
+  auto decoded = [](AsmInstr a) {
+    Bytes enc = encode_instr(a);
+    return decode_one(BytesView(enc), 0, 0).take();
+  };
+  EXPECT_TRUE(decoded({.op = Op::SubRI, .rd = Reg::RSP, .imm = 64})
+                  .writes_rsp_explicitly());
+  EXPECT_TRUE(decoded({.op = Op::MovRR, .rd = Reg::RSP, .rs = Reg::RBP})
+                  .writes_rsp_explicitly());
+  EXPECT_TRUE(decoded({.op = Op::MovRI, .rd = Reg::RSP, .imm = 0x1000})
+                  .writes_rsp_explicitly());
+  EXPECT_TRUE(decoded({.op = Op::Pop, .rd = Reg::RSP}).writes_rsp_explicitly());
+  EXPECT_TRUE(decoded({.op = Op::Load, .rd = Reg::RSP,
+                       .mem = Mem::base_disp(Reg::RAX, 0)}).writes_rsp_explicitly());
+  // Implicit adjustments are NOT explicit writes (guard pages cover them).
+  EXPECT_FALSE(decoded({.op = Op::Push, .rd = Reg::RSP}).writes_rsp_explicitly());
+  EXPECT_FALSE(decoded({.op = Op::Ret}).writes_rsp_explicitly());
+  // Reads of RSP do not trigger P2.
+  EXPECT_FALSE(decoded({.op = Op::CmpRR, .rd = Reg::RSP, .rs = Reg::RAX})
+                   .writes_rsp_explicitly());
+  EXPECT_FALSE(decoded({.op = Op::CmpRI, .rd = Reg::RSP, .imm = 0})
+                   .writes_rsp_explicitly());
+}
+
+TEST(IsaPrint, ProducesReadableText) {
+  AsmInstr store{.op = Op::Store, .rs = Reg::RBX,
+                 .mem = Mem::base_index(Reg::RAX, Reg::RCX, 3, -8)};
+  Bytes enc = encode_instr(store);
+  auto dec = decode_one(BytesView(enc), 0, 0x100);
+  ASSERT_TRUE(dec.is_ok());
+  EXPECT_EQ(dec.value().to_string(), "store [rax+rcx*8-8], rbx");
+
+  AsmInstr jcc{.op = Op::Jcc, .cond = Cond::AE, .imm = 10};
+  Bytes enc2 = encode_instr(jcc);
+  auto dec2 = decode_one(BytesView(enc2), 0, 0x100);
+  ASSERT_TRUE(dec2.is_ok());
+  EXPECT_EQ(dec2.value().to_string(), "jccae 272");  // 0x100 + 6 + 10
+}
+
+TEST(IsaLayout, LengthsAreStable) {
+  // The verifier's pattern offsets depend on these; changing them silently
+  // would break producer/consumer agreement.
+  EXPECT_EQ(op_length(Op::MovRI), 10u);
+  EXPECT_EQ(op_length(Op::MovRR), 2u);
+  EXPECT_EQ(op_length(Op::Load), 8u);
+  EXPECT_EQ(op_length(Op::Store), 8u);
+  EXPECT_EQ(op_length(Op::StoreI), 11u);
+  EXPECT_EQ(op_length(Op::Jcc), 6u);
+  EXPECT_EQ(op_length(Op::Jmp), 5u);
+  EXPECT_EQ(op_length(Op::Ret), 1u);
+  EXPECT_EQ(op_length(Op::Ocall), 2u);
+}
+
+}  // namespace
+}  // namespace deflection::isa

@@ -1,0 +1,229 @@
+// MiniC front-end tests: lexer tokens, parser and sema diagnostics
+// (parameterized over a corpus of ill-formed programs), and language
+// semantics validated end-to-end through the uninstrumented pipeline.
+#include <gtest/gtest.h>
+
+#include "minic/lexer.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+#include "test_helpers.h"
+
+namespace deflection::testing {
+namespace {
+
+using minic::Tok;
+
+TEST(Lexer, TokenizesOperatorsAndLiterals) {
+  auto tokens = minic::lex("x += 0x1F << 2; y = 3.5e2; s = \"a\\nb\"; c = 'q';");
+  ASSERT_TRUE(tokens.is_ok());
+  const auto& t = tokens.value();
+  EXPECT_EQ(t[0].kind, Tok::Ident);
+  EXPECT_EQ(t[1].kind, Tok::PlusAssign);
+  EXPECT_EQ(t[2].kind, Tok::IntLit);
+  EXPECT_EQ(t[2].int_value, 0x1F);
+  EXPECT_EQ(t[3].kind, Tok::Shl);
+  EXPECT_EQ(t[4].kind, Tok::IntLit);
+  EXPECT_EQ(t[4].int_value, 2);
+  // 3.5e2
+  EXPECT_EQ(t[8].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(t[8].float_value, 350.0);
+  // string with escape
+  EXPECT_EQ(t[12].kind, Tok::StringLit);
+  EXPECT_EQ(t[12].text, "a\nb");
+  // char literal
+  EXPECT_EQ(t[16].kind, Tok::CharLit);
+  EXPECT_EQ(t[16].int_value, 'q');
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto tokens = minic::lex("int /* block\ncomment */ x; // line\nint y;");
+  ASSERT_TRUE(tokens.is_ok());
+  ASSERT_EQ(tokens.value().size(), 7u);  // int x ; int y ; End
+}
+
+TEST(Lexer, ReportsErrors) {
+  EXPECT_EQ(minic::lex("int x = `;").code(), "lex_error");
+  EXPECT_EQ(minic::lex("\"unterminated").code(), "lex_error");
+  EXPECT_EQ(minic::lex("/* never closed").code(), "lex_error");
+  EXPECT_EQ(minic::lex("'x").code(), "lex_error");
+}
+
+// ---- Parser / sema diagnostics over an ill-formed corpus ----
+
+struct BadProgram {
+  const char* label;
+  const char* source;
+  const char* code;  // expected error code
+};
+
+class Diagnostics : public ::testing::TestWithParam<BadProgram> {};
+
+TEST_P(Diagnostics, IsRejected) {
+  const BadProgram& bad = GetParam();
+  auto parsed = minic::parse(bad.source);
+  if (!parsed.is_ok()) {
+    EXPECT_EQ(parsed.code(), bad.code) << parsed.message();
+    return;
+  }
+  minic::Module module = parsed.take();
+  auto status = minic::analyze(module);
+  ASSERT_FALSE(status.is_ok()) << "expected rejection: " << bad.label;
+  EXPECT_EQ(status.code(), bad.code) << status.message();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, Diagnostics,
+    ::testing::Values(
+        BadProgram{"missing_semi", "int main() { return 1 }", "parse_error"},
+        BadProgram{"unclosed_brace", "int main() { return 1;", "parse_error"},
+        BadProgram{"bad_toplevel", "return 1;", "parse_error"},
+        BadProgram{"missing_paren", "int main( { return 1; }", "parse_error"},
+        BadProgram{"unknown_var", "int main() { return x; }", "type_error"},
+        BadProgram{"unknown_func", "int main() { return f(1); }", "type_error"},
+        BadProgram{"arg_count", "int f(int a) { return a; } int main() { return f(); }",
+                   "type_error"},
+        BadProgram{"arg_type",
+                   "int f(int* p) { return 0; } int main() { return f(3); }",
+                   "type_error"},
+        BadProgram{"float_to_int", "int main() { int x = 1.5; return x; }",
+                   "type_error"},
+        BadProgram{"deref_int", "int main() { int x = 1; return *x; }", "type_error"},
+        BadProgram{"index_int", "int main() { int x = 1; return x[0]; }", "type_error"},
+        BadProgram{"assign_rvalue", "int main() { 3 = 4; return 0; }", "type_error"},
+        BadProgram{"mod_float", "float g; int main() { g = 1.0; g = g % 2.0; return 0; }",
+                   "type_error"},
+        BadProgram{"break_outside", "int main() { break; return 0; }", "type_error"},
+        BadProgram{"dup_variable", "int main() { int a; int a; return 0; }",
+                   "type_error"},
+        BadProgram{"dup_function", "int f() { return 1; } int f() { return 2; } "
+                                   "int main() { return 0; }",
+                   "type_error"},
+        BadProgram{"shadow_builtin", "int alloc(int n) { return n; } "
+                                     "int main() { return 0; }",
+                   "type_error"},
+        BadProgram{"void_var", "int main() { void v; return 0; }", "type_error"},
+        BadProgram{"missing_return_value", "int main() { return; }", "type_error"},
+        BadProgram{"oversized_local_array",
+                   "int main() { int big[4000]; return 0; }", "type_error"},
+        BadProgram{"too_many_params",
+                   "int f(int a, int b, int c, int d, int e, int f2, int g) "
+                   "{ return 0; } int main() { return 0; }",
+                   "type_error"},
+        BadProgram{"call_non_fn", "int main() { int x = 1; return x(2); }",
+                   "type_error"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(Codegen, MissingMainIsRejected) {
+  auto compiled = codegen::compile("int f() { return 1; }", PolicySet::none());
+  ASSERT_FALSE(compiled.is_ok());
+  EXPECT_EQ(compiled.code(), "codegen_error");
+}
+
+// ---- Language semantics via execution ----
+
+struct SemanticsCase {
+  const char* label;
+  const char* source;
+  std::uint64_t expected;
+};
+
+class Semantics : public ::testing::TestWithParam<SemanticsCase> {};
+
+TEST_P(Semantics, Evaluates) {
+  EXPECT_EQ(exit_code_of(GetParam().source), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, Semantics,
+    ::testing::Values(
+        SemanticsCase{"precedence", "int main() { return 2 + 3 * 4 - 6 / 2; }", 11},
+        SemanticsCase{"shift_and_mask",
+                      "int main() { return (1 << 10 | 15) & 0x3FF; }", 15},
+        SemanticsCase{"xor_not", "int main() { return (~0 ^ ~15) & 255; }", 15},
+        SemanticsCase{"comparison_chain",
+                      "int main() { return (3 < 4) + (4 <= 4) + (5 > 4) + (4 >= 5); }",
+                      3},
+        SemanticsCase{"short_circuit_and",
+                      "int g; int side() { g = 1; return 1; } "
+                      "int main() { int x = 0 && side(); return g * 10 + x; }",
+                      0},
+        SemanticsCase{"short_circuit_or",
+                      "int g; int side() { g = 1; return 0; } "
+                      "int main() { int x = 1 || side(); return g * 10 + x; }",
+                      1},
+        SemanticsCase{"unary_not", "int main() { return !0 * 10 + !7; }", 10},
+        SemanticsCase{"negative_mod", "int main() { return (0 - 7) % 3 + 10; }", 9},
+        SemanticsCase{"nested_calls",
+                      "int dbl(int x) { return x * 2; } "
+                      "int main() { return dbl(dbl(dbl(5))); }",
+                      40},
+        SemanticsCase{"while_break_continue",
+                      "int main() { int s = 0; int i = 0; "
+                      "while (1) { i += 1; if (i > 10) { break; } "
+                      "if (i % 2 == 0) { continue; } s += i; } return s; }",
+                      25},
+        SemanticsCase{"for_scoping",
+                      "int main() { int s = 0; for (int i = 0; i < 3; i += 1) "
+                      "{ for (int j = 0; j < 3; j += 1) { s += i * j; } } return s; }",
+                      9},
+        SemanticsCase{"pointer_walk",
+                      "int main() { int* a = to_int_ptr(alloc(80)); "
+                      "for (int i = 0; i < 10; i += 1) { a[i] = i; } "
+                      "int* p = a + 3; return *p + p[2]; }",
+                      8},
+        SemanticsCase{"address_of_local",
+                      "int main() { int x = 5; int* p = &x; *p = 9; return x; }", 9},
+        SemanticsCase{"global_state",
+                      "int counter; void bump() { counter += 1; return; } "
+                      "int main() { bump(); bump(); bump(); return counter; }",
+                      3},
+        SemanticsCase{"global_array",
+                      "int grid[9]; int main() { "
+                      "for (int i = 0; i < 9; i += 1) { grid[i] = i * i; } "
+                      "return grid[8] + grid[1]; }",
+                      65},
+        SemanticsCase{"float_mixed",
+                      "int main() { float x = 3; float y = x / 2.0; "
+                      "return ftoi(y * 100.0); }",
+                      150},
+        SemanticsCase{"float_compare",
+                      "int main() { float a = 0.1; float b = 0.2; "
+                      "if (a + b > 0.3 - 0.0001 && a + b < 0.3 + 0.0001) "
+                      "{ return 1; } return 0; }",
+                      1},
+        SemanticsCase{"fn_pointer_table",
+                      "int inc(int x) { return x + 1; } "
+                      "int dec(int x) { return x - 1; } "
+                      "int main() { fn f = &inc; fn g = &dec; "
+                      "if (f == g) { return 99; } return f(10) + g(10); }",
+                      20},
+        SemanticsCase{"string_bytes",
+                      "int main() { byte* s = \"AZ\"; return s[1] - s[0]; }", 25},
+        SemanticsCase{"char_literals", "int main() { return 'z' - 'a'; }", 25},
+        SemanticsCase{"byte_truncation",
+                      "int main() { byte* b = alloc(4); b[0] = 300; return b[0]; }",
+                      300 % 256},
+        SemanticsCase{"compound_ops",
+                      "int main() { int x = 10; x += 5; x -= 3; x *= 4; x /= 6; "
+                      "x %= 5; return x; }",
+                      3},
+        SemanticsCase{"deep_recursion",
+                      "int depth(int n) { if (n == 0) { return 0; } "
+                      "return 1 + depth(n - 1); } int main() { return depth(200); }",
+                      200},
+        SemanticsCase{"mutual_recursion",  // forward refs work without protos
+                      "int is_even(int n) { if (n == 0) { return 1; } "
+                      "return is_odd(n - 1); } "
+                      "int is_odd(int n) { if (n == 0) { return 0; } "
+                      "return is_even(n - 1); } "
+                      "int main() { return is_even(10) * 10 + is_odd(7); }",
+                      11},
+        SemanticsCase{"local_array",
+                      "int main() { int a[8]; for (int i = 0; i < 8; i += 1) "
+                      "{ a[i] = i + 1; } int s = 0; for (int i = 0; i < 8; i += 1) "
+                      "{ s += a[i]; } return s; }",
+                      36}),
+    [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace deflection::testing

@@ -1,0 +1,47 @@
+// Cross-validation of the Table II kernels: each nBench kernel's checksum
+// must agree between the reference AST interpreter and the fully
+// instrumented compiled pipeline. This pins the benchmark workloads'
+// semantics independently of the VM they are usually measured on.
+#include <gtest/gtest.h>
+
+#include "minic/interp.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+#include "test_helpers.h"
+#include "workloads/workloads.h"
+
+namespace deflection::testing {
+namespace {
+
+class NbenchDifferential : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, NbenchDifferential,
+                         ::testing::Range<std::size_t>(0, 10),
+                         [](const auto& info) {
+                           std::string name =
+                               workloads::nbench_kernels()[info.param].name;
+                           for (char& c : name)
+                             if (c == ' ') c = '_';
+                           return name;
+                         });
+
+TEST_P(NbenchDifferential, InterpreterAgreesWithCompiledPipeline) {
+  const auto& kernel = workloads::nbench_kernels()[GetParam()];
+  std::string src = workloads::with_params(kernel.source, kernel.test_params);
+
+  auto parsed = minic::parse(src);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.message();
+  minic::Module module = parsed.take();
+  ASSERT_TRUE(minic::analyze(module).is_ok());
+  auto reference = minic::interpret(module, {});
+  ASSERT_TRUE(reference.is_ok()) << kernel.name << ": " << reference.message();
+
+  core::RunOutcome outcome = run_service(src, PolicySet::p1to6());
+  ASSERT_EQ(outcome.result.exit, vm::Exit::Halt) << outcome.result.fault_code;
+  EXPECT_EQ(outcome.result.exit_code,
+            static_cast<std::uint64_t>(reference.value().exit_code))
+      << kernel.name << " diverges from the reference interpreter";
+}
+
+}  // namespace
+}  // namespace deflection::testing

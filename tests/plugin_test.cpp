@@ -1,0 +1,147 @@
+// On-demand policy plugins (paper Sec. III "quick patch possible on
+// software level, like ... emergency quick fix", Sec. V-A plugin APIs).
+//
+// Scenario: a 1-day bug is found — services crash the enclave with division
+// faults, and the crash pattern is exploitable as an oracle. Emergency fix,
+// deployed WITHOUT touching the core toolchain or verifier:
+//   - producer plugin: insert a zero-divisor check before every IdivRR /
+//     IremRR that reroutes to the violation stub,
+//   - consumer plugin: reject any binary that still contains an unguarded
+//     division.
+#include <gtest/gtest.h>
+
+#include "codegen/annotations.h"
+#include "test_helpers.h"
+#include "verifier/verify.h"
+
+namespace deflection::testing {
+namespace {
+
+using isa::AsmInstr;
+using isa::AsmItem;
+using isa::Cond;
+using isa::Op;
+using isa::Reg;
+
+// Producer-side emergency pass: guard every division.
+Status div_guard_pass(codegen::CodegenResult& code) {
+  std::vector<AsmItem> out;
+  for (auto& item : code.program.items()) {
+    if (item.kind == AsmItem::Kind::Instr &&
+        (item.instr.op == Op::IdivRR || item.instr.op == Op::IremRR) &&
+        item.instr.group == 0) {
+      Reg divisor = item.instr.rs;
+      AsmInstr cmp{.op = Op::CmpRI, .rd = divisor, .imm = 0};
+      cmp.annotation = true;
+      AsmInstr trap{.op = Op::Jcc, .cond = Cond::E,
+                    .target = codegen::kViolationSymbol};
+      trap.annotation = true;
+      out.push_back(AsmItem{AsmItem::Kind::Instr, {}, std::move(cmp)});
+      out.push_back(AsmItem{AsmItem::Kind::Instr, {}, std::move(trap)});
+    }
+    out.push_back(std::move(item));
+  }
+  code.program.items() = std::move(out);
+  return Status::ok();
+}
+
+// Consumer-side emergency check: any division must be immediately preceded
+// by the zero-divisor guard.
+Status div_guard_check(const verifier::Disassembly& dis,
+                       const verifier::LoadedBinary& binary) {
+  for (std::size_t i = 0; i < dis.instrs.size(); ++i) {
+    const isa::Instr& ins = dis.instrs[i];
+    if (ins.op != Op::IdivRR && ins.op != Op::IremRR) continue;
+    bool guarded =
+        i >= 2 && dis.instrs[i - 2].op == Op::CmpRI &&
+        dis.instrs[i - 2].rd == ins.rs && dis.instrs[i - 2].imm == 0 &&
+        dis.instrs[i - 1].op == Op::Jcc && dis.instrs[i - 1].cond == Cond::E &&
+        binary.violation_addr != 0 &&
+        dis.instrs[i - 1].branch_target() == binary.violation_addr;
+    if (!guarded)
+      return Status::fail("plugin_unguarded_div",
+                          "division without the emergency zero check");
+  }
+  return Status::ok();
+}
+
+const char* kDivider = R"(
+  int main() {
+    byte* buf = alloc(16);
+    int n = ocall_recv(buf, 16);
+    if (n < 2) { return 1; }
+    int a = buf[0];
+    int b = buf[1];
+    return (a / b) % 251;
+  }
+)";
+
+core::RunOutcome run_patched(const Bytes& input, bool with_plugin) {
+  codegen::InstrumentOptions options;
+  if (with_plugin) options.custom_pass = div_guard_pass;
+  auto compiled = codegen::compile(kDivider, PolicySet::p1(), &options);
+  EXPECT_TRUE(compiled.is_ok()) << compiled.message();
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1();
+  if (with_plugin) config.verify.custom_check = div_guard_check;
+  Pipeline pipe(config);
+  EXPECT_TRUE(pipe.deliver(compiled.value().dxo).is_ok());
+  EXPECT_TRUE(pipe.feed(BytesView(input)).is_ok());
+  auto outcome = pipe.run();
+  EXPECT_TRUE(outcome.is_ok()) << outcome.message();
+  return outcome.is_ok() ? outcome.take() : core::RunOutcome{};
+}
+
+TEST(PolicyPlugins, UnpatchedServiceFaultsOnHostileInput) {
+  core::RunOutcome outcome = run_patched({10, 0}, /*with_plugin=*/false);
+  EXPECT_EQ(outcome.result.exit, vm::Exit::Fault);
+  EXPECT_EQ(outcome.result.fault_code, "div_zero");
+}
+
+TEST(PolicyPlugins, QuickPatchConvertsFaultIntoControlledAbort) {
+  core::RunOutcome outcome = run_patched({10, 0}, /*with_plugin=*/true);
+  EXPECT_EQ(outcome.result.exit, vm::Exit::Halt);
+  EXPECT_TRUE(outcome.policy_violation);  // exits via the violation stub
+}
+
+TEST(PolicyPlugins, PatchedServiceStillComputes) {
+  core::RunOutcome outcome = run_patched({84, 2}, /*with_plugin=*/true);
+  EXPECT_EQ(outcome.result.exit, vm::Exit::Halt);
+  EXPECT_EQ(outcome.result.exit_code, 42u);
+}
+
+TEST(PolicyPlugins, ConsumerCheckRejectsUnpatchedBinaries) {
+  // An old (unpatched) binary meets the standard policies but not the
+  // emergency check — the consumer plugin turns it away.
+  auto compiled = compile_or_die(kDivider, PolicySet::p1());
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1();
+  config.verify.custom_check = div_guard_check;
+  Pipeline pipe(config);
+  ASSERT_TRUE(pipe.deliver(compiled.dxo).is_ok());
+  auto outcome = pipe.run();
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_EQ(outcome.code(), "plugin_unguarded_div");
+}
+
+TEST(PolicyPlugins, PluginCodeIsItselfPoliced) {
+  // A malicious "patch" that inserts an unguarded store is caught by the
+  // built-in P1 pass ordering (custom pass runs first, then P1 wraps its
+  // stores) — or, if it bypasses the producer, by the verifier.
+  codegen::InstrumentOptions options;
+  options.custom_pass = [](codegen::CodegenResult& code) {
+    isa::AsmInstr store{.op = Op::Store, .rs = Reg::RBX,
+                        .mem = isa::Mem::base_disp(Reg::RCX, 0)};
+    // Prepend after the entry label.
+    auto& items = code.program.items();
+    items.insert(items.begin() + 1, AsmItem{AsmItem::Kind::Instr, {}, store});
+    return Status::ok();
+  };
+  auto compiled = codegen::compile("int main() { return 2; }", PolicySet::p1(), &options);
+  ASSERT_TRUE(compiled.is_ok());
+  // The inserted store got a P1 guard like any program store.
+  EXPECT_GE(compiled.value().stats.store_guards, 1);
+}
+
+}  // namespace
+}  // namespace deflection::testing

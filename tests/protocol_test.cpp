@@ -1,0 +1,187 @@
+// Protocol tests: RA-TLS-style channel establishment, measurement-based
+// trust decisions, sealed transport, the co-location test statistics, and
+// the Sec. VII time-blurring extension.
+#include <gtest/gtest.h>
+
+#include "sgx/colocation.h"
+#include "test_helpers.h"
+
+namespace deflection::testing {
+namespace {
+
+TEST(Channels, MeasurementMismatchIsRejected) {
+  // The data owner audited a *different* consumer configuration (e.g. one
+  // with a laxer entropy budget); the offered enclave must not pass.
+  core::BootstrapConfig deployed;
+  deployed.entropy_budget = 1 << 20;
+  core::BootstrapConfig audited;
+  audited.entropy_budget = 64;
+
+  sgx::AttestationService as;
+  sgx::QuotingEnclave quoting = as.provision("host", 3);
+  core::BootstrapEnclave enclave(quoting, deployed);
+  core::DataOwner owner(as, core::BootstrapEnclave::expected_mrenclave(audited));
+  auto offer = enclave.open_channel(core::Role::DataOwner, owner.dh_public());
+  auto status = owner.accept(offer);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), "mrenclave_mismatch");
+}
+
+TEST(Channels, QuoteBindsTheDhKey) {
+  core::BootstrapConfig config;
+  sgx::AttestationService as;
+  sgx::QuotingEnclave quoting = as.provision("host", 3);
+  core::BootstrapEnclave enclave(quoting, config);
+  core::DataOwner owner(as, core::BootstrapEnclave::expected_mrenclave(config));
+  auto offer = enclave.open_channel(core::Role::DataOwner, owner.dh_public());
+  // A MITM substitutes its own DH key but cannot re-MAC the quote.
+  offer.enclave_dh_public ^= 1;
+  auto status = owner.accept(offer);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), "binding_mismatch");
+}
+
+TEST(Channels, RoleConfusionIsRejected) {
+  // A quote issued for the provider channel cannot be accepted by the data
+  // owner: the role is folded into report_data.
+  core::BootstrapConfig config;
+  sgx::AttestationService as;
+  sgx::QuotingEnclave quoting = as.provision("host", 3);
+  core::BootstrapEnclave enclave(quoting, config);
+  crypto::Digest expected = core::BootstrapEnclave::expected_mrenclave(config);
+  core::DataOwner owner(as, expected);
+  auto offer = enclave.open_channel(core::Role::CodeProvider, owner.dh_public());
+  auto status = owner.accept(offer);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), "binding_mismatch");
+}
+
+TEST(Channels, RevokedPlatformIsRejected) {
+  core::BootstrapConfig config;
+  sgx::AttestationService as;
+  sgx::QuotingEnclave quoting = as.provision("host", 3);
+  core::BootstrapEnclave enclave(quoting, config);
+  core::DataOwner owner(as, core::BootstrapEnclave::expected_mrenclave(config));
+  as.revoke("host");
+  auto offer = enclave.open_channel(core::Role::DataOwner, owner.dh_public());
+  EXPECT_EQ(owner.accept(offer).code(), "attest_fail");
+}
+
+TEST(Channels, DataBeforeChannelIsRejected) {
+  core::BootstrapConfig config;
+  sgx::AttestationService as;
+  sgx::QuotingEnclave quoting = as.provision("host", 3);
+  core::BootstrapEnclave enclave(quoting, config);
+  Bytes junk(64, 0xAA);
+  EXPECT_EQ(enclave.ecall_receive_userdata(BytesView(junk)).code(), "no_channel");
+  EXPECT_EQ(enclave.ecall_receive_binary(BytesView(junk)).code(), "no_channel");
+}
+
+TEST(Channels, TamperedUserDataIsRejected) {
+  core::BootstrapConfig config;
+  Pipeline pipe(config);
+  Bytes sealed = pipe.owner->seal_input(BytesView(Bytes{1, 2, 3}));
+  sealed.back() ^= 0x10;
+  EXPECT_EQ(pipe.enclave->ecall_receive_userdata(BytesView(sealed)).code(), "auth_fail");
+}
+
+TEST(Channels, ProviderCannotFeedUserData) {
+  // Messages sealed under the provider key are not accepted on the data
+  // channel: the two roles have independent session keys.
+  core::BootstrapConfig config;
+  Pipeline pipe(config);
+  Bytes sealed = pipe.provider->seal(BytesView(Bytes{1, 2, 3}));
+  EXPECT_EQ(pipe.enclave->ecall_receive_userdata(BytesView(sealed)).code(), "auth_fail");
+}
+
+TEST(Channels, ServiceCodeHashMatchesDeliveredBinary) {
+  // The paper's flow: the bootstrap reports the hash of the (decrypted)
+  // service binary so the data owner can approve the exact code version.
+  auto compiled = compile_or_die("int main() { return 5; }", PolicySet::p1());
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1();
+  Pipeline pipe(config);
+  auto reported = pipe.deliver(compiled.dxo);
+  ASSERT_TRUE(reported.is_ok());
+  crypto::Digest local = crypto::Sha256::hash(compiled.dxo.serialize());
+  EXPECT_TRUE(crypto::digest_equal(reported.value(), local));
+}
+
+TEST(Channels, CodeProviderNeverSeesPlaintextInput) {
+  // Inputs are sealed under the owner session key; the provider key cannot
+  // open them (enforced by construction — checked here as a property).
+  core::BootstrapConfig config;
+  Pipeline pipe(config);
+  Bytes sealed = pipe.owner->seal_input(BytesView(Bytes{9, 9, 9}));
+  EXPECT_FALSE(pipe.provider->open(BytesView(sealed)).has_value());
+  EXPECT_TRUE(pipe.owner->open(BytesView(sealed)).has_value());
+}
+
+// ---- Sec. VII extensions ----
+
+TEST(TimeBlur, CompletionTimeIsQuantized) {
+  // Two runs with data-dependent work must report identical (blurred) cost.
+  const char* src = R"(
+    int main() {
+      byte* buf = alloc(16);
+      int n = ocall_recv(buf, 16);
+      int spin = buf[0] * 1000;
+      int s = 0;
+      for (int i = 0; i < spin; i += 1) { s += i; }
+      return s % 251;
+    }
+  )";
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1();
+  config.time_blur_quantum = 50'000'000;  // coarse quantum
+  auto cost_for = [&](std::uint8_t work) {
+    auto compiled = compile_or_die(src, PolicySet::p1());
+    Pipeline pipe(config);
+    EXPECT_TRUE(pipe.deliver(compiled.dxo).is_ok());
+    Bytes input = {work};
+    EXPECT_TRUE(pipe.feed(BytesView(input)).is_ok());
+    auto outcome = pipe.run();
+    EXPECT_TRUE(outcome.is_ok());
+    return outcome.is_ok() ? outcome.value().result.cost : 0;
+  };
+  std::uint64_t fast = cost_for(1);
+  std::uint64_t slow = cost_for(200);
+  EXPECT_EQ(fast % config.time_blur_quantum, 0u);
+  EXPECT_EQ(fast, slow);  // the covert channel is closed at this granularity
+}
+
+TEST(TimeBlur, QuantumIsPartOfTheMeasurement) {
+  core::BootstrapConfig a, b;
+  a.time_blur_quantum = 0;
+  b.time_blur_quantum = 1000;
+  EXPECT_FALSE(crypto::digest_equal(core::BootstrapEnclave::expected_mrenclave(a),
+                                    core::BootstrapEnclave::expected_mrenclave(b)));
+}
+
+TEST(Colocation, FalseAlarmRateTracksAlpha) {
+  sgx::ColocationTest test({.alpha = 0.02, .beta = 1e-9, .rounds = 1});
+  int alarms = 0;
+  const int kTrials = 200'000;
+  for (int i = 0; i < kTrials; ++i)
+    if (!test.run(/*actually_colocated=*/true)) ++alarms;
+  double measured = static_cast<double>(alarms) / kTrials;
+  EXPECT_NEAR(measured, 0.02, 0.005);
+  EXPECT_EQ(test.tests_run(), static_cast<std::uint64_t>(kTrials));
+}
+
+TEST(Colocation, MajorityVoteSuppressesFalseAlarms) {
+  // With 8 rounds and per-round alpha 2%, a majority-false outcome is
+  // essentially impossible — the tuning story of the paper's Sec. IV-C.
+  sgx::ColocationTest test({.alpha = 0.02, .beta = 1e-9, .rounds = 8});
+  for (int i = 0; i < 100'000; ++i)
+    EXPECT_TRUE(test.run(/*actually_colocated=*/true)) << "false alarm at " << i;
+}
+
+TEST(Colocation, SeparatedThreadsAreDetected) {
+  sgx::ColocationTest test({.alpha = 0.02, .beta = 0.01, .rounds = 8});
+  for (int i = 0; i < 100'000; ++i)
+    EXPECT_FALSE(test.run(/*actually_colocated=*/false)) << "missed attack at " << i;
+}
+
+}  // namespace
+}  // namespace deflection::testing

@@ -1,0 +1,152 @@
+// Sealed service state + VM trace hook tests.
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace deflection::testing {
+namespace {
+
+// A stateful service: increments a global counter on every run.
+const char* kCounter = R"(
+  int counter;
+  int main() {
+    counter += 1;
+    return counter;
+  }
+)";
+
+TEST(Sealing, StateSurvivesEnclaveRestart) {
+  auto compiled = compile_or_die(kCounter, PolicySet::p1());
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1();
+
+  sgx::AttestationService as;
+  sgx::QuotingEnclave quoting = as.provision("seal-host", 5);
+  crypto::Digest expected = core::BootstrapEnclave::expected_mrenclave(config);
+
+  Bytes sealed;
+  {
+    core::BootstrapEnclave first(quoting, config);
+    core::CodeProvider provider(as, expected);
+    ASSERT_TRUE(provider
+                    .accept(first.open_channel(core::Role::CodeProvider,
+                                               provider.dh_public()))
+                    .is_ok());
+    ASSERT_TRUE(first.ecall_receive_binary(provider.seal_binary(compiled.dxo)).is_ok());
+    for (int i = 0; i < 3; ++i) {
+      auto outcome = first.ecall_run();
+      ASSERT_TRUE(outcome.is_ok());
+      EXPECT_EQ(outcome.value().result.exit_code, static_cast<std::uint64_t>(i + 1));
+    }
+    auto blob = first.seal_service_state();
+    ASSERT_TRUE(blob.is_ok()) << blob.message();
+    sealed = blob.take();
+  }  // enclave destroyed ("machine restart")
+
+  {
+    core::BootstrapEnclave second(quoting, config);
+    core::CodeProvider provider(as, expected, 0xC0DE2);
+    ASSERT_TRUE(provider
+                    .accept(second.open_channel(core::Role::CodeProvider,
+                                                provider.dh_public()))
+                    .is_ok());
+    ASSERT_TRUE(second.ecall_receive_binary(provider.seal_binary(compiled.dxo)).is_ok());
+    // Must load+verify before state can be restored.
+    auto warmup = second.ecall_run();
+    ASSERT_TRUE(warmup.is_ok());
+    ASSERT_TRUE(second.unseal_service_state(BytesView(sealed)).is_ok());
+    auto outcome = second.ecall_run();
+    ASSERT_TRUE(outcome.is_ok());
+    EXPECT_EQ(outcome.value().result.exit_code, 4u);  // 3 sealed + 1
+  }
+}
+
+TEST(Sealing, OtherPlatformCannotUnseal) {
+  auto compiled = compile_or_die(kCounter, PolicySet::p1());
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1();
+  sgx::AttestationService as;
+  sgx::QuotingEnclave host_a = as.provision("host-a", 1);
+  sgx::QuotingEnclave host_b = as.provision("host-b", 2);
+  crypto::Digest expected = core::BootstrapEnclave::expected_mrenclave(config);
+
+  auto setup = [&](sgx::QuotingEnclave& q, std::uint64_t seed) {
+    auto enclave = std::make_unique<core::BootstrapEnclave>(q, config);
+    core::CodeProvider provider(as, expected, seed);
+    EXPECT_TRUE(provider
+                    .accept(enclave->open_channel(core::Role::CodeProvider,
+                                                  provider.dh_public()))
+                    .is_ok());
+    EXPECT_TRUE(
+        enclave->ecall_receive_binary(provider.seal_binary(compiled.dxo)).is_ok());
+    EXPECT_TRUE(enclave->ecall_run().is_ok());
+    return enclave;
+  };
+  auto ea = setup(host_a, 0x1111);
+  auto eb = setup(host_b, 0x2222);
+  auto blob = ea->seal_service_state();
+  ASSERT_TRUE(blob.is_ok());
+  // The blob migrated to another machine: EGETKEY derives a different key.
+  EXPECT_EQ(eb->unseal_service_state(BytesView(blob.value())).code(), "unseal_fail");
+  // Tampered blob fails even on the right platform.
+  Bytes tampered = blob.value();
+  tampered[tampered.size() / 2] ^= 1;
+  EXPECT_EQ(ea->unseal_service_state(BytesView(tampered)).code(), "unseal_fail");
+}
+
+TEST(Sealing, DifferentConsumerConfigCannotUnseal) {
+  // A modified bootstrap (different MRENCLAVE) must not read old state.
+  auto compiled = compile_or_die(kCounter, PolicySet::p1());
+  sgx::AttestationService as;
+  sgx::QuotingEnclave quoting = as.provision("host", 7);
+  core::BootstrapConfig strict;
+  strict.verify.required = PolicySet::p1();
+  strict.entropy_budget = 64;
+  core::BootstrapConfig lax = strict;
+  lax.entropy_budget = 1 << 20;
+
+  auto setup = [&](const core::BootstrapConfig& cfg, std::uint64_t seed) {
+    auto enclave = std::make_unique<core::BootstrapEnclave>(quoting, cfg);
+    core::CodeProvider provider(as, core::BootstrapEnclave::expected_mrenclave(cfg),
+                                seed);
+    EXPECT_TRUE(provider
+                    .accept(enclave->open_channel(core::Role::CodeProvider,
+                                                  provider.dh_public()))
+                    .is_ok());
+    EXPECT_TRUE(
+        enclave->ecall_receive_binary(provider.seal_binary(compiled.dxo)).is_ok());
+    EXPECT_TRUE(enclave->ecall_run().is_ok());
+    return enclave;
+  };
+  auto strict_enclave = setup(strict, 0x3333);
+  auto lax_enclave = setup(lax, 0x4444);
+  auto blob = strict_enclave->seal_service_state();
+  ASSERT_TRUE(blob.is_ok());
+  EXPECT_EQ(lax_enclave->unseal_service_state(BytesView(blob.value())).code(),
+            "unseal_fail");
+}
+
+TEST(Tracing, HookSeesEveryExecutedInstruction) {
+  auto compiled = compile_or_die("int main() { return 5; }", PolicySet::p1());
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1();
+  Pipeline pipe(config);
+  ASSERT_TRUE(pipe.deliver(compiled.dxo).is_ok());
+  std::uint64_t traced = 0;
+  bool saw_hlt = false;
+  pipe.enclave->set_trace_hook(
+      [&](const isa::Instr& ins, const std::array<std::uint64_t, 16>& regs) {
+        ++traced;
+        if (ins.op == isa::Op::Hlt) {
+          saw_hlt = true;
+          EXPECT_EQ(regs[static_cast<int>(isa::Reg::RAX)], 5u);
+        }
+      });
+  auto outcome = pipe.run();
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(traced, outcome.value().result.instructions);
+  EXPECT_TRUE(saw_hlt);
+}
+
+}  // namespace
+}  // namespace deflection::testing

@@ -1,0 +1,206 @@
+// Simulated-SGX platform tests: address-space permission model, enclave
+// measurement (MRENCLAVE) semantics, AEX injection, and the attestation
+// service (quote verification, tampering, revocation).
+#include <gtest/gtest.h>
+
+#include "sgx/attestation.h"
+#include "sgx/platform.h"
+
+namespace deflection::sgx {
+namespace {
+
+constexpr std::uint64_t kHostBase = 0x10000;
+constexpr std::uint64_t kEnclaveBase = 0x200000;
+
+TEST(AddressSpace, RegionsAndBounds) {
+  AddressSpace space(kHostBase, 0x4000, kEnclaveBase, 0x4000);
+  EXPECT_TRUE(space.in_host(kHostBase));
+  EXPECT_TRUE(space.in_host(kHostBase + 0x3FFF));
+  EXPECT_FALSE(space.in_host(kHostBase + 0x4000));
+  EXPECT_TRUE(space.in_enclave(kEnclaveBase));
+  EXPECT_FALSE(space.in_enclave(kEnclaveBase - 1));
+  EXPECT_FALSE(space.in_enclave(kEnclaveBase + 0x4000));
+  EXPECT_EQ(space.raw(0x5000, 8), nullptr);  // unmapped hole
+}
+
+TEST(AddressSpace, PermissionChecksPerPage) {
+  AddressSpace space(kHostBase, 0x4000, kEnclaveBase, 0x4000);
+  ASSERT_TRUE(space.set_page_perms(kEnclaveBase, 0x1000, kPermR).is_ok());
+  ASSERT_TRUE(space.set_page_perms(kEnclaveBase + 0x1000, 0x1000, kPermRW).is_ok());
+  ASSERT_TRUE(space.set_page_perms(kEnclaveBase + 0x2000, 0x1000, kPermRX).is_ok());
+
+  MemFault fault;
+  std::uint64_t v;
+  EXPECT_TRUE(space.read_u64(kEnclaveBase, v, fault));
+  EXPECT_FALSE(space.write_u64(kEnclaveBase, 1, fault));
+  EXPECT_EQ(fault.code, "perm");
+  EXPECT_TRUE(space.write_u64(kEnclaveBase + 0x1000, 1, fault));
+  EXPECT_FALSE(space.check_exec(kEnclaveBase + 0x1000, fault));
+  EXPECT_TRUE(space.check_exec(kEnclaveBase + 0x2000, fault));
+  // No-permission page (never configured).
+  EXPECT_FALSE(space.read_u64(kEnclaveBase + 0x3000, v, fault));
+}
+
+TEST(AddressSpace, CrossPageAccessNeedsBothPages) {
+  AddressSpace space(kHostBase, 0x4000, kEnclaveBase, 0x4000);
+  ASSERT_TRUE(space.set_page_perms(kEnclaveBase, 0x1000, kPermRW).is_ok());
+  ASSERT_TRUE(space.set_page_perms(kEnclaveBase + 0x1000, 0x1000, kPermR).is_ok());
+  MemFault fault;
+  // 8-byte write straddling RW|R page boundary must fault.
+  EXPECT_FALSE(space.write_u64(kEnclaveBase + 0x0FFC, 7, fault));
+  EXPECT_TRUE(space.write_u64(kEnclaveBase + 0x0FF8, 7, fault));
+}
+
+TEST(AddressSpace, PermissionRangeValidation) {
+  AddressSpace space(kHostBase, 0x4000, kEnclaveBase, 0x4000);
+  EXPECT_EQ(space.set_page_perms(kEnclaveBase + 0x100, 0x1000, kPermRW).code(),
+            "perm_align");
+  EXPECT_EQ(space.set_page_perms(kEnclaveBase, 0x8000, kPermRW).code(), "perm_range");
+  EXPECT_EQ(space.set_page_perms(kHostBase, 0x1000, kPermRW).code(), "perm_range");
+}
+
+TEST(AddressSpace, TextWriteGenerationBumpsOnXPageWrites) {
+  AddressSpace space(kHostBase, 0x4000, kEnclaveBase, 0x4000);
+  ASSERT_TRUE(space.set_page_perms(kEnclaveBase, 0x1000, kPermRWX).is_ok());
+  ASSERT_TRUE(space.set_page_perms(kEnclaveBase + 0x1000, 0x1000, kPermRW).is_ok());
+  MemFault fault;
+  std::uint64_t gen = space.text_write_generation();
+  ASSERT_TRUE(space.write_u64(kEnclaveBase + 0x1000, 1, fault));
+  EXPECT_EQ(space.text_write_generation(), gen);  // RW page: no bump
+  ASSERT_TRUE(space.write_u64(kEnclaveBase, 1, fault));
+  EXPECT_GT(space.text_write_generation(), gen);  // RWX page: bump
+}
+
+TEST(Enclave, MeasurementIsDeterministic) {
+  auto build = [](std::uint8_t fill) {
+    AddressSpace space(kHostBase, 0x1000, kEnclaveBase, 0x3000);
+    Enclave enclave(space, kEnclaveBase + 0x2000);
+    Bytes code(0x1000, fill);
+    EXPECT_TRUE(enclave.add_pages(0, BytesView(code), kPermRX).is_ok());
+    EXPECT_TRUE(enclave.add_zero_pages(0x1000, 0x2000, kPermRW).is_ok());
+    enclave.init();
+    return enclave.mrenclave();
+  };
+  EXPECT_TRUE(crypto::digest_equal(build(0xAA), build(0xAA)));
+  EXPECT_FALSE(crypto::digest_equal(build(0xAA), build(0xAB)));
+}
+
+TEST(Enclave, MeasurementCoversPermissionsAndLayout) {
+  auto build = [](std::uint8_t perms, std::uint64_t offset) {
+    AddressSpace space(kHostBase, 0x1000, kEnclaveBase, 0x3000);
+    Enclave enclave(space, kEnclaveBase + 0x2000);
+    Bytes code(0x1000, 0x77);
+    EXPECT_TRUE(enclave.add_pages(offset, BytesView(code), perms).is_ok());
+    enclave.init();
+    return enclave.mrenclave();
+  };
+  EXPECT_FALSE(crypto::digest_equal(build(kPermRX, 0), build(kPermRWX, 0)));
+  EXPECT_FALSE(crypto::digest_equal(build(kPermRX, 0), build(kPermRX, 0x1000)));
+}
+
+TEST(Enclave, SealedAfterInit) {
+  AddressSpace space(kHostBase, 0x1000, kEnclaveBase, 0x2000);
+  Enclave enclave(space, kEnclaveBase + 0x1000);
+  ASSERT_TRUE(enclave.add_zero_pages(0, 0x2000, kPermRW).is_ok());
+  enclave.init();
+  EXPECT_EQ(enclave.add_zero_pages(0, 0x1000, kPermRW).code(), "enclave_sealed");
+}
+
+TEST(Enclave, AexDeliveryWritesContextToSsa) {
+  AddressSpace space(kHostBase, 0x1000, kEnclaveBase, 0x2000);
+  Enclave enclave(space, kEnclaveBase);
+  ASSERT_TRUE(enclave.add_zero_pages(0, 0x2000, kPermRW).is_ok());
+  enclave.init();
+  std::uint64_t regs[16];
+  for (int i = 0; i < 16; ++i) regs[i] = 0x1000u + static_cast<std::uint64_t>(i);
+  enclave.deliver_aex(regs);
+  EXPECT_EQ(enclave.aex_count(), 1u);
+  EXPECT_EQ(load_le64(space.raw(kEnclaveBase, 8)), 0x1000u);
+  EXPECT_EQ(load_le64(space.raw(kEnclaveBase + 8 * 15, 8)), 0x100Fu);
+}
+
+TEST(Enclave, TickFollowsIntervalPolicy) {
+  AddressSpace space(kHostBase, 0x1000, kEnclaveBase, 0x2000);
+  Enclave enclave(space, kEnclaveBase);
+  ASSERT_TRUE(enclave.add_zero_pages(0, 0x2000, kPermRW).is_ok());
+  enclave.init();
+  enclave.set_aex_policy({.interval_cost = 100, .burst = 1});
+  std::uint64_t regs[16] = {};
+  enclave.tick(50, regs);
+  EXPECT_EQ(enclave.aex_count(), 0u);
+  enclave.tick(100, regs);
+  EXPECT_EQ(enclave.aex_count(), 1u);
+  enclave.tick(450, regs);
+  EXPECT_EQ(enclave.aex_count(), 4u);
+}
+
+// ---- Attestation ----
+
+TEST(Attestation, QuoteVerifies) {
+  AttestationService as;
+  QuotingEnclave qe = as.provision("platform-a", 1);
+  crypto::Digest mr = crypto::Sha256::hash(Bytes{1, 2, 3});
+  ReportData rd = crypto::Sha256::hash(Bytes{9});
+  Quote quote = qe.quote(mr, rd);
+  auto report = as.verify(quote);
+  EXPECT_TRUE(report.valid);
+  EXPECT_TRUE(crypto::digest_equal(report.mrenclave, mr));
+  EXPECT_TRUE(crypto::digest_equal(report.report_data, rd));
+}
+
+TEST(Attestation, TamperedQuoteFails) {
+  AttestationService as;
+  QuotingEnclave qe = as.provision("platform-a", 1);
+  Quote quote = qe.quote(crypto::Sha256::hash(Bytes{1}), crypto::Sha256::hash(Bytes{2}));
+  Quote bad = quote;
+  bad.mrenclave[0] ^= 1;  // claim a different enclave
+  EXPECT_FALSE(as.verify(bad).valid);
+  bad = quote;
+  bad.report_data[5] ^= 1;  // rebind to different channel data
+  EXPECT_FALSE(as.verify(bad).valid);
+  bad = quote;
+  bad.mac[0] ^= 1;
+  EXPECT_FALSE(as.verify(bad).valid);
+}
+
+TEST(Attestation, UnknownAndRevokedPlatformsFail) {
+  AttestationService as;
+  QuotingEnclave qe = as.provision("platform-a", 1);
+  Quote quote = qe.quote(crypto::Sha256::hash(Bytes{1}), crypto::Sha256::hash(Bytes{2}));
+  Quote foreign = quote;
+  foreign.platform_id = "platform-b";
+  EXPECT_FALSE(as.verify(foreign).valid);
+
+  as.revoke("platform-a");
+  auto report = as.verify(quote);
+  EXPECT_FALSE(report.valid);
+  EXPECT_EQ(report.reason, "platform revoked");
+}
+
+TEST(Attestation, CrossPlatformKeysDoNotVerify) {
+  AttestationService as;
+  QuotingEnclave qa = as.provision("platform-a", 1);
+  as.provision("platform-b", 2);
+  Quote quote = qa.quote(crypto::Sha256::hash(Bytes{1}), crypto::Sha256::hash(Bytes{2}));
+  quote.platform_id = "platform-b";  // replay A's quote as B's
+  EXPECT_FALSE(as.verify(quote).valid);
+}
+
+TEST(Attestation, SerializationRoundTrip) {
+  AttestationService as;
+  QuotingEnclave qe = as.provision("platform-x", 5);
+  Quote quote = qe.quote(crypto::Sha256::hash(Bytes{7}), crypto::Sha256::hash(Bytes{8}));
+  Bytes wire = quote.serialize();
+  auto parsed = Quote::deserialize(BytesView(wire));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(as.verify(parsed.value()).valid);
+
+  Bytes truncated(wire.begin(), wire.end() - 5);
+  EXPECT_FALSE(Quote::deserialize(BytesView(truncated)).is_ok());
+  Bytes padded = wire;
+  padded.push_back(0);
+  EXPECT_FALSE(Quote::deserialize(BytesView(padded)).is_ok());
+}
+
+}  // namespace
+}  // namespace deflection::sgx

@@ -1,0 +1,91 @@
+// SGXv2/EDMM extension tests (paper Sec. VII): on a v2 platform the loader
+// restricts the target text to RX after verification, so self-modification
+// is stopped by hardware even when policy P4 is not enforced in software.
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "verifier/layout.h"
+#include "workloads/workloads.h"
+
+namespace deflection::testing {
+namespace {
+
+TEST(Sgxv2, EdmmRestrictsOnly) {
+  sgx::AddressSpace space(0x10000, 0x1000, 0x200000, 0x2000);
+  sgx::Enclave enclave(space, 0x201000);
+  ASSERT_TRUE(enclave.add_zero_pages(0, 0x1000, sgx::kPermRWX).is_ok());
+  ASSERT_TRUE(enclave.add_zero_pages(0x1000, 0x1000, sgx::kPermRW).is_ok());
+  enclave.init();
+
+  // v1: frozen.
+  EXPECT_EQ(enclave.modify_page_perms(0x200000, 0x1000, sgx::kPermRX).code(),
+            "sgxv1_frozen");
+  enclave.set_sgxv2(true);
+  // v2: restriction fine, escalation refused.
+  EXPECT_TRUE(enclave.modify_page_perms(0x200000, 0x1000, sgx::kPermRX).is_ok());
+  EXPECT_EQ(space.page_perms(0x200000), sgx::kPermRX);
+  EXPECT_EQ(enclave.modify_page_perms(0x201000, 0x1000, sgx::kPermRWX).code(),
+            "edmm_escalation");
+}
+
+TEST(Sgxv2, HardwareBlocksSelfModificationWithoutP4) {
+  // The same attack RuntimeContainment.P4BlocksSelfModifyingCode runs under
+  // software DEP — here only P1 is enforced (bounds include the text!) yet
+  // the SGXv2 RX text page stops the write.
+  const char* src = R"(
+    int main() {
+      byte* text = as_ptr(${ADDR});
+      text[0] = 0;
+      return 9;
+    }
+  )";
+  core::BootstrapConfig config;
+  config.sgxv2 = true;
+  auto layout = verifier::EnclaveLayout::compute(config.enclave_base, config.layout);
+  std::string source =
+      workloads::with_params(src, {{"ADDR", std::to_string(layout.text_base)}});
+
+  core::RunOutcome outcome = run_service(source, PolicySet::p1(), config);
+  EXPECT_EQ(outcome.result.exit, vm::Exit::Fault);
+  EXPECT_EQ(outcome.result.fault_code, "store_perm");
+}
+
+TEST(Sgxv2, NormalServicesStillRun) {
+  core::BootstrapConfig config;
+  config.sgxv2 = true;
+  config.verify.required = PolicySet::p1to6();
+  const char* src = R"(
+    int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+    int main() { return fib(12); }
+  )";
+  core::RunOutcome outcome = run_service(src, PolicySet::p1to6(), config);
+  EXPECT_EQ(outcome.result.exit, vm::Exit::Halt);
+  EXPECT_EQ(outcome.result.exit_code, 144u);
+  EXPECT_FALSE(outcome.policy_violation);
+}
+
+TEST(Sgxv2, PlatformModeIsMeasured) {
+  core::BootstrapConfig v1, v2;
+  v2.sgxv2 = true;
+  EXPECT_FALSE(crypto::digest_equal(core::BootstrapEnclave::expected_mrenclave(v1),
+                                    core::BootstrapEnclave::expected_mrenclave(v2)));
+}
+
+TEST(Sgxv2, RerunAfterRestrictionWorks) {
+  // ecall_run twice: the second run must not re-relocate into now-RX text.
+  core::BootstrapConfig config;
+  config.sgxv2 = true;
+  config.verify.required = PolicySet::p1();
+  auto compiled = compile_or_die("int main() { return 21; }", PolicySet::p1());
+  Pipeline pipe(config);
+  ASSERT_TRUE(pipe.deliver(compiled.dxo).is_ok());
+  auto first = pipe.run();
+  ASSERT_TRUE(first.is_ok()) << first.message();
+  EXPECT_EQ(first.value().result.exit_code, 21u);
+  auto second = pipe.run();
+  ASSERT_TRUE(second.is_ok()) << second.message();
+  EXPECT_EQ(second.value().result.exit_code, 21u);
+}
+
+}  // namespace
+}  // namespace deflection::testing

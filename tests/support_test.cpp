@@ -1,0 +1,129 @@
+// Support-module unit tests: byte serialization, hex codecs, Result/Status,
+// and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include "support/bytes.h"
+#include "support/result.h"
+#include "support/rng.h"
+
+namespace deflection {
+namespace {
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.i64(-1);
+  w.str("hello");
+  w.blob(Bytes{9, 8, 7});
+
+  ByteReader r{BytesView(buf)};
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.blob(), (Bytes{9, 8, 7}));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, ReaderDetectsOverrun) {
+  Bytes buf = {1, 2, 3};
+  ByteReader r{BytesView(buf)};
+  EXPECT_EQ(r.u16(), 0x0201);
+  EXPECT_TRUE(r.ok());
+  r.u32();  // only 1 byte left
+  EXPECT_FALSE(r.ok());
+  // Once broken, everything reads as zero and stays broken.
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, ReaderRejectsOversizedBlob) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u32(1000);  // claims 1000 bytes, provides none
+  ByteReader r{BytesView(buf)};
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, LittleEndianRawAccess) {
+  std::uint8_t raw[8];
+  store_le64(raw, 0x1122334455667788ull);
+  EXPECT_EQ(raw[0], 0x88);
+  EXPECT_EQ(raw[7], 0x11);
+  EXPECT_EQ(load_le64(raw), 0x1122334455667788ull);
+  store_le32(raw, 0xAABBCCDD);
+  EXPECT_EQ(load_le32(raw), 0xAABBCCDDu);
+}
+
+TEST(Hex, EncodeDecodeRoundTrip) {
+  Bytes data = {0x00, 0x0F, 0xF0, 0xFF, 0x5A};
+  EXPECT_EQ(to_hex(BytesView(data)), "000ff0ff5a");
+  EXPECT_EQ(from_hex("000ff0ff5a"), data);
+  EXPECT_EQ(from_hex("000FF0FF5A"), data);
+  EXPECT_TRUE(from_hex("abc").empty());   // odd length
+  EXPECT_TRUE(from_hex("zz").empty());    // bad digit
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(ResultTypes, StatusAndResultBehave) {
+  Status ok = Status::ok();
+  EXPECT_TRUE(ok.is_ok());
+  Status bad = Status::fail("code_x", "message");
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.code(), "code_x");
+  EXPECT_EQ(bad.message(), "message");
+
+  Result<int> value(7);
+  EXPECT_TRUE(value.is_ok());
+  EXPECT_EQ(value.value(), 7);
+  Result<int> error = Result<int>::fail("nope", "why");
+  EXPECT_FALSE(error.is_ok());
+  EXPECT_EQ(error.code(), "nope");
+  EXPECT_FALSE(error.status().is_ok());
+  EXPECT_EQ(error.status().code(), "nope");
+
+  Result<std::string> moved(std::string("abc"));
+  std::string taken = moved.take();
+  EXPECT_EQ(taken, "abc");
+}
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i)
+    if (a2.next() != c.next()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundsAndDistributions) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+    std::int64_t r = rng.range(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  // chance(p) hits within a loose band.
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(hits / 100'000.0, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace deflection

@@ -1,0 +1,178 @@
+// Systematic annotation tampering: for EVERY annotation instance in a fully
+// instrumented binary, corrupt each security-relevant field (placeholder
+// immediates, scratch-register operands, violation-stub jump conditions and
+// targets) one at a time and assert the verifier rejects the result. This
+// covers the accept/reject boundary instruction-by-instruction rather than
+// randomly.
+#include <gtest/gtest.h>
+
+#include "isa/decode.h"
+#include "test_helpers.h"
+#include "verifier/verify.h"
+
+namespace deflection::testing {
+namespace {
+
+using isa::Instr;
+using isa::Op;
+
+constexpr std::uint64_t kBase = 0x7000'0000'0000ull;
+
+bool verifies(const codegen::Dxo& dxo, PolicySet required) {
+  verifier::LayoutConfig config;
+  config.data_size = 1 << 20;
+  config.shadow_stack_size = 1 << 16;
+  config.stack_size = 1 << 16;
+  verifier::EnclaveLayout layout = verifier::EnclaveLayout::compute(kBase, config);
+  sgx::AddressSpace space(0x10000, 1 << 16, kBase, layout.enclave_size);
+  sgx::Enclave enclave(space, layout.ssa_addr);
+  auto built = verifier::Loader::build_enclave(enclave, kBase, config, {});
+  if (!built.is_ok()) return false;
+  verifier::Loader loader(enclave, built.value());
+  auto loaded = loader.load(dxo);
+  if (!loaded.is_ok()) return false;
+  verifier::VerifyConfig vconfig;
+  vconfig.required = required;
+  return verifier::verify(space, loaded.value(), vconfig).is_ok();
+}
+
+bool is_magic(std::int64_t imm) {
+  return imm == codegen::kMagicStoreLo || imm == codegen::kMagicStoreHi ||
+         imm == codegen::kMagicStackLo || imm == codegen::kMagicStackHi ||
+         imm == codegen::kMagicTextBase || imm == codegen::kMagicTextSize ||
+         imm == codegen::kMagicBtTable || imm == codegen::kMagicSsPtr ||
+         imm == codegen::kMagicSsBase || imm == codegen::kMagicSsLimit ||
+         imm == codegen::kMagicSsaMarker || imm == codegen::kMagicAexCount;
+}
+
+struct TamperFixture {
+  codegen::Dxo dxo;
+  std::vector<Instr> instrs;
+  std::uint64_t stub_offset = 0;
+
+  explicit TamperFixture(PolicySet policies) {
+    const char* src = R"(
+      int g;
+      int f(int x) { g = x; return x + 1; }
+      int main() { fn p = &f; return p(4) + g; }
+    )";
+    auto compiled = compile_or_die(src, policies);
+    dxo = compiled.dxo;
+    auto decoded = isa::decode_all(BytesView(dxo.text), 0);
+    EXPECT_TRUE(decoded.is_ok());
+    instrs = decoded.take();
+    const auto* stub = dxo.find_symbol(codegen::kViolationSymbol);
+    if (stub != nullptr) stub_offset = stub->offset;
+  }
+};
+
+TEST(Tampering, BaselineVerifies) {
+  TamperFixture fx(PolicySet::p1to6());
+  EXPECT_TRUE(verifies(fx.dxo, PolicySet::p1to6()));
+}
+
+TEST(Tampering, EveryMagicImmediateIsLoadBearing) {
+  TamperFixture fx(PolicySet::p1to6());
+  int tampered = 0;
+  for (const Instr& ins : fx.instrs) {
+    if (ins.op != Op::MovRI || !is_magic(ins.imm)) continue;
+    // (a) Nudge the placeholder value: the verifier must notice that the
+    // annotation no longer names the conventional rewrite slot.
+    {
+      codegen::Dxo mutant = fx.dxo;
+      store_le64(mutant.text.data() + ins.addr + 2,
+                 static_cast<std::uint64_t>(ins.imm) + 1);
+      EXPECT_FALSE(verifies(mutant, PolicySet::p1to6()))
+          << "magic+1 accepted at " << ins.addr;
+    }
+    // (b) Swap the scratch register: the annotation dataflow breaks.
+    {
+      codegen::Dxo mutant = fx.dxo;
+      std::uint8_t reg_byte = mutant.text[ins.addr + 1];
+      mutant.text[ins.addr + 1] = static_cast<std::uint8_t>(reg_byte ^ 0x10);
+      EXPECT_FALSE(verifies(mutant, PolicySet::p1to6()))
+          << "scratch swap accepted at " << ins.addr;
+    }
+    ++tampered;
+  }
+  EXPECT_GT(tampered, 20);  // the fixture binary carries many annotations
+}
+
+TEST(Tampering, EveryViolationJumpIsLoadBearing) {
+  TamperFixture fx(PolicySet::p1to6());
+  ASSERT_GT(fx.stub_offset, 0u);
+  int tampered = 0;
+  for (std::size_t i = 0; i < fx.instrs.size(); ++i) {
+    const Instr& ins = fx.instrs[i];
+    if (ins.op != Op::Jcc || ins.branch_target() != fx.stub_offset) continue;
+    // (a) Invert the condition: the guard now exits on the SAFE path.
+    {
+      codegen::Dxo mutant = fx.dxo;
+      std::uint8_t cond = mutant.text[ins.addr + 1];
+      std::uint8_t inverted = cond ^ 1;  // E<->NE, L<->LE is not inversion,
+      // but any different condition must break the expected shape:
+      mutant.text[ins.addr + 1] = inverted;
+      EXPECT_FALSE(verifies(mutant, PolicySet::p1to6()))
+          << "condition flip accepted at " << ins.addr;
+    }
+    // (b) Retarget the exit to a harmless instruction instead of the stub.
+    {
+      codegen::Dxo mutant = fx.dxo;
+      // Redirect to self+length (fall through = no-op exit).
+      store_le32(mutant.text.data() + ins.addr + 2, 0);
+      EXPECT_FALSE(verifies(mutant, PolicySet::p1to6()))
+          << "retarget accepted at " << ins.addr;
+    }
+    ++tampered;
+  }
+  EXPECT_GT(tampered, 10);
+}
+
+TEST(Tampering, ViolationStubMustTerminate) {
+  TamperFixture fx(PolicySet::p1to6());
+  ASSERT_GT(fx.stub_offset, 0u);
+  // Replace the stub's Hlt with Nop: "abort" would fall off the end.
+  codegen::Dxo mutant = fx.dxo;
+  std::uint64_t hlt_offset = fx.stub_offset + 10;  // MovRI(10) then Hlt
+  ASSERT_EQ(mutant.text[hlt_offset], static_cast<std::uint8_t>(Op::Hlt));
+  mutant.text[hlt_offset] = static_cast<std::uint8_t>(Op::Nop);
+  EXPECT_FALSE(verifies(mutant, PolicySet::p1to6()));
+}
+
+TEST(Tampering, GuardedStoreAddressMustMatchAnnotation) {
+  TamperFixture fx(PolicySet::p1to6());
+  // Find a guarded Store (preceded by Lea R14 with the same operand) and
+  // change the store's displacement so it writes somewhere the annotation
+  // did not check.
+  int tampered = 0;
+  for (std::size_t i = 7; i < fx.instrs.size(); ++i) {
+    const Instr& store = fx.instrs[i];
+    if (store.op != Op::Store || fx.instrs[i - 7].op != Op::Lea) continue;
+    codegen::Dxo mutant = fx.dxo;
+    // Store layout: [op][rs][mode][regs][disp32] -> disp at +4.
+    store_le32(mutant.text.data() + store.addr + 4,
+               static_cast<std::uint32_t>(store.mem.disp + 8));
+    EXPECT_FALSE(verifies(mutant, PolicySet::p1to6()))
+        << "address drift accepted at " << store.addr;
+    ++tampered;
+  }
+  EXPECT_GT(tampered, 0);
+}
+
+TEST(Tampering, AexThresholdIsBounded) {
+  // A producer baking an absurd threshold (never aborts) must be rejected
+  // by the consumer's max_aex_threshold configuration.
+  const char* src = "int main() { return 3; }";
+  codegen::InstrumentOptions options;
+  options.aex_threshold = 1 << 20;
+  auto compiled = codegen::compile(src, PolicySet::p1to6(), &options);
+  ASSERT_TRUE(compiled.is_ok());
+  EXPECT_FALSE(verifies(compiled.value().dxo, PolicySet::p1to6()));
+  options.aex_threshold = 128;
+  auto sane = codegen::compile(src, PolicySet::p1to6(), &options);
+  ASSERT_TRUE(sane.is_ok());
+  EXPECT_TRUE(verifies(sane.value().dxo, PolicySet::p1to6()));
+}
+
+}  // namespace
+}  // namespace deflection::testing

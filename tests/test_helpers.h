@@ -1,0 +1,79 @@
+// Shared helpers for the test suite: one-call pipelines from MiniC source
+// to a running (or rejected) enclave service.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.h"
+
+namespace deflection::testing {
+
+using namespace deflection;
+
+// Compiles source with `policies`; gtest-fails on compile errors.
+inline codegen::CompileOutput compile_or_die(const std::string& source,
+                                             PolicySet policies) {
+  auto out = codegen::compile(source, policies);
+  EXPECT_TRUE(out.is_ok()) << (out.is_ok() ? "" : out.message());
+  if (!out.is_ok()) return {};
+  return out.take();
+}
+
+struct Pipeline {
+  sgx::AttestationService as;
+  std::unique_ptr<sgx::QuotingEnclave> quoting;
+  std::unique_ptr<core::BootstrapEnclave> enclave;
+  std::unique_ptr<core::DataOwner> owner;
+  std::unique_ptr<core::CodeProvider> provider;
+
+  explicit Pipeline(core::BootstrapConfig config = {}) {
+    quoting = std::make_unique<sgx::QuotingEnclave>(as.provision("plat-test", 7));
+    enclave = std::make_unique<core::BootstrapEnclave>(*quoting, config);
+    crypto::Digest expected = core::BootstrapEnclave::expected_mrenclave(config);
+    owner = std::make_unique<core::DataOwner>(as, expected);
+    provider = std::make_unique<core::CodeProvider>(as, expected);
+    auto owner_offer = enclave->open_channel(core::Role::DataOwner, owner->dh_public());
+    auto provider_offer =
+        enclave->open_channel(core::Role::CodeProvider, provider->dh_public());
+    EXPECT_TRUE(owner->accept(owner_offer).is_ok());
+    EXPECT_TRUE(provider->accept(provider_offer).is_ok());
+  }
+
+  // Delivers the binary; returns the service-code measurement.
+  Result<crypto::Digest> deliver(const codegen::Dxo& dxo) {
+    return enclave->ecall_receive_binary(provider->seal_binary(dxo));
+  }
+  Status feed(BytesView input) {
+    return enclave->ecall_receive_userdata(owner->seal_input(input));
+  }
+  Result<core::RunOutcome> run() { return enclave->ecall_run(); }
+};
+
+// Full happy-path: compile, deliver, optionally feed input, run. Any
+// stage failure is a gtest failure; returns the outcome.
+inline core::RunOutcome run_service(const std::string& source, PolicySet policies,
+                                    core::BootstrapConfig config = {},
+                                    const std::vector<Bytes>& inputs = {}) {
+  config.verify.required = policies;
+  auto compiled = compile_or_die(source, policies);
+  Pipeline pipe(config);
+  auto digest = pipe.deliver(compiled.dxo);
+  EXPECT_TRUE(digest.is_ok()) << (digest.is_ok() ? "" : digest.message());
+  for (const auto& in : inputs) {
+    EXPECT_TRUE(pipe.feed(BytesView(in)).is_ok());
+  }
+  auto outcome = pipe.run();
+  EXPECT_TRUE(outcome.is_ok()) << (outcome.is_ok() ? "" : outcome.message());
+  return outcome.is_ok() ? outcome.take() : core::RunOutcome{};
+}
+
+// Compile + run returning just the program's exit code.
+inline std::uint64_t exit_code_of(const std::string& source,
+                                  PolicySet policies = PolicySet::none()) {
+  core::RunOutcome outcome = run_service(source, policies);
+  EXPECT_EQ(outcome.result.exit, vm::Exit::Halt)
+      << "fault: " << outcome.result.fault_code;
+  return outcome.result.exit_code;
+}
+
+}  // namespace deflection::testing

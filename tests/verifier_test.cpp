@@ -1,0 +1,323 @@
+// Trusted-consumer unit tests: enclave layout invariants, the dynamic
+// loader (rebase, relocation, branch-target table, runtime slots), the
+// recursive-descent disassembler, and the immediate rewriter's patched
+// values.
+#include <gtest/gtest.h>
+
+#include "codegen/annotations.h"
+#include "codegen/compile.h"
+#include "test_helpers.h"
+#include "verifier/disasm.h"
+#include "verifier/verify.h"
+
+namespace deflection::testing {
+namespace {
+
+using verifier::EnclaveLayout;
+using verifier::LayoutConfig;
+using verifier::LoadedBinary;
+using verifier::Loader;
+
+constexpr std::uint64_t kBase = 0x7000'0000'0000ull;
+
+struct ConsumerFixture {
+  LayoutConfig config;
+  EnclaveLayout layout;
+  std::unique_ptr<sgx::AddressSpace> space;
+  std::unique_ptr<sgx::Enclave> enclave;
+
+  ConsumerFixture() {
+    layout = EnclaveLayout::compute(kBase, config);
+    space = std::make_unique<sgx::AddressSpace>(0x10000, 1 << 20, kBase,
+                                                layout.enclave_size);
+    enclave = std::make_unique<sgx::Enclave>(*space, layout.ssa_addr);
+    Bytes image(1024, 0xCC);
+    auto built = Loader::build_enclave(*enclave, kBase, config, BytesView(image));
+    EXPECT_TRUE(built.is_ok()) << built.message();
+    if (built.is_ok()) layout = built.value();
+  }
+
+  Result<LoadedBinary> load(const codegen::Dxo& dxo) {
+    Loader loader(*enclave, layout);
+    return loader.load(dxo);
+  }
+};
+
+TEST(Layout, RegionsArePageAlignedAndOrdered) {
+  EnclaveLayout layout = EnclaveLayout::compute(kBase, LayoutConfig{});
+  std::uint64_t regions[] = {
+      layout.consumer_base, layout.critical_base, layout.bt_table_base,
+      layout.shadow_base,   layout.text_base,     layout.data_base,
+      layout.guard_lo_base, layout.stack_base,    layout.guard_hi_base,
+  };
+  std::uint64_t prev = 0;
+  for (std::uint64_t r : regions) {
+    EXPECT_EQ(r % sgx::kPageSize, 0u);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+  EXPECT_EQ(layout.enclave_base, layout.consumer_base);
+  EXPECT_LE(layout.guard_hi_base + layout.guard_size,
+            layout.enclave_base + layout.enclave_size);
+  // The security ladder requires: critical regions strictly below text,
+  // text strictly below data (see layout.h).
+  EXPECT_LT(layout.bt_table_base, layout.text_base);
+  EXPECT_LT(layout.shadow_base, layout.text_base);
+  EXPECT_LT(layout.text_base, layout.data_base);
+  // Guards bracket the stack.
+  EXPECT_EQ(layout.guard_lo_base + layout.guard_size, layout.stack_base);
+  EXPECT_EQ(layout.stack_top(), layout.guard_hi_base);
+}
+
+TEST(Loader, EnclavePagePermissionsMatchDesign) {
+  ConsumerFixture fx;
+  auto& space = *fx.space;
+  EXPECT_EQ(space.page_perms(fx.layout.consumer_base), sgx::kPermRX);
+  EXPECT_EQ(space.page_perms(fx.layout.critical_base), sgx::kPermRW);
+  EXPECT_EQ(space.page_perms(fx.layout.bt_table_base), sgx::kPermRW);
+  EXPECT_EQ(space.page_perms(fx.layout.shadow_base), sgx::kPermRW);
+  EXPECT_EQ(space.page_perms(fx.layout.text_base), sgx::kPermRWX);  // SGXv1
+  EXPECT_EQ(space.page_perms(fx.layout.data_base), sgx::kPermRW);
+  EXPECT_EQ(space.page_perms(fx.layout.guard_lo_base), sgx::kPermNone);
+  EXPECT_EQ(space.page_perms(fx.layout.stack_base), sgx::kPermRW);
+  EXPECT_EQ(space.page_perms(fx.layout.guard_hi_base), sgx::kPermNone);
+  EXPECT_TRUE(fx.enclave->initialized());
+}
+
+TEST(Loader, RebasesSymbolsAndAppliesRelocations) {
+  const char* src = R"(
+    int g;
+    int main() { g = 17; return g; }
+  )";
+  auto compiled = compile_or_die(src, PolicySet::none());
+  ConsumerFixture fx;
+  auto loaded = fx.load(compiled.dxo);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  const LoadedBinary& bin = loaded.value();
+  EXPECT_EQ(bin.text_base, fx.layout.text_base);
+  EXPECT_EQ(bin.text_size, compiled.dxo.text.size());
+  // Every symbol resolved into the right region.
+  EXPECT_EQ(bin.symbols.at("main"),
+            fx.layout.text_base + compiled.dxo.find_symbol("main")->offset);
+  EXPECT_EQ(bin.symbols.at("g"),
+            fx.layout.data_base + compiled.dxo.find_symbol("g")->offset);
+  // Relocated imm64s in the text now hold absolute data addresses.
+  bool found_reloc = false;
+  for (const auto& rel : compiled.dxo.relocs) {
+    if (rel.symbol != "g") continue;
+    std::uint64_t patched =
+        load_le64(fx.space->raw(fx.layout.text_base + rel.text_offset, 8));
+    EXPECT_EQ(patched, bin.symbols.at("g") + static_cast<std::uint64_t>(rel.addend));
+    found_reloc = true;
+  }
+  EXPECT_TRUE(found_reloc);
+  // Heap slots initialized.
+  EXPECT_EQ(load_le64(fx.space->raw(bin.symbols.at(codegen::kHeapPtrSymbol), 8)),
+            bin.heap_base);
+  EXPECT_EQ(load_le64(fx.space->raw(bin.symbols.at(codegen::kHeapEndSymbol), 8)),
+            bin.heap_end);
+  // Shadow-stack top pointer and SSA marker initialized.
+  EXPECT_EQ(load_le64(fx.space->raw(fx.layout.ss_ptr_slot, 8)), fx.layout.shadow_base);
+  EXPECT_EQ(load_le64(fx.space->raw(fx.layout.ssa_addr, 8)),
+            static_cast<std::uint64_t>(codegen::kSsaMarkerValue));
+}
+
+TEST(Loader, BuildsBranchTargetByteTable) {
+  const char* src = R"(
+    int f(int x) { return x; }
+    int h(int x) { return x + 1; }
+    int main() { fn a = &f; fn b = &h; return a(1) + b(1); }
+  )";
+  auto compiled = compile_or_die(src, PolicySet::p1to5());
+  ConsumerFixture fx;
+  auto loaded = fx.load(compiled.dxo);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  const LoadedBinary& bin = loaded.value();
+  ASSERT_EQ(bin.branch_targets.size(), 2u);
+  const std::uint8_t* table =
+      fx.space->raw(fx.layout.bt_table_base, fx.layout.bt_table_size);
+  std::size_t ones = 0;
+  for (std::uint64_t i = 0; i < fx.layout.bt_table_size; ++i) ones += table[i];
+  EXPECT_EQ(ones, 2u);
+  for (std::uint64_t t : bin.branch_targets) EXPECT_EQ(table[t - bin.text_base], 1);
+}
+
+TEST(Loader, RejectsOversizedAndMalformedInputs) {
+  auto compiled = compile_or_die("int main() { return 0; }", PolicySet::none());
+  ConsumerFixture fx;
+
+  codegen::Dxo big = compiled.dxo;
+  big.text.resize(fx.layout.text_size + 1, 0);
+  EXPECT_EQ(fx.load(big).code(), "load_text");
+
+  codegen::Dxo dup = compiled.dxo;
+  dup.symbols.push_back(dup.symbols.front());
+  EXPECT_EQ(fx.load(dup).code(), "load_dup_symbol");
+
+  codegen::Dxo bad_target = compiled.dxo;
+  bad_target.branch_targets.push_back("no_such_symbol");
+  EXPECT_EQ(fx.load(bad_target).code(), "load_bt");
+
+  codegen::Dxo data_target = compiled.dxo;
+  data_target.branch_targets.push_back(codegen::kHeapPtrSymbol);
+  EXPECT_EQ(fx.load(data_target).code(), "load_bt");
+
+  codegen::Dxo bad_reloc = compiled.dxo;
+  bad_reloc.relocs.push_back(codegen::DxoReloc{0, "missing", 0});
+  EXPECT_EQ(fx.load(bad_reloc).code(), "load_reloc");
+}
+
+TEST(Disassembler, CoversWholeProducerOutput) {
+  auto compiled = compile_or_die(
+      "int f(int n) { if (n < 2) { return n; } return f(n-1) + f(n-2); } "
+      "int main() { return f(10); }",
+      PolicySet::p1to6());
+  ConsumerFixture fx;
+  auto loaded = fx.load(compiled.dxo);
+  ASSERT_TRUE(loaded.is_ok());
+  auto dis = verifier::disassemble(*fx.space, loaded.value());
+  ASSERT_TRUE(dis.is_ok()) << dis.message();
+  // Full coverage: decoded lengths tile the text exactly.
+  std::uint64_t total = 0;
+  for (const auto& ins : dis.value().instrs) total += ins.length;
+  EXPECT_EQ(total, loaded.value().text_size);
+  // Index maps addresses to positions.
+  for (std::size_t i = 0; i < dis.value().instrs.size(); ++i)
+    EXPECT_EQ(dis.value().index.at(dis.value().instrs[i].addr), i);
+}
+
+TEST(Disassembler, RejectsFlowLeavingText) {
+  codegen::CodegenResult code;
+  code.program.label(codegen::kEntrySymbol);
+  code.program.emit({.op = isa::Op::Jmp, .imm = 5000});  // jump past the end
+  code.functions = {codegen::kEntrySymbol};
+  auto built = codegen::finish(code, PolicySet::none());
+  ASSERT_TRUE(built.is_ok());
+  ConsumerFixture fx;
+  auto loaded = fx.load(built.value().dxo);
+  ASSERT_TRUE(loaded.is_ok());
+  auto dis = verifier::disassemble(*fx.space, loaded.value());
+  EXPECT_FALSE(dis.is_ok());
+  EXPECT_EQ(dis.code(), "disasm_target_oob");
+}
+
+TEST(Disassembler, RejectsOverlappingDecodes) {
+  // A branch into the middle of a MovRI makes two decodings overlap.
+  codegen::CodegenResult code;
+  auto& prog = code.program;
+  prog.label(codegen::kEntrySymbol);
+  prog.emit({.op = isa::Op::CmpRR, .rd = isa::Reg::RAX, .rs = isa::Reg::RAX});
+  prog.emit({.op = isa::Op::Jcc, .cond = isa::Cond::NE, .imm = -7});  // into the cmp+jcc bytes
+  prog.movri(isa::Reg::RAX, 0);
+  prog.hlt();
+  code.functions = {codegen::kEntrySymbol};
+  auto built = codegen::finish(code, PolicySet::none());
+  ASSERT_TRUE(built.is_ok());
+  ConsumerFixture fx;
+  auto loaded = fx.load(built.value().dxo);
+  ASSERT_TRUE(loaded.is_ok());
+  auto dis = verifier::disassemble(*fx.space, loaded.value());
+  EXPECT_FALSE(dis.is_ok());
+}
+
+TEST(Rewriter, PatchesPlaceholdersWithLayoutValues) {
+  const char* src = R"(
+    int g;
+    int f(int x) { return x * 2; }
+    int main() { g = 3; fn p = &f; return p(g); }
+  )";
+  auto compiled = compile_or_die(src, PolicySet::p1to6());
+  ConsumerFixture fx;
+  auto loaded = fx.load(compiled.dxo);
+  ASSERT_TRUE(loaded.is_ok());
+  verifier::VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  auto report = verifier::verify(*fx.space, loaded.value(), config);
+  ASSERT_TRUE(report.is_ok()) << report.message();
+  ASSERT_TRUE(
+      verifier::rewrite_immediates(*fx.space, loaded.value(), report.value()).is_ok());
+
+  // After rewriting, no magic placeholder survives anywhere in the text.
+  const std::uint8_t* text = fx.space->raw(loaded.value().text_base,
+                                           loaded.value().text_size);
+  for (std::uint64_t i = 0; i + 8 <= loaded.value().text_size; ++i) {
+    std::uint64_t v = load_le64(text + i);
+    EXPECT_NE(v, static_cast<std::uint64_t>(codegen::kMagicStoreLo)) << i;
+    EXPECT_NE(v, static_cast<std::uint64_t>(codegen::kMagicStoreHi)) << i;
+    EXPECT_NE(v, static_cast<std::uint64_t>(codegen::kMagicSsPtr)) << i;
+    EXPECT_NE(v, static_cast<std::uint64_t>(codegen::kMagicSsaMarker)) << i;
+    EXPECT_NE(v, static_cast<std::uint64_t>(codegen::kMagicBtTable)) << i;
+  }
+  // Check one concrete patch: every StoreLo slot now holds the P3+P4
+  // tightened lower bound (the data base, since P1-P6 includes P4).
+  bool checked = false;
+  for (const auto& site : report.value().patches) {
+    if (site.kind != verifier::PatchKind::StoreLo) continue;
+    EXPECT_EQ(load_le64(fx.space->raw(site.field_addr, 8)), loaded.value().data_base);
+    checked = true;
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(Rewriter, StoreBoundsFollowPolicyLadder) {
+  const char* src = "int g; int main() { g = 1; return g; }";
+  struct Case {
+    PolicySet policies;
+    std::uint64_t expected_lo(const LoadedBinary& bin) const {
+      if (policies.has(kPolicyP4)) return bin.data_base;
+      if (policies.has(kPolicyP3)) return bin.text_base;
+      return bin.layout.enclave_base;
+    }
+  };
+  for (PolicySet policies :
+       {PolicySet::p1(), PolicySet::p1().with(kPolicyP3),
+        PolicySet::p1().with(kPolicyP3).with(kPolicyP4)}) {
+    auto compiled = compile_or_die(src, policies);
+    ConsumerFixture fx;
+    auto loaded = fx.load(compiled.dxo);
+    ASSERT_TRUE(loaded.is_ok());
+    verifier::VerifyConfig config;
+    config.required = policies;
+    auto report = verifier::verify(*fx.space, loaded.value(), config);
+    ASSERT_TRUE(report.is_ok()) << report.message();
+    ASSERT_TRUE(
+        verifier::rewrite_immediates(*fx.space, loaded.value(), report.value()).is_ok());
+    Case c{policies};
+    for (const auto& site : report.value().patches) {
+      if (site.kind == verifier::PatchKind::StoreLo) {
+        EXPECT_EQ(load_le64(fx.space->raw(site.field_addr, 8)),
+                  c.expected_lo(loaded.value()))
+            << policies.to_string();
+      }
+      if (site.kind == verifier::PatchKind::StoreHi) {
+        EXPECT_EQ(load_le64(fx.space->raw(site.field_addr, 8)),
+                  loaded.value().layout.stack_top() - 7);
+      }
+    }
+  }
+}
+
+TEST(VerifyReport, CountsMatchProducerStats) {
+  const char* src = R"(
+    int g;
+    int f(int x) { g = x; return x + 1; }
+    int main() { fn p = &f; return p(4); }
+  )";
+  auto compiled = compile_or_die(src, PolicySet::p1to6());
+  ConsumerFixture fx;
+  auto loaded = fx.load(compiled.dxo);
+  ASSERT_TRUE(loaded.is_ok());
+  verifier::VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  auto report = verifier::verify(*fx.space, loaded.value(), config);
+  ASSERT_TRUE(report.is_ok()) << report.message();
+  EXPECT_EQ(report.value().store_guards, compiled.stats.store_guards);
+  EXPECT_EQ(report.value().rsp_guards, compiled.stats.rsp_guards);
+  EXPECT_EQ(report.value().shadow_prologues, compiled.stats.shadow_prologues);
+  EXPECT_EQ(report.value().shadow_epilogues, compiled.stats.shadow_epilogues);
+  EXPECT_EQ(report.value().indirect_guards, compiled.stats.indirect_guards);
+  EXPECT_EQ(report.value().aex_probes, compiled.stats.aex_probes);
+}
+
+}  // namespace
+}  // namespace deflection::testing

@@ -1,0 +1,461 @@
+// DX64 VM semantics tests: instruction behaviour, flag/condition matrix,
+// memory permission enforcement (incl. the writable-host-memory threat
+// model), guard pages, self-modifying code, faults and cost accounting.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "isa/assemble.h"
+#include "sgx/platform.h"
+#include "vm/vm.h"
+
+namespace deflection::vm {
+namespace {
+
+using isa::AsmProgram;
+using isa::Cond;
+using isa::Mem;
+using isa::Op;
+using isa::Reg;
+
+constexpr std::uint64_t kHostBase = 0x10000;
+constexpr std::uint64_t kHostSize = 64 * 1024;
+constexpr std::uint64_t kEnclaveBase = 0x100000;
+
+// A tiny harness: one RWX code page + one RW data page + stack pages.
+struct MiniEnclave {
+  sgx::AddressSpace space;
+  sgx::Enclave enclave;
+  static constexpr std::uint64_t kText = kEnclaveBase;
+  static constexpr std::uint64_t kData = kEnclaveBase + 0x1000;
+  static constexpr std::uint64_t kGuard = kEnclaveBase + 0x2000;
+  static constexpr std::uint64_t kStack = kEnclaveBase + 0x3000;
+  static constexpr std::uint64_t kStackTop = kEnclaveBase + 0x5000;
+  static constexpr std::uint64_t kSsa = kEnclaveBase + 0x5000;
+
+  MiniEnclave() : space(kHostBase, kHostSize, kEnclaveBase, 0x7000), enclave(space, kSsa) {
+    EXPECT_TRUE(enclave.add_zero_pages(0x0000, 0x1000, sgx::kPermRWX).is_ok());
+    EXPECT_TRUE(enclave.add_zero_pages(0x1000, 0x1000, sgx::kPermRW).is_ok());
+    EXPECT_TRUE(enclave.add_zero_pages(0x2000, 0x1000, sgx::kPermNone).is_ok());
+    EXPECT_TRUE(enclave.add_zero_pages(0x3000, 0x2000, sgx::kPermRW).is_ok());
+    EXPECT_TRUE(enclave.add_zero_pages(0x5000, 0x2000, sgx::kPermRW).is_ok());
+    enclave.init();
+  }
+
+  RunResult run(const AsmProgram& prog, VmConfig config = {}) {
+    auto enc = isa::assemble(prog);
+    EXPECT_TRUE(enc.is_ok()) << (enc.is_ok() ? "" : enc.message());
+    EXPECT_TRUE(space.copy_in(kText, BytesView(enc.value().text)).is_ok());
+    Vm vm(enclave, config);
+    return vm.run(kText, kStackTop);
+  }
+};
+
+std::uint64_t run_expr(const std::function<void(AsmProgram&)>& body) {
+  MiniEnclave m;
+  AsmProgram prog;
+  body(prog);
+  prog.hlt();
+  RunResult r = m.run(prog);
+  EXPECT_EQ(r.exit, Exit::Halt) << r.fault_code;
+  return r.exit_code;
+}
+
+TEST(VmArithmetic, BasicAluOps) {
+  EXPECT_EQ(run_expr([](AsmProgram& p) {
+              p.movri(Reg::RAX, 20);
+              p.op_ri(Op::AddRI, Reg::RAX, 22);
+            }),
+            42u);
+  EXPECT_EQ(run_expr([](AsmProgram& p) {
+              p.movri(Reg::RAX, 7);
+              p.movri(Reg::RBX, 6);
+              p.op_rr(Op::ImulRR, Reg::RAX, Reg::RBX);
+            }),
+            42u);
+  EXPECT_EQ(run_expr([](AsmProgram& p) {
+              p.movri(Reg::RAX, -85);
+              p.movri(Reg::RBX, 2);
+              p.op_rr(Op::IdivRR, Reg::RAX, Reg::RBX);
+              p.op_r(Op::NegR, Reg::RAX);
+            }),
+            42u);  // trunc(-85/2) = -42
+  EXPECT_EQ(run_expr([](AsmProgram& p) {
+              p.movri(Reg::RAX, -7);
+              p.movri(Reg::RBX, 3);
+              p.op_rr(Op::IremRR, Reg::RAX, Reg::RBX);
+            }),
+            static_cast<std::uint64_t>(-1));  // C semantics: -7 % 3 == -1
+}
+
+TEST(VmArithmetic, ShiftsMaskCountTo63) {
+  EXPECT_EQ(run_expr([](AsmProgram& p) {
+              p.movri(Reg::RAX, 1);
+              p.op_ri(Op::ShlRI, Reg::RAX, 65);  // == shl 1
+            }),
+            2u);
+  EXPECT_EQ(run_expr([](AsmProgram& p) {
+              p.movri(Reg::RAX, -8);
+              p.op_ri(Op::SarRI, Reg::RAX, 1);
+            }),
+            static_cast<std::uint64_t>(-4));
+  EXPECT_EQ(run_expr([](AsmProgram& p) {
+              p.movri(Reg::RAX, -8);
+              p.op_ri(Op::ShrRI, Reg::RAX, 60);
+            }),
+            15u);
+}
+
+TEST(VmArithmetic, DivisionFaults) {
+  MiniEnclave m;
+  AsmProgram p;
+  p.movri(Reg::RAX, 1);
+  p.movri(Reg::RBX, 0);
+  p.op_rr(Op::IdivRR, Reg::RAX, Reg::RBX);
+  p.hlt();
+  RunResult r = m.run(p);
+  EXPECT_EQ(r.exit, Exit::Fault);
+  EXPECT_EQ(r.fault_code, "div_zero");
+
+  AsmProgram p2;
+  p2.movri(Reg::RAX, std::numeric_limits<std::int64_t>::min());
+  p2.movri(Reg::RBX, -1);
+  p2.op_rr(Op::IdivRR, Reg::RAX, Reg::RBX);
+  p2.hlt();
+  MiniEnclave m2;
+  RunResult r2 = m2.run(p2);
+  EXPECT_EQ(r2.exit, Exit::Fault);
+  EXPECT_EQ(r2.fault_code, "div_overflow");
+}
+
+// Condition-code matrix: for each (a, b, cond), Jcc must agree with the
+// mathematical comparison.
+struct CondCase {
+  std::int64_t a, b;
+  isa::Cond cond;
+  bool taken;
+};
+
+class VmConditions : public ::testing::TestWithParam<CondCase> {};
+
+TEST_P(VmConditions, JccMatchesComparison) {
+  const CondCase& c = GetParam();
+  std::uint64_t result = run_expr([&](AsmProgram& p) {
+    p.movri(Reg::RAX, c.a);
+    p.movri(Reg::RBX, c.b);
+    p.op_rr(Op::CmpRR, Reg::RAX, Reg::RBX);
+    p.movri(Reg::RAX, 0);
+    p.jcc(c.cond, ".taken");
+    p.hlt();
+    p.label(".taken");
+    p.movri(Reg::RAX, 1);
+  });
+  EXPECT_EQ(result, c.taken ? 1u : 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, VmConditions,
+    ::testing::Values(
+        CondCase{5, 5, Cond::E, true}, CondCase{5, 6, Cond::E, false},
+        CondCase{5, 6, Cond::NE, true}, CondCase{-1, 1, Cond::L, true},
+        CondCase{1, -1, Cond::L, false}, CondCase{3, 3, Cond::LE, true},
+        CondCase{4, 3, Cond::G, true}, CondCase{-5, -5, Cond::GE, true},
+        // Unsigned views: -1 is the largest unsigned value.
+        CondCase{-1, 1, Cond::A, true}, CondCase{-1, 1, Cond::B, false},
+        CondCase{1, -1, Cond::B, true}, CondCase{0, 0, Cond::AE, true},
+        CondCase{0, 1, Cond::BE, true}));
+
+TEST(VmFloat, ArithmeticAndConversions) {
+  auto as_bits = [](double v) { return std::bit_cast<std::int64_t>(v); };
+  EXPECT_EQ(run_expr([&](AsmProgram& p) {
+              p.movri(Reg::RAX, as_bits(1.5));
+              p.movri(Reg::RBX, as_bits(2.25));
+              p.op_rr(Op::FAddRR, Reg::RAX, Reg::RBX);
+              p.op_rr(Op::CvtF2I, Reg::RAX, Reg::RAX);
+            }),
+            3u);  // trunc(3.75)
+  EXPECT_EQ(run_expr([&](AsmProgram& p) {
+              p.movri(Reg::RAX, 9);
+              p.op_rr(Op::CvtI2F, Reg::RAX, Reg::RAX);
+              p.op_r(Op::FSqrtR, Reg::RAX);
+              p.op_rr(Op::CvtF2I, Reg::RAX, Reg::RAX);
+            }),
+            3u);
+  EXPECT_EQ(run_expr([&](AsmProgram& p) {
+              p.movri(Reg::RAX, as_bits(-2.5));
+              p.op_r(Op::FAbsR, Reg::RAX);
+              p.movri(Reg::RBX, as_bits(2.5));
+              p.op_rr(Op::FCmpRR, Reg::RAX, Reg::RBX);
+              p.movri(Reg::RAX, 0);
+              p.jcc(Cond::NE, ".done");
+              p.movri(Reg::RAX, 1);
+              p.label(".done");
+            }),
+            1u);
+}
+
+TEST(VmFloat, NanComparisonsAreUnorderedExceptNe) {
+  auto nan_case = [&](Cond cond) {
+    return run_expr([&](AsmProgram& p) {
+      p.movri(Reg::RAX, std::bit_cast<std::int64_t>(std::nan("")));
+      p.movri(Reg::RBX, std::bit_cast<std::int64_t>(1.0));
+      p.op_rr(Op::FCmpRR, Reg::RAX, Reg::RBX);
+      p.movri(Reg::RAX, 0);
+      p.jcc(cond, ".t");
+      p.hlt();
+      p.label(".t");
+      p.movri(Reg::RAX, 1);
+    });
+  };
+  EXPECT_EQ(nan_case(Cond::E), 0u);
+  EXPECT_EQ(nan_case(Cond::L), 0u);
+  EXPECT_EQ(nan_case(Cond::G), 0u);
+  EXPECT_EQ(nan_case(Cond::NE), 1u);
+}
+
+TEST(VmMemory, LoadStoreRoundTrip) {
+  EXPECT_EQ(run_expr([](AsmProgram& p) {
+              p.movri(Reg::RBX, static_cast<std::int64_t>(MiniEnclave::kData));
+              p.movri(Reg::RCX, 0xBEEF);
+              p.store(Mem::base_disp(Reg::RBX, 16), Reg::RCX);
+              p.load(Reg::RAX, Mem::base_disp(Reg::RBX, 16));
+            }),
+            0xBEEFu);
+  // Byte granularity + zero extension.
+  EXPECT_EQ(run_expr([](AsmProgram& p) {
+              p.movri(Reg::RBX, static_cast<std::int64_t>(MiniEnclave::kData));
+              p.movri(Reg::RCX, 0x1FF);  // truncated to 0xFF on store8
+              p.store8(Mem::base_disp(Reg::RBX, 3), Reg::RCX);
+              p.load8(Reg::RAX, Mem::base_disp(Reg::RBX, 3));
+            }),
+            0xFFu);
+  // Scaled index addressing.
+  EXPECT_EQ(run_expr([](AsmProgram& p) {
+              p.movri(Reg::RBX, static_cast<std::int64_t>(MiniEnclave::kData));
+              p.movri(Reg::RDX, 5);
+              p.movri(Reg::RCX, 77);
+              p.store(Mem::base_index(Reg::RBX, Reg::RDX, 3), Reg::RCX);
+              p.load(Reg::RAX, Mem::base_disp(Reg::RBX, 40));
+            }),
+            77u);
+}
+
+TEST(VmMemory, HostMemoryIsWritableFromEnclave) {
+  // SGX threat model: the enclave CAN write untrusted host memory — this is
+  // the exfiltration channel DEFLECTION's P1 annotations police.
+  MiniEnclave m;
+  AsmProgram p;
+  p.movri(Reg::RBX, static_cast<std::int64_t>(kHostBase + 0x100));
+  p.movri(Reg::RCX, 0x41414141);
+  p.store(Mem::base_disp(Reg::RBX, 0), Reg::RCX);
+  p.load(Reg::RAX, Mem::base_disp(Reg::RBX, 0));
+  p.hlt();
+  RunResult r = m.run(p);
+  EXPECT_EQ(r.exit, Exit::Halt);
+  EXPECT_EQ(r.exit_code, 0x41414141u);
+  EXPECT_EQ(load_le64(m.space.raw(kHostBase + 0x100, 8)), 0x41414141u);
+}
+
+TEST(VmMemory, ExecutingHostMemoryFaults) {
+  MiniEnclave m;
+  AsmProgram p;
+  p.movri(Reg::RAX, static_cast<std::int64_t>(kHostBase));
+  p.jmpind(Reg::RAX);
+  RunResult r = m.run(p);
+  EXPECT_EQ(r.exit, Exit::Fault);
+  EXPECT_EQ(r.fault_code, "exec_exec_outside_enclave");
+}
+
+TEST(VmMemory, GuardPageFaultsOnAccess) {
+  MiniEnclave m;
+  AsmProgram p;
+  p.movri(Reg::RBX, static_cast<std::int64_t>(MiniEnclave::kGuard));
+  p.movri(Reg::RCX, 1);
+  p.store(Mem::base_disp(Reg::RBX, 0), Reg::RCX);
+  p.hlt();
+  RunResult r = m.run(p);
+  EXPECT_EQ(r.exit, Exit::Fault);
+  EXPECT_EQ(r.fault_code, "store_perm");
+}
+
+TEST(VmMemory, StackOverflowHitsGuardPage) {
+  // Push in a loop until RSP descends into the guard page below the stack.
+  MiniEnclave m;
+  AsmProgram p;
+  p.label("loop");
+  p.push(Reg::RAX);
+  p.jmp("loop");
+  RunResult r = m.run(p);
+  EXPECT_EQ(r.exit, Exit::Fault);
+  EXPECT_EQ(r.fault_code, "stack_perm");
+}
+
+TEST(VmMemory, WriteToNonWritableEnclavePageFaults) {
+  MiniEnclave m;
+  AsmProgram p;
+  // SSA page is RW, but pretend-store to an unmapped region beyond ELRANGE.
+  p.movri(Reg::RBX, static_cast<std::int64_t>(kEnclaveBase + 0x7000));
+  p.movri(Reg::RCX, 1);
+  p.store(Mem::base_disp(Reg::RBX, 0), Reg::RCX);
+  p.hlt();
+  RunResult r = m.run(p);
+  EXPECT_EQ(r.exit, Exit::Fault);
+  EXPECT_EQ(r.fault_code, "store_oob");
+}
+
+TEST(VmControl, CallRetAndStackDiscipline) {
+  EXPECT_EQ(run_expr([](AsmProgram& p) {
+              p.call("f");
+              p.op_ri(Op::AddRI, Reg::RAX, 2);
+              p.jmp(".done");
+              p.label("f");
+              p.movri(Reg::RAX, 40);
+              p.ret();
+              p.label(".done");
+            }),
+            42u);
+}
+
+TEST(VmControl, IndirectCallThroughRegister) {
+  MiniEnclave m;
+  AsmProgram p;
+  p.movri(Reg::R10, 0);  // patched below via label math
+  p.callind(Reg::R10);
+  p.hlt();
+  p.label("callee");
+  p.movri(Reg::RAX, 99);
+  p.ret();
+  auto enc = isa::assemble(p);
+  ASSERT_TRUE(enc.is_ok());
+  Bytes text = enc.value().text;
+  std::uint64_t target = MiniEnclave::kText + enc.value().labels.at("callee");
+  store_le64(text.data() + 2, target);  // imm64 field of the first MovRI
+  ASSERT_TRUE(m.space.copy_in(MiniEnclave::kText, BytesView(text)).is_ok());
+  Vm vm(m.enclave, {});
+  RunResult r = vm.run(MiniEnclave::kText, MiniEnclave::kStackTop);
+  EXPECT_EQ(r.exit, Exit::Halt);
+  EXPECT_EQ(r.exit_code, 99u);
+}
+
+TEST(VmControl, SelfModifyingCodeTakesEffect) {
+  // The text page is RWX (SGXv1); without P4 a program can rewrite its own
+  // instructions and the VM must execute the *new* bytes (decode-cache
+  // invalidation). The program overwrites a `movri rax, 1` with
+  // `movri rax, 2` before a backward jump re-executes it.
+  MiniEnclave m;
+  AsmProgram p;
+  p.movri(Reg::R8, 0);  // loop flag
+  p.label("top");
+  p.movri(Reg::RAX, 1);  // the instruction to be patched (offset of "top")
+  p.op_ri(Op::CmpRI, Reg::R8, 1);
+  p.jcc(Cond::E, ".done");
+  p.movri(Reg::R8, 1);
+  // Patch the imm64 of the movri at "top": write 2 over it.
+  p.movri(Reg::RBX, 0);  // filled with &top+2 below
+  p.movri(Reg::RCX, 2);
+  p.store(Mem::base_disp(Reg::RBX, 0), Reg::RCX);
+  p.jmp("top");
+  p.label(".done");
+  p.hlt();
+  auto enc = isa::assemble(p);
+  ASSERT_TRUE(enc.is_ok());
+  Bytes text = enc.value().text;
+  std::uint64_t top = MiniEnclave::kText + enc.value().labels.at("top");
+  // The RBX MovRI is the 5th instruction: offsets 10,10,6,6,10 -> 42.
+  store_le64(text.data() + 42 + 2, top + 2);
+  ASSERT_TRUE(m.space.copy_in(MiniEnclave::kText, BytesView(text)).is_ok());
+  Vm vm(m.enclave, {});
+  RunResult r = vm.run(MiniEnclave::kText, MiniEnclave::kStackTop);
+  EXPECT_EQ(r.exit, Exit::Halt) << r.fault_code;
+  EXPECT_EQ(r.exit_code, 2u);  // saw the patched instruction
+}
+
+TEST(VmLimits, CostLimitStopsRunaway) {
+  MiniEnclave m;
+  AsmProgram p;
+  p.label("spin");
+  p.jmp("spin");
+  VmConfig config;
+  config.max_cost = 10'000;
+  RunResult r = m.run(p, config);
+  EXPECT_EQ(r.exit, Exit::CostLimit);
+  EXPECT_GT(r.instructions, 1000u);
+}
+
+TEST(VmOcall, HandlerReceivesArgsAndSetsRax) {
+  MiniEnclave m;
+  AsmProgram p;
+  p.movri(Reg::RDI, 11);
+  p.movri(Reg::RSI, 22);
+  p.movri(Reg::RDX, 33);
+  p.ocall(7);
+  p.hlt();
+  auto enc = isa::assemble(p);
+  ASSERT_TRUE(enc.is_ok());
+  ASSERT_TRUE(m.space.copy_in(MiniEnclave::kText, BytesView(enc.value().text)).is_ok());
+  Vm vm(m.enclave, {});
+  std::uint8_t seen_num = 0;
+  vm.set_ocall_handler([&](std::uint8_t num, std::uint64_t a, std::uint64_t b,
+                           std::uint64_t c) -> Result<std::uint64_t> {
+    seen_num = num;
+    return a + b + c;
+  });
+  RunResult r = vm.run(MiniEnclave::kText, MiniEnclave::kStackTop);
+  EXPECT_EQ(r.exit, Exit::Halt);
+  EXPECT_EQ(seen_num, 7);
+  EXPECT_EQ(r.exit_code, 66u);
+}
+
+TEST(VmOcall, MissingHandlerFaults) {
+  MiniEnclave m;
+  AsmProgram p;
+  p.ocall(1);
+  p.hlt();
+  RunResult r = m.run(p);
+  EXPECT_EQ(r.exit, Exit::Fault);
+  EXPECT_EQ(r.fault_code, "ocall_no_handler");
+}
+
+TEST(VmOcall, BoundaryCostIsCharged) {
+  MiniEnclave m;
+  AsmProgram p;
+  p.ocall(1);
+  p.hlt();
+  auto enc = isa::assemble(p);
+  ASSERT_TRUE(enc.is_ok());
+  ASSERT_TRUE(m.space.copy_in(MiniEnclave::kText, BytesView(enc.value().text)).is_ok());
+  VmConfig config;
+  config.ocall_boundary_cost = 5000;
+  Vm vm(m.enclave, config);
+  vm.set_ocall_handler([](std::uint8_t, std::uint64_t, std::uint64_t,
+                          std::uint64_t) -> Result<std::uint64_t> { return 0; });
+  RunResult r = vm.run(MiniEnclave::kText, MiniEnclave::kStackTop);
+  EXPECT_GE(r.cost, 5000u);
+}
+
+TEST(VmAex, InjectionClobbersSsaMarkerAndCounts) {
+  MiniEnclave m;
+  // Plant a marker in the SSA, run long enough for AEX injections, then
+  // read the marker back.
+  sgx::MemFault mf;
+  ASSERT_TRUE(m.space.write_u64(MiniEnclave::kSsa, 0x5A5AA5A5, mf));
+  m.enclave.set_aex_policy({.interval_cost = 500, .burst = 2});
+  AsmProgram p;
+  p.movri(Reg::RCX, 300);
+  p.label("loop");
+  p.op_ri(Op::SubRI, Reg::RCX, 1);
+  p.op_ri(Op::CmpRI, Reg::RCX, 0);
+  p.jcc(Cond::G, "loop");
+  p.movri(Reg::RBX, static_cast<std::int64_t>(MiniEnclave::kSsa));
+  p.load(Reg::RAX, Mem::base_disp(Reg::RBX, 0));
+  p.hlt();
+  RunResult r = m.run(p);
+  EXPECT_EQ(r.exit, Exit::Halt);
+  EXPECT_NE(r.exit_code, 0x5A5AA5A5u);  // marker overwritten by saved context
+  EXPECT_GT(r.aex_count, 0u);
+  EXPECT_EQ(r.aex_count % 2, 0u);  // bursts of 2
+}
+
+}  // namespace
+}  // namespace deflection::vm

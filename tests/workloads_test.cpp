@@ -1,0 +1,185 @@
+// Workload semantics tests: every nBench kernel must run to completion and
+// produce the *same* checksum at every policy level (instrumentation must
+// never change program semantics), and the macro services must produce
+// outputs matching host-side reference computations.
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "workloads/workloads.h"
+
+namespace deflection::testing {
+namespace {
+
+using workloads::with_params;
+
+class NbenchKernels : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, NbenchKernels,
+                         ::testing::Range<std::size_t>(0, 10),
+                         [](const auto& info) {
+                           std::string name =
+                               workloads::nbench_kernels()[info.param].name;
+                           for (char& c : name)
+                             if (c == ' ') c = '_';
+                           return name;
+                         });
+
+TEST_P(NbenchKernels, SameChecksumAtEveryPolicyLevel) {
+  const auto& kernel = workloads::nbench_kernels()[GetParam()];
+  std::string src = with_params(kernel.source, kernel.test_params);
+
+  const PolicySet levels[] = {PolicySet::none(), PolicySet::p1(), PolicySet::p1p2(),
+                              PolicySet::p1to5(), PolicySet::p1to6()};
+  std::uint64_t baseline = 0;
+  for (const PolicySet& level : levels) {
+    core::RunOutcome outcome = run_service(src, level);
+    ASSERT_EQ(outcome.result.exit, vm::Exit::Halt)
+        << kernel.name << " at " << level.to_string()
+        << " fault: " << outcome.result.fault_code;
+    ASSERT_FALSE(outcome.policy_violation)
+        << kernel.name << " tripped a policy at " << level.to_string();
+    if (level == PolicySet::none())
+      baseline = outcome.result.exit_code;
+    else
+      EXPECT_EQ(outcome.result.exit_code, baseline)
+          << kernel.name << " diverged at " << level.to_string();
+  }
+}
+
+TEST_P(NbenchKernels, InstrumentationGrowsWithPolicyLevel) {
+  const auto& kernel = workloads::nbench_kernels()[GetParam()];
+  std::string src = with_params(kernel.source, kernel.test_params);
+  auto none = compile_or_die(src, PolicySet::none());
+  auto p1 = compile_or_die(src, PolicySet::p1());
+  auto p15 = compile_or_die(src, PolicySet::p1to5());
+  auto p16 = compile_or_die(src, PolicySet::p1to6());
+  EXPECT_GT(p1.dxo.text.size(), none.dxo.text.size());
+  EXPECT_GT(p15.dxo.text.size(), p1.dxo.text.size());
+  EXPECT_GT(p16.dxo.text.size(), p15.dxo.text.size());
+  EXPECT_GT(p1.stats.store_guards, 0);
+  EXPECT_GT(p15.stats.shadow_prologues, 0);
+  EXPECT_GT(p16.stats.aex_probes, 0);
+}
+
+// Host-side Needleman-Wunsch reference.
+int reference_nw(const std::string& a, const std::string& b) {
+  int la = static_cast<int>(a.size()), lb = static_cast<int>(b.size());
+  std::vector<int> m((la + 1) * (lb + 1));
+  int w = lb + 1;
+  for (int i = 0; i <= la; ++i) m[i * w] = -2 * i;
+  for (int j = 0; j <= lb; ++j) m[j] = -2 * j;
+  for (int i = 1; i <= la; ++i)
+    for (int j = 1; j <= lb; ++j) {
+      int s = a[i - 1] == b[j - 1] ? 1 : -1;
+      m[i * w + j] = std::max({m[(i - 1) * w + j - 1] + s, m[(i - 1) * w + j] - 2,
+                               m[i * w + j - 1] - 2});
+    }
+  return m[la * w + lb];
+}
+
+Bytes nw_input(const std::string& a, const std::string& b) {
+  Bytes msg;
+  ByteWriter w(msg);
+  w.u64(a.size());
+  msg.insert(msg.end(), a.begin(), a.end());
+  {
+    ByteWriter w2(msg);
+    w2.u64(b.size());
+  }
+  msg.insert(msg.end(), b.begin(), b.end());
+  return msg;
+}
+
+TEST(MacroWorkloads, NeedlemanWunschMatchesReference) {
+  std::string a = "ACGTGGTCGA", b = "ACTTGGCGAA";
+  std::string src =
+      with_params(workloads::needleman_wunsch_source(), {{"BUFCAP", "4096"}});
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  auto compiled = compile_or_die(src, PolicySet::p1to5());
+  Pipeline pipe(config);
+  ASSERT_TRUE(pipe.deliver(compiled.dxo).is_ok());
+  ASSERT_TRUE(pipe.feed(BytesView(nw_input(a, b))).is_ok());
+  auto outcome = pipe.run();
+  ASSERT_TRUE(outcome.is_ok()) << outcome.message();
+  ASSERT_EQ(outcome.value().sealed_output.size(), 1u);
+  auto plain = pipe.owner->open_output(BytesView(outcome.value().sealed_output[0]));
+  ASSERT_TRUE(plain.is_ok());
+  ASSERT_EQ(plain.value().size(), 8u);
+  auto score = static_cast<std::int64_t>(load_le64(plain.value().data()));
+  EXPECT_EQ(score, reference_nw(a, b));
+}
+
+TEST(MacroWorkloads, SequenceGenerationProducesRequestedLength) {
+  std::string src = with_params(workloads::sequence_generation_source(), {});
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to6();
+  auto compiled = compile_or_die(src, PolicySet::p1to6());
+  Pipeline pipe(config);
+  ASSERT_TRUE(pipe.deliver(compiled.dxo).is_ok());
+  Bytes input;
+  ByteWriter w(input);
+  w.u64(2000);
+  w.u64(4242);
+  ASSERT_TRUE(pipe.feed(BytesView(input)).is_ok());
+  auto outcome = pipe.run();
+  ASSERT_TRUE(outcome.is_ok()) << outcome.message();
+  ASSERT_EQ(outcome.value().sealed_output.size(), 1u);
+  auto plain = pipe.owner->open_output(BytesView(outcome.value().sealed_output[0]));
+  ASSERT_TRUE(plain.is_ok());
+  ASSERT_EQ(plain.value().size(), 2000u);
+  for (std::uint8_t c : plain.value())
+    EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T') << static_cast<int>(c);
+}
+
+TEST(MacroWorkloads, CreditScoringReturnsProbability) {
+  std::string src = with_params(workloads::credit_scoring_source(),
+                                {{"TRAIN", "60"}, {"EPOCHS", "2"}});
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  auto compiled = compile_or_die(src, PolicySet::p1to5());
+  Pipeline pipe(config);
+  ASSERT_TRUE(pipe.deliver(compiled.dxo).is_ok());
+  Bytes input;
+  ByteWriter w(input);
+  w.u64(50);    // queries
+  w.u64(1234);  // seed
+  ASSERT_TRUE(pipe.feed(BytesView(input)).is_ok());
+  auto outcome = pipe.run();
+  ASSERT_TRUE(outcome.is_ok()) << outcome.message();
+  ASSERT_EQ(outcome.value().sealed_output.size(), 1u);
+  auto plain = pipe.owner->open_output(BytesView(outcome.value().sealed_output[0]));
+  ASSERT_TRUE(plain.is_ok());
+  std::uint64_t ppm = load_le64(plain.value().data());
+  EXPECT_GT(ppm, 0u);
+  EXPECT_LE(ppm, 1'000'000u);
+}
+
+TEST(MacroWorkloads, HttpsHandlerServesRequests) {
+  std::string src = with_params(workloads::https_handler_source(),
+                                {{"CONTENT", "4096"}, {"MAXRESP", "65536"}});
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to6();
+  auto compiled = compile_or_die(src, PolicySet::p1to6());
+  Pipeline pipe(config);
+  ASSERT_TRUE(pipe.deliver(compiled.dxo).is_ok());
+  for (std::uint64_t size : {100u, 1000u, 5000u}) {
+    Bytes req;
+    ByteWriter w(req);
+    w.u64(size);
+    ASSERT_TRUE(pipe.feed(BytesView(req)).is_ok());
+  }
+  auto outcome = pipe.run();
+  ASSERT_TRUE(outcome.is_ok()) << outcome.message();
+  EXPECT_EQ(outcome.value().result.exit_code, 3u);
+  ASSERT_EQ(outcome.value().sealed_output.size(), 3u);
+  std::uint64_t sizes[] = {100, 1000, 5000};
+  for (int i = 0; i < 3; ++i) {
+    auto plain = pipe.owner->open_output(BytesView(outcome.value().sealed_output[i]));
+    ASSERT_TRUE(plain.is_ok());
+    EXPECT_EQ(plain.value().size(), sizes[i]);
+  }
+}
+
+}  // namespace
+}  // namespace deflection::testing

@@ -1,0 +1,304 @@
+// deflectc — command-line driver for the DEFLECTION toolchain.
+//
+//   deflectc compile <in.mc> <out.dxo> [--policies SET] [--listing]
+//   deflectc inspect <in.dxo>
+//   deflectc verify  <in.dxo> [--required SET]
+//   deflectc run     <in.dxo> [--required SET] [--input FILE]...
+//
+// SET is one of: none, p1, p1p2, p1to5, p1to6 (default p1to5).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/protocol.h"
+#include "isa/decode.h"
+#include "verifier/verify.h"
+
+using namespace deflection;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  deflectc compile <in.mc> <out.dxo> [--policies SET] [--listing]\n"
+               "  deflectc inspect <in.dxo>\n"
+               "  deflectc verify  <in.dxo> [--required SET]\n"
+               "  deflectc run     <in.dxo> [--required SET] [--input FILE]...\n"
+               "SET: none | p1 | p1p2 | p1to5 | p1to6 (default p1to5)\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, Bytes& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string s = ss.str();
+  out.assign(s.begin(), s.end());
+  return true;
+}
+
+bool write_file(const std::string& path, BytesView data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return out.good();
+}
+
+bool parse_policies(const std::string& name, PolicySet& out) {
+  if (name == "none") out = PolicySet::none();
+  else if (name == "p1") out = PolicySet::p1();
+  else if (name == "p1p2") out = PolicySet::p1p2();
+  else if (name == "p1to5") out = PolicySet::p1to5();
+  else if (name == "p1to6") out = PolicySet::p1to6();
+  else return false;
+  return true;
+}
+
+int cmd_compile(int argc, char** argv) {
+  if (argc < 4) return usage();
+  std::string in_path = argv[2], out_path = argv[3];
+  PolicySet policies = PolicySet::p1to5();
+  bool listing = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--policies") == 0 && i + 1 < argc) {
+      if (!parse_policies(argv[++i], policies)) return usage();
+    } else if (std::strcmp(argv[i], "--listing") == 0) {
+      listing = true;
+    } else {
+      return usage();
+    }
+  }
+  Bytes source_bytes;
+  if (!read_file(in_path, source_bytes)) {
+    std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
+    return 1;
+  }
+  std::string source(source_bytes.begin(), source_bytes.end());
+  auto compiled = codegen::compile(source, policies);
+  if (!compiled.is_ok()) {
+    std::fprintf(stderr, "compile error: %s\n", compiled.message().c_str());
+    return 1;
+  }
+  if (listing) std::fputs(compiled.value().assembly_listing.c_str(), stdout);
+  Bytes wire = compiled.value().dxo.serialize();
+  if (!write_file(out_path, BytesView(wire))) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const auto& s = compiled.value().stats;
+  std::printf("%s: %zu bytes (text %zu, data %zu), policies %s\n", out_path.c_str(),
+              wire.size(), compiled.value().dxo.text.size(),
+              compiled.value().dxo.data.size(), policies.to_string().c_str());
+  std::printf("annotations: %d store guards, %d rsp guards, %d prologues, "
+              "%d epilogues, %d indirect guards, %d probes\n",
+              s.store_guards, s.rsp_guards, s.shadow_prologues, s.shadow_epilogues,
+              s.indirect_guards, s.aex_probes);
+  return 0;
+}
+
+Result<codegen::Dxo> load_dxo(const std::string& path) {
+  Bytes wire;
+  if (!read_file(path, wire))
+    return Result<codegen::Dxo>::fail("io", "cannot read " + path);
+  return codegen::Dxo::deserialize(BytesView(wire));
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto dxo = load_dxo(argv[2]);
+  if (!dxo.is_ok()) {
+    std::fprintf(stderr, "%s\n", dxo.message().c_str());
+    return 1;
+  }
+  const codegen::Dxo& d = dxo.value();
+  std::printf("policies: %s\n", d.policies.to_string().c_str());
+  std::printf("entry: %s\ntext: %zu bytes, data: %zu bytes\n", d.entry.c_str(),
+              d.text.size(), d.data.size());
+  std::printf("symbols (%zu):\n", d.symbols.size());
+  for (const auto& sym : d.symbols)
+    std::printf("  %-24s %s+0x%llx%s\n", sym.name.c_str(),
+                sym.section == codegen::Section::Text ? "text" : "data",
+                static_cast<unsigned long long>(sym.offset),
+                sym.is_function ? " (func)" : "");
+  std::printf("relocations: %zu\n", d.relocs.size());
+  std::printf("indirect-branch targets (%zu):", d.branch_targets.size());
+  for (const auto& t : d.branch_targets) std::printf(" %s", t.c_str());
+  std::printf("\n\ndisassembly:\n");
+  auto instrs = isa::decode_all(BytesView(d.text), 0);
+  if (!instrs.is_ok()) {
+    std::fprintf(stderr, "decode failed: %s\n", instrs.message().c_str());
+    return 1;
+  }
+  for (const auto& ins : instrs.value()) {
+    for (const auto& sym : d.symbols)
+      if (sym.section == codegen::Section::Text && sym.offset == ins.addr &&
+          sym.is_function)
+        std::printf("%s:\n", sym.name.c_str());
+    std::printf("  %06llx  %s\n", static_cast<unsigned long long>(ins.addr),
+                ins.to_string().c_str());
+  }
+  return 0;
+}
+
+PolicySet required_from_args(int argc, char** argv, int start,
+                             std::vector<std::string>* inputs) {
+  PolicySet required = PolicySet::p1to5();
+  for (int i = start; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--required") == 0 && i + 1 < argc) {
+      (void)parse_policies(argv[++i], required);
+    } else if (inputs != nullptr && std::strcmp(argv[i], "--input") == 0 &&
+               i + 1 < argc) {
+      inputs->push_back(argv[++i]);
+    }
+  }
+  return required;
+}
+
+int cmd_verify(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto dxo = load_dxo(argv[2]);
+  if (!dxo.is_ok()) {
+    std::fprintf(stderr, "%s\n", dxo.message().c_str());
+    return 1;
+  }
+  PolicySet required = required_from_args(argc, argv, 3, nullptr);
+  verifier::LayoutConfig config;
+  std::uint64_t base = 0x7000'0000'0000ull;
+  verifier::EnclaveLayout layout = verifier::EnclaveLayout::compute(base, config);
+  sgx::AddressSpace space(0x10000, 1 << 20, base, layout.enclave_size);
+  sgx::Enclave enclave(space, layout.ssa_addr);
+  auto built = verifier::Loader::build_enclave(enclave, base, config, {});
+  if (!built.is_ok()) {
+    std::fprintf(stderr, "enclave build failed: %s\n", built.message().c_str());
+    return 1;
+  }
+  verifier::Loader loader(enclave, built.value());
+  auto loaded = loader.load(dxo.value());
+  if (!loaded.is_ok()) {
+    std::fprintf(stderr, "REJECTED (load): %s\n", loaded.message().c_str());
+    return 1;
+  }
+  verifier::VerifyConfig vconfig;
+  vconfig.required = required;
+  auto report = verifier::verify(space, loaded.value(), vconfig);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "REJECTED: [%s] %s\n", report.code().c_str(),
+                 report.message().c_str());
+    return 1;
+  }
+  std::printf("VERIFIED: %zu instructions; %d store guards, %d rsp guards, "
+              "%d prologues, %d epilogues, %d indirect guards, %d probes; "
+              "%zu rewrite slots\n",
+              report.value().instructions, report.value().store_guards,
+              report.value().rsp_guards, report.value().shadow_prologues,
+              report.value().shadow_epilogues, report.value().indirect_guards,
+              report.value().aex_probes, report.value().patches.size());
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto dxo = load_dxo(argv[2]);
+  if (!dxo.is_ok()) {
+    std::fprintf(stderr, "%s\n", dxo.message().c_str());
+    return 1;
+  }
+  std::vector<std::string> input_files;
+  PolicySet required = required_from_args(argc, argv, 3, &input_files);
+  bool trace = false;
+  long trace_limit = 200;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+    if (std::strcmp(argv[i], "--trace-limit") == 0 && i + 1 < argc)
+      trace_limit = std::atol(argv[++i]);
+  }
+
+  core::BootstrapConfig config;
+  config.verify.required = required;
+  config.allow_debug_print = true;
+  sgx::AttestationService as;
+  sgx::QuotingEnclave quoting = as.provision("cli-platform", 99);
+  core::BootstrapEnclave enclave(quoting, config);
+  crypto::Digest expected = core::BootstrapEnclave::expected_mrenclave(config);
+  core::DataOwner owner(as, expected);
+  core::CodeProvider provider(as, expected);
+  if (!owner.accept(enclave.open_channel(core::Role::DataOwner, owner.dh_public()))
+           .is_ok() ||
+      !provider
+           .accept(enclave.open_channel(core::Role::CodeProvider, provider.dh_public()))
+           .is_ok()) {
+    std::fprintf(stderr, "attestation failed\n");
+    return 1;
+  }
+  auto digest = enclave.ecall_receive_binary(provider.seal_binary(dxo.value()));
+  if (!digest.is_ok()) {
+    std::fprintf(stderr, "delivery failed: %s\n", digest.message().c_str());
+    return 1;
+  }
+  for (const auto& path : input_files) {
+    Bytes data;
+    if (!read_file(path, data)) {
+      std::fprintf(stderr, "cannot read input %s\n", path.c_str());
+      return 1;
+    }
+    if (auto s = enclave.ecall_receive_userdata(owner.seal_input(BytesView(data)));
+        !s.is_ok()) {
+      std::fprintf(stderr, "input rejected: %s\n", s.message().c_str());
+      return 1;
+    }
+  }
+  long traced = 0;
+  if (trace) {
+    enclave.set_trace_hook([&](const isa::Instr& ins,
+                               const std::array<std::uint64_t, 16>& regs) {
+      if (traced < trace_limit)
+        std::printf("  %06llx  %-40s rax=%llx rsp=%llx\n",
+                    static_cast<unsigned long long>(ins.addr),
+                    ins.to_string().c_str(),
+                    static_cast<unsigned long long>(regs[0]),
+                    static_cast<unsigned long long>(regs[7]));
+      else if (traced == trace_limit)
+        std::printf("  ... (trace limit reached)\n");
+      ++traced;
+    });
+  }
+  auto outcome = enclave.ecall_run();
+  if (!outcome.is_ok()) {
+    std::fprintf(stderr, "REJECTED/FAILED: [%s] %s\n", outcome.code().c_str(),
+                 outcome.message().c_str());
+    return 1;
+  }
+  const auto& r = outcome.value().result;
+  std::printf("exit=%llu cost=%llu instructions=%llu%s%s\n",
+              static_cast<unsigned long long>(r.exit_code),
+              static_cast<unsigned long long>(r.cost),
+              static_cast<unsigned long long>(r.instructions),
+              outcome.value().policy_violation ? " [POLICY VIOLATION]" : "",
+              r.exit != vm::Exit::Halt ? (" [" + r.fault_code + "]").c_str() : "");
+  for (std::int64_t v : outcome.value().debug_prints)
+    std::printf("print_int: %lld\n", static_cast<long long>(v));
+  for (const auto& sealed : outcome.value().sealed_output) {
+    auto plain = owner.open_output(BytesView(sealed));
+    if (plain.is_ok())
+      std::printf("output (%zu bytes): %s\n", plain.value().size(),
+                  to_hex(BytesView(plain.value())).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  if (cmd == "compile") return cmd_compile(argc, argv);
+  if (cmd == "inspect") return cmd_inspect(argc, argv);
+  if (cmd == "verify") return cmd_verify(argc, argv);
+  if (cmd == "run") return cmd_run(argc, argv);
+  return usage();
+}
