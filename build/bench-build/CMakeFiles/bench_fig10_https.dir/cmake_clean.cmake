@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_https"
+  "../bench/bench_fig10_https.pdb"
+  "CMakeFiles/bench_fig10_https.dir/bench_fig10_https.cpp.o"
+  "CMakeFiles/bench_fig10_https.dir/bench_fig10_https.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_https.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

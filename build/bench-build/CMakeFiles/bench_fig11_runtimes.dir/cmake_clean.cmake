@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_runtimes"
+  "../bench/bench_fig11_runtimes.pdb"
+  "CMakeFiles/bench_fig11_runtimes.dir/bench_fig11_runtimes.cpp.o"
+  "CMakeFiles/bench_fig11_runtimes.dir/bench_fig11_runtimes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_seqalign"
+  "../bench/bench_fig7_seqalign.pdb"
+  "CMakeFiles/bench_fig7_seqalign.dir/bench_fig7_seqalign.cpp.o"
+  "CMakeFiles/bench_fig7_seqalign.dir/bench_fig7_seqalign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_seqalign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

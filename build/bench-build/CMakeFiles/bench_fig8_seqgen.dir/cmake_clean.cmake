@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_seqgen"
+  "../bench/bench_fig8_seqgen.pdb"
+  "CMakeFiles/bench_fig8_seqgen.dir/bench_fig8_seqgen.cpp.o"
+  "CMakeFiles/bench_fig8_seqgen.dir/bench_fig8_seqgen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_seqgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

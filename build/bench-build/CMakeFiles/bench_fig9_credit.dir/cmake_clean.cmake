@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_credit"
+  "../bench/bench_fig9_credit.pdb"
+  "CMakeFiles/bench_fig9_credit.dir/bench_fig9_credit.cpp.o"
+  "CMakeFiles/bench_fig9_credit.dir/bench_fig9_credit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_verifier"
+  "../bench/bench_micro_verifier.pdb"
+  "CMakeFiles/bench_micro_verifier.dir/bench_micro_verifier.cpp.o"
+  "CMakeFiles/bench_micro_verifier.dir/bench_micro_verifier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

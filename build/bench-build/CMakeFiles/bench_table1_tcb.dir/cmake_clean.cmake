@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_tcb"
+  "../bench/bench_table1_tcb.pdb"
+  "CMakeFiles/bench_table1_tcb.dir/bench_table1_tcb.cpp.o"
+  "CMakeFiles/bench_table1_tcb.dir/bench_table1_tcb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_nbench"
+  "../bench/bench_table2_nbench.pdb"
+  "CMakeFiles/bench_table2_nbench.dir/bench_table2_nbench.cpp.o"
+  "CMakeFiles/bench_table2_nbench.dir/bench_table2_nbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_nbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_credit_service.dir/credit_service.cpp.o"
+  "CMakeFiles/example_credit_service.dir/credit_service.cpp.o.d"
+  "example_credit_service"
+  "example_credit_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_credit_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

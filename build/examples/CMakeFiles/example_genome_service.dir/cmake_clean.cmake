@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_genome_service.dir/genome_service.cpp.o"
+  "CMakeFiles/example_genome_service.dir/genome_service.cpp.o.d"
+  "example_genome_service"
+  "example_genome_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_genome_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

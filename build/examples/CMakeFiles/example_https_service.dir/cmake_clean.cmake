@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_https_service.dir/https_service.cpp.o"
+  "CMakeFiles/example_https_service.dir/https_service.cpp.o.d"
+  "example_https_service"
+  "example_https_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_https_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

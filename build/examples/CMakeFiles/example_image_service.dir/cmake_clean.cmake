@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_image_service.dir/image_service.cpp.o"
+  "CMakeFiles/example_image_service.dir/image_service.cpp.o.d"
+  "example_image_service"
+  "example_image_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_image_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

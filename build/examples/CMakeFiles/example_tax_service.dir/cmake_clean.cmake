@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tax_service.dir/tax_service.cpp.o"
+  "CMakeFiles/example_tax_service.dir/tax_service.cpp.o.d"
+  "example_tax_service"
+  "example_tax_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tax_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/codegen.cpp" "src/CMakeFiles/deflection.dir/codegen/codegen.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/codegen/codegen.cpp.o.d"
+  "/root/repo/src/codegen/compile.cpp" "src/CMakeFiles/deflection.dir/codegen/compile.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/codegen/compile.cpp.o.d"
+  "/root/repo/src/codegen/dxo.cpp" "src/CMakeFiles/deflection.dir/codegen/dxo.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/codegen/dxo.cpp.o.d"
+  "/root/repo/src/codegen/passes.cpp" "src/CMakeFiles/deflection.dir/codegen/passes.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/codegen/passes.cpp.o.d"
+  "/root/repo/src/codegen/peephole.cpp" "src/CMakeFiles/deflection.dir/codegen/peephole.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/codegen/peephole.cpp.o.d"
+  "/root/repo/src/codegen/policy.cpp" "src/CMakeFiles/deflection.dir/codegen/policy.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/codegen/policy.cpp.o.d"
+  "/root/repo/src/core/bootstrap.cpp" "src/CMakeFiles/deflection.dir/core/bootstrap.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/core/bootstrap.cpp.o.d"
+  "/root/repo/src/core/pool.cpp" "src/CMakeFiles/deflection.dir/core/pool.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/core/pool.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/CMakeFiles/deflection.dir/core/protocol.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/core/protocol.cpp.o.d"
+  "/root/repo/src/crypto/cipher.cpp" "src/CMakeFiles/deflection.dir/crypto/cipher.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/crypto/cipher.cpp.o.d"
+  "/root/repo/src/crypto/dh.cpp" "src/CMakeFiles/deflection.dir/crypto/dh.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/crypto/dh.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/deflection.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/isa/assemble.cpp" "src/CMakeFiles/deflection.dir/isa/assemble.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/isa/assemble.cpp.o.d"
+  "/root/repo/src/isa/decode.cpp" "src/CMakeFiles/deflection.dir/isa/decode.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/isa/decode.cpp.o.d"
+  "/root/repo/src/isa/isa.cpp" "src/CMakeFiles/deflection.dir/isa/isa.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/isa/isa.cpp.o.d"
+  "/root/repo/src/minic/interp.cpp" "src/CMakeFiles/deflection.dir/minic/interp.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/minic/interp.cpp.o.d"
+  "/root/repo/src/minic/lexer.cpp" "src/CMakeFiles/deflection.dir/minic/lexer.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/minic/lexer.cpp.o.d"
+  "/root/repo/src/minic/parser.cpp" "src/CMakeFiles/deflection.dir/minic/parser.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/minic/parser.cpp.o.d"
+  "/root/repo/src/minic/sema.cpp" "src/CMakeFiles/deflection.dir/minic/sema.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/minic/sema.cpp.o.d"
+  "/root/repo/src/runtimes/runtimes.cpp" "src/CMakeFiles/deflection.dir/runtimes/runtimes.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/runtimes/runtimes.cpp.o.d"
+  "/root/repo/src/sgx/attestation.cpp" "src/CMakeFiles/deflection.dir/sgx/attestation.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/sgx/attestation.cpp.o.d"
+  "/root/repo/src/sgx/platform.cpp" "src/CMakeFiles/deflection.dir/sgx/platform.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/sgx/platform.cpp.o.d"
+  "/root/repo/src/support/bytes.cpp" "src/CMakeFiles/deflection.dir/support/bytes.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/support/bytes.cpp.o.d"
+  "/root/repo/src/verifier/disasm.cpp" "src/CMakeFiles/deflection.dir/verifier/disasm.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/verifier/disasm.cpp.o.d"
+  "/root/repo/src/verifier/layout.cpp" "src/CMakeFiles/deflection.dir/verifier/layout.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/verifier/layout.cpp.o.d"
+  "/root/repo/src/verifier/loader.cpp" "src/CMakeFiles/deflection.dir/verifier/loader.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/verifier/loader.cpp.o.d"
+  "/root/repo/src/verifier/verify.cpp" "src/CMakeFiles/deflection.dir/verifier/verify.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/verifier/verify.cpp.o.d"
+  "/root/repo/src/vm/vm.cpp" "src/CMakeFiles/deflection.dir/vm/vm.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/vm/vm.cpp.o.d"
+  "/root/repo/src/workloads/macro.cpp" "src/CMakeFiles/deflection.dir/workloads/macro.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/workloads/macro.cpp.o.d"
+  "/root/repo/src/workloads/nbench.cpp" "src/CMakeFiles/deflection.dir/workloads/nbench.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/workloads/nbench.cpp.o.d"
+  "/root/repo/src/workloads/runner.cpp" "src/CMakeFiles/deflection.dir/workloads/runner.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/workloads/runner.cpp.o.d"
+  "/root/repo/src/workloads/stdlib.cpp" "src/CMakeFiles/deflection.dir/workloads/stdlib.cpp.o" "gcc" "src/CMakeFiles/deflection.dir/workloads/stdlib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

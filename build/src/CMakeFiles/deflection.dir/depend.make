@@ -1,0 +1,2 @@
+# Empty dependencies file for deflection.
+# This may be replaced when dependencies are built.

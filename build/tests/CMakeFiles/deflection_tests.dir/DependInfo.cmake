@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codegen_test.cpp" "tests/CMakeFiles/deflection_tests.dir/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/codegen_test.cpp.o.d"
+  "/root/repo/tests/core_misuse_test.cpp" "tests/CMakeFiles/deflection_tests.dir/core_misuse_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/core_misuse_test.cpp.o.d"
+  "/root/repo/tests/crypto_test.cpp" "tests/CMakeFiles/deflection_tests.dir/crypto_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/crypto_test.cpp.o.d"
+  "/root/repo/tests/differential_test.cpp" "tests/CMakeFiles/deflection_tests.dir/differential_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/differential_test.cpp.o.d"
+  "/root/repo/tests/e2e_pipeline_test.cpp" "tests/CMakeFiles/deflection_tests.dir/e2e_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/e2e_pipeline_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/deflection_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/image_workload_test.cpp" "tests/CMakeFiles/deflection_tests.dir/image_workload_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/image_workload_test.cpp.o.d"
+  "/root/repo/tests/isa_semantics_test.cpp" "tests/CMakeFiles/deflection_tests.dir/isa_semantics_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/isa_semantics_test.cpp.o.d"
+  "/root/repo/tests/isa_test.cpp" "tests/CMakeFiles/deflection_tests.dir/isa_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/isa_test.cpp.o.d"
+  "/root/repo/tests/minic_test.cpp" "tests/CMakeFiles/deflection_tests.dir/minic_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/minic_test.cpp.o.d"
+  "/root/repo/tests/nbench_differential_test.cpp" "tests/CMakeFiles/deflection_tests.dir/nbench_differential_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/nbench_differential_test.cpp.o.d"
+  "/root/repo/tests/peephole_test.cpp" "tests/CMakeFiles/deflection_tests.dir/peephole_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/peephole_test.cpp.o.d"
+  "/root/repo/tests/plugin_test.cpp" "tests/CMakeFiles/deflection_tests.dir/plugin_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/plugin_test.cpp.o.d"
+  "/root/repo/tests/pool_test.cpp" "tests/CMakeFiles/deflection_tests.dir/pool_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/pool_test.cpp.o.d"
+  "/root/repo/tests/protocol_test.cpp" "tests/CMakeFiles/deflection_tests.dir/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/protocol_test.cpp.o.d"
+  "/root/repo/tests/runtime_attack_test.cpp" "tests/CMakeFiles/deflection_tests.dir/runtime_attack_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/runtime_attack_test.cpp.o.d"
+  "/root/repo/tests/sealing_test.cpp" "tests/CMakeFiles/deflection_tests.dir/sealing_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/sealing_test.cpp.o.d"
+  "/root/repo/tests/security_test.cpp" "tests/CMakeFiles/deflection_tests.dir/security_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/security_test.cpp.o.d"
+  "/root/repo/tests/sgx_test.cpp" "tests/CMakeFiles/deflection_tests.dir/sgx_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/sgx_test.cpp.o.d"
+  "/root/repo/tests/sgxv2_test.cpp" "tests/CMakeFiles/deflection_tests.dir/sgxv2_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/sgxv2_test.cpp.o.d"
+  "/root/repo/tests/stdlib_test.cpp" "tests/CMakeFiles/deflection_tests.dir/stdlib_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/stdlib_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/deflection_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/tamper_test.cpp" "tests/CMakeFiles/deflection_tests.dir/tamper_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/tamper_test.cpp.o.d"
+  "/root/repo/tests/verifier_test.cpp" "tests/CMakeFiles/deflection_tests.dir/verifier_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/verifier_test.cpp.o.d"
+  "/root/repo/tests/vm_test.cpp" "tests/CMakeFiles/deflection_tests.dir/vm_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/vm_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/deflection_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/deflection_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/deflection.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deflectc.dir/deflectc.cpp.o"
+  "CMakeFiles/deflectc.dir/deflectc.cpp.o.d"
+  "deflectc"
+  "deflectc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deflectc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
