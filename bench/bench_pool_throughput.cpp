@@ -1,0 +1,91 @@
+// Service-pool throughput (Sec. VII extension): requests per second through
+// the concurrent ServicePool at 1/2/4/8 workers.
+//
+// Two variants:
+//  - Compute: raw back-to-back serving. Workers are simulated enclaves on
+//    host threads, so this scales with physical cores only.
+//  - Blurred: response blurring enabled (PoolOptions::response_blur), the
+//    serving-layer analogue of the paper's execution-time blurring. Each
+//    response is held to a wall-clock quantum multiple, so serving is
+//    latency-bound and the pool's benefit is overlap: throughput scales
+//    near-linearly with workers even on a single core.
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <vector>
+
+#include "codegen/compile.h"
+#include "core/pool.h"
+
+using namespace deflection;
+
+namespace {
+
+const char* kEchoService = R"(
+  int main() {
+    byte* buf = alloc(64);
+    int n = ocall_recv(buf, 64);
+    if (n < 1) { return 1; }
+    int v = buf[0];
+    int sq = v * v;
+    byte* out = alloc(8);
+    for (int i = 0; i < 8; i += 1) { out[i] = (sq >> (i * 8)) & 255; }
+    ocall_send(out, 8);
+    return 0;
+  }
+)";
+
+const codegen::Dxo& service_dxo() {
+  static codegen::Dxo dxo = [] {
+    auto built = codegen::compile(kEchoService, PolicySet::p1to5());
+    return built.is_ok() ? built.value().dxo : codegen::Dxo{};
+  }();
+  return dxo;
+}
+
+// Submits `batch` async requests, waits for all, counts them as items.
+void run_pool_bench(benchmark::State& state, const core::PoolOptions& options) {
+  int workers = static_cast<int>(state.range(0));
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  auto pool = core::ServicePool::create(service_dxo(), config, workers, options);
+  if (!pool.is_ok()) {
+    state.SkipWithError(pool.message().c_str());
+    return;
+  }
+  // Warm every worker once (first request per worker pays verification).
+  for (int i = 0; i < workers; ++i) {
+    Bytes request = {3};
+    pool.value()->submit(BytesView(request));
+  }
+  const int batch = 4 * workers;
+  for (auto _ : state) {
+    std::vector<std::future<core::ServicePool::Response>> futures;
+    futures.reserve(static_cast<std::size_t>(batch));
+    for (int i = 0; i < batch; ++i) {
+      Bytes request = {static_cast<std::uint8_t>(i % 16 + 1)};
+      futures.push_back(pool.value()->submit_async(BytesView(request)));
+    }
+    for (auto& f : futures) {
+      auto response = f.get();
+      benchmark::DoNotOptimize(response);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void BM_PoolThroughputCompute(benchmark::State& state) {
+  run_pool_bench(state, core::PoolOptions{});
+}
+BENCHMARK(BM_PoolThroughputCompute)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_PoolThroughputBlurred(benchmark::State& state) {
+  core::PoolOptions options;
+  options.response_blur = std::chrono::microseconds(2000);
+  run_pool_bench(state, options);
+}
+BENCHMARK(BM_PoolThroughputBlurred)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -49,6 +49,10 @@ crypto::Digest BootstrapEnclave::expected_mrenclave(const BootstrapConfig& confi
 BootstrapEnclave::BootstrapEnclave(sgx::QuotingEnclave& quoting,
                                    const BootstrapConfig& config)
     : config_(config), rng_(config.rng_seed), quoting_(quoting) {
+  (void)rebuild();
+}
+
+Status BootstrapEnclave::rebuild() {
   layout_ = verifier::EnclaveLayout::compute(config_.enclave_base, config_.layout);
   space_ = std::make_unique<sgx::AddressSpace>(config_.host_base, config_.host_size,
                                                config_.enclave_base, layout_.enclave_size);
@@ -58,6 +62,21 @@ BootstrapEnclave::BootstrapEnclave(sgx::QuotingEnclave& quoting,
   if (built.is_ok()) layout_ = built.value();
   enclave_->set_aex_policy(config_.aex);
   enclave_->set_sgxv2(config_.sgxv2);
+  return built.status();
+}
+
+Status BootstrapEnclave::reset() {
+  owner_key_.reset();
+  provider_key_.reset();
+  dxo_.reset();
+  loaded_.reset();
+  report_ = {};
+  verified_ = false;
+  inbox_.clear();
+  entropy_spent_ = 0;
+  // rng_ deliberately keeps advancing: reseeding would replay the previous
+  // incarnation's DH keys and AEAD nonces.
+  return rebuild();
 }
 
 crypto::Digest BootstrapEnclave::channel_report_data(Role role,

@@ -70,6 +70,15 @@ class BootstrapEnclave {
 
   BootstrapEnclave(sgx::QuotingEnclave& quoting, const BootstrapConfig& config);
 
+  // Worker reset path (used by ServicePool to re-provision a quarantined
+  // worker): models destroying the enclave and re-creating it on the same
+  // platform. Rebuilds the address space and measured image (same
+  // MRENCLAVE) and discards ALL session state — channel keys, the delivered
+  // binary, verification results, queued user data and the entropy
+  // accounting — so nothing from a failed request can leak into the next.
+  // Callers must re-run the channel handshake and re-deliver the binary.
+  Status reset();
+
   const BootstrapConfig& config() const { return config_; }
   crypto::Digest mrenclave() const { return enclave_->mrenclave(); }
   sgx::Enclave& enclave() { return *enclave_; }
@@ -113,6 +122,10 @@ class BootstrapEnclave {
   }
 
  private:
+  // (Re)creates the address space, enclave and measured consumer image from
+  // config_ — the shared back half of construction and reset().
+  Status rebuild();
+
   Result<std::uint64_t> handle_ocall(std::uint8_t num, std::uint64_t rdi,
                                      std::uint64_t rsi, std::uint64_t rdx,
                                      RunOutcome& outcome);

@@ -2,56 +2,176 @@
 
 namespace deflection::core {
 
+namespace {
+
+std::string worker_tag(int index, const std::string& message) {
+  return "worker " + std::to_string(index) + ": " + message;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<ServicePool>> ServicePool::create(const codegen::Dxo& service,
                                                          const BootstrapConfig& config,
-                                                         int workers) {
+                                                         int workers,
+                                                         const PoolOptions& options) {
   if (workers < 1)
     return Result<std::unique_ptr<ServicePool>>::fail("pool_size", "need >= 1 worker");
-  auto pool = std::make_unique<ServicePool>();
+  std::unique_ptr<ServicePool> pool(new ServicePool(service, options));
   crypto::Digest expected = BootstrapEnclave::expected_mrenclave(config);
   for (int i = 0; i < workers; ++i) {
-    Worker w;
+    auto w = std::make_unique<Worker>();
+    w->index = i;
     std::string platform = "pool-platform-" + std::to_string(i);
-    w.quoting = std::make_unique<sgx::QuotingEnclave>(
+    w->quoting = std::make_unique<sgx::QuotingEnclave>(
         pool->as_.provision(platform, 1000 + static_cast<std::uint64_t>(i)));
     BootstrapConfig worker_config = config;
     worker_config.rng_seed = config.rng_seed + static_cast<std::uint64_t>(i) + 1;
-    w.enclave = std::make_unique<BootstrapEnclave>(*w.quoting, worker_config);
-    w.owner = std::make_unique<DataOwner>(pool->as_, expected,
-                                          0xDA7A00 + static_cast<std::uint64_t>(i));
-    w.provider = std::make_unique<CodeProvider>(pool->as_, expected,
-                                                0xC0DE00 + static_cast<std::uint64_t>(i));
-    auto owner_offer = w.enclave->open_channel(Role::DataOwner, w.owner->dh_public());
-    if (auto s = w.owner->accept(owner_offer); !s.is_ok()) return s.error();
-    auto provider_offer =
-        w.enclave->open_channel(Role::CodeProvider, w.provider->dh_public());
-    if (auto s = w.provider->accept(provider_offer); !s.is_ok()) return s.error();
-    auto digest = w.enclave->ecall_receive_binary(w.provider->seal_binary(service));
-    if (!digest.is_ok()) return digest.error();
+    w->enclave = std::make_unique<BootstrapEnclave>(*w->quoting, worker_config);
+    w->owner = std::make_unique<DataOwner>(pool->as_, expected,
+                                           0xDA7A00 + static_cast<std::uint64_t>(i));
+    w->provider = std::make_unique<CodeProvider>(pool->as_, expected,
+                                                 0xC0DE00 + static_cast<std::uint64_t>(i));
+    if (auto s = pool->provision(*w); !s.is_ok())
+      return Result<std::unique_ptr<ServicePool>>::fail(s.code(),
+                                                        worker_tag(i, s.message()));
     pool->workers_.push_back(std::move(w));
+  }
+  pool->stats_.workers.resize(static_cast<std::size_t>(workers));
+  // Threads start only after every worker is provisioned, so worker_main
+  // never observes a half-built pool.
+  for (auto& w : pool->workers_) {
+    Worker* raw = w.get();
+    raw->thread = std::thread([pool_ptr = pool.get(), raw] { pool_ptr->worker_main(*raw); });
   }
   return pool;
 }
 
-Result<std::vector<Bytes>> ServicePool::submit(BytesView request) {
-  Worker& w = workers_[next_];
-  next_ = (next_ + 1) % workers_.size();
-  if (auto s = w.enclave->ecall_receive_userdata(w.owner->seal_input(request));
+ServicePool::~ServicePool() {
+  queue_.close();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+Status ServicePool::provision(Worker& w) {
+  auto owner_offer = w.enclave->open_channel(Role::DataOwner, w.owner->dh_public());
+  if (auto s = w.owner->accept(owner_offer); !s.is_ok()) return s;
+  auto provider_offer =
+      w.enclave->open_channel(Role::CodeProvider, w.provider->dh_public());
+  if (auto s = w.provider->accept(provider_offer); !s.is_ok()) return s;
+  auto digest = w.enclave->ecall_receive_binary(w.provider->seal_binary(service_));
+  return digest.status();
+}
+
+ServicePool::Response ServicePool::serve(Worker& w, const Bytes& payload) {
+  auto fail = [&](const std::string& code, const std::string& message) {
+    return Response::fail(code, worker_tag(w.index, message));
+  };
+  if (auto s = w.enclave->ecall_receive_userdata(w.owner->seal_input(BytesView(payload)));
       !s.is_ok())
-    return s.error();
+    return fail(s.code(), s.message());
   auto outcome = w.enclave->ecall_run();
-  if (!outcome.is_ok()) return outcome.error();
-  total_cost_ += outcome.value().result.cost;
+  if (!outcome.is_ok()) return fail(outcome.code(), outcome.message());
+  {
+    std::lock_guard lock(stats_mutex_);
+    stats_.total_cost += outcome.value().result.cost;
+    stats_.workers[static_cast<std::size_t>(w.index)].cost +=
+        outcome.value().result.cost;
+  }
   if (outcome.value().policy_violation)
-    return Result<std::vector<Bytes>>::fail("policy_violation",
-                                            "worker aborted through the violation stub");
+    return fail("policy_violation", "service aborted through the violation stub");
   std::vector<Bytes> outputs;
   for (const auto& sealed : outcome.value().sealed_output) {
     auto plain = w.owner->open_output(BytesView(sealed));
-    if (!plain.is_ok()) return plain.error();
+    if (!plain.is_ok()) return fail(plain.code(), plain.message());
     outputs.push_back(plain.take());
   }
   return outputs;
+}
+
+void ServicePool::worker_main(Worker& w) {
+  const std::size_t idx = static_cast<std::size_t>(w.index);
+  Request req;
+  while (queue_.pop(req)) {
+    auto picked_up = std::chrono::steady_clock::now();
+    if (w.health == WorkerHealth::Quarantined) {
+      // Re-provision before touching another request: enclave reset, fresh
+      // handshake, binary re-upload (re-verified on the next ecall_run).
+      Status reset = w.enclave->reset();
+      Status restored = reset.is_ok() ? provision(w) : reset;
+      if (restored.is_ok()) {
+        w.health = WorkerHealth::Healthy;
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.retries;
+        stats_.workers[idx].health = WorkerHealth::Healthy;
+      } else {
+        // Still poisoned: answer with the provisioning error and keep the
+        // quarantine so the next request tries again.
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.requests_failed;
+        ++stats_.workers[idx].failed;
+        req.promise.set_value(Response::fail(
+            restored.code(), worker_tag(w.index, "re-provision failed: " +
+                                                     restored.message())));
+        continue;
+      }
+    }
+    Response response = serve(w, req.payload);
+    {
+      std::lock_guard lock(stats_mutex_);
+      if (response.is_ok()) {
+        ++stats_.requests_served;
+        ++stats_.workers[idx].served;
+      } else {
+        // Any error path may leave the worker holding stale request state
+        // (e.g. sealed userdata queued but never consumed), so it is
+        // quarantined rather than silently reused.
+        ++stats_.requests_failed;
+        ++stats_.workers[idx].failed;
+        ++stats_.workers[idx].quarantines;
+        if (response.code() == "policy_violation") ++stats_.violations;
+        w.health = WorkerHealth::Quarantined;
+        stats_.workers[idx].health = WorkerHealth::Quarantined;
+      }
+    }
+    if (options_.response_blur.count() > 0) {
+      // Pad the observable service time to the blur quantum (Sec. VII:
+      // on-demand aligning/blurring of processing time).
+      auto blur = options_.response_blur;
+      auto elapsed = std::chrono::steady_clock::now() - picked_up;
+      auto quanta = elapsed / blur + 1;
+      std::this_thread::sleep_until(picked_up + quanta * blur);
+    }
+    req.promise.set_value(std::move(response));
+  }
+}
+
+std::future<ServicePool::Response> ServicePool::submit_async(BytesView request) {
+  Request req;
+  req.payload = Bytes(request.begin(), request.end());
+  std::future<Response> future = req.promise.get_future();
+  if (!queue_.push(std::move(req))) {
+    std::promise<Response> dead;
+    dead.set_value(Response::fail("pool_closed", "service pool is shutting down"));
+    return dead.get_future();
+  }
+  return future;
+}
+
+ServicePool::Response ServicePool::submit(BytesView request) {
+  return submit_async(request).get();
+}
+
+std::uint64_t ServicePool::total_cost() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_.total_cost;
+}
+
+PoolStats ServicePool::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  PoolStats snapshot = stats_;
+  snapshot.queue_high_water = queue_.high_water();
+  return snapshot;
 }
 
 }  // namespace deflection::core

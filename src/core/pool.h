@@ -1,48 +1,130 @@
-// Multi-worker service pool (paper Sec. VII, "Supporting multi-threading").
+// Concurrent multi-worker service pool (paper Sec. VII, "Supporting
+// multi-threading").
 //
 // The paper discusses concurrently serving many clients and the hazards of
 // doing so in one enclave (TOCTOU on CFI metadata, shared shadow stacks).
 // This reproduction takes the safe deployment the discussion converges on:
 // one single-threaded verified service instance per worker enclave, each
-// with fully private stacks/shadow stacks/SSA, fronted by a dispatcher.
-// Verification cost is paid once per worker; requests are load-balanced
-// round-robin and there is no shared mutable state to race on.
+// with fully private stacks/shadow stacks/SSA, fronted by a bounded MPMC
+// request queue. Verification cost is paid once per worker (and once more
+// per re-provision); there is no shared mutable state between workers to
+// race on.
+//
+// Worker lifecycle: healthy -> quarantined -> re-provisioned. A worker
+// whose request trips the violation stub or errors anywhere mid-request is
+// quarantined: its enclave may hold poisoned service state (a half-consumed
+// inbox, partially-written globals), so it is never silently reused.
+// Before its next request the pool re-provisions it — enclave reset, fresh
+// channel handshake, binary re-upload and re-verification — while the other
+// workers keep serving. See docs/serving.md.
 #pragma once
 
+#include <chrono>
+#include <future>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/protocol.h"
+#include "support/queue.h"
 
 namespace deflection::core {
 
+enum class WorkerHealth : std::uint8_t { Healthy = 0, Quarantined = 1 };
+
+// Pool-wide counters, snapshot via ServicePool::stats().
+struct PoolStats {
+  std::uint64_t requests_served = 0;   // requests answered successfully
+  std::uint64_t requests_failed = 0;   // requests answered with an error
+  std::uint64_t violations = 0;        // aborts through the violation stub
+  std::uint64_t retries = 0;           // worker re-provisions performed
+  std::size_t queue_high_water = 0;    // deepest request backlog observed
+  std::uint64_t total_cost = 0;        // VM cost accrued across all workers
+  struct WorkerStats {
+    std::uint64_t served = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cost = 0;
+    std::uint64_t quarantines = 0;     // times this worker was quarantined
+    WorkerHealth health = WorkerHealth::Healthy;
+  };
+  std::vector<WorkerStats> workers;
+};
+
+struct PoolOptions {
+  // Capacity of the shared request queue; submitters block (backpressure)
+  // once this many requests are waiting.
+  std::size_t queue_capacity = 64;
+  // Wall-clock response blurring: the serving-layer analogue of
+  // BootstrapConfig::time_blur_quantum (which blurs simulated VM cost).
+  // When non-zero, a worker holds each response until the next multiple of
+  // this duration since it picked the request up, so observable service
+  // time is data-independent at this granularity. Throughput then scales
+  // with workers even on one core: the pool overlaps the padding delays.
+  std::chrono::microseconds response_blur{0};
+};
+
 class ServicePool {
  public:
+  using Response = Result<std::vector<Bytes>>;
+
   // Spins up `workers` bootstrap enclaves on distinct (simulated)
-  // platforms, attests each, and delivers the same sealed service binary.
+  // platforms, attests each, delivers the same sealed service binary, and
+  // starts one serving thread per worker.
   static Result<std::unique_ptr<ServicePool>> create(const codegen::Dxo& service,
                                                      const BootstrapConfig& config,
-                                                     int workers);
+                                                     int workers,
+                                                     const PoolOptions& options = {});
 
-  // Dispatches one request to the next worker; returns the opened outputs.
-  Result<std::vector<Bytes>> submit(BytesView request);
+  // Closes the queue and drains it: every accepted request is answered
+  // before the worker threads exit.
+  ~ServicePool();
+
+  // Enqueues one request; the future resolves to the opened outputs (or an
+  // error naming the worker that failed). Blocks only when the queue is at
+  // capacity.
+  std::future<Response> submit_async(BytesView request);
+
+  // Synchronous convenience wrapper around submit_async.
+  Response submit(BytesView request);
 
   int workers() const { return static_cast<int>(workers_.size()); }
   // Total VM cost accrued across all workers (for benches).
-  std::uint64_t total_cost() const { return total_cost_; }
+  std::uint64_t total_cost() const;
+  PoolStats stats() const;
 
  private:
+  struct Request {
+    Bytes payload;
+    std::promise<Response> promise;
+  };
   struct Worker {
+    int index = 0;
     std::unique_ptr<sgx::QuotingEnclave> quoting;
     std::unique_ptr<BootstrapEnclave> enclave;
     std::unique_ptr<DataOwner> owner;
     std::unique_ptr<CodeProvider> provider;
+    // Owned by the worker thread after create() returns; the mirror the
+    // stats() snapshot reads lives in stats_.workers under stats_mutex_.
+    WorkerHealth health = WorkerHealth::Healthy;
+    std::thread thread;
   };
 
+  explicit ServicePool(const codegen::Dxo& service, const PoolOptions& options)
+      : service_(service), options_(options), queue_(options.queue_capacity) {}
+
+  // Fresh channel handshake + binary upload (create() and re-provision).
+  Status provision(Worker& w);
+  void worker_main(Worker& w);
+  Response serve(Worker& w, const Bytes& payload);
+
+  codegen::Dxo service_;  // retained so quarantined workers can be re-provisioned
+  PoolOptions options_;
   sgx::AttestationService as_;
-  std::vector<Worker> workers_;
-  std::size_t next_ = 0;
-  std::uint64_t total_cost_ = 0;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  BoundedQueue<Request> queue_;
+  mutable std::mutex stats_mutex_;
+  PoolStats stats_;
 };
 
 }  // namespace deflection::core

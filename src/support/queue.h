@@ -1,0 +1,93 @@
+// Bounded multi-producer/multi-consumer queue used by the concurrent
+// service pool: producers block when the queue is full (backpressure toward
+// clients instead of unbounded memory growth), consumers block when it is
+// empty. close() wakes everyone; consumers keep draining queued items after
+// close so no accepted request is ever dropped.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace deflection {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while the queue is full. Returns false (dropping `item`) only if
+  // the queue has been closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    high_water_ = std::max(high_water_, items_.size());
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push; false if full or closed.
+  bool try_push(T item) {
+    std::lock_guard lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    high_water_ = std::max(high_water_, items_.size());
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty and open. Returns false only once the
+  // queue is closed AND fully drained.
+  bool pop(T& out) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+  // Deepest the queue has ever been (pool backlog high-water mark).
+  std::size_t high_water() const {
+    std::lock_guard lock(mutex_);
+    return high_water_;
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace deflection

@@ -478,6 +478,17 @@ class Verifier {
 
 }  // namespace
 
+Result<VerifyReport> verify_disassembly(const Disassembly& dis, const LoadedBinary& binary,
+                                        const VerifyConfig& config) {
+  Verifier verifier(dis, binary, config);
+  auto report = verifier.run();
+  if (!report.is_ok()) return report;
+  if (config.custom_check) {
+    if (auto s = config.custom_check(dis, binary); !s.is_ok()) return s.error();
+  }
+  return report;
+}
+
 Result<VerifyReport> verify(const sgx::AddressSpace& space, const LoadedBinary& binary,
                             const VerifyConfig& config) {
   auto dis = disassemble(space, binary);
@@ -499,13 +510,7 @@ Result<VerifyReport> verify(const sgx::AddressSpace& space, const LoadedBinary& 
                                           "linear/recursive decode disagreement");
     }
   }
-  Verifier verifier(dis.value(), binary, config);
-  auto report = verifier.run();
-  if (!report.is_ok()) return report;
-  if (config.custom_check) {
-    if (auto s = config.custom_check(dis.value(), binary); !s.is_ok()) return s.error();
-  }
-  return report;
+  return verify_disassembly(dis.value(), binary, config);
 }
 
 Status rewrite_immediates(sgx::AddressSpace& space, const LoadedBinary& binary,
@@ -537,11 +542,15 @@ Status rewrite_immediates(sgx::AddressSpace& space, const LoadedBinary& binary,
   };
 
   for (const PatchSite& site : report.patches) {
-    std::uint8_t* field = space.raw(site.field_addr, 8);
-    if (field == nullptr ||
-        site.field_addr < binary.text_base ||
+    // Bounds check BEFORE touching memory: a patch site below the text base
+    // or straddling the text end must be rejected without the raw access
+    // ever happening (raw() on real hardware would be a wild read).
+    if (site.field_addr < binary.text_base ||
         site.field_addr + 8 > binary.text_base + binary.text_size)
       return Status::fail("rewrite_oob", "patch site outside loaded text");
+    std::uint8_t* field = space.raw(site.field_addr, 8);
+    if (field == nullptr)
+      return Status::fail("rewrite_oob", "patch site not mapped");
     store_le64(field, value_of(site.kind));
   }
   return Status::ok();

@@ -84,6 +84,14 @@ struct VerifyReport {
 Result<VerifyReport> verify(const sgx::AddressSpace& space, const LoadedBinary& binary,
                             const VerifyConfig& config);
 
+// Policy verification over a precomputed disassembly — the back half of
+// verify(), exposed so validation plugins and tests can drive the policy
+// checks against a Disassembly they control (e.g. to exercise the
+// index-divergence error paths that a full-coverage disassembly rules out
+// by construction).
+Result<VerifyReport> verify_disassembly(const Disassembly& dis, const LoadedBinary& binary,
+                                        const VerifyConfig& config);
+
 // Patches the placeholder immediates recorded by verify(). Must only be
 // called with a report produced for the same loaded binary.
 Status rewrite_immediates(sgx::AddressSpace& space, const LoadedBinary& binary,

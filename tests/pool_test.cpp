@@ -1,7 +1,14 @@
-// Multi-worker service pool tests (Sec. VII extension): each worker is a
-// fully isolated verified enclave; requests round-robin across them and
-// results are independent of which worker served them.
+// Concurrent service-pool tests (Sec. VII extension): each worker is a
+// fully isolated verified enclave behind a bounded MPMC request queue.
+// Results depend only on the request, never on which worker served it; a
+// worker that errors or trips the violation stub is quarantined and
+// re-provisioned while the rest of the pool keeps serving.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <thread>
+#include <vector>
 
 #include "core/pool.h"
 #include "test_helpers.h"
@@ -23,7 +30,22 @@ const char* kEchoSquare = R"(
   }
 )";
 
-TEST(ServicePool, RoundRobinServesConsistently) {
+// A stateful service: worker-local global counter. Because workers are
+// separate enclaves, the counter accumulates per worker, never across them.
+const char* kCounter = R"(
+  int counter;
+  int main() {
+    byte* buf = alloc(8);
+    int n = ocall_recv(buf, 8);
+    counter += 1;
+    byte* out = alloc(8);
+    for (int i = 0; i < 8; i += 1) { out[i] = (counter >> (i * 8)) & 255; }
+    ocall_send(out, 8);
+    return n;
+  }
+)";
+
+TEST(ServicePool, ServesConsistentlyAcrossWorkers) {
   auto compiled = compile_or_die(kEchoSquare, PolicySet::p1to5());
   core::BootstrapConfig config;
   config.verify.required = PolicySet::p1to5();
@@ -31,7 +53,7 @@ TEST(ServicePool, RoundRobinServesConsistently) {
   ASSERT_TRUE(pool.is_ok()) << pool.message();
   EXPECT_EQ(pool.value()->workers(), 3);
 
-  // 9 requests cycle through all 3 workers; results depend only on input.
+  // Whatever worker picks a request up, the result depends only on input.
   for (std::uint8_t v = 1; v <= 9; ++v) {
     Bytes request = {v};
     auto outputs = pool.value()->submit(BytesView(request));
@@ -40,42 +62,98 @@ TEST(ServicePool, RoundRobinServesConsistently) {
     EXPECT_EQ(load_le64(outputs.value()[0].data()),
               static_cast<std::uint64_t>(v) * v);
   }
+  auto stats = pool.value()->stats();
+  EXPECT_EQ(stats.requests_served, 9u);
+  EXPECT_EQ(stats.requests_failed, 0u);
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_GT(stats.total_cost, 0u);
   EXPECT_GT(pool.value()->total_cost(), 0u);
+  std::uint64_t per_worker_sum = 0;
+  for (const auto& ws : stats.workers) per_worker_sum += ws.served;
+  EXPECT_EQ(per_worker_sum, 9u);
+}
+
+TEST(ServicePool, AsyncSubmissionOverlapsRequests) {
+  auto compiled = compile_or_die(kEchoSquare, PolicySet::p1to5());
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  core::PoolOptions options;
+  options.queue_capacity = 64;
+  auto pool = core::ServicePool::create(compiled.dxo, config, 4, options);
+  ASSERT_TRUE(pool.is_ok()) << pool.message();
+
+  // Fire a burst of async requests from several client threads, then check
+  // every future resolves to its own request's answer.
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 8;
+  std::vector<std::vector<std::future<core::ServicePool::Response>>> futures(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        Bytes request = {static_cast<std::uint8_t>(c * kPerClient + i + 1)};
+        futures[c].push_back(pool.value()->submit_async(BytesView(request)));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      auto outputs = futures[c][i].get();
+      ASSERT_TRUE(outputs.is_ok()) << outputs.message();
+      std::uint64_t v = static_cast<std::uint64_t>(c * kPerClient + i + 1);
+      EXPECT_EQ(load_le64(outputs.value()[0].data()), v * v);
+    }
+  }
+  auto stats = pool.value()->stats();
+  EXPECT_EQ(stats.requests_served,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_GE(stats.queue_high_water, 1u);
 }
 
 TEST(ServicePool, WorkersAreIsolated) {
-  // A stateful service: worker-local global counter. Because workers are
-  // separate enclaves, the counter never crosses workers — request i to a
-  // 2-worker pool sees ceil(i/2) on its worker, not i.
-  const char* stateful = R"(
-    int counter;
-    int main() {
-      byte* buf = alloc(8);
-      int n = ocall_recv(buf, 8);
-      counter += 1;
-      byte* out = alloc(8);
-      for (int i = 0; i < 8; i += 1) { out[i] = (counter >> (i * 8)) & 255; }
-      ocall_send(out, 8);
-      return n;
-    }
-  )";
-  auto compiled = compile_or_die(stateful, PolicySet::p1to5());
+  auto compiled = compile_or_die(kCounter, PolicySet::p1to5());
   core::BootstrapConfig config;
   config.verify.required = PolicySet::p1to5();
   auto pool = core::ServicePool::create(compiled.dxo, config, 2);
   ASSERT_TRUE(pool.is_ok()) << pool.message();
 
-  // NOTE: each ecall_run re-executes from a fresh entry but the data region
-  // persists per enclave, so the counter accumulates per worker.
   std::vector<std::uint64_t> seen;
   for (int i = 0; i < 6; ++i) {
     Bytes request = {1};
     auto outputs = pool.value()->submit(BytesView(request));
-    ASSERT_TRUE(outputs.is_ok());
+    ASSERT_TRUE(outputs.is_ok()) << outputs.message();
     seen.push_back(load_le64(outputs.value()[0].data()));
   }
-  // Round-robin across 2 workers: 1,1,2,2,3,3.
-  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 1, 2, 2, 3, 3}));
+  // Isolation invariant: each worker's counter counts only the requests it
+  // served, so the multiset of responses is exactly the union of 1..served_w
+  // over the workers — regardless of how the queue distributed requests. A
+  // shared counter would instead produce 1..6 even with split service.
+  auto stats = pool.value()->stats();
+  std::vector<std::uint64_t> expected;
+  std::uint64_t total = 0;
+  for (const auto& ws : stats.workers) {
+    total += ws.served;
+    for (std::uint64_t k = 1; k <= ws.served; ++k) expected.push_back(k);
+  }
+  EXPECT_EQ(total, 6u);
+  std::sort(seen.begin(), seen.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(ServicePool, SingleWorkerStateAccumulates) {
+  auto compiled = compile_or_die(kCounter, PolicySet::p1to5());
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  auto pool = core::ServicePool::create(compiled.dxo, config, 1);
+  ASSERT_TRUE(pool.is_ok()) << pool.message();
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    Bytes request = {1};
+    auto outputs = pool.value()->submit(BytesView(request));
+    ASSERT_TRUE(outputs.is_ok()) << outputs.message();
+    EXPECT_EQ(load_le64(outputs.value()[0].data()), i);
+  }
 }
 
 TEST(ServicePool, NonCompliantServiceRejectedEverywhere) {
@@ -92,10 +170,143 @@ TEST(ServicePool, NonCompliantServiceRejectedEverywhere) {
   config.verify.required = PolicySet::p1();
   auto pool = core::ServicePool::create(compiled.dxo, config, 2);
   ASSERT_TRUE(pool.is_ok());
-  Bytes request = {1};
-  auto outputs = pool.value()->submit(BytesView(request));
-  ASSERT_FALSE(outputs.is_ok());
-  EXPECT_EQ(outputs.code(), "policy_uncovered");
+  for (int i = 0; i < 3; ++i) {
+    Bytes request = {1};
+    auto outputs = pool.value()->submit(BytesView(request));
+    ASSERT_FALSE(outputs.is_ok());
+    EXPECT_EQ(outputs.code(), "policy_uncovered");
+    // Failures are attributable: the message names the worker that failed.
+    EXPECT_NE(outputs.message().find("worker "), std::string::npos)
+        << outputs.message();
+  }
+  auto stats = pool.value()->stats();
+  EXPECT_EQ(stats.requests_failed, 3u);
+  EXPECT_EQ(stats.requests_served, 0u);
+}
+
+// A service that trips the violation stub on its second request, BEFORE
+// consuming the queued userdata: the second request's sealed input stays in
+// the worker's inbox when the run aborts. Without quarantine +
+// re-provisioning, the third request would read the second one's stale
+// payload; with it, the worker comes back fresh.
+const char* kSecondRequestViolates = R"(
+  int counter;
+  int main() {
+    counter += 1;
+    if (counter == 2) {
+      byte* host = as_ptr(65536);
+      host[0] = 1;
+      return 0;
+    }
+    byte* buf = alloc(8);
+    int n = ocall_recv(buf, 8);
+    byte* out = alloc(8);
+    out[0] = buf[0];
+    for (int i = 1; i < 8; i += 1) { out[i] = 0; }
+    ocall_send(out, 8);
+    return n;
+  }
+)";
+
+TEST(ServicePool, ViolatingWorkerIsQuarantinedAndReprovisioned) {
+  auto compiled = compile_or_die(kSecondRequestViolates, PolicySet::p1to5());
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  auto pool = core::ServicePool::create(compiled.dxo, config, 1);
+  ASSERT_TRUE(pool.is_ok()) << pool.message();
+
+  Bytes first = {7};
+  auto a = pool.value()->submit(BytesView(first));
+  ASSERT_TRUE(a.is_ok()) << a.message();
+  EXPECT_EQ(a.value()[0][0], 7);
+
+  // Second request aborts through the violation stub; the error names the
+  // worker and the pool records the violation.
+  Bytes second = {8};
+  auto b = pool.value()->submit(BytesView(second));
+  ASSERT_FALSE(b.is_ok());
+  EXPECT_EQ(b.code(), "policy_violation");
+  EXPECT_NE(b.message().find("worker 0"), std::string::npos) << b.message();
+
+  // The pool keeps serving: the worker was re-provisioned (fresh enclave,
+  // fresh inbox, fresh counter), so the third request sees ITS OWN payload
+  // echoed — not the stale userdata of the aborted request — and the
+  // counter restarts at 1 instead of hitting the violation branch again.
+  Bytes third = {9};
+  auto c = pool.value()->submit(BytesView(third));
+  ASSERT_TRUE(c.is_ok()) << c.message();
+  EXPECT_EQ(c.value()[0][0], 9);
+
+  auto stats = pool.value()->stats();
+  EXPECT_EQ(stats.violations, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.requests_served, 2u);
+  EXPECT_EQ(stats.requests_failed, 1u);
+  ASSERT_EQ(stats.workers.size(), 1u);
+  EXPECT_EQ(stats.workers[0].quarantines, 1u);
+  EXPECT_EQ(stats.workers[0].health, core::WorkerHealth::Healthy);
+
+  // And the quarantine cycle is repeatable: the re-provisioned enclave's
+  // counter reached 1 on the third request, so the fourth violates again,
+  // after which serving resumes once more.
+  Bytes fourth = {10};
+  auto d = pool.value()->submit(BytesView(fourth));
+  ASSERT_FALSE(d.is_ok());
+  EXPECT_EQ(d.code(), "policy_violation");
+  Bytes fifth = {11};
+  auto e = pool.value()->submit(BytesView(fifth));
+  ASSERT_TRUE(e.is_ok()) << e.message();
+  EXPECT_EQ(e.value()[0][0], 11);
+  EXPECT_EQ(pool.value()->stats().retries, 2u);
+}
+
+TEST(ServicePool, ViolationOnOneWorkerDoesNotStallOthers) {
+  auto compiled = compile_or_die(kSecondRequestViolates, PolicySet::p1to5());
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  auto pool = core::ServicePool::create(compiled.dxo, config, 3);
+  ASSERT_TRUE(pool.is_ok()) << pool.message();
+
+  // Enough sequential requests that every worker passes its own
+  // counter == 2 violation at some point; the pool must answer all of them
+  // and recover each worker.
+  int served = 0, violations = 0;
+  for (int i = 0; i < 18; ++i) {
+    Bytes request = {static_cast<std::uint8_t>(i + 1)};
+    auto outputs = pool.value()->submit(BytesView(request));
+    if (outputs.is_ok()) {
+      EXPECT_EQ(outputs.value()[0][0], static_cast<std::uint8_t>(i + 1));
+      ++served;
+    } else {
+      EXPECT_EQ(outputs.code(), "policy_violation");
+      ++violations;
+    }
+  }
+  EXPECT_EQ(served + violations, 18);
+  EXPECT_GT(served, 0);
+  EXPECT_GT(violations, 0);
+  auto stats = pool.value()->stats();
+  EXPECT_EQ(stats.requests_served, static_cast<std::uint64_t>(served));
+  EXPECT_EQ(stats.violations, static_cast<std::uint64_t>(violations));
+  // Every violation quarantined its worker; each later request to that
+  // worker re-provisioned it first. Workers still quarantined at shutdown
+  // simply have their retry pending, so retries can trail violations by at
+  // most one per worker.
+  std::uint64_t quarantines = 0;
+  for (const auto& ws : stats.workers) quarantines += ws.quarantines;
+  EXPECT_EQ(quarantines, stats.violations);
+  EXPECT_LE(stats.retries, stats.violations);
+  EXPECT_GE(stats.retries + static_cast<std::uint64_t>(pool.value()->workers()),
+            stats.violations);
+}
+
+TEST(ServicePool, RejectsZeroWorkersAndReportsCapacity) {
+  auto compiled = compile_or_die(kEchoSquare, PolicySet::p1to5());
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  auto pool = core::ServicePool::create(compiled.dxo, config, 0);
+  ASSERT_FALSE(pool.is_ok());
+  EXPECT_EQ(pool.code(), "pool_size");
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
 // Support-module unit tests: byte serialization, hex codecs, Result/Status,
-// and the deterministic RNG.
+// the deterministic RNG, and the bounded MPMC queue behind the service pool.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "support/bytes.h"
+#include "support/queue.h"
 #include "support/result.h"
 #include "support/rng.h"
 
@@ -123,6 +126,75 @@ TEST(Rng, BoundsAndDistributions) {
   for (int i = 0; i < 100'000; ++i)
     if (rng.chance(0.25)) ++hits;
   EXPECT_NEAR(hits / 100'000.0, 0.25, 0.02);
+}
+
+TEST(BoundedQueue, FifoAndHighWater) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 1; i <= 3; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.high_water(), 3u);
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.push(4));
+  EXPECT_TRUE(q.push(5));
+  for (int want : {2, 3, 4, 5}) {
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, want);
+  }
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.high_water(), 4u);  // peaked when 4 items were waiting
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full, does not block
+  q.close();
+  EXPECT_FALSE(q.try_push(4));  // closed
+}
+
+TEST(BoundedQueue, CloseDrainsThenStops) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));  // no new items after close
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));  // queued items still drain...
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.pop(v));  // ...then pop reports shutdown
+}
+
+TEST(BoundedQueue, BlockingHandoffAcrossThreads) {
+  // Capacity 1 forces every push to wait for the consumer: the sum arrives
+  // intact only if blocking push/pop pair up correctly.
+  BoundedQueue<int> q(1);
+  constexpr int kItems = 200;
+  std::thread producer([&] {
+    for (int i = 1; i <= kItems; ++i) q.push(i);
+    q.close();
+  });
+  long long sum = 0;
+  int v = 0;
+  while (q.pop(v)) sum += v;
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kItems) * (kItems + 1) / 2);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] {
+    int v = 0;
+    EXPECT_FALSE(q.pop(v));  // wakes on close with nothing to drain
+  });
+  q.close();
+  consumer.join();
 }
 
 }  // namespace

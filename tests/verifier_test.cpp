@@ -6,6 +6,8 @@
 
 #include "codegen/annotations.h"
 #include "codegen/compile.h"
+#include "isa/assemble.h"
+#include "isa/decode.h"
 #include "test_helpers.h"
 #include "verifier/disasm.h"
 #include "verifier/verify.h"
@@ -295,6 +297,177 @@ TEST(Rewriter, StoreBoundsFollowPolicyLadder) {
       }
     }
   }
+}
+
+// ---- Verifier error paths: every "truncated" pattern rejection ----
+//
+// Each case plants ONLY an annotation head (plus whatever prefix routes the
+// matcher into the right pattern) right before the end of the text, so the
+// matcher runs out of instructions mid-pattern. Built with no policies (so
+// the producer adds no instrumentation of its own), then the claimed policy
+// mask is set directly on the DXO — the verifier matches patterns against
+// the CLAIMED mask, which is exactly the adversarial-producer scenario.
+struct TruncatedCase {
+  const char* name;
+  PolicySet claimed;
+  const char* expected_code;
+  void (*emit_head)(isa::AsmProgram&);
+};
+
+constexpr isa::Reg kS0 = isa::kScratch0;
+constexpr isa::Reg kS1 = isa::kScratch1;
+
+const TruncatedCase kTruncatedCases[] = {
+    {"store_guard", PolicySet::p1(), "verify_store_guard",
+     [](isa::AsmProgram& p) { p.lea(kS0, isa::Mem::base_disp(isa::Reg::RAX)); }},
+    {"rsp_guard", PolicySet::none().with(kPolicyP2), "verify_rsp_guard",
+     [](isa::AsmProgram& p) { p.op_ri(isa::Op::AddRI, isa::Reg::RSP, 8); }},
+    {"shadow_prolog", PolicySet::none().with(kPolicyP5), "verify_shadow_prolog",
+     [](isa::AsmProgram& p) { p.movri(kS1, codegen::kMagicSsPtr); }},
+    {"shadow_epilog", PolicySet::none().with(kPolicyP5), "verify_shadow_epilog",
+     [](isa::AsmProgram& p) {
+       // The epilogue disambiguator is SubRI at head+2, so three real
+       // epilogue instructions are needed before the stream runs dry.
+       p.movri(kS1, codegen::kMagicSsPtr);
+       p.load(kS0, isa::Mem::base_disp(kS1));
+       p.op_ri(isa::Op::SubRI, kS0, 8);
+     }},
+    {"indirect_guard", PolicySet::none().with(kPolicyP5), "verify_indirect_guard",
+     [](isa::AsmProgram& p) { p.movrr(kS0, isa::Reg::RBX); }},
+    {"aex_probe", PolicySet::none().with(kPolicyP6), "verify_aex_probe",
+     [](isa::AsmProgram& p) { p.movri(kS0, codegen::kMagicSsaMarker); }},
+};
+
+TEST(VerifierErrors, TruncatedPatternsRejectedWithExactCode) {
+  for (const TruncatedCase& tc : kTruncatedCases) {
+    codegen::CodegenResult code;
+    code.program.label(codegen::kEntrySymbol);
+    tc.emit_head(code.program);
+    code.program.hlt();
+    code.functions = {codegen::kEntrySymbol};
+    auto built = codegen::finish(code, PolicySet::none());
+    ASSERT_TRUE(built.is_ok()) << tc.name << ": " << built.message();
+    codegen::Dxo dxo = built.value().dxo;
+    dxo.policies = tc.claimed;  // adversarial claim without the annotations
+
+    ConsumerFixture fx;
+    auto loaded = fx.load(dxo);
+    ASSERT_TRUE(loaded.is_ok()) << tc.name << ": " << loaded.message();
+    verifier::VerifyConfig config;  // required = none: claims drive matching
+    auto report = verifier::verify(*fx.space, loaded.value(), config);
+    ASSERT_FALSE(report.is_ok()) << tc.name;
+    EXPECT_EQ(report.code(), tc.expected_code) << tc.name << ": " << report.message();
+  }
+}
+
+TEST(VerifierErrors, BranchIntoAnnotationInteriorRejected) {
+  // A direct branch whose target lands on the SECOND instruction of a store
+  // guard: a valid instruction boundary (so disassembly succeeds), but
+  // entering there would skip the lower-bound check.
+  const char* src = "int g; int main() { g = 1; if (g > 0) { g = 2; } return g; }";
+  auto compiled = compile_or_die(src, PolicySet::p1());
+  codegen::Dxo dxo = compiled.dxo;
+  auto decoded = isa::decode_all(BytesView(dxo.text), 0);
+  ASSERT_TRUE(decoded.is_ok());
+  const auto& instrs = decoded.value();
+  const auto* stub = dxo.find_symbol(codegen::kViolationSymbol);
+  ASSERT_NE(stub, nullptr);
+
+  // Interior of the first store-guard pattern (head Lea into scratch 0).
+  std::uint64_t interior = 0;
+  for (std::size_t i = 0; i + 1 < instrs.size(); ++i) {
+    if (instrs[i].op == isa::Op::Lea && instrs[i].rd == kS0) {
+      interior = instrs[i + 1].addr;
+      break;
+    }
+  }
+  ASSERT_NE(interior, 0u);
+  // A program-level conditional branch: any Jcc not aimed at the stub.
+  const isa::Instr* jcc = nullptr;
+  for (const auto& ins : instrs) {
+    if (ins.op == isa::Op::Jcc && ins.branch_target() != stub->offset) {
+      jcc = &ins;
+      break;
+    }
+  }
+  ASSERT_NE(jcc, nullptr);
+  // Retarget it into the annotation interior (rel32 lives at +2).
+  store_le32(dxo.text.data() + jcc->addr + 2,
+             static_cast<std::uint32_t>(interior - (jcc->addr + jcc->length)));
+
+  ConsumerFixture fx;
+  auto loaded = fx.load(dxo);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  verifier::VerifyConfig config;
+  config.required = PolicySet::p1();
+  auto report = verifier::verify(*fx.space, loaded.value(), config);
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_EQ(report.code(), "verify_target_in_annotation") << report.message();
+}
+
+TEST(VerifierErrors, MisalignedBranchTargetRejected) {
+  // A full-coverage disassembly makes every in-text branch target a decoded
+  // boundary by construction, so the misalignment defense is exercised
+  // through verify_disassembly: present the verifier with a branch-target
+  // list entry that does not sit on any decoded instruction (the decoder-
+  // divergence case the check guards against).
+  const char* src = "int g; int main() { g = 1; return g; }";
+  auto compiled = compile_or_die(src, PolicySet::p1());
+  ConsumerFixture fx;
+  auto loaded = fx.load(compiled.dxo);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  auto dis = verifier::disassemble(*fx.space, loaded.value());
+  ASSERT_TRUE(dis.is_ok()) << dis.message();
+
+  LoadedBinary tampered = loaded.value();
+  std::uint64_t misaligned = tampered.text_base + 1;  // inside the first instruction
+  ASSERT_FALSE(dis.value().index.contains(misaligned));
+  tampered.branch_targets.push_back(misaligned);
+
+  verifier::VerifyConfig config;
+  config.required = PolicySet::p1();
+  auto report = verifier::verify_disassembly(dis.value(), tampered, config);
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_EQ(report.code(), "verify_target_misaligned") << report.message();
+
+  // Sanity: the untampered binary passes through the same entry point.
+  auto clean = verifier::verify_disassembly(dis.value(), loaded.value(), config);
+  EXPECT_TRUE(clean.is_ok()) << clean.message();
+}
+
+TEST(Rewriter, RejectsPatchSitesOutsideLoadedText) {
+  const char* src = "int g; int main() { g = 1; return g; }";
+  auto compiled = compile_or_die(src, PolicySet::p1());
+  ConsumerFixture fx;
+  auto loaded = fx.load(compiled.dxo);
+  ASSERT_TRUE(loaded.is_ok());
+  const LoadedBinary& bin = loaded.value();
+
+  // Snapshot the 8 bytes a straddling patch would clobber: the site starts
+  // inside the text but its imm64 field crosses the text end.
+  std::uint64_t straddle = bin.text_base + bin.text_size - 4;
+  const std::uint8_t* tail = fx.space->raw(straddle, 8);
+  ASSERT_NE(tail, nullptr);
+  Bytes before(tail, tail + 8);
+
+  verifier::VerifyReport forged;
+  forged.patches.push_back(verifier::PatchSite{straddle, verifier::PatchKind::StoreLo});
+  auto s = verifier::rewrite_immediates(*fx.space, bin, forged);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), "rewrite_oob");
+  // The bounds check must fire BEFORE any write happens.
+  Bytes after(tail, tail + 8);
+  EXPECT_EQ(before, after);
+
+  verifier::VerifyReport below;
+  below.patches.push_back(
+      verifier::PatchSite{bin.text_base - 8, verifier::PatchKind::StoreLo});
+  EXPECT_EQ(verifier::rewrite_immediates(*fx.space, bin, below).code(), "rewrite_oob");
+
+  verifier::VerifyReport past;
+  past.patches.push_back(
+      verifier::PatchSite{bin.text_base + bin.text_size, verifier::PatchKind::StoreLo});
+  EXPECT_EQ(verifier::rewrite_immediates(*fx.space, bin, past).code(), "rewrite_oob");
 }
 
 TEST(VerifyReport, CountsMatchProducerStats) {
