@@ -1,0 +1,147 @@
+// Shared verified-binary admission cache: what does the cache buy a
+// serving layer?
+//
+// Two shapes, each cold (share_verification_cache off — every admission
+// runs the full verifier) vs warm (one verification, every later admission
+// replays the cached verdict and pays only the per-enclave immediate
+// rewrite):
+//  - PoolCreation: provisioning an N-worker ServicePool with one service.
+//  - QuarantineRecovery: the re-provision cycle of a single worker (enclave
+//    reset, fresh handshake, binary re-upload, admission) — the latency a
+//    quarantined worker adds before it can serve again.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "codegen/compile.h"
+#include "core/pool.h"
+
+using namespace deflection;
+
+namespace {
+
+// A service large enough that admission (disassembly + policy
+// verification) is the dominant share of provisioning, as it is for
+// realistic service binaries: many functions full of guarded stores and
+// calls. Generated, so the text runs to tens of kilobytes.
+std::string big_service_source() {
+  std::string src = "int acc;\n";
+  constexpr int kFunctions = 150;
+  for (int f = 0; f < kFunctions; ++f) {
+    std::string n = std::to_string(f);
+    src += "int f" + n + "(int x) {\n"
+           "  int s = x + " + n + ";\n"
+           "  for (int i = 0; i < 3; i += 1) { s = s * 2 + i; acc = s; }\n"
+           "  if (s > 100) { acc = s - 100; } else { acc = s; }\n"
+           "  return s + acc;\n"
+           "}\n";
+  }
+  src += "int main() {\n"
+         "  byte* buf = alloc(64);\n"
+         "  int n = ocall_recv(buf, 64);\n"
+         "  if (n < 1) { return 1; }\n"
+         "  int r = 0;\n";
+  for (int f = 0; f < kFunctions; f += 10)
+    src += "  r += f" + std::to_string(f) + "(buf[0]);\n";
+  src += "  byte* out = alloc(8);\n"
+         "  for (int i = 0; i < 8; i += 1) { out[i] = (r >> (i * 8)) & 255; }\n"
+         "  ocall_send(out, 8);\n"
+         "  return 0;\n"
+         "}\n";
+  return src;
+}
+
+const codegen::Dxo& service_dxo() {
+  static codegen::Dxo dxo = [] {
+    auto built = codegen::compile(big_service_source(), PolicySet::p1to6());
+    return built.is_ok() ? built.value().dxo : codegen::Dxo{};
+  }();
+  return dxo;
+}
+
+core::BootstrapConfig base_config() {
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to6();
+  return config;
+}
+
+// One iteration = create (provision + admit on every worker) and destroy an
+// N-worker pool.
+void run_pool_creation(benchmark::State& state, bool share_cache) {
+  int workers = static_cast<int>(state.range(0));
+  core::PoolOptions options;
+  options.share_verification_cache = share_cache;
+  for (auto _ : state) {
+    auto pool = core::ServicePool::create(service_dxo(), base_config(), workers, options);
+    if (!pool.is_ok()) {
+      state.SkipWithError(pool.message().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(pool.value());
+  }
+  state.SetItemsProcessed(state.iterations() * workers);
+}
+
+void BM_PoolCreationCold(benchmark::State& state) { run_pool_creation(state, false); }
+BENCHMARK(BM_PoolCreationCold)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_PoolCreationWarm(benchmark::State& state) { run_pool_creation(state, true); }
+BENCHMARK(BM_PoolCreationWarm)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// One iteration = the full quarantine-recovery cycle on one enclave: reset,
+// both channel handshakes, sealed binary re-upload, admission. Warm mode
+// shares one admission cache across the cycles (as the pool does), so every
+// admission after the first is a cache hit.
+void run_quarantine_recovery(benchmark::State& state, bool share_cache) {
+  sgx::AttestationService as;
+  auto quoting = std::make_unique<sgx::QuotingEnclave>(as.provision("bench-plat", 1));
+  core::BootstrapConfig config = base_config();
+  if (share_cache) config.verify_cache = std::make_shared<verifier::VerificationCache>();
+  crypto::Digest expected = core::BootstrapEnclave::expected_mrenclave(config);
+  core::BootstrapEnclave enclave(*quoting, config);
+  core::DataOwner owner(as, expected);
+  core::CodeProvider provider(as, expected);
+
+  auto provision = [&]() -> Status {
+    auto owner_offer = enclave.open_channel(core::Role::DataOwner, owner.dh_public());
+    if (auto s = owner.accept(owner_offer); !s.is_ok()) return s;
+    auto provider_offer =
+        enclave.open_channel(core::Role::CodeProvider, provider.dh_public());
+    if (auto s = provider.accept(provider_offer); !s.is_ok()) return s;
+    auto digest = enclave.ecall_receive_binary(provider.seal_binary(service_dxo()));
+    if (!digest.is_ok()) return digest.status();
+    return enclave.ecall_prepare();
+  };
+  // Prime: in warm mode this fills the cache, mirroring a pool where the
+  // worker was admitted once before being quarantined.
+  if (auto s = provision(); !s.is_ok()) {
+    state.SkipWithError(s.message().c_str());
+    return;
+  }
+
+  for (auto _ : state) {
+    if (auto s = enclave.reset(); !s.is_ok()) {
+      state.SkipWithError(s.message().c_str());
+      return;
+    }
+    if (auto s = provision(); !s.is_ok()) {
+      state.SkipWithError(s.message().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_QuarantineRecoveryCold(benchmark::State& state) {
+  run_quarantine_recovery(state, false);
+}
+BENCHMARK(BM_QuarantineRecoveryCold);
+
+void BM_QuarantineRecoveryWarm(benchmark::State& state) {
+  run_quarantine_recovery(state, true);
+}
+BENCHMARK(BM_QuarantineRecoveryWarm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,6 +1,7 @@
 #include "core/bootstrap.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "codegen/annotations.h"
@@ -69,6 +70,7 @@ Status BootstrapEnclave::reset() {
   owner_key_.reset();
   provider_key_.reset();
   dxo_.reset();
+  binary_digest_.reset();
   loaded_.reset();
   report_ = {};
   verified_ = false;
@@ -114,9 +116,13 @@ Result<crypto::Digest> BootstrapEnclave::ecall_receive_binary(BytesView sealed) 
   dxo_ = dxo.take();
   verified_ = false;
   loaded_.reset();
+  // The measurement doubles as the admission-cache key: it is computed here,
+  // over the exact decrypted bytes that were deserialized, so a tampered
+  // binary can never look up another binary's verdict.
+  binary_digest_ = crypto::Sha256::hash(*plain);
   // The paper's flow: the bootstrap extracts the service-code measurement
   // and forwards it to the data owner, who approves before feeding data.
-  return crypto::Sha256::hash(*plain);
+  return *binary_digest_;
 }
 
 Status BootstrapEnclave::ecall_receive_userdata(BytesView sealed) {
@@ -237,30 +243,57 @@ Status BootstrapEnclave::unseal_service_state(BytesView sealed) {
   return Status::ok();
 }
 
-Result<RunOutcome> BootstrapEnclave::ecall_run() {
+Status BootstrapEnclave::ensure_verified() {
   if (!dxo_.has_value())
-    return Result<RunOutcome>::fail("no_binary", "no service binary delivered");
-  if (!verified_) {
-    verifier::Loader loader(*enclave_, layout_);
-    auto loaded = loader.load(*dxo_);
-    if (!loaded.is_ok()) return loaded.error();
-    loaded_ = loaded.take();
-    auto report = verifier::verify(*space_, *loaded_, config_.verify);
-    if (!report.is_ok()) return report.error();
-    report_ = report.take();
-    if (auto s = verifier::rewrite_immediates(*space_, *loaded_, report_); !s.is_ok())
-      return s.error();
-    // SGXv2 path: with relocation + rewriting done, the consumer never
-    // writes the text again — restrict it to RX so self-modification is
-    // also hardware-impossible (not just P4-checked).
-    if (config_.sgxv2) {
-      if (auto s = enclave_->modify_page_perms(layout_.text_base, layout_.text_size,
-                                               sgx::kPermRX);
-          !s.is_ok())
-        return s.error();
+    return Status::fail("no_binary", "no service binary delivered");
+  if (verified_) return Status::ok();
+  verifier::Loader loader(*enclave_, layout_);
+  auto loaded = loader.load(*dxo_);
+  if (!loaded.is_ok()) return loaded.status();
+  loaded_ = loaded.take();
+  verifier::VerificationCache* cache = config_.verify_cache.get();
+  bool admitted_from_cache = false;
+  if (cache != nullptr && binary_digest_.has_value()) {
+    if (auto hit = cache->lookup(*binary_digest_, *loaded_, config_.verify)) {
+      // The cached verdict was produced by the full verifier for a
+      // byte-identical binary under an identical claimed-policy mask and
+      // config; only the patch addresses differ (rebased by the cache onto
+      // this enclave's text). Skip disassembly + policy verification.
+      report_ = std::move(*hit);
+      admitted_from_cache = true;
     }
-    verified_ = true;
   }
+  if (!admitted_from_cache) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto report = verifier::verify(*space_, *loaded_, config_.verify);
+    if (!report.is_ok()) return report.status();
+    auto verify_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    report_ = report.take();
+    if (cache != nullptr && binary_digest_.has_value())
+      cache->insert(*binary_digest_, *loaded_, config_.verify, report_, verify_ns);
+  }
+  if (auto s = verifier::rewrite_immediates(*space_, *loaded_, report_); !s.is_ok())
+    return s;
+  // SGXv2 path: with relocation + rewriting done, the consumer never
+  // writes the text again — restrict it to RX so self-modification is
+  // also hardware-impossible (not just P4-checked).
+  if (config_.sgxv2) {
+    if (auto s = enclave_->modify_page_perms(layout_.text_base, layout_.text_size,
+                                             sgx::kPermRX);
+        !s.is_ok())
+      return s;
+  }
+  verified_ = true;
+  return Status::ok();
+}
+
+Status BootstrapEnclave::ecall_prepare() { return ensure_verified(); }
+
+Result<RunOutcome> BootstrapEnclave::ecall_run() {
+  if (auto s = ensure_verified(); !s.is_ok()) return s.error();
 
   RunOutcome outcome;
   vm::Vm machine(*enclave_, config_.vm);

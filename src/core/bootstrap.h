@@ -17,6 +17,7 @@
 #include "crypto/dh.h"
 #include "sgx/attestation.h"
 #include "sgx/platform.h"
+#include "verifier/cache.h"
 #include "verifier/verify.h"
 #include "vm/vm.h"
 
@@ -43,6 +44,14 @@ struct BootstrapConfig {
   // channels). 0 disables.
   std::uint64_t time_blur_quantum = 0;
   bool allow_debug_print = false;         // P0: deny the debug OCall by default
+  // Optional shared admission cache (verifier/cache.h). When set, the
+  // consumer reuses verification verdicts for byte-identical binaries
+  // admitted under an identical claimed-policy mask and verify config —
+  // rewrite_immediates still runs per enclave against its own layout. Not
+  // part of the measured image: the cache can only replay verdicts the full
+  // verifier produced, never change one, so enabling it does not alter the
+  // consumer's admission behaviour.
+  std::shared_ptr<verifier::VerificationCache> verify_cache;
   std::uint64_t host_base = 0x10000;
   std::uint64_t host_size = 4 * 1024 * 1024;
   std::uint64_t enclave_base = 0x7000'0000'0000ull;
@@ -99,6 +108,11 @@ class BootstrapEnclave {
   // ecall_receive_userdata: sealed input from the data owner, queued for
   // the service's ocall_recv.
   Status ecall_receive_userdata(BytesView sealed);
+  // ecall_prepare: pay admission (load -> verify or cache hit -> rewrite)
+  // without executing — lets a serving layer front-load the cost at
+  // provision time instead of on the first request. Idempotent; ecall_run
+  // performs the same admission lazily if this was never called.
+  Status ecall_prepare();
   // ecall_run: verify (if not yet verified) and execute the service.
   Result<RunOutcome> ecall_run();
 
@@ -126,6 +140,12 @@ class BootstrapEnclave {
   // config_ — the shared back half of construction and reset().
   Status rebuild();
 
+  // Admission: load the delivered DXO, obtain a verification verdict (full
+  // verifier, or the shared cache when it holds one for the same digest +
+  // claimed policies + config), and patch the immediates. The shared back
+  // half of ecall_prepare() and ecall_run().
+  Status ensure_verified();
+
   Result<std::uint64_t> handle_ocall(std::uint8_t num, std::uint64_t rdi,
                                      std::uint64_t rsi, std::uint64_t rdx,
                                      RunOutcome& outcome);
@@ -142,6 +162,7 @@ class BootstrapEnclave {
   std::optional<crypto::Key256> provider_key_;
 
   std::optional<codegen::Dxo> dxo_;
+  std::optional<crypto::Digest> binary_digest_;  // SHA-256 of the plaintext DXO
   std::optional<verifier::LoadedBinary> loaded_;
   verifier::VerifyReport report_;
   bool verified_ = false;

@@ -1,5 +1,7 @@
 #include "core/pool.h"
 
+#include <optional>
+
 namespace deflection::core {
 
 namespace {
@@ -17,6 +19,8 @@ Result<std::unique_ptr<ServicePool>> ServicePool::create(const codegen::Dxo& ser
   if (workers < 1)
     return Result<std::unique_ptr<ServicePool>>::fail("pool_size", "need >= 1 worker");
   std::unique_ptr<ServicePool> pool(new ServicePool(service, options));
+  if (options.share_verification_cache)
+    pool->cache_ = std::make_shared<verifier::VerificationCache>();
   crypto::Digest expected = BootstrapEnclave::expected_mrenclave(config);
   for (int i = 0; i < workers; ++i) {
     auto w = std::make_unique<Worker>();
@@ -26,12 +30,13 @@ Result<std::unique_ptr<ServicePool>> ServicePool::create(const codegen::Dxo& ser
         pool->as_.provision(platform, 1000 + static_cast<std::uint64_t>(i)));
     BootstrapConfig worker_config = config;
     worker_config.rng_seed = config.rng_seed + static_cast<std::uint64_t>(i) + 1;
+    worker_config.verify_cache = pool->cache_;
     w->enclave = std::make_unique<BootstrapEnclave>(*w->quoting, worker_config);
     w->owner = std::make_unique<DataOwner>(pool->as_, expected,
                                            0xDA7A00 + static_cast<std::uint64_t>(i));
     w->provider = std::make_unique<CodeProvider>(pool->as_, expected,
                                                  0xC0DE00 + static_cast<std::uint64_t>(i));
-    if (auto s = pool->provision(*w); !s.is_ok())
+    if (auto s = pool->provision(*w, /*is_reprovision=*/false); !s.is_ok())
       return Result<std::unique_ptr<ServicePool>>::fail(s.code(),
                                                         worker_tag(i, s.message()));
     pool->workers_.push_back(std::move(w));
@@ -53,14 +58,24 @@ ServicePool::~ServicePool() {
   }
 }
 
-Status ServicePool::provision(Worker& w) {
+Status ServicePool::provision(Worker& w, bool is_reprovision) {
+  if (options_.provision_fault) {
+    if (auto s = options_.provision_fault(w.index, is_reprovision); !s.is_ok()) return s;
+  }
   auto owner_offer = w.enclave->open_channel(Role::DataOwner, w.owner->dh_public());
   if (auto s = w.owner->accept(owner_offer); !s.is_ok()) return s;
   auto provider_offer =
       w.enclave->open_channel(Role::CodeProvider, w.provider->dh_public());
   if (auto s = w.provider->accept(provider_offer); !s.is_ok()) return s;
   auto digest = w.enclave->ecall_receive_binary(w.provider->seal_binary(service_));
-  return digest.status();
+  if (!digest.is_ok()) return digest.status();
+  // Pay admission now (full verify on the first worker, a cache hit + the
+  // per-worker immediate rewrite afterwards) so the worker's first request
+  // doesn't. A non-compliant service is deliberately NOT a provisioning
+  // failure: ecall_run re-runs admission, so the verifier's error surfaces
+  // on every request, attributed to the worker that served it.
+  (void)w.enclave->ecall_prepare();
+  return Status::ok();
 }
 
 ServicePool::Response ServicePool::serve(Worker& w, const Bytes& payload) {
@@ -94,11 +109,13 @@ void ServicePool::worker_main(Worker& w) {
   Request req;
   while (queue_.pop(req)) {
     auto picked_up = std::chrono::steady_clock::now();
+    std::optional<Response> response;
     if (w.health == WorkerHealth::Quarantined) {
       // Re-provision before touching another request: enclave reset, fresh
-      // handshake, binary re-upload (re-verified on the next ecall_run).
+      // handshake, binary re-upload (admission replayed from the shared
+      // cache when enabled, fully re-verified otherwise).
       Status reset = w.enclave->reset();
-      Status restored = reset.is_ok() ? provision(w) : reset;
+      Status restored = reset.is_ok() ? provision(w, /*is_reprovision=*/true) : reset;
       if (restored.is_ok()) {
         w.health = WorkerHealth::Healthy;
         std::lock_guard lock(stats_mutex_);
@@ -110,16 +127,15 @@ void ServicePool::worker_main(Worker& w) {
         std::lock_guard lock(stats_mutex_);
         ++stats_.requests_failed;
         ++stats_.workers[idx].failed;
-        req.promise.set_value(Response::fail(
-            restored.code(), worker_tag(w.index, "re-provision failed: " +
-                                                     restored.message())));
-        continue;
+        response = Response::fail(
+            restored.code(),
+            worker_tag(w.index, "re-provision failed: " + restored.message()));
       }
     }
-    Response response = serve(w, req.payload);
-    {
+    if (!response.has_value()) {
+      response = serve(w, req.payload);
       std::lock_guard lock(stats_mutex_);
-      if (response.is_ok()) {
+      if (response->is_ok()) {
         ++stats_.requests_served;
         ++stats_.workers[idx].served;
       } else {
@@ -129,20 +145,23 @@ void ServicePool::worker_main(Worker& w) {
         ++stats_.requests_failed;
         ++stats_.workers[idx].failed;
         ++stats_.workers[idx].quarantines;
-        if (response.code() == "policy_violation") ++stats_.violations;
+        if (response->code() == "policy_violation") ++stats_.violations;
         w.health = WorkerHealth::Quarantined;
         stats_.workers[idx].health = WorkerHealth::Quarantined;
       }
     }
     if (options_.response_blur.count() > 0) {
       // Pad the observable service time to the blur quantum (Sec. VII:
-      // on-demand aligning/blurring of processing time).
+      // on-demand aligning/blurring of processing time). EVERY response —
+      // success, serve error, or re-provision failure — leaves through this
+      // blur: an error path that fulfilled its promise early would return
+      // at an unblurred, data-dependent time.
       auto blur = options_.response_blur;
       auto elapsed = std::chrono::steady_clock::now() - picked_up;
       auto quanta = elapsed / blur + 1;
       std::this_thread::sleep_until(picked_up + quanta * blur);
     }
-    req.promise.set_value(std::move(response));
+    req.promise.set_value(std::move(*response));
   }
 }
 
@@ -171,6 +190,7 @@ PoolStats ServicePool::stats() const {
   std::lock_guard lock(stats_mutex_);
   PoolStats snapshot = stats_;
   snapshot.queue_high_water = queue_.high_water();
+  if (cache_) snapshot.cache = cache_->stats();
   return snapshot;
 }
 

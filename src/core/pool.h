@@ -20,6 +20,7 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -28,6 +29,7 @@
 
 #include "core/protocol.h"
 #include "support/queue.h"
+#include "verifier/cache.h"
 
 namespace deflection::core {
 
@@ -41,6 +43,10 @@ struct PoolStats {
   std::uint64_t retries = 0;           // worker re-provisions performed
   std::size_t queue_high_water = 0;    // deepest request backlog observed
   std::uint64_t total_cost = 0;        // VM cost accrued across all workers
+  // Shared admission-cache counters (all zero when the cache is disabled):
+  // worker 0's admission misses and fills, every later worker admission and
+  // quarantine re-provision hits.
+  verifier::CacheStats cache;
   struct WorkerStats {
     std::uint64_t served = 0;
     std::uint64_t failed = 0;
@@ -62,6 +68,17 @@ struct PoolOptions {
   // time is data-independent at this granularity. Throughput then scales
   // with workers even on one core: the pool overlaps the padding delays.
   std::chrono::microseconds response_blur{0};
+  // Shared verified-binary admission cache: the pool verifies the service
+  // binary once (worker 0's provision), and every later admission of the
+  // same (digest, claimed policies, verify config) — the other workers'
+  // provisions and every quarantine re-provision — reuses the cached
+  // verdict, paying only the per-worker immediate rewrite. Disable to force
+  // every admission through the full verifier.
+  bool share_verification_cache = true;
+  // Fault-injection seam (tests / chaos drills): when set, invoked at the
+  // start of every worker (re-)provision; a failure aborts that provision
+  // and is reported exactly like any other provisioning error.
+  std::function<Status(int worker_index, bool is_reprovision)> provision_fault;
 };
 
 class ServicePool {
@@ -113,13 +130,17 @@ class ServicePool {
   explicit ServicePool(const codegen::Dxo& service, const PoolOptions& options)
       : service_(service), options_(options), queue_(options.queue_capacity) {}
 
-  // Fresh channel handshake + binary upload (create() and re-provision).
-  Status provision(Worker& w);
+  // Fresh channel handshake + binary upload + admission (create() and
+  // re-provision).
+  Status provision(Worker& w, bool is_reprovision);
   void worker_main(Worker& w);
   Response serve(Worker& w, const Bytes& payload);
 
   codegen::Dxo service_;  // retained so quarantined workers can be re-provisioned
   PoolOptions options_;
+  // One admission cache for all workers and every re-provision (null when
+  // PoolOptions::share_verification_cache is off).
+  std::shared_ptr<verifier::VerificationCache> cache_;
   sgx::AttestationService as_;
   std::vector<std::unique_ptr<Worker>> workers_;
   BoundedQueue<Request> queue_;

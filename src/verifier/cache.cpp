@@ -1,0 +1,86 @@
+#include "verifier/cache.h"
+
+namespace deflection::verifier {
+
+std::optional<crypto::Digest> verify_config_fingerprint(const VerifyConfig& config) {
+  if (config.custom_check) return std::nullopt;
+  Bytes buf;
+  ByteWriter w(buf);
+  w.str("deflection-verify-config-1");
+  w.u32(config.required.mask());
+  w.u32(static_cast<std::uint32_t>(config.max_aex_threshold));
+  w.u32(static_cast<std::uint32_t>(config.max_probe_gap));
+  w.u8(config.cross_check_linear ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(config.allowed_ocalls.size()));
+  for (std::uint8_t n : config.allowed_ocalls) w.u8(n);
+  return crypto::Sha256::hash(buf);
+}
+
+std::optional<VerifyReport> VerificationCache::lookup(const crypto::Digest& binary_digest,
+                                                      const LoadedBinary& binary,
+                                                      const VerifyConfig& config) {
+  auto fp = verify_config_fingerprint(config);
+  std::lock_guard lock(mutex_);
+  if (!fp.has_value()) {
+    ++stats_.bypasses;
+    return std::nullopt;
+  }
+  auto it = entries_.find(Key{binary_digest, binary.policies.mask(), *fp});
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  const Entry& entry = it->second;
+  // Fail closed: the digest implies the text size, but the cache does not
+  // trust its caller to have hashed the bytes it loaded — any observable
+  // disagreement means this entry does not apply and the full verifier runs.
+  if (entry.text_size != binary.text_size) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  VerifyReport report = entry.report;
+  for (PatchSite& site : report.patches) {
+    if (site.field_addr + 8 > binary.text_size) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    site.field_addr += binary.text_base;
+  }
+  ++stats_.hits;
+  stats_.verify_ns_saved += entry.verify_ns;
+  return report;
+}
+
+void VerificationCache::insert(const crypto::Digest& binary_digest,
+                               const LoadedBinary& binary, const VerifyConfig& config,
+                               const VerifyReport& report, std::uint64_t verify_ns) {
+  auto fp = verify_config_fingerprint(config);
+  if (!fp.has_value()) return;  // unfingerprintable configs are never cached
+  Entry entry;
+  entry.report = report;
+  entry.text_size = binary.text_size;
+  entry.verify_ns = verify_ns;
+  for (PatchSite& site : entry.report.patches) {
+    // A verifier-produced report only references the loaded text; refuse to
+    // cache anything else rather than store a site that cannot rebase.
+    if (site.field_addr < binary.text_base ||
+        site.field_addr + 8 > binary.text_base + binary.text_size)
+      return;
+    site.field_addr -= binary.text_base;
+  }
+  std::lock_guard lock(mutex_);
+  entries_[Key{binary_digest, binary.policies.mask(), *fp}] = std::move(entry);
+  ++stats_.insertions;
+}
+
+CacheStats VerificationCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t VerificationCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace deflection::verifier

@@ -1,0 +1,89 @@
+// Shared verified-binary admission cache (trusted, in-TCB).
+//
+// The paper's pitch is that in-enclave verification is cheap enough to run
+// at load time; this cache makes it cheap to run *once per distinct binary*
+// instead of once per enclave. A serving layer that provisions N workers
+// with the same service — or re-provisions a quarantined worker with the
+// binary it was already admitted with — pays disassembly + policy
+// verification only on the first admission. Every later admission with the
+// same key reuses the stored report and goes straight to
+// rewrite_immediates() against that enclave's own layout.
+//
+// Key = (SHA-256 of the plaintext DXO bytes, claimed policy mask,
+//        fingerprint of every verdict-relevant VerifyConfig field).
+// A tampered binary, a different policy claim, or a changed verifier
+// configuration all change the key, so a hit can only ever replay a verdict
+// that the full verifier already produced for byte-identical input under an
+// identical configuration — admission soundness is preserved. The cache
+// additionally fails closed: any mismatch it can observe at lookup time
+// (text size, patch sites out of range, unfingerprintable config) is a
+// miss, never a downgraded hit.
+//
+// Patch sites are stored rebased to text-relative offsets, because
+// different enclaves load the same text at different bases; lookup() maps
+// them back onto the requesting enclave's text.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "crypto/sha256.h"
+#include "verifier/verify.h"
+
+namespace deflection::verifier {
+
+// Hash of every VerifyConfig field that can change the verifier's verdict
+// or the produced patch list. Returns nullopt for configs that cannot be
+// fingerprinted — a custom_check is an opaque std::function, so any config
+// carrying one must never hit (or populate) the cache.
+std::optional<crypto::Digest> verify_config_fingerprint(const VerifyConfig& config);
+
+// Cache counters, snapshot via VerificationCache::stats().
+struct CacheStats {
+  std::uint64_t hits = 0;          // admissions served from the cache
+  std::uint64_t misses = 0;        // admissions that ran the full verifier
+  std::uint64_t bypasses = 0;      // lookups refused (unfingerprintable config)
+  std::uint64_t insertions = 0;    // reports stored after a full verification
+  std::uint64_t verify_ns_saved = 0;  // sum of the original verify time of every hit
+};
+
+class VerificationCache {
+ public:
+  // Returns the cached report rebased onto `binary`'s text, or nullopt on a
+  // miss. Only verdicts for byte-identical (digest) binaries with an
+  // identical claimed policy mask under an identical config can hit.
+  std::optional<VerifyReport> lookup(const crypto::Digest& binary_digest,
+                                     const LoadedBinary& binary,
+                                     const VerifyConfig& config);
+
+  // Stores a report the full verifier just produced for `binary`.
+  // `verify_ns` is the wall time that verification took; it is credited to
+  // verify_ns_saved on every later hit. Reports with patch sites outside
+  // the loaded text, or configs that cannot be fingerprinted, are refused.
+  void insert(const crypto::Digest& binary_digest, const LoadedBinary& binary,
+              const VerifyConfig& config, const VerifyReport& report,
+              std::uint64_t verify_ns);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+
+ private:
+  struct Key {
+    crypto::Digest binary{};         // SHA-256 of the plaintext DXO bytes
+    std::uint32_t policy_mask = 0;   // the binary's claimed PolicySet
+    crypto::Digest config{};         // verify_config_fingerprint
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Entry {
+    VerifyReport report;             // patches hold text-relative offsets
+    std::uint64_t text_size = 0;
+    std::uint64_t verify_ns = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<Key, Entry> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace deflection::verifier

@@ -1,5 +1,7 @@
 #include "verifier/verify.h"
 
+#include <optional>
+
 namespace deflection::verifier {
 
 using codegen::kMagicAexCount;
@@ -424,9 +426,19 @@ class Verifier {
 
   Status check_probe_density() {
     if (!p(kPolicyP6)) return Status::ok();
+    // Gap semantics (pinned by VerifierProbeGap.* tests): max_probe_gap
+    // bounds the number of instructions between the end of one SSA probe
+    // (or a flow break, whose linear successor is a fresh probed target or
+    // dead) and the start of the next. The probe's own 12 instructions are
+    // free — the producer's spacing counter excludes them too — while guard
+    // annotations DO count: they execute between probes like any program
+    // instruction.
     int since = 0;
     for (std::size_t i = 0; i < count(); ++i) {
-      if (kind_[i] == PatternKind::AexProbe && start_[i]) since = 0;
+      if (kind_[i] == PatternKind::AexProbe) {
+        since = 0;
+        continue;
+      }
       ++since;
       if (at(i).ends_flow()) {
         since = 0;  // linear successor is a fresh (probed) target or dead
@@ -522,7 +534,7 @@ Status rewrite_immediates(sgx::AddressSpace& space, const LoadedBinary& binary,
   if (binary.policies.has(kPolicyP3)) store_lo = binary.text_base;
   if (binary.policies.has(kPolicyP4)) store_lo = binary.data_base;
 
-  auto value_of = [&](PatchKind kind) -> std::uint64_t {
+  auto value_of = [&](PatchKind kind) -> std::optional<std::uint64_t> {
     switch (kind) {
       case PatchKind::StoreLo: return store_lo;
       case PatchKind::StoreHi: return lay.stack_top() - 7;  // 8-byte stores stay inside
@@ -538,7 +550,10 @@ Status rewrite_immediates(sgx::AddressSpace& space, const LoadedBinary& binary,
       case PatchKind::SsaMarker:
         return lay.ssa_addr + sgx::Enclave::kSsaMarkerOffset;
     }
-    return 0;
+    // A PatchKind without a rewrite rule (the enum grew) must be a hard
+    // failure: silently patching 0 would e.g. turn a StoreHi-style bound
+    // into "everything below 0 is allowed" — wide open.
+    return std::nullopt;
   };
 
   for (const PatchSite& site : report.patches) {
@@ -548,10 +563,14 @@ Status rewrite_immediates(sgx::AddressSpace& space, const LoadedBinary& binary,
     if (site.field_addr < binary.text_base ||
         site.field_addr + 8 > binary.text_base + binary.text_size)
       return Status::fail("rewrite_oob", "patch site outside loaded text");
+    std::optional<std::uint64_t> value = value_of(site.kind);
+    if (!value.has_value())
+      return Status::fail("rewrite_unknown_kind",
+                          "patch site carries a kind with no rewrite rule");
     std::uint8_t* field = space.raw(site.field_addr, 8);
     if (field == nullptr)
       return Status::fail("rewrite_oob", "patch site not mapped");
-    store_le64(field, value_of(site.kind));
+    store_le64(field, *value);
   }
   return Status::ok();
 }

@@ -1,0 +1,343 @@
+// Shared verified-binary admission cache (verifier/cache.h): key soundness
+// (any digest / claimed-policy / config change must miss), fail-closed
+// behaviour on observable mismatches, patch-site rebasing across enclave
+// bases, and the end-to-end differential — an enclave admitted from the
+// cache must behave byte-for-byte like one admitted by the full verifier.
+#include <gtest/gtest.h>
+
+#include "codegen/compile.h"
+#include "crypto/sha256.h"
+#include "test_helpers.h"
+#include "verifier/cache.h"
+#include "verifier/disasm.h"
+#include "verifier/verify.h"
+
+namespace deflection::testing {
+namespace {
+
+using verifier::EnclaveLayout;
+using verifier::LayoutConfig;
+using verifier::LoadedBinary;
+using verifier::Loader;
+using verifier::PatchKind;
+using verifier::VerificationCache;
+using verifier::VerifyConfig;
+using verifier::VerifyReport;
+
+constexpr std::uint64_t kBaseA = 0x7000'0000'0000ull;
+constexpr std::uint64_t kBaseB = 0x7100'0000'0000ull;
+
+// A bare consumer (layout + address space + loader) at a chosen enclave
+// base, so the same DXO can be loaded at two genuinely different bases.
+struct ConsumerAt {
+  LayoutConfig config;
+  EnclaveLayout layout;
+  std::unique_ptr<sgx::AddressSpace> space;
+  std::unique_ptr<sgx::Enclave> enclave;
+
+  explicit ConsumerAt(std::uint64_t base) {
+    layout = EnclaveLayout::compute(base, config);
+    space = std::make_unique<sgx::AddressSpace>(0x10000, 1 << 20, base,
+                                                layout.enclave_size);
+    enclave = std::make_unique<sgx::Enclave>(*space, layout.ssa_addr);
+    Bytes image(1024, 0xCC);
+    auto built = Loader::build_enclave(*enclave, base, config, BytesView(image));
+    EXPECT_TRUE(built.is_ok()) << built.message();
+    if (built.is_ok()) layout = built.value();
+  }
+
+  Result<LoadedBinary> load(const codegen::Dxo& dxo) {
+    Loader loader(*enclave, layout);
+    return loader.load(dxo);
+  }
+};
+
+const char* kAnnotatedService = R"(
+  int g;
+  int f(int x) { return x * 2; }
+  int main() { g = 3; fn p = &f; return p(g); }
+)";
+
+struct VerifiedAt {
+  ConsumerAt consumer;
+  LoadedBinary binary;
+  VerifyReport report;
+
+  VerifiedAt(std::uint64_t base, const codegen::Dxo& dxo, const VerifyConfig& config)
+      : consumer(base) {
+    auto loaded = consumer.load(dxo);
+    EXPECT_TRUE(loaded.is_ok()) << loaded.message();
+    if (!loaded.is_ok()) return;
+    binary = loaded.take();
+    auto verified = verifier::verify(*consumer.space, binary, config);
+    EXPECT_TRUE(verified.is_ok()) << verified.message();
+    if (verified.is_ok()) report = verified.take();
+  }
+};
+
+TEST(VerifyCache, HitRebasesPatchSitesOntoTheNewBase) {
+  auto compiled = compile_or_die(kAnnotatedService, PolicySet::p1to6());
+  crypto::Digest digest = crypto::Sha256::hash(compiled.dxo.serialize());
+  VerifyConfig config;
+  config.required = PolicySet::p1to6();
+
+  VerifiedAt a(kBaseA, compiled.dxo, config);
+  VerificationCache cache;
+  cache.insert(digest, a.binary, config, a.report, 1000);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Load the same DXO at a different enclave base and look it up: the hit
+  // must carry exactly the patch list the full verifier would produce
+  // there — same kinds, every address shifted to the new text.
+  VerifiedAt b(kBaseB, compiled.dxo, config);
+  ASSERT_NE(a.binary.text_base, b.binary.text_base);
+  auto hit = cache.lookup(digest, b.binary, config);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_FALSE(hit->patches.empty());
+  ASSERT_EQ(hit->patches.size(), b.report.patches.size());
+  for (std::size_t i = 0; i < hit->patches.size(); ++i) {
+    EXPECT_EQ(hit->patches[i].field_addr, b.report.patches[i].field_addr);
+    EXPECT_EQ(hit->patches[i].kind, b.report.patches[i].kind);
+  }
+  EXPECT_EQ(hit->instructions, a.report.instructions);
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.verify_ns_saved, 1000u);
+}
+
+TEST(VerifyCache, AnyKeyComponentChangeMisses) {
+  auto compiled = compile_or_die(kAnnotatedService, PolicySet::p1to6());
+  crypto::Digest digest = crypto::Sha256::hash(compiled.dxo.serialize());
+  VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  VerifiedAt a(kBaseA, compiled.dxo, config);
+  VerificationCache cache;
+  cache.insert(digest, a.binary, config, a.report, 1);
+
+  // Different binary digest (a single flipped bit in the delivered bytes).
+  crypto::Digest flipped = digest;
+  flipped[0] ^= 0x01;
+  EXPECT_FALSE(cache.lookup(flipped, a.binary, config).has_value());
+
+  // Different claimed-policy mask, same bytes: even if a caller somehow
+  // reused the digest, the mask is part of the key — depth behind the fact
+  // that changing the claim also changes the serialized bytes.
+  LoadedBinary reclaimed = a.binary;
+  reclaimed.policies = PolicySet::p1to5();
+  EXPECT_FALSE(cache.lookup(digest, reclaimed, config).has_value());
+
+  // Each verdict-relevant config field is part of the fingerprint.
+  VerifyConfig gap = config;
+  gap.max_probe_gap += 1;
+  EXPECT_FALSE(cache.lookup(digest, a.binary, gap).has_value());
+  VerifyConfig threshold = config;
+  threshold.max_aex_threshold += 1;
+  EXPECT_FALSE(cache.lookup(digest, a.binary, threshold).has_value());
+  VerifyConfig required = config;
+  required.required = PolicySet::p1to5();
+  EXPECT_FALSE(cache.lookup(digest, a.binary, required).has_value());
+  VerifyConfig ocalls = config;
+  ocalls.allowed_ocalls.erase(codegen::kOcallPrint);
+  EXPECT_FALSE(cache.lookup(digest, a.binary, ocalls).has_value());
+  VerifyConfig sweep = config;
+  sweep.cross_check_linear = !sweep.cross_check_linear;
+  EXPECT_FALSE(cache.lookup(digest, a.binary, sweep).has_value());
+
+  // The unchanged key still hits after all those misses.
+  EXPECT_TRUE(cache.lookup(digest, a.binary, config).has_value());
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 7u);
+}
+
+TEST(VerifyCache, CustomCheckConfigsBypassLookupAndInsert) {
+  auto compiled = compile_or_die(kAnnotatedService, PolicySet::p1to6());
+  crypto::Digest digest = crypto::Sha256::hash(compiled.dxo.serialize());
+  VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  VerifiedAt a(kBaseA, compiled.dxo, config);
+
+  // A custom_check is an opaque std::function: two configs carrying
+  // different checks are indistinguishable to any fingerprint, so such
+  // configs must never populate or hit the cache.
+  VerifyConfig plugged = config;
+  plugged.custom_check = [](const verifier::Disassembly&, const LoadedBinary&) {
+    return Status::ok();
+  };
+  EXPECT_FALSE(verifier::verify_config_fingerprint(plugged).has_value());
+
+  VerificationCache cache;
+  cache.insert(digest, a.binary, plugged, a.report, 1);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+
+  cache.insert(digest, a.binary, config, a.report, 1);
+  ASSERT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.lookup(digest, a.binary, plugged).has_value());
+  EXPECT_EQ(cache.stats().bypasses, 1u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(VerifyCache, ObservableMismatchesFailClosed) {
+  auto compiled = compile_or_die(kAnnotatedService, PolicySet::p1to6());
+  crypto::Digest digest = crypto::Sha256::hash(compiled.dxo.serialize());
+  VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  VerifiedAt a(kBaseA, compiled.dxo, config);
+  VerificationCache cache;
+  cache.insert(digest, a.binary, config, a.report, 1);
+
+  // A caller whose loaded text size disagrees with the cached entry gets a
+  // miss (and the full verifier), never a report for different bytes.
+  LoadedBinary shrunk = a.binary;
+  shrunk.text_size -= 8;
+  EXPECT_FALSE(cache.lookup(digest, shrunk, config).has_value());
+
+  // Reports referencing memory outside the loaded text are refused at
+  // insert time: nothing the rewriter could be steered with is ever stored.
+  VerifyReport forged = a.report;
+  forged.patches.push_back(
+      {a.binary.text_base + a.binary.text_size, PatchKind::StoreLo});
+  VerificationCache strict;
+  strict.insert(digest, a.binary, config, forged, 1);
+  EXPECT_EQ(strict.size(), 0u);
+  forged.patches.back().field_addr = a.binary.text_base - 8;
+  strict.insert(digest, a.binary, config, forged, 1);
+  EXPECT_EQ(strict.size(), 0u);
+}
+
+// ---- End-to-end admission through BootstrapEnclave ----
+
+const char* kEchoPlusOne = R"(
+  int main() {
+    byte* buf = alloc(8);
+    int n = ocall_recv(buf, 8);
+    if (n < 1) { return 1; }
+    byte* out = alloc(8);
+    out[0] = buf[0] + 1;
+    for (int i = 1; i < 8; i += 1) { out[i] = 0; }
+    ocall_send(out, 8);
+    return 0;
+  }
+)";
+
+// Runs one request through a fresh pipeline and returns the opened output.
+Bytes run_once(const codegen::Dxo& dxo, core::BootstrapConfig config,
+               std::uint8_t input) {
+  Pipeline pipe(config);
+  auto digest = pipe.deliver(dxo);
+  EXPECT_TRUE(digest.is_ok()) << digest.message();
+  Bytes in = {input};
+  EXPECT_TRUE(pipe.feed(BytesView(in)).is_ok());
+  auto outcome = pipe.run();
+  EXPECT_TRUE(outcome.is_ok()) << outcome.message();
+  if (!outcome.is_ok() || outcome.value().sealed_output.empty()) return {};
+  auto plain = pipe.owner->open_output(BytesView(outcome.value().sealed_output[0]));
+  EXPECT_TRUE(plain.is_ok()) << plain.message();
+  return plain.is_ok() ? plain.take() : Bytes{};
+}
+
+TEST(VerifyCacheAdmission, CachedEnclaveMatchesUncachedDifferentially) {
+  auto compiled = compile_or_die(kEchoPlusOne, PolicySet::p1to6());
+  auto cache = std::make_shared<VerificationCache>();
+
+  core::BootstrapConfig base_config;
+  base_config.verify.required = PolicySet::p1to6();
+
+  // Enclave A fills the cache; enclave B — at a DIFFERENT enclave base, so
+  // every patched immediate differs — admits from it. Both must answer
+  // exactly like an enclave with no cache at all.
+  core::BootstrapConfig a_config = base_config;
+  a_config.verify_cache = cache;
+  Bytes out_a = run_once(compiled.dxo, a_config, 41);
+
+  core::BootstrapConfig b_config = base_config;
+  b_config.verify_cache = cache;
+  b_config.enclave_base = kBaseB;
+  Bytes out_b = run_once(compiled.dxo, b_config, 41);
+
+  core::BootstrapConfig plain_config = base_config;
+  plain_config.enclave_base = kBaseB;
+  Bytes out_plain = run_once(compiled.dxo, plain_config, 41);
+
+  ASSERT_FALSE(out_a.empty());
+  EXPECT_EQ(out_a, out_b);
+  EXPECT_EQ(out_b, out_plain);
+  EXPECT_EQ(out_a[0], 42);
+
+  auto stats = cache->stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(VerifyCacheAdmission, TamperedBinaryNeverHits) {
+  auto compiled = compile_or_die(kEchoPlusOne, PolicySet::p1to6());
+  auto cache = std::make_shared<VerificationCache>();
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to6();
+  config.verify_cache = cache;
+
+  // Warm the cache with the genuine binary.
+  Bytes out = run_once(compiled.dxo, config, 1);
+  ASSERT_FALSE(out.empty());
+  ASSERT_EQ(cache->stats().insertions, 1u);
+
+  // Flip one bit in the delivered text: the digest changes, so admission
+  // goes back through the full verifier — which rejects the mutation. The
+  // cached verdict for the genuine binary is never applied to it.
+  codegen::Dxo tampered = compiled.dxo;
+  ASSERT_FALSE(tampered.text.empty());
+  tampered.text[tampered.text.size() / 2] ^= 0x20;
+  Pipeline pipe(config);
+  auto digest = pipe.deliver(tampered);
+  ASSERT_TRUE(digest.is_ok()) << digest.message();
+  Bytes in = {1};
+  ASSERT_TRUE(pipe.feed(BytesView(in)).is_ok());
+  auto outcome = pipe.run();
+  EXPECT_FALSE(outcome.is_ok());
+  auto stats = cache->stats();
+  EXPECT_EQ(stats.hits, 0u);  // the tampered admission never hit
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 1u);
+
+  // And a different policy CLAIM on identical text also re-verifies: the
+  // claim is serialized into the DXO, so the digest (and the key) change.
+  codegen::Dxo reclaimed = compiled.dxo;
+  reclaimed.policies = PolicySet::p1to5();
+  Pipeline pipe2(config);
+  ASSERT_TRUE(pipe2.deliver(reclaimed).is_ok());
+  auto outcome2 = pipe2.run();
+  EXPECT_FALSE(outcome2.is_ok());
+  EXPECT_EQ(outcome2.code(), "policy_uncovered");
+  EXPECT_EQ(cache->stats().hits, 0u);
+}
+
+TEST(VerifyCacheAdmission, ChangedVerifyConfigMissesAcrossEnclaves) {
+  auto compiled = compile_or_die(kEchoPlusOne, PolicySet::p1to6());
+  auto cache = std::make_shared<VerificationCache>();
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to6();
+  config.verify_cache = cache;
+  Bytes out = run_once(compiled.dxo, config, 1);
+  ASSERT_FALSE(out.empty());
+
+  // Same binary, same cache, stricter verifier config: the fingerprint
+  // differs, so this enclave runs the full verifier under ITS config
+  // instead of inheriting a verdict produced under a laxer one.
+  core::BootstrapConfig strict = config;
+  strict.verify.max_aex_threshold = codegen::kDefaultAexThreshold;
+  Bytes out2 = run_once(compiled.dxo, strict, 1);
+  ASSERT_FALSE(out2.empty());
+  EXPECT_EQ(out, out2);
+  auto stats = cache->stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 2u);
+}
+
+}  // namespace
+}  // namespace deflection::testing

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -298,6 +301,127 @@ TEST(ServicePool, ViolationOnOneWorkerDoesNotStallOthers) {
   EXPECT_LE(stats.retries, stats.violations);
   EXPECT_GE(stats.retries + static_cast<std::uint64_t>(pool.value()->workers()),
             stats.violations);
+}
+
+TEST(ServicePool, SharedCacheVerifiesOncePerDistinctBinary) {
+  auto compiled = compile_or_die(kEchoSquare, PolicySet::p1to5());
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  auto pool = core::ServicePool::create(compiled.dxo, config, 3);
+  ASSERT_TRUE(pool.is_ok()) << pool.message();
+
+  // Provisioning pays admission eagerly: worker 0 runs the full verifier
+  // and fills the cache, workers 1..N-1 admit from it.
+  auto stats = pool.value()->stats();
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.insertions, 1u);
+  EXPECT_EQ(stats.cache.hits, 2u);
+  EXPECT_GT(stats.cache.verify_ns_saved, 0u);
+
+  // Cached admission serves correctly on every worker.
+  for (std::uint8_t v = 1; v <= 6; ++v) {
+    Bytes request = {v};
+    auto outputs = pool.value()->submit(BytesView(request));
+    ASSERT_TRUE(outputs.is_ok()) << outputs.message();
+    EXPECT_EQ(load_le64(outputs.value()[0].data()),
+              static_cast<std::uint64_t>(v) * v);
+  }
+}
+
+TEST(ServicePool, DisabledCacheStillServesAndReportsZeroes) {
+  auto compiled = compile_or_die(kEchoSquare, PolicySet::p1to5());
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  core::PoolOptions options;
+  options.share_verification_cache = false;
+  auto pool = core::ServicePool::create(compiled.dxo, config, 2, options);
+  ASSERT_TRUE(pool.is_ok()) << pool.message();
+  Bytes request = {5};
+  auto outputs = pool.value()->submit(BytesView(request));
+  ASSERT_TRUE(outputs.is_ok()) << outputs.message();
+  EXPECT_EQ(load_le64(outputs.value()[0].data()), 25u);
+  auto stats = pool.value()->stats();
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.cache.misses, 0u);
+  EXPECT_EQ(stats.cache.insertions, 0u);
+}
+
+TEST(ServicePool, QuarantineRecoveryAdmitsFromTheCache) {
+  auto compiled = compile_or_die(kSecondRequestViolates, PolicySet::p1to5());
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  auto pool = core::ServicePool::create(compiled.dxo, config, 1);
+  ASSERT_TRUE(pool.is_ok()) << pool.message();
+  ASSERT_EQ(pool.value()->stats().cache.insertions, 1u);
+
+  Bytes first = {7};
+  ASSERT_TRUE(pool.value()->submit(BytesView(first)).is_ok());
+  Bytes second = {8};
+  auto b = pool.value()->submit(BytesView(second));
+  ASSERT_FALSE(b.is_ok());
+  EXPECT_EQ(b.code(), "policy_violation");
+  Bytes third = {9};
+  auto c = pool.value()->submit(BytesView(third));
+  ASSERT_TRUE(c.is_ok()) << c.message();
+  EXPECT_EQ(c.value()[0][0], 9);
+
+  // The re-provision after the quarantine re-admitted the binary from the
+  // shared cache instead of re-running the verifier.
+  auto stats = pool.value()->stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_GE(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_GT(stats.cache.verify_ns_saved, 0u);
+}
+
+TEST(ServicePool, ReprovisionFailureStillLeavesThroughTheBlur) {
+  // Regression: the re-provision-failure path used to fulfil its promise
+  // and `continue` BEFORE the blur sleep, so exactly the responses sent
+  // while a worker was broken returned at unblurred, data-dependent times.
+  auto compiled = compile_or_die(kSecondRequestViolates, PolicySet::p1to5());
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  const auto blur = std::chrono::milliseconds(50);
+  auto fail_reprovision = std::make_shared<std::atomic<bool>>(false);
+  core::PoolOptions options;
+  options.response_blur = blur;
+  options.provision_fault = [fail_reprovision](int, bool is_reprovision) {
+    if (is_reprovision && fail_reprovision->load())
+      return Status::fail("injected_fault", "re-provision fault injection");
+    return Status::ok();
+  };
+  auto pool = core::ServicePool::create(compiled.dxo, config, 1, options);
+  ASSERT_TRUE(pool.is_ok()) << pool.message();
+
+  Bytes first = {7};
+  ASSERT_TRUE(pool.value()->submit(BytesView(first)).is_ok());
+  Bytes second = {8};
+  EXPECT_EQ(pool.value()->submit(BytesView(second)).code(), "policy_violation");
+
+  // Worker 0 is quarantined; make its re-provision fail and check the
+  // error response is still held to the blur quantum.
+  fail_reprovision->store(true);
+  Bytes third = {9};
+  auto t0 = std::chrono::steady_clock::now();
+  auto c = pool.value()->submit(BytesView(third));
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(c.is_ok());
+  EXPECT_EQ(c.code(), "injected_fault");
+  EXPECT_NE(c.message().find("re-provision failed"), std::string::npos)
+      << c.message();
+  EXPECT_GE(elapsed, blur);
+  auto stats = pool.value()->stats();
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.workers[0].health, core::WorkerHealth::Quarantined);
+
+  // Clearing the fault lets the quarantined worker recover on its next
+  // request; serving resumes.
+  fail_reprovision->store(false);
+  Bytes fourth = {10};
+  auto d = pool.value()->submit(BytesView(fourth));
+  ASSERT_TRUE(d.is_ok()) << d.message();
+  EXPECT_EQ(d.value()[0][0], 10);
+  EXPECT_EQ(pool.value()->stats().retries, 1u);
 }
 
 TEST(ServicePool, RejectsZeroWorkersAndReportsCapacity) {

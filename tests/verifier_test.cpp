@@ -4,6 +4,8 @@
 // values.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "codegen/annotations.h"
 #include "codegen/compile.h"
 #include "isa/assemble.h"
@@ -490,6 +492,138 @@ TEST(VerifyReport, CountsMatchProducerStats) {
   EXPECT_EQ(report.value().shadow_epilogues, compiled.stats.shadow_epilogues);
   EXPECT_EQ(report.value().indirect_guards, compiled.stats.indirect_guards);
   EXPECT_EQ(report.value().aex_probes, compiled.stats.aex_probes);
+}
+
+TEST(Rewriter, UnknownPatchKindIsAHardFailure) {
+  // A forged report carrying a PatchKind with no rewrite rule must fail the
+  // admission, not silently patch 0 into the guard bound (which for an
+  // upper bound would mean "everything allowed").
+  const char* src = "int g; int main() { g = 5; return g; }";
+  auto compiled = compile_or_die(src, PolicySet::p1());
+  ConsumerFixture fx;
+  auto loaded = fx.load(compiled.dxo);
+  ASSERT_TRUE(loaded.is_ok());
+  const LoadedBinary& bin = loaded.value();
+  verifier::VerifyConfig config;
+  config.required = PolicySet::p1();
+  auto report = verifier::verify(*fx.space, bin, config);
+  ASSERT_TRUE(report.is_ok()) << report.message();
+
+  verifier::VerifyReport forged = report.value();
+  ASSERT_FALSE(forged.patches.empty());
+  // Target an in-text window no legitimate patch writes, so the only thing
+  // that could change it is the forged site itself.
+  std::uint64_t target = bin.text_base;
+  auto overlaps = [&](std::uint64_t addr) {
+    for (const auto& site : report.value().patches)
+      if (addr + 8 > site.field_addr && addr < site.field_addr + 8) return true;
+    return false;
+  };
+  while (overlaps(target)) target += 8;
+  ASSERT_LE(target + 8, bin.text_base + bin.text_size);
+  forged.patches.push_back(
+      verifier::PatchSite{target, static_cast<verifier::PatchKind>(0xFF)});
+  auto before = fx.space->copy_out(target, 8);
+  ASSERT_TRUE(before.is_ok());
+  auto status = verifier::rewrite_immediates(*fx.space, bin, forged);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), "rewrite_unknown_kind");
+  // The forged site itself was never written: the kind is checked before
+  // the store. (Earlier, legitimate sites may have been patched — the
+  // consumer discards the enclave on any admission failure.)
+  auto after = fx.space->copy_out(target, 8);
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_EQ(before.value(), after.value());
+}
+
+// ---- P6 probe-gap semantics ----
+//
+// These tests pin the exact meaning of VerifyConfig::max_probe_gap: the
+// number of instructions allowed between the END of one SSA probe and the
+// start of the next. The probe's own 12 instructions are free — the
+// producer's spacing counter excludes probe bodies too, so counting them
+// here would reject producer output whose real inter-probe distance is
+// within spec.
+
+// Emits the canonical 12-instruction SSA probe (the exact shape
+// match_aex_probe accepts), ending with its fast-path label.
+void emit_probe(isa::AsmProgram& p, int seq) {
+  std::string lok = ".Lgapprobe" + std::to_string(seq);
+  p.movri(kS0, codegen::kMagicSsaMarker);
+  p.load(kS0, isa::Mem::base_disp(kS0));
+  p.op_ri(isa::Op::CmpRI, kS0, codegen::kSsaMarkerValue);
+  p.jcc(isa::Cond::E, lok);
+  p.movri(kS0, codegen::kMagicAexCount);
+  p.load(kS1, isa::Mem::base_disp(kS0));
+  p.op_ri(isa::Op::AddRI, kS1, 1);
+  p.store(isa::Mem::base_disp(kS0), kS1);
+  p.op_ri(isa::Op::CmpRI, kS1, codegen::kDefaultAexThreshold);
+  p.jcc(isa::Cond::G, codegen::kViolationSymbol);
+  p.movri(kS0, codegen::kMagicSsaMarker);
+  p.storei(isa::Mem::base_disp(kS0), codegen::kSsaMarkerValue);
+  p.label(lok);
+}
+
+// Builds: _start -> probe [-> fillers -> probe]... -> fillers -> hlt, plus
+// a violation stub, claiming P6 only; `fillers` lists the number of plain
+// instructions after each probe.
+Result<verifier::VerifyReport> verify_probe_layout(const std::vector<int>& fillers,
+                                                   int max_probe_gap) {
+  codegen::CodegenResult code;
+  auto& prog = code.program;
+  prog.label(codegen::kEntrySymbol);
+  int seq = 0;
+  for (int n : fillers) {
+    emit_probe(prog, seq++);
+    for (int i = 0; i < n; ++i) prog.movri(isa::Reg::RAX, i);
+  }
+  prog.hlt();
+  prog.label(codegen::kViolationSymbol);
+  prog.movri(isa::Reg::RAX, static_cast<std::int64_t>(codegen::kViolationExitCode));
+  prog.hlt();
+  code.functions = {codegen::kEntrySymbol, codegen::kViolationSymbol};
+  auto built = codegen::finish(code, PolicySet::none());
+  EXPECT_TRUE(built.is_ok()) << built.message();
+  if (!built.is_ok()) return built.error();
+  codegen::Dxo dxo = built.value().dxo;
+  dxo.policies = PolicySet::none().with(kPolicyP6);  // hand-rolled probes
+
+  ConsumerFixture fx;
+  auto loaded = fx.load(dxo);
+  EXPECT_TRUE(loaded.is_ok()) << loaded.message();
+  if (!loaded.is_ok()) return loaded.error();
+  verifier::VerifyConfig config;  // required = none: the claim drives matching
+  config.max_probe_gap = max_probe_gap;
+  return verifier::verify(*fx.space, loaded.value(), config);
+}
+
+TEST(VerifierProbeGap, ExactlyMaxGapInstructionsAfterAProbePass) {
+  auto report = verify_probe_layout({6}, 6);
+  ASSERT_TRUE(report.is_ok()) << report.message();
+  EXPECT_EQ(report.value().aex_probes, 1);
+}
+
+TEST(VerifierProbeGap, OneInstructionPastTheBoundFails) {
+  auto report = verify_probe_layout({7}, 6);
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_EQ(report.code(), "verify_probe_gap");
+}
+
+TEST(VerifierProbeGap, ProbeBodyInstructionsAreNotCounted) {
+  // Two probes back to back with a full-width gap after each: if the 12
+  // probe-body instructions counted toward the gap (the pre-fix semantics),
+  // this layout would be rejected outright.
+  auto report = verify_probe_layout({6, 6}, 6);
+  ASSERT_TRUE(report.is_ok()) << report.message();
+  EXPECT_EQ(report.value().aex_probes, 2);
+}
+
+TEST(VerifierProbeGap, ASecondProbeResetsTheCount) {
+  auto report = verify_probe_layout({3, 7}, 6);
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_EQ(report.code(), "verify_probe_gap");
+  report = verify_probe_layout({3, 6}, 6);
+  ASSERT_TRUE(report.is_ok()) << report.message();
 }
 
 }  // namespace
