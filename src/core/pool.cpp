@@ -4,14 +4,6 @@
 
 namespace deflection::core {
 
-namespace {
-
-std::string worker_tag(int index, const std::string& message) {
-  return "worker " + std::to_string(index) + ": " + message;
-}
-
-}  // namespace
-
 Result<std::unique_ptr<ServicePool>> ServicePool::create(const codegen::Dxo& service,
                                                          const BootstrapConfig& config,
                                                          int workers,
@@ -21,24 +13,18 @@ Result<std::unique_ptr<ServicePool>> ServicePool::create(const codegen::Dxo& ser
   std::unique_ptr<ServicePool> pool(new ServicePool(service, options));
   if (options.share_verification_cache)
     pool->cache_ = std::make_shared<verifier::VerificationCache>();
-  crypto::Digest expected = BootstrapEnclave::expected_mrenclave(config);
+  BootstrapConfig worker_config = config;
+  worker_config.verify_cache = pool->cache_;
   for (int i = 0; i < workers; ++i) {
     auto w = std::make_unique<Worker>();
-    w->index = i;
-    std::string platform = "pool-platform-" + std::to_string(i);
-    w->quoting = std::make_unique<sgx::QuotingEnclave>(
-        pool->as_.provision(platform, 1000 + static_cast<std::uint64_t>(i)));
-    BootstrapConfig worker_config = config;
-    worker_config.rng_seed = config.rng_seed + static_cast<std::uint64_t>(i) + 1;
-    worker_config.verify_cache = pool->cache_;
-    w->enclave = std::make_unique<BootstrapEnclave>(*w->quoting, worker_config);
-    w->owner = std::make_unique<DataOwner>(pool->as_, expected,
-                                           0xDA7A00 + static_cast<std::uint64_t>(i));
-    w->provider = std::make_unique<CodeProvider>(pool->as_, expected,
-                                                 0xC0DE00 + static_cast<std::uint64_t>(i));
-    if (auto s = pool->provision(*w, /*is_reprovision=*/false); !s.is_ok())
+    w->unit = std::make_unique<ServiceWorker>(pool->as_, worker_config, i,
+                                              "pool-platform-",
+                                              "worker " + std::to_string(i));
+    if (auto s = w->unit->provision(service, /*is_reprovision=*/false,
+                                    options.provision_fault);
+        !s.is_ok())
       return Result<std::unique_ptr<ServicePool>>::fail(s.code(),
-                                                        worker_tag(i, s.message()));
+                                                        w->unit->tag(s.message()));
     pool->workers_.push_back(std::move(w));
   }
   pool->stats_.workers.resize(static_cast<std::size_t>(workers));
@@ -51,61 +37,17 @@ Result<std::unique_ptr<ServicePool>> ServicePool::create(const codegen::Dxo& ser
   return pool;
 }
 
-ServicePool::~ServicePool() {
+void ServicePool::stop() {
   queue_.close();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
 }
 
-Status ServicePool::provision(Worker& w, bool is_reprovision) {
-  if (options_.provision_fault) {
-    if (auto s = options_.provision_fault(w.index, is_reprovision); !s.is_ok()) return s;
-  }
-  auto owner_offer = w.enclave->open_channel(Role::DataOwner, w.owner->dh_public());
-  if (auto s = w.owner->accept(owner_offer); !s.is_ok()) return s;
-  auto provider_offer =
-      w.enclave->open_channel(Role::CodeProvider, w.provider->dh_public());
-  if (auto s = w.provider->accept(provider_offer); !s.is_ok()) return s;
-  auto digest = w.enclave->ecall_receive_binary(w.provider->seal_binary(service_));
-  if (!digest.is_ok()) return digest.status();
-  // Pay admission now (full verify on the first worker, a cache hit + the
-  // per-worker immediate rewrite afterwards) so the worker's first request
-  // doesn't. A non-compliant service is deliberately NOT a provisioning
-  // failure: ecall_run re-runs admission, so the verifier's error surfaces
-  // on every request, attributed to the worker that served it.
-  (void)w.enclave->ecall_prepare();
-  return Status::ok();
-}
-
-ServicePool::Response ServicePool::serve(Worker& w, const Bytes& payload) {
-  auto fail = [&](const std::string& code, const std::string& message) {
-    return Response::fail(code, worker_tag(w.index, message));
-  };
-  if (auto s = w.enclave->ecall_receive_userdata(w.owner->seal_input(BytesView(payload)));
-      !s.is_ok())
-    return fail(s.code(), s.message());
-  auto outcome = w.enclave->ecall_run();
-  if (!outcome.is_ok()) return fail(outcome.code(), outcome.message());
-  {
-    std::lock_guard lock(stats_mutex_);
-    stats_.total_cost += outcome.value().result.cost;
-    stats_.workers[static_cast<std::size_t>(w.index)].cost +=
-        outcome.value().result.cost;
-  }
-  if (outcome.value().policy_violation)
-    return fail("policy_violation", "service aborted through the violation stub");
-  std::vector<Bytes> outputs;
-  for (const auto& sealed : outcome.value().sealed_output) {
-    auto plain = w.owner->open_output(BytesView(sealed));
-    if (!plain.is_ok()) return fail(plain.code(), plain.message());
-    outputs.push_back(plain.take());
-  }
-  return outputs;
-}
+ServicePool::~ServicePool() { stop(); }
 
 void ServicePool::worker_main(Worker& w) {
-  const std::size_t idx = static_cast<std::size_t>(w.index);
+  const std::size_t idx = static_cast<std::size_t>(w.unit->index());
   Request req;
   while (queue_.pop(req)) {
     auto picked_up = std::chrono::steady_clock::now();
@@ -114,8 +56,7 @@ void ServicePool::worker_main(Worker& w) {
       // Re-provision before touching another request: enclave reset, fresh
       // handshake, binary re-upload (admission replayed from the shared
       // cache when enabled, fully re-verified otherwise).
-      Status reset = w.enclave->reset();
-      Status restored = reset.is_ok() ? provision(w, /*is_reprovision=*/true) : reset;
+      Status restored = w.unit->reprovision(service_, options_.provision_fault);
       if (restored.is_ok()) {
         w.health = WorkerHealth::Healthy;
         std::lock_guard lock(stats_mutex_);
@@ -129,12 +70,15 @@ void ServicePool::worker_main(Worker& w) {
         ++stats_.workers[idx].failed;
         response = Response::fail(
             restored.code(),
-            worker_tag(w.index, "re-provision failed: " + restored.message()));
+            w.unit->tag("re-provision failed: " + restored.message()));
       }
     }
     if (!response.has_value()) {
-      response = serve(w, req.payload);
+      ServiceWorker::ServeMetrics metrics;
+      response = w.unit->serve(req.payload, &metrics);
       std::lock_guard lock(stats_mutex_);
+      stats_.total_cost += metrics.cost;
+      stats_.workers[idx].cost += metrics.cost;
       if (response->is_ok()) {
         ++stats_.requests_served;
         ++stats_.workers[idx].served;
@@ -171,7 +115,7 @@ std::future<ServicePool::Response> ServicePool::submit_async(BytesView request) 
   std::future<Response> future = req.promise.get_future();
   if (!queue_.push(std::move(req))) {
     std::promise<Response> dead;
-    dead.set_value(Response::fail("pool_closed", "service pool is shutting down"));
+    dead.set_value(Response::fail("stopped", "service pool is stopped"));
     return dead.get_future();
   }
   return future;

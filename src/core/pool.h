@@ -16,7 +16,9 @@
 // inbox, partially-written globals), so it is never silently reused.
 // Before its next request the pool re-provisions it — enclave reset, fresh
 // channel handshake, binary re-upload and re-verification — while the other
-// workers keep serving. See docs/serving.md.
+// workers keep serving. The provision/serve/re-provision mechanics live in
+// core::ServiceWorker (core/worker.h), shared with the multi-tenant
+// registry's slot fleet (src/registry/). See docs/serving.md.
 #pragma once
 
 #include <chrono>
@@ -27,13 +29,11 @@
 #include <thread>
 #include <vector>
 
-#include "core/protocol.h"
+#include "core/worker.h"
 #include "support/queue.h"
 #include "verifier/cache.h"
 
 namespace deflection::core {
-
-enum class WorkerHealth : std::uint8_t { Healthy = 0, Quarantined = 1 };
 
 // Pool-wide counters, snapshot via ServicePool::stats().
 struct PoolStats {
@@ -78,12 +78,12 @@ struct PoolOptions {
   // Fault-injection seam (tests / chaos drills): when set, invoked at the
   // start of every worker (re-)provision; a failure aborts that provision
   // and is reported exactly like any other provisioning error.
-  std::function<Status(int worker_index, bool is_reprovision)> provision_fault;
+  ProvisionFault provision_fault;
 };
 
 class ServicePool {
  public:
-  using Response = Result<std::vector<Bytes>>;
+  using Response = ServiceWorker::Response;
 
   // Spins up `workers` bootstrap enclaves on distinct (simulated)
   // platforms, attests each, delivers the same sealed service binary, and
@@ -93,13 +93,18 @@ class ServicePool {
                                                      int workers,
                                                      const PoolOptions& options = {});
 
-  // Closes the queue and drains it: every accepted request is answered
-  // before the worker threads exit.
+  // Stops intake and drains: the queue is closed (later submits fail
+  // promptly with code "stopped"), every already-accepted request is
+  // answered, and the worker threads are joined. Idempotent; the
+  // destructor calls it. Not safe to call concurrently with itself.
+  void stop();
+
   ~ServicePool();
 
   // Enqueues one request; the future resolves to the opened outputs (or an
   // error naming the worker that failed). Blocks only when the queue is at
-  // capacity.
+  // capacity. After stop() the future is already resolved to the error
+  // code "stopped" — it never hangs on the closed queue.
   std::future<Response> submit_async(BytesView request);
 
   // Synchronous convenience wrapper around submit_async.
@@ -116,11 +121,7 @@ class ServicePool {
     std::promise<Response> promise;
   };
   struct Worker {
-    int index = 0;
-    std::unique_ptr<sgx::QuotingEnclave> quoting;
-    std::unique_ptr<BootstrapEnclave> enclave;
-    std::unique_ptr<DataOwner> owner;
-    std::unique_ptr<CodeProvider> provider;
+    std::unique_ptr<ServiceWorker> unit;
     // Owned by the worker thread after create() returns; the mirror the
     // stats() snapshot reads lives in stats_.workers under stats_mutex_.
     WorkerHealth health = WorkerHealth::Healthy;
@@ -130,11 +131,7 @@ class ServicePool {
   explicit ServicePool(const codegen::Dxo& service, const PoolOptions& options)
       : service_(service), options_(options), queue_(options.queue_capacity) {}
 
-  // Fresh channel handshake + binary upload + admission (create() and
-  // re-provision).
-  Status provision(Worker& w, bool is_reprovision);
   void worker_main(Worker& w);
-  Response serve(Worker& w, const Bytes& payload);
 
   codegen::Dxo service_;  // retained so quarantined workers can be re-provisioned
   PoolOptions options_;

@@ -1,0 +1,78 @@
+#include "core/worker.h"
+
+namespace deflection::core {
+
+ServiceWorker::ServiceWorker(sgx::AttestationService& as, const BootstrapConfig& config,
+                             int index, const std::string& platform_prefix,
+                             const std::string& label)
+    : index_(index), label_(label) {
+  quoting_ = std::make_unique<sgx::QuotingEnclave>(
+      as.provision(platform_prefix + std::to_string(index),
+                   1000 + static_cast<std::uint64_t>(index)));
+  BootstrapConfig worker_config = config;
+  worker_config.rng_seed = config.rng_seed + static_cast<std::uint64_t>(index) + 1;
+  enclave_ = std::make_unique<BootstrapEnclave>(*quoting_, worker_config);
+  crypto::Digest expected = BootstrapEnclave::expected_mrenclave(worker_config);
+  owner_ = std::make_unique<DataOwner>(as, expected,
+                                       0xDA7A00 + static_cast<std::uint64_t>(index));
+  provider_ = std::make_unique<CodeProvider>(as, expected,
+                                             0xC0DE00 + static_cast<std::uint64_t>(index));
+}
+
+Status ServiceWorker::provision(const codegen::Dxo& service, bool is_reprovision,
+                                const ProvisionFault& fault, bool strict_admission) {
+  if (fault) {
+    if (auto s = fault(index_, is_reprovision); !s.is_ok()) return s;
+  }
+  auto owner_offer = enclave_->open_channel(Role::DataOwner, owner_->dh_public());
+  if (auto s = owner_->accept(owner_offer); !s.is_ok()) return s;
+  auto provider_offer =
+      enclave_->open_channel(Role::CodeProvider, provider_->dh_public());
+  if (auto s = provider_->accept(provider_offer); !s.is_ok()) return s;
+  auto digest = enclave_->ecall_receive_binary(provider_->seal_binary(service));
+  if (!digest.is_ok()) return digest.status();
+  // Pay admission now (full verify on a cache miss, replayed verdict + the
+  // per-worker immediate rewrite on a hit) so the worker's first request
+  // doesn't.
+  Status admitted = enclave_->ecall_prepare();
+  if (strict_admission && !admitted.is_ok()) return admitted;
+  provisioned_ = true;
+  return Status::ok();
+}
+
+Status ServiceWorker::reprovision(const codegen::Dxo& service, const ProvisionFault& fault,
+                                  bool strict_admission) {
+  if (auto s = reset(); !s.is_ok()) return s;
+  return provision(service, /*is_reprovision=*/true, fault, strict_admission);
+}
+
+Status ServiceWorker::reset() {
+  provisioned_ = false;
+  return enclave_->reset();
+}
+
+ServiceWorker::Response ServiceWorker::serve(const Bytes& payload, ServeMetrics* metrics) {
+  auto fail = [&](const std::string& code, const std::string& message) {
+    return Response::fail(code, tag(message));
+  };
+  if (auto s = enclave_->ecall_receive_userdata(owner_->seal_input(BytesView(payload)));
+      !s.is_ok())
+    return fail(s.code(), s.message());
+  auto outcome = enclave_->ecall_run();
+  if (!outcome.is_ok()) return fail(outcome.code(), outcome.message());
+  if (metrics != nullptr) {
+    metrics->cost = outcome.value().result.cost;
+    metrics->violation = outcome.value().policy_violation;
+  }
+  if (outcome.value().policy_violation)
+    return fail("policy_violation", "service aborted through the violation stub");
+  std::vector<Bytes> outputs;
+  for (const auto& sealed : outcome.value().sealed_output) {
+    auto plain = owner_->open_output(BytesView(sealed));
+    if (!plain.is_ok()) return fail(plain.code(), plain.message());
+    outputs.push_back(plain.take());
+  }
+  return outputs;
+}
+
+}  // namespace deflection::core

@@ -1,0 +1,90 @@
+// One isolated serving unit, shared by every serving layer.
+//
+// A ServiceWorker bundles what the paper's deployment needs per verified
+// service instance: a (simulated) platform quoting enclave, the bootstrap
+// enclave itself, and the two remote-party actors (data owner, code
+// provider) that drive its attested channels. The provision cycle — channel
+// handshakes, sealed binary upload, eager admission — and the serve cycle —
+// sealed input, ecall_run, opened outputs — used to live inside
+// ServicePool; they are extracted here so the legacy pool's workers and the
+// multi-tenant registry's slots (src/registry/) run one code path,
+// including the quarantine re-provision + admission-cache logic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocol.h"
+
+namespace deflection::core {
+
+// Serving-unit health, shared by the pool's workers and the registry's
+// slots: a unit whose request errored is Quarantined and must be
+// re-provisioned before it serves again.
+enum class WorkerHealth : std::uint8_t { Healthy = 0, Quarantined = 1 };
+
+// Fault-injection seam (tests / chaos drills): invoked at the start of
+// every (re-)provision; a failure aborts that provision and is reported
+// exactly like any other provisioning error.
+using ProvisionFault = std::function<Status(int worker_index, bool is_reprovision)>;
+
+class ServiceWorker {
+ public:
+  using Response = Result<std::vector<Bytes>>;
+
+  // Side-band serve measurements the caller folds into its own stats.
+  struct ServeMetrics {
+    std::uint64_t cost = 0;   // VM cost of the run (0 when the run failed)
+    bool violation = false;   // exit through the violation stub
+  };
+
+  // Builds the platform + enclave + remote parties; provisions nothing.
+  // `index` derandomises per-worker seeds (platform, DH, enclave RNG) so
+  // distinct workers never share key material; `platform_prefix` names the
+  // simulated platform ("pool-platform-", "slot-platform-", ...); `label`
+  // prefixes every error this worker reports ("worker 3", "slot 0", ...).
+  ServiceWorker(sgx::AttestationService& as, const BootstrapConfig& config,
+                int index, const std::string& platform_prefix,
+                const std::string& label);
+
+  int index() const { return index_; }
+  const std::string& label() const { return label_; }
+  BootstrapEnclave& enclave() { return *enclave_; }
+  // True once a provision cycle has completed (cleared by reset()).
+  bool provisioned() const { return provisioned_; }
+
+  std::string tag(const std::string& message) const { return label_ + ": " + message; }
+
+  // Fresh channel handshake + sealed binary upload + eager admission (full
+  // verify on a cache miss, replayed verdict on a hit). With
+  // `strict_admission` an admission failure fails the provision — the
+  // registry's register-time gate; without it a non-compliant service is
+  // deliberately NOT a provisioning failure: ecall_run re-runs admission,
+  // so the verifier's error surfaces on every request, attributed to the
+  // worker that served it.
+  Status provision(const codegen::Dxo& service, bool is_reprovision,
+                   const ProvisionFault& fault, bool strict_admission = false);
+  // Quarantine recovery / tenant rebind: enclave reset (all session state
+  // discarded) followed by a full provision cycle.
+  Status reprovision(const codegen::Dxo& service, const ProvisionFault& fault,
+                     bool strict_admission = false);
+  Status reset();
+
+  // One request: sealed input -> ecall_run -> opened outputs. Every error
+  // is tagged with this worker's label; callers must treat any error as
+  // poisoning the enclave (quarantine + reprovision before reuse).
+  Response serve(const Bytes& payload, ServeMetrics* metrics = nullptr);
+
+ private:
+  int index_;
+  std::string label_;
+  std::unique_ptr<sgx::QuotingEnclave> quoting_;
+  std::unique_ptr<BootstrapEnclave> enclave_;
+  std::unique_ptr<DataOwner> owner_;
+  std::unique_ptr<CodeProvider> provider_;
+  bool provisioned_ = false;
+};
+
+}  // namespace deflection::core

@@ -1,0 +1,67 @@
+#include "registry/registry.h"
+
+namespace deflection::registry {
+
+TenantRegistry::TenantRegistry(const core::BootstrapConfig& config) {
+  admission_ = std::make_unique<core::ServiceWorker>(
+      as_, config, /*index=*/0, "registry-admission-", "admission");
+}
+
+Result<crypto::Digest> TenantRegistry::admit(const TenantId& id,
+                                             const codegen::Dxo& service,
+                                             const TenantQuota& quota) {
+  using R = Result<crypto::Digest>;
+  if (id.empty()) return R::fail("tenant_id", "tenant id must be non-empty");
+  std::lock_guard lock(mutex_);
+  if (tenants_.count(id) != 0)
+    return R::fail("tenant_exists", "tenant '" + id + "' is already registered");
+  // Discard the previous admission's session (channel keys, delivered
+  // binary) before touching this tenant's bytes.
+  if (admission_dirty_) {
+    if (auto s = admission_->reset(); !s.is_ok())
+      return R::fail(s.code(), admission_->tag(s.message()));
+  }
+  admission_dirty_ = true;
+  Status admitted = admission_->provision(service, /*is_reprovision=*/false,
+                                          core::ProvisionFault{},
+                                          /*strict_admission=*/true);
+  if (!admitted.is_ok())
+    return R::fail(admitted.code(), "tenant '" + id + "': " + admitted.message());
+  auto record = std::make_shared<TenantRecord>();
+  record->id = id;
+  record->service = service;
+  record->digest = crypto::Sha256::hash(service.serialize());
+  record->claimed_policies = service.policies.mask();
+  record->quota = quota;
+  crypto::Digest digest = record->digest;
+  tenants_[id] = std::move(record);
+  return digest;
+}
+
+Status TenantRegistry::remove(const TenantId& id) {
+  std::lock_guard lock(mutex_);
+  if (tenants_.erase(id) == 0)
+    return Status::fail("unknown_tenant", "tenant '" + id + "' is not registered");
+  return Status::ok();
+}
+
+std::shared_ptr<const TenantRecord> TenantRegistry::lookup(const TenantId& id) const {
+  std::lock_guard lock(mutex_);
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+std::vector<TenantId> TenantRegistry::ids() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TenantId> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, record] : tenants_) out.push_back(id);
+  return out;
+}
+
+std::size_t TenantRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return tenants_.size();
+}
+
+}  // namespace deflection::registry

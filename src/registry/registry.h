@@ -1,0 +1,63 @@
+// TenantRegistry: runtime tenant admission through the shared cache.
+//
+// register/unregister tenants at runtime. Admission is the registry's
+// register-time gate: the tenant's sealed binary is delivered to a scratch
+// bootstrap consumer wired to the SHARED verifier::VerificationCache and
+// verified in full (strict admission — a non-compliant binary fails
+// registration with the verifier's error code). The side effect is the
+// point: that one full verification fills the cache, so every later slot
+// bind and quarantine re-provision for this tenant replays the cached
+// verdict and pays only the per-enclave immediate rewrite. One binary, one
+// verification — across the whole slot fleet.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/worker.h"
+#include "registry/tenant.h"
+#include "verifier/cache.h"
+
+namespace deflection::registry {
+
+class TenantRegistry {
+ public:
+  // `config` is the platform's uniform consumer configuration (one policy
+  // floor for every tenant); its verify_cache member must carry the cache
+  // shared with the slot fleet for admission to pre-warm it.
+  explicit TenantRegistry(const core::BootstrapConfig& config);
+
+  // Admits and records a tenant. Fails with "tenant_exists" for duplicate
+  // ids, "tenant_id" for an empty id, or the verifier's own code (e.g.
+  // "policy_uncovered") when the binary does not satisfy the platform's
+  // required policy set. Returns the binary's digest (the admission-cache
+  // key component) on success.
+  Result<crypto::Digest> admit(const TenantId& id, const codegen::Dxo& service,
+                               const TenantQuota& quota);
+
+  // Forgets a tenant record. Callers owning serving state (TenantRouter)
+  // must drain the tenant first; the registry itself holds no queues.
+  Status remove(const TenantId& id);
+
+  // The record, or nullptr when unknown. Records are immutable and
+  // shared_ptr-held, so a caller may keep serving from a record that was
+  // concurrently removed (drain semantics are the router's job).
+  std::shared_ptr<const TenantRecord> lookup(const TenantId& id) const;
+
+  std::vector<TenantId> ids() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  sgx::AttestationService as_;
+  // Scratch consumer used serially (under mutex_) for register-time
+  // admission; reset between tenants so no tenant's binary or channel keys
+  // outlive its own admission.
+  std::unique_ptr<core::ServiceWorker> admission_;
+  bool admission_dirty_ = false;
+  std::map<TenantId, std::shared_ptr<const TenantRecord>> tenants_;
+};
+
+}  // namespace deflection::registry

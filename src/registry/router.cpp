@@ -1,0 +1,239 @@
+#include "registry/router.h"
+
+namespace deflection::registry {
+
+namespace {
+
+std::future<TenantRouter::Response> rejected(const std::string& code,
+                                             const std::string& message) {
+  std::promise<TenantRouter::Response> p;
+  p.set_value(TenantRouter::Response::fail(code, message));
+  return p.get_future();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TenantRouter>> TenantRouter::create(const RouterOptions& options) {
+  using R = Result<std::unique_ptr<TenantRouter>>;
+  if (options.slots < 1) return R::fail("fleet_size", "need >= 1 slot");
+  std::unique_ptr<TenantRouter> router(new TenantRouter(options));
+  // One admission cache shared by register-time admission and every slot
+  // (re)bind: each distinct tenant binary is verified exactly once.
+  router->cache_ = std::make_shared<verifier::VerificationCache>();
+  core::BootstrapConfig config = options.config;
+  config.verify_cache = router->cache_;
+  router->registry_ = std::make_unique<TenantRegistry>(config);
+  EnclaveSlotScheduler::Options sched_options;
+  sched_options.config = config;
+  sched_options.provision_fault = options.provision_fault;
+  auto sched = EnclaveSlotScheduler::create(options.slots, sched_options);
+  if (!sched.is_ok()) return R::fail(sched.code(), sched.message());
+  router->scheduler_ = sched.take();
+  for (int i = 0; i < options.slots; ++i)
+    router->threads_.emplace_back([raw = router.get()] { raw->worker_main(); });
+  return router;
+}
+
+TenantRouter::~TenantRouter() { stop(); }
+
+void TenantRouter::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stopped_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+Result<crypto::Digest> TenantRouter::register_tenant(const TenantId& id,
+                                                     const codegen::Dxo& service,
+                                                     const TenantQuota& quota) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopped_)
+      return Result<crypto::Digest>::fail("stopped", "router is stopped");
+  }
+  // Admission (a full verification on a cache miss) runs outside the
+  // router mutex; the registry serialises it internally.
+  auto digest = registry_->admit(id, service, quota);
+  if (!digest.is_ok()) return digest;
+  auto state = std::make_unique<TenantState>();
+  state->record = registry_->lookup(id);
+  state->tokens = quota.burst;
+  state->last_refill = std::chrono::steady_clock::now();
+  {
+    std::lock_guard lock(mutex_);
+    retired_.erase(id);
+    tenants_[id] = std::move(state);
+  }
+  return digest;
+}
+
+Status TenantRouter::unregister_tenant(const TenantId& id) {
+  std::unique_lock lock(mutex_);
+  auto it = tenants_.find(id);
+  if (it == tenants_.end())
+    return Status::fail("unknown_tenant", "tenant '" + id + "' is not registered");
+  TenantState* t = it->second.get();
+  if (t->draining)
+    return Status::fail("draining", "tenant '" + id + "' is already draining");
+  // 1. Close this tenant's intake; 2. wait for every accepted request.
+  t->draining = true;
+  t->stats.draining = true;
+  drain_cv_.wait(lock, [&] { return t->queue.empty() && t->inflight == 0; });
+  TenantStats final_stats = t->stats;
+  tenants_.erase(it);
+  retired_[id] = final_stats;
+  lock.unlock();
+  // 3. Scrub the tenant's warm slots; 4. drop the record.
+  scheduler_->unbind_tenant(id);
+  (void)registry_->remove(id);
+  return Status::ok();
+}
+
+std::future<TenantRouter::Response> TenantRouter::submit_async(const TenantId& id,
+                                                               BytesView request) {
+  Pending pending;
+  pending.payload = Bytes(request.begin(), request.end());
+  std::future<Response> future = pending.promise.get_future();
+  std::lock_guard lock(mutex_);
+  if (stopped_) return rejected("stopped", "router is stopped");
+  auto it = tenants_.find(id);
+  if (it == tenants_.end())
+    return rejected("unknown_tenant", "tenant '" + id + "' is not registered");
+  TenantState& t = *it->second;
+  if (t.draining) return rejected("draining", "tenant '" + id + "' is draining");
+  const TenantQuota& quota = t.record->quota;
+  if (quota.requests_per_sec > 0.0) {
+    auto now = std::chrono::steady_clock::now();
+    double elapsed = std::chrono::duration<double>(now - t.last_refill).count();
+    t.tokens = std::min(quota.burst, t.tokens + elapsed * quota.requests_per_sec);
+    t.last_refill = now;
+    if (t.tokens < 1.0) {
+      ++t.stats.rejected_rate;
+      return rejected("rate_limited",
+                      "tenant '" + id + "' is over its request rate");
+    }
+    t.tokens -= 1.0;
+  }
+  if (t.queue.size() >= quota.max_pending) {
+    ++t.stats.rejected_quota;
+    return rejected("quota_exceeded",
+                    "tenant '" + id + "' has " + std::to_string(t.queue.size()) +
+                        " requests pending (max " +
+                        std::to_string(quota.max_pending) + ")");
+  }
+  ++t.stats.submitted;
+  t.queue.push_back(std::move(pending));
+  t.stats.queue_high_water = std::max(t.stats.queue_high_water, t.queue.size());
+  ++total_pending_;
+  work_cv_.notify_one();
+  return future;
+}
+
+TenantRouter::Response TenantRouter::submit(const TenantId& id, BytesView request) {
+  return submit_async(id, request).get();
+}
+
+TenantRouter::TenantState* TenantRouter::pick_locked() {
+  // Pass 0: pending tenants with no bound slot; pass 1: any pending
+  // tenant. Both passes walk the id-ordered map cyclically from just past
+  // the last dispatched tenant, so dispatch is round-robin within a pass.
+  for (int pass = 0; pass < 2; ++pass) {
+    auto it = tenants_.upper_bound(cursor_);
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+      if (it == tenants_.end()) it = tenants_.begin();
+      const TenantId& id = it->first;
+      TenantState* t = it->second.get();
+      ++it;
+      if (t->queue.empty()) continue;
+      if (pass == 0 && scheduler_->bound_slot_count(id) > 0) continue;
+      cursor_ = id;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+TenantRouter::Response TenantRouter::serve_one(const TenantRecord& record,
+                                               const Bytes& payload,
+                                               core::ServiceWorker::ServeMetrics* metrics) {
+  auto lease = scheduler_->acquire(record.id, record.service);
+  if (!lease.is_ok()) return Response::fail(lease.code(), lease.message());
+  Response response = scheduler_->serve(lease.value(), payload, metrics);
+  scheduler_->release(lease.value(), response.is_ok());
+  return response;
+}
+
+void TenantRouter::worker_main() {
+  for (;;) {
+    std::unique_lock lock(mutex_);
+    work_cv_.wait(lock, [&] { return total_pending_ > 0 || stopped_; });
+    if (total_pending_ == 0) {
+      // stopped_ and fully drained: every accepted request was answered.
+      if (stopped_) return;
+      continue;
+    }
+    TenantState* t = pick_locked();
+    if (t == nullptr) continue;  // defensive: counter and queues disagree
+    Pending request = std::move(t->queue.front());
+    t->queue.pop_front();
+    --total_pending_;
+    ++t->inflight;
+    std::shared_ptr<const TenantRecord> record = t->record;
+    lock.unlock();
+
+    auto picked_up = std::chrono::steady_clock::now();
+    core::ServiceWorker::ServeMetrics metrics;
+    Response response = serve_one(*record, request.payload, &metrics);
+    if (options_.response_blur.count() > 0) {
+      // As in ServicePool: EVERY response leaves through the blur, so
+      // observable service time is data-independent at this granularity.
+      auto blur = options_.response_blur;
+      auto elapsed = std::chrono::steady_clock::now() - picked_up;
+      auto quanta = elapsed / blur + 1;
+      std::this_thread::sleep_until(picked_up + quanta * blur);
+    }
+
+    lock.lock();
+    t->stats.cost += metrics.cost;
+    total_cost_ += metrics.cost;
+    if (response.is_ok()) {
+      ++t->stats.served;
+      ++served_;
+    } else {
+      ++t->stats.failed;
+      ++failed_;
+      if (response.code() == "policy_violation") {
+        ++t->stats.violations;
+        ++violations_;
+      }
+    }
+    --t->inflight;
+    const bool drained = t->draining && t->queue.empty() && t->inflight == 0;
+    lock.unlock();
+    // After the notify the draining thread may erase `t`; don't touch it.
+    if (drained) drain_cv_.notify_all();
+    request.promise.set_value(std::move(response));
+  }
+}
+
+RouterStats TenantRouter::stats() const {
+  RouterStats snapshot;
+  {
+    std::lock_guard lock(mutex_);
+    snapshot.requests_served = served_;
+    snapshot.requests_failed = failed_;
+    snapshot.violations = violations_;
+    snapshot.total_cost = total_cost_;
+    snapshot.tenants = retired_;
+    for (const auto& [id, state] : tenants_) snapshot.tenants[id] = state->stats;
+  }
+  snapshot.scheduler = scheduler_->stats();
+  snapshot.cache = cache_->stats();
+  return snapshot;
+}
+
+}  // namespace deflection::registry

@@ -1,0 +1,158 @@
+// TenantRouter: the multi-tenant front door.
+//
+// submit_async(tenant_id, request) feeds per-tenant bounded queues; a fixed
+// crew of serving threads (one per slot) dispatches fairly across tenants
+// and runs each request on a scheduler slot bound to that tenant. The unit
+// of scale is tenants x slots: many code providers' verified services
+// behind one front door, over a slot fleet that may be far smaller than the
+// tenant count.
+//
+// Dispatch order (fair across tenants, warm when possible):
+//   1. pending tenants with NO bound slot, round-robin — they must bind a
+//      slot anyway, and serving them first guarantees every tenant makes
+//      progress even with far fewer slots than tenants;
+//   2. otherwise any pending tenant, round-robin — all of them have bound
+//      slots, so the scheduler's affinity pass makes these dispatches warm
+//      (no enclave work) in the common case.
+//
+// Intake error codes (all prompt — the returned future is already
+// resolved, it never hangs on a queue):
+//   "stopped"         submit/register after stop()
+//   "unknown_tenant"  tenant never registered (or already drained away)
+//   "draining"        tenant mid-drain (unregister_tenant in progress)
+//   "rate_limited"    token bucket empty (TenantQuota::requests_per_sec)
+//   "quota_exceeded"  per-tenant queue at TenantQuota::max_pending
+//
+// Drain ordering on unregister_tenant: (1) new submits start failing with
+// "draining"; (2) every already-accepted request of the tenant is served to
+// completion; (3) the tenant's idle slots are reset and unbound; (4) the
+// registry record is dropped and the call returns. stop() closes intake
+// ("stopped"), serves every accepted request of every tenant, then joins
+// the serving threads — no future is ever abandoned.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "registry/registry.h"
+#include "registry/scheduler.h"
+
+namespace deflection::registry {
+
+// Router-wide counters, snapshot via TenantRouter::stats().
+struct RouterStats {
+  std::uint64_t requests_served = 0;   // across all tenants
+  std::uint64_t requests_failed = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t total_cost = 0;
+  // Per-tenant roll-up; drained (unregistered) tenants keep their final
+  // counters here until the id is reused.
+  std::map<TenantId, TenantStats> tenants;
+  SchedulerStats scheduler;
+  verifier::CacheStats cache;          // the shared admission cache
+};
+
+struct RouterOptions {
+  // Size of the slot fleet AND of the serving-thread crew (one thread per
+  // slot keeps acquire() non-blocking by construction).
+  int slots = 2;
+  // Uniform platform configuration: one consumer image, one required
+  // policy set — the platform's published policy floor — for every tenant.
+  // Its verify_cache member is overwritten with the router's shared cache.
+  core::BootstrapConfig config;
+  // Wall-clock response blurring, as PoolOptions::response_blur.
+  std::chrono::microseconds response_blur{0};
+  // Fault-injection seam, forwarded to every slot (re-)provision.
+  core::ProvisionFault provision_fault;
+};
+
+class TenantRouter {
+ public:
+  using Response = core::ServiceWorker::Response;
+
+  static Result<std::unique_ptr<TenantRouter>> create(const RouterOptions& options = {});
+
+  // stop() + join.
+  ~TenantRouter();
+
+  // Admits the tenant through the shared cache (one full verification) and
+  // opens its intake. See TenantRegistry::admit for the error codes.
+  Result<crypto::Digest> register_tenant(const TenantId& id, const codegen::Dxo& service,
+                                         const TenantQuota& quota = {});
+
+  // Graceful drain: rejects new submits with "draining", serves every
+  // already-accepted request of the tenant, resets + unbinds its slots,
+  // then removes the record. Blocks until the drain completes. Must not be
+  // called from a serving context (a submitted request's continuation).
+  Status unregister_tenant(const TenantId& id);
+
+  // Enqueues one request for `id`; the future resolves to the opened
+  // outputs or an error (see the intake error codes above — intake
+  // rejections come back already resolved).
+  std::future<Response> submit_async(const TenantId& id, BytesView request);
+
+  // Synchronous convenience wrapper around submit_async.
+  Response submit(const TenantId& id, BytesView request);
+
+  // Closes intake (submits fail with "stopped"), serves every accepted
+  // request, joins the serving threads. Idempotent; the destructor calls
+  // it. Not safe to call concurrently with itself.
+  void stop();
+
+  int slots() const { return scheduler_->slots(); }
+  const TenantRegistry& registry() const { return *registry_; }
+  EnclaveSlotScheduler& scheduler() { return *scheduler_; }
+  RouterStats stats() const;
+
+ private:
+  struct Pending {
+    Bytes payload;
+    std::promise<Response> promise;
+  };
+  struct TenantState {
+    std::shared_ptr<const TenantRecord> record;
+    std::deque<Pending> queue;
+    std::size_t inflight = 0;
+    bool draining = false;
+    double tokens = 0.0;                                  // token bucket fill
+    std::chrono::steady_clock::time_point last_refill{};  // last bucket update
+    TenantStats stats;
+  };
+
+  explicit TenantRouter(const RouterOptions& options) : options_(options) {}
+
+  void worker_main();
+  // Fair dispatch under mutex_: the next pending tenant per the order
+  // documented above, or nullptr when nothing is pending.
+  TenantState* pick_locked();
+  Response serve_one(const TenantRecord& record, const Bytes& payload,
+                     core::ServiceWorker::ServeMetrics* metrics);
+
+  RouterOptions options_;
+  std::shared_ptr<verifier::VerificationCache> cache_;
+  std::unique_ptr<TenantRegistry> registry_;
+  std::unique_ptr<EnclaveSlotScheduler> scheduler_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // serving threads: work available / stop
+  std::condition_variable drain_cv_;  // unregister_tenant: tenant quiesced
+  std::map<TenantId, std::unique_ptr<TenantState>> tenants_;
+  std::map<TenantId, TenantStats> retired_;  // final stats of drained tenants
+  TenantId cursor_;                   // round-robin: last tenant dispatched
+  std::size_t total_pending_ = 0;
+  bool stopped_ = false;
+  std::uint64_t served_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t violations_ = 0;
+  std::uint64_t total_cost_ = 0;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace deflection::registry

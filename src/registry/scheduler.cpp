@@ -1,0 +1,178 @@
+#include "registry/scheduler.h"
+
+namespace deflection::registry {
+
+Result<std::unique_ptr<EnclaveSlotScheduler>> EnclaveSlotScheduler::create(
+    int slots, const Options& options) {
+  using R = Result<std::unique_ptr<EnclaveSlotScheduler>>;
+  if (slots < 1) return R::fail("fleet_size", "need >= 1 slot");
+  std::unique_ptr<EnclaveSlotScheduler> sched(new EnclaveSlotScheduler(options));
+  for (int i = 0; i < slots; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->worker = std::make_unique<core::ServiceWorker>(
+        sched->as_, options.config, i, "slot-platform-", "slot " + std::to_string(i));
+    sched->slots_.push_back(std::move(slot));
+  }
+  sched->stats_.slots.resize(static_cast<std::size_t>(slots));
+  return sched;
+}
+
+Result<EnclaveSlotScheduler::Lease> EnclaveSlotScheduler::acquire(
+    const TenantId& tenant, const codegen::Dxo& service) {
+  using R = Result<Lease>;
+  Slot* s = nullptr;
+  bool needs_provision = false;
+  bool skip_reset = false;
+  {
+    std::lock_guard lock(mutex_);
+    // 1. Affinity: an idle slot already bound to this tenant. Healthy
+    //    first (no enclave work at all); a quarantined one otherwise — the
+    //    quarantined slot recovers to the SAME tenant it was serving.
+    Slot* healthy = nullptr;
+    Slot* quarantined = nullptr;
+    for (auto& slot : slots_) {
+      if (slot->busy || slot->bound != tenant) continue;
+      if (slot->health == core::WorkerHealth::Healthy) {
+        if (healthy == nullptr || slot->last_used > healthy->last_used)
+          healthy = slot.get();
+      } else if (quarantined == nullptr) {
+        quarantined = slot.get();
+      }
+    }
+    s = healthy != nullptr ? healthy : quarantined;
+    // 2. An unbound idle slot (cold bind, nobody displaced).
+    if (s == nullptr) {
+      for (auto& slot : slots_)
+        if (!slot->busy && slot->bound.empty()) {
+          s = slot.get();
+          break;
+        }
+    }
+    // 3. LRU eviction: the idle slot whose tenant went coldest.
+    if (s == nullptr) {
+      for (auto& slot : slots_)
+        if (!slot->busy && (s == nullptr || slot->last_used < s->last_used))
+          s = slot.get();
+    }
+    if (s == nullptr) return R::fail("no_idle_slot", "every slot is busy");
+
+    const bool rebind = s->bound != tenant;
+    const bool recovery = !rebind && s->health == core::WorkerHealth::Quarantined;
+    needs_provision = rebind || recovery || !s->worker->provisioned();
+    skip_reset = s->pristine;
+    if (rebind) {
+      ++stats_.binds;
+      ++s->counters.binds;
+      if (!s->bound.empty()) ++stats_.evictions;
+      s->bound = tenant;
+    }
+    if (recovery) ++stats_.reprovisions;
+    s->busy = true;
+    s->last_used = ++tick_;
+  }
+  if (needs_provision) {
+    Status st = skip_reset
+                    ? s->worker->provision(service, /*is_reprovision=*/false,
+                                           options_.provision_fault)
+                    : s->worker->reprovision(service, options_.provision_fault);
+    std::lock_guard lock(mutex_);
+    s->pristine = false;
+    if (!st.is_ok()) {
+      // The slot stays bound to `tenant` and quarantined: the next acquire
+      // for this tenant retries the provision.
+      s->busy = false;
+      s->health = core::WorkerHealth::Quarantined;
+      ++stats_.provision_failures;
+      return R::fail(st.code(), s->worker->tag(st.message()));
+    }
+    s->health = core::WorkerHealth::Healthy;
+  }
+  return Lease{s->worker->index()};
+}
+
+core::ServiceWorker::Response EnclaveSlotScheduler::serve(
+    const Lease& lease, const Bytes& payload,
+    core::ServiceWorker::ServeMetrics* metrics) {
+  if (lease.slot < 0 || lease.slot >= slots())
+    return core::ServiceWorker::Response::fail("bad_lease", "lease names no slot");
+  Slot& s = *slots_[static_cast<std::size_t>(lease.slot)];
+  {
+    std::lock_guard lock(mutex_);
+    ++s.counters.serves;
+  }
+  return s.worker->serve(payload, metrics);
+}
+
+void EnclaveSlotScheduler::release(const Lease& lease, bool ok) {
+  if (lease.slot < 0 || lease.slot >= slots()) return;
+  std::lock_guard lock(mutex_);
+  Slot& s = *slots_[static_cast<std::size_t>(lease.slot)];
+  s.busy = false;
+  if (ok) {
+    s.health = core::WorkerHealth::Healthy;
+  } else {
+    // Any error path may leave the enclave holding poisoned service state;
+    // never silently reuse it.
+    s.health = core::WorkerHealth::Quarantined;
+    ++s.counters.quarantines;
+  }
+}
+
+void EnclaveSlotScheduler::unbind_tenant(const TenantId& tenant) {
+  // Claim the tenant's idle slots, reset outside the lock (enclave
+  // rebuilds are slow), then hand them back unbound.
+  std::vector<Slot*> victims;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& slot : slots_)
+      if (!slot->busy && slot->bound == tenant) {
+        slot->busy = true;
+        victims.push_back(slot.get());
+      }
+  }
+  for (Slot* s : victims) (void)s->worker->reset();
+  {
+    std::lock_guard lock(mutex_);
+    for (Slot* s : victims) {
+      s->bound.clear();
+      s->busy = false;
+      s->pristine = true;
+      s->health = core::WorkerHealth::Healthy;
+    }
+  }
+}
+
+std::size_t EnclaveSlotScheduler::bound_slot_count(const TenantId& tenant) const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& slot : slots_)
+    if (slot->bound == tenant) ++n;
+  return n;
+}
+
+TenantId EnclaveSlotScheduler::bound_tenant(int slot) const {
+  if (slot < 0 || slot >= slots()) return {};
+  std::lock_guard lock(mutex_);
+  return slots_[static_cast<std::size_t>(slot)]->bound;
+}
+
+core::WorkerHealth EnclaveSlotScheduler::slot_health(int slot) const {
+  if (slot < 0 || slot >= slots()) return core::WorkerHealth::Healthy;
+  std::lock_guard lock(mutex_);
+  return slots_[static_cast<std::size_t>(slot)]->health;
+}
+
+SchedulerStats EnclaveSlotScheduler::stats() const {
+  std::lock_guard lock(mutex_);
+  SchedulerStats snapshot = stats_;
+  snapshot.slots.clear();
+  for (const auto& slot : slots_) {
+    SchedulerStats::SlotStats ss = slot->counters;
+    ss.bound = slot->bound;
+    ss.health = slot->health;
+    snapshot.slots.push_back(std::move(ss));
+  }
+  return snapshot;
+}
+
+}  // namespace deflection::registry

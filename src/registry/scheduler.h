@@ -1,0 +1,123 @@
+// EnclaveSlotScheduler: a fixed fleet of worker slots bound to tenants on
+// demand.
+//
+// Each slot is a core::ServiceWorker — a fully private bootstrap enclave
+// plus its remote-party actors — exactly like a ServicePool worker, except
+// that WHICH tenant's binary the slot hosts changes over time:
+//
+//   unbound ──bind──▶ bound(T) ──serve──▶ bound(T)
+//                        │  ▲                │ serve error
+//                 evict  │  │ re-provision   ▼
+//   bound(T') ◀──rebind──┘  └────────── quarantined(T)
+//
+// - acquire(T) prefers an idle slot already bound to T (warm: no enclave
+//   work at all), then an unbound idle slot, then evicts the
+//   least-recently-used idle slot of another tenant (LRU eviction of idle
+//   tenants). A rebind is an enclave reset + full provision cycle; with the
+//   shared admission cache pre-warmed at registration it replays the cached
+//   verdict and pays only the immediate rewrite (warm rebind).
+// - A slot whose request errored is quarantined, preserving its binding: it
+//   is re-provisioned to the SAME tenant it was serving before it serves
+//   again (or reset wholesale if rebound to another tenant — either way no
+//   poisoned state survives into the next request).
+// - Tenant isolation: every change of tenant goes through
+//   BootstrapEnclave::reset(), which discards channel keys, the delivered
+//   binary, verification state, queued inputs and entropy accounting, so
+//   nothing of one tenant's session is observable from another's.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/worker.h"
+#include "registry/tenant.h"
+
+namespace deflection::registry {
+
+// Fleet counters, snapshot via EnclaveSlotScheduler::stats().
+struct SchedulerStats {
+  std::uint64_t binds = 0;               // slot bound to a tenant it was not serving
+  std::uint64_t evictions = 0;           // binds that displaced another tenant (LRU)
+  std::uint64_t reprovisions = 0;        // same-tenant quarantine recoveries
+  std::uint64_t provision_failures = 0;  // (re)binds/recoveries that failed
+  struct SlotStats {
+    TenantId bound;                      // empty = unbound
+    core::WorkerHealth health = core::WorkerHealth::Healthy;
+    std::uint64_t serves = 0;            // requests dispatched to this slot
+    std::uint64_t binds = 0;             // times this slot was (re)bound
+    std::uint64_t quarantines = 0;       // times this slot was quarantined
+  };
+  std::vector<SlotStats> slots;
+};
+
+class EnclaveSlotScheduler {
+ public:
+  struct Options {
+    // Uniform platform configuration (one policy floor for every tenant);
+    // verify_cache should carry the cache shared with register-time
+    // admission so rebinds are warm.
+    core::BootstrapConfig config;
+    // Fault-injection seam, forwarded to every slot (re-)provision.
+    core::ProvisionFault provision_fault;
+  };
+
+  // A slot acquired for exactly one request; release() it afterwards.
+  struct Lease {
+    int slot = -1;
+  };
+
+  static Result<std::unique_ptr<EnclaveSlotScheduler>> create(int slots,
+                                                              const Options& options);
+
+  // Picks, and if necessary (re)binds or recovers, an idle slot for
+  // `tenant`, and marks it serving. Fails with "no_idle_slot" when every
+  // slot is busy (callers that keep at most one outstanding lease per
+  // serving thread, with threads <= slots, never see this), or with the
+  // provisioning error when the bind fails — in which case the slot stays
+  // quarantined and bound to `tenant`, and the next acquire retries.
+  Result<Lease> acquire(const TenantId& tenant, const codegen::Dxo& service);
+
+  // Serves one request on the leased slot.
+  core::ServiceWorker::Response serve(const Lease& lease, const Bytes& payload,
+                                      core::ServiceWorker::ServeMetrics* metrics = nullptr);
+
+  // Returns the slot to the idle pool; `ok=false` quarantines it (its next
+  // acquire re-provisions before serving).
+  void release(const Lease& lease, bool ok);
+
+  // Drain epilogue: resets and unbinds every idle slot bound to `tenant`,
+  // so its binary and channel keys do not linger in a warm enclave. The
+  // caller guarantees the tenant has no in-flight request.
+  void unbind_tenant(const TenantId& tenant);
+
+  int slots() const { return static_cast<int>(slots_.size()); }
+  std::size_t bound_slot_count(const TenantId& tenant) const;
+  TenantId bound_tenant(int slot) const;
+  core::WorkerHealth slot_health(int slot) const;
+  SchedulerStats stats() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<core::ServiceWorker> worker;
+    TenantId bound;                  // empty = unbound
+    bool busy = false;               // leased to a serving thread
+    // True when the enclave is pristine (never provisioned, or reset by
+    // unbind_tenant): binding may skip the redundant reset.
+    bool pristine = true;
+    core::WorkerHealth health = core::WorkerHealth::Healthy;
+    std::uint64_t last_used = 0;     // LRU tick, updated at acquire
+    SchedulerStats::SlotStats counters;
+  };
+
+  explicit EnclaveSlotScheduler(const Options& options) : options_(options) {}
+
+  Options options_;
+  sgx::AttestationService as_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::uint64_t tick_ = 0;
+  SchedulerStats stats_;
+};
+
+}  // namespace deflection::registry

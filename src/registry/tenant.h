@@ -1,0 +1,64 @@
+// Multi-tenant serving: tenant records, quotas and per-tenant counters.
+//
+// The paper's bootstrap enclave verifies one confidential binary and serves
+// it forever; the registry subsystem (src/registry/) hosts MANY code
+// providers' binaries behind one front door — the "batch of enclaves
+// serving multiple users' policies" deployment sketched in Confidential
+// Attestation (arXiv:2007.10513) — while each tenant still gets a fully
+// private verified enclave per the isolation argument of TACPA
+// (arXiv:2112.00346). A tenant is a (id, service binary, claimed policy
+// mask, quota) record admitted ONCE through the shared admission cache at
+// registration time; slots bind to it on demand.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "codegen/dxo.h"
+#include "crypto/sha256.h"
+
+namespace deflection::registry {
+
+using TenantId = std::string;
+
+// Per-tenant intake limits, enforced by TenantRouter::submit_async. Both
+// rejections are prompt (an already-resolved future), never blocking: a
+// tenant over its limits must not be able to wedge the shared front door.
+struct TenantQuota {
+  // Bounded per-tenant request queue: submits beyond this many queued
+  // (not-yet-dispatched) requests fail with "quota_exceeded".
+  std::size_t max_pending = 64;
+  // Token-bucket rate limit: sustained requests/second (0 disables). A
+  // submit with no token available fails with "rate_limited".
+  double requests_per_sec = 0.0;
+  // Token-bucket capacity: how many requests may burst above the sustained
+  // rate. The bucket starts full.
+  double burst = 16.0;
+};
+
+// One registered tenant. Immutable after admission: re-registering under
+// the same id is an error, so a record's digest always names the exact
+// bytes every slot bound to this tenant was admitted with.
+struct TenantRecord {
+  TenantId id;
+  codegen::Dxo service;
+  crypto::Digest digest{};           // SHA-256 of the plaintext DXO bytes
+  std::uint32_t claimed_policies = 0;  // the binary's claimed PolicySet mask
+  TenantQuota quota;
+};
+
+// Per-tenant serving counters, rolled up alongside the router totals in
+// RouterStats (router.h).
+struct TenantStats {
+  std::uint64_t submitted = 0;        // requests accepted into the queue
+  std::uint64_t served = 0;           // requests answered successfully
+  std::uint64_t failed = 0;           // requests answered with an error
+  std::uint64_t violations = 0;       // aborts through the violation stub
+  std::uint64_t rejected_quota = 0;   // submits refused: queue at max_pending
+  std::uint64_t rejected_rate = 0;    // submits refused: token bucket empty
+  std::uint64_t cost = 0;             // VM cost accrued for this tenant
+  std::size_t queue_high_water = 0;   // deepest per-tenant backlog observed
+  bool draining = false;              // unregister in progress
+};
+
+}  // namespace deflection::registry

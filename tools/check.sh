@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Full pre-merge check: configure, build, and run the test suite under the
+# plain toolchain, Address+UB sanitizers, and ThreadSanitizer, in one go.
+#
+#   tools/check.sh              # all three flavors
+#   tools/check.sh plain asan   # a subset
+#   JOBS=4 tools/check.sh       # cap build/test parallelism
+#
+# Build trees are build-check-<flavor>/ at the repo root, kept apart from
+# the default build/ so this never clobbers an incremental dev tree.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+flavors=("$@")
+if [ ${#flavors[@]} -eq 0 ]; then
+  flavors=(plain asan tsan)
+fi
+
+cmake_flags_for() {
+  case "$1" in
+    plain) echo "" ;;
+    asan)  echo "-DDEFLECTION_ASAN=ON" ;;
+    tsan)  echo "-DDEFLECTION_TSAN=ON" ;;
+    *) echo "unknown flavor: $1 (want plain|asan|tsan)" >&2; exit 2 ;;
+  esac
+}
+
+for flavor in "${flavors[@]}"; do
+  flags="$(cmake_flags_for "$flavor")"
+  build_dir="$repo_root/build-check-$flavor"
+  echo "==> [$flavor] configure ($build_dir)"
+  # shellcheck disable=SC2086  # $flags is intentionally word-split
+  cmake -B "$build_dir" -S "$repo_root" $flags >/dev/null
+  echo "==> [$flavor] build (-j$jobs)"
+  cmake --build "$build_dir" -j "$jobs" >/dev/null
+  echo "==> [$flavor] ctest (-j$jobs)"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
+    | tail -n 3
+done
+
+echo "==> all flavors passed: ${flavors[*]}"

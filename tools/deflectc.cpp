@@ -4,6 +4,7 @@
 //   deflectc inspect <in.dxo>
 //   deflectc verify  <in.dxo> [--required SET]
 //   deflectc run     <in.dxo> [--required SET] [--input FILE]...
+//   deflectc serve   <id=service.dxo>... [--slots N] [--required SET]
 //
 // SET is one of: none, p1, p1p2, p1to5, p1to6 (default p1to5).
 #include <cstdio>
@@ -14,6 +15,7 @@
 
 #include "core/protocol.h"
 #include "isa/decode.h"
+#include "registry/router.h"
 #include "verifier/verify.h"
 
 using namespace deflection;
@@ -27,7 +29,9 @@ int usage() {
                "  deflectc inspect <in.dxo>\n"
                "  deflectc verify  <in.dxo> [--required SET]\n"
                "  deflectc run     <in.dxo> [--required SET] [--input FILE]...\n"
-               "SET: none | p1 | p1p2 | p1to5 | p1to6 (default p1to5)\n");
+               "  deflectc serve   <id=service.dxo>... [--slots N] [--required SET]\n"
+               "SET: none | p1 | p1p2 | p1to5 | p1to6 (default p1to5)\n"
+               "serve reads requests from stdin, one per line: <tenant-id> <hex-payload>\n");
   return 2;
 }
 
@@ -291,6 +295,85 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+// Multi-tenant serve mode: register every <id=service.dxo> tenant with a
+// TenantRouter over a fixed slot fleet, then serve requests read from
+// stdin (one per line: `<tenant-id> <hex-payload>`). EOF prints the
+// serving counters and exits.
+int cmd_serve(int argc, char** argv) {
+  std::vector<std::pair<std::string, std::string>> tenant_args;
+  registry::RouterOptions options;
+  options.config.verify.required = PolicySet::p1to5();
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--slots") == 0 && i + 1 < argc) {
+      options.slots = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--required") == 0 && i + 1 < argc) {
+      if (!parse_policies(argv[++i], options.config.verify.required)) return usage();
+    } else {
+      std::string arg = argv[i];
+      auto eq = arg.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == arg.size()) return usage();
+      tenant_args.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+  }
+  if (tenant_args.empty()) return usage();
+
+  auto router = registry::TenantRouter::create(options);
+  if (!router.is_ok()) {
+    std::fprintf(stderr, "router: %s\n", router.message().c_str());
+    return 1;
+  }
+  for (const auto& [id, path] : tenant_args) {
+    auto dxo = load_dxo(path);
+    if (!dxo.is_ok()) {
+      std::fprintf(stderr, "%s\n", dxo.message().c_str());
+      return 1;
+    }
+    auto admitted = router.value()->register_tenant(id, dxo.value());
+    if (!admitted.is_ok()) {
+      std::fprintf(stderr, "tenant '%s' rejected: [%s] %s\n", id.c_str(),
+                   admitted.code().c_str(), admitted.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "tenant '%s' admitted: code hash %s...\n", id.c_str(),
+                 to_hex(BytesView(admitted.value().data(), 8)).c_str());
+  }
+  std::fprintf(stderr, "serving %zu tenants over %d slots; "
+               "requests on stdin: <tenant-id> <hex-payload>\n",
+               tenant_args.size(), router.value()->slots());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream ss(line);
+    std::string id, hex;
+    if (!(ss >> id)) continue;  // blank line
+    ss >> hex;                  // empty payload is allowed
+    auto response = router.value()->submit(id, BytesView(from_hex(hex)));
+    if (!response.is_ok()) {
+      std::printf("%s: ERROR [%s] %s\n", id.c_str(), response.code().c_str(),
+                  response.message().c_str());
+      continue;
+    }
+    std::printf("%s:", id.c_str());
+    for (const auto& output : response.value())
+      std::printf(" %s", to_hex(BytesView(output)).c_str());
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  auto stats = router.value()->stats();
+  std::fprintf(stderr,
+               "served=%llu failed=%llu | binds=%llu evictions=%llu "
+               "reprovisions=%llu | cache hits=%llu misses=%llu\n",
+               static_cast<unsigned long long>(stats.requests_served),
+               static_cast<unsigned long long>(stats.requests_failed),
+               static_cast<unsigned long long>(stats.scheduler.binds),
+               static_cast<unsigned long long>(stats.scheduler.evictions),
+               static_cast<unsigned long long>(stats.scheduler.reprovisions),
+               static_cast<unsigned long long>(stats.cache.hits),
+               static_cast<unsigned long long>(stats.cache.misses));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -300,5 +383,6 @@ int main(int argc, char** argv) {
   if (cmd == "inspect") return cmd_inspect(argc, argv);
   if (cmd == "verify") return cmd_verify(argc, argv);
   if (cmd == "run") return cmd_run(argc, argv);
+  if (cmd == "serve") return cmd_serve(argc, argv);
   return usage();
 }
