@@ -4,18 +4,24 @@
 // The measurement is the VM's deterministic cost model (the reproduction's
 // stand-in for cycles on the paper's Xeon E3-1280); each kernel runs once
 // per configuration because the cost is exactly reproducible.
+//
+// Flags:
+//   --json  emit machine-readable results on stdout
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "workloads/runner.h"
 #include "workloads/workloads.h"
 
 using namespace deflection;
 
-int main() {
-  std::printf("Table II: performance overhead on nBench (vs. in-enclave baseline)\n");
-  std::printf("%-18s %10s %10s %10s %10s\n", "Program Name", "P1", "P1+P2", "P1-P5",
-              "P1-P6");
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
 
   struct Config {
     const char* label;
@@ -28,8 +34,12 @@ int main() {
       {"P1-P6", PolicySet::p1to6()},
   };
 
+  struct Row {
+    std::string name;
+    double overhead[4];
+  };
+  std::vector<Row> table;
   double geo_sum[4] = {0, 0, 0, 0};
-  int rows = 0;
   for (const auto& kernel : workloads::nbench_kernels()) {
     std::string src = workloads::with_params(kernel.source, kernel.bench_params);
     core::BootstrapConfig bench_config;
@@ -39,10 +49,11 @@ int main() {
 
     auto base = workloads::run_workload(src, PolicySet::none(), bench_config);
     if (!base.is_ok()) {
-      std::printf("%-18s  FAILED: %s\n", kernel.name, base.message().c_str());
+      std::fprintf(stderr, "%-18s  FAILED: %s\n", kernel.name, base.message().c_str());
       continue;
     }
-    double overhead[4];
+    Row row;
+    row.name = kernel.name;
     bool ok = true;
     for (int c = 0; c < 4; ++c) {
       auto run = workloads::run_workload(src, configs[c].policies, bench_config);
@@ -51,25 +62,50 @@ int main() {
         break;
       }
       if (run.value().outcome.result.exit_code != base.value().outcome.result.exit_code) {
-        std::printf("%-18s  CHECKSUM MISMATCH at %s\n", kernel.name, configs[c].label);
+        std::fprintf(stderr, "%-18s  CHECKSUM MISMATCH at %s\n", kernel.name,
+                     configs[c].label);
         ok = false;
         break;
       }
-      overhead[c] = 100.0 *
-                    (static_cast<double>(run.value().cost) -
-                     static_cast<double>(base.value().cost)) /
-                    static_cast<double>(base.value().cost);
+      row.overhead[c] = 100.0 *
+                        (static_cast<double>(run.value().cost) -
+                         static_cast<double>(base.value().cost)) /
+                        static_cast<double>(base.value().cost);
     }
     if (!ok) continue;
-    std::printf("%-18s %+9.2f%% %+9.2f%% %+9.2f%% %+9.2f%%\n", kernel.name, overhead[0],
-                overhead[1], overhead[2], overhead[3]);
-    for (int c = 0; c < 4; ++c) geo_sum[c] += std::log1p(overhead[c] / 100.0);
-    ++rows;
+    for (int c = 0; c < 4; ++c) geo_sum[c] += std::log1p(row.overhead[c] / 100.0);
+    table.push_back(row);
   }
-  if (rows > 0) {
+
+  double geomean[4] = {0, 0, 0, 0};
+  if (!table.empty())
+    for (int c = 0; c < 4; ++c)
+      geomean[c] = 100.0 * std::expm1(geo_sum[c] / static_cast<double>(table.size()));
+
+  if (json) {
+    std::printf("{\n  \"bench\": \"table2_nbench\",\n  \"kernels\": [\n");
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      std::printf("    {\"name\": \"%s\"", table[i].name.c_str());
+      for (int c = 0; c < 4; ++c)
+        std::printf(", \"%s\": %.2f", configs[c].label, table[i].overhead[c]);
+      std::printf("}%s\n", i + 1 < table.size() ? "," : "");
+    }
+    std::printf("  ],\n  \"geomean\": {");
+    for (int c = 0; c < 4; ++c)
+      std::printf("\"%s\": %.2f%s", configs[c].label, geomean[c], c < 3 ? ", " : "");
+    std::printf("}\n}\n");
+    return 0;
+  }
+
+  std::printf("Table II: performance overhead on nBench (vs. in-enclave baseline)\n");
+  std::printf("%-18s %10s %10s %10s %10s\n", "Program Name", "P1", "P1+P2", "P1-P5",
+              "P1-P6");
+  for (const auto& row : table)
+    std::printf("%-18s %+9.2f%% %+9.2f%% %+9.2f%% %+9.2f%%\n", row.name.c_str(),
+                row.overhead[0], row.overhead[1], row.overhead[2], row.overhead[3]);
+  if (!table.empty()) {
     std::printf("%-18s", "GEOMETRIC MEAN");
-    for (double s : geo_sum)
-      std::printf(" %+9.2f%%", 100.0 * std::expm1(s / rows));
+    for (double g : geomean) std::printf(" %+9.2f%%", g);
     std::printf("\n");
     std::printf(
         "\nPaper reference: ~10%% overhead without side-channel mitigation\n"

@@ -1,0 +1,198 @@
+// Engine dispatch throughput: instructions/sec of the step (per-instruction
+// reference) interpreter vs the block (trace-cached) engine across the ten
+// nBench kernels, uninstrumented, on a benign platform interrupt schedule.
+//
+// This is a wall-clock benchmark (the only one in the suite — everything
+// else reports the deterministic cost model): the two engines produce
+// bit-identical cost/instruction observables by design, so the *only* thing
+// that differs between them is how fast the host executes them.
+//
+// Flags:
+//   --json          emit machine-readable results on stdout
+//   --check <file>  run, then compare the block-engine geomean IPS against
+//                   the committed baseline (BENCH_vm.json); exits non-zero
+//                   on a >20% regression. Used by `tools/check.sh --perf`.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/compile.h"
+#include "core/protocol.h"
+#include "workloads/workloads.h"
+
+using namespace deflection;
+
+namespace {
+
+struct EngineRun {
+  double ips = 0;           // instructions per wall-clock second
+  std::uint64_t instructions = 0;
+  std::uint64_t cost = 0;
+  std::uint64_t exit_code = 0;
+};
+
+// Provisions a fresh enclave (admission paid up front via ecall_prepare)
+// and times ONLY the ecall_run — the execution engine under test.
+Result<EngineRun> run_engine(const codegen::Dxo& dxo, vm::Engine engine) {
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::none();
+  config.vm.engine = engine;
+  // Same benign interrupt schedule as bench_table2_nbench.
+  config.aex.interval_cost = 20'000'000;
+
+  sgx::AttestationService as;
+  sgx::QuotingEnclave quoting = as.provision("bench-platform", 11);
+  core::BootstrapEnclave enclave(quoting, config);
+  crypto::Digest expected = core::BootstrapEnclave::expected_mrenclave(config);
+  core::DataOwner owner(as, expected);
+  core::CodeProvider provider(as, expected);
+  auto owner_offer = enclave.open_channel(core::Role::DataOwner, owner.dh_public());
+  if (auto s = owner.accept(owner_offer); !s.is_ok()) return s.error();
+  auto provider_offer =
+      enclave.open_channel(core::Role::CodeProvider, provider.dh_public());
+  if (auto s = provider.accept(provider_offer); !s.is_ok()) return s.error();
+  if (auto d = enclave.ecall_receive_binary(provider.seal_binary(dxo)); !d.is_ok())
+    return d.error();
+  if (auto s = enclave.ecall_prepare(); !s.is_ok()) return s.error();
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto outcome = enclave.ecall_run();
+  auto t1 = std::chrono::steady_clock::now();
+  if (!outcome.is_ok()) return outcome.error();
+  if (outcome.value().result.exit != vm::Exit::Halt)
+    return Result<EngineRun>::fail("bench_fault", outcome.value().result.fault_code);
+
+  EngineRun r;
+  r.instructions = outcome.value().result.instructions;
+  r.cost = outcome.value().result.cost;
+  r.exit_code = outcome.value().result.exit_code;
+  double secs = std::chrono::duration<double>(t1 - t0).count();
+  r.ips = secs > 0 ? static_cast<double>(r.instructions) / secs : 0;
+  return r;
+}
+
+struct Row {
+  std::string name;
+  double step_ips = 0;
+  double block_ips = 0;
+  double speedup = 0;
+};
+
+// Minimal extractor for the one key --check needs from our own JSON format.
+double json_number_after(const std::string& text, const std::string& key) {
+  auto pos = text.find("\"" + key + "\":");
+  if (pos == std::string::npos) return -1;
+  return std::strtod(text.c_str() + pos + key.size() + 3, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  const char* check_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc)
+      check_path = argv[++i];
+  }
+
+  std::vector<Row> rows;
+  double log_step = 0, log_block = 0;
+  for (const auto& kernel : workloads::nbench_kernels()) {
+    std::string src = workloads::with_params(kernel.source, kernel.bench_params);
+    auto compiled = codegen::compile(src, PolicySet::none());
+    if (!compiled.is_ok()) {
+      std::fprintf(stderr, "%s: compile failed: %s\n", kernel.name,
+                   compiled.message().c_str());
+      return 1;
+    }
+    // Best of three fresh provisions per engine: each ecall_run starts with
+    // cold decode/trace caches (a new Vm per run), so repetition only
+    // removes host-side noise, not the cold-start cost being measured.
+    constexpr int kReps = 3;
+    Result<EngineRun> step = Result<EngineRun>::fail("bench_unrun", "");
+    Result<EngineRun> block = Result<EngineRun>::fail("bench_unrun", "");
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto s = run_engine(compiled.value().dxo, vm::Engine::Step);
+      auto b = run_engine(compiled.value().dxo, vm::Engine::Block);
+      if (!s.is_ok() || !b.is_ok()) {
+        std::fprintf(stderr, "%s: run failed: %s\n", kernel.name,
+                     (!s.is_ok() ? s : b).message().c_str());
+        return 1;
+      }
+      if (!step.is_ok() || s.value().ips > step.value().ips) step = s;
+      if (!block.is_ok() || b.value().ips > block.value().ips) block = b;
+    }
+    // The engines must agree on every deterministic observable; a mismatch
+    // here means the bench is measuring two different machines.
+    if (step.value().cost != block.value().cost ||
+        step.value().instructions != block.value().instructions ||
+        step.value().exit_code != block.value().exit_code) {
+      std::fprintf(stderr, "%s: engine observables diverge\n", kernel.name);
+      return 1;
+    }
+    Row row;
+    row.name = kernel.name;
+    row.step_ips = step.value().ips;
+    row.block_ips = block.value().ips;
+    row.speedup = row.step_ips > 0 ? row.block_ips / row.step_ips : 0;
+    log_step += std::log(row.step_ips);
+    log_block += std::log(row.block_ips);
+    rows.push_back(row);
+  }
+  if (rows.empty()) return 1;
+  double geo_step = std::exp(log_step / static_cast<double>(rows.size()));
+  double geo_block = std::exp(log_block / static_cast<double>(rows.size()));
+  double geo_speedup = geo_block / geo_step;
+
+  if (json) {
+    std::printf("{\n  \"bench\": \"vm_dispatch\",\n  \"kernels\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::printf(
+          "    {\"name\": \"%s\", \"step_ips\": %.0f, \"block_ips\": %.0f, "
+          "\"speedup\": %.3f}%s\n",
+          rows[i].name.c_str(), rows[i].step_ips, rows[i].block_ips, rows[i].speedup,
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::printf(
+        "  ],\n  \"geomean_step_ips\": %.0f,\n  \"geomean_block_ips\": %.0f,\n"
+        "  \"geomean_speedup\": %.3f\n}\n",
+        geo_step, geo_block, geo_speedup);
+  } else {
+    std::printf("VM dispatch throughput (instructions/sec, wall clock)\n");
+    std::printf("%-18s %14s %14s %9s\n", "Program Name", "step", "block", "speedup");
+    for (const auto& row : rows)
+      std::printf("%-18s %14.0f %14.0f %8.2fx\n", row.name.c_str(), row.step_ips,
+                  row.block_ips, row.speedup);
+    std::printf("%-18s %14.0f %14.0f %8.2fx\n", "GEOMETRIC MEAN", geo_step, geo_block,
+                geo_speedup);
+  }
+
+  if (check_path != nullptr) {
+    std::ifstream in(check_path);
+    if (!in) {
+      std::fprintf(stderr, "--check: cannot open %s\n", check_path);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    double baseline = json_number_after(buf.str(), "geomean_block_ips");
+    if (baseline <= 0) {
+      std::fprintf(stderr, "--check: no geomean_block_ips in %s\n", check_path);
+      return 1;
+    }
+    double ratio = geo_block / baseline;
+    std::fprintf(stderr, "--check: block geomean %.0f vs baseline %.0f (%.2fx)\n",
+                 geo_block, baseline, ratio);
+    if (ratio < 0.8) {
+      std::fprintf(stderr, "--check: FAIL — >20%% regression vs %s\n", check_path);
+      return 1;
+    }
+  }
+  return 0;
+}

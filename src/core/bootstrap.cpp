@@ -72,6 +72,7 @@ Status BootstrapEnclave::reset() {
   dxo_.reset();
   binary_digest_.reset();
   loaded_.reset();
+  block_cache_.clear();
   report_ = {};
   verified_ = false;
   inbox_.clear();
@@ -116,6 +117,7 @@ Result<crypto::Digest> BootstrapEnclave::ecall_receive_binary(BytesView sealed) 
   dxo_ = dxo.take();
   verified_ = false;
   loaded_.reset();
+  block_cache_.clear();  // drop the previous binary's predecoded blocks
   // The measurement doubles as the admission-cache key: it is computed here,
   // over the exact decrypted bytes that were deserialized, so a tampered
   // binary can never look up another binary's verdict.
@@ -297,6 +299,7 @@ Result<RunOutcome> BootstrapEnclave::ecall_run() {
 
   RunOutcome outcome;
   vm::Vm machine(*enclave_, config_.vm);
+  machine.set_block_cache(&block_cache_);
   if (trace_) machine.set_trace_hook(trace_);
   machine.set_ocall_handler([this, &outcome](std::uint8_t num, std::uint64_t rdi,
                                              std::uint64_t rsi, std::uint64_t rdx) {

@@ -165,6 +165,14 @@ class BootstrapEnclave {
   std::optional<crypto::Digest> binary_digest_;  // SHA-256 of the plaintext DXO
   std::optional<verifier::LoadedBinary> loaded_;
   verifier::VerifyReport report_;
+  // Per-enclave trace cache for the block engine, warm across ecall_runs of
+  // the same loaded binary (each run constructs a fresh Vm; short serving
+  // requests would otherwise predecode every block on every request). The
+  // cache self-invalidates via the address space's text-write/permission
+  // generations — replacing the binary goes through copy_in, which bumps
+  // the text generation — and is cleared on delivery/reset anyway to drop
+  // the old binary's blocks promptly.
+  vm::BlockCache block_cache_;
   bool verified_ = false;
 
   std::deque<Bytes> inbox_;            // decrypted user inputs

@@ -20,13 +20,17 @@ AddressSpace::AddressSpace(std::uint64_t host_base, std::uint64_t host_size,
 
 Status AddressSpace::set_page_perms(std::uint64_t addr, std::uint64_t size,
                                     std::uint8_t perms) {
-  if (!in_enclave(addr) || size == 0 || addr + size > enclave_end())
+  if (!in_enclave(addr) || size == 0 ||
+      size > enclave_size_ - (addr - enclave_base_))
     return Status::fail("perm_range", "permission range outside ELRANGE");
   if (addr % kPageSize != 0 || size % kPageSize != 0)
     return Status::fail("perm_align", "permission range not page aligned");
   std::uint64_t first = (addr - enclave_base_) / kPageSize;
   std::uint64_t count = size / kPageSize;
   for (std::uint64_t i = 0; i < count; ++i) page_perms_[first + i] = perms;
+  // Cached translations and per-block permission spans are now stale.
+  ++perm_generation_;
+  tlb_ = {};
   return Status::ok();
 }
 
@@ -38,9 +42,11 @@ std::uint8_t AddressSpace::page_perms(std::uint64_t addr) const {
 bool AddressSpace::check(std::uint64_t addr, std::uint64_t len, Access access,
                          MemFault& fault) const {
   // Accesses must not straddle the region boundary; len is at most 8 so a
-  // single end check suffices.
+  // single end check suffices. Subtraction form: `addr + len` can wrap for
+  // addresses near UINT64_MAX, `size - offset` cannot once containment of
+  // addr itself is established.
   if (in_enclave(addr)) {
-    if (addr + len > enclave_end()) {
+    if (len > enclave_size_ - (addr - enclave_base_)) {
       fault = MemFault{"oob", addr};
       return false;
     }
@@ -57,7 +63,7 @@ bool AddressSpace::check(std::uint64_t addr, std::uint64_t len, Access access,
     return true;
   }
   if (in_host(addr)) {
-    if (addr + len > host_base_ + host_size_) {
+    if (len > host_size_ - (addr - host_base_)) {
       fault = MemFault{"oob", addr};
       return false;
     }
@@ -75,9 +81,9 @@ bool AddressSpace::check(std::uint64_t addr, std::uint64_t len, Access access,
 }
 
 std::uint8_t* AddressSpace::raw(std::uint64_t addr, std::uint64_t len) {
-  if (in_enclave(addr) && addr + len <= enclave_end())
+  if (in_enclave(addr) && len <= enclave_size_ - (addr - enclave_base_))
     return enclave_mem_.data() + (addr - enclave_base_);
-  if (in_host(addr) && addr + len <= host_base_ + host_size_)
+  if (in_host(addr) && len <= host_size_ - (addr - host_base_))
     return host_mem_.data() + (addr - host_base_);
   return nullptr;
 }
@@ -86,29 +92,72 @@ const std::uint8_t* AddressSpace::raw(std::uint64_t addr, std::uint64_t len) con
   return const_cast<AddressSpace*>(this)->raw(addr, len);
 }
 
+// Installs the TLB entry for the page containing addr. Only pages fully
+// contained in one region are cached; host pages read/write as RW (the
+// attacker's memory), enclave pages carry their EPCM permissions.
+void AddressSpace::fill_tlb(std::uint64_t addr) const {
+  std::uint64_t page_base = addr & ~(kPageSize - 1);
+  std::uint8_t* mem = const_cast<AddressSpace*>(this)->raw(page_base, kPageSize);
+  if (mem == nullptr) return;  // page straddles a region edge; stay on the slow path
+  std::uint8_t perms =
+      in_enclave(page_base) ? page_perms_[(page_base - enclave_base_) / kPageSize]
+                            : static_cast<std::uint8_t>(kPermRW);
+  tlb_[(page_base >> 12) & 1] = TlbEntry{page_base >> 12, perms, mem};
+}
+
 bool AddressSpace::read_u8(std::uint64_t addr, std::uint8_t& out, MemFault& fault) const {
+  const TlbEntry& e = tlb_[(addr >> 12) & 1];
+  if (e.page == addr >> 12 && (e.perms & kPermR) != 0) {
+    out = e.mem[addr & (kPageSize - 1)];
+    return true;
+  }
   if (!check(addr, 1, Access::Read, fault)) return false;
   out = *raw(addr, 1);
+  fill_tlb(addr);
   return true;
 }
 
 bool AddressSpace::read_u64(std::uint64_t addr, std::uint64_t& out, MemFault& fault) const {
+  if ((addr & (kPageSize - 1)) <= kPageSize - 8) {
+    const TlbEntry& e = tlb_[(addr >> 12) & 1];
+    if (e.page == addr >> 12 && (e.perms & kPermR) != 0) {
+      out = load_le64(e.mem + (addr & (kPageSize - 1)));
+      return true;
+    }
+  }
   if (!check(addr, 8, Access::Read, fault)) return false;
   out = load_le64(raw(addr, 8));
+  fill_tlb(addr);
   return true;
 }
 
 bool AddressSpace::write_u8(std::uint64_t addr, std::uint8_t v, MemFault& fault) {
+  const TlbEntry& e = tlb_[(addr >> 12) & 1];
+  // The fast path must not swallow the text-generation bump: X pages always
+  // go through the slow path below.
+  if (e.page == addr >> 12 && (e.perms & kPermW) != 0 && (e.perms & kPermX) == 0) {
+    e.mem[addr & (kPageSize - 1)] = v;
+    return true;
+  }
   if (!check(addr, 1, Access::Write, fault)) return false;
   if (in_enclave(addr) && (page_perms(addr) & kPermX) != 0) ++text_write_generation_;
   *raw(addr, 1) = v;
+  fill_tlb(addr);
   return true;
 }
 
 bool AddressSpace::write_u64(std::uint64_t addr, std::uint64_t v, MemFault& fault) {
+  if ((addr & (kPageSize - 1)) <= kPageSize - 8) {
+    const TlbEntry& e = tlb_[(addr >> 12) & 1];
+    if (e.page == addr >> 12 && (e.perms & kPermW) != 0 && (e.perms & kPermX) == 0) {
+      store_le64(e.mem + (addr & (kPageSize - 1)), v);
+      return true;
+    }
+  }
   if (!check(addr, 8, Access::Write, fault)) return false;
   if (in_enclave(addr) && (page_perms(addr) & kPermX) != 0) ++text_write_generation_;
   store_le64(raw(addr, 8), v);
+  fill_tlb(addr);
   return true;
 }
 
@@ -119,6 +168,19 @@ bool AddressSpace::check_exec(std::uint64_t addr, MemFault& fault) const {
 Status AddressSpace::copy_in(std::uint64_t addr, BytesView data) {
   std::uint8_t* p = raw(addr, data.size());
   if (p == nullptr) return Status::fail("copy_oob", "copy_in outside mapped regions");
+  // Like write_u8/write_u64, a copy that lands on executable pages must
+  // invalidate decode caches, or a re-delivered/patched text would execute
+  // stale predecoded instructions.
+  if (in_enclave(addr) && !data.empty()) {
+    std::uint64_t last_page = (addr + data.size() - 1) & ~(kPageSize - 1);
+    for (std::uint64_t page = addr & ~(kPageSize - 1);; page += kPageSize) {
+      if ((page_perms(page) & kPermX) != 0) {
+        ++text_write_generation_;
+        break;
+      }
+      if (page == last_page) break;
+    }
+  }
   std::memcpy(p, data.data(), data.size());
   return Status::ok();
 }

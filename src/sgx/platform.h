@@ -17,6 +17,7 @@
 //     interrupt/page-fault schedule (the side-channel attacker's lever).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -60,13 +61,24 @@ class AddressSpace {
   std::uint64_t host_size() const { return host_size_; }
   std::uint64_t enclave_base() const { return enclave_base_; }
   std::uint64_t enclave_size() const { return enclave_size_; }
+  // NOTE: wraps to 0 when the enclave ends exactly at the top of the
+  // address space; use span_to_region_end() for boundary arithmetic.
   std::uint64_t enclave_end() const { return enclave_base_ + enclave_size_; }
 
+  // Subtraction-form containment tests: `addr + size` can wrap for regions
+  // placed near UINT64_MAX, `addr - base < size` cannot.
   bool in_enclave(std::uint64_t addr) const {
-    return addr >= enclave_base_ && addr < enclave_base_ + enclave_size_;
+    return addr >= enclave_base_ && addr - enclave_base_ < enclave_size_;
   }
   bool in_host(std::uint64_t addr) const {
-    return addr >= host_base_ && addr < host_base_ + host_size_;
+    return addr >= host_base_ && addr - host_base_ < host_size_;
+  }
+  // Bytes available from addr to the end of the region containing it
+  // (0 if unmapped). Overflow-safe replacement for `end() - addr`.
+  std::uint64_t span_to_region_end(std::uint64_t addr) const {
+    if (in_enclave(addr)) return enclave_size_ - (addr - enclave_base_);
+    if (in_host(addr)) return host_size_ - (addr - host_base_);
+    return 0;
   }
 
   // Page permission management (consumer/loader side; models EADD-time
@@ -95,12 +107,30 @@ class AddressSpace {
   Result<Bytes> copy_out(std::uint64_t addr, std::uint64_t len) const;
 
   // Write generation for executable enclave pages; bumped whenever a store
-  // lands on an X page so the VM can invalidate its decode cache (needed to
-  // faithfully emulate self-modifying malicious code when P4 is off).
+  // (or copy_in) lands on an X page so the VM can invalidate its decode
+  // caches (needed to faithfully emulate self-modifying malicious code when
+  // P4 is off).
   std::uint64_t text_write_generation() const { return text_write_generation_; }
+  // Permission generation; bumped by set_page_perms (and therefore by the
+  // SGXv2 EDMM path). The VM's block cache validates its once-per-block
+  // executable-permission spans against this.
+  std::uint64_t perm_generation() const { return perm_generation_; }
 
  private:
   bool check(std::uint64_t addr, std::uint64_t len, Access access, MemFault& fault) const;
+
+  // 2-entry data micro-TLB backing the read/write fast paths: caches the
+  // page translation + permissions so the VM's hot loads/stores skip the
+  // full region/permission walk. Entries are dropped whenever permissions
+  // change (set_page_perms clears the TLB). Writes to executable pages
+  // never take the fast path, so the text_write_generation bump — the
+  // decode-cache invalidation signal — is preserved exactly.
+  struct TlbEntry {
+    std::uint64_t page = ~0ull;   // addr >> 12 tag
+    std::uint8_t perms = 0;
+    std::uint8_t* mem = nullptr;  // backing store of the page's first byte
+  };
+  void fill_tlb(std::uint64_t addr) const;
 
   std::uint64_t host_base_, host_size_;
   std::uint64_t enclave_base_, enclave_size_;
@@ -108,6 +138,8 @@ class AddressSpace {
   Bytes enclave_mem_;
   std::vector<std::uint8_t> page_perms_;
   std::uint64_t text_write_generation_ = 0;
+  std::uint64_t perm_generation_ = 0;
+  mutable std::array<TlbEntry, 2> tlb_{};
 };
 
 // AEX (asynchronous exit) injection policy: models the OS interrupt /
@@ -160,6 +192,14 @@ class Enclave {
   // Called by the VM as cost accrues; delivers AEX(s) when the policy says
   // so. Writes the (simulated) interrupted context over the SSA frame.
   void tick(std::uint64_t total_cost, const std::uint64_t* regs);
+  // Cost at which tick() will next deliver an AEX (~0ull when injection is
+  // disabled). Mirrors tick()'s lazy initialization of its schedule so the
+  // block engine can decide up front whether a predecoded trace would cross
+  // the threshold and must take the per-instruction slow path instead.
+  std::uint64_t next_aex_threshold() const {
+    if (aex_policy_.interval_cost == 0) return ~0ull;
+    return next_aex_cost_ == 0 ? aex_policy_.interval_cost : next_aex_cost_;
+  }
   std::uint64_t aex_count() const { return aex_count_; }
   void deliver_aex(const std::uint64_t* regs);
 

@@ -1,0 +1,172 @@
+// Block execution engine: trace formation and the fast dispatch loop.
+//
+// Bit-identity with the step interpreter is the design constraint, not an
+// afterthought:
+//  - Build-time checks replay the step interpreter's per-instruction
+//    sequence (exec perm at RIP, raw view, decode, exec perm at the last
+//    byte) in the same order, so the *first* instruction of a block faults
+//    with exactly the step engine's fault code and address. A mid-build
+//    failure simply ends the block early; the faulting RIP then becomes the
+//    entry of the next block and faults there, which is when the step
+//    engine would have reported it too.
+//  - AEX accounting is batched: a block only takes the fast path when
+//    cost_ + block.cost stays strictly below Enclave::next_aex_threshold(),
+//    i.e. when the step engine would not have delivered any AEX inside the
+//    block (tick fires at total_cost >= threshold, and cost is monotone
+//    within the block). Otherwise the dispatcher executes one reference
+//    step() and re-evaluates, so AEX timing, burst delivery and the SSA
+//    register snapshot (taken before the interrupted instruction executes)
+//    stay bit-identical.
+//  - The cost limit uses the same reasoning: step() trips CostLimit when
+//    cost_ > max_cost at an instruction boundary, so a block is only fast-
+//    pathed when cost_ + block.cost <= max_cost (no prefix can trip).
+#include "vm/vm.h"
+
+namespace deflection::vm {
+
+using isa::Instr;
+using isa::Op;
+
+namespace {
+
+// Control transfers and ocalls terminate a block: their successor RIP is
+// only known at execution time (or, for Ocall, the handler may mutate
+// memory the next instructions were decoded from).
+bool ends_block(const Instr& ins) {
+  switch (ins.op) {
+    case Op::Jmp:
+    case Op::Jcc:
+    case Op::JmpInd:
+    case Op::Call:
+    case Op::CallInd:
+    case Op::Ret:
+    case Op::Hlt:
+    case Op::Ocall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Memory writers that do NOT end the block; the dispatcher re-validates the
+// text generation after each of these (self-modifying-store abort).
+bool writes_mem_mid_block(const Instr& ins) {
+  switch (ins.op) {
+    case Op::Store:
+    case Op::Store8:
+    case Op::StoreI:
+    case Op::Push:
+    case Op::PushI:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+// Decodes the block starting at rip_ and caches it. Returns nullptr (with
+// `result` holding the fault) only when the entry instruction itself fails
+// a check — the exact cases step() faults on before executing anything.
+const Block* Vm::build_block(RunResult& result) {
+  Block block;
+  block.entry = rip_;
+  std::uint64_t pc = rip_;
+  // Blocks never extend past the entry page boundary (the last instruction
+  // may straddle it; its bytes are still permission-checked below). This
+  // bounds the span a cached block depends on.
+  const std::uint64_t page_end =
+      (rip_ & ~(sgx::kPageSize - 1)) + sgx::kPageSize;
+  sgx::MemFault mf;
+  while (true) {
+    if (!space_.check_exec(pc, mf)) {
+      if (block.instrs.empty()) {
+        fault(result, "exec_" + mf.code, mf.addr);
+        return nullptr;
+      }
+      break;
+    }
+    const std::uint8_t* base = space_.raw(pc, 1);
+    if (base == nullptr) {
+      if (block.instrs.empty()) {
+        fault(result, "exec_oob", pc);
+        return nullptr;
+      }
+      break;
+    }
+    std::uint64_t avail = space_.span_to_region_end(pc);
+    if (avail > 16) avail = 16;
+    auto decoded = isa::decode_one(BytesView(base, avail), 0, pc);
+    if (!decoded.is_ok()) {
+      if (block.instrs.empty()) {
+        fault(result, decoded.code(), pc);
+        return nullptr;
+      }
+      break;
+    }
+    Instr ins = decoded.take();
+    // All bytes of the instruction must be executable (it may cross pages).
+    if (!space_.check_exec(pc + ins.length - 1, mf)) {
+      if (block.instrs.empty()) {
+        fault(result, "exec_" + mf.code, mf.addr);
+        return nullptr;
+      }
+      break;
+    }
+    BlockInstr bi;
+    bi.cost = static_cast<std::uint32_t>(cost_of(ins));
+    bi.writes_mem = writes_mem_mid_block(ins);
+    bi.instr = ins;
+    block.cost += bi.cost;
+    block.instrs.push_back(bi);
+    pc += ins.length;
+    block.byte_length = static_cast<std::uint32_t>(pc - block.entry);
+    if (ends_block(ins) || pc >= page_end) break;
+  }
+  return active_blocks_->insert(std::move(block));
+}
+
+void Vm::run_blocks(RunResult& result) {
+  BlockCache& cache = *active_blocks_;
+  while (!halted_) {
+    if (cost_ > config_.max_cost) {
+      result.exit = Exit::CostLimit;
+      halted_ = true;
+      return;
+    }
+    if (cache.text_gen != space_.text_write_generation() ||
+        cache.perm_gen != space_.perm_generation()) {
+      cache.clear();
+      cache.text_gen = space_.text_write_generation();
+      cache.perm_gen = space_.perm_generation();
+    }
+    const Block* block = cache.find(rip_);
+    if (block == nullptr) {
+      block = build_block(result);
+      if (block == nullptr) return;  // entry instruction faulted
+    }
+    std::uint64_t cost_after = cost_ + block->cost;
+    if (cost_after >= enclave_.next_aex_threshold() ||
+        cost_after > config_.max_cost) {
+      // The block would cross an AEX threshold or the cost limit mid-trace:
+      // execute ONE reference-interpreter step (which ticks the enclave and
+      // snapshots the SSA exactly like the paper's per-instruction world)
+      // and re-evaluate. Once the threshold advances, dispatch resumes on
+      // the fast path.
+      if (!step(result)) return;
+      continue;
+    }
+    const std::uint64_t text_gen = cache.text_gen;
+    for (const BlockInstr& bi : block->instrs) {
+      cost_ += bi.cost;
+      ++instructions_;
+      if (!exec(bi.instr, result)) break;  // halt or fault; outer loop exits
+      // A store may have rewritten this very trace (P4-off self-modifying
+      // code): abandon the stale remainder; rip_ already points at the next
+      // instruction, which re-decodes fresh on the next dispatch.
+      if (bi.writes_mem && space_.text_write_generation() != text_gen) break;
+    }
+  }
+}
+
+}  // namespace deflection::vm

@@ -1,0 +1,116 @@
+// Basic-block trace cache for the DX64 block execution engine.
+//
+// A Block is a straight-line run of predecoded instructions starting at an
+// entry RIP and ending at the first control transfer (branch, call, ret,
+// hlt, ocall) or at the entry page's boundary. Decoding and executable-
+// permission validation happen once at build time; dispatch then replays
+// the predecoded instructions in a tight loop (see Vm::run_blocks in
+// block.cpp), skipping the per-instruction exec checks, decode-cache probe
+// and AEX tick the step interpreter pays.
+//
+// Validity: a cached block was built under a specific (text-write,
+// page-permission) generation pair of the AddressSpace. The owning Vm
+// flushes the whole cache when either generation moves — a store into an
+// executable page (self-modifying code with P4 off), a copy_in over text,
+// or an SGXv2 EDMM permission change.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace deflection::vm {
+
+// One predecoded instruction with its dispatch metadata precomputed.
+struct BlockInstr {
+  isa::Instr instr;
+  std::uint32_t cost = 0;   // Vm::cost_of(instr), hoisted out of the loop
+  // Instruction can write memory without ending the block (Store/Store8/
+  // StoreI/Push/PushI): the dispatcher re-checks the text generation after
+  // it so a self-modifying store aborts the stale remainder of the trace.
+  bool writes_mem = false;
+};
+
+struct Block {
+  std::uint64_t entry = 0;
+  std::uint64_t cost = 0;          // sum of member costs (no ocall boundary cost)
+  std::uint32_t byte_length = 0;   // span validated for execute permission
+  std::vector<BlockInstr> instrs;
+};
+
+// Entry-RIP-keyed cache of predecoded blocks. Open-addressed with linear
+// probing (entries are never individually removed, only clear()ed), sized
+// for one probe on the hot path — this lookup runs once per dispatched
+// block, so it must cost a handful of instructions, not a std::unordered_map
+// walk. Blocks are heap-owned so pointers handed to the dispatcher stay
+// valid across table growth.
+class BlockCache {
+ public:
+  BlockCache() : slots_(kInitialSlots) {}
+
+  const Block* find(std::uint64_t entry) const {
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash(entry) & mask;; i = (i + 1) & mask) {
+      const Block* b = slots_[i].get();
+      if (b == nullptr) return nullptr;
+      if (b->entry == entry) return b;
+    }
+  }
+
+  const Block* insert(Block block) {
+    if ((count_ + 1) * 2 > slots_.size()) grow();
+    auto owned = std::make_unique<Block>(std::move(block));
+    const Block* placed = place(std::move(owned));
+    ++count_;
+    return placed;
+  }
+
+  void clear() {
+    for (auto& slot : slots_) slot.reset();
+    count_ = 0;
+    text_gen = ~0ull;
+    perm_gen = ~0ull;
+  }
+  std::size_t size() const { return count_; }
+
+  // Generation stamps of the AddressSpace state the cached blocks were
+  // built under (managed by Vm::run_blocks; ~0ull = never validated). They
+  // live on the cache, not the Vm, so a cache that outlives its Vm — the
+  // per-enclave cache BootstrapEnclave keeps warm across ecall_runs of the
+  // same loaded binary — still flushes when the text is replaced (copy_in
+  // bumps the text generation) or page permissions change.
+  std::uint64_t text_gen = ~0ull;
+  std::uint64_t perm_gen = ~0ull;
+
+ private:
+  static constexpr std::size_t kInitialSlots = 256;  // power of two
+
+  static std::size_t hash(std::uint64_t entry) {
+    // Fibonacci multiplicative mix; entry RIPs share high bits.
+    return static_cast<std::size_t>((entry * 0x9E3779B97F4A7C15ull) >> 32);
+  }
+
+  const Block* place(std::unique_ptr<Block> block) {
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash(block->entry) & mask;; i = (i + 1) & mask) {
+      if (slots_[i] == nullptr || slots_[i]->entry == block->entry) {
+        slots_[i] = std::move(block);
+        return slots_[i].get();
+      }
+    }
+  }
+
+  void grow() {
+    std::vector<std::unique_ptr<Block>> old = std::move(slots_);
+    slots_ = std::vector<std::unique_ptr<Block>>(old.size() * 2);
+    for (auto& slot : old)
+      if (slot != nullptr) place(std::move(slot));
+  }
+
+  std::vector<std::unique_ptr<Block>> slots_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace deflection::vm

@@ -100,7 +100,13 @@ RunResult Vm::run(std::uint64_t entry, std::uint64_t stack_top) {
   rip_ = entry;
   regs_[static_cast<int>(Reg::RSP)] = stack_top;
   halted_ = false;
-  while (step(result)) {
+  // The trace hook is a per-instruction observation channel; honour it with
+  // the per-instruction engine.
+  if (config_.engine == Engine::Block && !trace_) {
+    run_blocks(result);
+  } else {
+    while (step(result)) {
+    }
   }
   result.cost = cost_;
   result.instructions = instructions_;
@@ -131,7 +137,7 @@ bool Vm::step(RunResult& result) {
     // bytes; clamp the view to the region end.
     const std::uint8_t* base = space_.raw(rip_, 1);
     if (base == nullptr) return fault(result, "exec_oob", rip_);
-    std::uint64_t avail = space_.enclave_end() - rip_;
+    std::uint64_t avail = space_.span_to_region_end(rip_);
     if (avail > 16) avail = 16;
     auto decoded = isa::decode_one(BytesView(base, avail), 0, rip_);
     if (!decoded.is_ok()) return fault(result, decoded.code(), rip_);

@@ -14,14 +14,29 @@
 
 #include "isa/decode.h"
 #include "sgx/platform.h"
+#include "vm/block.h"
 
 namespace deflection::vm {
+
+// Execution engine selection.
+//  - Step: the per-instruction reference interpreter. Pays two exec-perm
+//    checks, a decode-cache probe and an Enclave::tick per instruction; it
+//    is the differential oracle and the slow path the block engine falls
+//    back to around AEX thresholds — never dead code.
+//  - Block: the trace-cached engine (src/vm/block.cpp). Decodes
+//    straight-line runs once, validates permissions once per block, and
+//    dispatches predecoded instructions in a tight loop. Observables (exit,
+//    cost, instruction count, aex_count, SSA contents, fault codes and
+//    addresses) are bit-identical to Step by construction; the engine
+//    differential suite enforces this.
+enum class Engine : std::uint8_t { Step, Block };
 
 struct VmConfig {
   std::uint64_t max_cost = 2'000'000'000;  // runaway-program backstop
   // Cost of one enclave boundary crossing (EEXIT+OCall+EENTER). The paper's
   // world pays roughly 8-10k cycles per transition.
   std::uint64_t ocall_boundary_cost = 8000;
+  Engine engine = Engine::Block;
 };
 
 enum class Exit {
@@ -112,6 +127,24 @@ class Vm {
   static constexpr std::size_t kCacheSize = 4096;  // direct-mapped
   std::array<CacheEntry, kCacheSize> cache_;
   std::uint64_t cache_generation_ = ~0ull;
+
+  // Block engine state (definitions in block.cpp). The trace cache is
+  // flushed whenever the text-write or page-permission generation moves.
+  void run_blocks(RunResult& result);
+  const Block* build_block(RunResult& result);
+  BlockCache blocks_;
+  BlockCache* active_blocks_ = &blocks_;
+
+ public:
+  // Use an external trace cache instead of the Vm-owned one, so predecoded
+  // blocks survive this Vm (BootstrapEnclave keeps one per enclave, warm
+  // across ecall_runs of the same binary — short serving requests would
+  // otherwise pay the predecode on every run). The caller must keep `cache`
+  // alive for the Vm's lifetime and must not share it across concurrently
+  // running Vms; staleness is handled by the cache's generation stamps.
+  void set_block_cache(BlockCache* cache) {
+    active_blocks_ = cache != nullptr ? cache : &blocks_;
+  }
 };
 
 }  // namespace deflection::vm

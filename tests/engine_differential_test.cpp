@@ -1,0 +1,412 @@
+// Differential suite for the two DX64 execution engines: the per-instruction
+// step interpreter (the reference semantics) and the block-predecoded trace
+// engine (the fast path serving uses by default). For every scenario the two
+// engines must agree on every deterministic observable — exit kind, exit
+// code, fault code/address, accumulated cost, instruction count, AEX count,
+// policy-violation flag, and (at the VM level) the SSA frame bytes an AEX
+// leaves behind. Any divergence is a bug in the block engine by definition.
+#include <gtest/gtest.h>
+
+#include "isa/assemble.h"
+#include "sgx/platform.h"
+#include "test_helpers.h"
+#include "verifier/layout.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+namespace deflection::testing {
+namespace {
+
+using codegen::CodegenResult;
+using isa::AsmProgram;
+using isa::Cond;
+using isa::Mem;
+using isa::Op;
+using isa::Reg;
+
+// --- Service-level helpers -------------------------------------------------
+
+core::RunOutcome run_engine_service(const std::string& src, PolicySet policies,
+                                    vm::Engine engine, sgx::AexPolicy aex = {}) {
+  core::BootstrapConfig config;
+  config.vm.engine = engine;
+  config.aex = aex;
+  return run_service(src, policies, config);
+}
+
+void expect_identical(const core::RunOutcome& step, const core::RunOutcome& block,
+                      const std::string& what) {
+  EXPECT_EQ(step.result.exit, block.result.exit) << what;
+  EXPECT_EQ(step.result.exit_code, block.result.exit_code) << what;
+  EXPECT_EQ(step.result.fault_code, block.result.fault_code) << what;
+  EXPECT_EQ(step.result.fault_addr, block.result.fault_addr) << what;
+  EXPECT_EQ(step.result.cost, block.result.cost) << what;
+  EXPECT_EQ(step.result.instructions, block.result.instructions) << what;
+  EXPECT_EQ(step.result.aex_count, block.result.aex_count) << what;
+  EXPECT_EQ(step.policy_violation, block.policy_violation) << what;
+  EXPECT_EQ(step.alloc_failure, block.alloc_failure) << what;
+}
+
+// --- nBench kernels under both engines -------------------------------------
+
+class EngineDifferential : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, EngineDifferential,
+                         ::testing::Range<std::size_t>(0, 10),
+                         [](const auto& info) {
+                           std::string name =
+                               workloads::nbench_kernels()[info.param].name;
+                           for (char& c : name)
+                             if (c == ' ') c = '_';
+                           return name;
+                         });
+
+TEST_P(EngineDifferential, FullyInstrumentedKernelMatchesOnBenignPlatform) {
+  const auto& kernel = workloads::nbench_kernels()[GetParam()];
+  std::string src = workloads::with_params(kernel.source, kernel.test_params);
+  auto step = run_engine_service(src, PolicySet::p1to6(), vm::Engine::Step);
+  auto block = run_engine_service(src, PolicySet::p1to6(), vm::Engine::Block);
+  expect_identical(step, block, kernel.name);
+  // (The checksum itself is pinned against the reference AST interpreter by
+  // nbench_differential_test; this suite only proves engine equivalence.)
+  EXPECT_EQ(block.result.exit, vm::Exit::Halt) << block.result.fault_code;
+}
+
+TEST_P(EngineDifferential, KernelMatchesUnderAggressiveAexSchedule) {
+  // A hostile interrupt schedule (interval far below any block's cost
+  // headroom) forces the block engine onto its per-instruction slow path at
+  // every threshold crossing; AEX timing, burst delivery and accounting
+  // must be indistinguishable from the reference interpreter's.
+  const auto& kernel = workloads::nbench_kernels()[GetParam()];
+  std::string src = workloads::with_params(kernel.source, kernel.test_params);
+  sgx::AexPolicy hostile{/*interval_cost=*/5'000, /*burst=*/2};
+  auto step = run_engine_service(src, PolicySet::p1(), vm::Engine::Step, hostile);
+  auto block = run_engine_service(src, PolicySet::p1(), vm::Engine::Block, hostile);
+  expect_identical(step, block, kernel.name);
+  EXPECT_GT(block.result.aex_count, 0u) << kernel.name;
+}
+
+// --- Attack scenarios under both engines -----------------------------------
+
+core::RunOutcome run_handcrafted_engine(CodegenResult code, PolicySet policies,
+                                        vm::Engine engine) {
+  auto built = codegen::finish(std::move(code), policies);
+  EXPECT_TRUE(built.is_ok()) << built.message();
+  core::BootstrapConfig config;
+  config.verify.required = policies;
+  config.vm.engine = engine;
+  Pipeline pipe(config);
+  EXPECT_TRUE(pipe.deliver(built.value().dxo).is_ok());
+  auto outcome = pipe.run();
+  EXPECT_TRUE(outcome.is_ok()) << outcome.message();
+  return outcome.is_ok() ? outcome.take() : core::RunOutcome{};
+}
+
+TEST(EngineDifferentialAttacks, StackPivotViolationIsIdentical) {
+  auto make = [] {
+    CodegenResult code;
+    AsmProgram& prog = code.program;
+    prog.label(codegen::kEntrySymbol);
+    prog.movri(Reg::RBX, 0x5EC12E7);
+    prog.movri(Reg::RAX, 0x10000 + 0x800);
+    prog.movrr(Reg::RSP, Reg::RAX);  // pivot out of the enclave stack
+    prog.push(Reg::RBX);
+    prog.movri(Reg::RAX, 7);
+    prog.hlt();
+    code.functions = {codegen::kEntrySymbol};
+    return code;
+  };
+  auto step = run_handcrafted_engine(make(), PolicySet::p1p2(), vm::Engine::Step);
+  auto block = run_handcrafted_engine(make(), PolicySet::p1p2(), vm::Engine::Block);
+  expect_identical(step, block, "stack pivot");
+  EXPECT_TRUE(block.policy_violation);
+}
+
+TEST(EngineDifferentialAttacks, IndirectJumpHijackIsIdentical) {
+  auto make = [] {
+    CodegenResult code;
+    AsmProgram& prog = code.program;
+    prog.label(codegen::kEntrySymbol);
+    prog.movri_sym(Reg::R11, "landing", 3);  // mid-instruction target
+    prog.jmpind(Reg::R11);
+    prog.label("landing");
+    prog.movri(Reg::RAX, 1);
+    prog.hlt();
+    code.functions = {codegen::kEntrySymbol, "landing"};
+    code.address_taken = {"landing"};
+    return code;
+  };
+  auto step = run_handcrafted_engine(make(), PolicySet::p1to5(), vm::Engine::Step);
+  auto block = run_handcrafted_engine(make(), PolicySet::p1to5(), vm::Engine::Block);
+  expect_identical(step, block, "indirect jump hijack");
+  EXPECT_TRUE(block.policy_violation);
+}
+
+TEST(EngineDifferentialAttacks, SelfModifyingServiceIsIdentical) {
+  // With P4 off the write to text lands; the VM must re-decode the patched
+  // page identically under both engines. With P4 on, both must abort.
+  const char* src = R"(
+    int main() {
+      byte* text = as_ptr(${ADDR});
+      text[0] = 0;   /* overwrite the entry instruction */
+      return 9;
+    }
+  )";
+  core::BootstrapConfig config;
+  auto layout =
+      verifier::EnclaveLayout::compute(config.enclave_base, config.layout);
+  std::string source =
+      workloads::with_params(src, {{"ADDR", std::to_string(layout.text_base)}});
+
+  auto step1 = run_engine_service(source, PolicySet::p1(), vm::Engine::Step);
+  auto block1 = run_engine_service(source, PolicySet::p1(), vm::Engine::Block);
+  expect_identical(step1, block1, "self-modify, P4 off");
+
+  auto step4 =
+      run_engine_service(source, PolicySet::p1().with(kPolicyP4), vm::Engine::Step);
+  auto block4 =
+      run_engine_service(source, PolicySet::p1().with(kPolicyP4), vm::Engine::Block);
+  expect_identical(step4, block4, "self-modify, P4 on");
+  EXPECT_TRUE(block4.policy_violation);
+}
+
+TEST(EngineDifferentialAttacks, RunawayRecursionIsIdentical) {
+  const char* src = R"(
+    int down(int n) { return 1 + down(n + 1); }
+    int main() { return down(0); }
+  )";
+  auto step = run_engine_service(src, PolicySet::p1to5(), vm::Engine::Step);
+  auto block = run_engine_service(src, PolicySet::p1to5(), vm::Engine::Block);
+  expect_identical(step, block, "runaway recursion");
+}
+
+// --- VM-level harness: SSA bytes, faults mid-block, self-modifying text ----
+
+constexpr std::uint64_t kHostBase = 0x10000;
+constexpr std::uint64_t kHostSize = 64 * 1024;
+constexpr std::uint64_t kEnclaveBase = 0x100000;
+
+struct TwinVm {
+  static constexpr std::uint64_t kText = kEnclaveBase;
+  static constexpr std::uint64_t kData = kEnclaveBase + 0x1000;
+  static constexpr std::uint64_t kGuard = kEnclaveBase + 0x2000;
+  static constexpr std::uint64_t kStackTop = kEnclaveBase + 0x5000;
+  static constexpr std::uint64_t kSsa = kEnclaveBase + 0x5000;
+
+  sgx::AddressSpace space{kHostBase, kHostSize, kEnclaveBase, 0x7000};
+  sgx::Enclave enclave{space, kSsa};
+
+  TwinVm() {
+    EXPECT_TRUE(enclave.add_zero_pages(0x0000, 0x1000, sgx::kPermRWX).is_ok());
+    EXPECT_TRUE(enclave.add_zero_pages(0x1000, 0x1000, sgx::kPermRW).is_ok());
+    EXPECT_TRUE(enclave.add_zero_pages(0x2000, 0x1000, sgx::kPermNone).is_ok());
+    EXPECT_TRUE(enclave.add_zero_pages(0x3000, 0x2000, sgx::kPermRW).is_ok());
+    EXPECT_TRUE(enclave.add_zero_pages(0x5000, 0x2000, sgx::kPermRW).is_ok());
+    enclave.init();
+  }
+};
+
+struct VmObservation {
+  vm::RunResult result;
+  Bytes ssa;  // the SSA page after the run (AEX register snapshots)
+};
+
+// Runs `prog` to completion on a fresh enclave with the given engine and
+// interrupt schedule, capturing the result and the final SSA frame bytes.
+VmObservation observe(const AsmProgram& prog, vm::Engine engine,
+                      sgx::AexPolicy aex = {}) {
+  TwinVm twin;
+  twin.enclave.set_aex_policy(aex);
+  auto enc = isa::assemble(prog);
+  EXPECT_TRUE(enc.is_ok()) << (enc.is_ok() ? "" : enc.message());
+  EXPECT_TRUE(twin.space.copy_in(TwinVm::kText, BytesView(enc.value().text)).is_ok());
+  vm::VmConfig config;
+  config.engine = engine;
+  vm::Vm machine(twin.enclave, config);
+  VmObservation obs;
+  obs.result = machine.run(TwinVm::kText, TwinVm::kStackTop);
+  auto ssa = twin.space.copy_out(TwinVm::kSsa, 0x200);
+  EXPECT_TRUE(ssa.is_ok());
+  if (ssa.is_ok()) obs.ssa = ssa.take();
+  return obs;
+}
+
+void expect_identical_vm(const AsmProgram& prog, sgx::AexPolicy aex,
+                         const std::string& what,
+                         const std::function<void(const VmObservation&)>& also = {}) {
+  VmObservation step = observe(prog, vm::Engine::Step, aex);
+  VmObservation block = observe(prog, vm::Engine::Block, aex);
+  EXPECT_EQ(step.result.exit, block.result.exit) << what;
+  EXPECT_EQ(step.result.exit_code, block.result.exit_code) << what;
+  EXPECT_EQ(step.result.fault_code, block.result.fault_code) << what;
+  EXPECT_EQ(step.result.fault_addr, block.result.fault_addr) << what;
+  EXPECT_EQ(step.result.cost, block.result.cost) << what;
+  EXPECT_EQ(step.result.instructions, block.result.instructions) << what;
+  EXPECT_EQ(step.result.aex_count, block.result.aex_count) << what;
+  EXPECT_EQ(step.ssa, block.ssa) << what << ": SSA frames diverge";
+  if (also) also(block);
+}
+
+TEST(EngineDifferentialVm, AexHeavyLoopSnapshotsIdenticalSsaFrames) {
+  // A tight counted loop under a high-frequency burst schedule: nearly every
+  // block dispatch crosses an AEX threshold, so the block engine spends most
+  // of its time on the single-step fallback. The SSA frame written by the
+  // final AEX captures the interrupted register file *before* the
+  // interrupted instruction executed — byte-identical frames prove the
+  // batched accounting never shifts an AEX by even one instruction.
+  AsmProgram p;
+  p.movri(Reg::RAX, 0);
+  p.movri(Reg::RCX, 500);
+  p.label("loop");
+  p.op_ri(Op::AddRI, Reg::RAX, 3);
+  p.op_ri(Op::SubRI, Reg::RCX, 1);
+  p.op_ri(Op::CmpRI, Reg::RCX, 0);
+  p.jcc(Cond::NE, "loop");
+  p.hlt();
+  expect_identical_vm(p, sgx::AexPolicy{/*interval_cost=*/50, /*burst=*/2},
+                      "aex-heavy loop", [](const VmObservation& obs) {
+                        EXPECT_EQ(obs.result.exit, vm::Exit::Halt);
+                        EXPECT_EQ(obs.result.exit_code, 1500u);
+                        EXPECT_GT(obs.result.aex_count, 10u);
+                      });
+}
+
+TEST(EngineDifferentialVm, FaultMidBlockReportsIdenticalState) {
+  // The faulting load sits in the middle of a straight-line block: the block
+  // engine predecoded past it, so it must unwind with exactly the partial
+  // cost/instruction counts the step engine accrues up to the fault.
+  AsmProgram p;
+  p.movri(Reg::RAX, 1);
+  p.op_ri(Op::AddRI, Reg::RAX, 2);
+  p.op_ri(Op::AddRI, Reg::RAX, 3);
+  p.movri(Reg::RBX, TwinVm::kGuard + 0x10);
+  p.load(Reg::RDX, Mem::base_disp(Reg::RBX, 0));  // guard page: perm fault
+  p.op_ri(Op::AddRI, Reg::RAX, 4);                // never reached
+  p.hlt();
+  expect_identical_vm(p, {}, "fault mid-block", [](const VmObservation& obs) {
+    EXPECT_EQ(obs.result.exit, vm::Exit::Fault);
+    EXPECT_EQ(obs.result.fault_code, "load_perm");
+    EXPECT_EQ(obs.result.fault_addr, TwinVm::kGuard + 0x10);
+  });
+}
+
+TEST(EngineDifferentialVm, JumpIntoNonExecutablePageFaultsIdentically) {
+  AsmProgram p;
+  p.movri(Reg::RBX, TwinVm::kData);
+  p.jmpind(Reg::RBX);  // block entry on a page without X
+  p.hlt();
+  expect_identical_vm(p, {}, "jump to non-exec page",
+                      [](const VmObservation& obs) {
+                        EXPECT_EQ(obs.result.exit, vm::Exit::Fault);
+                        EXPECT_EQ(obs.result.fault_code, "exec_perm");
+                        EXPECT_EQ(obs.result.fault_addr, TwinVm::kData);
+                      });
+}
+
+TEST(EngineDifferentialVm, SelfModifyingStoreAbortsStaleTrace) {
+  // The program overwrites the first byte of an instruction LATER IN ITS OWN
+  // BLOCK with the Hlt opcode. The step engine re-decodes every instruction
+  // and simply halts; the block engine predecoded the whole straight line,
+  // so it must notice the text-generation bump after the store and abandon
+  // the stale trace remainder. Executing the stale `movri RAX, 99` instead
+  // would be a silent verification bypass.
+  auto hlt_enc = isa::assemble([] {
+    AsmProgram h;
+    h.hlt();
+    return h;
+  }());
+  ASSERT_TRUE(hlt_enc.is_ok());
+  const std::uint8_t hlt_byte = hlt_enc.value().text[0];
+
+  auto make = [&](std::uint64_t patch_addr) {
+    AsmProgram p;
+    p.movri(Reg::RAX, 11);
+    p.movri(Reg::RCX, static_cast<std::int64_t>(patch_addr));
+    p.movri(Reg::RBX, hlt_byte);
+    p.store8(Mem::base_disp(Reg::RCX, 0), Reg::RBX);  // patch ahead of RIP
+    p.op_ri(Op::AddRI, Reg::RAX, 1);
+    p.label("target");
+    p.movri(Reg::RAX, 99);  // first byte becomes Hlt before execution
+    p.hlt();
+    return p;
+  };
+  // Every layout has a fixed length, so label offsets are independent of the
+  // immediates: assemble once with a placeholder to learn `target`'s offset.
+  auto probe = isa::assemble(make(0));
+  ASSERT_TRUE(probe.is_ok());
+  const std::uint64_t patch_addr =
+      TwinVm::kText + probe.value().labels.at("target");
+
+  expect_identical_vm(make(patch_addr), {}, "self-modifying store",
+                      [](const VmObservation& obs) {
+                        EXPECT_EQ(obs.result.exit, vm::Exit::Halt);
+                        EXPECT_EQ(obs.result.exit_code, 12u)
+                            << "stale trace executed past the patched text";
+                      });
+}
+
+TEST(EngineDifferentialVm, CopyInOverTextForcesRedecodeOnBothEngines) {
+  // Regression for the copy_in text-generation bug: the loader path patches
+  // text between two runs of the SAME Vm. Without the generation bump the
+  // step engine's decode cache and the block engine's trace cache would both
+  // replay the first program's instructions.
+  auto assemble_ret = [](std::int64_t value) {
+    AsmProgram p;
+    p.movri(Reg::RAX, value);
+    p.hlt();
+    auto enc = isa::assemble(p);
+    EXPECT_TRUE(enc.is_ok());
+    return enc.value().text;
+  };
+  for (vm::Engine engine : {vm::Engine::Step, vm::Engine::Block}) {
+    TwinVm twin;
+    ASSERT_TRUE(
+        twin.space.copy_in(TwinVm::kText, BytesView(assemble_ret(1))).is_ok());
+    vm::VmConfig config;
+    config.engine = engine;
+    vm::Vm machine(twin.enclave, config);
+    auto first = machine.run(TwinVm::kText, TwinVm::kStackTop);
+    EXPECT_EQ(first.exit, vm::Exit::Halt);
+    EXPECT_EQ(first.exit_code, 1u);
+    ASSERT_TRUE(
+        twin.space.copy_in(TwinVm::kText, BytesView(assemble_ret(2))).is_ok());
+    auto second = machine.run(TwinVm::kText, TwinVm::kStackTop);
+    EXPECT_EQ(second.exit, vm::Exit::Halt);
+    EXPECT_EQ(second.exit_code, 2u)
+        << "engine " << static_cast<int>(engine)
+        << " replayed stale decoded text after copy_in";
+  }
+}
+
+TEST(EngineDifferentialVm, CostLimitTripsAtIdenticalInstruction) {
+  // max_cost lands mid-block: the block engine must fall back to stepping
+  // and trip CostLimit at exactly the reference instruction boundary.
+  AsmProgram p;
+  p.movri(Reg::RCX, 1'000'000);
+  p.label("loop");
+  p.op_ri(Op::SubRI, Reg::RCX, 1);
+  p.op_ri(Op::CmpRI, Reg::RCX, 0);
+  p.jcc(Cond::NE, "loop");
+  p.hlt();
+  auto run_with_limit = [&](vm::Engine engine) {
+    TwinVm twin;
+    auto enc = isa::assemble(p);
+    EXPECT_TRUE(enc.is_ok());
+    EXPECT_TRUE(
+        twin.space.copy_in(TwinVm::kText, BytesView(enc.value().text)).is_ok());
+    vm::VmConfig config;
+    config.engine = engine;
+    config.max_cost = 12'345;
+    vm::Vm machine(twin.enclave, config);
+    return machine.run(TwinVm::kText, TwinVm::kStackTop);
+  };
+  auto step = run_with_limit(vm::Engine::Step);
+  auto block = run_with_limit(vm::Engine::Block);
+  EXPECT_EQ(step.exit, vm::Exit::CostLimit);
+  EXPECT_EQ(block.exit, vm::Exit::CostLimit);
+  EXPECT_EQ(step.cost, block.cost);
+  EXPECT_EQ(step.instructions, block.instructions);
+}
+
+}  // namespace
+}  // namespace deflection::testing

@@ -71,6 +71,100 @@ TEST(AddressSpace, TextWriteGenerationBumpsOnXPageWrites) {
   EXPECT_GT(space.text_write_generation(), gen);  // RWX page: bump
 }
 
+TEST(AddressSpace, TopOfAddressSpaceEnclaveChecksDoNotWrap) {
+  // Enclave occupying the last two pages of the 64-bit address space: the
+  // old `addr + len > end` boundary form wrapped here and either rejected
+  // valid accesses or (worse) accepted ones running past the top.
+  const std::uint64_t top_base = ~0ull - 0x1FFF;  // 0xFFFF'FFFF'FFFF'E000
+  AddressSpace space(kHostBase, 0x4000, top_base, 0x2000);
+  ASSERT_TRUE(space.set_page_perms(top_base, 0x2000, kPermRW).is_ok());
+  EXPECT_TRUE(space.in_enclave(top_base));
+  EXPECT_TRUE(space.in_enclave(~0ull));
+  EXPECT_FALSE(space.in_enclave(top_base - 1));
+  EXPECT_EQ(space.span_to_region_end(~0ull), 1u);
+  EXPECT_EQ(space.span_to_region_end(top_base), 0x2000u);
+
+  MemFault fault;
+  std::uint64_t v;
+  // The topmost 8 bytes are accessible...
+  EXPECT_TRUE(space.write_u64(~0ull - 7, 0x1122334455667788ull, fault));
+  EXPECT_TRUE(space.read_u64(~0ull - 7, v, fault));
+  EXPECT_EQ(v, 0x1122334455667788ull);
+  std::uint8_t b;
+  EXPECT_TRUE(space.read_u8(~0ull, b, fault));
+  EXPECT_EQ(b, 0x11);
+  // ...but an 8-byte access starting closer than 8 bytes to the top must be
+  // out of bounds, not wrap to "fits".
+  EXPECT_FALSE(space.read_u64(~0ull - 6, v, fault));
+  EXPECT_EQ(fault.code, "oob");
+  EXPECT_FALSE(space.write_u64(~0ull, 1, fault));
+  EXPECT_EQ(fault.code, "oob");
+  EXPECT_NE(space.raw(~0ull, 1), nullptr);
+  EXPECT_EQ(space.raw(~0ull, 2), nullptr);
+  // Permission ranges reaching past the top are rejected.
+  EXPECT_EQ(space.set_page_perms(~0ull - 0xFFF, 0x2000, kPermRW).code(),
+            "perm_range");
+}
+
+TEST(AddressSpace, TopOfAddressSpaceHostChecksDoNotWrap) {
+  const std::uint64_t top_base = ~0ull - 0xFFF;  // last page is host memory
+  AddressSpace space(top_base, 0x1000, kEnclaveBase, 0x1000);
+  EXPECT_TRUE(space.in_host(~0ull));
+  EXPECT_FALSE(space.in_host(top_base - 1));
+  MemFault fault;
+  std::uint64_t v;
+  EXPECT_TRUE(space.write_u64(~0ull - 7, 42, fault));
+  EXPECT_TRUE(space.read_u64(~0ull - 7, v, fault));
+  EXPECT_EQ(v, 42u);
+  EXPECT_FALSE(space.read_u64(~0ull - 3, v, fault));
+  EXPECT_EQ(fault.code, "oob");
+  EXPECT_EQ(space.raw(~0ull, 2), nullptr);
+}
+
+TEST(AddressSpace, PermGenerationInvalidatesCachedTranslations) {
+  AddressSpace space(kHostBase, 0x4000, kEnclaveBase, 0x4000);
+  ASSERT_TRUE(space.set_page_perms(kEnclaveBase, 0x1000, kPermRW).is_ok());
+  MemFault fault;
+  // Prime the data micro-TLB with a successful write...
+  ASSERT_TRUE(space.write_u64(kEnclaveBase + 8, 1, fault));
+  std::uint64_t gen = space.perm_generation();
+  // ...then restrict the page; the cached RW translation must not survive.
+  ASSERT_TRUE(space.set_page_perms(kEnclaveBase, 0x1000, kPermR).is_ok());
+  EXPECT_GT(space.perm_generation(), gen);
+  EXPECT_FALSE(space.write_u64(kEnclaveBase + 8, 2, fault));
+  EXPECT_EQ(fault.code, "perm");
+  std::uint64_t v;
+  EXPECT_TRUE(space.read_u64(kEnclaveBase + 8, v, fault));
+  EXPECT_EQ(v, 1u);
+}
+
+TEST(AddressSpace, CopyInBumpsTextGenerationOnExecutablePages) {
+  AddressSpace space(kHostBase, 0x4000, kEnclaveBase, 0x4000);
+  ASSERT_TRUE(space.set_page_perms(kEnclaveBase, 0x1000, kPermRW).is_ok());
+  ASSERT_TRUE(space.set_page_perms(kEnclaveBase + 0x1000, 0x1000, kPermRWX).is_ok());
+  Bytes data(64, 0xAB);
+
+  // RW-only target: no decode caches to invalidate.
+  std::uint64_t gen = space.text_write_generation();
+  ASSERT_TRUE(space.copy_in(kEnclaveBase + 0x100, BytesView(data)).is_ok());
+  EXPECT_EQ(space.text_write_generation(), gen);
+
+  // Target inside an executable page: must bump (the latent hazard this
+  // regression test pins — write_u8/write_u64 bumped, copy_in did not).
+  ASSERT_TRUE(space.copy_in(kEnclaveBase + 0x1100, BytesView(data)).is_ok());
+  EXPECT_GT(space.text_write_generation(), gen);
+
+  // Range that merely *overlaps* the executable page must bump too.
+  gen = space.text_write_generation();
+  ASSERT_TRUE(space.copy_in(kEnclaveBase + 0x1000 - 32, BytesView(data)).is_ok());
+  EXPECT_GT(space.text_write_generation(), gen);
+
+  // Host writes never touch enclave decode state.
+  gen = space.text_write_generation();
+  ASSERT_TRUE(space.copy_in(kHostBase, BytesView(data)).is_ok());
+  EXPECT_EQ(space.text_write_generation(), gen);
+}
+
 TEST(Enclave, MeasurementIsDeterministic) {
   auto build = [](std::uint8_t fill) {
     AddressSpace space(kHostBase, 0x1000, kEnclaveBase, 0x3000);

@@ -4,6 +4,8 @@
 #
 #   tools/check.sh              # all three flavors
 #   tools/check.sh plain asan   # a subset
+#   tools/check.sh --perf       # additionally gate VM dispatch throughput
+#                               # against the committed BENCH_vm.json baseline
 #   JOBS=4 tools/check.sh       # cap build/test parallelism
 #
 # Build trees are build-check-<flavor>/ at the repo root, kept apart from
@@ -12,7 +14,14 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
-flavors=("$@")
+perf=0
+flavors=()
+for arg in "$@"; do
+  case "$arg" in
+    --perf) perf=1 ;;
+    *) flavors+=("$arg") ;;
+  esac
+done
 if [ ${#flavors[@]} -eq 0 ]; then
   flavors=(plain asan tsan)
 fi
@@ -38,5 +47,19 @@ for flavor in "${flavors[@]}"; do
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
     | tail -n 3
 done
+
+if [ "$perf" -eq 1 ]; then
+  # Wall-clock gate, so it only makes sense on the uninstrumented build: the
+  # block engine's instructions/sec must stay within 20% of the committed
+  # baseline (bench_vm_dispatch exits non-zero on a larger regression).
+  perf_dir="$repo_root/build-check-plain"
+  if [ ! -x "$perf_dir/bench/bench_vm_dispatch" ]; then
+    echo "==> [perf] building plain tree for the dispatch benchmark"
+    cmake -B "$perf_dir" -S "$repo_root" >/dev/null
+    cmake --build "$perf_dir" -j "$jobs" --target bench_vm_dispatch >/dev/null
+  fi
+  echo "==> [perf] bench_vm_dispatch --check BENCH_vm.json"
+  "$perf_dir/bench/bench_vm_dispatch" --check "$repo_root/BENCH_vm.json"
+fi
 
 echo "==> all flavors passed: ${flavors[*]}"
