@@ -9,9 +9,23 @@
 //    response is held to a wall-clock quantum multiple, so serving is
 //    latency-bound and the pool's benefit is overlap: throughput scales
 //    near-linearly with workers even on a single core.
+//
+// Flags:
+//   --json          emit the fault-free serving baseline (pool_rps at 4
+//                   workers, compute variant) as machine-readable JSON
+//   --check <file>  run, then compare pool_rps against the committed
+//                   baseline (BENCH_serving.json); exits non-zero on a
+//                   >25% regression. Used by `tools/check.sh --perf`.
+// Without flags the full Google-Benchmark sweep runs as before.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <future>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "codegen/compile.h"
@@ -86,6 +100,99 @@ void BM_PoolThroughputBlurred(benchmark::State& state) {
 }
 BENCHMARK(BM_PoolThroughputBlurred)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+// The fault-free serving baseline: requests/sec through a warmed 4-worker
+// pool, compute variant, best of three passes over the same pool (repetition
+// removes host noise; the pool stays warm, which is the regression we gate —
+// the per-request seam overhead of the chaos/resilience layer when no
+// FaultPlan is armed).
+double measure_pool_rps() {
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  constexpr int kWorkers = 4;
+  auto pool = core::ServicePool::create(service_dxo(), config, kWorkers, {});
+  if (!pool.is_ok()) {
+    std::fprintf(stderr, "pool create failed: %s\n", pool.message().c_str());
+    return -1;
+  }
+  for (int i = 0; i < kWorkers; ++i) {
+    Bytes request = {3};
+    pool.value()->submit(BytesView(request));
+  }
+  constexpr int kBatch = 16, kRounds = 40, kPasses = 3;
+  double best = 0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int round = 0; round < kRounds; ++round) {
+      std::vector<std::future<core::ServicePool::Response>> futures;
+      futures.reserve(kBatch);
+      for (int i = 0; i < kBatch; ++i) {
+        Bytes request = {static_cast<std::uint8_t>(i % 16 + 1)};
+        futures.push_back(pool.value()->submit_async(BytesView(request)));
+      }
+      for (auto& f : futures)
+        if (!f.get().is_ok()) {
+          std::fprintf(stderr, "serve failed mid-measurement\n");
+          return -1;
+        }
+    }
+    double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                      .count();
+    double rps = secs > 0 ? kBatch * kRounds / secs : 0;
+    if (rps > best) best = rps;
+  }
+  return best;
+}
+
+// Minimal extractor for the one key --check needs from our own JSON format.
+double json_number_after(const std::string& text, const std::string& key) {
+  auto pos = text.find("\"" + key + "\":");
+  if (pos == std::string::npos) return -1;
+  return std::strtod(text.c_str() + pos + key.size() + 3, nullptr);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json = false;
+  const char* check_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc)
+      check_path = argv[++i];
+  }
+  if (!json && check_path == nullptr) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+
+  double rps = measure_pool_rps();
+  if (rps <= 0) return 1;
+  if (json)
+    std::printf("{\n  \"bench\": \"pool_throughput\",\n  \"pool_rps\": %.0f\n}\n", rps);
+  else
+    std::printf("pool throughput (4 workers, compute): %.0f req/s\n", rps);
+
+  if (check_path != nullptr) {
+    std::ifstream in(check_path);
+    if (!in) {
+      std::fprintf(stderr, "--check: cannot open %s\n", check_path);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    double baseline = json_number_after(buf.str(), "pool_rps");
+    if (baseline <= 0) {
+      std::fprintf(stderr, "--check: no pool_rps in %s\n", check_path);
+      return 1;
+    }
+    double ratio = rps / baseline;
+    std::fprintf(stderr, "--check: pool_rps %.0f vs baseline %.0f (%.2fx)\n", rps,
+                 baseline, ratio);
+    if (ratio < 0.75) {
+      std::fprintf(stderr, "--check: FAIL — >25%% regression vs %s\n", check_path);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -13,10 +13,23 @@
 //
 // Closed-loop clients (one thread per tenant, next request after the
 // previous response) give exact per-request latencies for the p95.
+//
+// Flags:
+//   --json          emit the fault-free serving baseline (registry_rps and
+//                   registry_p95_us at 4 tenants / 4 slots) as JSON
+//   --check <file>  run, then compare registry_rps against the committed
+//                   baseline (BENCH_serving.json); exits non-zero on a
+//                   >25% regression. Used by `tools/check.sh --perf`.
+// Without flags the full Google-Benchmark sweep runs as before.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -122,6 +135,132 @@ void BM_RegistryMultiTenant(benchmark::State& state) {
 
 BENCHMARK(BM_RegistryMultiTenant)->Arg(1)->Arg(4)->Arg(16)->UseRealTime();
 
+// The fault-free serving baseline: 4 tenants over 4 slots (steady affinity
+// state — no rebinds), closed-loop, best-of-three passes over the same
+// router. This is the hot path the chaos/resilience seams ride on; with no
+// FaultPlan armed and retry/breaker at their defaults the seams must cost
+// nothing measurable, which `--check` gates.
+bool measure_registry(double* rps_out, double* p95_out) {
+  constexpr int kTenants = 4, kPasses = 3, kRounds = 10;
+  registry::RouterOptions options;
+  options.slots = kSlots;
+  options.config.verify.required = PolicySet::p1to5();
+  auto router = registry::TenantRouter::create(options);
+  if (!router.is_ok()) {
+    std::fprintf(stderr, "router create failed: %s\n", router.message().c_str());
+    return false;
+  }
+  std::vector<std::string> ids;
+  for (int t = 0; t < kTenants; ++t) {
+    auto compiled = codegen::compile(tenant_source(t), PolicySet::p1to5());
+    if (!compiled.is_ok()) return false;
+    std::string id = "tenant-" + std::to_string(t);
+    if (!router.value()->register_tenant(id, compiled.value().dxo).is_ok())
+      return false;
+    ids.push_back(std::move(id));
+  }
+  // Warm: every tenant binds its slot and pays the one-time admission.
+  for (int t = 0; t < kTenants; ++t) {
+    Bytes payload = {1, static_cast<std::uint8_t>(t + 1)};
+    if (!router.value()->submit(ids[static_cast<std::size_t>(t)], BytesView(payload))
+             .is_ok())
+      return false;
+  }
+
+  double best_rps = 0, best_p95 = 0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    std::vector<std::vector<double>> per_client(kTenants);
+    std::vector<std::thread> clients;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int t = 0; t < kTenants; ++t) {
+      clients.emplace_back([&, t] {
+        auto& sink = per_client[static_cast<std::size_t>(t)];
+        sink.reserve(kRounds * kRequestsPerTenant);
+        for (int i = 0; i < kRounds * kRequestsPerTenant; ++i) {
+          Bytes payload = {static_cast<std::uint8_t>(i % 16 + 1),
+                           static_cast<std::uint8_t>(t + 1)};
+          auto begin = std::chrono::steady_clock::now();
+          auto response = router.value()->submit(ids[static_cast<std::size_t>(t)],
+                                                 BytesView(payload));
+          auto end = std::chrono::steady_clock::now();
+          benchmark::DoNotOptimize(response);
+          sink.push_back(
+              std::chrono::duration<double, std::micro>(end - begin).count());
+        }
+      });
+    }
+    for (auto& client : clients) client.join();
+    double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    std::vector<double> latencies;
+    for (auto& sink : per_client)
+      latencies.insert(latencies.end(), sink.begin(), sink.end());
+    std::sort(latencies.begin(), latencies.end());
+    double rps = secs > 0 ? static_cast<double>(latencies.size()) / secs : 0;
+    if (rps > best_rps) {
+      best_rps = rps;
+      best_p95 = latencies[latencies.size() * 95 / 100];
+    }
+  }
+  *rps_out = best_rps;
+  *p95_out = best_p95;
+  return best_rps > 0;
+}
+
+// Minimal extractor for the one key --check needs from our own JSON format.
+double json_number_after(const std::string& text, const std::string& key) {
+  auto pos = text.find("\"" + key + "\":");
+  if (pos == std::string::npos) return -1;
+  return std::strtod(text.c_str() + pos + key.size() + 3, nullptr);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json = false;
+  const char* check_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc)
+      check_path = argv[++i];
+  }
+  if (!json && check_path == nullptr) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+
+  double rps = 0, p95 = 0;
+  if (!measure_registry(&rps, &p95)) return 1;
+  if (json)
+    std::printf(
+        "{\n  \"bench\": \"registry_multitenant\",\n  \"registry_rps\": %.0f,\n"
+        "  \"registry_p95_us\": %.1f\n}\n",
+        rps, p95);
+  else
+    std::printf("registry throughput (4 tenants / 4 slots): %.0f req/s, p95 %.1f us\n",
+                rps, p95);
+
+  if (check_path != nullptr) {
+    std::ifstream in(check_path);
+    if (!in) {
+      std::fprintf(stderr, "--check: cannot open %s\n", check_path);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    double baseline = json_number_after(buf.str(), "registry_rps");
+    if (baseline <= 0) {
+      std::fprintf(stderr, "--check: no registry_rps in %s\n", check_path);
+      return 1;
+    }
+    double ratio = rps / baseline;
+    std::fprintf(stderr, "--check: registry_rps %.0f vs baseline %.0f (%.2fx)\n", rps,
+                 baseline, ratio);
+    if (ratio < 0.75) {
+      std::fprintf(stderr, "--check: FAIL — >25%% regression vs %s\n", check_path);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -249,6 +249,8 @@ Status BootstrapEnclave::ensure_verified() {
   if (!dxo_.has_value())
     return Status::fail("no_binary", "no service binary delivered");
   if (verified_) return Status::ok();
+  if (auto s = fault_check(config_.fault_plan, fault_site::kCacheLookup); !s.is_ok())
+    return s;
   verifier::Loader loader(*enclave_, layout_);
   auto loaded = loader.load(*dxo_);
   if (!loaded.is_ok()) return loaded.status();
@@ -294,11 +296,13 @@ Status BootstrapEnclave::ensure_verified() {
 
 Status BootstrapEnclave::ecall_prepare() { return ensure_verified(); }
 
-Result<RunOutcome> BootstrapEnclave::ecall_run() {
+Result<RunOutcome> BootstrapEnclave::ecall_run(std::uint64_t cost_limit) {
   if (auto s = ensure_verified(); !s.is_ok()) return s.error();
 
   RunOutcome outcome;
-  vm::Vm machine(*enclave_, config_.vm);
+  vm::VmConfig vm_cfg = config_.vm;
+  if (cost_limit > 0 && cost_limit < vm_cfg.max_cost) vm_cfg.max_cost = cost_limit;
+  vm::Vm machine(*enclave_, vm_cfg);
   machine.set_block_cache(&block_cache_);
   if (trace_) machine.set_trace_hook(trace_);
   machine.set_ocall_handler([this, &outcome](std::uint8_t num, std::uint64_t rdi,

@@ -16,6 +16,7 @@
 #include "codegen/dxo.h"
 #include "crypto/dh.h"
 #include "sgx/attestation.h"
+#include "support/fault.h"
 #include "sgx/platform.h"
 #include "verifier/cache.h"
 #include "verifier/verify.h"
@@ -52,6 +53,11 @@ struct BootstrapConfig {
   // verifier produced, never change one, so enabling it does not alter the
   // consumer's admission behaviour.
   std::shared_ptr<verifier::VerificationCache> verify_cache;
+  // Optional chaos seam (support/fault.h). Checked at the admission-cache
+  // lookup (`cache_lookup` site). Like the cache pointer, this is test/ops
+  // plumbing, not behaviour the data owner must audit, so it is not part of
+  // the measured image.
+  FaultPlanPtr fault_plan;
   std::uint64_t host_base = 0x10000;
   std::uint64_t host_size = 4 * 1024 * 1024;
   std::uint64_t enclave_base = 0x7000'0000'0000ull;
@@ -113,8 +119,10 @@ class BootstrapEnclave {
   // provision time instead of on the first request. Idempotent; ecall_run
   // performs the same admission lazily if this was never called.
   Status ecall_prepare();
-  // ecall_run: verify (if not yet verified) and execute the service.
-  Result<RunOutcome> ecall_run();
+  // ecall_run: verify (if not yet verified) and execute the service. A
+  // non-zero cost_limit tightens (never loosens) the configured VM budget
+  // for this run only — the per-request deadline hook.
+  Result<RunOutcome> ecall_run(std::uint64_t cost_limit = 0);
 
   // --- Sealed service state (SGX sealing, EGETKEY-bound) ---
   // Snapshots the service's data region (globals + used heap) sealed under

@@ -15,14 +15,14 @@ Result<std::unique_ptr<ServicePool>> ServicePool::create(const codegen::Dxo& ser
     pool->cache_ = std::make_shared<verifier::VerificationCache>();
   BootstrapConfig worker_config = config;
   worker_config.verify_cache = pool->cache_;
+  worker_config.fault_plan = options.fault_plan;
+  pool->as_.set_fault_plan(options.fault_plan);
   for (int i = 0; i < workers; ++i) {
     auto w = std::make_unique<Worker>();
     w->unit = std::make_unique<ServiceWorker>(pool->as_, worker_config, i,
                                               "pool-platform-",
                                               "worker " + std::to_string(i));
-    if (auto s = w->unit->provision(service, /*is_reprovision=*/false,
-                                    options.provision_fault);
-        !s.is_ok())
+    if (auto s = w->unit->provision(service, /*is_reprovision=*/false); !s.is_ok())
       return Result<std::unique_ptr<ServicePool>>::fail(s.code(),
                                                         w->unit->tag(s.message()));
     pool->workers_.push_back(std::move(w));
@@ -56,16 +56,18 @@ void ServicePool::worker_main(Worker& w) {
       // Re-provision before touching another request: enclave reset, fresh
       // handshake, binary re-upload (admission replayed from the shared
       // cache when enabled, fully re-verified otherwise).
-      Status restored = w.unit->reprovision(service_, options_.provision_fault);
+      Status restored = w.unit->reprovision(service_);
       if (restored.is_ok()) {
         w.health = WorkerHealth::Healthy;
         std::lock_guard lock(stats_mutex_);
         ++stats_.retries;
+        ++stats_.workers[idx].reprovisions;
         stats_.workers[idx].health = WorkerHealth::Healthy;
       } else {
         // Still poisoned: answer with the provisioning error and keep the
         // quarantine so the next request tries again.
         std::lock_guard lock(stats_mutex_);
+        ++stats_.reprovision_failures;
         ++stats_.requests_failed;
         ++stats_.workers[idx].failed;
         response = Response::fail(
@@ -75,7 +77,7 @@ void ServicePool::worker_main(Worker& w) {
     }
     if (!response.has_value()) {
       ServiceWorker::ServeMetrics metrics;
-      response = w.unit->serve(req.payload, &metrics);
+      response = w.unit->serve(req.payload, &metrics, options_.cost_budget);
       std::lock_guard lock(stats_mutex_);
       stats_.total_cost += metrics.cost;
       stats_.workers[idx].cost += metrics.cost;
@@ -83,6 +85,7 @@ void ServicePool::worker_main(Worker& w) {
         ++stats_.requests_served;
         ++stats_.workers[idx].served;
       } else {
+        if (response->code() == "deadline_exceeded") ++stats_.deadline_exceeded;
         // Any error path may leave the worker holding stale request state
         // (e.g. sealed userdata queued but never consumed), so it is
         // quarantined rather than silently reused.

@@ -41,6 +41,8 @@ struct PoolStats {
   std::uint64_t requests_failed = 0;   // requests answered with an error
   std::uint64_t violations = 0;        // aborts through the violation stub
   std::uint64_t retries = 0;           // worker re-provisions performed
+  std::uint64_t reprovision_failures = 0;  // re-provision attempts that failed
+  std::uint64_t deadline_exceeded = 0;     // requests cut off by a cost budget
   std::size_t queue_high_water = 0;    // deepest request backlog observed
   std::uint64_t total_cost = 0;        // VM cost accrued across all workers
   // Shared admission-cache counters (all zero when the cache is disabled):
@@ -52,6 +54,7 @@ struct PoolStats {
     std::uint64_t failed = 0;
     std::uint64_t cost = 0;
     std::uint64_t quarantines = 0;     // times this worker was quarantined
+    std::uint64_t reprovisions = 0;    // successful re-provisions of this worker
     WorkerHealth health = WorkerHealth::Healthy;
   };
   std::vector<WorkerStats> workers;
@@ -75,10 +78,16 @@ struct PoolOptions {
   // verdict, paying only the per-worker immediate rewrite. Disable to force
   // every admission through the full verifier.
   bool share_verification_cache = true;
-  // Fault-injection seam (tests / chaos drills): when set, invoked at the
-  // start of every worker (re-)provision; a failure aborts that provision
-  // and is reported exactly like any other provisioning error.
-  ProvisionFault provision_fault;
+  // Fault-injection seam (tests / chaos drills): when set, the plan is
+  // installed on the pool's attestation service and every worker enclave,
+  // so the `provision`, `serve`, `seal_input`, `ecall_run`, `cache_lookup`
+  // and `quote_verify` sites are live. Null (the default) keeps every seam
+  // a single pointer test.
+  FaultPlanPtr fault_plan;
+  // Per-request VM cost budget applied to every serve (0 = none): a run cut
+  // off by it fails with code "deadline_exceeded" and quarantines the
+  // worker like any other serve error.
+  std::uint64_t cost_budget = 0;
 };
 
 class ServicePool {

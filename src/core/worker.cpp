@@ -5,7 +5,7 @@ namespace deflection::core {
 ServiceWorker::ServiceWorker(sgx::AttestationService& as, const BootstrapConfig& config,
                              int index, const std::string& platform_prefix,
                              const std::string& label)
-    : index_(index), label_(label) {
+    : index_(index), label_(label), fault_plan_(config.fault_plan) {
   quoting_ = std::make_unique<sgx::QuotingEnclave>(
       as.provision(platform_prefix + std::to_string(index),
                    1000 + static_cast<std::uint64_t>(index)));
@@ -20,10 +20,9 @@ ServiceWorker::ServiceWorker(sgx::AttestationService& as, const BootstrapConfig&
 }
 
 Status ServiceWorker::provision(const codegen::Dxo& service, bool is_reprovision,
-                                const ProvisionFault& fault, bool strict_admission) {
-  if (fault) {
-    if (auto s = fault(index_, is_reprovision); !s.is_ok()) return s;
-  }
+                                bool strict_admission) {
+  (void)is_reprovision;
+  if (auto s = fault_check(fault_plan_, fault_site::kProvision); !s.is_ok()) return s;
   auto owner_offer = enclave_->open_channel(Role::DataOwner, owner_->dh_public());
   if (auto s = owner_->accept(owner_offer); !s.is_ok()) return s;
   auto provider_offer =
@@ -40,10 +39,9 @@ Status ServiceWorker::provision(const codegen::Dxo& service, bool is_reprovision
   return Status::ok();
 }
 
-Status ServiceWorker::reprovision(const codegen::Dxo& service, const ProvisionFault& fault,
-                                  bool strict_admission) {
+Status ServiceWorker::reprovision(const codegen::Dxo& service, bool strict_admission) {
   if (auto s = reset(); !s.is_ok()) return s;
-  return provision(service, /*is_reprovision=*/true, fault, strict_admission);
+  return provision(service, /*is_reprovision=*/true, strict_admission);
 }
 
 Status ServiceWorker::reset() {
@@ -51,15 +49,25 @@ Status ServiceWorker::reset() {
   return enclave_->reset();
 }
 
-ServiceWorker::Response ServiceWorker::serve(const Bytes& payload, ServeMetrics* metrics) {
+ServiceWorker::Response ServiceWorker::serve(const Bytes& payload, ServeMetrics* metrics,
+                                             std::uint64_t cost_budget) {
   auto fail = [&](const std::string& code, const std::string& message) {
     return Response::fail(code, tag(message));
   };
+  if (auto s = fault_check(fault_plan_, fault_site::kServe); !s.is_ok())
+    return fail(s.code(), s.message());
+  if (auto s = fault_check(fault_plan_, fault_site::kSealInput); !s.is_ok())
+    return fail(s.code(), s.message());
   if (auto s = enclave_->ecall_receive_userdata(owner_->seal_input(BytesView(payload)));
       !s.is_ok())
     return fail(s.code(), s.message());
-  auto outcome = enclave_->ecall_run();
+  if (auto s = fault_check(fault_plan_, fault_site::kEcallRun); !s.is_ok())
+    return fail(s.code(), s.message());
+  auto outcome = enclave_->ecall_run(cost_budget);
   if (!outcome.is_ok()) return fail(outcome.code(), outcome.message());
+  if (cost_budget > 0 && outcome.value().result.exit == vm::Exit::CostLimit &&
+      cost_budget < enclave_->config().vm.max_cost)
+    return fail("deadline_exceeded", "request exceeded its VM cost budget");
   if (metrics != nullptr) {
     metrics->cost = outcome.value().result.cost;
     metrics->violation = outcome.value().policy_violation;

@@ -11,12 +11,12 @@
 // including the quarantine re-provision + admission-cache logic.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/protocol.h"
+#include "support/fault.h"
 
 namespace deflection::core {
 
@@ -24,11 +24,6 @@ namespace deflection::core {
 // slots: a unit whose request errored is Quarantined and must be
 // re-provisioned before it serves again.
 enum class WorkerHealth : std::uint8_t { Healthy = 0, Quarantined = 1 };
-
-// Fault-injection seam (tests / chaos drills): invoked at the start of
-// every (re-)provision; a failure aborts that provision and is reported
-// exactly like any other provisioning error.
-using ProvisionFault = std::function<Status(int worker_index, bool is_reprovision)>;
 
 class ServiceWorker {
  public:
@@ -63,23 +58,28 @@ class ServiceWorker {
   // registry's register-time gate; without it a non-compliant service is
   // deliberately NOT a provisioning failure: ecall_run re-runs admission,
   // so the verifier's error surfaces on every request, attributed to the
-  // worker that served it.
+  // worker that served it. Chaos seam: checks the `provision` site of
+  // the FaultPlan installed via BootstrapConfig::fault_plan (if any).
   Status provision(const codegen::Dxo& service, bool is_reprovision,
-                   const ProvisionFault& fault, bool strict_admission = false);
+                   bool strict_admission = false);
   // Quarantine recovery / tenant rebind: enclave reset (all session state
   // discarded) followed by a full provision cycle.
-  Status reprovision(const codegen::Dxo& service, const ProvisionFault& fault,
-                     bool strict_admission = false);
+  Status reprovision(const codegen::Dxo& service, bool strict_admission = false);
   Status reset();
 
   // One request: sealed input -> ecall_run -> opened outputs. Every error
   // is tagged with this worker's label; callers must treat any error as
-  // poisoning the enclave (quarantine + reprovision before reuse).
-  Response serve(const Bytes& payload, ServeMetrics* metrics = nullptr);
+  // poisoning the enclave (quarantine + reprovision before reuse). A
+  // non-zero cost_budget tightens the VM budget for this run; a run cut
+  // off by it fails with code "deadline_exceeded". Chaos seams: `serve`,
+  // `seal_input` and `ecall_run` sites.
+  Response serve(const Bytes& payload, ServeMetrics* metrics = nullptr,
+                 std::uint64_t cost_budget = 0);
 
  private:
   int index_;
   std::string label_;
+  FaultPlanPtr fault_plan_;
   std::unique_ptr<sgx::QuotingEnclave> quoting_;
   std::unique_ptr<BootstrapEnclave> enclave_;
   std::unique_ptr<DataOwner> owner_;

@@ -23,7 +23,6 @@ Result<crypto::Digest> TenantRegistry::admit(const TenantId& id,
   }
   admission_dirty_ = true;
   Status admitted = admission_->provision(service, /*is_reprovision=*/false,
-                                          core::ProvisionFault{},
                                           /*strict_admission=*/true);
   if (!admitted.is_ok())
     return R::fail(admitted.code(), "tenant '" + id + "': " + admitted.message());

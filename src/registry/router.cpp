@@ -1,5 +1,7 @@
 #include "registry/router.h"
 
+#include <algorithm>
+
 namespace deflection::registry {
 
 namespace {
@@ -22,15 +24,18 @@ Result<std::unique_ptr<TenantRouter>> TenantRouter::create(const RouterOptions& 
   router->cache_ = std::make_shared<verifier::VerificationCache>();
   core::BootstrapConfig config = options.config;
   config.verify_cache = router->cache_;
+  config.fault_plan = options.fault_plan;
   router->registry_ = std::make_unique<TenantRegistry>(config);
   EnclaveSlotScheduler::Options sched_options;
   sched_options.config = config;
-  sched_options.provision_fault = options.provision_fault;
+  sched_options.fault_plan = options.fault_plan;
+  sched_options.reprovision_backoff_base = options.reprovision_backoff_base;
+  sched_options.reprovision_backoff_max = options.reprovision_backoff_max;
   auto sched = EnclaveSlotScheduler::create(options.slots, sched_options);
   if (!sched.is_ok()) return R::fail(sched.code(), sched.message());
   router->scheduler_ = sched.take();
   for (int i = 0; i < options.slots; ++i)
-    router->threads_.emplace_back([raw = router.get()] { raw->worker_main(); });
+    router->threads_.emplace_back([raw = router.get(), i] { raw->worker_main(i); });
   return router;
 }
 
@@ -63,6 +68,7 @@ Result<crypto::Digest> TenantRouter::register_tenant(const TenantId& id,
   state->record = registry_->lookup(id);
   state->tokens = quota.burst;
   state->last_refill = std::chrono::steady_clock::now();
+  state->cooldown = options_.breaker.cooldown;
   {
     std::lock_guard lock(mutex_);
     retired_.erase(id);
@@ -93,10 +99,13 @@ Status TenantRouter::unregister_tenant(const TenantId& id) {
   return Status::ok();
 }
 
-std::future<TenantRouter::Response> TenantRouter::submit_async(const TenantId& id,
-                                                               BytesView request) {
+std::future<TenantRouter::Response> TenantRouter::submit_async(
+    const TenantId& id, BytesView request, const RequestOptions& request_options) {
   Pending pending;
   pending.payload = Bytes(request.begin(), request.end());
+  pending.cost_budget = request_options.cost_budget;
+  if (request_options.deadline.count() > 0)
+    pending.deadline = std::chrono::steady_clock::now() + request_options.deadline;
   std::future<Response> future = pending.promise.get_future();
   std::lock_guard lock(mutex_);
   if (stopped_) return rejected("stopped", "router is stopped");
@@ -105,6 +114,22 @@ std::future<TenantRouter::Response> TenantRouter::submit_async(const TenantId& i
     return rejected("unknown_tenant", "tenant '" + id + "' is not registered");
   TenantState& t = *it->second;
   if (t.draining) return rejected("draining", "tenant '" + id + "' is draining");
+  if (options_.breaker.failure_threshold > 0) {
+    auto now = std::chrono::steady_clock::now();
+    if (t.breaker == Breaker::Open) {
+      if (now < t.open_until) {
+        ++t.stats.rejected_breaker;
+        return rejected("circuit_open", "tenant '" + id + "' circuit breaker is open");
+      }
+      // Cooldown over: the next accepted submit is the half-open probe.
+      t.breaker = Breaker::HalfOpen;
+      t.probe_inflight = false;
+    }
+    if (t.breaker == Breaker::HalfOpen && t.probe_inflight) {
+      ++t.stats.rejected_breaker;
+      return rejected("circuit_open", "tenant '" + id + "' circuit breaker is probing");
+    }
+  }
   const TenantQuota& quota = t.record->quota;
   if (quota.requests_per_sec > 0.0) {
     auto now = std::chrono::steady_clock::now();
@@ -125,6 +150,12 @@ std::future<TenantRouter::Response> TenantRouter::submit_async(const TenantId& i
                         " requests pending (max " +
                         std::to_string(quota.max_pending) + ")");
   }
+  // Mark the probe only once every other intake gate has passed, so a
+  // rate/quota rejection can't leave a phantom probe in flight.
+  if (t.breaker == Breaker::HalfOpen) {
+    t.probe_inflight = true;
+    pending.is_probe = true;
+  }
   ++t.stats.submitted;
   t.queue.push_back(std::move(pending));
   t.stats.queue_high_water = std::max(t.stats.queue_high_water, t.queue.size());
@@ -133,8 +164,9 @@ std::future<TenantRouter::Response> TenantRouter::submit_async(const TenantId& i
   return future;
 }
 
-TenantRouter::Response TenantRouter::submit(const TenantId& id, BytesView request) {
-  return submit_async(id, request).get();
+TenantRouter::Response TenantRouter::submit(const TenantId& id, BytesView request,
+                                            const RequestOptions& request_options) {
+  return submit_async(id, request, request_options).get();
 }
 
 TenantRouter::TenantState* TenantRouter::pick_locked() {
@@ -159,15 +191,73 @@ TenantRouter::TenantState* TenantRouter::pick_locked() {
 
 TenantRouter::Response TenantRouter::serve_one(const TenantRecord& record,
                                                const Bytes& payload,
-                                               core::ServiceWorker::ServeMetrics* metrics) {
+                                               core::ServiceWorker::ServeMetrics* metrics,
+                                               std::uint64_t cost_budget,
+                                               bool* provision_stage) {
   auto lease = scheduler_->acquire(record.id, record.service);
-  if (!lease.is_ok()) return Response::fail(lease.code(), lease.message());
-  Response response = scheduler_->serve(lease.value(), payload, metrics);
+  // "no_idle_slot" is a scheduling artifact, not a request failure: with
+  // one lease per serving thread and threads == slots it only surfaces
+  // while unbind_tenant transiently claims a draining tenant's slots for
+  // their reset. Slot busyness is bounded (a reset, or another thread's
+  // in-flight request), so wait it out instead of failing the request.
+  while (!lease.is_ok() && lease.code() == "no_idle_slot") {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    lease = scheduler_->acquire(record.id, record.service);
+  }
+  if (!lease.is_ok()) {
+    if (provision_stage != nullptr) *provision_stage = true;
+    return Response::fail(lease.code(), lease.message());
+  }
+  Response response = scheduler_->serve(lease.value(), payload, metrics, cost_budget);
   scheduler_->release(lease.value(), response.is_ok());
   return response;
 }
 
-void TenantRouter::worker_main() {
+TenantRouter::Response TenantRouter::serve_with_retries(
+    const TenantRecord& record, const Pending& request,
+    core::ServiceWorker::ServeMetrics* metrics, Rng& jitter_rng,
+    std::uint64_t* retries_used) {
+  const int max_attempts = std::max(1, options_.retry.max_attempts);
+  std::uint64_t spent_cost = 0;
+  for (int attempt = 1;; ++attempt) {
+    if (std::chrono::steady_clock::now() >= request.deadline)
+      return Response::fail("deadline_exceeded", "request deadline passed");
+    std::uint64_t attempt_budget = 0;
+    if (request.cost_budget > 0) {
+      if (spent_cost >= request.cost_budget)
+        return Response::fail("deadline_exceeded",
+                              "request exhausted its VM cost budget");
+      attempt_budget = request.cost_budget - spent_cost;
+    }
+    core::ServiceWorker::ServeMetrics attempt_metrics;
+    bool provision_stage = false;
+    Response response = serve_one(record, request.payload, &attempt_metrics,
+                                  attempt_budget, &provision_stage);
+    spent_cost += attempt_metrics.cost;
+    if (metrics != nullptr) {
+      metrics->cost += attempt_metrics.cost;
+      metrics->violation = attempt_metrics.violation;
+    }
+    if (response.is_ok()) return response;
+    // Transient: nothing of the service ran (provision-stage failure) or
+    // the fault was injected by a chaos plan. Service-level outcomes —
+    // policy_violation, deadline_exceeded, auth failures — are final.
+    const bool transient = provision_stage || response.code() == "injected_fault";
+    if (!transient || attempt >= max_attempts) return response;
+    std::uint64_t shift = std::min<std::uint64_t>(static_cast<std::uint64_t>(attempt) - 1, 20);
+    auto delay = options_.retry.backoff_base * (std::int64_t{1} << shift);
+    if (delay > options_.retry.backoff_max) delay = options_.retry.backoff_max;
+    auto jittered = std::chrono::duration_cast<std::chrono::microseconds>(
+        delay * (0.5 + 0.5 * jitter_rng.uniform()));
+    if (jittered.count() > 0) std::this_thread::sleep_for(jittered);
+    ++*retries_used;
+  }
+}
+
+void TenantRouter::worker_main(int thread_index) {
+  // Deterministic per-thread jitter stream: chaos runs with a fixed seed
+  // replay the same backoff pattern per thread.
+  Rng jitter_rng(options_.jitter_seed + static_cast<std::uint64_t>(thread_index));
   for (;;) {
     std::unique_lock lock(mutex_);
     work_cv_.wait(lock, [&] { return total_pending_ > 0 || stopped_; });
@@ -187,7 +277,9 @@ void TenantRouter::worker_main() {
 
     auto picked_up = std::chrono::steady_clock::now();
     core::ServiceWorker::ServeMetrics metrics;
-    Response response = serve_one(*record, request.payload, &metrics);
+    std::uint64_t retries_used = 0;
+    Response response =
+        serve_with_retries(*record, request, &metrics, jitter_rng, &retries_used);
     if (options_.response_blur.count() > 0) {
       // As in ServicePool: EVERY response leaves through the blur, so
       // observable service time is data-independent at this granularity.
@@ -200,6 +292,8 @@ void TenantRouter::worker_main() {
     lock.lock();
     t->stats.cost += metrics.cost;
     total_cost_ += metrics.cost;
+    t->stats.retries += retries_used;
+    retries_ += retries_used;
     if (response.is_ok()) {
       ++t->stats.served;
       ++served_;
@@ -209,6 +303,41 @@ void TenantRouter::worker_main() {
       if (response.code() == "policy_violation") {
         ++t->stats.violations;
         ++violations_;
+      }
+      if (response.code() == "deadline_exceeded") {
+        ++t->stats.deadline_exceeded;
+        ++deadline_exceeded_;
+      }
+    }
+    if (options_.breaker.failure_threshold > 0) {
+      auto now = std::chrono::steady_clock::now();
+      if (response.is_ok()) {
+        t->failure_streak = 0;
+        if (request.is_probe) {
+          // Probe succeeded: close and forget the escalated cooldown.
+          t->breaker = Breaker::Closed;
+          t->cooldown = options_.breaker.cooldown;
+          t->probe_inflight = false;
+        }
+      } else if (request.is_probe) {
+        // Probe failed: re-open with the cooldown doubled (capped).
+        t->breaker = Breaker::Open;
+        t->cooldown = std::min(t->cooldown * 2, options_.breaker.cooldown_max);
+        t->open_until = now + t->cooldown;
+        t->probe_inflight = false;
+        ++t->stats.breaker_opens;
+        ++breaker_opens_;
+      } else {
+        ++t->failure_streak;
+        if (t->breaker == Breaker::Closed &&
+            t->failure_streak >=
+                static_cast<std::uint64_t>(options_.breaker.failure_threshold)) {
+          t->breaker = Breaker::Open;
+          t->cooldown = options_.breaker.cooldown;
+          t->open_until = now + t->cooldown;
+          ++t->stats.breaker_opens;
+          ++breaker_opens_;
+        }
       }
     }
     --t->inflight;
@@ -227,6 +356,9 @@ RouterStats TenantRouter::stats() const {
     snapshot.requests_served = served_;
     snapshot.requests_failed = failed_;
     snapshot.violations = violations_;
+    snapshot.retries = retries_;
+    snapshot.deadline_exceeded = deadline_exceeded_;
+    snapshot.breaker_opens = breaker_opens_;
     snapshot.total_cost = total_cost_;
     snapshot.tenants = retired_;
     for (const auto& [id, state] : tenants_) snapshot.tenants[id] = state->stats;

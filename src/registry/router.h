@@ -20,8 +20,18 @@
 //   "stopped"         submit/register after stop()
 //   "unknown_tenant"  tenant never registered (or already drained away)
 //   "draining"        tenant mid-drain (unregister_tenant in progress)
+//   "circuit_open"    the tenant's circuit breaker is open (or half-open
+//                     with its probe already in flight)
 //   "rate_limited"    token bucket empty (TenantQuota::requests_per_sec)
 //   "quota_exceeded"  per-tenant queue at TenantQuota::max_pending
+//
+// Resilience layer (docs/serving.md "Resilience"): per-request deadlines
+// and VM cost budgets (RequestOptions -> "deadline_exceeded"), transparent
+// retry of transient failures on a fresh slot with capped exponential
+// backoff + deterministic jitter (RetryPolicy), and a per-tenant circuit
+// breaker (BreakerPolicy: closed -> open after N consecutive serve
+// failures, half-open single probe after a cooldown that doubles on every
+// failed probe). All three default OFF and cost nothing when off.
 //
 // Drain ordering on unregister_tenant: (1) new submits start failing with
 // "draining"; (2) every already-accepted request of the tenant is served to
@@ -51,6 +61,9 @@ struct RouterStats {
   std::uint64_t requests_served = 0;   // across all tenants
   std::uint64_t requests_failed = 0;
   std::uint64_t violations = 0;
+  std::uint64_t retries = 0;           // transparent retry attempts, all tenants
+  std::uint64_t deadline_exceeded = 0; // deadline/cost-budget failures, all tenants
+  std::uint64_t breaker_opens = 0;     // breaker (re)opens, all tenants
   std::uint64_t total_cost = 0;
   // Per-tenant roll-up; drained (unregistered) tenants keep their final
   // counters here until the id is reused.
@@ -69,8 +82,57 @@ struct RouterOptions {
   core::BootstrapConfig config;
   // Wall-clock response blurring, as PoolOptions::response_blur.
   std::chrono::microseconds response_blur{0};
-  // Fault-injection seam, forwarded to every slot (re-)provision.
-  core::ProvisionFault provision_fault;
+  // Fault-injection seam: installed on the register-time admission enclave,
+  // the slot fleet and its attestation service (see
+  // EnclaveSlotScheduler::Options::fault_plan for the live sites).
+  FaultPlanPtr fault_plan;
+  // Transparent retry of transient failures. A failure is transient when it
+  // happened before any service code ran — a provision-stage failure
+  // (acquire error: bind/handshake/attestation/backoff) — or when it is an
+  // injected fault ("injected_fault"); "policy_violation" and
+  // "deadline_exceeded" are never retried. Each retry re-acquires a slot
+  // (the failed one is quarantined, so a DIFFERENT or freshly re-provisioned
+  // slot serves the attempt) after sleeping
+  // min(backoff_base * 2^(attempt-1), backoff_max) * jitter, jitter drawn
+  // uniformly from [0.5, 1.0) off a per-thread Rng seeded from jitter_seed.
+  struct RetryPolicy {
+    int max_attempts = 1;  // total attempts per request; 1 = no retry
+    std::chrono::microseconds backoff_base{500};
+    std::chrono::microseconds backoff_max{50000};
+  };
+  RetryPolicy retry;
+  // Per-tenant circuit breaker. Closed -> Open after `failure_threshold`
+  // consecutive serve failures (0 disables); while Open, submits fail fast
+  // with "circuit_open". After `cooldown` the next submit becomes the
+  // half-open probe: its success closes the breaker (and resets the
+  // cooldown), its failure re-opens with the cooldown doubled up to
+  // `cooldown_max`. Failures here are post-intake failures — retry, if
+  // enabled, runs first, so only requests that exhausted their attempts
+  // count against the streak.
+  struct BreakerPolicy {
+    int failure_threshold = 0;  // consecutive failures to trip; 0 = disabled
+    std::chrono::microseconds cooldown{100000};
+    std::chrono::microseconds cooldown_max{1600000};
+  };
+  BreakerPolicy breaker;
+  // Scheduler re-provision backoff, forwarded to the slot fleet (see
+  // EnclaveSlotScheduler::Options).
+  std::chrono::microseconds reprovision_backoff_base{1000};
+  std::chrono::microseconds reprovision_backoff_max{250000};
+  // Seed for the retry-jitter Rng (deterministic chaos runs).
+  std::uint64_t jitter_seed = 0x1E77E8;
+};
+
+// Per-request serving limits, both optional (0 = unlimited).
+struct RequestOptions {
+  // Wall-clock deadline measured from submit. A request whose deadline
+  // passes before a serving thread picks it up — or between retry attempts
+  // — fails with "deadline_exceeded" without touching a slot.
+  std::chrono::microseconds deadline{0};
+  // Total VM cost budget across all attempts of this request. An attempt
+  // runs under the remaining budget (BootstrapEnclave::ecall_run cost
+  // clamp); a run cut off by it fails with "deadline_exceeded".
+  std::uint64_t cost_budget = 0;
 };
 
 class TenantRouter {
@@ -95,11 +157,14 @@ class TenantRouter {
 
   // Enqueues one request for `id`; the future resolves to the opened
   // outputs or an error (see the intake error codes above — intake
-  // rejections come back already resolved).
-  std::future<Response> submit_async(const TenantId& id, BytesView request);
+  // rejections come back already resolved). `request_options` attaches a
+  // per-request deadline and/or VM cost budget.
+  std::future<Response> submit_async(const TenantId& id, BytesView request,
+                                     const RequestOptions& request_options = {});
 
   // Synchronous convenience wrapper around submit_async.
-  Response submit(const TenantId& id, BytesView request);
+  Response submit(const TenantId& id, BytesView request,
+                  const RequestOptions& request_options = {});
 
   // Closes intake (submits fail with "stopped"), serves every accepted
   // request, joins the serving threads. Idempotent; the destructor calls
@@ -115,7 +180,13 @@ class TenantRouter {
   struct Pending {
     Bytes payload;
     std::promise<Response> promise;
+    // Absolute deadline (time_point::max() = none) and remaining VM budget.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    std::uint64_t cost_budget = 0;
+    bool is_probe = false;  // the half-open breaker's single probe request
   };
+  enum class Breaker : std::uint8_t { Closed = 0, Open = 1, HalfOpen = 2 };
   struct TenantState {
     std::shared_ptr<const TenantRecord> record;
     std::deque<Pending> queue;
@@ -123,17 +194,32 @@ class TenantRouter {
     bool draining = false;
     double tokens = 0.0;                                  // token bucket fill
     std::chrono::steady_clock::time_point last_refill{};  // last bucket update
+    // Circuit-breaker state (all idle when BreakerPolicy is disabled).
+    Breaker breaker = Breaker::Closed;
+    std::uint64_t failure_streak = 0;                     // consecutive failures
+    std::chrono::steady_clock::time_point open_until{};   // end of the cooldown
+    std::chrono::microseconds cooldown{0};                // current (doubling) cooldown
+    bool probe_inflight = false;                          // half-open probe out
     TenantStats stats;
   };
 
   explicit TenantRouter(const RouterOptions& options) : options_(options) {}
 
-  void worker_main();
+  void worker_main(int thread_index);
   // Fair dispatch under mutex_: the next pending tenant per the order
   // documented above, or nullptr when nothing is pending.
   TenantState* pick_locked();
+  // One attempt: acquire -> serve -> release. Sets *provision_stage when
+  // the failure happened at acquire (no service code ran).
   Response serve_one(const TenantRecord& record, const Bytes& payload,
-                     core::ServiceWorker::ServeMetrics* metrics);
+                     core::ServiceWorker::ServeMetrics* metrics,
+                     std::uint64_t cost_budget, bool* provision_stage);
+  // The attempt loop: deadline/budget gates, serve_one, retry with capped
+  // exponential backoff + jitter. Returns the final response; *retries_used
+  // counts the extra attempts.
+  Response serve_with_retries(const TenantRecord& record, const Pending& request,
+                              core::ServiceWorker::ServeMetrics* metrics,
+                              Rng& jitter_rng, std::uint64_t* retries_used);
 
   RouterOptions options_;
   std::shared_ptr<verifier::VerificationCache> cache_;
@@ -151,6 +237,9 @@ class TenantRouter {
   std::uint64_t served_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t violations_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t deadline_exceeded_ = 0;
+  std::uint64_t breaker_opens_ = 0;
   std::uint64_t total_cost_ = 0;
   std::vector<std::thread> threads_;
 };

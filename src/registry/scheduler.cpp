@@ -1,5 +1,7 @@
 #include "registry/scheduler.h"
 
+#include <algorithm>
+
 namespace deflection::registry {
 
 Result<std::unique_ptr<EnclaveSlotScheduler>> EnclaveSlotScheduler::create(
@@ -7,10 +9,13 @@ Result<std::unique_ptr<EnclaveSlotScheduler>> EnclaveSlotScheduler::create(
   using R = Result<std::unique_ptr<EnclaveSlotScheduler>>;
   if (slots < 1) return R::fail("fleet_size", "need >= 1 slot");
   std::unique_ptr<EnclaveSlotScheduler> sched(new EnclaveSlotScheduler(options));
+  sched->options_.config.fault_plan = options.fault_plan;
+  sched->as_.set_fault_plan(options.fault_plan);
   for (int i = 0; i < slots; ++i) {
     auto slot = std::make_unique<Slot>();
     slot->worker = std::make_unique<core::ServiceWorker>(
-        sched->as_, options.config, i, "slot-platform-", "slot " + std::to_string(i));
+        sched->as_, sched->options_.config, i, "slot-platform-",
+        "slot " + std::to_string(i));
     sched->slots_.push_back(std::move(slot));
   }
   sched->stats_.slots.resize(static_cast<std::size_t>(slots));
@@ -40,6 +45,18 @@ Result<EnclaveSlotScheduler::Lease> EnclaveSlotScheduler::acquire(
       }
     }
     s = healthy != nullptr ? healthy : quarantined;
+    // Re-provision backoff: the tenant's quarantined slot failed its last
+    // provision recently — fail fast instead of burning another full
+    // provision cycle (and never fall through to claim ANOTHER slot, which
+    // would let a broken tenant evict healthy tenants one slot at a time).
+    if (s != nullptr && s == quarantined && s->provision_fail_streak > 0 &&
+        std::chrono::steady_clock::now() < s->retry_after) {
+      ++stats_.backoff_rejections;
+      return R::fail("provision_backoff",
+                     s->worker->tag("re-provision backing off after " +
+                                    std::to_string(s->provision_fail_streak) +
+                                    " consecutive failures"));
+    }
     // 2. An unbound idle slot (cold bind, nobody displaced).
     if (s == nullptr) {
       for (auto& slot : slots_)
@@ -65,34 +82,50 @@ Result<EnclaveSlotScheduler::Lease> EnclaveSlotScheduler::acquire(
       ++s->counters.binds;
       if (!s->bound.empty()) ++stats_.evictions;
       s->bound = tenant;
+      // The streak belongs to the previous tenant's binary; a different
+      // tenant starts clean.
+      s->provision_fail_streak = 0;
+      s->retry_after = {};
     }
     if (recovery) ++stats_.reprovisions;
     s->busy = true;
     s->last_used = ++tick_;
   }
   if (needs_provision) {
-    Status st = skip_reset
-                    ? s->worker->provision(service, /*is_reprovision=*/false,
-                                           options_.provision_fault)
-                    : s->worker->reprovision(service, options_.provision_fault);
+    Status st = fault_check(options_.fault_plan, fault_site::kSlotBind);
+    bool touched_enclave = st.is_ok();
+    if (st.is_ok())
+      st = skip_reset ? s->worker->provision(service, /*is_reprovision=*/false)
+                      : s->worker->reprovision(service);
     std::lock_guard lock(mutex_);
-    s->pristine = false;
+    if (touched_enclave) s->pristine = false;
     if (!st.is_ok()) {
       // The slot stays bound to `tenant` and quarantined: the next acquire
-      // for this tenant retries the provision.
+      // for this tenant retries the provision — no sooner than the backoff
+      // deadline (base * 2^(streak-1), capped).
       s->busy = false;
       s->health = core::WorkerHealth::Quarantined;
+      ++s->provision_fail_streak;
+      if (options_.reprovision_backoff_base.count() > 0) {
+        std::uint64_t shift = std::min<std::uint64_t>(s->provision_fail_streak - 1, 20);
+        auto delay = options_.reprovision_backoff_base * (std::int64_t{1} << shift);
+        if (delay > options_.reprovision_backoff_max)
+          delay = options_.reprovision_backoff_max;
+        s->retry_after = std::chrono::steady_clock::now() + delay;
+      }
       ++stats_.provision_failures;
       return R::fail(st.code(), s->worker->tag(st.message()));
     }
     s->health = core::WorkerHealth::Healthy;
+    s->provision_fail_streak = 0;
+    s->retry_after = {};
   }
   return Lease{s->worker->index()};
 }
 
 core::ServiceWorker::Response EnclaveSlotScheduler::serve(
     const Lease& lease, const Bytes& payload,
-    core::ServiceWorker::ServeMetrics* metrics) {
+    core::ServiceWorker::ServeMetrics* metrics, std::uint64_t cost_budget) {
   if (lease.slot < 0 || lease.slot >= slots())
     return core::ServiceWorker::Response::fail("bad_lease", "lease names no slot");
   Slot& s = *slots_[static_cast<std::size_t>(lease.slot)];
@@ -100,7 +133,7 @@ core::ServiceWorker::Response EnclaveSlotScheduler::serve(
     std::lock_guard lock(mutex_);
     ++s.counters.serves;
   }
-  return s.worker->serve(payload, metrics);
+  return s.worker->serve(payload, metrics, cost_budget);
 }
 
 void EnclaveSlotScheduler::release(const Lease& lease, bool ok) {

@@ -26,6 +26,7 @@
 //   nothing of one tenant's session is observable from another's.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -41,6 +42,7 @@ struct SchedulerStats {
   std::uint64_t evictions = 0;           // binds that displaced another tenant (LRU)
   std::uint64_t reprovisions = 0;        // same-tenant quarantine recoveries
   std::uint64_t provision_failures = 0;  // (re)binds/recoveries that failed
+  std::uint64_t backoff_rejections = 0;  // acquires failed fast in re-provision backoff
   struct SlotStats {
     TenantId bound;                      // empty = unbound
     core::WorkerHealth health = core::WorkerHealth::Healthy;
@@ -58,8 +60,19 @@ class EnclaveSlotScheduler {
     // verify_cache should carry the cache shared with register-time
     // admission so rebinds are warm.
     core::BootstrapConfig config;
-    // Fault-injection seam, forwarded to every slot (re-)provision.
-    core::ProvisionFault provision_fault;
+    // Fault-injection seam: installed on the fleet's attestation service
+    // and every slot enclave (sites `provision`, `serve`, `seal_input`,
+    // `ecall_run`, `cache_lookup`, `quote_verify`) plus the scheduler's own
+    // `slot_bind` site, checked before every (re)bind provision.
+    FaultPlanPtr fault_plan;
+    // Re-provision backoff: after a slot's (re)bind provision fails, the
+    // same tenant's next acquire of that slot fails fast with code
+    // "provision_backoff" until base * 2^(streak-1) (capped at max) has
+    // elapsed — so a persistently-broken tenant burns a bounded provision
+    // rate instead of hot-looping the quarantine recovery path and starving
+    // healthy tenants. base = 0 disables (every acquire retries at once).
+    std::chrono::microseconds reprovision_backoff_base{1000};
+    std::chrono::microseconds reprovision_backoff_max{250000};
   };
 
   // A slot acquired for exactly one request; release() it afterwards.
@@ -72,15 +85,19 @@ class EnclaveSlotScheduler {
 
   // Picks, and if necessary (re)binds or recovers, an idle slot for
   // `tenant`, and marks it serving. Fails with "no_idle_slot" when every
-  // slot is busy (callers that keep at most one outstanding lease per
-  // serving thread, with threads <= slots, never see this), or with the
+  // slot is busy — callers that keep at most one outstanding lease per
+  // serving thread, with threads <= slots, only see this while
+  // unbind_tenant transiently claims a draining tenant's slots, so they
+  // should treat it as transient and re-try shortly. Fails with the
   // provisioning error when the bind fails — in which case the slot stays
   // quarantined and bound to `tenant`, and the next acquire retries.
   Result<Lease> acquire(const TenantId& tenant, const codegen::Dxo& service);
 
-  // Serves one request on the leased slot.
+  // Serves one request on the leased slot. A non-zero cost_budget tightens
+  // the VM budget for this run (core::ServiceWorker::serve).
   core::ServiceWorker::Response serve(const Lease& lease, const Bytes& payload,
-                                      core::ServiceWorker::ServeMetrics* metrics = nullptr);
+                                      core::ServiceWorker::ServeMetrics* metrics = nullptr,
+                                      std::uint64_t cost_budget = 0);
 
   // Returns the slot to the idle pool; `ok=false` quarantines it (its next
   // acquire re-provisions before serving).
@@ -107,6 +124,11 @@ class EnclaveSlotScheduler {
     bool pristine = true;
     core::WorkerHealth health = core::WorkerHealth::Healthy;
     std::uint64_t last_used = 0;     // LRU tick, updated at acquire
+    // Re-provision backoff state: consecutive provision failures while
+    // bound to the current tenant, and the earliest time the next attempt
+    // is allowed. Cleared on provision success or rebind to another tenant.
+    std::uint64_t provision_fail_streak = 0;
+    std::chrono::steady_clock::time_point retry_after{};
     SchedulerStats::SlotStats counters;
   };
 

@@ -56,6 +56,10 @@ struct TenantStats {
   std::uint64_t violations = 0;       // aborts through the violation stub
   std::uint64_t rejected_quota = 0;   // submits refused: queue at max_pending
   std::uint64_t rejected_rate = 0;    // submits refused: token bucket empty
+  std::uint64_t rejected_breaker = 0; // submits refused: circuit breaker open
+  std::uint64_t retries = 0;          // transparent retry attempts performed
+  std::uint64_t deadline_exceeded = 0;  // requests failed on deadline/cost budget
+  std::uint64_t breaker_opens = 0;    // times the circuit breaker (re)opened
   std::uint64_t cost = 0;             // VM cost accrued for this tenant
   std::size_t queue_high_water = 0;   // deepest per-tenant backlog observed
   bool draining = false;              // unregister in progress

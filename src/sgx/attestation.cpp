@@ -70,6 +70,10 @@ QuotingEnclave AttestationService::provision(const std::string& platform_id,
 
 AttestationService::Report AttestationService::verify(const Quote& quote) const {
   Report report;
+  if (auto s = fault_check(fault_plan_, fault_site::kQuoteVerify); !s.is_ok()) {
+    report.reason = s.message();
+    return report;
+  }
   auto it = platform_keys_.find(quote.platform_id);
   if (it == platform_keys_.end()) {
     report.reason = "unknown platform";

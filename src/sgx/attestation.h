@@ -17,6 +17,7 @@
 #include "crypto/cipher.h"
 #include "crypto/sha256.h"
 #include "support/bytes.h"
+#include "support/fault.h"
 #include "support/result.h"
 
 namespace deflection::sgx {
@@ -65,6 +66,13 @@ class AttestationService {
   // Revocation models a compromised platform (tests exercise this path).
   void revoke(const std::string& platform_id) { revoked_.insert({platform_id, true}); }
 
+  // Chaos seam: when a plan is set, every verify() checks the
+  // `quote_verify` site and a fired check invalidates the report — the
+  // simulated analogue of an IAS/DCAP outage. Handshakes built on the
+  // report then fail, which callers see as an ordinary (transient)
+  // provisioning error.
+  void set_fault_plan(FaultPlanPtr plan) { fault_plan_ = std::move(plan); }
+
   struct Report {
     bool valid = false;
     std::string reason;
@@ -79,6 +87,7 @@ class AttestationService {
 
   std::map<std::string, crypto::Key256> platform_keys_;
   std::map<std::string, bool> revoked_;
+  FaultPlanPtr fault_plan_;
 };
 
 }  // namespace deflection::sgx

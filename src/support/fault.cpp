@@ -1,0 +1,91 @@
+#include "support/fault.h"
+
+#include <algorithm>
+
+namespace deflection {
+
+namespace {
+
+// FNV-1a, so a site's RNG stream depends on its name but not on the order
+// sites are first touched.
+std::uint64_t hash_name(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng FaultPlan::site_rng(const std::string& site) const {
+  return Rng(seed_ ^ hash_name(site));
+}
+
+bool FaultPlan::decide(const FaultSpec& spec, Rng& rng, std::uint64_t index,
+                       std::uint64_t fired_so_far) {
+  // Exactly one draw per check whenever probability is in play, whatever
+  // the schedule says — the replay oracle depends on this.
+  bool by_chance = spec.probability > 0.0 && rng.chance(spec.probability);
+  bool by_schedule =
+      std::find(spec.schedule.begin(), spec.schedule.end(), index) != spec.schedule.end();
+  return (by_chance || by_schedule) && fired_so_far < spec.max_fires;
+}
+
+void FaultPlan::arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard lock(mutex_);
+  Site& s = sites_[site];
+  s.spec = std::move(spec);
+  s.rng = site_rng(site);
+  s.counters = SiteCounters{};
+}
+
+Status FaultPlan::check(const std::string& site) {
+  std::lock_guard lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    // Never armed: count the coverage, fire nothing. The site is created so
+    // counters() reports every site the run actually reached.
+    ++sites_[site].counters.armed;
+    return Status::ok();
+  }
+  Site& s = it->second;
+  std::uint64_t index = s.counters.armed++;
+  if (!decide(s.spec, s.rng, index, s.counters.fired)) return Status::ok();
+  ++s.counters.fired;
+  std::string detail = s.spec.message.empty() ? "" : ": " + s.spec.message;
+  return Status::fail(s.spec.code, "fault injected at site '" + site + "' (check #" +
+                                       std::to_string(index) + ")" + detail);
+}
+
+FaultPlan::SiteCounters FaultPlan::site(const std::string& site) const {
+  std::lock_guard lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? SiteCounters{} : it->second.counters;
+}
+
+std::map<std::string, FaultPlan::SiteCounters> FaultPlan::counters() const {
+  std::lock_guard lock(mutex_);
+  std::map<std::string, SiteCounters> out;
+  for (const auto& [name, s] : sites_) out[name] = s.counters;
+  return out;
+}
+
+std::uint64_t FaultPlan::expected_fires(const std::string& site,
+                                        std::uint64_t checks) const {
+  FaultSpec spec;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return 0;
+    spec = it->second.spec;
+  }
+  Rng rng = site_rng(site);
+  std::uint64_t fired = 0;
+  for (std::uint64_t i = 0; i < checks; ++i)
+    if (decide(spec, rng, i, fired)) ++fired;
+  return fired;
+}
+
+}  // namespace deflection

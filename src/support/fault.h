@@ -1,0 +1,112 @@
+// Deterministic, seeded fault-injection engine for chaos drills.
+//
+// A FaultPlan is a set of named injection *sites* threaded through the
+// serving stack (platform attestation, worker provision/serve, the
+// admission-cache lookup, slot binding). Production code calls
+// fault_check(plan, site) at each site; with no plan armed that is a single
+// null-pointer test, so the seams are free on the fault-free hot path. A
+// chaos drill arms sites with a probability and/or an explicit schedule and
+// replays the exact same fault sequence from the same seed.
+//
+// Determinism contract (what tests/chaos_test.cpp asserts):
+//  - each site owns a private RNG derived from (plan seed, site name);
+//  - every check of an armed site with probability > 0 consumes exactly one
+//    draw, under the plan mutex, so the k-th draw always belongs to the
+//    k-th check of that site — regardless of which thread performs it;
+//  - therefore the number of fires after N checks of a site is a pure
+//    function of (seed, site, spec, N), exposed as expected_fires() for
+//    test oracles. WHICH request absorbs a given fire still depends on
+//    thread interleaving; HOW MANY fire does not.
+//
+// arm() (re)sets the site's counters and RNG, so a drill can re-arm a site
+// mid-run to toggle behaviour and still reason from a clean origin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/result.h"
+#include "support/rng.h"
+
+namespace deflection {
+
+// Canonical site names used by the serving stack. Any string is a valid
+// site; these are the ones production code checks.
+namespace fault_site {
+inline constexpr const char* kProvision = "provision";        // ServiceWorker::provision entry
+inline constexpr const char* kServe = "serve";                // ServiceWorker::serve entry
+inline constexpr const char* kSealInput = "seal_input";       // input sealing before delivery
+inline constexpr const char* kEcallRun = "ecall_run";         // before the enclave run
+inline constexpr const char* kCacheLookup = "cache_lookup";   // admission verdict lookup
+inline constexpr const char* kSlotBind = "slot_bind";         // scheduler (re)bind decision
+inline constexpr const char* kQuoteVerify = "quote_verify";   // attestation-service verify
+}  // namespace fault_site
+
+// How one site misbehaves once armed. A check fires when its 0-based index
+// (counted from the arm() call) is listed in `schedule`, or with
+// `probability` otherwise; `max_fires` caps the total either way.
+struct FaultSpec {
+  double probability = 0.0;
+  std::vector<std::uint64_t> schedule;   // explicit check indices that fire
+  std::uint64_t max_fires = ~0ull;
+  std::string code = "injected_fault";   // Status code of a fired check
+  std::string message;                   // extra detail appended to the site name
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0xC4A05) : seed_(seed) {}
+
+  // (Re)arms `site` with `spec`, resetting its counters and RNG. An empty
+  // spec (probability 0, no schedule) disarms the site.
+  void arm(const std::string& site, FaultSpec spec);
+
+  // Called at an injection site. Returns ok while the site stays quiet and
+  // a failure Status (spec.code) when the fault fires. Checks of sites that
+  // were never armed still count as armed (coverage accounting) but never
+  // fire. Thread-safe.
+  Status check(const std::string& site);
+
+  struct SiteCounters {
+    std::uint64_t armed = 0;   // checks reached since arm()
+    std::uint64_t fired = 0;   // checks that injected a failure
+  };
+  SiteCounters site(const std::string& site) const;
+  std::map<std::string, SiteCounters> counters() const;
+
+  // Replay oracle: how many of the first `checks` checks of `site` fire
+  // under its current spec. Matches check() decision-for-decision, so after
+  // any run `site(s).fired == expected_fires(s, site(s).armed)` must hold.
+  std::uint64_t expected_fires(const std::string& site, std::uint64_t checks) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  struct Site {
+    FaultSpec spec;
+    Rng rng{0};
+    SiteCounters counters;
+  };
+
+  Rng site_rng(const std::string& site) const;
+  // One check decision; mirrored exactly by expected_fires().
+  static bool decide(const FaultSpec& spec, Rng& rng, std::uint64_t index,
+                     std::uint64_t fired_so_far);
+
+  const std::uint64_t seed_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Site> sites_;
+};
+
+using FaultPlanPtr = std::shared_ptr<FaultPlan>;
+
+// Null-safe hot-path helper: no plan, no work.
+inline Status fault_check(const FaultPlanPtr& plan, const char* site) {
+  return plan == nullptr ? Status::ok() : plan->check(site);
+}
+
+}  // namespace deflection

@@ -1,0 +1,608 @@
+// Chaos suite: the serving stack under deterministic injected disorder.
+//
+// The tentpole is ChaosSoak.RouterSurvivesFaultStorm: a seeded soak driving
+// the multi-tenant router (tenants >> slots) with every FaultPlan site
+// armed at >= 5% and the full resilience layer on (retries, breaker,
+// scheduler backoff), asserting five invariants:
+//   1. every future resolves exactly once (no hang, no abandonment);
+//   2. every successful response is byte-identical to a fault-free oracle;
+//   3. stats conserve: accepted = served + failed, and the router's
+//      totals match the client-side tally;
+//   4. the run terminates within a wall-clock bound;
+//   5. each site's fired count replays from the plan's seed
+//      (fired == expected_fires(site, armed)).
+// The rest of the suite pins the lifecycle/resilience paths the soak can't
+// target precisely: deadlines, cost budgets, retry, breaker transitions,
+// scheduler re-provision backoff, and stop() racing unregister_tenant.
+//
+// Everything here runs under plain, ASan and TSan builds via
+// `tools/check.sh --chaos`.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/pool.h"
+#include "registry/router.h"
+#include "test_helpers.h"
+
+namespace deflection::testing {
+namespace {
+
+using namespace std::chrono_literals;
+
+core::BootstrapConfig platform_config() {
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  return config;
+}
+
+// Every tenant serves a distinct binary (per-tenant modulus), so tenant
+// count == distinct-binary count and responses identify their tenant.
+std::string tenant_source(int tenant) {
+  return R"(
+  int main() {
+    byte* buf = alloc(64);
+    int n = ocall_recv(buf, 64);
+    if (n < 1) { return 1; }
+    int acc = 0;
+    for (int i = 0; i < n; i += 1) { acc += buf[i] * buf[i]; }
+    int v = acc % )" + std::to_string(251 - tenant) + R"(;
+    byte* out = alloc(8);
+    for (int i = 0; i < 8; i += 1) { out[i] = (v >> (i * 8)) & 255; }
+    ocall_send(out, 8);
+    return 0;
+  }
+)";
+}
+
+// Violates P3 (host write) on every request — a tenant that is broken at
+// the service level, not the provisioning level.
+const char* kAlwaysViolates = R"(
+  int main() {
+    byte* host = as_ptr(65536);
+    host[0] = 1;
+    return 0;
+  }
+)";
+
+FaultSpec with_probability(double p) {
+  FaultSpec spec;
+  spec.probability = p;
+  return spec;
+}
+
+const char* kAllSites[] = {
+    fault_site::kProvision,   fault_site::kServe,     fault_site::kSealInput,
+    fault_site::kEcallRun,    fault_site::kCacheLookup, fault_site::kSlotBind,
+    fault_site::kQuoteVerify,
+};
+
+// --- The fault-injection engine itself ---
+
+TEST(ChaosFaultPlan, SeededReplayIsExactAcrossThreads) {
+  // Fired-counts after N checks are a pure function of (seed, site, spec,
+  // N): a multi-threaded run and the expected_fires() replay agree, and an
+  // identically-seeded plan produces the identical sequence.
+  FaultPlan plan(1234);
+  plan.arm("a", with_probability(0.25));
+  plan.arm("b", with_probability(0.05));
+  constexpr int kThreads = 4, kChecksPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&plan] {
+      for (int k = 0; k < kChecksPerThread; ++k) {
+        (void)plan.check("a");
+        (void)plan.check("b");
+      }
+    });
+  for (auto& t : threads) t.join();
+
+  for (const char* site : {"a", "b"}) {
+    auto c = plan.site(site);
+    EXPECT_EQ(c.armed, static_cast<std::uint64_t>(kThreads * kChecksPerThread));
+    EXPECT_EQ(c.fired, plan.expected_fires(site, c.armed)) << site;
+    EXPECT_GT(c.fired, 0u) << site;
+  }
+  // An identically-seeded plan replays the same counts single-threaded.
+  FaultPlan replay(1234);
+  replay.arm("a", with_probability(0.25));
+  std::uint64_t fired = 0;
+  for (int k = 0; k < kThreads * kChecksPerThread; ++k)
+    if (!replay.check("a").is_ok()) ++fired;
+  EXPECT_EQ(fired, plan.site("a").fired);
+}
+
+TEST(ChaosFaultPlan, ScheduleMaxFiresAndDisarm) {
+  FaultPlan plan(7);
+  FaultSpec spec;
+  spec.schedule = {1, 3};
+  spec.code = "custom_code";
+  plan.arm("s", spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i) {
+    Status st = plan.check("s");
+    fired.push_back(!st.is_ok());
+    if (!st.is_ok()) EXPECT_EQ(st.code(), "custom_code");
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false}));
+  EXPECT_EQ(plan.site("s").fired, plan.expected_fires("s", 5));
+
+  // max_fires caps a certain-fire site.
+  FaultSpec capped = with_probability(1.0);
+  capped.max_fires = 2;
+  plan.arm("c", capped);
+  int fires = 0;
+  for (int i = 0; i < 10; ++i)
+    if (!plan.check("c").is_ok()) ++fires;
+  EXPECT_EQ(fires, 2);
+
+  // Checks of never-armed sites count coverage but never fire; re-arming
+  // with an empty spec disarms and resets the counters.
+  EXPECT_TRUE(plan.check("never_armed").is_ok());
+  EXPECT_EQ(plan.site("never_armed").armed, 1u);
+  EXPECT_EQ(plan.site("never_armed").fired, 0u);
+  plan.arm("c", FaultSpec{});
+  EXPECT_TRUE(plan.check("c").is_ok());
+  EXPECT_EQ(plan.site("c").armed, 1u);
+  EXPECT_EQ(plan.site("c").fired, 0u);
+}
+
+// --- The tentpole soak ---
+
+TEST(ChaosSoak, RouterSurvivesFaultStorm) {
+  const auto soak_start = std::chrono::steady_clock::now();
+  constexpr int kTenants = 8;
+  constexpr int kSlots = 3;
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 256;  // 1024 submits total
+  constexpr double kFaultRate = 0.06;
+
+  auto plan = std::make_shared<FaultPlan>(0xC4A0'55EED);
+  registry::RouterOptions options;
+  options.slots = kSlots;
+  options.config = platform_config();
+  options.fault_plan = plan;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_base = 100us;
+  options.retry.backoff_max = 2ms;
+  options.breaker.failure_threshold = 8;
+  options.breaker.cooldown = 2ms;
+  options.reprovision_backoff_base = 200us;
+  options.reprovision_backoff_max = 5ms;
+  auto router = registry::TenantRouter::create(options);
+  ASSERT_TRUE(router.is_ok()) << router.message();
+
+  // Oracle: one dedicated fault-free worker per tenant binary, each
+  // distinct payload served once. Registered/provisioned BEFORE any site
+  // is armed, so the oracle and the registrations are clean.
+  constexpr int kPayloads = 8;
+  std::vector<std::string> ids;
+  std::map<std::string, std::vector<std::vector<Bytes>>> oracle;
+  sgx::AttestationService oracle_as;
+  for (int t = 0; t < kTenants; ++t) {
+    codegen::Dxo dxo = compile_or_die(tenant_source(t), PolicySet::p1to5()).dxo;
+    std::string id = "tenant-" + std::to_string(t);
+    ASSERT_TRUE(router.value()->register_tenant(id, dxo).is_ok());
+    core::ServiceWorker reference(oracle_as, platform_config(), t,
+                                  "oracle-platform-", "oracle " + std::to_string(t));
+    ASSERT_TRUE(reference.provision(dxo, false).is_ok());
+    auto& expected = oracle[id];
+    for (int p = 0; p < kPayloads; ++p) {
+      Bytes payload = {static_cast<std::uint8_t>(p + 1),
+                       static_cast<std::uint8_t>(t + 1)};
+      auto response = reference.serve(payload);
+      ASSERT_TRUE(response.is_ok()) << response.message();
+      expected.push_back(response.take());
+    }
+    ids.push_back(std::move(id));
+  }
+
+  // Arm EVERY site at >= 5%.
+  for (const char* site : kAllSites) plan->arm(site, with_probability(kFaultRate));
+
+  // Closed-loop clients: each future is awaited before the next submit, so
+  // "resolves exactly once" failures show up as a hang (caught by the
+  // wall-clock bound), and per-tenant queues stay far from their quota.
+  struct Tally {
+    std::uint64_t accepted = 0, ok = 0, failed = 0, intake_rejected = 0;
+    std::uint64_t wrong_bytes = 0;
+  };
+  const std::set<std::string> intake_codes = {"circuit_open",  "rate_limited",
+                                              "quota_exceeded", "draining",
+                                              "stopped",        "unknown_tenant"};
+  std::vector<Tally> tallies(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Tally& tally = tallies[static_cast<std::size_t>(c)];
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        int t = (c + i) % kTenants;
+        int p = (c * 7 + i) % kPayloads;
+        Bytes payload = {static_cast<std::uint8_t>(p + 1),
+                         static_cast<std::uint8_t>(t + 1)};
+        auto future = router.value()->submit_async(ids[static_cast<std::size_t>(t)],
+                                                   BytesView(payload));
+        auto response = future.get();  // invariant 1: resolves (exactly once)
+        if (response.is_ok()) {
+          ++tally.accepted;
+          ++tally.ok;
+          // Invariant 2: byte-identical to the fault-free oracle.
+          const auto& want = oracle[ids[static_cast<std::size_t>(t)]]
+                                   [static_cast<std::size_t>(p)];
+          if (response.value() != want) ++tally.wrong_bytes;
+        } else if (intake_codes.count(response.code()) != 0) {
+          ++tally.intake_rejected;
+        } else {
+          ++tally.accepted;
+          ++tally.failed;
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  router.value()->stop();
+
+  Tally total;
+  for (const auto& tally : tallies) {
+    total.accepted += tally.accepted;
+    total.ok += tally.ok;
+    total.failed += tally.failed;
+    total.intake_rejected += tally.intake_rejected;
+    total.wrong_bytes += tally.wrong_bytes;
+  }
+  EXPECT_EQ(total.wrong_bytes, 0u);
+  EXPECT_EQ(total.accepted + total.intake_rejected,
+            static_cast<std::uint64_t>(kClients) * kRequestsPerClient);
+  // The storm must not have taken the service down: most requests succeed
+  // (retries absorb the ~6% per-site transient rate).
+  EXPECT_GT(total.ok, static_cast<std::uint64_t>(kClients) * kRequestsPerClient / 2);
+
+  // Invariant 3: conservation, client-side tally == router counters.
+  auto stats = router.value()->stats();
+  EXPECT_EQ(stats.requests_served, total.ok);
+  EXPECT_EQ(stats.requests_failed, total.failed);
+  std::uint64_t submitted = 0, per_tenant_served = 0, per_tenant_failed = 0;
+  for (const auto& [id, ts] : stats.tenants) {
+    submitted += ts.submitted;
+    per_tenant_served += ts.served;
+    per_tenant_failed += ts.failed;
+  }
+  EXPECT_EQ(submitted, total.accepted);
+  EXPECT_EQ(submitted, per_tenant_served + per_tenant_failed);
+  EXPECT_EQ(per_tenant_served, stats.requests_served);
+  EXPECT_EQ(per_tenant_failed, stats.requests_failed);
+
+  // Invariant 5: every site's fired count replays from the seed, and the
+  // storm actually reached every site.
+  for (const char* site : kAllSites) {
+    auto counters = plan->site(site);
+    EXPECT_GT(counters.armed, 0u) << site;
+    EXPECT_EQ(counters.fired, plan->expected_fires(site, counters.armed)) << site;
+  }
+  std::uint64_t total_fired = 0;
+  for (const auto& [site, counters] : plan->counters()) total_fired += counters.fired;
+  EXPECT_GT(total_fired, 0u);
+  // The resilience layer was actually exercised.
+  EXPECT_GT(stats.retries, 0u);
+
+  // Invariant 4: wall-clock bound (generous: TSan runs ~10x slower).
+  EXPECT_LT(std::chrono::steady_clock::now() - soak_start, 300s);
+}
+
+// --- Deadlines and cost budgets ---
+
+TEST(ChaosDeadline, ExpiredDeadlineFailsPromptlyWithoutTouchingASlot) {
+  registry::RouterOptions options;
+  options.slots = 1;
+  options.config = platform_config();
+  auto router = registry::TenantRouter::create(options);
+  ASSERT_TRUE(router.is_ok()) << router.message();
+  ASSERT_TRUE(router.value()
+                  ->register_tenant("t", compile_or_die(tenant_source(0),
+                                                        PolicySet::p1to5())
+                                             .dxo)
+                  .is_ok());
+
+  // Occupy the only slot with a queue of plain requests, then submit one
+  // whose deadline will have passed by the time a serving thread reaches
+  // it.
+  Bytes payload = {3, 1};
+  std::vector<std::future<registry::TenantRouter::Response>> fillers;
+  for (int i = 0; i < 4; ++i)
+    fillers.push_back(router.value()->submit_async("t", BytesView(payload)));
+  registry::RequestOptions expired;
+  expired.deadline = 1us;
+  auto doomed = router.value()->submit_async("t", BytesView(payload), expired);
+  for (auto& f : fillers) EXPECT_TRUE(f.get().is_ok());
+  auto response = doomed.get();
+  ASSERT_FALSE(response.is_ok());
+  EXPECT_EQ(response.code(), "deadline_exceeded");
+
+  auto stats = router.value()->stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.tenants.at("t").deadline_exceeded, 1u);
+  // The slot never ran the doomed request: no quarantine, no failure cost.
+  EXPECT_EQ(router.value()->scheduler().slot_health(0), core::WorkerHealth::Healthy);
+}
+
+TEST(ChaosDeadline, CostBudgetCutsOffTheRun) {
+  registry::RouterOptions options;
+  options.slots = 1;
+  options.config = platform_config();
+  options.retry.max_attempts = 3;  // deadline_exceeded must NOT be retried
+  auto router = registry::TenantRouter::create(options);
+  ASSERT_TRUE(router.is_ok()) << router.message();
+  ASSERT_TRUE(router.value()
+                  ->register_tenant("t", compile_or_die(tenant_source(0),
+                                                        PolicySet::p1to5())
+                                             .dxo)
+                  .is_ok());
+
+  Bytes payload = {5, 1};
+  registry::RequestOptions unlimited;
+  auto baseline = router.value()->submit("t", BytesView(payload), unlimited);
+  ASSERT_TRUE(baseline.is_ok()) << baseline.message();
+
+  registry::RequestOptions tiny;
+  tiny.cost_budget = 10;  // far below the run's real cost
+  auto cut = router.value()->submit("t", BytesView(payload), tiny);
+  ASSERT_FALSE(cut.is_ok());
+  EXPECT_EQ(cut.code(), "deadline_exceeded");
+
+  auto stats = router.value()->stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.retries, 0u);  // final failure, not transient
+
+  // A budget above the real cost changes nothing: byte-identical result.
+  registry::RequestOptions roomy;
+  roomy.cost_budget = 1u << 30;
+  auto fine = router.value()->submit("t", BytesView(payload), roomy);
+  ASSERT_TRUE(fine.is_ok()) << fine.message();
+  EXPECT_EQ(fine.value(), baseline.value());
+}
+
+// --- Retry ---
+
+TEST(ChaosRetry, TransientServeFaultRetriesOnAFreshProvision) {
+  auto plan = std::make_shared<FaultPlan>(0x2E72);
+  registry::RouterOptions options;
+  options.slots = 1;
+  options.config = platform_config();
+  options.fault_plan = plan;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_base = 50us;
+  options.reprovision_backoff_base = 0us;  // immediate quarantine recovery
+  auto router = registry::TenantRouter::create(options);
+  ASSERT_TRUE(router.is_ok()) << router.message();
+  ASSERT_TRUE(router.value()
+                  ->register_tenant("t", compile_or_die(tenant_source(0),
+                                                        PolicySet::p1to5())
+                                             .dxo)
+                  .is_ok());
+
+  // Fire exactly on the first serve: attempt 1 fails (quarantining the
+  // slot), the transparent retry re-provisions and succeeds.
+  FaultSpec first_only;
+  first_only.schedule = {0};
+  plan->arm(fault_site::kServe, first_only);
+  Bytes payload = {2, 1};
+  auto response = router.value()->submit("t", BytesView(payload));
+  ASSERT_TRUE(response.is_ok()) << response.message();
+
+  auto stats = router.value()->stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.tenants.at("t").retries, 1u);
+  EXPECT_EQ(stats.requests_served, 1u);
+  EXPECT_EQ(stats.requests_failed, 0u);  // the failure was absorbed
+
+  // A terminal (service-level) failure is NOT retried: same fault budget,
+  // but the response code is final.
+  plan->arm(fault_site::kServe, FaultSpec{});
+  auto again = router.value()->submit("t", BytesView(payload));
+  EXPECT_TRUE(again.is_ok());
+  EXPECT_EQ(router.value()->stats().retries, 1u);
+}
+
+TEST(ChaosRetry, ExhaustedAttemptsSurfaceTheInjectedFault) {
+  auto plan = std::make_shared<FaultPlan>(0xDEAD);
+  registry::RouterOptions options;
+  options.slots = 1;
+  options.config = platform_config();
+  options.fault_plan = plan;
+  options.retry.max_attempts = 2;
+  options.retry.backoff_base = 50us;
+  options.reprovision_backoff_base = 0us;
+  auto router = registry::TenantRouter::create(options);
+  ASSERT_TRUE(router.is_ok()) << router.message();
+  ASSERT_TRUE(router.value()
+                  ->register_tenant("t", compile_or_die(tenant_source(0),
+                                                        PolicySet::p1to5())
+                                             .dxo)
+                  .is_ok());
+
+  plan->arm(fault_site::kServe, with_probability(1.0));
+  Bytes payload = {2, 1};
+  auto response = router.value()->submit("t", BytesView(payload));
+  ASSERT_FALSE(response.is_ok());
+  EXPECT_EQ(response.code(), "injected_fault");
+  auto stats = router.value()->stats();
+  EXPECT_EQ(stats.retries, 1u);  // one extra attempt, then give up
+  EXPECT_EQ(stats.requests_failed, 1u);
+}
+
+// --- Circuit breaker ---
+
+TEST(ChaosBreaker, OpensFailsFastProbesAndRecovers) {
+  auto plan = std::make_shared<FaultPlan>(0xB2EA);
+  registry::RouterOptions options;
+  options.slots = 1;
+  options.config = platform_config();
+  options.fault_plan = plan;
+  options.breaker.failure_threshold = 2;
+  options.breaker.cooldown = 20ms;
+  options.reprovision_backoff_base = 0us;
+  auto router = registry::TenantRouter::create(options);
+  ASSERT_TRUE(router.is_ok()) << router.message();
+  ASSERT_TRUE(router.value()
+                  ->register_tenant("t", compile_or_die(tenant_source(0),
+                                                        PolicySet::p1to5())
+                                             .dxo)
+                  .is_ok());
+
+  plan->arm(fault_site::kServe, with_probability(1.0));
+  Bytes payload = {2, 1};
+  EXPECT_EQ(router.value()->submit("t", BytesView(payload)).code(), "injected_fault");
+  EXPECT_EQ(router.value()->submit("t", BytesView(payload)).code(), "injected_fault");
+  // Two consecutive failures: the breaker is open, intake fails fast.
+  auto rejected = router.value()->submit("t", BytesView(payload));
+  ASSERT_FALSE(rejected.is_ok());
+  EXPECT_EQ(rejected.code(), "circuit_open");
+  auto stats = router.value()->stats();
+  EXPECT_EQ(stats.breaker_opens, 1u);
+  EXPECT_EQ(stats.tenants.at("t").rejected_breaker, 1u);
+
+  // Cooldown over, fault still live: the single half-open probe fails and
+  // re-opens the breaker with a doubled cooldown.
+  std::this_thread::sleep_for(30ms);
+  EXPECT_EQ(router.value()->submit("t", BytesView(payload)).code(), "injected_fault");
+  EXPECT_EQ(router.value()->stats().breaker_opens, 2u);
+  EXPECT_EQ(router.value()->submit("t", BytesView(payload)).code(), "circuit_open");
+
+  // Fault cleared: after the (doubled) cooldown the probe succeeds, the
+  // breaker closes, and serving resumes for good.
+  plan->arm(fault_site::kServe, FaultSpec{});
+  std::this_thread::sleep_for(50ms);
+  auto probe = router.value()->submit("t", BytesView(payload));
+  ASSERT_TRUE(probe.is_ok()) << probe.message();
+  auto after = router.value()->submit("t", BytesView(payload));
+  ASSERT_TRUE(after.is_ok()) << after.message();
+  EXPECT_EQ(router.value()->stats().breaker_opens, 2u);
+}
+
+TEST(ChaosBreaker, ReRegisteredTenantWithFixedBinaryRecovers) {
+  // The operator story behind the breaker: a tenant ships a broken binary,
+  // the breaker opens and sheds its load; the tenant is drained,
+  // re-registered with a fixed binary, and service recovers cleanly.
+  registry::RouterOptions options;
+  options.slots = 1;
+  options.config = platform_config();
+  options.breaker.failure_threshold = 2;
+  options.breaker.cooldown = 10ms;
+  auto router = registry::TenantRouter::create(options);
+  ASSERT_TRUE(router.is_ok()) << router.message();
+  ASSERT_TRUE(router.value()
+                  ->register_tenant("t", compile_or_die(kAlwaysViolates,
+                                                        PolicySet::p1to5())
+                                             .dxo)
+                  .is_ok());
+
+  Bytes payload = {4, 1};
+  EXPECT_EQ(router.value()->submit("t", BytesView(payload)).code(),
+            "policy_violation");
+  EXPECT_EQ(router.value()->submit("t", BytesView(payload)).code(),
+            "policy_violation");
+  EXPECT_EQ(router.value()->submit("t", BytesView(payload)).code(), "circuit_open");
+
+  ASSERT_TRUE(router.value()->unregister_tenant("t").is_ok());
+  ASSERT_TRUE(router.value()
+                  ->register_tenant("t", compile_or_die(tenant_source(0),
+                                                        PolicySet::p1to5())
+                                             .dxo)
+                  .is_ok());
+  auto fixed = router.value()->submit("t", BytesView(payload));
+  ASSERT_TRUE(fixed.is_ok()) << fixed.message();
+  auto stats = router.value()->stats();
+  EXPECT_EQ(stats.tenants.at("t").served, 1u);
+  EXPECT_EQ(stats.tenants.at("t").failed, 0u);  // fresh record, fresh breaker
+}
+
+// --- Scheduler re-provision backoff ---
+
+TEST(ChaosScheduler, ReprovisionBackoffFailsFastThenExpires) {
+  auto plan = std::make_shared<FaultPlan>(0xBAC0FF);
+  registry::RouterOptions options;
+  options.slots = 1;
+  options.config = platform_config();
+  options.fault_plan = plan;
+  options.reprovision_backoff_base = 20ms;
+  options.reprovision_backoff_max = 100ms;
+  auto router = registry::TenantRouter::create(options);
+  ASSERT_TRUE(router.is_ok()) << router.message();
+  ASSERT_TRUE(router.value()
+                  ->register_tenant("t", compile_or_die(tenant_source(0),
+                                                        PolicySet::p1to5())
+                                             .dxo)
+                  .is_ok());
+
+  plan->arm(fault_site::kSlotBind, with_probability(1.0));
+  Bytes payload = {2, 1};
+  EXPECT_EQ(router.value()->submit("t", BytesView(payload)).code(), "injected_fault");
+  // Within the backoff window the broken tenant fails fast — no provision
+  // cycle is burned, and no other slot is claimed.
+  auto backed_off = router.value()->submit("t", BytesView(payload));
+  ASSERT_FALSE(backed_off.is_ok());
+  EXPECT_EQ(backed_off.code(), "provision_backoff");
+  auto stats = router.value()->stats();
+  EXPECT_EQ(stats.scheduler.provision_failures, 1u);
+  EXPECT_GE(stats.scheduler.backoff_rejections, 1u);
+
+  // After the window (and with the fault cleared) the tenant recovers.
+  plan->arm(fault_site::kSlotBind, FaultSpec{});
+  std::this_thread::sleep_for(30ms);
+  auto recovered = router.value()->submit("t", BytesView(payload));
+  ASSERT_TRUE(recovered.is_ok()) << recovered.message();
+}
+
+// --- Lifecycle races ---
+
+TEST(ChaosLifecycle, StopRacingUnregisterMidDrainResolvesEverything) {
+  for (int round = 0; round < 3; ++round) {
+    registry::RouterOptions options;
+    options.slots = 2;
+    options.config = platform_config();
+    auto router = registry::TenantRouter::create(options);
+    ASSERT_TRUE(router.is_ok()) << router.message();
+    codegen::Dxo dxo_a = compile_or_die(tenant_source(0), PolicySet::p1to5()).dxo;
+    codegen::Dxo dxo_b = compile_or_die(tenant_source(1), PolicySet::p1to5()).dxo;
+    ASSERT_TRUE(router.value()->register_tenant("a", dxo_a).is_ok());
+    ASSERT_TRUE(router.value()->register_tenant("b", dxo_b).is_ok());
+
+    std::vector<std::future<registry::TenantRouter::Response>> futures;
+    Bytes payload = {1, 1};
+    for (int i = 0; i < 12; ++i) {
+      futures.push_back(router.value()->submit_async("a", BytesView(payload)));
+      futures.push_back(router.value()->submit_async("b", BytesView(payload)));
+    }
+    // unregister_tenant("a") drains mid-flight while stop() closes the
+    // whole router: both must return, and every accepted future must
+    // resolve with a real response (success, or a prompt drain/stop code).
+    std::thread unregister([&] { (void)router.value()->unregister_tenant("a"); });
+    std::thread stopper([&] { router.value()->stop(); });
+    unregister.join();
+    stopper.join();
+
+    const std::set<std::string> acceptable = {"draining", "stopped"};
+    for (auto& future : futures) {
+      auto response = future.get();
+      if (!response.is_ok())
+        EXPECT_TRUE(acceptable.count(response.code()) != 0) << response.code();
+    }
+    // Conservation still holds after the race.
+    auto stats = router.value()->stats();
+    std::uint64_t submitted = 0, done = 0;
+    for (const auto& [id, ts] : stats.tenants) {
+      submitted += ts.submitted;
+      done += ts.served + ts.failed;
+    }
+    EXPECT_EQ(submitted, done);
+    EXPECT_EQ(stats.requests_served + stats.requests_failed, done);
+  }
+}
+
+}  // namespace
+}  // namespace deflection::testing

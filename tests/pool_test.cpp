@@ -382,14 +382,12 @@ TEST(ServicePool, ReprovisionFailureStillLeavesThroughTheBlur) {
   core::BootstrapConfig config;
   config.verify.required = PolicySet::p1to5();
   const auto blur = std::chrono::milliseconds(50);
-  auto fail_reprovision = std::make_shared<std::atomic<bool>>(false);
+  auto plan = std::make_shared<FaultPlan>(0xB10B);
   core::PoolOptions options;
   options.response_blur = blur;
-  options.provision_fault = [fail_reprovision](int, bool is_reprovision) {
-    if (is_reprovision && fail_reprovision->load())
-      return Status::fail("injected_fault", "re-provision fault injection");
-    return Status::ok();
-  };
+  options.fault_plan = plan;
+  // The plan starts with no armed sites, so the initial provision in
+  // create() is clean; arming `provision` later hits only re-provisions.
   auto pool = core::ServicePool::create(compiled.dxo, config, 1, options);
   ASSERT_TRUE(pool.is_ok()) << pool.message();
 
@@ -400,7 +398,10 @@ TEST(ServicePool, ReprovisionFailureStillLeavesThroughTheBlur) {
 
   // Worker 0 is quarantined; make its re-provision fail and check the
   // error response is still held to the blur quantum.
-  fail_reprovision->store(true);
+  FaultSpec always;
+  always.probability = 1.0;
+  always.message = "re-provision fault injection";
+  plan->arm(fault_site::kProvision, always);
   Bytes third = {9};
   auto t0 = std::chrono::steady_clock::now();
   auto c = pool.value()->submit(BytesView(third));
@@ -412,11 +413,12 @@ TEST(ServicePool, ReprovisionFailureStillLeavesThroughTheBlur) {
   EXPECT_GE(elapsed, blur);
   auto stats = pool.value()->stats();
   EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.reprovision_failures, 1u);
   EXPECT_EQ(stats.workers[0].health, core::WorkerHealth::Quarantined);
 
   // Clearing the fault lets the quarantined worker recover on its next
   // request; serving resumes.
-  fail_reprovision->store(false);
+  plan->arm(fault_site::kProvision, FaultSpec{});  // disarm
   Bytes fourth = {10};
   auto d = pool.value()->submit(BytesView(fourth));
   ASSERT_TRUE(d.is_ok()) << d.message();

@@ -496,22 +496,24 @@ TEST(TenantRouter, AdmissionVerifiesOncePerTenantBinary) {
 }
 
 TEST(TenantRouter, ProvisionFaultQuarantinesSlotAndRecovers) {
-  // A fault injected into slot provisioning surfaces as the request's
-  // error, leaves the slot quarantined-but-bound, and clears on retry.
-  auto fail_binds = std::make_shared<std::atomic<bool>>(false);
+  // A fault injected into slot provisioning (the FaultPlan's `slot_bind`
+  // site) surfaces as the request's error, leaves the slot
+  // quarantined-but-bound, and clears once the site is disarmed.
+  auto plan = std::make_shared<FaultPlan>(0xB17D);
   registry::RouterOptions options;
   options.slots = 1;
   options.config = platform_config();
-  options.provision_fault = [fail_binds](int, bool) {
-    if (fail_binds->load())
-      return Status::fail("injected_fault", "bind fault injection");
-    return Status::ok();
-  };
+  options.fault_plan = plan;
+  // No backoff: the recovery submit below must retry immediately.
+  options.reprovision_backoff_base = std::chrono::microseconds(0);
   auto router = registry::TenantRouter::create(options);
   ASSERT_TRUE(router.is_ok()) << router.message();
   ASSERT_TRUE(router.value()->register_tenant("a", compile_dxo(kSquare)).is_ok());
 
-  fail_binds->store(true);
+  FaultSpec always;
+  always.probability = 1.0;
+  always.message = "bind fault injection";
+  plan->arm(fault_site::kSlotBind, always);
   Bytes payload = {6};
   auto broken = router.value()->submit("a", BytesView(payload));
   ASSERT_FALSE(broken.is_ok());
@@ -519,8 +521,9 @@ TEST(TenantRouter, ProvisionFaultQuarantinesSlotAndRecovers) {
   EXPECT_EQ(router.value()->scheduler().slot_health(0),
             core::WorkerHealth::Quarantined);
   EXPECT_EQ(router.value()->scheduler().bound_tenant(0), "a");
+  EXPECT_EQ(plan->site(fault_site::kSlotBind).fired, 1u);
 
-  fail_binds->store(false);
+  plan->arm(fault_site::kSlotBind, FaultSpec{});  // disarm
   auto recovered = router.value()->submit("a", BytesView(payload));
   ASSERT_TRUE(recovered.is_ok()) << recovered.message();
   EXPECT_EQ(load_le64(recovered.value()[0].data()), 36u);

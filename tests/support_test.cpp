@@ -2,7 +2,10 @@
 // the deterministic RNG, and the bounded MPMC queue behind the service pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
+#include <vector>
 
 #include "support/bytes.h"
 #include "support/queue.h"
@@ -195,6 +198,30 @@ TEST(BoundedQueue, CloseWakesBlockedConsumers) {
   });
   q.close();
   consumer.join();
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducers) {
+  // Producers stuck in a blocking push on a full queue must not deadlock a
+  // shutdown: close() wakes them all and their pushes report failure.
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(0));  // fill the queue so every producer blocks
+  constexpr int kProducers = 4;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int i = 0; i < kProducers; ++i)
+    producers.emplace_back([&, i] {
+      if (!q.push(i + 1)) rejected.fetch_add(1);
+    });
+  // Give the producers time to park on the full queue, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(rejected.load(), kProducers);
+  // The item queued before close still drains; then pop reports shutdown.
+  int v = -1;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 0);
+  EXPECT_FALSE(q.pop(v));
 }
 
 }  // namespace

@@ -5,7 +5,10 @@
 #   tools/check.sh              # all three flavors
 #   tools/check.sh plain asan   # a subset
 #   tools/check.sh --perf       # additionally gate VM dispatch throughput
-#                               # against the committed BENCH_vm.json baseline
+#                               # against BENCH_vm.json and fault-free
+#                               # serving throughput against BENCH_serving.json
+#   tools/check.sh --chaos      # additionally run the seeded chaos soak
+#                               # (tests/chaos_test.cpp) under plain AND tsan
 #   JOBS=4 tools/check.sh       # cap build/test parallelism
 #
 # Build trees are build-check-<flavor>/ at the repo root, kept apart from
@@ -15,10 +18,12 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 perf=0
+chaos=0
 flavors=()
 for arg in "$@"; do
   case "$arg" in
     --perf) perf=1 ;;
+    --chaos) chaos=1 ;;
     *) flavors+=("$arg") ;;
   esac
 done
@@ -35,6 +40,17 @@ cmake_flags_for() {
   esac
 }
 
+# Configures + builds build-check-<flavor>/ if its test binary is missing.
+ensure_tree() {
+  local flavor="$1" target="$2"
+  local flags build_dir
+  flags="$(cmake_flags_for "$flavor")"
+  build_dir="$repo_root/build-check-$flavor"
+  # shellcheck disable=SC2086  # $flags is intentionally word-split
+  cmake -B "$build_dir" -S "$repo_root" $flags >/dev/null
+  cmake --build "$build_dir" -j "$jobs" --target "$target" >/dev/null
+}
+
 for flavor in "${flavors[@]}"; do
   flags="$(cmake_flags_for "$flavor")"
   build_dir="$repo_root/build-check-$flavor"
@@ -48,18 +64,38 @@ for flavor in "${flavors[@]}"; do
     | tail -n 3
 done
 
+if [ "$chaos" -eq 1 ]; then
+  # The seeded fault-injection soak (ChaosSoak.RouterSurvivesFaultStorm and
+  # the rest of tests/chaos_test.cpp) on the two flavors where its
+  # invariants bite: plain (byte-exact oracle, replayable fire counts) and
+  # tsan (the same storm with every lock/race checked).
+  for flavor in plain tsan; do
+    build_dir="$repo_root/build-check-$flavor"
+    echo "==> [chaos/$flavor] build"
+    ensure_tree "$flavor" deflection_tests
+    echo "==> [chaos/$flavor] seeded soak (Chaos*)"
+    "$build_dir/tests/deflection_tests" --gtest_filter='Chaos*' \
+      | tail -n 2
+  done
+fi
+
 if [ "$perf" -eq 1 ]; then
-  # Wall-clock gate, so it only makes sense on the uninstrumented build: the
-  # block engine's instructions/sec must stay within 20% of the committed
-  # baseline (bench_vm_dispatch exits non-zero on a larger regression).
+  # Wall-clock gates, so they only make sense on the uninstrumented build:
+  #  - the block engine's instructions/sec within 20% of BENCH_vm.json;
+  #  - fault-free serving throughput (pool + multi-tenant registry, chaos
+  #    seams present but no FaultPlan armed) within 25% of
+  #    BENCH_serving.json.
   perf_dir="$repo_root/build-check-plain"
-  if [ ! -x "$perf_dir/bench/bench_vm_dispatch" ]; then
-    echo "==> [perf] building plain tree for the dispatch benchmark"
-    cmake -B "$perf_dir" -S "$repo_root" >/dev/null
-    cmake --build "$perf_dir" -j "$jobs" --target bench_vm_dispatch >/dev/null
-  fi
+  echo "==> [perf] building plain tree for the throughput benchmarks"
+  ensure_tree plain bench_vm_dispatch
+  ensure_tree plain bench_pool_throughput
+  ensure_tree plain bench_registry_multitenant
   echo "==> [perf] bench_vm_dispatch --check BENCH_vm.json"
   "$perf_dir/bench/bench_vm_dispatch" --check "$repo_root/BENCH_vm.json"
+  echo "==> [perf] bench_pool_throughput --check BENCH_serving.json"
+  "$perf_dir/bench/bench_pool_throughput" --check "$repo_root/BENCH_serving.json"
+  echo "==> [perf] bench_registry_multitenant --check BENCH_serving.json"
+  "$perf_dir/bench/bench_registry_multitenant" --check "$repo_root/BENCH_serving.json"
 fi
 
 echo "==> all flavors passed: ${flavors[*]}"
