@@ -303,6 +303,11 @@ Result<RunOutcome> BootstrapEnclave::ecall_run(std::uint64_t cost_limit) {
   vm::VmConfig vm_cfg = config_.vm;
   if (cost_limit > 0 && cost_limit < vm_cfg.max_cost) vm_cfg.max_cost = cost_limit;
   vm::Vm machine(*enclave_, vm_cfg);
+  // The per-enclave trace cache stays warm across ecall_runs of the same
+  // loaded binary: repeat requests skip predecode entirely and inherit
+  // already-linked blocks and promoted superblock loop traces from earlier
+  // runs. Staleness is covered by the cache's generation stamps (binary
+  // replacement goes through copy_in, which bumps the text generation).
   machine.set_block_cache(&block_cache_);
   if (trace_) machine.set_trace_hook(trace_);
   machine.set_ocall_handler([this, &outcome](std::uint8_t num, std::uint64_t rdi,

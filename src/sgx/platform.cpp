@@ -92,6 +92,19 @@ const std::uint8_t* AddressSpace::raw(std::uint64_t addr, std::uint64_t len) con
   return const_cast<AddressSpace*>(this)->raw(addr, len);
 }
 
+bool AddressSpace::resolve_page(std::uint64_t addr, std::uint64_t& page,
+                                std::uint8_t& perms, std::uint8_t*& mem) const {
+  std::uint64_t page_base = addr & ~(kPageSize - 1);
+  std::uint8_t* m = const_cast<AddressSpace*>(this)->raw(page_base, kPageSize);
+  if (m == nullptr) return false;  // page straddles a region edge
+  page = page_base >> 12;
+  perms = in_enclave(page_base)
+              ? page_perms_[(page_base - enclave_base_) / kPageSize]
+              : static_cast<std::uint8_t>(kPermRW);
+  mem = m;
+  return true;
+}
+
 // Installs the TLB entry for the page containing addr. Only pages fully
 // contained in one region are cached; host pages read/write as RW (the
 // attacker's memory), enclave pages carry their EPCM permissions.
@@ -181,7 +194,9 @@ Status AddressSpace::copy_in(std::uint64_t addr, BytesView data) {
       if (page == last_page) break;
     }
   }
-  std::memcpy(p, data.data(), data.size());
+  // data.data() may be null for an empty span; memcpy's pointer arguments
+  // must be non-null even when the count is zero.
+  if (!data.empty()) std::memcpy(p, data.data(), data.size());
   return Status::ok();
 }
 

@@ -97,6 +97,16 @@ class AddressSpace {
   // Fetch check for execution at addr (permission only; decoding reads raw).
   bool check_exec(std::uint64_t addr, MemFault& fault) const;
 
+  // Exposes one page's translation (tag, permissions, backing store) so the
+  // block engine can keep per-instruction-site resolved pages (vm/block.h
+  // SiteTlb) instead of contending on the shared 2-entry TLB below. Returns
+  // false — leaving the outputs untouched — when the page is not fully
+  // inside one region. Host pages resolve as RW (the attacker's memory).
+  // Callers must drop resolved pages when perm_generation() moves; the
+  // block engine does so wholesale via its cache flush.
+  bool resolve_page(std::uint64_t addr, std::uint64_t& page, std::uint8_t& perms,
+                    std::uint8_t*& mem) const;
+
   // Raw (no-check) access for the trusted runtime itself (loader writing
   // pages before EINIT, OCall stubs copying buffers, tests). Returns
   // nullptr if [addr, addr+len) is not fully inside one region.

@@ -1,4 +1,24 @@
-// Block execution engine: trace formation and the fast dispatch loop.
+// Block execution engine: trace formation and the fast dispatch tiers.
+//
+// Three tiers live here, all bit-identical to the step interpreter:
+//  1. Threaded block dispatch (Vm::exec_block): one predecoded block's
+//     instructions replayed by a computed-goto loop (switch fallback on
+//     non-GCC/Clang), generated from the same ops.inc bodies as Vm::exec.
+//     Guest loads/stores go through per-instruction-site resolved pages
+//     (SiteTlb) instead of the AddressSpace micro-TLB.
+//  2. Block linking (Vm::run_blocks): blocks whose exits are statically
+//     known (Jmp, Jcc taken/fallthrough, page-boundary fallthrough) cache
+//     successor Block* pointers, so hot paths chain block-to-block without
+//     re-probing BlockCache::find. Links are patched lazily the first time
+//     an edge is taken; the pointer-lifetime invariant in block.h makes raw
+//     pointers safe (clear() is the only destruction point, and the
+//     dispatcher drops its pointers whenever the cache is cleared).
+//  3. Superblocks: when a block re-enters often enough (a hot loop header),
+//     the dispatcher records one full iteration's block sequence and then
+//     executes whole iterations with a single AEX-threshold/max-cost check
+//     per iteration instead of one per block. A side exit (a member's
+//     conditional going the other way) falls back to per-block dispatch at
+//     the exact deviating RIP.
 //
 // Bit-identity with the step interpreter is the design constraint, not an
 // afterthought:
@@ -9,25 +29,65 @@
 //    failure simply ends the block early; the faulting RIP then becomes the
 //    entry of the next block and faults there, which is when the step
 //    engine would have reported it too.
-//  - AEX accounting is batched: a block only takes the fast path when
-//    cost_ + block.cost stays strictly below Enclave::next_aex_threshold(),
-//    i.e. when the step engine would not have delivered any AEX inside the
-//    block (tick fires at total_cost >= threshold, and cost is monotone
-//    within the block). Otherwise the dispatcher executes one reference
-//    step() and re-evaluates, so AEX timing, burst delivery and the SSA
-//    register snapshot (taken before the interrupted instruction executes)
-//    stay bit-identical.
+//  - AEX accounting is batched: a block (or a whole superblock iteration)
+//    only takes the fast path when cost_ + its total cost stays strictly
+//    below Enclave::next_aex_threshold(), i.e. when the step engine would
+//    not have delivered any AEX inside it (tick fires at total_cost >=
+//    threshold, and cost is monotone within a trace, so no prefix can
+//    cross). Otherwise the dispatcher executes one reference step() and
+//    re-evaluates, so AEX timing, burst delivery and the SSA register
+//    snapshot (taken before the interrupted instruction executes) stay
+//    bit-identical. A superblock whose next iteration would cross the
+//    threshold demotes to per-block dispatch, which in turn demotes to
+//    step() — the same ladder, one rung at a time.
 //  - The cost limit uses the same reasoning: step() trips CostLimit when
-//    cost_ > max_cost at an instruction boundary, so a block is only fast-
-//    pathed when cost_ + block.cost <= max_cost (no prefix can trip).
+//    cost_ > max_cost at an instruction boundary, so a trace is only fast-
+//    pathed when cost_ + its cost <= max_cost (no prefix can trip).
+//  - Cost and the instruction counter are not maintained per instruction at
+//    all: every BlockInstr carries the cumulative cost of its block/trace
+//    prefix (cum_cost), so any exit can reconstruct the exact step-engine
+//    values from the array position. Nothing can observe the counters
+//    between instructions — tick() only runs inside step() — so deferring
+//    them to the exit is invisible.
+#include <bit>
+#include <cmath>
+#include <limits>
+
 #include "vm/vm.h"
 
 namespace deflection::vm {
 
 using isa::Instr;
 using isa::Op;
+using isa::Reg;
 
 namespace {
+
+// Synthetic macro-ops, used only inside BlockInstr arrays (the decoder
+// never produces them and the step interpreter never sees them): a compare
+// or test immediately followed by its conditional branch executes as ONE
+// dispatch. Encoding reuses the compare's Instr — rd/rs/imm keep the
+// compare operands, cond takes the Jcc's condition, length is stretched to
+// cover both instructions (so addr+length is the fallthrough RIP), and the
+// otherwise-unused mem.disp holds the Jcc's rel32 (taken = addr+length+disp).
+constexpr Op kFuseCmpRRJcc =
+    static_cast<Op>(static_cast<std::uint8_t>(Op::kOpCount) + 0);
+constexpr Op kFuseCmpRIJcc =
+    static_cast<Op>(static_cast<std::uint8_t>(Op::kOpCount) + 1);
+constexpr Op kFuseTestRRJcc =
+    static_cast<Op>(static_cast<std::uint8_t>(Op::kOpCount) + 2);
+constexpr std::size_t kNumFusedOps = 3;
+
+bool is_fused_jcc(Op op) {
+  return op == kFuseCmpRRJcc || op == kFuseCmpRIJcc || op == kFuseTestRRJcc;
+}
+
+// Dispatches of a block before it is considered a hot loop header and one
+// iteration is recorded for superblock promotion.
+constexpr std::uint32_t kHotThreshold = 16;
+// Longest loop body (in blocks) a superblock will stitch; larger loops stay
+// on linked per-block dispatch.
+constexpr std::size_t kMaxTraceBlocks = 32;
 
 // Control transfers and ocalls terminate a block: their successor RIP is
 // only known at execution time (or, for Ocall, the handler may mutate
@@ -48,15 +108,15 @@ bool ends_block(const Instr& ins) {
   }
 }
 
-// Memory writers that do NOT end the block; the dispatcher re-validates the
-// text generation after each of these (self-modifying-store abort).
-bool writes_mem_mid_block(const Instr& ins) {
+// Guest memory accessors with a static (disp-only) address, eligible for
+// build-time page pre-resolution.
+bool has_mem_operand(const Instr& ins) {
   switch (ins.op) {
+    case Op::Load:
+    case Op::Load8:
     case Op::Store:
     case Op::Store8:
     case Op::StoreI:
-    case Op::Push:
-    case Op::PushI:
       return true;
     default:
       return false;
@@ -68,13 +128,18 @@ bool writes_mem_mid_block(const Instr& ins) {
 // Decodes the block starting at rip_ and caches it. Returns nullptr (with
 // `result` holding the fault) only when the entry instruction itself fails
 // a check — the exact cases step() faults on before executing anything.
-const Block* Vm::build_block(RunResult& result) {
+Block* Vm::build_block(RunResult& result) {
   Block block;
   block.entry = rip_;
   std::uint64_t pc = rip_;
   // Blocks never extend past the entry page boundary (the last instruction
   // may straddle it; its bytes are still permission-checked below). This
-  // bounds the span a cached block depends on.
+  // bounds the span a cached block depends on. byte_length then records the
+  // true span INCLUDING the straddled tail page — which is safe only
+  // because invalidation is wholesale: an EDMM permission change on the
+  // next page bumps perm_generation and flushes the entire cache, and a
+  // store into the straddled page's text bumps the text generation
+  // likewise. tests/block_cache_test.cpp pins both flushes.
   const std::uint64_t page_end =
       (rip_ & ~(sgx::kPageSize - 1)) + sgx::kPageSize;
   sgx::MemFault mf;
@@ -113,21 +178,519 @@ const Block* Vm::build_block(RunResult& result) {
       }
       break;
     }
-    BlockInstr bi;
-    bi.cost = static_cast<std::uint32_t>(cost_of(ins));
-    bi.writes_mem = writes_mem_mid_block(ins);
-    bi.instr = ins;
-    block.cost += bi.cost;
-    block.instrs.push_back(bi);
+    block.cost += cost_of(ins);
+    // Macro-op fusion: a compare/test whose Jcc follows immediately in the
+    // same block collapses into one synthetic entry (one dispatch for the
+    // pair). A jump that targets the Jcc itself simply starts its own block
+    // there, so fusing is always safe. cum_cost/cum_count absorb both
+    // halves, which is why they are explicit fields and not array indices.
+    if (ins.op == Op::Jcc && !block.instrs.empty() &&
+        (block.instrs.back().instr.op == Op::CmpRR ||
+         block.instrs.back().instr.op == Op::CmpRI ||
+         block.instrs.back().instr.op == Op::TestRR)) {
+      BlockInstr& prev = block.instrs.back();
+      switch (prev.instr.op) {
+        case Op::CmpRR: prev.instr.op = kFuseCmpRRJcc; break;
+        case Op::CmpRI: prev.instr.op = kFuseCmpRIJcc; break;
+        default: prev.instr.op = kFuseTestRRJcc; break;
+      }
+      prev.instr.cond = ins.cond;
+      prev.instr.mem.disp = static_cast<std::int32_t>(ins.imm);
+      prev.instr.length =
+          static_cast<std::uint32_t>(pc + ins.length - prev.instr.addr);
+      prev.cum_cost = static_cast<std::uint32_t>(block.cost);
+      prev.cum_count += 1;
+    } else {
+      BlockInstr bi;
+      bi.instr = ins;
+      bi.cum_cost = static_cast<std::uint32_t>(block.cost);
+      bi.cum_count = static_cast<std::uint32_t>(block.instrs.empty()
+                         ? 1
+                         : block.instrs.back().cum_count + 1);
+      // Static memory operand (no base/index register): pre-resolve the page
+      // now so the first execution already skips the translation walk. The
+      // resolved (page, perms, mem) triple stays valid for the block's whole
+      // lifetime — any permission or text change flushes the cache.
+      if (has_mem_operand(ins) && !ins.mem.has_base && !ins.mem.has_index) {
+        std::uint64_t addr =
+            static_cast<std::uint64_t>(static_cast<std::int64_t>(ins.mem.disp));
+        std::uint64_t page;
+        std::uint8_t perms;
+        if (space_.resolve_page(addr, page, perms, bi.tlb.mem))
+          bi.tlb.tag = SiteTlb::make_tag(page, perms);
+      }
+      block.instrs.push_back(bi);
+    }
     pc += ins.length;
     block.byte_length = static_cast<std::uint32_t>(pc - block.entry);
     if (ends_block(ins) || pc >= page_end) break;
   }
+  // Classify the exit so the dispatcher can link statically known
+  // successors (and the superblock recorder knows which chains can close).
+  const Instr& last = block.instrs.back().instr;
+  if (last.op == Op::Jmp) {
+    block.exit = BlockExit::Jmp;
+    block.taken_target = last.branch_target();
+  } else if (last.op == Op::Jcc || is_fused_jcc(last.op)) {
+    block.exit = BlockExit::Jcc;
+    // Fused entries keep the compare's imm, so the Jcc rel32 lives in
+    // mem.disp; addr+length is the fallthrough either way.
+    block.taken_target =
+        is_fused_jcc(last.op)
+            ? last.addr + last.length +
+                  static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(last.mem.disp))
+            : last.branch_target();
+    block.fall_target = last.addr + last.length;
+  } else if (!ends_block(last)) {
+    // Page-boundary split: execution falls through to the next page.
+    block.exit = BlockExit::Fall;
+    block.fall_target = pc;
+  }  // else BlockExit::Other (call/ret/indirect/hlt/ocall)
+  block.ends_in_ocall = last.op == Op::Ocall;
   return active_blocks_->insert(std::move(block));
+}
+
+// Threaded execution of a predecoded instruction sequence — one block
+// (kTrace=false) or a stitched superblock iteration that wraps around
+// (kTrace=true). Generated from the shared ops.inc bodies; guest loads/
+// stores try the instruction's own resolved page (SiteTlb) before falling
+// back to the checked AddressSpace path.
+template <bool kTrace>
+Vm::BlockStatus Vm::exec_instrs(BlockInstr* bi, BlockInstr* const bend,
+                                std::uint64_t trace_cost, RunResult& result) {
+  sgx::MemFault mf;
+  const std::uint64_t text_gen0 = space_.text_write_generation();
+  // Superblock wrap state: the back edge re-enters at tstart only while
+  // another whole iteration stays below the AEX threshold and the cost
+  // limit. Both bounds are stable for the duration of this call — tick()
+  // only runs inside step(), never here — so they are hoisted once.
+  BlockInstr* const tstart = bi;
+  const std::uint64_t tentry = bi->instr.addr;
+  const std::uint64_t aex_thr = kTrace ? enclave_.next_aex_threshold() : 0;
+  const std::uint64_t max_cost = config_.max_cost;
+  (void)trace_cost; (void)tentry; (void)aex_thr; (void)max_cost;
+
+  // RIP lives in a local for the duration of the call (guest stores can
+  // alias any Vm member as far as the compiler knows, so a member RIP would
+  // be spilled and reloaded around every memory access). Cost and the
+  // instruction counter are not maintained at all while dispatching:
+  // cost_base/icount_base snapshot the members on entry (and absorb
+  // completed wrap iterations and VM_CHARGE extras), and the flush macros
+  // reconstruct the exact values from the current BlockInstr's cum_cost and
+  // array index. Sound because nothing observes the members mid-call.
+  std::uint64_t rip_v = rip_;
+  std::uint64_t cost_base = cost_;
+  std::uint64_t icount_base = instructions_;
+  // Set when a store took the checked slow path — the only way a store in
+  // here can hit an executable page and move the text generation (site fast
+  // paths refuse X pages). VM_NEXT_MEMW only pays the generation load when
+  // this is set, i.e. almost never.
+  bool maybe_text = false;
+#define VM_SET_RIP(x) rip_v = (x)
+#define VM_CHARGE(x) cost_base += (x)
+// Flush with `bi` at the current (already executed or faulting)
+// instruction: it is included in the totals, exactly as step() includes the
+// instruction it faults on.
+#define VM_FLUSH_AT_BI                            \
+  do {                                            \
+    rip_ = rip_v;                                 \
+    cost_ = cost_base + bi->cum_cost;             \
+    instructions_ = icount_base + bi->cum_count;  \
+  } while (0)
+// Flush with `bi` one past the last executed instruction (after the ++bi of
+// an advance): totals cover the prefix ending at bi[-1].
+#define VM_FLUSH_PAST                                \
+  do {                                               \
+    rip_ = rip_v;                                    \
+    cost_ = cost_base + bi[-1].cum_cost;             \
+    instructions_ = icount_base + bi[-1].cum_count;  \
+  } while (0)
+
+  // Stack helpers with the same per-site resolved page as explicit memory
+  // operands (Push/Pop/PushI/Call/Ret carry no mem operand, so their
+  // BlockInstr site is free for the stack page). Fault order matches the
+  // step engine exactly: RSP moves before a failed push, after a
+  // successful pop. The fast store path refuses executable pages so a push
+  // into text still bumps the generation on the slow path.
+  // Re-resolve a site after a successful slow-path access so the next
+  // execution of the same instruction hits its cached page directly.
+  auto refill = [&](SiteTlb& site, std::uint64_t addr) {
+    std::uint64_t page;
+    std::uint8_t perms;
+    if (space_.resolve_page(addr, page, perms, site.mem))
+      site.tag = SiteTlb::make_tag(page, perms);
+  };
+  auto push64 = [&](std::uint64_t v) -> bool {
+    std::uint64_t& rsp = regs_[static_cast<int>(Reg::RSP)];
+    rsp -= 8;
+    SiteTlb& site = bi->tlb;
+    if (site.hit(rsp) &&
+        (rsp & (sgx::kPageSize - 1)) <= sgx::kPageSize - 8 &&
+        (site.tag & sgx::kPermW) != 0 && (site.tag & sgx::kPermX) == 0) {
+      store_le64(site.mem + (rsp & (sgx::kPageSize - 1)), v);
+      return true;
+    }
+    if (!space_.write_u64(rsp, v, mf)) return fault(result, "stack_" + mf.code, mf.addr);
+    maybe_text = true;
+    refill(site, rsp);
+    return true;
+  };
+  auto pop64 = [&](std::uint64_t& v) -> bool {
+    std::uint64_t& rsp = regs_[static_cast<int>(Reg::RSP)];
+    SiteTlb& site = bi->tlb;
+    if (site.hit(rsp) &&
+        (rsp & (sgx::kPageSize - 1)) <= sgx::kPageSize - 8 &&
+        (site.tag & sgx::kPermR) != 0) {
+      v = load_le64(site.mem + (rsp & (sgx::kPageSize - 1)));
+      rsp += 8;
+      return true;
+    }
+    if (!space_.read_u64(rsp, v, mf)) return fault(result, "stack_" + mf.code, mf.addr);
+    refill(site, rsp);
+    rsp += 8;
+    return true;
+  };
+  auto set_cmp = [&](std::int64_t a, std::int64_t b) {
+    flags_.unordered = false;
+    flags_.signed_cmp = a < b ? -1 : (a > b ? 1 : 0);
+    std::uint64_t ua = static_cast<std::uint64_t>(a), ub = static_cast<std::uint64_t>(b);
+    flags_.unsigned_cmp = ua < ub ? -1 : (ua > ub ? 1 : 0);
+  };
+  auto as_f = [](std::uint64_t v) { return std::bit_cast<double>(v); };
+  auto as_u = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+
+// Memory macros: per-site resolved page first, checked slow path second.
+// The fast store path refuses executable pages so the text-generation bump
+// (the self-modifying-code signal VM_NEXT_MEMW watches) is never swallowed;
+// slow-path stores raise maybe_text so the bump is noticed.
+#define VM_READ_U64(a, out)                                                   \
+  do {                                                                        \
+    SiteTlb& site = bi->tlb;                                                  \
+    const std::uint64_t a_ = (a);                                             \
+    if (site.hit(a_) &&                                                       \
+        (a_ & (sgx::kPageSize - 1)) <= sgx::kPageSize - 8 &&                  \
+        (site.tag & sgx::kPermR) != 0) {                                      \
+      out = load_le64(site.mem + (a_ & (sgx::kPageSize - 1)));                \
+    } else {                                                                  \
+      if (!space_.read_u64(a_, out, mf)) VM_FAULT("load_" + mf.code, mf.addr); \
+      refill(site, a_);                                                       \
+    }                                                                         \
+  } while (0)
+#define VM_READ_U8(a, out)                                                    \
+  do {                                                                        \
+    SiteTlb& site = bi->tlb;                                                  \
+    const std::uint64_t a_ = (a);                                             \
+    if (site.hit(a_) && (site.tag & sgx::kPermR) != 0) {                      \
+      out = site.mem[a_ & (sgx::kPageSize - 1)];                              \
+    } else {                                                                  \
+      if (!space_.read_u8(a_, out, mf)) VM_FAULT("load_" + mf.code, mf.addr); \
+      refill(site, a_);                                                       \
+    }                                                                         \
+  } while (0)
+#define VM_WRITE_U64(a, v)                                                    \
+  do {                                                                        \
+    SiteTlb& site = bi->tlb;                                                  \
+    const std::uint64_t a_ = (a);                                             \
+    if (site.hit(a_) &&                                                       \
+        (a_ & (sgx::kPageSize - 1)) <= sgx::kPageSize - 8 &&                  \
+        (site.tag & sgx::kPermW) != 0 && (site.tag & sgx::kPermX) == 0) {     \
+      store_le64(site.mem + (a_ & (sgx::kPageSize - 1)), v);                  \
+    } else {                                                                  \
+      if (!space_.write_u64(a_, v, mf))                                       \
+        VM_FAULT("store_" + mf.code, mf.addr);                                \
+      maybe_text = true;                                                      \
+      refill(site, a_);                                                       \
+    }                                                                         \
+  } while (0)
+#define VM_WRITE_U8(a, v)                                                     \
+  do {                                                                        \
+    SiteTlb& site = bi->tlb;                                                  \
+    const std::uint64_t a_ = (a);                                             \
+    if (site.hit(a_) && (site.tag & sgx::kPermW) != 0 &&                      \
+        (site.tag & sgx::kPermX) == 0) {                                      \
+      site.mem[a_ & (sgx::kPageSize - 1)] = (v);                              \
+    } else {                                                                  \
+      if (!space_.write_u8(a_, v, mf)) VM_FAULT("store_" + mf.code, mf.addr); \
+      maybe_text = true;                                                      \
+      refill(site, a_);                                                       \
+    }                                                                         \
+  } while (0)
+#define VM_FAULT(code, addr)       \
+  do {                             \
+    VM_FLUSH_AT_BI;                \
+    fault(result, code, addr);     \
+    return BlockStatus::Stopped;   \
+  } while (0)
+#define VM_STOP        \
+  do {                 \
+    VM_FLUSH_AT_BI;    \
+    return BlockStatus::Stopped; \
+  } while (0)
+// End of the instruction array (bi == bend): a block is done (Clean); a
+// stitched trace first folds the finished iteration into the bases, then
+// wraps to the top if one more whole iteration fits below the AEX threshold
+// and cost limit — the superblock's single per-iteration check. On a wrap
+// refusal the bases already ARE the exact totals, so they flush directly.
+// VM_EXEC_AT_BI is supplied by the active dispatch variant below.
+#define VM_WRAP_OR_EXIT                                           \
+  do {                                                            \
+    if constexpr (kTrace) {                                       \
+      if (rip_v == tentry) {                                      \
+        cost_base += trace_cost;                                  \
+        icount_base += bend[-1].cum_count;                        \
+        if (cost_base + trace_cost < aex_thr &&                   \
+            cost_base + trace_cost <= max_cost) {                 \
+          bi = tstart;                                            \
+          VM_EXEC_AT_BI;                                          \
+        }                                                         \
+        rip_ = rip_v;                                             \
+        cost_ = cost_base;                                        \
+        instructions_ = icount_base;                              \
+        return BlockStatus::Clean;                                \
+      }                                                           \
+    }                                                             \
+    VM_FLUSH_PAST;                                                \
+    return BlockStatus::Clean;                                    \
+  } while (0)
+// Control transfer: a lone block is simply done (the dispatcher follows
+// links). Inside a stitched trace the branch either lands on the next
+// stitched instruction (the recorded path — keep going), wraps the back
+// edge, or side-exits Clean at the exact deviating RIP. Traces stitch
+// through Call/Ret too, and a Call's push can write text via the slow path
+// (no VM_NEXT_MEMW follows a branch), so the maybe_text check runs here
+// before continuing into possibly-stale stitched instructions.
+#define VM_BRANCH                                    \
+  do {                                               \
+    if constexpr (kTrace) {                          \
+      VM_MEMW_CHECK                                  \
+      ++bi;                                          \
+      if (bi == bend) VM_WRAP_OR_EXIT;               \
+      if (rip_v == bi->instr.addr) VM_EXEC_AT_BI;    \
+      VM_FLUSH_PAST;                                 \
+      return BlockStatus::Clean;                     \
+    } else {                                         \
+      VM_FLUSH_AT_BI;                                \
+      return BlockStatus::Clean;                     \
+    }                                                \
+  } while (0)
+// Post-store text-generation re-check: only a slow-path store can have
+// bumped the generation, so the load is gated on maybe_text.
+#define VM_MEMW_CHECK                                  \
+  if (maybe_text) {                                    \
+    maybe_text = false;                                \
+    if (space_.text_write_generation() != text_gen0) { \
+      VM_FLUSH_AT_BI;                                  \
+      return BlockStatus::TextChanged;                 \
+    }                                                  \
+  }
+
+#if !defined(DEFLECTION_NO_COMPUTED_GOTO) && (defined(__GNUC__) || defined(__clang__))
+  // Threaded dispatch: each handler ends with its own indirect jump to the
+  // next instruction's handler, giving the branch predictor one site per
+  // opcode pair instead of a single shared switch branch. The label table
+  // is positional over ops.inc, which lists handlers in exact Op order.
+  static const void* const kLabels[] = {
+      &&L_Nop,    &&L_Hlt,    &&L_MovRR,  &&L_MovRI,  &&L_Load,   &&L_Load8,
+      &&L_Store,  &&L_Store8, &&L_StoreI, &&L_Lea,    &&L_AddRR,  &&L_AddRI,
+      &&L_SubRR,  &&L_SubRI,  &&L_ImulRR, &&L_ImulRI, &&L_IdivRR, &&L_IremRR,
+      &&L_AndRR,  &&L_AndRI,  &&L_OrRR,   &&L_OrRI,   &&L_XorRR,  &&L_XorRI,
+      &&L_ShlRR,  &&L_ShlRI,  &&L_ShrRR,  &&L_ShrRI,  &&L_SarRR,  &&L_SarRI,
+      &&L_NotR,   &&L_NegR,   &&L_CmpRR,  &&L_CmpRI,  &&L_TestRR, &&L_Jmp,
+      &&L_Jcc,    &&L_JmpInd, &&L_Call,   &&L_CallInd, &&L_Ret,   &&L_Push,
+      &&L_Pop,    &&L_PushI,  &&L_FAddRR, &&L_FSubRR, &&L_FMulRR, &&L_FDivRR,
+      &&L_FCmpRR, &&L_CvtI2F, &&L_CvtF2I, &&L_FNegR,  &&L_FAbsR,  &&L_FSqrtR,
+      &&L_FSinR,  &&L_FCosR,  &&L_FExpR,  &&L_FLogR,  &&L_Ocall,
+      // Synthetic fused macro-ops (build_block only; indices follow Op).
+      &&L_FuseCmpRRJcc, &&L_FuseCmpRIJcc, &&L_FuseTestRRJcc,
+  };
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
+                    static_cast<std::size_t>(Op::kOpCount) + kNumFusedOps,
+                "kLabels must cover every opcode, in Op order (see ops.inc)");
+
+#define VM_EXEC_AT_BI goto *kLabels[static_cast<std::uint8_t>(bi->instr.op)]
+#define VM_DISPATCH_ADVANCE      \
+  do {                           \
+    ++bi;                        \
+    if (bi == bend) VM_WRAP_OR_EXIT; \
+    VM_EXEC_AT_BI;               \
+  } while (0)
+#define VM_OP(name)                                      \
+  L_##name : {                                           \
+    const Instr& ins = bi->instr;                        \
+    std::uint64_t& rd = regs_[static_cast<int>(ins.rd)]; \
+    std::uint64_t rs = regs_[static_cast<int>(ins.rs)];  \
+    std::uint64_t next = ins.addr + ins.length;          \
+    (void)rd; (void)rs; (void)next;
+#define VM_END }
+#define VM_NEXT \
+  rip_v = next; \
+  VM_DISPATCH_ADVANCE
+#define VM_NEXT_MEMW \
+  rip_v = next;      \
+  VM_MEMW_CHECK      \
+  VM_DISPATCH_ADVANCE
+
+  if (bi == bend) return BlockStatus::Clean;
+  VM_EXEC_AT_BI;
+
+#include "vm/ops.inc"
+
+// Fused macro-op handlers: the compare half mirrors the corresponding
+// ops.inc body bit-for-bit (flags_ stays observable by later Jccs); the
+// branch half is a verbatim Jcc over the re-encoded fields (fallthrough =
+// addr+length, taken = fallthrough + mem.disp).
+L_FuseCmpRRJcc : {
+  const Instr& ins = bi->instr;
+  set_cmp(static_cast<std::int64_t>(regs_[static_cast<int>(ins.rd)]),
+          static_cast<std::int64_t>(regs_[static_cast<int>(ins.rs)]));
+  const std::uint64_t fall = ins.addr + ins.length;
+  rip_v = eval_cond(ins.cond)
+              ? fall + static_cast<std::uint64_t>(
+                           static_cast<std::int64_t>(ins.mem.disp))
+              : fall;
+  VM_BRANCH;
+}
+L_FuseCmpRIJcc : {
+  const Instr& ins = bi->instr;
+  set_cmp(static_cast<std::int64_t>(regs_[static_cast<int>(ins.rd)]), ins.imm);
+  const std::uint64_t fall = ins.addr + ins.length;
+  rip_v = eval_cond(ins.cond)
+              ? fall + static_cast<std::uint64_t>(
+                           static_cast<std::int64_t>(ins.mem.disp))
+              : fall;
+  VM_BRANCH;
+}
+L_FuseTestRRJcc : {
+  const Instr& ins = bi->instr;
+  set_cmp(static_cast<std::int64_t>(regs_[static_cast<int>(ins.rd)] &
+                                    regs_[static_cast<int>(ins.rs)]),
+          0);
+  const std::uint64_t fall = ins.addr + ins.length;
+  rip_v = eval_cond(ins.cond)
+              ? fall + static_cast<std::uint64_t>(
+                           static_cast<std::int64_t>(ins.mem.disp))
+              : fall;
+  VM_BRANCH;
+}
+
+#undef VM_DISPATCH_ADVANCE
+
+#else  // switch fallback (no computed goto)
+
+#define VM_EXEC_AT_BI goto exec_bi
+#define VM_OP(name)                                      \
+  case Op::name: {                                       \
+    const Instr& ins = bi->instr;                        \
+    std::uint64_t& rd = regs_[static_cast<int>(ins.rd)]; \
+    std::uint64_t rs = regs_[static_cast<int>(ins.rs)];  \
+    std::uint64_t next = ins.addr + ins.length;          \
+    (void)rd; (void)rs; (void)next;
+#define VM_END }
+#define VM_NEXT \
+  rip_v = next; \
+  break
+#define VM_NEXT_MEMW \
+  rip_v = next;      \
+  VM_MEMW_CHECK      \
+  break
+
+  if (bi == bend) return BlockStatus::Clean;
+exec_bi:
+  switch (bi->instr.op) {
+#include "vm/ops.inc"
+    // Fused macro-op handlers; see the threaded variant for the encoding.
+    case kFuseCmpRRJcc: {
+      const Instr& ins = bi->instr;
+      set_cmp(static_cast<std::int64_t>(regs_[static_cast<int>(ins.rd)]),
+              static_cast<std::int64_t>(regs_[static_cast<int>(ins.rs)]));
+      const std::uint64_t fall = ins.addr + ins.length;
+      rip_v = eval_cond(ins.cond)
+                  ? fall + static_cast<std::uint64_t>(
+                               static_cast<std::int64_t>(ins.mem.disp))
+                  : fall;
+      VM_BRANCH;
+    }
+    case kFuseCmpRIJcc: {
+      const Instr& ins = bi->instr;
+      set_cmp(static_cast<std::int64_t>(regs_[static_cast<int>(ins.rd)]),
+              ins.imm);
+      const std::uint64_t fall = ins.addr + ins.length;
+      rip_v = eval_cond(ins.cond)
+                  ? fall + static_cast<std::uint64_t>(
+                               static_cast<std::int64_t>(ins.mem.disp))
+                  : fall;
+      VM_BRANCH;
+    }
+    case kFuseTestRRJcc: {
+      const Instr& ins = bi->instr;
+      set_cmp(static_cast<std::int64_t>(regs_[static_cast<int>(ins.rd)] &
+                                        regs_[static_cast<int>(ins.rs)]),
+              0);
+      const std::uint64_t fall = ins.addr + ins.length;
+      rip_v = eval_cond(ins.cond)
+                  ? fall + static_cast<std::uint64_t>(
+                               static_cast<std::int64_t>(ins.mem.disp))
+                  : fall;
+      VM_BRANCH;
+    }
+    default:
+      VM_FAULT("bad_instruction", bi->instr.addr);
+  }
+  ++bi;
+  if (bi != bend) goto exec_bi;
+  VM_WRAP_OR_EXIT;
+
+#endif
+
+#undef VM_OP
+#undef VM_END
+#undef VM_NEXT
+#undef VM_NEXT_MEMW
+#undef VM_BRANCH
+#undef VM_STOP
+#undef VM_FAULT
+#undef VM_SET_RIP
+#undef VM_CHARGE
+#undef VM_FLUSH_AT_BI
+#undef VM_FLUSH_PAST
+#undef VM_WRAP_OR_EXIT
+#undef VM_MEMW_CHECK
+#undef VM_EXEC_AT_BI
+#undef VM_READ_U64
+#undef VM_READ_U8
+#undef VM_WRITE_U64
+#undef VM_WRITE_U8
+}
+
+Vm::BlockStatus Vm::exec_block(Block& blk, RunResult& result) {
+  return exec_instrs<false>(blk.instrs.data(),
+                            blk.instrs.data() + blk.instrs.size(), 0, result);
+}
+
+Vm::BlockStatus Vm::exec_trace(Block& blk, RunResult& result) {
+  return exec_instrs<true>(blk.trace_instrs.data(),
+                           blk.trace_instrs.data() + blk.trace_instrs.size(),
+                           blk.trace_cost, result);
 }
 
 void Vm::run_blocks(RunResult& result) {
   BlockCache& cache = *active_blocks_;
+  // Lazily patched link: the block we left over a static edge whose
+  // successor was not yet cached; the outer loop fills it in right after
+  // the successor is found or built.
+  Block* pending_link_from = nullptr;
+  int pending_edge = 0;  // 0 = taken, 1 = fall
+  // Superblock recording: the loop header being traced and the blocks of
+  // the current (first) iteration, in execution order.
+  Block* rec_header = nullptr;
+  std::vector<Block*> rec;
+  auto abort_recording = [&](bool mark_dead) {
+    if (rec_header != nullptr && mark_dead) rec_header->no_promote = true;
+    rec_header = nullptr;
+    rec.clear();
+  };
+
   while (!halted_) {
     if (cost_ > config_.max_cost) {
       result.exit = Exit::CostLimit;
@@ -139,32 +702,169 @@ void Vm::run_blocks(RunResult& result) {
       cache.clear();
       cache.text_gen = space_.text_write_generation();
       cache.perm_gen = space_.perm_generation();
+      // Every cached Block* this dispatcher holds died with the flush.
+      pending_link_from = nullptr;
+      abort_recording(false);
     }
-    const Block* block = cache.find(rip_);
+    Block* block = cache.find(rip_);
     if (block == nullptr) {
       block = build_block(result);
       if (block == nullptr) return;  // entry instruction faulted
     }
-    std::uint64_t cost_after = cost_ + block->cost;
-    if (cost_after >= enclave_.next_aex_threshold() ||
-        cost_after > config_.max_cost) {
-      // The block would cross an AEX threshold or the cost limit mid-trace:
-      // execute ONE reference-interpreter step (which ticks the enclave and
-      // snapshots the SSA exactly like the paper's per-instruction world)
-      // and re-evaluate. Once the threshold advances, dispatch resumes on
-      // the fast path.
-      if (!step(result)) return;
-      continue;
+    if (pending_link_from != nullptr) {
+      if (pending_edge == 2) {
+        // Dynamic-exit inline cache: last observed target wins.
+        pending_link_from->succ_dyn = block;
+        pending_link_from->succ_dyn_rip = block->entry;
+      } else {
+        (pending_edge == 0 ? pending_link_from->succ_taken
+                           : pending_link_from->succ_fall) = block;
+      }
+      pending_link_from = nullptr;
     }
-    const std::uint64_t text_gen = cache.text_gen;
-    for (const BlockInstr& bi : block->instrs) {
-      cost_ += bi.cost;
-      ++instructions_;
-      if (!exec(bi.instr, result)) break;  // halt or fault; outer loop exits
-      // A store may have rewritten this very trace (P4-off self-modifying
-      // code): abandon the stale remainder; rip_ already points at the next
-      // instruction, which re-decodes fresh on the next dispatch.
-      if (bi.writes_mem && space_.text_write_generation() != text_gen) break;
+
+    // Chained dispatch: follow static links block-to-block without
+    // returning to the probe above; any slow-path condition breaks out.
+    while (true) {
+      // --- superblock bookkeeping ---------------------------------------
+      if (rec_header != nullptr) {
+        if (block == rec_header) {
+          // The recorded chain closed back on its header: stitch the
+          // members' instructions flat into the header's superblock,
+          // rebasing each copy's cum_cost onto the running iteration total.
+          std::size_t n = 0;
+          for (const Block* m : rec) n += m->instrs.size();
+          rec_header->trace_instrs.reserve(n);
+          std::uint64_t total = 0;
+          std::uint32_t count = 0;
+          for (const Block* m : rec) {
+            for (BlockInstr bi : m->instrs) {
+              bi.cum_cost += static_cast<std::uint32_t>(total);
+              bi.cum_count += count;
+              rec_header->trace_instrs.push_back(bi);
+            }
+            total += m->cost;
+            count += m->instrs.back().cum_count;
+          }
+          rec_header->trace_cost = total;
+          rec_header = nullptr;
+          rec.clear();
+        } else if (!block->trace_instrs.empty() ||
+                   rec.size() >= kMaxTraceBlocks) {
+          // Nested promoted loop or oversized body: recording this header
+          // again would fail the same way, so mark it dead.
+          abort_recording(true);
+        } else {
+          rec.push_back(block);
+        }
+      } else if (block->trace_instrs.empty() && !block->no_promote &&
+                 ++block->heat >= kHotThreshold) {
+        rec_header = block;
+        rec.clear();
+        rec.push_back(block);
+      }
+
+      // --- superblock execution: whole iterations, one check each -------
+      if (!block->trace_instrs.empty()) {
+        const std::uint64_t after = cost_ + block->trace_cost;
+        if (after < enclave_.next_aex_threshold() &&
+            after <= config_.max_cost) {
+          // Iteration one fits; exec_trace loops further iterations with
+          // the same check at each back edge and returns Clean on a side
+          // exit or when the next iteration would cross a line mid-trace.
+          BlockStatus st = exec_trace(*block, result);
+          if (st == BlockStatus::Stopped) return;
+          if (st == BlockStatus::TextChanged) break;  // outer flushes stamps
+          // Clean: a side exit or a wrap refusal. A Clean trace cannot have
+          // moved either generation (stores re-check text, and nothing in a
+          // stitched trace can change permissions), so chain straight into
+          // the block at the exit RIP — side exits of one hot loop are
+          // usually the header of a phase-shifted sibling trace.
+          if (rip_ == block->entry) break;  // wrap refused: outer ladder
+          Block* nb = cache.find(rip_);
+          if (nb == nullptr) break;  // unseen tail: outer builds it
+          block = nb;
+          continue;
+        }
+        // Demoted: the very next iteration would cross an AEX threshold or
+        // the cost limit. Fall through to per-block dispatch of the header,
+        // which walks the ladder down to the reference step() exactly as an
+        // unpromoted loop would.
+      }
+
+      // --- single-block fast path ---------------------------------------
+      const std::uint64_t cost_after = cost_ + block->cost;
+      if (cost_after >= enclave_.next_aex_threshold() ||
+          cost_after > config_.max_cost) {
+        // The block would cross an AEX threshold or the cost limit
+        // mid-trace: execute ONE reference-interpreter step (which ticks
+        // the enclave and snapshots the SSA exactly like the paper's
+        // per-instruction world) and re-evaluate. Once the threshold
+        // advances, dispatch resumes on the fast path. A partial-block
+        // step would corrupt a recording, so recording stops (without
+        // condemning the header — it re-records once the schedule calms).
+        abort_recording(false);
+        if (!step(result)) return;
+        break;
+      }
+      BlockStatus st = exec_block(*block, result);
+      if (st == BlockStatus::Stopped) return;
+      if (st == BlockStatus::TextChanged) break;  // outer flushes via stamps
+
+      // --- link follow ---------------------------------------------------
+      Block* nxt = nullptr;
+      int edge = -1;  // 0 = taken, 1 = fall, 2 = dynamic inline cache
+      switch (block->exit) {
+        case BlockExit::Jmp:
+          edge = 0;
+          nxt = block->succ_taken;
+          break;
+        case BlockExit::Jcc:
+          if (rip_ == block->taken_target) {
+            edge = 0;
+            nxt = block->succ_taken;
+          } else {
+            edge = 1;
+            nxt = block->succ_fall;
+          }
+          break;
+        case BlockExit::Fall:
+          edge = 1;
+          nxt = block->succ_fall;
+          break;
+        case BlockExit::Other:
+          // Dynamic exit (call/ret/indirect): chase the monomorphic inline
+          // cache. Two cases must fall back to the revalidating outer loop:
+          // an Ocall (its handler may have moved either generation) and a
+          // text-generation move by the final Call's own push (the one
+          // store VM_NEXT_MEMW does not cover — the block ended with it).
+          if (!block->ends_in_ocall &&
+              space_.text_write_generation() == cache.text_gen) {
+            edge = 2;
+            if (block->succ_dyn_rip == rip_) nxt = block->succ_dyn;
+          }
+          break;
+      }
+      if (nxt == nullptr) {
+        if (edge >= 0) {
+          // Successor not cached (or inline-cache miss): let the outer
+          // loop find/build it, then patch this link so the next pass
+          // chains. Recording survives the round trip — rec_header and rec
+          // live outside both loops — so loop bodies spanning calls and
+          // returns still close and stitch.
+          pending_link_from = block;
+          pending_edge = edge;
+        } else {
+          // Ocall (or a text write by a final push): generations must be
+          // revalidated, and a recorded loop through here could replay a
+          // stale trace, so condemn the header. A post-Ocall no_promote is
+          // the right call anyway: its handler runs outside the cost-batched
+          // world and would demote the trace every iteration.
+          abort_recording(true);
+        }
+        break;
+      }
+      block = nxt;
     }
   }
 }

@@ -1,18 +1,44 @@
-// Basic-block trace cache for the DX64 block execution engine.
+// Basic-block trace cache for the DX64 block execution engine, plus the
+// superblock tier's metadata (block linking, loop traces).
 //
 // A Block is a straight-line run of predecoded instructions starting at an
 // entry RIP and ending at the first control transfer (branch, call, ret,
 // hlt, ocall) or at the entry page's boundary. Decoding and executable-
 // permission validation happen once at build time; dispatch then replays
-// the predecoded instructions in a tight loop (see Vm::run_blocks in
-// block.cpp), skipping the per-instruction exec checks, decode-cache probe
-// and AEX tick the step interpreter pays.
+// the predecoded instructions with a threaded (computed-goto) loop (see
+// Vm::exec_block in block.cpp), skipping the per-instruction exec checks,
+// decode-cache probe and AEX tick the step interpreter pays.
+//
+// Tiers above plain block dispatch:
+//  - Linking: a block whose exit is statically known (direct jump, Jcc
+//    taken/fallthrough, or a page-boundary split) caches Block* pointers to
+//    its successors, so hot paths chain block-to-block without re-probing
+//    BlockCache::find.
+//  - Superblocks: a hot loop header stitches the instructions of one loop
+//    iteration into a flat trace executed with a single AEX-threshold/
+//    max-cost check per iteration (Vm::exec_trace).
+//
+// Pointer-lifetime invariant (linking and traces depend on it): blocks are
+// heap-owned by the cache and are never individually destroyed or replaced —
+//  - insert() returns the existing block on a duplicate entry RIP instead
+//    of overwriting it (overwriting would both dangle outstanding pointers
+//    and drift count_ past the real occupancy);
+//  - grow() moves ownership between slot tables without touching the blocks;
+//  - clear() is the ONLY destruction point, and it destroys every block at
+//    once, so intra-cache pointers (succ_taken/succ_fall) can never outlive
+//    their targets. The dispatcher must drop every cached
+//    Block* whenever the cache is cleared; Vm::run_blocks re-validates the
+//    generation stamps (the only mid-run clear trigger) at each outer
+//    iteration and resets its locals there. tests/block_cache_test.cpp pins
+//    address stability across grow() and the duplicate-insert contract.
 //
 // Validity: a cached block was built under a specific (text-write,
 // page-permission) generation pair of the AddressSpace. The owning Vm
 // flushes the whole cache when either generation moves — a store into an
 // executable page (self-modifying code with P4 off), a copy_in over text,
-// or an SGXv2 EDMM permission change.
+// or an SGXv2 EDMM permission change. This wholesale flush is also what
+// keeps the per-instruction-site TLBs below sound: a SiteTlb lives exactly
+// as long as its block, so it can never cache a stale translation.
 #pragma once
 
 #include <cstdint>
@@ -23,20 +49,95 @@
 
 namespace deflection::vm {
 
-// One predecoded instruction with its dispatch metadata precomputed.
-struct BlockInstr {
+// Per-instruction-site resolved page: the block engine's replacement for
+// going through AddressSpace's shared 2-entry micro-TLB on every guest
+// load/store. Memory operands with a static address (disp-only, no base or
+// index register) are pre-resolved at block build time; register-relative
+// operands fill their site on first execution. Invalidated wholesale with
+// the owning block (see the cache-flush invariant above). Writes through a
+// site are refused when the page is executable, so the text-write
+// generation bump — the self-modifying-code signal — always happens on the
+// slow path, exactly as with the shared TLB.
+// Packed as one 8-byte tag: the page base address in the top 52 bits and
+// the page's Perm bits in the low 12 (which a page-base address always has
+// clear). A zero tag can never authorize a fast-path access — its perm bits
+// are all clear — so zero doubles as the "unresolved" sentinel.
+struct SiteTlb {
+  std::uint64_t tag = 0;        // (addr & ~0xFFF) | perms; 0 = unresolved
+  std::uint8_t* mem = nullptr;  // backing store of the page's first byte
+
+  static std::uint64_t make_tag(std::uint64_t page_index, std::uint8_t perms) {
+    return (page_index << 12) | perms;
+  }
+  // True when `addr` lies on the tagged page (perm bits shift out).
+  bool hit(std::uint64_t addr) const { return ((addr ^ tag) >> 12) == 0; }
+};
+
+// One predecoded instruction with its dispatch metadata precomputed. Kept
+// at exactly one cache line so block/trace arrays stream through dispatch
+// without split-line accesses.
+struct alignas(64) BlockInstr {
   isa::Instr instr;
-  std::uint32_t cost = 0;   // Vm::cost_of(instr), hoisted out of the loop
-  // Instruction can write memory without ending the block (Store/Store8/
-  // StoreI/Push/PushI): the dispatcher re-checks the text generation after
-  // it so a self-modifying store aborts the stale remainder of the trace.
-  bool writes_mem = false;
+  // Cost and guest-instruction count of the containing block (or stitched
+  // trace) prefix up to AND including this entry. The dispatcher does no
+  // per-instruction accounting: at any exit it reconstructs the exact
+  // step-engine cost_/instructions_ from these — both are unobservable
+  // between instructions (tick() only runs in step()). cum_count is not
+  // simply the array index: a fused macro-op (compare+Jcc, see block.cpp)
+  // is one array entry covering two guest instructions.
+  std::uint32_t cum_cost = 0;
+  std::uint32_t cum_count = 0;
+  SiteTlb tlb;              // memory-operand / stack site cache
+};
+static_assert(sizeof(BlockInstr) <= 64,
+              "BlockInstr must stay within one cache line");
+
+// How a block's last instruction leaves it; successors are statically known
+// for everything but Other (call/ret/indirect/ocall/hlt — and ocall must
+// stay unlinked anyway, since its handler may move the text generation).
+enum class BlockExit : std::uint8_t {
+  Other,
+  Jmp,   // unconditional direct jump: successor = taken_target
+  Jcc,   // conditional: taken_target or fall_target, picked at runtime
+  Fall,  // no control transfer (page-boundary split): fall_target
 };
 
 struct Block {
   std::uint64_t entry = 0;
   std::uint64_t cost = 0;          // sum of member costs (no ocall boundary cost)
   std::uint32_t byte_length = 0;   // span validated for execute permission
+  BlockExit exit = BlockExit::Other;
+  std::uint64_t taken_target = 0;  // Jmp/Jcc branch target
+  std::uint64_t fall_target = 0;   // Jcc fallthrough / page-split continuation
+
+  // Linked successors, patched lazily by the dispatcher as edges are first
+  // taken. Plain Block* is safe under the pointer-lifetime invariant above.
+  Block* succ_taken = nullptr;
+  Block* succ_fall = nullptr;
+
+  // Monomorphic inline cache for dynamic exits (call/ret/indirect): the
+  // last observed successor, used when the exit RIP matches again
+  // (re-patched last-wins on a miss). Never used after an Ocall — the
+  // handler may have moved a generation, so those always return to the
+  // revalidating outer loop.
+  Block* succ_dyn = nullptr;
+  std::uint64_t succ_dyn_rip = 0;
+  bool ends_in_ocall = false;
+
+  // Superblock tier: once this block (as a loop header) gets hot, one full
+  // loop iteration [this, ..., last] is recorded and its member blocks'
+  // instructions are stitched flat into this array, which the dispatcher
+  // executes without leaving the threaded loop — internal branches compare
+  // the new RIP against the next stitched instruction's address (a side
+  // exit on mismatch), and the back edge wraps to index 0 with a single
+  // cost/AEX-threshold check per iteration (Vm::exec_trace). The stitched
+  // copies carry their own SiteTlbs and die with this block, so the same
+  // wholesale-flush argument covers them. Empty = not promoted.
+  std::vector<BlockInstr> trace_instrs;
+  std::uint64_t trace_cost = 0;    // sum of stitched-iteration costs
+  std::uint32_t heat = 0;          // dispatch count until promotion triggers
+  bool no_promote = false;         // recording failed (unlinkable exit, too long)
+
   std::vector<BlockInstr> instrs;
 };
 
@@ -45,24 +146,33 @@ struct Block {
 // for one probe on the hot path — this lookup runs once per dispatched
 // block, so it must cost a handful of instructions, not a std::unordered_map
 // walk. Blocks are heap-owned so pointers handed to the dispatcher stay
-// valid across table growth.
+// valid across table growth (see the pointer-lifetime invariant above).
 class BlockCache {
  public:
   BlockCache() : slots_(kInitialSlots) {}
 
-  const Block* find(std::uint64_t entry) const {
+  Block* find(std::uint64_t entry) {
     const std::size_t mask = slots_.size() - 1;
     for (std::size_t i = hash(entry) & mask;; i = (i + 1) & mask) {
-      const Block* b = slots_[i].get();
+      Block* b = slots_[i].get();
       if (b == nullptr) return nullptr;
       if (b->entry == entry) return b;
     }
   }
+  const Block* find(std::uint64_t entry) const {
+    return const_cast<BlockCache*>(this)->find(entry);
+  }
 
-  const Block* insert(Block block) {
+  // Inserts a freshly built block. If a block with the same entry RIP is
+  // already cached, the existing block is returned untouched and the new
+  // one is discarded: replacing it would destroy a Block the dispatcher
+  // (or another block's links) may still reference, and recounting it would
+  // drift count_ above the real occupancy until a premature grow().
+  Block* insert(Block block) {
+    if (Block* existing = find(block.entry)) return existing;
     if ((count_ + 1) * 2 > slots_.size()) grow();
     auto owned = std::make_unique<Block>(std::move(block));
-    const Block* placed = place(std::move(owned));
+    Block* placed = place(std::move(owned));
     ++count_;
     return placed;
   }
@@ -92,10 +202,10 @@ class BlockCache {
     return static_cast<std::size_t>((entry * 0x9E3779B97F4A7C15ull) >> 32);
   }
 
-  const Block* place(std::unique_ptr<Block> block) {
+  Block* place(std::unique_ptr<Block> block) {
     const std::size_t mask = slots_.size() - 1;
     for (std::size_t i = hash(block->entry) & mask;; i = (i + 1) & mask) {
-      if (slots_[i] == nullptr || slots_[i]->entry == block->entry) {
+      if (slots_[i] == nullptr) {
         slots_[i] = std::move(block);
         return slots_[i].get();
       }

@@ -157,9 +157,6 @@ bool Vm::step(RunResult& result) {
 }
 
 bool Vm::exec(const Instr& ins, RunResult& result) {
-  auto& rd = regs_[static_cast<int>(ins.rd)];
-  std::uint64_t rs = regs_[static_cast<int>(ins.rs)];
-  std::uint64_t next = ins.addr + ins.length;
   sgx::MemFault mf;
 
   auto push64 = [&](std::uint64_t v) -> bool {
@@ -183,183 +180,50 @@ bool Vm::exec(const Instr& ins, RunResult& result) {
   auto as_f = [](std::uint64_t v) { return std::bit_cast<double>(v); };
   auto as_u = [](double v) { return std::bit_cast<std::uint64_t>(v); };
 
+  // The op bodies live in ops.inc (shared with the block engine's threaded
+  // dispatcher); here each expands to a plain switch case.
   switch (ins.op) {
-    case Op::Nop:
-      break;
-    case Op::Hlt:
-      result.exit = Exit::Halt;
-      result.exit_code = regs_[static_cast<int>(Reg::RAX)];
-      halted_ = true;
-      rip_ = next;
-      return false;
-
-    case Op::MovRR: rd = rs; break;
-    case Op::MovRI: rd = static_cast<std::uint64_t>(ins.imm); break;
-
-    case Op::Load: {
-      std::uint64_t addr;
-      mem_addr(ins.mem, addr);
-      std::uint64_t v;
-      if (!space_.read_u64(addr, v, mf)) return fault(result, "load_" + mf.code, mf.addr);
-      rd = v;
-      break;
-    }
-    case Op::Load8: {
-      std::uint64_t addr;
-      mem_addr(ins.mem, addr);
-      std::uint8_t v;
-      if (!space_.read_u8(addr, v, mf)) return fault(result, "load_" + mf.code, mf.addr);
-      rd = v;
-      break;
-    }
-    case Op::Store: {
-      std::uint64_t addr;
-      mem_addr(ins.mem, addr);
-      if (!space_.write_u64(addr, rs, mf)) return fault(result, "store_" + mf.code, mf.addr);
-      break;
-    }
-    case Op::Store8: {
-      std::uint64_t addr;
-      mem_addr(ins.mem, addr);
-      if (!space_.write_u8(addr, static_cast<std::uint8_t>(rs), mf))
-        return fault(result, "store_" + mf.code, mf.addr);
-      break;
-    }
-    case Op::StoreI: {
-      std::uint64_t addr;
-      mem_addr(ins.mem, addr);
-      if (!space_.write_u64(addr, static_cast<std::uint64_t>(ins.imm), mf))
-        return fault(result, "store_" + mf.code, mf.addr);
-      break;
-    }
-    case Op::Lea: {
-      std::uint64_t addr;
-      mem_addr(ins.mem, addr);
-      rd = addr;
-      break;
-    }
-
-    case Op::AddRR: rd += rs; break;
-    case Op::AddRI: rd += static_cast<std::uint64_t>(ins.imm); break;
-    case Op::SubRR: rd -= rs; break;
-    case Op::SubRI: rd -= static_cast<std::uint64_t>(ins.imm); break;
-    case Op::ImulRR: rd = static_cast<std::uint64_t>(static_cast<std::int64_t>(rd) *
-                                                     static_cast<std::int64_t>(rs)); break;
-    case Op::ImulRI: rd = static_cast<std::uint64_t>(static_cast<std::int64_t>(rd) * ins.imm); break;
-    case Op::IdivRR:
-    case Op::IremRR: {
-      std::int64_t a = static_cast<std::int64_t>(rd);
-      std::int64_t b = static_cast<std::int64_t>(rs);
-      if (b == 0) return fault(result, "div_zero", ins.addr);
-      if (a == std::numeric_limits<std::int64_t>::min() && b == -1)
-        return fault(result, "div_overflow", ins.addr);
-      rd = static_cast<std::uint64_t>(ins.op == Op::IdivRR ? a / b : a % b);
-      break;
-    }
-    case Op::AndRR: rd &= rs; break;
-    case Op::AndRI: rd &= static_cast<std::uint64_t>(ins.imm); break;
-    case Op::OrRR: rd |= rs; break;
-    case Op::OrRI: rd |= static_cast<std::uint64_t>(ins.imm); break;
-    case Op::XorRR: rd ^= rs; break;
-    case Op::XorRI: rd ^= static_cast<std::uint64_t>(ins.imm); break;
-    case Op::ShlRR: rd <<= (rs & 63); break;
-    case Op::ShlRI: rd <<= (ins.imm & 63); break;
-    case Op::ShrRR: rd >>= (rs & 63); break;
-    case Op::ShrRI: rd >>= (ins.imm & 63); break;
-    case Op::SarRR: rd = static_cast<std::uint64_t>(static_cast<std::int64_t>(rd) >> (rs & 63)); break;
-    case Op::SarRI: rd = static_cast<std::uint64_t>(static_cast<std::int64_t>(rd) >> (ins.imm & 63)); break;
-    case Op::NotR: rd = ~rd; break;
-    case Op::NegR: rd = 0 - rd; break;
-
-    case Op::CmpRR: set_cmp(static_cast<std::int64_t>(rd), static_cast<std::int64_t>(rs)); break;
-    case Op::CmpRI: set_cmp(static_cast<std::int64_t>(rd), ins.imm); break;
-    case Op::TestRR: set_cmp(static_cast<std::int64_t>(rd & rs), 0); break;
-
-    case Op::Jmp: rip_ = ins.branch_target(); return true;
-    case Op::Jcc:
-      rip_ = eval_cond(ins.cond) ? ins.branch_target() : next;
-      return true;
-    case Op::JmpInd: rip_ = rd; return true;
-    case Op::Call:
-      if (!push64(next)) return false;
-      rip_ = ins.branch_target();
-      return true;
-    case Op::CallInd:
-      if (!push64(next)) return false;
-      rip_ = rd;
-      return true;
-    case Op::Ret: {
-      std::uint64_t target;
-      if (!pop64(target)) return false;
-      rip_ = target;
-      return true;
-    }
-
-    case Op::Push: if (!push64(rd)) return false; break;
-    case Op::Pop: {
-      std::uint64_t v;
-      if (!pop64(v)) return false;
-      rd = v;
-      break;
-    }
-    case Op::PushI: if (!push64(static_cast<std::uint64_t>(ins.imm))) return false; break;
-
-    case Op::FAddRR: rd = as_u(as_f(rd) + as_f(rs)); break;
-    case Op::FSubRR: rd = as_u(as_f(rd) - as_f(rs)); break;
-    case Op::FMulRR: rd = as_u(as_f(rd) * as_f(rs)); break;
-    case Op::FDivRR: rd = as_u(as_f(rd) / as_f(rs)); break;
-    case Op::FCmpRR: {
-      double a = as_f(rd), b = as_f(rs);
-      if (std::isnan(a) || std::isnan(b)) {
-        flags_.unordered = true;
-        flags_.signed_cmp = flags_.unsigned_cmp = 1;
-      } else {
-        flags_.unordered = false;
-        flags_.signed_cmp = a < b ? -1 : (a > b ? 1 : 0);
-        flags_.unsigned_cmp = flags_.signed_cmp;
-      }
-      break;
-    }
-    case Op::CvtI2F: rd = as_u(static_cast<double>(static_cast<std::int64_t>(rs))); break;
-    case Op::CvtF2I: {
-      double v = as_f(rs);
-      if (std::isnan(v) || v >= 9.3e18 || v <= -9.3e18)
-        rd = static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::min());
-      else
-        rd = static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
-      break;
-    }
-    case Op::FNegR: rd = as_u(-as_f(rd)); break;
-    case Op::FAbsR: rd = as_u(std::fabs(as_f(rd))); break;
-    case Op::FSqrtR: rd = as_u(std::sqrt(as_f(rd))); break;
-    case Op::FSinR: rd = as_u(std::sin(as_f(rd))); break;
-    case Op::FCosR: rd = as_u(std::cos(as_f(rd))); break;
-    case Op::FExpR: rd = as_u(std::exp(as_f(rd))); break;
-    case Op::FLogR: rd = as_u(std::log(as_f(rd))); break;
-
-    case Op::Ocall: {
-      if (!ocall_) return fault(result, "ocall_no_handler", ins.addr);
-      cost_ += config_.ocall_boundary_cost;
-      auto r = ocall_(static_cast<std::uint8_t>(ins.imm),
-                      regs_[static_cast<int>(Reg::RDI)],
-                      regs_[static_cast<int>(Reg::RSI)],
-                      regs_[static_cast<int>(Reg::RDX)]);
-      if (!r.is_ok()) {
-        result.exit = Exit::OcallError;
-        result.fault_code = r.code();
-        halted_ = true;
-        return false;
-      }
-      regs_[static_cast<int>(Reg::RAX)] = r.value();
-      break;
-    }
-
+#define VM_OP(name)                                          \
+  case Op::name: {                                           \
+    std::uint64_t& rd = regs_[static_cast<int>(ins.rd)];     \
+    std::uint64_t rs = regs_[static_cast<int>(ins.rs)];      \
+    std::uint64_t next = ins.addr + ins.length;              \
+    (void)rd; (void)rs; (void)next;
+#define VM_END }
+#define VM_NEXT      \
+  rip_ = next;       \
+  return true
+#define VM_NEXT_MEMW VM_NEXT
+#define VM_BRANCH return true
+#define VM_STOP return false
+#define VM_FAULT(code, addr) return fault(result, code, addr)
+#define VM_SET_RIP(x) rip_ = (x)
+#define VM_CHARGE(x) cost_ += (x)
+#define VM_READ_U64(a, out) \
+  if (!space_.read_u64(a, out, mf)) VM_FAULT("load_" + mf.code, mf.addr)
+#define VM_READ_U8(a, out) \
+  if (!space_.read_u8(a, out, mf)) VM_FAULT("load_" + mf.code, mf.addr)
+#define VM_WRITE_U64(a, v) \
+  if (!space_.write_u64(a, v, mf)) VM_FAULT("store_" + mf.code, mf.addr)
+#define VM_WRITE_U8(a, v) \
+  if (!space_.write_u8(a, v, mf)) VM_FAULT("store_" + mf.code, mf.addr)
+#include "vm/ops.inc"
+#undef VM_OP
+#undef VM_END
+#undef VM_NEXT
+#undef VM_NEXT_MEMW
+#undef VM_BRANCH
+#undef VM_STOP
+#undef VM_FAULT
+#undef VM_SET_RIP
+#undef VM_CHARGE
+#undef VM_READ_U64
+#undef VM_READ_U8
+#undef VM_WRITE_U64
+#undef VM_WRITE_U8
     default:
       return fault(result, "bad_instruction", ins.addr);
   }
-
-  rip_ = next;
-  return true;
 }
 
 }  // namespace deflection::vm

@@ -130,8 +130,29 @@ class Vm {
 
   // Block engine state (definitions in block.cpp). The trace cache is
   // flushed whenever the text-write or page-permission generation moves.
+  //
+  // exec_block is the threaded (computed-goto; switch fallback on non-GCC/
+  // Clang) dispatcher for one predecoded block, generated from the same
+  // ops.inc bodies as exec(). It reports how the block ended so run_blocks
+  // can chain linked successors, re-validate generations, or stop.
+  enum class BlockStatus : std::uint8_t {
+    Clean,        // executed to the end; rip_ holds the successor
+    Stopped,      // halt/fault/ocall-error: halted_ set, result filled
+    TextChanged,  // a store moved the text generation; trace remainder
+                  // abandoned, rip_ points at the next instruction
+  };
+  // Shared dispatch core: kTrace=false replays one block's instructions;
+  // kTrace=true replays a stitched superblock, where internal branches
+  // side-exit (Clean) unless the new RIP matches the next stitched
+  // instruction, and the back edge wraps to the start as long as another
+  // full iteration fits below the AEX threshold and cost limit.
+  template <bool kTrace>
+  BlockStatus exec_instrs(BlockInstr* bi, BlockInstr* bend,
+                          std::uint64_t trace_cost, RunResult& result);
+  BlockStatus exec_block(Block& blk, RunResult& result);
+  BlockStatus exec_trace(Block& blk, RunResult& result);
   void run_blocks(RunResult& result);
-  const Block* build_block(RunResult& result);
+  Block* build_block(RunResult& result);
   BlockCache blocks_;
   BlockCache* active_blocks_ = &blocks_;
 

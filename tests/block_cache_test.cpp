@@ -1,0 +1,370 @@
+// Pins the BlockCache contracts the block engine's pointer-lifetime
+// invariant rests on (src/vm/block.h), plus the VM-level invalidation
+// behaviors that keep cached blocks honest:
+//  - insert() on a duplicate entry RIP returns the existing block untouched
+//    (replacing it would dangle outstanding Block* links; recounting it
+//    would drift the occupancy count);
+//  - grow() rehashes the slot table without moving the heap-owned blocks,
+//    so Block* handed out before a growth — including succ_taken/succ_fall
+//    links between blocks — stay valid;
+//  - clear() resets the generation stamps to "never validated";
+//  - a tight loop that overwrites its own back edge forces the chained
+//    dispatcher through a text-generation flush mid-loop, bit-identical to
+//    the step interpreter;
+//  - a hot loop under an AEX schedule whose thresholds land mid-iteration
+//    demotes the superblock to the single-step fallback without shifting
+//    any observable;
+//  - a block whose last instruction straddles the entry page boundary is
+//    invalidated both by an EDMM permission change on the straddled tail
+//    page and by a text overwrite of that page (build_block's byte_length
+//    comment pins both flushes here).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "isa/assemble.h"
+#include "isa/decode.h"
+#include "sgx/platform.h"
+#include "support/bytes.h"
+#include "vm/block.h"
+#include "vm/vm.h"
+
+namespace deflection::testing {
+namespace {
+
+using isa::AsmProgram;
+using isa::Cond;
+using isa::Mem;
+using isa::Op;
+using isa::Reg;
+
+// --- BlockCache unit contracts ---------------------------------------------
+
+vm::Block make_block(std::uint64_t entry, std::uint64_t cost = 0) {
+  vm::Block b;
+  b.entry = entry;
+  b.cost = cost;
+  return b;
+}
+
+TEST(BlockCache, DuplicateInsertReturnsExistingUntouched) {
+  vm::BlockCache cache;
+  vm::Block* first = cache.insert(make_block(0x100000, /*cost=*/5));
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+
+  vm::Block* again = cache.insert(make_block(0x100000, /*cost=*/99));
+  EXPECT_EQ(again, first);         // same heap object, not a replacement
+  EXPECT_EQ(first->cost, 5u);      // existing block untouched
+  EXPECT_EQ(cache.size(), 1u);     // no occupancy drift
+  EXPECT_EQ(cache.find(0x100000), first);
+}
+
+TEST(BlockCache, AddressesAndLinksStableAcrossGrow) {
+  vm::BlockCache cache;
+  // Insert enough blocks to force at least two table growths (initial table
+  // is 256 slots, growth at 50% load), chaining each block to the next via
+  // the linking fields the dispatcher patches.
+  constexpr int kBlocks = 600;
+  std::vector<vm::Block*> ptrs;
+  for (int i = 0; i < kBlocks; ++i)
+    ptrs.push_back(cache.insert(make_block(0x100000 + 0x40ull * i, i)));
+  for (int i = 0; i + 1 < kBlocks; ++i) ptrs[i]->succ_taken = ptrs[i + 1];
+
+  // More insertions → more growth; earlier pointers and links must survive.
+  for (int i = 0; i < kBlocks; ++i)
+    cache.insert(make_block(0x200000 + 0x40ull * i));
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(2 * kBlocks));
+
+  for (int i = 0; i < kBlocks; ++i) {
+    EXPECT_EQ(cache.find(0x100000 + 0x40ull * i), ptrs[i]);
+    EXPECT_EQ(ptrs[i]->cost, static_cast<std::uint64_t>(i));
+    if (i + 1 < kBlocks) {
+      EXPECT_EQ(ptrs[i]->succ_taken, ptrs[i + 1]);
+    }
+  }
+}
+
+TEST(BlockCache, ClearResetsGenerationsToNeverValidated) {
+  vm::BlockCache cache;
+  cache.insert(make_block(0x100000));
+  cache.insert(make_block(0x101000));
+  cache.text_gen = 42;
+  cache.perm_gen = 17;
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(0x100000), nullptr);
+  // ~0ull never equals a live AddressSpace generation, so the next
+  // run_blocks revalidation cannot mistake the emptied cache for current.
+  EXPECT_EQ(cache.text_gen, ~0ull);
+  EXPECT_EQ(cache.perm_gen, ~0ull);
+}
+
+// --- VM-level harness -------------------------------------------------------
+
+constexpr std::uint64_t kHostBase = 0x10000;
+constexpr std::uint64_t kHostSize = 64 * 1024;
+constexpr std::uint64_t kBase = 0x100000;
+
+struct BlockVm {
+  static constexpr std::uint64_t kText = kBase;  // two pages: 0x0000-0x2000
+  static constexpr std::uint64_t kStackTop = kBase + 0x5000;
+  static constexpr std::uint64_t kSsa = kBase + 0x5000;
+
+  sgx::AddressSpace space{kHostBase, kHostSize, kBase, 0x7000};
+  sgx::Enclave enclave{space, kSsa};
+
+  BlockVm() {
+    EXPECT_TRUE(enclave.add_zero_pages(0x0000, 0x2000, sgx::kPermRWX).is_ok());
+    EXPECT_TRUE(enclave.add_zero_pages(0x2000, 0x1000, sgx::kPermRW).is_ok());
+    EXPECT_TRUE(enclave.add_zero_pages(0x3000, 0x2000, sgx::kPermRW).is_ok());
+    EXPECT_TRUE(enclave.add_zero_pages(0x5000, 0x2000, sgx::kPermRW).is_ok());
+    enclave.init();
+  }
+
+  void load(const AsmProgram& prog) {
+    auto enc = isa::assemble(prog);
+    ASSERT_TRUE(enc.is_ok()) << enc.message();
+    ASSERT_LE(enc.value().text.size(), 0x2000u);
+    ASSERT_TRUE(space.copy_in(kText, BytesView(enc.value().text)).is_ok());
+  }
+
+  vm::RunResult run(vm::Engine engine, vm::BlockCache* cache = nullptr,
+                    sgx::AexPolicy aex = {}) {
+    enclave.set_aex_policy(aex);
+    vm::VmConfig config;
+    config.engine = engine;
+    vm::Vm machine(enclave, config);
+    if (cache != nullptr) machine.set_block_cache(cache);
+    return machine.run(kText, kStackTop);
+  }
+
+  Bytes ssa_frame() {
+    auto ssa = space.copy_out(kSsa, 0x200);
+    EXPECT_TRUE(ssa.is_ok());
+    return ssa.is_ok() ? ssa.take() : Bytes{};
+  }
+};
+
+void expect_identical(const vm::RunResult& step, const vm::RunResult& block,
+                      const std::string& what) {
+  EXPECT_EQ(step.exit, block.exit) << what;
+  EXPECT_EQ(step.exit_code, block.exit_code) << what;
+  EXPECT_EQ(step.fault_code, block.fault_code) << what;
+  EXPECT_EQ(step.fault_addr, block.fault_addr) << what;
+  EXPECT_EQ(step.cost, block.cost) << what;
+  EXPECT_EQ(step.instructions, block.instructions) << what;
+  EXPECT_EQ(step.aex_count, block.aex_count) << what;
+}
+
+// Decodes the assembled image as the VM would, returning the addresses of
+// every instruction (so tests can locate specific instructions without
+// hard-coding encoding lengths).
+std::vector<std::pair<std::uint64_t, std::uint32_t>> decode_layout(
+    const Bytes& text, std::uint64_t base) {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> out;
+  std::size_t off = 0;
+  while (off < text.size()) {
+    std::size_t avail = std::min<std::size_t>(16, text.size() - off);
+    auto d = isa::decode_one(BytesView(text.data() + off, avail), 0, base + off);
+    if (!d.is_ok()) break;
+    out.emplace_back(base + off, d.value().length);
+    off += d.value().length;
+  }
+  return out;
+}
+
+// --- Self-modifying back edge under chained dispatch ------------------------
+
+TEST(BlockCacheVm, SelfModifyingBackEdgeMatchesStepBitForBit) {
+  // A hot counted loop (well past the promotion threshold) that, at
+  // iteration 400, stores a zero byte over the first byte of its own
+  // back-edge Jcc. The chained/superblock dispatcher must observe the text
+  // generation bump mid-loop, abandon its cached blocks and re-decode —
+  // landing on exactly the instruction stream the step interpreter sees.
+  auto make = [](std::int32_t patch_disp) {
+    AsmProgram p;
+    p.movri(Reg::RAX, 0);
+    p.movri(Reg::RBX, 0);  // patch byte (zero)
+    p.label("loop");
+    p.op_ri(Op::AddRI, Reg::RAX, 1);
+    p.op_ri(Op::CmpRI, Reg::RAX, 400);
+    p.jcc(Cond::NE, "skip");
+    p.store8(Mem::abs(patch_disp), Reg::RBX);  // overwrite the back edge
+    p.label("skip");
+    p.op_ri(Op::CmpRI, Reg::RAX, 1000);
+    p.jcc(Cond::L, "loop");  // the back edge under attack
+    p.hlt();
+    return p;
+  };
+
+  // Two-pass: assemble with a placeholder, locate the back edge (the last
+  // Jcc before the final Hlt), then point the store at it. Only a disp
+  // value changes, so the layout is identical across the two passes.
+  auto probe = isa::assemble(make(0));
+  ASSERT_TRUE(probe.is_ok());
+  auto layout = decode_layout(probe.value().text, BlockVm::kText);
+  ASSERT_GE(layout.size(), 2u);
+  std::uint64_t back_edge = layout[layout.size() - 2].first;
+  ASSERT_LT(back_edge, std::uint64_t{1} << 31);
+  AsmProgram prog = make(static_cast<std::int32_t>(back_edge));
+
+  BlockVm step_env;
+  step_env.load(prog);
+  auto step = step_env.run(vm::Engine::Step);
+
+  BlockVm block_env;
+  block_env.load(prog);
+  auto block = block_env.run(vm::Engine::Block);
+
+  expect_identical(step, block, "self-modifying back edge");
+  // The patch must actually have landed and changed control flow: the loop
+  // can no longer reach its full 1000 iterations.
+  EXPECT_NE(step.exit_code, 1000u);
+  EXPECT_EQ(step_env.ssa_frame(), block_env.ssa_frame());
+}
+
+// --- Superblock demotion when an AEX threshold lands mid-iteration ----------
+
+TEST(BlockCacheVm, SuperblockDemotesWhenAexThresholdLandsMidIteration) {
+  // The loop runs long enough to be promoted to a stitched superblock, but
+  // the interrupt interval is far smaller than one iteration's cost
+  // headroom requirement, so nearly every wrap check fails and the engine
+  // falls back to single reference steps across each threshold. Timing,
+  // burst delivery, accounting and the SSA frames the AEXes leave must all
+  // be indistinguishable from the step interpreter's.
+  AsmProgram p;
+  p.movri(Reg::RAX, 0);
+  p.movri(Reg::RCX, 0);
+  p.label("loop");
+  p.op_ri(Op::AddRI, Reg::RAX, 1);
+  p.op_rr(Op::ImulRR, Reg::RCX, Reg::RAX);  // some cost variety per iteration
+  p.op_ri(Op::AddRI, Reg::RCX, 3);
+  p.op_ri(Op::CmpRI, Reg::RAX, 2000);
+  p.jcc(Cond::L, "loop");
+  p.movrr(Reg::RAX, Reg::RCX);
+  p.hlt();
+
+  for (std::uint32_t burst : {1u, 3u}) {
+    sgx::AexPolicy hostile{/*interval_cost=*/23, /*burst=*/burst};
+
+    BlockVm step_env;
+    step_env.load(p);
+    auto step = step_env.run(vm::Engine::Step, nullptr, hostile);
+
+    BlockVm block_env;
+    block_env.load(p);
+    auto block = block_env.run(vm::Engine::Block, nullptr, hostile);
+
+    expect_identical(step, block, "mid-iteration AEX, burst " +
+                                      std::to_string(burst));
+    EXPECT_GT(block.aex_count, 0u);
+    EXPECT_EQ(step_env.ssa_frame(), block_env.ssa_frame());
+  }
+}
+
+// --- Blocks straddling the entry page boundary -------------------------------
+
+// Builds a program whose straight-line prologue crosses the first text page
+// boundary mid-instruction (build_block then caches a block whose
+// byte_length spans into the tail page), with the epilogue (the only Hlt)
+// on the tail page. Encoding lengths are not hard-coded: padding and a Nop
+// phase shift are searched until the decoder confirms a straddler.
+AsmProgram make_straddling_program(std::uint64_t* straddler) {
+  for (int nops = 0; nops < 16; ++nops) {
+    for (int pad = 250; pad < 1000; pad += 5) {
+      AsmProgram p;
+      for (int i = 0; i < nops; ++i) p.op0(Op::Nop);
+      for (int i = 0; i < pad; ++i) p.movri(Reg::RBX, 0x1111111111111111ll);
+      p.movri(Reg::RAX, 7);
+      p.hlt();
+      auto enc = isa::assemble(p);
+      if (!enc.is_ok() || enc.value().text.size() <= sgx::kPageSize ||
+          enc.value().text.size() > 2 * sgx::kPageSize)
+        continue;
+      for (auto [addr, length] : decode_layout(enc.value().text, kBase)) {
+        std::uint64_t boundary = kBase + sgx::kPageSize;
+        if (addr < boundary && addr + length > boundary) {
+          *straddler = addr;
+          return p;
+        }
+      }
+    }
+  }
+  ADD_FAILURE() << "no straddling layout found";
+  return {};
+}
+
+TEST(BlockCacheVm, EdmmPermChangeOnStraddledTailPageInvalidates) {
+  std::uint64_t straddler = 0;
+  AsmProgram prog = make_straddling_program(&straddler);
+  ASSERT_NE(straddler, 0u);
+  const std::uint64_t tail_page = kBase + sgx::kPageSize;
+
+  BlockVm env;
+  env.enclave.set_sgxv2(true);
+  env.load(prog);
+  vm::BlockCache cache;
+  auto before = env.run(vm::Engine::Block, &cache);
+  EXPECT_EQ(before.exit, vm::Exit::Halt);
+  EXPECT_EQ(before.exit_code, 7u);
+  EXPECT_GT(cache.size(), 0u);
+
+  // EDMM-restrict the tail page to RW. The cached straddling block's
+  // byte_length reaches into this page; if the perm-generation bump did not
+  // flush the cache, a rerun would execute it anyway. Both engines must now
+  // fault at the straddling instruction instead.
+  ASSERT_TRUE(
+      env.enclave.modify_page_perms(tail_page, sgx::kPageSize, sgx::kPermRW)
+          .is_ok());
+  auto block = env.run(vm::Engine::Block, &cache);
+
+  BlockVm ref;  // same mutations, never ran the warm-up
+  ref.enclave.set_sgxv2(true);
+  ref.load(prog);
+  ASSERT_TRUE(
+      ref.enclave.modify_page_perms(tail_page, sgx::kPageSize, sgx::kPermRW)
+          .is_ok());
+  auto step = ref.run(vm::Engine::Step);
+
+  expect_identical(step, block, "straddled tail page deexecuted");
+  EXPECT_EQ(block.exit, vm::Exit::Fault);
+  EXPECT_GE(block.fault_addr, tail_page) << "must trip on the tail page";
+}
+
+TEST(BlockCacheVm, TextOverwriteOfStraddledTailPageInvalidates) {
+  std::uint64_t straddler = 0;
+  AsmProgram prog = make_straddling_program(&straddler);
+  ASSERT_NE(straddler, 0u);
+  const std::uint64_t tail_page = kBase + sgx::kPageSize;
+
+  BlockVm env;
+  env.load(prog);
+  vm::BlockCache cache;
+  auto before = env.run(vm::Engine::Block, &cache);
+  EXPECT_EQ(before.exit, vm::Exit::Halt);
+  EXPECT_EQ(before.exit_code, 7u);
+
+  // Overwrite the whole tail page (this clobbers the straddling
+  // instruction's tail bytes and the Hlt). copy_in over executable pages
+  // bumps the text-write generation; a stale cache would happily replay the
+  // original epilogue and halt with 7 again.
+  Bytes zeros(sgx::kPageSize, 0);
+  ASSERT_TRUE(env.space.copy_in(tail_page, BytesView(zeros)).is_ok());
+  auto block = env.run(vm::Engine::Block, &cache);
+
+  BlockVm ref;
+  ref.load(prog);
+  ASSERT_TRUE(ref.space.copy_in(tail_page, BytesView(zeros)).is_ok());
+  auto step = ref.run(vm::Engine::Step);
+
+  expect_identical(step, block, "straddled tail page overwritten");
+  EXPECT_FALSE(block.exit == vm::Exit::Halt && block.exit_code == 7)
+      << "stale straddling block replayed the clobbered epilogue";
+}
+
+}  // namespace
+}  // namespace deflection::testing

@@ -408,5 +408,65 @@ TEST(EngineDifferentialVm, CostLimitTripsAtIdenticalInstruction) {
   EXPECT_EQ(step.instructions, block.instructions);
 }
 
+// --- Superblock promotion -----------------------------------------------
+
+TEST(EngineDifferentialPromotion, HotLoopMatchesUnderBenignAndHostileAex) {
+  // A loop far past the promotion threshold, with a compare+branch pair the
+  // block builder fuses into a macro-op: exercises the stitched-superblock
+  // wrap path (one AEX/cost check per iteration) on the benign platform,
+  // and constant demotion to the single-step fallback under the hostile
+  // schedule. Observables must not move in either regime.
+  const char* src = R"(
+    int main() {
+      int acc = 7;
+      for (int i = 0; i < 30000; i += 1) {
+        acc = (acc * 33 + i) % 65521;
+      }
+      return acc % 251;
+    }
+  )";
+  auto step = run_engine_service(src, PolicySet::p1(), vm::Engine::Step);
+  auto block = run_engine_service(src, PolicySet::p1(), vm::Engine::Block);
+  expect_identical(step, block, "hot loop, benign");
+  EXPECT_EQ(block.result.exit, vm::Exit::Halt);
+
+  sgx::AexPolicy hostile{/*interval_cost=*/97, /*burst=*/2};
+  auto step_aex =
+      run_engine_service(src, PolicySet::p1(), vm::Engine::Step, hostile);
+  auto block_aex =
+      run_engine_service(src, PolicySet::p1(), vm::Engine::Block, hostile);
+  expect_identical(step_aex, block_aex, "hot loop, hostile AEX");
+  EXPECT_GT(block_aex.result.aex_count, 0u);
+}
+
+TEST(EngineDifferentialPromotion, HotLoopWithCallsMatchesUnderBothSchedules) {
+  // The loop body makes a real call every iteration, so the recorded trace
+  // stitches through Call/Ret blocks (dynamic exits chained by the inline
+  // cache). Fully instrumented: the P3 shadow-stack and P6 SSA-marker
+  // annotations ride inside the stitched iteration.
+  const char* src = R"(
+    int mix(int a, int b) { return (a * 31 + b) % 8191; }
+    int main() {
+      int acc = 1;
+      for (int i = 0; i < 8000; i += 1) {
+        acc = mix(acc, i);
+      }
+      return acc % 199;
+    }
+  )";
+  auto step = run_engine_service(src, PolicySet::p1to6(), vm::Engine::Step);
+  auto block = run_engine_service(src, PolicySet::p1to6(), vm::Engine::Block);
+  expect_identical(step, block, "call-carrying hot loop, benign");
+  EXPECT_EQ(block.result.exit, vm::Exit::Halt);
+
+  sgx::AexPolicy hostile{/*interval_cost=*/61, /*burst=*/3};
+  auto step_aex =
+      run_engine_service(src, PolicySet::p1to6(), vm::Engine::Step, hostile);
+  auto block_aex =
+      run_engine_service(src, PolicySet::p1to6(), vm::Engine::Block, hostile);
+  expect_identical(step_aex, block_aex, "call-carrying hot loop, hostile AEX");
+  EXPECT_GT(block_aex.result.aex_count, 0u);
+}
+
 }  // namespace
 }  // namespace deflection::testing

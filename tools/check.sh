@@ -2,8 +2,11 @@
 # Full pre-merge check: configure, build, and run the test suite under the
 # plain toolchain, Address+UB sanitizers, and ThreadSanitizer, in one go.
 #
-#   tools/check.sh              # all three flavors
+#   tools/check.sh              # plain, asan, tsan, ubsan
 #   tools/check.sh plain asan   # a subset
+#   tools/check.sh ubsan        # UBSan-only at full -O3; runs just the VM
+#                               # suites (the threaded dispatcher is what an
+#                               # unrecovered-UB miscompile would hit first)
 #   tools/check.sh --perf       # additionally gate VM dispatch throughput
 #                               # against BENCH_vm.json and fault-free
 #                               # serving throughput against BENCH_serving.json
@@ -28,7 +31,7 @@ for arg in "$@"; do
   esac
 done
 if [ ${#flavors[@]} -eq 0 ]; then
-  flavors=(plain asan tsan)
+  flavors=(plain asan tsan ubsan)
 fi
 
 cmake_flags_for() {
@@ -36,7 +39,19 @@ cmake_flags_for() {
     plain) echo "" ;;
     asan)  echo "-DDEFLECTION_ASAN=ON" ;;
     tsan)  echo "-DDEFLECTION_TSAN=ON" ;;
-    *) echo "unknown flavor: $1 (want plain|asan|tsan)" >&2; exit 2 ;;
+    ubsan) echo "-DDEFLECTION_UBSAN=ON" ;;
+    *) echo "unknown flavor: $1 (want plain|asan|tsan|ubsan)" >&2; exit 2 ;;
+  esac
+}
+
+# ubsan is a targeted flavor: ASan already carries -fsanitize=undefined, so
+# the standalone build only adds coverage where optimization level matters —
+# the -O3 block dispatcher and its callers. Restrict to the VM-side suites
+# instead of paying a fourth full-suite run.
+ctest_filter_for() {
+  case "$1" in
+    ubsan) echo "-R Vm|Engine|Block|Dispatch|Sgx" ;;
+    *) echo "" ;;
   esac
 }
 
@@ -59,8 +74,10 @@ for flavor in "${flavors[@]}"; do
   cmake -B "$build_dir" -S "$repo_root" $flags >/dev/null
   echo "==> [$flavor] build (-j$jobs)"
   cmake --build "$build_dir" -j "$jobs" >/dev/null
-  echo "==> [$flavor] ctest (-j$jobs)"
-  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
+  filter="$(ctest_filter_for "$flavor")"
+  echo "==> [$flavor] ctest (-j$jobs${filter:+ $filter})"
+  # shellcheck disable=SC2086  # $filter is intentionally word-split
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" $filter \
     | tail -n 3
 done
 
