@@ -1,0 +1,335 @@
+// Cold-admission cost: what do sharded verification and single-flight
+// admission buy on the first load of a binary?
+//
+//  - ColdVerify: the full verifier (disassembly + linear cross-check +
+//    policy checks) over the largest nBench binary, serial vs sharded
+//    (VerifyConfig::workers). The sharded pass must produce a
+//    byte-identical VerifyReport — this harness re-checks that on every
+//    measurement, so a perf win that drifts the verdict fails the bench.
+//  - StampedeAdmission: 8 enclaves sharing one VerificationCache all
+//    cold-admit the same binary at once. Single-flight collapses the
+//    stampede to exactly ONE full verification (counted at the
+//    `verify_full` fault-probe seam); the wall time is what a fresh
+//    8-worker fleet pays before it can serve.
+//
+// Flags:
+//   --json          emit the cold-admission baseline (verify_serial_us,
+//                   verify_par4_us, verify_speedup_x, stampede_verifications,
+//                   stampede_admit_us) as JSON
+//   --check <file>  run, then gate: the 4-worker speedup must stay >= 2.0x
+//                   and within 25% of the committed baseline
+//                   (BENCH_cold_admission.json), and the stampede must
+//                   still coalesce to one verification. Used by
+//                   `tools/check.sh --perf`.
+// Without flags the full Google-Benchmark sweep runs as before.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codegen/compile.h"
+#include "core/protocol.h"
+#include "support/fault.h"
+#include "verifier/cache.h"
+#include "verifier/verify.h"
+#include "workloads/workloads.h"
+
+using namespace deflection;
+
+namespace {
+
+// The largest Table II kernel under bench parameters: the binary where
+// admission latency matters most, and the acceptance target for the
+// 4-worker speedup.
+const codegen::Dxo& largest_kernel_dxo() {
+  static codegen::Dxo dxo = [] {
+    codegen::Dxo best;
+    for (const auto& kernel : workloads::nbench_kernels()) {
+      std::string src = workloads::with_params(kernel.source, kernel.bench_params);
+      auto built = codegen::compile(src, PolicySet::p1to6());
+      if (built.is_ok() && built.value().dxo.text.size() > best.text.size())
+        best = built.value().dxo;
+    }
+    return best;
+  }();
+  return dxo;
+}
+
+// A bare consumer (layout + address space + enclave) ready to load a DXO.
+struct Consumer {
+  verifier::LayoutConfig config;
+  verifier::EnclaveLayout layout;
+  std::unique_ptr<sgx::AddressSpace> space;
+  std::unique_ptr<sgx::Enclave> enclave;
+  bool ok = false;
+
+  Consumer() {
+    constexpr std::uint64_t kBase = 0x7000'0000'0000ull;
+    layout = verifier::EnclaveLayout::compute(kBase, config);
+    space = std::make_unique<sgx::AddressSpace>(0x10000, 1 << 20, kBase,
+                                                layout.enclave_size);
+    enclave = std::make_unique<sgx::Enclave>(*space, layout.ssa_addr);
+    Bytes image(1024, 0xCC);
+    auto built =
+        verifier::Loader::build_enclave(*enclave, kBase, config, BytesView(image));
+    if (!built.is_ok()) return;
+    layout = built.value();
+    ok = true;
+  }
+};
+
+bool same_report(const verifier::VerifyReport& a, const verifier::VerifyReport& b) {
+  if (a.instructions != b.instructions || a.store_guards != b.store_guards ||
+      a.rsp_guards != b.rsp_guards || a.shadow_prologues != b.shadow_prologues ||
+      a.shadow_epilogues != b.shadow_epilogues ||
+      a.indirect_guards != b.indirect_guards || a.aex_probes != b.aex_probes ||
+      a.patches.size() != b.patches.size())
+    return false;
+  for (std::size_t i = 0; i < a.patches.size(); ++i)
+    if (a.patches[i].field_addr != b.patches[i].field_addr ||
+        a.patches[i].kind != b.patches[i].kind)
+      return false;
+  return true;
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Min-of-N verification time in microseconds; *out gets the last report.
+bool time_verify(const sgx::AddressSpace& space, const verifier::LoadedBinary& binary,
+                 int workers, int reps, double* best_us,
+                 verifier::VerifyReport* out) {
+  verifier::VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  config.workers = workers;
+  *best_us = 1e18;
+  for (int r = 0; r < reps; ++r) {
+    double t0 = now_us();
+    auto report = verifier::verify(space, binary, config);
+    double dt = now_us() - t0;
+    if (!report.is_ok()) {
+      std::fprintf(stderr, "verify(workers=%d): %s\n", workers,
+                   report.message().c_str());
+      return false;
+    }
+    if (dt < *best_us) *best_us = dt;
+    *out = report.take();
+  }
+  return true;
+}
+
+bool measure_verify(double* serial_us, double* par4_us) {
+  Consumer consumer;
+  if (!consumer.ok) return false;
+  verifier::Loader loader(*consumer.enclave, consumer.layout);
+  auto loaded = loader.load(largest_kernel_dxo());
+  if (!loaded.is_ok()) {
+    std::fprintf(stderr, "load: %s\n", loaded.message().c_str());
+    return false;
+  }
+  constexpr int kReps = 9;
+  verifier::VerifyReport serial, par4;
+  if (!time_verify(*consumer.space, loaded.value(), 1, kReps, serial_us, &serial))
+    return false;
+  if (!time_verify(*consumer.space, loaded.value(), 4, kReps, par4_us, &par4))
+    return false;
+  if (!same_report(serial, par4)) {
+    std::fprintf(stderr, "FAIL: 4-worker report differs from serial\n");
+    return false;
+  }
+  return true;
+}
+
+// 8 enclaves, one shared cache, one simultaneous cold admission each.
+// Returns the wall time for the whole fleet and how many FULL
+// verifications actually ran (the `verify_full` probe count).
+bool measure_stampede(double* admit_us, std::uint64_t* verifications) {
+  constexpr int kEnclaves = 8;
+  auto cache = std::make_shared<verifier::VerificationCache>();
+  auto plan = std::make_shared<FaultPlan>();
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to6();
+  config.verify_cache = cache;
+  config.fault_plan = plan;
+
+  sgx::AttestationService as;
+  crypto::Digest expected = core::BootstrapEnclave::expected_mrenclave(config);
+  struct Node {
+    std::unique_ptr<sgx::QuotingEnclave> quoting;
+    std::unique_ptr<core::BootstrapEnclave> enclave;
+  };
+  std::vector<Node> nodes;
+  for (int i = 0; i < kEnclaves; ++i) {
+    Node node;
+    node.quoting = std::make_unique<sgx::QuotingEnclave>(
+        as.provision("bench-cold-" + std::to_string(i), i + 1));
+    node.enclave = std::make_unique<core::BootstrapEnclave>(*node.quoting, config);
+    core::DataOwner owner(as, expected);
+    core::CodeProvider provider(as, expected);
+    auto owner_offer = node.enclave->open_channel(core::Role::DataOwner,
+                                                  owner.dh_public());
+    if (auto s = owner.accept(owner_offer); !s.is_ok()) return false;
+    auto provider_offer = node.enclave->open_channel(core::Role::CodeProvider,
+                                                     provider.dh_public());
+    if (auto s = provider.accept(provider_offer); !s.is_ok()) return false;
+    auto digest =
+        node.enclave->ecall_receive_binary(provider.seal_binary(largest_kernel_dxo()));
+    if (!digest.is_ok()) {
+      std::fprintf(stderr, "deliver: %s\n", digest.message().c_str());
+      return false;
+    }
+    nodes.push_back(std::move(node));
+  }
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kEnclaves; ++i)
+    threads.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      if (auto s = nodes[static_cast<std::size_t>(i)].enclave->ecall_prepare();
+          !s.is_ok()) {
+        std::fprintf(stderr, "admit %d: %s\n", i, s.message().c_str());
+        failed.store(true);
+      }
+    });
+  while (ready.load() < kEnclaves) std::this_thread::yield();
+  double t0 = now_us();
+  go.store(true);
+  for (auto& t : threads) t.join();
+  *admit_us = now_us() - t0;
+  *verifications = plan->site(fault_site::kVerifyFull).armed;
+  return !failed.load();
+}
+
+// ---- Google-Benchmark sweep (default mode) ----
+
+void BM_ColdVerify(benchmark::State& state) {
+  Consumer consumer;
+  if (!consumer.ok) {
+    state.SkipWithError("enclave build failed");
+    return;
+  }
+  verifier::Loader loader(*consumer.enclave, consumer.layout);
+  auto loaded = loader.load(largest_kernel_dxo());
+  if (!loaded.is_ok()) {
+    state.SkipWithError(loaded.message().c_str());
+    return;
+  }
+  verifier::VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  config.workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto report = verifier::verify(*consumer.space, loaded.value(), config);
+    if (!report.is_ok()) {
+      state.SkipWithError(report.message().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(report.value().patches.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ColdVerify)->Arg(1)->Arg(2)->Arg(4)->Arg(7)->UseRealTime();
+
+void BM_StampedeAdmission(benchmark::State& state) {
+  for (auto _ : state) {
+    double admit_us = 0;
+    std::uint64_t verifications = 0;
+    if (!measure_stampede(&admit_us, &verifications) || verifications != 1) {
+      state.SkipWithError("stampede admission failed");
+      return;
+    }
+    benchmark::DoNotOptimize(admit_us);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_StampedeAdmission)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Minimal extractor for the keys --check needs from our own JSON format.
+double json_number_after(const std::string& text, const std::string& key) {
+  auto pos = text.find("\"" + key + "\":");
+  if (pos == std::string::npos) return -1;
+  return std::strtod(text.c_str() + pos + key.size() + 3, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  const char* check_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc)
+      check_path = argv[++i];
+  }
+  if (!json && check_path == nullptr) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+
+  double serial_us = 0, par4_us = 0, admit_us = 0;
+  std::uint64_t verifications = 0;
+  if (!measure_verify(&serial_us, &par4_us)) return 1;
+  if (!measure_stampede(&admit_us, &verifications)) return 1;
+  double speedup = par4_us > 0 ? serial_us / par4_us : 0;
+
+  if (json)
+    std::printf(
+        "{\n  \"bench\": \"cold_admission\",\n  \"verify_serial_us\": %.1f,\n"
+        "  \"verify_par4_us\": %.1f,\n  \"verify_speedup_x\": %.2f,\n"
+        "  \"stampede_verifications\": %llu,\n  \"stampede_admit_us\": %.1f\n}\n",
+        serial_us, par4_us, speedup,
+        static_cast<unsigned long long>(verifications), admit_us);
+  else
+    std::printf(
+        "cold verify (largest nBench): serial %.1f us, 4 workers %.1f us "
+        "(%.2fx); 8-way stampede: %llu full verification(s), %.1f us\n",
+        serial_us, par4_us, speedup,
+        static_cast<unsigned long long>(verifications), admit_us);
+
+  if (check_path != nullptr) {
+    std::ifstream in(check_path);
+    if (!in) {
+      std::fprintf(stderr, "--check: cannot open %s\n", check_path);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    double baseline = json_number_after(buf.str(), "verify_speedup_x");
+    if (baseline <= 0) {
+      std::fprintf(stderr, "--check: no verify_speedup_x in %s\n", check_path);
+      return 1;
+    }
+    double ratio = speedup / baseline;
+    std::fprintf(stderr, "--check: verify_speedup_x %.2f vs baseline %.2f (%.2fx)\n",
+                 speedup, baseline, ratio);
+    if (verifications != 1) {
+      std::fprintf(stderr,
+                   "--check: FAIL — stampede ran %llu full verifications, want 1\n",
+                   static_cast<unsigned long long>(verifications));
+      return 1;
+    }
+    if (speedup < 2.0 || ratio < 0.75) {
+      std::fprintf(stderr,
+                   "--check: FAIL — 4-worker speedup below the 2.0x floor or "
+                   ">25%% regression vs %s\n",
+                   check_path);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -71,7 +71,10 @@ Result<Dxo> Dxo::deserialize(BytesView bytes) {
     rel.text_offset = r.u64();
     rel.symbol = r.str();
     rel.addend = r.i64();
-    if (rel.text_offset + 8 > dxo.text.size()) return fail("relocation out of range");
+    // Subtraction form: `text_offset + 8` wraps for offsets near 2^64 and
+    // would sail through a `> size` comparison.
+    if (dxo.text.size() < 8 || rel.text_offset > dxo.text.size() - 8)
+      return fail("relocation out of range");
     dxo.relocs.push_back(std::move(rel));
   }
 

@@ -256,28 +256,51 @@ Status BootstrapEnclave::ensure_verified() {
   if (!loaded.is_ok()) return loaded.status();
   loaded_ = loaded.take();
   verifier::VerificationCache* cache = config_.verify_cache.get();
-  bool admitted_from_cache = false;
+  bool admitted = false;
   if (cache != nullptr && binary_digest_.has_value()) {
-    if (auto hit = cache->lookup(*binary_digest_, *loaded_, config_.verify)) {
-      // The cached verdict was produced by the full verifier for a
-      // byte-identical binary under an identical claimed-policy mask and
-      // config; only the patch addresses differ (rebased by the cache onto
-      // this enclave's text). Skip disassembly + policy verification.
-      report_ = std::move(*hit);
-      admitted_from_cache = true;
+    // Single-flight admission: a cached verdict is reused outright; when
+    // several enclaves cold-admit the same key concurrently, one of them
+    // (the leader) verifies and the rest block for its verdict. Either way
+    // a reused report was produced by the full verifier for a
+    // byte-identical binary under an identical claimed-policy mask and
+    // config; only the patch addresses differ (rebased by the cache onto
+    // this enclave's text).
+    using Role = verifier::VerificationCache::Admission::Role;
+    auto adm = cache->begin_admission(*binary_digest_, *loaded_, config_.verify);
+    if (adm.role == Role::Hit || (adm.role == Role::Waiter && adm.report.has_value())) {
+      report_ = std::move(*adm.report);
+      admitted = true;
+    } else if (adm.role == Role::Waiter) {
+      // The leader's verification failed; every waiter reports its exact
+      // error, and nothing was cached — the next admission re-verifies.
+      return *adm.failure;
+    } else if (adm.role == Role::Leader) {
+      if (auto s = fault_check(config_.fault_plan, fault_site::kVerifyFull); !s.is_ok()) {
+        adm.ticket.fail(s);
+        return s;
+      }
+      auto t0 = std::chrono::steady_clock::now();
+      auto report = verifier::verify(*space_, *loaded_, config_.verify);
+      if (!report.is_ok()) {
+        adm.ticket.fail(report.status());
+        return report.status();
+      }
+      auto verify_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      report_ = report.take();
+      adm.ticket.publish(*loaded_, report_, verify_ns);
+      admitted = true;
     }
+    // Bypass falls through to the standalone verification below.
   }
-  if (!admitted_from_cache) {
-    auto t0 = std::chrono::steady_clock::now();
+  if (!admitted) {
+    if (auto s = fault_check(config_.fault_plan, fault_site::kVerifyFull); !s.is_ok())
+      return s;
     auto report = verifier::verify(*space_, *loaded_, config_.verify);
     if (!report.is_ok()) return report.status();
-    auto verify_ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - t0)
-            .count());
     report_ = report.take();
-    if (cache != nullptr && binary_digest_.has_value())
-      cache->insert(*binary_digest_, *loaded_, config_.verify, report_, verify_ns);
   }
   if (auto s = verifier::rewrite_immediates(*space_, *loaded_, report_); !s.is_ok())
     return s;

@@ -16,6 +16,7 @@ Result<std::unique_ptr<ServicePool>> ServicePool::create(const codegen::Dxo& ser
   BootstrapConfig worker_config = config;
   worker_config.verify_cache = pool->cache_;
   worker_config.fault_plan = options.fault_plan;
+  if (options.verify_workers > 1) worker_config.verify.workers = options.verify_workers;
   pool->as_.set_fault_plan(options.fault_plan);
   for (int i = 0; i < workers; ++i) {
     auto w = std::make_unique<Worker>();

@@ -78,6 +78,11 @@ struct PoolOptions {
   // verdict, paying only the per-worker immediate rewrite. Disable to force
   // every admission through the full verifier.
   bool share_verification_cache = true;
+  // Shard count for each worker's cold verification pass (VerifyConfig::
+  // workers): >1 splits disassembly + policy checks across that many pool
+  // threads with a byte-identical report. Orthogonal to the cache — the
+  // sharded pass only runs on admissions that miss it.
+  int verify_workers = 1;
   // Fault-injection seam (tests / chaos drills): when set, the plan is
   // installed on the pool's attestation service and every worker enclave,
   // so the `provision`, `serve`, `seal_input`, `ecall_run`, `cache_lookup`

@@ -2,9 +2,46 @@
 
 namespace deflection::registry {
 
-TenantRegistry::TenantRegistry(const core::BootstrapConfig& config) {
-  admission_ = std::make_unique<core::ServiceWorker>(
-      as_, config, /*index=*/0, "registry-admission-", "admission");
+TenantRegistry::TenantRegistry(const core::BootstrapConfig& config) : config_(config) {
+  // Eagerly create the first scratch consumer (its enclave build cost is
+  // paid at registry construction, not the first admission, matching the
+  // previous serial registry).
+  AdmissionWorker first;
+  first.worker = std::make_unique<core::ServiceWorker>(
+      as_, config_, next_worker_index_++, "registry-admission-", "admission");
+  idle_workers_.push_back(std::move(first));
+}
+
+std::optional<TenantRegistry::AdmissionWorker> TenantRegistry::acquire_admission_worker(
+    Status& error) {
+  AdmissionWorker out;
+  {
+    std::lock_guard lock(mutex_);
+    if (!idle_workers_.empty()) {
+      out = std::move(idle_workers_.back());
+      idle_workers_.pop_back();
+    } else {
+      out.worker = std::make_unique<core::ServiceWorker>(
+          as_, config_, next_worker_index_++, "registry-admission-", "admission");
+    }
+  }
+  // Discard the previous admission's session (channel keys, delivered
+  // binary) before touching the next tenant's bytes. Runs outside mutex_ —
+  // reset rebuilds the enclave.
+  if (out.dirty) {
+    if (auto s = out.worker->reset(); !s.is_ok()) {
+      error = Status::fail(s.code(), out.worker->tag(s.message()));
+      return std::nullopt;  // worker dropped: poisoned consumers are not pooled
+    }
+    out.dirty = false;
+  }
+  return out;
+}
+
+void TenantRegistry::release_admission_worker(AdmissionWorker worker) {
+  std::lock_guard lock(mutex_);
+  if (idle_workers_.size() < kMaxIdleAdmissionWorkers)
+    idle_workers_.push_back(std::move(worker));
 }
 
 Result<crypto::Digest> TenantRegistry::admit(const TenantId& id,
@@ -12,20 +49,34 @@ Result<crypto::Digest> TenantRegistry::admit(const TenantId& id,
                                              const TenantQuota& quota) {
   using R = Result<crypto::Digest>;
   if (id.empty()) return R::fail("tenant_id", "tenant id must be non-empty");
-  std::lock_guard lock(mutex_);
-  if (tenants_.count(id) != 0)
-    return R::fail("tenant_exists", "tenant '" + id + "' is already registered");
-  // Discard the previous admission's session (channel keys, delivered
-  // binary) before touching this tenant's bytes.
-  if (admission_dirty_) {
-    if (auto s = admission_->reset(); !s.is_ok())
-      return R::fail(s.code(), admission_->tag(s.message()));
+  {
+    // Claim the id with a placeholder so concurrent admissions of the same
+    // id fail fast while this one verifies outside the lock.
+    std::lock_guard lock(mutex_);
+    auto [it, inserted] = tenants_.emplace(id, nullptr);
+    (void)it;
+    if (!inserted)
+      return R::fail("tenant_exists", "tenant '" + id + "' is already registered");
   }
-  admission_dirty_ = true;
-  Status admitted = admission_->provision(service, /*is_reprovision=*/false,
-                                          /*strict_admission=*/true);
-  if (!admitted.is_ok())
+  auto unclaim = [&] {
+    std::lock_guard lock(mutex_);
+    tenants_.erase(id);
+  };
+
+  Status acquire_error = Status::ok();
+  auto scratch = acquire_admission_worker(acquire_error);
+  if (!scratch.has_value()) {
+    unclaim();
+    return R::fail(acquire_error.code(), acquire_error.message());
+  }
+  scratch->dirty = true;
+  Status admitted = scratch->worker->provision(service, /*is_reprovision=*/false,
+                                               /*strict_admission=*/true);
+  release_admission_worker(std::move(*scratch));
+  if (!admitted.is_ok()) {
+    unclaim();
     return R::fail(admitted.code(), "tenant '" + id + "': " + admitted.message());
+  }
   auto record = std::make_shared<TenantRecord>();
   record->id = id;
   record->service = service;
@@ -33,34 +84,42 @@ Result<crypto::Digest> TenantRegistry::admit(const TenantId& id,
   record->claimed_policies = service.policies.mask();
   record->quota = quota;
   crypto::Digest digest = record->digest;
+  std::lock_guard lock(mutex_);
   tenants_[id] = std::move(record);
   return digest;
 }
 
 Status TenantRegistry::remove(const TenantId& id) {
   std::lock_guard lock(mutex_);
-  if (tenants_.erase(id) == 0)
+  auto it = tenants_.find(id);
+  // A placeholder (in-flight admission) is not yet a registered tenant.
+  if (it == tenants_.end() || it->second == nullptr)
     return Status::fail("unknown_tenant", "tenant '" + id + "' is not registered");
+  tenants_.erase(it);
   return Status::ok();
 }
 
 std::shared_ptr<const TenantRecord> TenantRegistry::lookup(const TenantId& id) const {
   std::lock_guard lock(mutex_);
   auto it = tenants_.find(id);
-  return it == tenants_.end() ? nullptr : it->second;
+  return it == tenants_.end() ? nullptr : it->second;  // placeholder -> nullptr
 }
 
 std::vector<TenantId> TenantRegistry::ids() const {
   std::lock_guard lock(mutex_);
   std::vector<TenantId> out;
   out.reserve(tenants_.size());
-  for (const auto& [id, record] : tenants_) out.push_back(id);
+  for (const auto& [id, record] : tenants_)
+    if (record != nullptr) out.push_back(id);
   return out;
 }
 
 std::size_t TenantRegistry::size() const {
   std::lock_guard lock(mutex_);
-  return tenants_.size();
+  std::size_t n = 0;
+  for (const auto& [id, record] : tenants_)
+    if (record != nullptr) ++n;
+  return n;
 }
 
 }  // namespace deflection::registry

@@ -9,11 +9,20 @@
 // bind and quarantine re-provision for this tenant replays the cached
 // verdict and pays only the per-enclave immediate rewrite. One binary, one
 // verification — across the whole slot fleet.
+//
+// Admissions run concurrently: each one borrows a scratch consumer from a
+// small free list (created on demand, a few retained), and the registry
+// mutex is held only around tenant-map operations. A placeholder entry
+// claims the tenant id for the whole admission, so two concurrent admits
+// of the same id still resolve to exactly one winner — and when they carry
+// the same binary under the shared cache, single-flight admission makes
+// one of them verify and the rest reuse its verdict.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/worker.h"
@@ -50,13 +59,32 @@ class TenantRegistry {
   std::size_t size() const;
 
  private:
+  struct AdmissionWorker {
+    std::unique_ptr<core::ServiceWorker> worker;
+    // A used consumer holds the previous tenant's binary and channel keys;
+    // it is reset on the next acquire, before touching new bytes.
+    bool dirty = false;
+  };
+  // At most this many idle scratch consumers are retained; extra ones
+  // created under an admission burst are dropped when released.
+  static constexpr std::size_t kMaxIdleAdmissionWorkers = 4;
+
+  // Borrows a scratch consumer (resetting a dirty one), creating a fresh
+  // one when the free list is empty. Returns nullopt if the reset fails,
+  // with the failure in `error`.
+  std::optional<AdmissionWorker> acquire_admission_worker(Status& error);
+  void release_admission_worker(AdmissionWorker worker);
+
   mutable std::mutex mutex_;
+  core::BootstrapConfig config_;
   sgx::AttestationService as_;
-  // Scratch consumer used serially (under mutex_) for register-time
-  // admission; reset between tenants so no tenant's binary or channel keys
-  // outlive its own admission.
-  std::unique_ptr<core::ServiceWorker> admission_;
-  bool admission_dirty_ = false;
+  // Idle scratch consumers for register-time admission (guarded by mutex_;
+  // provisioning itself runs outside the lock).
+  std::vector<AdmissionWorker> idle_workers_;
+  int next_worker_index_ = 0;  // distinct simulated platform per consumer
+  // Tenant records; a nullptr value is a placeholder claiming the id while
+  // its admission is in flight (lookup/ids/size treat it as absent, a
+  // concurrent admit of the same id fails with "tenant_exists").
   std::map<TenantId, std::shared_ptr<const TenantRecord>> tenants_;
 };
 

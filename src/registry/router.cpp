@@ -61,7 +61,10 @@ Result<crypto::Digest> TenantRouter::register_tenant(const TenantId& id,
       return Result<crypto::Digest>::fail("stopped", "router is stopped");
   }
   // Admission (a full verification on a cache miss) runs outside the
-  // router mutex; the registry serialises it internally.
+  // router mutex. The registry admits concurrently — each admission on its
+  // own scratch consumer, identical binaries coalesced by the cache's
+  // single-flight admission — so parallel register_tenant calls do not
+  // serialise behind one verification.
   auto digest = registry_->admit(id, service, quota);
   if (!digest.is_ok()) return digest;
   auto state = std::make_unique<TenantState>();

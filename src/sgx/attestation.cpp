@@ -63,6 +63,7 @@ QuotingEnclave AttestationService::provision(const std::string& platform_id,
   Rng rng(seed);
   crypto::Key256 key;
   for (std::size_t i = 0; i < key.size(); i += 8) store_le64(key.data() + i, rng.next());
+  std::lock_guard<std::mutex> lock(mutex_);
   platform_keys_[platform_id] = key;
   revoked_.erase(platform_id);
   return QuotingEnclave(platform_id, key);
@@ -70,6 +71,7 @@ QuotingEnclave AttestationService::provision(const std::string& platform_id,
 
 AttestationService::Report AttestationService::verify(const Quote& quote) const {
   Report report;
+  std::lock_guard<std::mutex> lock(mutex_);
   if (auto s = fault_check(fault_plan_, fault_site::kQuoteVerify); !s.is_ok()) {
     report.reason = s.message();
     return report;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "crypto/cipher.h"
@@ -58,20 +59,30 @@ class QuotingEnclave {
 
 // The Intel-Attestation-Service stand-in: provisions platforms and verifies
 // quotes on behalf of data owners / code providers.
+//
+// Thread-safe: one AS instance is shared by every platform of a registry,
+// and concurrent tenant admissions interleave provision() (new worker
+// platforms) with verify() (channel handshakes on existing ones).
 class AttestationService {
  public:
   // Provisions a platform and returns its quoting enclave.
   QuotingEnclave provision(const std::string& platform_id, std::uint64_t seed);
 
   // Revocation models a compromised platform (tests exercise this path).
-  void revoke(const std::string& platform_id) { revoked_.insert({platform_id, true}); }
+  void revoke(const std::string& platform_id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    revoked_.insert({platform_id, true});
+  }
 
   // Chaos seam: when a plan is set, every verify() checks the
   // `quote_verify` site and a fired check invalidates the report — the
   // simulated analogue of an IAS/DCAP outage. Handshakes built on the
   // report then fail, which callers see as an ordinary (transient)
   // provisioning error.
-  void set_fault_plan(FaultPlanPtr plan) { fault_plan_ = std::move(plan); }
+  void set_fault_plan(FaultPlanPtr plan) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fault_plan_ = std::move(plan);
+  }
 
   struct Report {
     bool valid = false;
@@ -85,6 +96,7 @@ class AttestationService {
   static crypto::Digest quote_mac_input(const Quote& quote);
   friend class QuotingEnclave;
 
+  mutable std::mutex mutex_;
   std::map<std::string, crypto::Key256> platform_keys_;
   std::map<std::string, bool> revoked_;
   FaultPlanPtr fault_plan_;

@@ -42,6 +42,7 @@ inline constexpr const char* kServe = "serve";                // ServiceWorker::
 inline constexpr const char* kSealInput = "seal_input";       // input sealing before delivery
 inline constexpr const char* kEcallRun = "ecall_run";         // before the enclave run
 inline constexpr const char* kCacheLookup = "cache_lookup";   // admission verdict lookup
+inline constexpr const char* kVerifyFull = "verify_full";     // before a full cold verification
 inline constexpr const char* kSlotBind = "slot_bind";         // scheduler (re)bind decision
 inline constexpr const char* kQuoteVerify = "quote_verify";   // attestation-service verify
 }  // namespace fault_site

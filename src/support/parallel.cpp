@@ -1,0 +1,116 @@
+#include "support/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deflection::parallel {
+
+namespace {
+
+// Worker threads sleep between dispatches; they are created on first use
+// and joined when the process-wide instance is destroyed at exit.
+class ShardPool {
+ public:
+  static ShardPool& instance() {
+    static ShardPool pool;
+    return pool;
+  }
+
+  ~ShardPool() {
+    {
+      std::lock_guard lock(mutex_);
+      shutdown_ = true;
+      ++generation_;
+    }
+    wake_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void run(int shards, const std::function<void(int)>& fn) {
+    std::lock_guard dispatch(dispatch_mutex_);
+    ensure_workers(shards - 1);
+    {
+      std::unique_lock lock(mutex_);
+      // Wait out stragglers of the previous dispatch: a worker that woke
+      // late may still be inside work() reading the dispatch state below.
+      quiesced_.wait(lock, [&] { return active_workers_ == 0; });
+      fn_ = &fn;
+      next_shard_.store(0, std::memory_order_relaxed);
+      shard_count_ = shards;
+      remaining_ = shards;
+      ++generation_;
+    }
+    wake_.notify_all();
+    work();  // the leader takes shards too
+    std::unique_lock lock(mutex_);
+    done_.wait(lock, [&] { return remaining_ == 0; });
+    fn_ = nullptr;
+  }
+
+ private:
+  ShardPool() = default;
+
+  void ensure_workers(int needed) {
+    std::lock_guard lock(mutex_);
+    while (static_cast<int>(threads_.size()) < needed)
+      threads_.emplace_back([this] { worker_main(); });
+  }
+
+  // Claims shard indices until the dispatch is exhausted. Shard functions
+  // run outside mutex_; completion is signalled once per claimed shard.
+  void work() {
+    for (;;) {
+      int shard = next_shard_.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= shard_count_) return;
+      (*fn_)(shard);
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) done_.notify_all();
+    }
+  }
+
+  void worker_main() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock lock(mutex_);
+        wake_.wait(lock, [&] { return generation_ != seen; });
+        seen = generation_;
+        if (shutdown_) return;
+        ++active_workers_;
+      }
+      work();
+      std::lock_guard lock(mutex_);
+      if (--active_workers_ == 0) quiesced_.notify_all();
+    }
+  }
+
+  std::mutex dispatch_mutex_;  // one dispatch at a time
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::condition_variable quiesced_;
+  std::vector<std::thread> threads_;
+  const std::function<void(int)>* fn_ = nullptr;
+  std::atomic<int> next_shard_{0};
+  int shard_count_ = 0;
+  int remaining_ = 0;
+  int active_workers_ = 0;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
+void run_shards(int shards, const std::function<void(int)>& fn) {
+  if (shards <= 1) {
+    fn(0);
+    return;
+  }
+  ShardPool::instance().run(shards, fn);
+}
+
+}  // namespace deflection::parallel

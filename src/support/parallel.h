@@ -1,0 +1,28 @@
+// A tiny persistent shard-execution pool for the in-enclave verifier.
+//
+// verifier::verify at workers > 1 splits its passes into logical shards and
+// runs them on real threads. The passes are short (hundreds of
+// microseconds), so spawning std::threads per call would cost as much as
+// the work; instead a small process-wide pool of sleeping workers is grown
+// lazily and reused. Dispatches are serialized: one run_shards() executes
+// at a time and later callers queue on the dispatch mutex, so two
+// concurrent verifications never oversubscribe the machine — they simply
+// run back to back, which is also what the admission layer's single-flight
+// gate arranges anyway.
+//
+// Determinism note: the caller's result must not depend on which thread
+// executes which shard. run_shards() guarantees only that every shard index
+// in [0, shards) is executed exactly once and that all writes made by shard
+// functions happen-before run_shards() returns.
+#pragma once
+
+#include <functional>
+
+namespace deflection::parallel {
+
+// Executes fn(shard) for every shard in [0, shards) across the calling
+// thread plus up to (shards - 1) pooled worker threads, returning once all
+// shards completed. shards <= 1 runs inline. fn must not throw.
+void run_shards(int shards, const std::function<void(int)>& fn);
+
+}  // namespace deflection::parallel

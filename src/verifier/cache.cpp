@@ -1,5 +1,7 @@
 #include "verifier/cache.h"
 
+#include <condition_variable>
+
 namespace deflection::verifier {
 
 std::optional<crypto::Digest> verify_config_fingerprint(const VerifyConfig& config) {
@@ -13,7 +15,53 @@ std::optional<crypto::Digest> verify_config_fingerprint(const VerifyConfig& conf
   w.u8(config.cross_check_linear ? 1 : 0);
   w.u32(static_cast<std::uint32_t>(config.allowed_ocalls.size()));
   for (std::uint8_t n : config.allowed_ocalls) w.u8(n);
+  // config.workers is deliberately absent: the shard count cannot change a
+  // verdict (the sharded pass falls back to serial on any divergence), so
+  // admissions with different worker counts share cache entries.
   return crypto::Sha256::hash(buf);
+}
+
+// One in-flight cold verification: the leader resolves it exactly once,
+// waiters block on cv until done. Failure keeps ok=false and carries the
+// leader's error; nothing about a failure is ever stored in entries_.
+struct VerificationCache::Inflight {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  bool ok = false;
+  Entry entry;  // valid when ok
+  Status error = Status::ok();
+};
+
+std::optional<VerificationCache::Entry> VerificationCache::make_entry(
+    const LoadedBinary& binary, const VerifyReport& report, std::uint64_t verify_ns) {
+  Entry entry;
+  entry.report = report;
+  entry.text_size = binary.text_size;
+  entry.verify_ns = verify_ns;
+  for (PatchSite& site : entry.report.patches) {
+    // A verifier-produced report only references the loaded text; refuse to
+    // cache anything else rather than store a site that cannot rebase.
+    if (site.field_addr < binary.text_base ||
+        site.field_addr + 8 > binary.text_base + binary.text_size)
+      return std::nullopt;
+    site.field_addr -= binary.text_base;
+  }
+  return entry;
+}
+
+std::optional<VerifyReport> VerificationCache::rebase(const Entry& entry,
+                                                      const LoadedBinary& binary) {
+  // Fail closed: the digest implies the text size, but the cache does not
+  // trust its caller to have hashed the bytes it loaded — any observable
+  // disagreement means this entry does not apply and the full verifier runs.
+  if (entry.text_size != binary.text_size) return std::nullopt;
+  VerifyReport report = entry.report;
+  for (PatchSite& site : report.patches) {
+    if (site.field_addr + 8 > binary.text_size) return std::nullopt;
+    site.field_addr += binary.text_base;
+  }
+  return report;
 }
 
 std::optional<VerifyReport> VerificationCache::lookup(const crypto::Digest& binary_digest,
@@ -30,24 +78,13 @@ std::optional<VerifyReport> VerificationCache::lookup(const crypto::Digest& bina
     ++stats_.misses;
     return std::nullopt;
   }
-  const Entry& entry = it->second;
-  // Fail closed: the digest implies the text size, but the cache does not
-  // trust its caller to have hashed the bytes it loaded — any observable
-  // disagreement means this entry does not apply and the full verifier runs.
-  if (entry.text_size != binary.text_size) {
+  auto report = rebase(it->second, binary);
+  if (!report.has_value()) {
     ++stats_.misses;
     return std::nullopt;
   }
-  VerifyReport report = entry.report;
-  for (PatchSite& site : report.patches) {
-    if (site.field_addr + 8 > binary.text_size) {
-      ++stats_.misses;
-      return std::nullopt;
-    }
-    site.field_addr += binary.text_base;
-  }
   ++stats_.hits;
-  stats_.verify_ns_saved += entry.verify_ns;
+  stats_.verify_ns_saved += it->second.verify_ns;
   return report;
 }
 
@@ -56,21 +93,158 @@ void VerificationCache::insert(const crypto::Digest& binary_digest,
                                const VerifyReport& report, std::uint64_t verify_ns) {
   auto fp = verify_config_fingerprint(config);
   if (!fp.has_value()) return;  // unfingerprintable configs are never cached
-  Entry entry;
-  entry.report = report;
-  entry.text_size = binary.text_size;
-  entry.verify_ns = verify_ns;
-  for (PatchSite& site : entry.report.patches) {
-    // A verifier-produced report only references the loaded text; refuse to
-    // cache anything else rather than store a site that cannot rebase.
-    if (site.field_addr < binary.text_base ||
-        site.field_addr + 8 > binary.text_base + binary.text_size)
-      return;
-    site.field_addr -= binary.text_base;
+  auto entry = make_entry(binary, report, verify_ns);
+  if (!entry.has_value()) return;
+  std::lock_guard lock(mutex_);
+  entries_[Key{binary_digest, binary.policies.mask(), *fp}] = std::move(*entry);
+  ++stats_.insertions;
+}
+
+VerificationCache::Admission VerificationCache::begin_admission(
+    const crypto::Digest& binary_digest, const LoadedBinary& binary,
+    const VerifyConfig& config) {
+  Admission adm;
+  auto fp = verify_config_fingerprint(config);
+  Key key;
+  std::shared_ptr<Inflight> rec;
+  {
+    std::lock_guard lock(mutex_);
+    if (!fp.has_value()) {
+      ++stats_.bypasses;
+      return adm;  // Bypass: caller verifies alone, nothing recorded
+    }
+    key = Key{binary_digest, binary.policies.mask(), *fp};
+    if (auto it = entries_.find(key); it != entries_.end()) {
+      if (auto report = rebase(it->second, binary)) {
+        ++stats_.hits;
+        stats_.verify_ns_saved += it->second.verify_ns;
+        adm.role = Admission::Role::Hit;
+        adm.report = std::move(report);
+        return adm;
+      }
+      // Unrebasable entry: same as lookup(), a miss — but still
+      // single-flight below, so a stampede on the mismatched key does not
+      // multiply verifications.
+    }
+    auto in = inflight_.find(key);
+    if (in == inflight_.end()) {
+      // Leader: counts as the miss that runs the full verifier.
+      ++stats_.misses;
+      rec = std::make_shared<Inflight>();
+      inflight_.emplace(key, rec);
+      adm.role = Admission::Role::Leader;
+      adm.ticket.cache_ = this;
+      adm.ticket.rec_ = std::move(rec);
+      adm.ticket.key_ = key;
+      return adm;
+    }
+    rec = in->second;
+    ++stats_.coalesced;
+    ++waiting_;
+  }
+
+  // Waiter: block until the leader resolves its ticket. rec outlives the
+  // map entry (shared_ptr), so a leader that erases the key first is fine.
+  {
+    std::unique_lock wait_lock(rec->m);
+    rec->cv.wait(wait_lock, [&] { return rec->done; });
   }
   std::lock_guard lock(mutex_);
-  entries_[Key{binary_digest, binary.policies.mask(), *fp}] = std::move(entry);
-  ++stats_.insertions;
+  --waiting_;
+  adm.role = Admission::Role::Waiter;
+  if (!rec->ok) {
+    adm.failure = rec->error;
+    return adm;
+  }
+  if (auto report = rebase(rec->entry, binary)) {
+    stats_.verify_ns_saved += rec->entry.verify_ns;
+    adm.report = std::move(report);
+    return adm;
+  }
+  // The leader's verdict does not fit this enclave's text (fail-closed
+  // rebase refusal): verify alone rather than trust it.
+  adm.role = Admission::Role::Bypass;
+  return adm;
+}
+
+std::size_t VerificationCache::inflight_waiters() const {
+  std::lock_guard lock(mutex_);
+  return waiting_;
+}
+
+VerificationCache::AdmissionTicket::AdmissionTicket(AdmissionTicket&& other) noexcept
+    : cache_(other.cache_), rec_(std::move(other.rec_)), key_(other.key_) {
+  other.cache_ = nullptr;
+  other.rec_.reset();
+}
+
+VerificationCache::AdmissionTicket& VerificationCache::AdmissionTicket::operator=(
+    AdmissionTicket&& other) noexcept {
+  if (this != &other) {
+    if (cache_ != nullptr && rec_ != nullptr)
+      fail(Status::fail("admission_abandoned",
+                        "admission leader replaced its ticket unresolved"));
+    cache_ = other.cache_;
+    rec_ = std::move(other.rec_);
+    key_ = other.key_;
+    other.cache_ = nullptr;
+    other.rec_.reset();
+  }
+  return *this;
+}
+
+VerificationCache::AdmissionTicket::~AdmissionTicket() {
+  if (cache_ != nullptr && rec_ != nullptr)
+    fail(Status::fail("admission_abandoned",
+                      "admission leader exited without publishing a verdict"));
+}
+
+void VerificationCache::AdmissionTicket::publish(const LoadedBinary& binary,
+                                                 const VerifyReport& report,
+                                                 std::uint64_t verify_ns) {
+  if (cache_ == nullptr || rec_ == nullptr) return;
+  auto entry = make_entry(binary, report, verify_ns);
+  {
+    std::lock_guard lock(cache_->mutex_);
+    if (entry.has_value()) {
+      cache_->entries_[key_] = *entry;
+      ++cache_->stats_.insertions;
+    }
+    cache_->inflight_.erase(key_);
+  }
+  {
+    std::lock_guard lock(rec_->m);
+    rec_->done = true;
+    rec_->ok = entry.has_value();
+    if (entry.has_value())
+      rec_->entry = std::move(*entry);
+    else
+      rec_->error = Status::fail("cache_unrebasable",
+                                 "verified report references sites outside the text");
+  }
+  rec_->cv.notify_all();
+  cache_ = nullptr;
+  rec_.reset();
+}
+
+void VerificationCache::AdmissionTicket::fail(Status error) {
+  if (cache_ == nullptr || rec_ == nullptr) return;
+  {
+    // Failures are never cached: dropping the in-flight record is the whole
+    // negative-result story — the next admission of this key elects a new
+    // leader and re-verifies.
+    std::lock_guard lock(cache_->mutex_);
+    cache_->inflight_.erase(key_);
+  }
+  {
+    std::lock_guard lock(rec_->m);
+    rec_->done = true;
+    rec_->ok = false;
+    rec_->error = std::move(error);
+  }
+  rec_->cv.notify_all();
+  cache_ = nullptr;
+  rec_.reset();
 }
 
 CacheStats VerificationCache::stats() const {

@@ -22,9 +22,18 @@
 // Patch sites are stored rebased to text-relative offsets, because
 // different enclaves load the same text at different bases; lookup() maps
 // them back onto the requesting enclave's text.
+//
+// Single-flight admission (begin_admission): when N enclaves cold-admit
+// the same key concurrently, exactly one caller (the leader) runs the full
+// verifier; the rest block on the in-flight record and reuse the leader's
+// verdict. A failed verification propagates the leader's exact error to
+// every waiter and is never cached — the next admission of that key
+// re-verifies from scratch. This fixes the cold-admission stampede where
+// every worker of a fresh pool would redundantly verify the same binary.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 
@@ -46,10 +55,87 @@ struct CacheStats {
   std::uint64_t bypasses = 0;      // lookups refused (unfingerprintable config)
   std::uint64_t insertions = 0;    // reports stored after a full verification
   std::uint64_t verify_ns_saved = 0;  // sum of the original verify time of every hit
+  // Admissions that blocked on another caller's in-flight verification
+  // instead of running their own (begin_admission only; serial flows
+  // leave this 0 and every other counter exactly as lookup()/insert()
+  // would).
+  std::uint64_t coalesced = 0;
 };
 
 class VerificationCache {
+ private:
+  struct Key {
+    crypto::Digest binary{};         // SHA-256 of the plaintext DXO bytes
+    std::uint32_t policy_mask = 0;   // the binary's claimed PolicySet
+    crypto::Digest config{};         // verify_config_fingerprint
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Entry {
+    VerifyReport report;             // patches hold text-relative offsets
+    std::uint64_t text_size = 0;
+    std::uint64_t verify_ns = 0;
+  };
+  struct Inflight;  // one in-flight cold verification (defined in cache.cpp)
+
  public:
+  // Leader's handle on an in-flight admission. The leader MUST finish the
+  // admission by calling exactly one of publish() (verification succeeded:
+  // caches the report and hands it to every waiter) or fail() (propagates
+  // the error to every waiter; nothing is cached, so the next admission of
+  // this key re-verifies). If the ticket is destroyed unresolved — the
+  // leader's frame unwound without publishing — waiters are released with
+  // an "admission_abandoned" failure rather than blocking forever.
+  class AdmissionTicket {
+   public:
+    AdmissionTicket() = default;
+    AdmissionTicket(AdmissionTicket&& other) noexcept;
+    AdmissionTicket& operator=(AdmissionTicket&& other) noexcept;
+    AdmissionTicket(const AdmissionTicket&) = delete;
+    AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+    ~AdmissionTicket();
+
+    void publish(const LoadedBinary& binary, const VerifyReport& report,
+                 std::uint64_t verify_ns);
+    void fail(Status error);
+
+   private:
+    friend class VerificationCache;
+    VerificationCache* cache_ = nullptr;
+    std::shared_ptr<Inflight> rec_;
+    Key key_{};
+  };
+
+  // Outcome of begin_admission(). Exactly one of the four shapes:
+  //   Hit:    report engaged — a previous admission's cached verdict,
+  //           rebased onto this enclave's text.
+  //   Leader: ticket engaged — the caller must run the full verifier and
+  //           resolve the ticket (see AdmissionTicket).
+  //   Waiter: this call blocked on another caller's in-flight verification;
+  //           report engaged if it succeeded, failure engaged with the
+  //           leader's exact error otherwise.
+  //   Bypass: the cache cannot serve this admission (unfingerprintable
+  //           config, or an in-flight result that fails the closed-world
+  //           rebase checks); the caller verifies on its own and nothing
+  //           is recorded.
+  struct Admission {
+    enum class Role { Hit, Leader, Waiter, Bypass };
+    Role role = Role::Bypass;
+    std::optional<VerifyReport> report;
+    std::optional<Status> failure;
+    AdmissionTicket ticket;
+  };
+
+  // Single-flight admission entry point: cache hit, leader election, or
+  // blocking wait on the key's in-flight verification. Blocks only in the
+  // Waiter case, and only until the leader resolves its ticket.
+  Admission begin_admission(const crypto::Digest& binary_digest,
+                            const LoadedBinary& binary, const VerifyConfig& config);
+
+  // Number of callers currently blocked inside begin_admission() waiting
+  // for an in-flight verification — introspection for deterministic
+  // stampede tests (poll until the expected waiters queue up, then let the
+  // leader resolve).
+  std::size_t inflight_waiters() const;
   // Returns the cached report rebased onto `binary`'s text, or nullopt on a
   // miss. Only verdicts for byte-identical (digest) binaries with an
   // identical claimed policy mask under an identical config can hit.
@@ -69,20 +155,22 @@ class VerificationCache {
   std::size_t size() const;
 
  private:
-  struct Key {
-    crypto::Digest binary{};         // SHA-256 of the plaintext DXO bytes
-    std::uint32_t policy_mask = 0;   // the binary's claimed PolicySet
-    crypto::Digest config{};         // verify_config_fingerprint
-    auto operator<=>(const Key&) const = default;
-  };
-  struct Entry {
-    VerifyReport report;             // patches hold text-relative offsets
-    std::uint64_t text_size = 0;
-    std::uint64_t verify_ns = 0;
-  };
+  // Rebases a verifier-produced report to text-relative offsets, refusing
+  // (nullopt) anything whose patch sites do not fall inside the loaded
+  // text. Shared by insert() and the leader's publish().
+  static std::optional<Entry> make_entry(const LoadedBinary& binary,
+                                         const VerifyReport& report,
+                                         std::uint64_t verify_ns);
+  // Maps a stored entry back onto `binary`'s text; nullopt if any
+  // observable disagreement (text size, site range) means the entry does
+  // not apply. Shared by lookup() and the waiter wake-up path.
+  static std::optional<VerifyReport> rebase(const Entry& entry,
+                                            const LoadedBinary& binary);
 
   mutable std::mutex mutex_;
   std::map<Key, Entry> entries_;
+  std::map<Key, std::shared_ptr<Inflight>> inflight_;
+  std::size_t waiting_ = 0;  // callers blocked inside begin_admission()
   CacheStats stats_;
 };
 

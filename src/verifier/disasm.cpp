@@ -1,5 +1,10 @@
 #include "verifier/disasm.h"
 
+#include <algorithm>
+#include <atomic>
+
+#include "support/parallel.h"
+
 namespace deflection::verifier {
 
 Result<Disassembly> disassemble(const sgx::AddressSpace& space,
@@ -67,6 +72,107 @@ Result<Disassembly> disassemble(const sgx::AddressSpace& space,
   }
   if (cursor != base + size)
     return fail("disasm_gap", "unreachable bytes at tail");
+  return out;
+}
+
+std::optional<std::vector<isa::Instr>> disassemble_shards(const sgx::AddressSpace& space,
+                                                          const LoadedBinary& binary,
+                                                          int shards) {
+  const std::uint64_t base = binary.text_base;
+  const std::uint64_t size = binary.text_size;
+  if (size == 0) return std::nullopt;
+  const std::uint8_t* raw = space.raw(base, size);
+  if (raw == nullptr) return std::nullopt;
+  BytesView text(raw, size);
+
+  // Shared exploration roots; shards pull from them through one cursor and
+  // grow purely thread-local worklists from discovered branch targets.
+  std::vector<std::uint64_t> roots;
+  roots.reserve(1 + binary.function_addrs.size() + binary.branch_targets.size());
+  roots.push_back(binary.entry);
+  for (std::uint64_t f : binary.function_addrs) roots.push_back(f);
+  for (std::uint64_t t : binary.branch_targets) roots.push_back(t);
+
+  // One claim flag per text offset: whichever shard wins the exchange owns
+  // (and decodes) the instruction starting there, so every reachable start
+  // offset is decoded exactly once no matter how threads interleave.
+  std::vector<std::atomic<std::uint8_t>> claimed(size);
+  std::atomic<std::size_t> root_cursor{0};
+  std::atomic<bool> anomaly{false};
+
+  struct Rec {
+    std::uint64_t addr;
+    isa::Instr ins;
+  };
+  std::vector<std::vector<Rec>> decoded(static_cast<std::size_t>(shards));
+
+  parallel::run_shards(shards, [&](int shard) {
+    auto& local = decoded[static_cast<std::size_t>(shard)];
+    local.reserve(size / 6 / static_cast<std::size_t>(shards) + 16);
+    std::vector<std::uint64_t> worklist;
+    for (;;) {
+      std::uint64_t addr;
+      if (!worklist.empty()) {
+        addr = worklist.back();
+        worklist.pop_back();
+      } else {
+        std::size_t i = root_cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= roots.size()) break;
+        addr = roots[i];
+      }
+      // Straight-line flow from addr, stopping where another shard already
+      // owns the tail (it decodes the rest identically).
+      for (;;) {
+        if (addr < base || addr >= base + size) {
+          anomaly.store(true, std::memory_order_relaxed);
+          break;
+        }
+        if (claimed[addr - base].exchange(1, std::memory_order_relaxed)) break;
+        auto r = isa::decode_one(text, addr - base, base);
+        if (!r.is_ok()) {
+          anomaly.store(true, std::memory_order_relaxed);
+          break;
+        }
+        isa::Instr ins = r.take();
+        local.push_back(Rec{addr, ins});
+        if (ins.is_direct_branch()) {
+          std::uint64_t target = ins.branch_target();
+          if (target < base || target >= base + size) {
+            anomaly.store(true, std::memory_order_relaxed);
+            break;
+          }
+          if (!claimed[target - base].load(std::memory_order_relaxed))
+            worklist.push_back(target);
+        }
+        if (ins.ends_flow()) break;
+        addr += ins.length;
+      }
+      if (anomaly.load(std::memory_order_relaxed)) break;
+    }
+  });
+  if (anomaly.load(std::memory_order_relaxed)) return std::nullopt;
+
+  // Deterministic merge: the union of the shard-local records is the same
+  // reachability closure the serial pass decodes, so sorting by address
+  // erases every trace of the traversal order.
+  std::size_t total = 0;
+  for (const auto& v : decoded) total += v.size();
+  std::vector<Rec> all;
+  all.reserve(total);
+  for (const auto& v : decoded) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end(),
+            [](const Rec& a, const Rec& b) { return a.addr < b.addr; });
+
+  // Coverage: the same exact-tiling rule disassemble() enforces.
+  std::vector<isa::Instr> out;
+  out.reserve(all.size());
+  std::uint64_t cursor = base;
+  for (const Rec& rec : all) {
+    if (rec.addr != cursor) return std::nullopt;  // gap or overlap
+    cursor += rec.ins.length;
+    out.push_back(rec.ins);
+  }
+  if (cursor != base + size) return std::nullopt;  // unreachable tail
   return out;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -29,5 +30,18 @@ struct Disassembly {
 // Disassembles the loaded text. Fails on: undecodable bytes, branches
 // leaving the text, overlapping decodes, or unreachable (uncovered) bytes.
 Result<Disassembly> disassemble(const sgx::AddressSpace& space, const LoadedBinary& binary);
+
+// Sharded variant of disassemble() for parallel cold admission: explores
+// the same worklist closure on `shards` cooperating threads (each start
+// offset is claimed atomically and decoded exactly once) and returns only
+// the sorted, text-tiling instruction vector — the boundary map is the
+// caller's concern. Returns nullopt on ANY anomaly (undecodable bytes,
+// flow leaving the text, coverage gap/overlap): the caller must fall back
+// to the serial disassemble() to reproduce its exact error code and
+// message. A non-null result is identical to disassemble()'s instrs for
+// the same binary, independent of shard count and thread interleaving.
+std::optional<std::vector<isa::Instr>> disassemble_shards(const sgx::AddressSpace& space,
+                                                          const LoadedBinary& binary,
+                                                          int shards);
 
 }  // namespace deflection::verifier

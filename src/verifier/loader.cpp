@@ -65,7 +65,9 @@ Result<LoadedBinary> Loader::load(const codegen::Dxo& dxo) {
   };
   if (!enclave_.initialized()) return fail("load_uninit", "enclave not initialized");
   if (dxo.text.size() > layout_.text_size) return fail("load_text", "text too large");
-  if (dxo.data.size() + 4096 > layout_.data_size)
+  // Subtraction form: a huge data image must not wrap `size + 4096` past
+  // the layout bound (the 4096 reserves minimum heap headroom).
+  if (layout_.data_size < 4096 || dxo.data.size() > layout_.data_size - 4096)
     return fail("load_data", "data image too large");
   if (dxo.text.size() > layout_.bt_table_size)
     return fail("load_bt", "text larger than branch-target table");
@@ -88,8 +90,14 @@ Result<LoadedBinary> Loader::load(const codegen::Dxo& dxo) {
   if (auto s = space.copy_in(out.text_base, dxo.text); !s.is_ok()) return s.error();
   if (auto s = space.copy_in(out.data_base, dxo.data); !s.is_ok()) return s.error();
 
-  // Resolve symbols against the loaded bases.
+  // Resolve symbols against the loaded bases. Offsets are re-checked here
+  // rather than trusted from deserialize(): load() also accepts
+  // programmatically-built Dxo structs that never went through the parser.
   for (const auto& sym : dxo.symbols) {
+    std::uint64_t limit =
+        sym.section == codegen::Section::Text ? dxo.text.size() : dxo.data.size();
+    if (sym.offset > limit)
+      return fail("load_sym", "symbol offset beyond its section: " + sym.name);
     std::uint64_t base =
         sym.section == codegen::Section::Text ? out.text_base : out.data_base;
     std::uint64_t addr = base + sym.offset;
@@ -113,7 +121,9 @@ Result<LoadedBinary> Loader::load(const codegen::Dxo& dxo) {
   for (const auto& rel : dxo.relocs) {
     auto sym = out.symbols.find(rel.symbol);
     if (sym == out.symbols.end()) return fail("load_reloc", "undefined " + rel.symbol);
-    if (rel.text_offset + 8 > dxo.text.size())
+    // Subtraction form: `text_offset + 8` wraps for offsets near 2^64,
+    // which would slip past the bound and index the raw text wildly.
+    if (dxo.text.size() < 8 || rel.text_offset > dxo.text.size() - 8)
       return fail("load_reloc", "relocation outside text");
     std::uint8_t* p = space.raw(out.text_base + rel.text_offset, 8);
     if (p == nullptr) return fail("load_reloc", "relocation target unmapped");

@@ -1,6 +1,10 @@
 #include "verifier/verify.h"
 
+#include <algorithm>
+#include <atomic>
 #include <optional>
+
+#include "support/parallel.h"
 
 namespace deflection::verifier {
 
@@ -45,34 +49,67 @@ bool mem_uses_scratch(const Mem& mem) {
          (mem.has_index && (mem.index == kS0 || mem.index == kS1));
 }
 
+// The policy verifier, runnable whole (run(), the serial reference) or in
+// index ranges (the *_range entry points the sharded driver dispatches).
+// It operates on the sorted instruction vector alone: boundary lookups
+// binary-search it, which is observably identical to the Disassembly map
+// built over the same instructions.
 class Verifier {
  public:
-  Verifier(const Disassembly& dis, const LoadedBinary& binary, const VerifyConfig& config)
-      : dis_(dis),
+  Verifier(const std::vector<Instr>& instrs, const LoadedBinary& binary,
+           const VerifyConfig& config)
+      : instrs_(instrs),
         binary_(binary),
         config_(config),
         verify_(binary.policies),
-        kind_(dis.instrs.size(), PatternKind::None),
-        start_(dis.instrs.size(), false) {}
+        kind_(instrs.size(), PatternKind::None),
+        start_(instrs.size(), 0) {}
 
   Result<VerifyReport> run() {
-    if (!binary_.policies.covers(config_.required))
-      return fail_at(0, "policy_uncovered",
-                     "binary claims " + binary_.policies.to_string() +
-                         " but the data owner requires " + config_.required.to_string());
-    if (auto s = scan_patterns(); !s.is_ok()) return s.error();
-    if (auto s = check_singletons(); !s.is_ok()) return s.error();
-    if (auto s = check_entries(); !s.is_ok()) return s.error();
-    if (auto s = check_probe_density(); !s.is_ok()) return s.error();
-    if (auto s = check_violation_stub(); !s.is_ok()) return s.error();
-    report_.instructions = dis_.instrs.size();
+    if (auto s = check_policy_cover(); !s.is_ok()) return s.error();
+    if (auto s = scan_patterns(0, count(), report_); !s.is_ok()) return s.error();
+    if (auto s = check_singletons(0, count()); !s.is_ok()) return s.error();
+    if (auto s = check_entries(0, count()); !s.is_ok()) return s.error();
+    if (auto s = check_entries_tail(); !s.is_ok()) return s.error();
+    if (auto s = check_probe_density(0, count()); !s.is_ok()) return s.error();
+    if (auto s = check_violation_stub(report_); !s.is_ok()) return s.error();
+    report_.instructions = count();
     return report_;
   }
 
+  // ---- sharded-driver surface ----
+  // Phase A per chunk: pattern scan over [begin, end) into a chunk-local
+  // report. Chunks are cut at flow breaks, where the serial scan position
+  // provably lands, so the per-chunk scans reproduce the serial scan
+  // exactly; kind_/start_ writes stay inside the chunk.
+  Status scan_patterns(std::size_t begin, std::size_t end, VerifyReport& report);
+  // Phase B per chunk (requires every chunk's scan complete): the
+  // singleton rules, the per-instruction entry rules, and the probe
+  // density walk — the latter enters each chunk with a reset gap counter,
+  // which is exact because the instruction before a chunk boundary ends
+  // flow (serial resets there too).
+  Status check_singletons(std::size_t begin, std::size_t end);
+  Status check_entries(std::size_t begin, std::size_t end);
+  Status check_probe_density(std::size_t begin, std::size_t end);
+  // Serial tail run by the driver's leader after the chunks pass.
+  Status check_policy_cover() const;
+  Status check_entries_tail();
+  Status check_violation_stub(const VerifyReport& merged);
+
  private:
   // ---- small helpers ----
-  const Instr& at(std::size_t i) const { return dis_.instrs[i]; }
-  std::size_t count() const { return dis_.instrs.size(); }
+  const Instr& at(std::size_t i) const { return instrs_[i]; }
+  std::size_t count() const { return instrs_.size(); }
+
+  // addr -> instruction index over the sorted vector (the map-free
+  // equivalent of Disassembly::index lookups).
+  std::optional<std::size_t> find_index(std::uint64_t addr) const {
+    auto it = std::lower_bound(
+        instrs_.begin(), instrs_.end(), addr,
+        [](const Instr& ins, std::uint64_t a) { return ins.addr < a; });
+    if (it == instrs_.end() || it->addr != addr) return std::nullopt;
+    return static_cast<std::size_t>(it - instrs_.begin());
+  }
 
   Result<VerifyReport> fail_at(std::uint64_t addr, const std::string& code,
                                const std::string& msg) {
@@ -108,48 +145,81 @@ class Verifier {
   }
 
   void mark(std::size_t begin, std::size_t end, PatternKind kind) {
-    start_[begin] = true;
+    start_[begin] = 1;
     for (std::size_t i = begin; i < end; ++i) kind_[i] = kind;
   }
-  void patch(std::size_t i, PatchKind kind) {
+  void patch(VerifyReport& report, std::size_t i, PatchKind kind) {
     // imm64 of an RI64-layout instruction sits 2 bytes in.
-    report_.patches.push_back(PatchSite{at(i).addr + 2, kind});
+    report.patches.push_back(PatchSite{at(i).addr + 2, kind});
   }
 
   bool writes_rsp(const Instr& i) const { return i.writes_rsp_explicitly(); }
 
-  // ---- pattern scan ----
+  Status match_store_guard(std::size_t& i, VerifyReport& report);
+  Status match_rsp_guard(std::size_t& i, VerifyReport& report);
+  Status match_shadow(std::size_t& i, VerifyReport& report);
+  Status match_shadow_prolog(std::size_t& i, VerifyReport& report);
+  Status match_shadow_epilog(std::size_t& i, VerifyReport& report);
+  Status match_indirect_guard(std::size_t& i, VerifyReport& report);
+  Status match_aex_probe(std::size_t& i, VerifyReport& report);
+  Status check_entry(std::uint64_t target, std::uint64_t from, bool want_prologue);
+  Result<std::size_t> target_index(std::uint64_t target, std::uint64_t from);
 
-  Status scan_patterns() {
-    std::size_t i = 0;
-    while (i < count()) {
-      const Instr& head = at(i);
-      if (p(kPolicyP6) && is_movri(head, kS0, kMagicSsaMarker)) {
-        if (auto s = match_aex_probe(i); !s.is_ok()) return s;
-        continue;
-      }
-      if (store_policy() && head.op == Op::Lea && head.rd == kS0) {
-        if (auto s = match_store_guard(i); !s.is_ok()) return s;
-        continue;
-      }
-      if (p(kPolicyP5) && is_movri(head, kS1, kMagicSsPtr)) {
-        if (auto s = match_shadow(i); !s.is_ok()) return s;
-        continue;
-      }
-      if (p(kPolicyP5) && head.op == Op::MovRR && head.rd == kS0) {
-        if (auto s = match_indirect_guard(i); !s.is_ok()) return s;
-        continue;
-      }
-      if (p(kPolicyP2) && writes_rsp(head)) {
-        if (auto s = match_rsp_guard(i); !s.is_ok()) return s;
-        continue;
-      }
-      ++i;  // plain instruction; singleton rules run later
+  const std::vector<Instr>& instrs_;
+  const LoadedBinary& binary_;
+  const VerifyConfig& config_;
+  PolicySet verify_;  // policies whose annotations must be present: claimed
+  std::vector<PatternKind> kind_;
+  // One byte per instruction (not vector<bool>: the sharded scan writes
+  // disjoint index ranges from different threads, which a packed bitfield
+  // would turn into racing read-modify-writes on shared words).
+  std::vector<std::uint8_t> start_;
+  VerifyReport report_;
+};
+
+// ---- policy cover ----
+
+Status Verifier::check_policy_cover() const {
+  if (!binary_.policies.covers(config_.required))
+    return Status::fail("policy_uncovered",
+                        "binary claims " + binary_.policies.to_string() +
+                            " but the data owner requires " +
+                            config_.required.to_string() + " (at 0)");
+  return Status::ok();
+}
+
+// ---- pattern scan ----
+
+Status Verifier::scan_patterns(std::size_t begin, std::size_t end, VerifyReport& report) {
+  std::size_t i = begin;
+  while (i < end) {
+    const Instr& head = at(i);
+    if (p(kPolicyP6) && is_movri(head, kS0, kMagicSsaMarker)) {
+      if (auto s = match_aex_probe(i, report); !s.is_ok()) return s;
+      continue;
     }
-    return Status::ok();
+    if (store_policy() && head.op == Op::Lea && head.rd == kS0) {
+      if (auto s = match_store_guard(i, report); !s.is_ok()) return s;
+      continue;
+    }
+    if (p(kPolicyP5) && is_movri(head, kS1, kMagicSsPtr)) {
+      if (auto s = match_shadow(i, report); !s.is_ok()) return s;
+      continue;
+    }
+    if (p(kPolicyP5) && head.op == Op::MovRR && head.rd == kS0) {
+      if (auto s = match_indirect_guard(i, report); !s.is_ok()) return s;
+      continue;
+    }
+    if (p(kPolicyP2) && writes_rsp(head)) {
+      if (auto s = match_rsp_guard(i, report); !s.is_ok()) return s;
+      continue;
+    }
+    ++i;  // plain instruction; singleton rules run later
   }
+  return Status::ok();
+}
 
-  Status match_store_guard(std::size_t& i) {
+Status Verifier::match_store_guard(std::size_t& i, VerifyReport& report) {
     const std::uint64_t a = at(i).addr;
     auto bad = [&](const std::string& why) {
       return err(a, "verify_store_guard", "malformed store annotation: " + why);
@@ -166,15 +236,15 @@ class Verifier {
     const Instr& store = at(i + 7);
     if (!store.may_store()) return bad("no store after annotation");
     if (!(store.mem == m)) return bad("annotation guards a different address");
-    patch(i + 1, PatchKind::StoreLo);
-    patch(i + 4, PatchKind::StoreHi);
+    patch(report, i + 1, PatchKind::StoreLo);
+    patch(report, i + 4, PatchKind::StoreHi);
     mark(i, i + 8, PatternKind::StoreGuard);
-    ++report_.store_guards;
+    ++report.store_guards;
     i += 8;
     return Status::ok();
-  }
+}
 
-  Status match_rsp_guard(std::size_t& i) {
+Status Verifier::match_rsp_guard(std::size_t& i, VerifyReport& report) {
     const std::uint64_t a = at(i).addr;
     auto bad = [&](const std::string& why) {
       return err(a, "verify_rsp_guard", "malformed RSP annotation: " + why);
@@ -186,21 +256,21 @@ class Verifier {
     if (!is_movri(at(i + 4), kS1, kMagicStackHi)) return bad("missing upper bound");
     if (!is_cmprr(at(i + 5), Reg::RSP, kS1)) return bad("missing upper compare");
     if (!is_jcc_violation(at(i + 6), Cond::A)) return bad("missing upper exit");
-    patch(i + 1, PatchKind::StackLo);
-    patch(i + 4, PatchKind::StackHi);
+    patch(report, i + 1, PatchKind::StackLo);
+    patch(report, i + 4, PatchKind::StackHi);
     mark(i, i + 7, PatternKind::RspGuard);
-    ++report_.rsp_guards;
+    ++report.rsp_guards;
     i += 7;
     return Status::ok();
-  }
+}
 
-  Status match_shadow(std::size_t& i) {
+Status Verifier::match_shadow(std::size_t& i, VerifyReport& report) {
     // Disambiguate prologue vs epilogue by the third instruction.
-    if (i + 3 <= count() && at(i + 2).op == Op::SubRI) return match_shadow_epilog(i);
-    return match_shadow_prolog(i);
-  }
+    if (i + 3 <= count() && at(i + 2).op == Op::SubRI) return match_shadow_epilog(i, report);
+    return match_shadow_prolog(i, report);
+}
 
-  Status match_shadow_prolog(std::size_t& i) {
+Status Verifier::match_shadow_prolog(std::size_t& i, VerifyReport& report) {
     const std::uint64_t a = at(i).addr;
     auto bad = [&](const std::string& why) {
       return err(a, "verify_shadow_prolog", "malformed shadow prologue: " + why);
@@ -217,16 +287,16 @@ class Verifier {
     if (!is_jcc_violation(at(i + 7), Cond::A)) return bad("missing overflow exit");
     if (!is_movri(at(i + 8), kS1, kMagicSsPtr)) return bad("missing top-slot reload");
     if (!is_store_to(at(i + 9), kS1, kS0)) return bad("missing top writeback");
-    patch(i, PatchKind::SsPtr);
-    patch(i + 5, PatchKind::SsLimit);
-    patch(i + 8, PatchKind::SsPtr);
+    patch(report, i, PatchKind::SsPtr);
+    patch(report, i + 5, PatchKind::SsLimit);
+    patch(report, i + 8, PatchKind::SsPtr);
     mark(i, i + 10, PatternKind::ShadowProlog);
-    ++report_.shadow_prologues;
+    ++report.shadow_prologues;
     i += 10;
     return Status::ok();
-  }
+}
 
-  Status match_shadow_epilog(std::size_t& i) {
+Status Verifier::match_shadow_epilog(std::size_t& i, VerifyReport& report) {
     const std::uint64_t a = at(i).addr;
     auto bad = [&](const std::string& why) {
       return err(a, "verify_shadow_epilog", "malformed shadow epilogue: " + why);
@@ -246,16 +316,16 @@ class Verifier {
     if (!is_cmprr(at(i + 10), kS0, kS1)) return bad("missing return compare");
     if (!is_jcc_violation(at(i + 11), Cond::NE)) return bad("missing mismatch exit");
     if (at(i + 12).op != Op::Ret) return bad("no RET after epilogue");
-    patch(i, PatchKind::SsPtr);
-    patch(i + 3, PatchKind::SsBase);
-    patch(i + 6, PatchKind::SsPtr);
+    patch(report, i, PatchKind::SsPtr);
+    patch(report, i + 3, PatchKind::SsBase);
+    patch(report, i + 6, PatchKind::SsPtr);
     mark(i, i + 13, PatternKind::ShadowEpilog);
-    ++report_.shadow_epilogues;
+    ++report.shadow_epilogues;
     i += 13;
     return Status::ok();
-  }
+}
 
-  Status match_indirect_guard(std::size_t& i) {
+Status Verifier::match_indirect_guard(std::size_t& i, VerifyReport& report) {
     const std::uint64_t a = at(i).addr;
     auto bad = [&](const std::string& why) {
       return err(a, "verify_indirect_guard", "malformed indirect-branch annotation: " + why);
@@ -281,16 +351,16 @@ class Verifier {
     const Instr& branch = at(i + 10);
     if (!branch.is_indirect_branch()) return bad("no indirect branch after annotation");
     if (branch.rd != target) return bad("annotation checks a different register");
-    patch(i + 1, PatchKind::TextBase);
-    patch(i + 3, PatchKind::TextSize);
-    patch(i + 6, PatchKind::BtTable);
+    patch(report, i + 1, PatchKind::TextBase);
+    patch(report, i + 3, PatchKind::TextSize);
+    patch(report, i + 6, PatchKind::BtTable);
     mark(i, i + 11, PatternKind::IndirectGuard);
-    ++report_.indirect_guards;
+    ++report.indirect_guards;
     i += 11;
     return Status::ok();
-  }
+}
 
-  Status match_aex_probe(std::size_t& i) {
+Status Verifier::match_aex_probe(std::size_t& i, VerifyReport& report) {
     const std::uint64_t a = at(i).addr;
     auto bad = [&](const std::string& why) {
       return err(a, "verify_aex_probe", "malformed SSA probe: " + why);
@@ -322,19 +392,19 @@ class Verifier {
         reset.mem.has_index || reset.mem.disp != 0 ||
         reset.imm != codegen::kSsaMarkerValue)
       return bad("missing marker reset");
-    patch(i, PatchKind::SsaMarker);
-    patch(i + 4, PatchKind::AexCount);
-    patch(i + 10, PatchKind::SsaMarker);
+    patch(report, i, PatchKind::SsaMarker);
+    patch(report, i + 4, PatchKind::AexCount);
+    patch(report, i + 10, PatchKind::SsaMarker);
     mark(i, i + 12, PatternKind::AexProbe);
-    ++report_.aex_probes;
+    ++report.aex_probes;
     i += 12;
     return Status::ok();
-  }
+}
 
-  // ---- singleton rules: guardable operations outside patterns ----
+// ---- singleton rules: guardable operations outside patterns ----
 
-  Status check_singletons() {
-    for (std::size_t i = 0; i < count(); ++i) {
+Status Verifier::check_singletons(std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
       if (kind_[i] != PatternKind::None) continue;
       const Instr& ins = at(i);
       if (store_policy() && ins.may_store() && !is_exempt_store(ins))
@@ -358,27 +428,27 @@ class Verifier {
     // adversarial producer cannot smuggle one in either: every pattern
     // instruction was shape-checked above.
     return Status::ok();
-  }
+}
 
-  // ---- control-flow entry rules ----
+// ---- control-flow entry rules ----
 
-  // Returns the instruction index at `target` or an error.
-  Result<std::size_t> target_index(std::uint64_t target, std::uint64_t from) {
-    auto it = dis_.index.find(target);
-    if (it == dis_.index.end())
+// Returns the instruction index at `target` or an error.
+Result<std::size_t> Verifier::target_index(std::uint64_t target, std::uint64_t from) {
+    auto found = find_index(target);
+    if (!found.has_value())
       return Result<std::size_t>::fail(
           "verify_target_misaligned",
           "branch target is not an instruction boundary (from " +
               std::to_string(from) + ")");
-    std::size_t idx = it->second;
+    std::size_t idx = *found;
     if (kind_[idx] != PatternKind::None && !start_[idx])
       return Result<std::size_t>::fail(
           "verify_target_in_annotation",
           "branch target lands inside an annotation (from " + std::to_string(from) + ")");
     return idx;
-  }
+}
 
-  Status check_entry(std::uint64_t target, std::uint64_t from, bool want_prologue) {
+Status Verifier::check_entry(std::uint64_t target, std::uint64_t from, bool want_prologue) {
     if (binary_.violation_addr != 0 && target == binary_.violation_addr)
       return Status::ok();  // trapping into the stub is always safe
     auto idx_r = target_index(target, from);
@@ -396,11 +466,13 @@ class Verifier {
                    "call target lacks a shadow-stack prologue");
     }
     return Status::ok();
-  }
+}
 
-  Status check_entries() {
-    // Program-level direct branches.
-    for (std::size_t i = 0; i < count(); ++i) {
+Status Verifier::check_entries(std::size_t begin, std::size_t end) {
+    // Program-level direct branches. Each instruction's check reads only
+    // the global kind_/start_ arrays (complete after the scan phase) and
+    // the instruction vector, so ranges are independent.
+    for (std::size_t i = begin; i < end; ++i) {
       if (kind_[i] != PatternKind::None) continue;
       const Instr& ins = at(i);
       if (ins.op == Op::Call) {
@@ -409,6 +481,10 @@ class Verifier {
         if (auto s = check_entry(ins.branch_target(), ins.addr, false); !s.is_ok()) return s;
       }
     }
+    return Status::ok();
+}
+
+Status Verifier::check_entries_tail() {
     // Indirect-branch list entries are call targets.
     for (std::uint64_t t : binary_.branch_targets) {
       if (auto s = check_entry(t, t, true); !s.is_ok()) return s;
@@ -420,11 +496,11 @@ class Verifier {
       if (auto s = target_index(binary_.entry, binary_.entry).status(); !s.is_ok()) return s;
     }
     return Status::ok();
-  }
+}
 
-  // ---- P6 probe density ----
+// ---- P6 probe density ----
 
-  Status check_probe_density() {
+Status Verifier::check_probe_density(std::size_t begin, std::size_t end) {
     if (!p(kPolicyP6)) return Status::ok();
     // Gap semantics (pinned by VerifierProbeGap.* tests): max_probe_gap
     // bounds the number of instructions between the end of one SSA probe
@@ -433,8 +509,12 @@ class Verifier {
     // free — the producer's spacing counter excludes them too — while guard
     // annotations DO count: they execute between probes like any program
     // instruction.
+    //
+    // Range form: entering with since = 0 at `begin` is exact for chunk
+    // boundaries, because the instruction before a boundary ends flow and
+    // the serial walk resets the counter there too.
     int since = 0;
-    for (std::size_t i = 0; i < count(); ++i) {
+    for (std::size_t i = begin; i < end; ++i) {
       if (kind_[i] == PatternKind::AexProbe) {
         since = 0;
         continue;
@@ -450,23 +530,23 @@ class Verifier {
                        " instructions without an SSA probe");
     }
     return Status::ok();
-  }
+}
 
-  // ---- violation stub ----
+// ---- violation stub ----
 
-  Status check_violation_stub() {
-    bool any_patterns = report_.store_guards + report_.rsp_guards +
-                            report_.shadow_prologues + report_.shadow_epilogues +
-                            report_.indirect_guards + report_.aex_probes >
+Status Verifier::check_violation_stub(const VerifyReport& merged) {
+    bool any_patterns = merged.store_guards + merged.rsp_guards +
+                            merged.shadow_prologues + merged.shadow_epilogues +
+                            merged.indirect_guards + merged.aex_probes >
                         0;
     bool need = store_policy() || p(kPolicyP2) || p(kPolicyP5) || p(kPolicyP6);
     if (!any_patterns && !need) return Status::ok();
     if (binary_.violation_addr == 0)
       return Status::fail("verify_no_stub", "annotated binary lacks a violation stub");
-    auto it = dis_.index.find(binary_.violation_addr);
-    if (it == dis_.index.end())
+    auto found = find_index(binary_.violation_addr);
+    if (!found.has_value())
       return Status::fail("verify_no_stub", "violation stub is not decodable");
-    std::size_t i = it->second;
+    std::size_t i = *found;
     if (i + 2 > count())
       return Status::fail("verify_bad_stub", "violation stub truncated");
     const Instr& mov = at(i);
@@ -477,22 +557,132 @@ class Verifier {
       return Status::fail("verify_bad_stub",
                           "violation stub does not terminate the enclave");
     return Status::ok();
-  }
+}
 
-  const Disassembly& dis_;
-  const LoadedBinary& binary_;
-  const VerifyConfig& config_;
-  PolicySet verify_;  // policies whose annotations must be present: claimed
-  std::vector<PatternKind> kind_;
-  std::vector<bool> start_;
-  VerifyReport report_;
-};
+// ---- sharded cold-admission driver ----
+//
+// Splits the instruction stream into `workers` chunks cut at flow breaks
+// and runs the verification stages per chunk on the shard pool:
+//
+//   Phase A (per chunk): linear-sweep cross-check of the chunk's byte
+//     range + the pattern scan into a chunk-local report.
+//   Phase B (per chunk, after every scan finished): singleton rules,
+//     per-instruction entry rules, probe-density walk.
+//   Leader tail: branch-target/entry checks, report merge (chunk order ==
+//     address order == serial order), violation-stub check.
+//
+// Determinism contract: returns nullopt on ANY failure anywhere — the
+// caller falls back to the serial pass, which reproduces the exact serial
+// error (code, message, and selection among multiple failing regions).
+// A non-null result is byte-identical to the serial VerifyReport, because
+// every predicate evaluated here is the serial predicate over the same
+// instruction vector and the patch sites are concatenated in chunk order.
+std::optional<Result<VerifyReport>> verify_sharded(const sgx::AddressSpace& space,
+                                                   const LoadedBinary& binary,
+                                                   const VerifyConfig& config) {
+  const int shards = config.workers;
+  auto instrs_opt = disassemble_shards(space, binary, shards);
+  if (!instrs_opt.has_value()) return std::nullopt;
+  const std::vector<Instr>& instrs = *instrs_opt;
+  const std::size_t n = instrs.size();
+  if (n == 0) return std::nullopt;
+
+  // Chunk boundaries: the closest flow break at or after each even split
+  // point. The serial pattern scan provably lands on every flow-break
+  // index (no annotation pattern's interior slot can end flow), so each
+  // chunk's scan starts exactly where the serial scan would stand.
+  std::vector<std::size_t> bounds;
+  bounds.push_back(0);
+  for (int c = 1; c < shards; ++c) {
+    std::size_t want = n * static_cast<std::size_t>(c) / static_cast<std::size_t>(shards);
+    std::size_t b = std::max({want, bounds.back(), std::size_t{1}});
+    while (b < n && !instrs[b - 1].ends_flow()) ++b;
+    if (b > bounds.back() && b < n) bounds.push_back(b);
+  }
+  bounds.push_back(n);
+  const int chunks = static_cast<int>(bounds.size()) - 1;
+
+  Verifier verifier(instrs, binary, config);
+  if (!verifier.check_policy_cover().is_ok()) return std::nullopt;
+
+  const std::uint8_t* raw = space.raw(binary.text_base, binary.text_size);
+  if (raw == nullptr) return std::nullopt;
+
+  std::vector<VerifyReport> chunk_reports(static_cast<std::size_t>(chunks));
+  std::atomic<bool> failed{false};
+
+  // Phase A: per-chunk linear cross-check + pattern scan.
+  parallel::run_shards(chunks, [&](int c) {
+    const std::size_t begin = bounds[static_cast<std::size_t>(c)];
+    const std::size_t end = bounds[static_cast<std::size_t>(c) + 1];
+    if (config.cross_check_linear) {
+      // Re-decode the chunk's byte range linearly and require agreement,
+      // instruction for instruction — the same predicate the serial pass
+      // applies over the whole text, evaluated piecewise at the known
+      // chunk byte boundaries.
+      std::uint64_t off = instrs[begin].addr - binary.text_base;
+      for (std::size_t i = begin; i < end; ++i) {
+        auto r = isa::decode_one(BytesView(raw, binary.text_size), off, binary.text_base);
+        if (!r.is_ok()) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        isa::Instr ins = r.take();
+        if (ins.addr != instrs[i].addr || ins.length != instrs[i].length ||
+            ins.op != instrs[i].op) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        off += ins.length;
+      }
+    }
+    if (!verifier.scan_patterns(begin, end, chunk_reports[static_cast<std::size_t>(c)])
+             .is_ok())
+      failed.store(true, std::memory_order_relaxed);
+  });
+  if (failed.load(std::memory_order_relaxed)) return std::nullopt;
+
+  // Phase B: singleton, entry, and probe-density rules per chunk. These
+  // read the now-complete kind_/start_ arrays; any failure anywhere falls
+  // back to serial for the exact error.
+  parallel::run_shards(chunks, [&](int c) {
+    const std::size_t begin = bounds[static_cast<std::size_t>(c)];
+    const std::size_t end = bounds[static_cast<std::size_t>(c) + 1];
+    if (!verifier.check_singletons(begin, end).is_ok() ||
+        !verifier.check_entries(begin, end).is_ok() ||
+        !verifier.check_probe_density(begin, end).is_ok())
+      failed.store(true, std::memory_order_relaxed);
+  });
+  if (failed.load(std::memory_order_relaxed)) return std::nullopt;
+
+  if (!verifier.check_entries_tail().is_ok()) return std::nullopt;
+
+  // Merge: chunks are address-ordered, so concatenating their patch lists
+  // reproduces the serial scan's emission order exactly.
+  VerifyReport merged;
+  std::size_t total_patches = 0;
+  for (const auto& r : chunk_reports) total_patches += r.patches.size();
+  merged.patches.reserve(total_patches);
+  for (const auto& r : chunk_reports) {
+    merged.patches.insert(merged.patches.end(), r.patches.begin(), r.patches.end());
+    merged.store_guards += r.store_guards;
+    merged.rsp_guards += r.rsp_guards;
+    merged.shadow_prologues += r.shadow_prologues;
+    merged.shadow_epilogues += r.shadow_epilogues;
+    merged.indirect_guards += r.indirect_guards;
+    merged.aex_probes += r.aex_probes;
+  }
+  merged.instructions = n;
+
+  if (!verifier.check_violation_stub(merged).is_ok()) return std::nullopt;
+  return Result<VerifyReport>(std::move(merged));
+}
 
 }  // namespace
 
 Result<VerifyReport> verify_disassembly(const Disassembly& dis, const LoadedBinary& binary,
                                         const VerifyConfig& config) {
-  Verifier verifier(dis, binary, config);
+  Verifier verifier(dis.instrs, binary, config);
   auto report = verifier.run();
   if (!report.is_ok()) return report;
   if (config.custom_check) {
@@ -503,6 +693,12 @@ Result<VerifyReport> verify_disassembly(const Disassembly& dis, const LoadedBina
 
 Result<VerifyReport> verify(const sgx::AddressSpace& space, const LoadedBinary& binary,
                             const VerifyConfig& config) {
+  // Sharded fast path: any anomaly falls through to the serial pass below,
+  // which owns error selection. custom_check needs the full Disassembly
+  // structure, so such configs always take the serial path.
+  if (config.workers > 1 && !config.custom_check) {
+    if (auto sharded = verify_sharded(space, binary, config)) return std::move(*sharded);
+  }
   auto dis = disassemble(space, binary);
   if (!dis.is_ok()) return dis.error();
   if (config.cross_check_linear) {

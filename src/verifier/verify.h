@@ -61,6 +61,17 @@ struct VerifyConfig {
   // instruction-for-instruction. With full coverage enforced the two must
   // coincide; a disagreement indicates a decoder bug being exploited.
   bool cross_check_linear = true;
+  // Admission parallelism: number of shards the cold verification pass
+  // (recursive-descent disassembly, the linear cross-check, and the
+  // per-instruction policy checks) is split across. 1 = the serial
+  // reference pass. Any value produces a VerifyReport byte-identical to
+  // serial — error selection included, because the sharded pass re-runs
+  // the serial verifier whenever any shard reports a problem. Deliberately
+  // NOT part of verify_config_fingerprint() or the measured consumer
+  // image: it cannot change a verdict, so admission-cache keys and
+  // MRENCLAVE stay stable across worker counts. Ignored (serial) when a
+  // custom_check is installed, which needs the full Disassembly structure.
+  int workers = 1;
   // Plugin hook (paper Sec. V-A: validation passes plugged into the
   // loader): runs over the full disassembly after the built-in policy
   // checks pass. Lets a deployment enforce on-demand policies — e.g. an

@@ -194,5 +194,113 @@ TEST(VerifierFuzz, MetadataMutantsAreRejectedOrContained) {
   }
 }
 
+TEST(VerifierFuzz, OverflowingHeadersAreRejected) {
+  // Adversarial header arithmetic: offsets near 2^64 that wrap additive
+  // bounds checks, and element counts near 2^32 that would drive huge
+  // allocations or truncated-loop parses. Every seed must be rejected by
+  // the parser (serialized path) or the loader (programmatic path) —
+  // never accepted, never crash.
+  auto compiled = compile_or_die("int main() { return 7; }", PolicySet::p1to5());
+  FuzzHarness harness;
+
+  // Relocation offset near 2^64: `text_offset + 8` wraps to a tiny value,
+  // so only a subtraction-form bound catches it.
+  {
+    codegen::Dxo mutant = compiled.dxo;
+    codegen::DxoReloc rel;
+    rel.text_offset = ~0ull - 3;
+    rel.symbol = mutant.symbols.front().name;
+    rel.addend = 0;
+    mutant.relocs.push_back(rel);
+    auto parsed = codegen::Dxo::deserialize(BytesView(mutant.serialize()));
+    ASSERT_FALSE(parsed.is_ok());
+    EXPECT_EQ(parsed.code(), "dxo_malformed");
+    // The loader must also reject it for Dxo structs that never saw the
+    // parser.
+    EXPECT_FALSE(harness.run_mutant(mutant, PolicySet::p1to5()));
+  }
+  // Same wrap exactly at the boundary: offset = 2^64 - 8 (so +8 == 0).
+  {
+    codegen::Dxo mutant = compiled.dxo;
+    codegen::DxoReloc rel;
+    rel.text_offset = ~0ull - 7;
+    rel.symbol = mutant.symbols.front().name;
+    rel.addend = 0;
+    mutant.relocs.push_back(rel);
+    EXPECT_FALSE(codegen::Dxo::deserialize(BytesView(mutant.serialize())).is_ok());
+    EXPECT_FALSE(harness.run_mutant(mutant, PolicySet::p1to5()));
+  }
+  // Symbol offset far beyond its section, delivered programmatically: the
+  // loader re-checks what deserialize() would have.
+  {
+    codegen::Dxo mutant = compiled.dxo;
+    codegen::DxoSymbol sym;
+    sym.name = "wild";
+    sym.section = codegen::Section::Data;
+    sym.offset = ~0ull - 100;
+    sym.is_function = false;
+    mutant.symbols.push_back(sym);
+    EXPECT_FALSE(harness.run_mutant(mutant, PolicySet::p1to5()));
+  }
+
+  auto expect_parse_rejected = [](const Bytes& stream) {
+    auto parsed = codegen::Dxo::deserialize(BytesView(stream));
+    EXPECT_FALSE(parsed.is_ok());
+  };
+  auto header = [&](ByteWriter& w) {
+    w.u32(0x314F5844);  // "DXO1"
+    w.u32(PolicySet::p1to5().mask());
+    w.str("main");
+    w.blob(BytesView(compiled.dxo.text));
+    w.blob(BytesView(compiled.dxo.data));
+  };
+  {
+    // Symbol count 2^32-1: must be refused outright, not looped over.
+    Bytes s;
+    ByteWriter w(s);
+    header(w);
+    w.u32(0xFFFFFFFFu);
+    expect_parse_rejected(s);
+  }
+  {
+    // Count at the parser's own cap but with a truncated stream: the parse
+    // loop must stop at end-of-input, not manufacture a million symbols.
+    Bytes s;
+    ByteWriter w(s);
+    header(w);
+    w.u32(1u << 20);
+    expect_parse_rejected(s);
+  }
+  {
+    // Relocation count 2^32-1 after zero symbols.
+    Bytes s;
+    ByteWriter w(s);
+    header(w);
+    w.u32(0);            // nsyms
+    w.u32(0xFFFFFFFFu);  // nrelocs
+    expect_parse_rejected(s);
+  }
+  {
+    // Branch-target count 2^32-1 after empty tables.
+    Bytes s;
+    ByteWriter w(s);
+    header(w);
+    w.u32(0);            // nsyms
+    w.u32(0);            // nrelocs
+    w.u32(0xFFFFFFFFu);  // ntargets
+    expect_parse_rejected(s);
+  }
+  {
+    // Section blob claiming 2^32-1 bytes in a short stream.
+    Bytes s;
+    ByteWriter w(s);
+    w.u32(0x314F5844);
+    w.u32(PolicySet::p1to5().mask());
+    w.str("main");
+    w.u32(0xFFFFFFFFu);  // text length, far past end-of-stream
+    expect_parse_rejected(s);
+  }
+}
+
 }  // namespace
 }  // namespace deflection::testing

@@ -1,0 +1,563 @@
+// Parallel cold-admission tests: the sharded verifier must be
+// indistinguishable from the serial reference (byte-identical reports on
+// every nBench kernel, identical error code AND message on every rejection
+// path), and single-flight admission must collapse a cold stampede — N
+// concurrent admissions of the same binary, exactly one full verification,
+// with a leader failure propagated verbatim to every waiter and never
+// cached.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "codegen/annotations.h"
+#include "codegen/compile.h"
+#include "crypto/sha256.h"
+#include "isa/assemble.h"
+#include "isa/decode.h"
+#include "registry/registry.h"
+#include "support/fault.h"
+#include "test_helpers.h"
+#include "verifier/cache.h"
+#include "verifier/disasm.h"
+#include "verifier/verify.h"
+#include "workloads/workloads.h"
+
+namespace deflection::testing {
+namespace {
+
+using verifier::EnclaveLayout;
+using verifier::LayoutConfig;
+using verifier::LoadedBinary;
+using verifier::Loader;
+using verifier::VerificationCache;
+using verifier::VerifyConfig;
+using verifier::VerifyReport;
+using Role = VerificationCache::Admission::Role;
+
+constexpr std::uint64_t kBase = 0x7000'0000'0000ull;
+
+struct ConsumerFixture {
+  LayoutConfig config;
+  EnclaveLayout layout;
+  std::unique_ptr<sgx::AddressSpace> space;
+  std::unique_ptr<sgx::Enclave> enclave;
+
+  ConsumerFixture() {
+    layout = EnclaveLayout::compute(kBase, config);
+    space = std::make_unique<sgx::AddressSpace>(0x10000, 1 << 20, kBase,
+                                                layout.enclave_size);
+    enclave = std::make_unique<sgx::Enclave>(*space, layout.ssa_addr);
+    Bytes image(1024, 0xCC);
+    auto built = Loader::build_enclave(*enclave, kBase, config, BytesView(image));
+    EXPECT_TRUE(built.is_ok()) << built.message();
+    if (built.is_ok()) layout = built.value();
+  }
+
+  Result<LoadedBinary> load(const codegen::Dxo& dxo) {
+    Loader loader(*enclave, layout);
+    return loader.load(dxo);
+  }
+};
+
+// Byte-identity of two reports: every counter AND the full patch list in
+// emission order. This is the whole contract of VerifyConfig::workers.
+void expect_identical(const VerifyReport& a, const VerifyReport& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.instructions, b.instructions) << label;
+  EXPECT_EQ(a.store_guards, b.store_guards) << label;
+  EXPECT_EQ(a.rsp_guards, b.rsp_guards) << label;
+  EXPECT_EQ(a.shadow_prologues, b.shadow_prologues) << label;
+  EXPECT_EQ(a.shadow_epilogues, b.shadow_epilogues) << label;
+  EXPECT_EQ(a.indirect_guards, b.indirect_guards) << label;
+  EXPECT_EQ(a.aex_probes, b.aex_probes) << label;
+  ASSERT_EQ(a.patches.size(), b.patches.size()) << label;
+  for (std::size_t i = 0; i < a.patches.size(); ++i) {
+    EXPECT_EQ(a.patches[i].field_addr, b.patches[i].field_addr)
+        << label << " patch " << i;
+    EXPECT_EQ(a.patches[i].kind, b.patches[i].kind) << label << " patch " << i;
+  }
+}
+
+// ---- Success-path determinism: every kernel, several worker counts ----
+
+class ParallelVerifyKernels : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, ParallelVerifyKernels,
+                         ::testing::Range<std::size_t>(0, 10),
+                         [](const auto& info) {
+                           std::string name =
+                               workloads::nbench_kernels()[info.param].name;
+                           for (char& c : name)
+                             if (c == ' ') c = '_';
+                           return name;
+                         });
+
+TEST_P(ParallelVerifyKernels, ReportByteIdenticalAcrossWorkerCounts) {
+  const auto& kernel = workloads::nbench_kernels()[GetParam()];
+  std::string src = workloads::with_params(kernel.source, kernel.test_params);
+  auto compiled = compile_or_die(src, PolicySet::p1to6());
+  ConsumerFixture fx;
+  auto loaded = fx.load(compiled.dxo);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+
+  VerifyConfig serial;
+  serial.required = PolicySet::p1to6();
+  auto reference = verifier::verify(*fx.space, loaded.value(), serial);
+  ASSERT_TRUE(reference.is_ok()) << reference.message();
+
+  for (int workers : {2, 4, 7}) {
+    VerifyConfig parallel = serial;
+    parallel.workers = workers;
+    auto sharded = verifier::verify(*fx.space, loaded.value(), parallel);
+    ASSERT_TRUE(sharded.is_ok())
+        << kernel.name << " workers=" << workers << ": " << sharded.message();
+    expect_identical(reference.value(), sharded.value(),
+                     std::string(kernel.name) + " workers=" +
+                         std::to_string(workers));
+  }
+}
+
+// ---- Error-path determinism: parallel == serial, code AND message ----
+//
+// The sharded pass falls back to the serial verifier whenever any shard
+// reports a problem, so a rejection must carry the serial pass's exact
+// error — including which of several failing regions is reported first.
+
+void expect_same_rejection(const sgx::AddressSpace& space, const LoadedBinary& binary,
+                           VerifyConfig config, const std::string& label) {
+  config.workers = 1;
+  auto serial = verifier::verify(space, binary, config);
+  config.workers = 4;
+  auto parallel = verifier::verify(space, binary, config);
+  ASSERT_FALSE(serial.is_ok()) << label << ": serial unexpectedly passed";
+  ASSERT_FALSE(parallel.is_ok()) << label << ": parallel unexpectedly passed";
+  EXPECT_EQ(serial.code(), parallel.code()) << label;
+  EXPECT_EQ(serial.message(), parallel.message()) << label;
+}
+
+// Adversarial-producer heads (same shapes as verifier_test's truncated
+// table): only an annotation head right before the end of text, with the
+// policy CLAIMED but not implemented.
+struct TruncatedCase {
+  const char* name;
+  PolicySet claimed;
+  const char* expected_code;
+  void (*emit_head)(isa::AsmProgram&);
+};
+
+constexpr isa::Reg kS0 = isa::kScratch0;
+constexpr isa::Reg kS1 = isa::kScratch1;
+
+const TruncatedCase kTruncatedCases[] = {
+    {"store_guard", PolicySet::p1(), "verify_store_guard",
+     [](isa::AsmProgram& p) { p.lea(kS0, isa::Mem::base_disp(isa::Reg::RAX)); }},
+    {"rsp_guard", PolicySet::none().with(kPolicyP2), "verify_rsp_guard",
+     [](isa::AsmProgram& p) { p.op_ri(isa::Op::AddRI, isa::Reg::RSP, 8); }},
+    {"shadow_prolog", PolicySet::none().with(kPolicyP5), "verify_shadow_prolog",
+     [](isa::AsmProgram& p) { p.movri(kS1, codegen::kMagicSsPtr); }},
+    {"shadow_epilog", PolicySet::none().with(kPolicyP5), "verify_shadow_epilog",
+     [](isa::AsmProgram& p) {
+       p.movri(kS1, codegen::kMagicSsPtr);
+       p.load(kS0, isa::Mem::base_disp(kS1));
+       p.op_ri(isa::Op::SubRI, kS0, 8);
+     }},
+    {"indirect_guard", PolicySet::none().with(kPolicyP5), "verify_indirect_guard",
+     [](isa::AsmProgram& p) { p.movrr(kS0, isa::Reg::RBX); }},
+    {"aex_probe", PolicySet::none().with(kPolicyP6), "verify_aex_probe",
+     [](isa::AsmProgram& p) { p.movri(kS0, codegen::kMagicSsaMarker); }},
+};
+
+TEST(ParallelVerifyErrors, TruncatedPatternsRejectIdentically) {
+  for (const TruncatedCase& tc : kTruncatedCases) {
+    codegen::CodegenResult code;
+    code.program.label(codegen::kEntrySymbol);
+    tc.emit_head(code.program);
+    code.program.hlt();
+    code.functions = {codegen::kEntrySymbol};
+    auto built = codegen::finish(code, PolicySet::none());
+    ASSERT_TRUE(built.is_ok()) << tc.name << ": " << built.message();
+    codegen::Dxo dxo = built.value().dxo;
+    dxo.policies = tc.claimed;
+
+    ConsumerFixture fx;
+    auto loaded = fx.load(dxo);
+    ASSERT_TRUE(loaded.is_ok()) << tc.name << ": " << loaded.message();
+    VerifyConfig config;  // required = none: claims drive matching
+    auto serial = verifier::verify(*fx.space, loaded.value(), config);
+    ASSERT_FALSE(serial.is_ok()) << tc.name;
+    EXPECT_EQ(serial.code(), tc.expected_code) << tc.name;
+    expect_same_rejection(*fx.space, loaded.value(), config, tc.name);
+  }
+}
+
+TEST(ParallelVerifyErrors, BranchIntoAnnotationInteriorRejectsIdentically) {
+  const char* src = "int g; int main() { g = 1; if (g > 0) { g = 2; } return g; }";
+  auto compiled = compile_or_die(src, PolicySet::p1());
+  codegen::Dxo dxo = compiled.dxo;
+  auto decoded = isa::decode_all(BytesView(dxo.text), 0);
+  ASSERT_TRUE(decoded.is_ok());
+  const auto& instrs = decoded.value();
+  const auto* stub = dxo.find_symbol(codegen::kViolationSymbol);
+  ASSERT_NE(stub, nullptr);
+
+  std::uint64_t interior = 0;
+  for (std::size_t i = 0; i + 1 < instrs.size(); ++i) {
+    if (instrs[i].op == isa::Op::Lea && instrs[i].rd == kS0) {
+      interior = instrs[i + 1].addr;
+      break;
+    }
+  }
+  ASSERT_NE(interior, 0u);
+  const isa::Instr* jcc = nullptr;
+  for (const auto& ins : instrs) {
+    if (ins.op == isa::Op::Jcc && ins.branch_target() != stub->offset) {
+      jcc = &ins;
+      break;
+    }
+  }
+  ASSERT_NE(jcc, nullptr);
+  store_le32(dxo.text.data() + jcc->addr + 2,
+             static_cast<std::uint32_t>(interior - (jcc->addr + jcc->length)));
+
+  ConsumerFixture fx;
+  auto loaded = fx.load(dxo);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  VerifyConfig config;
+  config.required = PolicySet::p1();
+  auto serial = verifier::verify(*fx.space, loaded.value(), config);
+  ASSERT_FALSE(serial.is_ok());
+  EXPECT_EQ(serial.code(), "verify_target_in_annotation");
+  expect_same_rejection(*fx.space, loaded.value(), config, "in_annotation");
+}
+
+TEST(ParallelVerifyErrors, MisalignedBranchTargetRejectsIdentically) {
+  // A branch-target list entry inside the first instruction: the serial
+  // path rejects it (in the disassembler or the verifier — which one is an
+  // implementation detail the parallel path must not change).
+  const char* src = "int g; int main() { g = 1; return g; }";
+  auto compiled = compile_or_die(src, PolicySet::p1());
+  ConsumerFixture fx;
+  auto loaded = fx.load(compiled.dxo);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  LoadedBinary tampered = loaded.value();
+  tampered.branch_targets.push_back(tampered.text_base + 1);
+  VerifyConfig config;
+  config.required = PolicySet::p1();
+  expect_same_rejection(*fx.space, tampered, config, "misaligned_target");
+}
+
+TEST(ParallelVerifyErrors, ProbeGapViolationRejectsIdentically) {
+  // A gap bound far below what any real program satisfies: MANY sites
+  // violate it, so this pins error *selection* — the parallel pass must
+  // report the same first offender the serial scan finds.
+  const auto& kernel = workloads::nbench_kernels()[0];
+  std::string src = workloads::with_params(kernel.source, kernel.test_params);
+  auto compiled = compile_or_die(src, PolicySet::p1to6());
+  ConsumerFixture fx;
+  auto loaded = fx.load(compiled.dxo);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  config.max_probe_gap = 1;
+  expect_same_rejection(*fx.space, loaded.value(), config, "probe_gap");
+}
+
+TEST(ParallelVerifyErrors, PolicyGapRejectsIdentically) {
+  // Claimed mask does not cover the required set: rejected before any
+  // per-instruction work, identically on both paths.
+  const char* src = "int g; int main() { g = 1; return g; }";
+  auto compiled = compile_or_die(src, PolicySet::p1to5());
+  ConsumerFixture fx;
+  auto loaded = fx.load(compiled.dxo);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.message();
+  VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  auto serial = verifier::verify(*fx.space, loaded.value(), config);
+  ASSERT_FALSE(serial.is_ok());
+  EXPECT_EQ(serial.code(), "policy_uncovered");
+  expect_same_rejection(*fx.space, loaded.value(), config, "policy_uncovered");
+}
+
+// ---- Single-flight unit tests (deterministic leader/waiter handoff) ----
+
+const char* kAnnotatedService = R"(
+  int g;
+  int f(int x) { return x * 2; }
+  int main() { g = 3; fn p = &f; return p(g); }
+)";
+
+struct VerifiedFixture {
+  ConsumerFixture consumer;
+  crypto::Digest digest{};
+  LoadedBinary binary;
+  VerifyReport report;
+  VerifyConfig config;
+
+  VerifiedFixture() {
+    auto compiled = compile_or_die(kAnnotatedService, PolicySet::p1to6());
+    digest = crypto::Sha256::hash(compiled.dxo.serialize());
+    config.required = PolicySet::p1to6();
+    auto loaded = consumer.load(compiled.dxo);
+    EXPECT_TRUE(loaded.is_ok()) << loaded.message();
+    if (!loaded.is_ok()) return;
+    binary = loaded.take();
+    auto verified = verifier::verify(*consumer.space, binary, config);
+    EXPECT_TRUE(verified.is_ok()) << verified.message();
+    if (verified.is_ok()) report = verified.take();
+  }
+};
+
+TEST(SingleFlight, WaiterBlocksUntilLeaderPublishes) {
+  VerifiedFixture fx;
+  VerificationCache cache;
+
+  auto leader = cache.begin_admission(fx.digest, fx.binary, fx.config);
+  ASSERT_EQ(leader.role, Role::Leader);
+
+  VerificationCache::Admission waited;
+  std::thread waiter([&] {
+    waited = cache.begin_admission(fx.digest, fx.binary, fx.config);
+  });
+  // The waiter parks on the in-flight record; only then does the leader
+  // resolve, so the handoff (not a lucky hit) is what's exercised.
+  while (cache.inflight_waiters() != 1) std::this_thread::yield();
+  leader.ticket.publish(fx.binary, fx.report, 1234);
+  waiter.join();
+
+  ASSERT_EQ(waited.role, Role::Waiter);
+  ASSERT_TRUE(waited.report.has_value());
+  expect_identical(fx.report, *waited.report, "waiter report");
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);      // the leader
+  EXPECT_EQ(stats.coalesced, 1u);   // the waiter
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.verify_ns_saved, 1234u);  // credited to the waiter
+  EXPECT_EQ(cache.inflight_waiters(), 0u);
+
+  // Later admissions are plain hits.
+  auto hit = cache.begin_admission(fx.digest, fx.binary, fx.config);
+  EXPECT_EQ(hit.role, Role::Hit);
+  ASSERT_TRUE(hit.report.has_value());
+  expect_identical(fx.report, *hit.report, "hit report");
+}
+
+TEST(SingleFlight, LeaderFailureReachesEveryWaiterAndIsNeverCached) {
+  VerifiedFixture fx;
+  VerificationCache cache;
+
+  auto leader = cache.begin_admission(fx.digest, fx.binary, fx.config);
+  ASSERT_EQ(leader.role, Role::Leader);
+
+  constexpr std::size_t kWaiters = 3;
+  std::vector<VerificationCache::Admission> waited(kWaiters);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kWaiters; ++i)
+    threads.emplace_back([&, i] {
+      waited[i] = cache.begin_admission(fx.digest, fx.binary, fx.config);
+    });
+  while (cache.inflight_waiters() != kWaiters) std::this_thread::yield();
+  leader.ticket.fail(Status::fail("boom_code", "synthetic verification failure"));
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 0; i < kWaiters; ++i) {
+    ASSERT_EQ(waited[i].role, Role::Waiter) << i;
+    EXPECT_FALSE(waited[i].report.has_value()) << i;
+    ASSERT_TRUE(waited[i].failure.has_value()) << i;
+    EXPECT_EQ(waited[i].failure->code(), "boom_code") << i;
+    EXPECT_EQ(waited[i].failure->message(), "synthetic verification failure") << i;
+  }
+  // Nothing cached: the next admission elects a fresh leader and
+  // re-verifies from scratch.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  auto again = cache.begin_admission(fx.digest, fx.binary, fx.config);
+  ASSERT_EQ(again.role, Role::Leader);
+  again.ticket.publish(fx.binary, fx.report, 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SingleFlight, AbandonedLeaderReleasesWaiters) {
+  VerifiedFixture fx;
+  VerificationCache cache;
+
+  std::optional<VerificationCache::Admission> leader =
+      cache.begin_admission(fx.digest, fx.binary, fx.config);
+  ASSERT_EQ(leader->role, Role::Leader);
+
+  VerificationCache::Admission waited;
+  std::thread waiter([&] {
+    waited = cache.begin_admission(fx.digest, fx.binary, fx.config);
+  });
+  while (cache.inflight_waiters() != 1) std::this_thread::yield();
+  // The leader's frame unwinds without resolving the ticket (a crash or an
+  // early return in the admission path): waiters must not block forever.
+  leader.reset();
+  waiter.join();
+
+  ASSERT_EQ(waited.role, Role::Waiter);
+  ASSERT_TRUE(waited.failure.has_value());
+  EXPECT_EQ(waited.failure->code(), "admission_abandoned");
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---- End-to-end stampede through BootstrapEnclave ----
+
+const char* kEchoPlusOne = R"(
+  int main() {
+    byte* buf = alloc(8);
+    int n = ocall_recv(buf, 8);
+    if (n < 1) { return 1; }
+    byte* out = alloc(8);
+    out[0] = buf[0] + 1;
+    for (int i = 1; i < 8; i += 1) { out[i] = 0; }
+    ocall_send(out, 8);
+    return 0;
+  }
+)";
+
+struct Stampede {
+  static constexpr int kThreads = 8;
+  codegen::CompileOutput compiled;
+  std::shared_ptr<VerificationCache> cache = std::make_shared<VerificationCache>();
+  FaultPlanPtr plan = std::make_shared<FaultPlan>();
+  std::vector<std::unique_ptr<Pipeline>> pipes;
+
+  Stampede() {
+    compiled = compile_or_die(kEchoPlusOne, PolicySet::p1to6());
+    core::BootstrapConfig config;
+    config.verify.required = PolicySet::p1to6();
+    config.verify_cache = cache;
+    config.fault_plan = plan;
+    for (int i = 0; i < kThreads; ++i) {
+      pipes.push_back(std::make_unique<Pipeline>(config));
+      auto digest = pipes.back()->deliver(compiled.dxo);
+      EXPECT_TRUE(digest.is_ok()) << digest.message();
+    }
+  }
+
+  // All threads released at once, each admitting through its own enclave.
+  std::vector<Status> admit_all() {
+    std::vector<Status> results(kThreads);
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i)
+      threads.emplace_back([&, i] {
+        ready.fetch_add(1);
+        while (!go.load()) std::this_thread::yield();
+        results[static_cast<std::size_t>(i)] = pipes[static_cast<std::size_t>(i)]
+                                                   ->enclave->ecall_prepare();
+      });
+    while (ready.load() < kThreads) std::this_thread::yield();
+    go.store(true);
+    for (auto& t : threads) t.join();
+    return results;
+  }
+};
+
+TEST(ColdAdmissionStampede, EightThreadsExactlyOneFullVerification) {
+  Stampede st;
+  auto results = st.admit_all();
+  for (int i = 0; i < Stampede::kThreads; ++i)
+    EXPECT_TRUE(results[static_cast<std::size_t>(i)].is_ok())
+        << i << ": " << results[static_cast<std::size_t>(i)].message();
+
+  // The probe seam before every full cold verification was reached exactly
+  // once, in EVERY interleaving: one leader verifies, waiters block on its
+  // in-flight record, latecomers hit the published entry.
+  EXPECT_EQ(st.plan->site(fault_site::kVerifyFull).armed, 1u);
+  auto stats = st.cache->stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, 7u);
+  EXPECT_EQ(stats.bypasses, 0u);
+  EXPECT_EQ(st.cache->size(), 1u);
+
+  // Every enclave holds the same verdict (same base, so byte-identical).
+  const VerifyReport* reference = st.pipes[0]->enclave->verify_report();
+  ASSERT_NE(reference, nullptr);
+  for (int i = 1; i < Stampede::kThreads; ++i) {
+    const VerifyReport* report = st.pipes[static_cast<std::size_t>(i)]
+                                     ->enclave->verify_report();
+    ASSERT_NE(report, nullptr) << i;
+    expect_identical(*reference, *report, "enclave " + std::to_string(i));
+  }
+}
+
+TEST(ColdAdmissionStampede, InjectedLeaderFailureReachesAllAndNothingIsCached) {
+  Stampede st;
+  FaultSpec boom;
+  boom.probability = 1.0;  // every leader (re)attempt fails
+  boom.code = "stampede_boom";
+  st.plan->arm(fault_site::kVerifyFull, boom);
+
+  auto results = st.admit_all();
+  for (int i = 0; i < Stampede::kThreads; ++i) {
+    EXPECT_FALSE(results[static_cast<std::size_t>(i)].is_ok()) << i;
+    // Leaders fail at the seam; waiters receive the leader's exact code.
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].code(), "stampede_boom") << i;
+  }
+  EXPECT_EQ(st.cache->size(), 0u);
+  auto stats = st.cache->stats();
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_GE(st.plan->site(fault_site::kVerifyFull).fired, 1u);
+
+  // Disarm (resets the site's counters) and re-admit: the failure was not
+  // cached, so admission re-verifies — the seam is reached once more — and
+  // succeeds.
+  st.plan->arm(fault_site::kVerifyFull, FaultSpec{});
+  Status retried = st.pipes[0]->enclave->ecall_prepare();
+  EXPECT_TRUE(retried.is_ok()) << retried.message();
+  EXPECT_EQ(st.plan->site(fault_site::kVerifyFull).armed, 1u);
+  EXPECT_EQ(st.cache->size(), 1u);
+  EXPECT_EQ(st.cache->stats().insertions, 1u);
+}
+
+// ---- Registry-level coalescing: distinct tenants, one binary ----
+
+TEST(RegistryColdAdmission, ConcurrentTenantsShareOneVerification) {
+  auto cache = std::make_shared<VerificationCache>();
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to6();
+  config.verify_cache = cache;
+  registry::TenantRegistry reg(config);
+  auto compiled = compile_or_die(kEchoPlusOne, PolicySet::p1to6());
+
+  constexpr int kTenants = 4;
+  std::vector<Result<crypto::Digest>> admitted(
+      kTenants, Result<crypto::Digest>::fail("unset", "unset"));
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kTenants; ++i)
+    threads.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      admitted[static_cast<std::size_t>(i)] = reg.admit(
+          "tenant-" + std::to_string(i), compiled.dxo, registry::TenantQuota{});
+    });
+  while (ready.load() < kTenants) std::this_thread::yield();
+  go.store(true);
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kTenants; ++i)
+    EXPECT_TRUE(admitted[static_cast<std::size_t>(i)].is_ok())
+        << i << ": " << admitted[static_cast<std::size_t>(i)].message();
+  EXPECT_EQ(reg.size(), static_cast<std::size_t>(kTenants));
+
+  // Same bytes, same claimed mask, same config: one verification total,
+  // every other admission a hit or a coalesced wait.
+  auto stats = cache->stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, static_cast<std::uint64_t>(kTenants - 1));
+}
+
+}  // namespace
+}  // namespace deflection::testing

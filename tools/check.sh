@@ -8,8 +8,10 @@
 #                               # suites (the threaded dispatcher is what an
 #                               # unrecovered-UB miscompile would hit first)
 #   tools/check.sh --perf       # additionally gate VM dispatch throughput
-#                               # against BENCH_vm.json and fault-free
-#                               # serving throughput against BENCH_serving.json
+#                               # against BENCH_vm.json, fault-free serving
+#                               # throughput against BENCH_serving.json, and
+#                               # the sharded cold-admission speedup against
+#                               # BENCH_cold_admission.json
 #   tools/check.sh --chaos      # additionally run the seeded chaos soak
 #                               # (tests/chaos_test.cpp) under plain AND tsan
 #   JOBS=4 tools/check.sh       # cap build/test parallelism
@@ -101,18 +103,24 @@ if [ "$perf" -eq 1 ]; then
   #  - the block engine's instructions/sec within 20% of BENCH_vm.json;
   #  - fault-free serving throughput (pool + multi-tenant registry, chaos
   #    seams present but no FaultPlan armed) within 25% of
-  #    BENCH_serving.json.
+  #    BENCH_serving.json;
+  #  - the 4-worker sharded verification speedup on the largest nBench
+  #    binary at least 2.0x and within 25% of BENCH_cold_admission.json,
+  #    with the 8-way stampede still coalescing to ONE full verification.
   perf_dir="$repo_root/build-check-plain"
   echo "==> [perf] building plain tree for the throughput benchmarks"
   ensure_tree plain bench_vm_dispatch
   ensure_tree plain bench_pool_throughput
   ensure_tree plain bench_registry_multitenant
+  ensure_tree plain bench_cold_admission
   echo "==> [perf] bench_vm_dispatch --check BENCH_vm.json"
   "$perf_dir/bench/bench_vm_dispatch" --check "$repo_root/BENCH_vm.json"
   echo "==> [perf] bench_pool_throughput --check BENCH_serving.json"
   "$perf_dir/bench/bench_pool_throughput" --check "$repo_root/BENCH_serving.json"
   echo "==> [perf] bench_registry_multitenant --check BENCH_serving.json"
   "$perf_dir/bench/bench_registry_multitenant" --check "$repo_root/BENCH_serving.json"
+  echo "==> [perf] bench_cold_admission --check BENCH_cold_admission.json"
+  "$perf_dir/bench/bench_cold_admission" --check "$repo_root/BENCH_cold_admission.json"
 fi
 
 echo "==> all flavors passed: ${flavors[*]}"
