@@ -1,0 +1,360 @@
+// Scale-out front-end cost: throughput and p95 at 1 / 2 / 4 shards over a
+// FIXED total slot fleet (4 slots), 16 tenants, plus the number the sealed
+// persistent admission cache exists for:
+//
+//  - warm-boot speedup: wall time to bring up a front-end and register all
+//    16 tenants from a sealed store (every admission is a cache preload,
+//    zero full verifications) versus from nothing (every admission runs
+//    the full in-enclave verifier). The sealed store turns restart cost
+//    from O(tenants * verify) into O(tenants * decrypt).
+//
+// Sharding here buys isolation and independent failure domains, not raw
+// throughput — with the slot fleet held constant the sweep shows what the
+// extra routing layer costs (it should be noise against enclave serve
+// time).
+//
+// Flags:
+//   --json          emit the 2-shard baseline (frontend_rps, frontend_p95_us,
+//                   cold_boot_ms, warm_boot_ms, warm_speedup) as JSON
+//   --check <file>  run, then gate against the committed baseline
+//                   (BENCH_frontend.json): fails on a >25% frontend_rps
+//                   regression or warm_speedup < 3. Used by
+//                   `tools/check.sh --perf`.
+// Without flags the full Google-Benchmark sweep runs.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codegen/compile.h"
+#include "frontend/frontend.h"
+
+using namespace deflection;
+
+namespace {
+
+constexpr int kTotalSlots = 4;
+constexpr int kTenants = 16;
+constexpr int kRequestsPerTenant = 8;
+
+// Distinct binary per tenant (patched modulus) so tenant count == distinct
+// admission count and the shared cache cannot collapse tenants together.
+std::string tenant_source(int tenant) {
+  return R"(
+  int main() {
+    byte* buf = alloc(64);
+    int n = ocall_recv(buf, 64);
+    if (n < 1) { return 1; }
+    int acc = 0;
+    for (int i = 0; i < n; i += 1) { acc += buf[i] * buf[i]; }
+    int v = acc % )" + std::to_string(251 - tenant) + R"(;
+    byte* out = alloc(8);
+    for (int i = 0; i < 8; i += 1) { out[i] = (v >> (i * 8)) & 255; }
+    ocall_send(out, 8);
+    return 0;
+  }
+)";
+}
+
+// A verification-heavy tenant: a long unrolled reduction gives the binary
+// a text section thousands of instructions long, so admission cost is
+// dominated by the full verifier pass — the component the sealed store
+// elides on a warm boot — rather than by fixed enclave-reset overhead.
+std::string heavy_tenant_source(int tenant, int statements) {
+  std::string body;
+  for (int i = 0; i < statements; ++i)
+    body += "    acc += buf[" + std::to_string(i % 64) + "] * " +
+            std::to_string((i * 7 + tenant) % 249 + 2) + ";\n";
+  return R"(
+  int main() {
+    byte* buf = alloc(64);
+    int n = ocall_recv(buf, 64);
+    if (n < 1) { return 1; }
+    int acc = 0;
+)" + body + R"(
+    int v = acc % )" + std::to_string(251 - tenant) + R"(;
+    byte* out = alloc(8);
+    for (int i = 0; i < 8; i += 1) { out[i] = (v >> (i * 8)) & 255; }
+    ocall_send(out, 8);
+    return 0;
+  }
+)";
+}
+
+bool compile_tenants(std::vector<codegen::Dxo>* out, bool heavy = false) {
+  for (int t = 0; t < kTenants; ++t) {
+    auto compiled = codegen::compile(
+        heavy ? heavy_tenant_source(t, 2048) : tenant_source(t),
+        PolicySet::p1to5());
+    if (!compiled.is_ok()) {
+      std::fprintf(stderr, "compile failed: %s\n", compiled.message().c_str());
+      return false;
+    }
+    out->push_back(compiled.value().dxo);
+  }
+  return true;
+}
+
+frontend::FrontEndOptions shard_options(int shards) {
+  frontend::FrontEndOptions options;
+  options.shards = shards;
+  options.slots_per_shard = kTotalSlots / shards;
+  options.shard.config.verify.required = PolicySet::p1to5();
+  return options;
+}
+
+bool register_all(frontend::ShardedFrontEnd& fe,
+                  const std::vector<codegen::Dxo>& dxos,
+                  std::vector<std::string>* ids) {
+  for (int t = 0; t < kTenants; ++t) {
+    std::string id = "tenant-" + std::to_string(t);
+    if (!fe.register_tenant(id, dxos[static_cast<std::size_t>(t)]).is_ok())
+      return false;
+    if (ids != nullptr) ids->push_back(std::move(id));
+  }
+  return true;
+}
+
+void BM_FrontEndShards(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  auto fe = frontend::ShardedFrontEnd::create(shard_options(shards));
+  if (!fe.is_ok()) {
+    state.SkipWithError(fe.message().c_str());
+    return;
+  }
+  std::vector<codegen::Dxo> dxos;
+  std::vector<std::string> ids;
+  if (!compile_tenants(&dxos) || !register_all(*fe.value(), dxos, &ids)) {
+    state.SkipWithError("tenant setup failed");
+    return;
+  }
+
+  std::vector<double> latencies_us;
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    std::vector<std::vector<double>> per_client(kTenants);
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kTenants; ++t) {
+      clients.emplace_back([&, t] {
+        auto& sink = per_client[static_cast<std::size_t>(t)];
+        sink.reserve(kRequestsPerTenant);
+        for (int i = 0; i < kRequestsPerTenant; ++i) {
+          Bytes payload = {static_cast<std::uint8_t>(i + 1),
+                           static_cast<std::uint8_t>(t + 1)};
+          auto begin = std::chrono::steady_clock::now();
+          auto response = fe.value()->submit(ids[static_cast<std::size_t>(t)],
+                                             BytesView(payload));
+          auto end = std::chrono::steady_clock::now();
+          benchmark::DoNotOptimize(response);
+          sink.push_back(
+              std::chrono::duration<double, std::micro>(end - begin).count());
+        }
+      });
+    }
+    for (auto& client : clients) client.join();
+    for (auto& sink : per_client)
+      latencies_us.insert(latencies_us.end(), sink.begin(), sink.end());
+    requests += static_cast<std::uint64_t>(kTenants) * kRequestsPerTenant;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+  if (!latencies_us.empty()) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    state.counters["p95_latency_us"] =
+        latencies_us[latencies_us.size() * 95 / 100];
+  }
+  auto stats = fe.value()->stats();
+  state.counters["cache_misses"] = static_cast<double>(stats.total.cache.misses);
+}
+
+BENCHMARK(BM_FrontEndShards)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// The committed serving baseline: 2 shards x 2 slots, 4 tenants balanced
+// 2 per shard (steady slot affinity — no rebinds, the configuration whose
+// throughput is stable enough to gate on), closed-loop, best-of-three
+// passes over the same front-end. The 16-tenant thrash sweep stays in the
+// Google-Benchmark path above, where run-to-run variance is informative
+// rather than a CI gate.
+bool measure_serving(double* rps_out, double* p95_out) {
+  constexpr int kPasses = 3, kRounds = 10, kBaseTenants = 4;
+  auto fe = frontend::ShardedFrontEnd::create(shard_options(2));
+  if (!fe.is_ok()) {
+    std::fprintf(stderr, "frontend create failed: %s\n", fe.message().c_str());
+    return false;
+  }
+  std::vector<std::string> ids;
+  for (int t = 0; t < kBaseTenants; ++t) {
+    auto compiled = codegen::compile(tenant_source(t), PolicySet::p1to5());
+    if (!compiled.is_ok()) return false;
+    std::string id = "tenant-" + std::to_string(t);
+    if (!fe.value()->register_tenant(id, compiled.value().dxo).is_ok())
+      return false;
+    ids.push_back(std::move(id));
+  }
+  // The hash ring may stack tenants; force the balanced 2:2 placement the
+  // baseline is defined over.
+  if (!fe.value()->rebalance(0).is_ok()) return false;
+  // Warm: every tenant binds a slot and pays its one-time admission.
+  for (int t = 0; t < kBaseTenants; ++t) {
+    Bytes payload = {1, static_cast<std::uint8_t>(t + 1)};
+    if (!fe.value()->submit(ids[static_cast<std::size_t>(t)], BytesView(payload))
+             .is_ok())
+      return false;
+  }
+
+  double best_rps = 0, best_p95 = 0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    std::vector<std::vector<double>> per_client(kBaseTenants);
+    std::vector<std::thread> clients;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int t = 0; t < kBaseTenants; ++t) {
+      clients.emplace_back([&, t] {
+        auto& sink = per_client[static_cast<std::size_t>(t)];
+        sink.reserve(kRounds * kRequestsPerTenant);
+        for (int i = 0; i < kRounds * kRequestsPerTenant; ++i) {
+          Bytes payload = {static_cast<std::uint8_t>(i % 16 + 1),
+                           static_cast<std::uint8_t>(t + 1)};
+          auto begin = std::chrono::steady_clock::now();
+          auto response = fe.value()->submit(ids[static_cast<std::size_t>(t)],
+                                             BytesView(payload));
+          auto end = std::chrono::steady_clock::now();
+          benchmark::DoNotOptimize(response);
+          sink.push_back(
+              std::chrono::duration<double, std::micro>(end - begin).count());
+        }
+      });
+    }
+    for (auto& client : clients) client.join();
+    double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::vector<double> latencies;
+    for (auto& sink : per_client)
+      latencies.insert(latencies.end(), sink.begin(), sink.end());
+    std::sort(latencies.begin(), latencies.end());
+    double rps = secs > 0 ? static_cast<double>(latencies.size()) / secs : 0;
+    if (rps > best_rps) {
+      best_rps = rps;
+      best_p95 = latencies[latencies.size() * 95 / 100];
+    }
+  }
+  *rps_out = best_rps;
+  *p95_out = best_p95;
+  return best_rps > 0;
+}
+
+// Cold boot vs warm boot: bring up a 2-shard front-end and register all 16
+// tenants, once with no sealed store (full verification per tenant) and
+// once from the store the cold run sealed (preload per tenant). Compile
+// time is excluded from both.
+bool measure_boot(double* cold_ms, double* warm_ms) {
+  std::vector<codegen::Dxo> dxos;
+  if (!compile_tenants(&dxos, /*heavy=*/true)) return false;
+  std::string path = "bench_frontend_sealed_store.bin";
+  std::remove(path.c_str());
+  auto options = shard_options(2);
+  options.sealed_store_path = path;
+  options.seal_on_register = false;  // seal once at stop, not 16 times
+
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    auto fe = frontend::ShardedFrontEnd::create(options);
+    if (!fe.is_ok() || !register_all(*fe.value(), dxos, nullptr)) return false;
+    *cold_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    fe.value()->stop();  // seals all 16 verdicts
+  }
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    auto fe = frontend::ShardedFrontEnd::create(options);
+    if (!fe.is_ok() || !register_all(*fe.value(), dxos, nullptr)) return false;
+    *warm_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    auto stats = fe.value()->stats();
+    if (stats.total.cache.misses != 0) {
+      std::fprintf(stderr, "warm boot ran %llu full verifications (want 0)\n",
+                   static_cast<unsigned long long>(stats.total.cache.misses));
+      return false;
+    }
+  }
+  std::remove(path.c_str());
+  return *cold_ms > 0 && *warm_ms > 0;
+}
+
+// Minimal extractor for the keys --check needs from our own JSON format.
+double json_number_after(const std::string& text, const std::string& key) {
+  auto pos = text.find("\"" + key + "\":");
+  if (pos == std::string::npos) return -1;
+  return std::strtod(text.c_str() + pos + key.size() + 3, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  const char* check_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc)
+      check_path = argv[++i];
+  }
+  if (!json && check_path == nullptr) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+
+  double rps = 0, p95 = 0, cold_ms = 0, warm_ms = 0;
+  if (!measure_serving(&rps, &p95)) return 1;
+  if (!measure_boot(&cold_ms, &warm_ms)) return 1;
+  double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0;
+  if (json)
+    std::printf(
+        "{\n  \"bench\": \"frontend_shards\",\n  \"frontend_rps\": %.0f,\n"
+        "  \"frontend_p95_us\": %.1f,\n  \"cold_boot_ms\": %.1f,\n"
+        "  \"warm_boot_ms\": %.1f,\n  \"warm_speedup\": %.1f\n}\n",
+        rps, p95, cold_ms, warm_ms, speedup);
+  else
+    std::printf(
+        "frontend (2 shards, 4 tenants / 4 slots): %.0f req/s, p95 %.1f us; "
+        "boot cold %.1f ms vs warm %.1f ms (%.1fx)\n",
+        rps, p95, cold_ms, warm_ms, speedup);
+
+  if (check_path != nullptr) {
+    std::ifstream in(check_path);
+    if (!in) {
+      std::fprintf(stderr, "--check: cannot open %s\n", check_path);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    double baseline = json_number_after(buf.str(), "frontend_rps");
+    if (baseline <= 0) {
+      std::fprintf(stderr, "--check: no frontend_rps in %s\n", check_path);
+      return 1;
+    }
+    double ratio = rps / baseline;
+    std::fprintf(stderr, "--check: frontend_rps %.0f vs baseline %.0f (%.2fx), "
+                 "warm boot %.1fx faster than cold\n",
+                 rps, baseline, ratio, speedup);
+    if (ratio < 0.75) {
+      std::fprintf(stderr, "--check: FAIL — >25%% regression vs %s\n", check_path);
+      return 1;
+    }
+    if (speedup < 3.0) {
+      std::fprintf(stderr,
+                   "--check: FAIL — sealed-store warm boot only %.1fx faster "
+                   "than cold (want >= 3x)\n", speedup);
+      return 1;
+    }
+  }
+  return 0;
+}

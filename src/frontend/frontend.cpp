@@ -1,0 +1,445 @@
+#include "frontend/frontend.h"
+
+#include <utility>
+
+namespace deflection::frontend {
+
+namespace {
+
+std::future<ShardedFrontEnd::Response> rejected(const std::string& code,
+                                                const std::string& message) {
+  std::promise<ShardedFrontEnd::Response> p;
+  p.set_value(ShardedFrontEnd::Response::fail(code, message));
+  return p.get_future();
+}
+
+std::uint64_t hash64(const std::string& s) {
+  crypto::Digest d = crypto::Sha256::hash(
+      BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  return load_le64(d.data());
+}
+
+// Registration failures worth retrying: the admission never ran service
+// code, it tripped on an injected fault or a backoff window. Anything else
+// (policy violation, duplicate id, malformed binary) is permanent.
+bool transient_admission_failure(const std::string& code) {
+  return code == "injected_fault" || code == "provision_backoff";
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedFrontEnd>> ShardedFrontEnd::create(
+    const FrontEndOptions& options) {
+  using R = Result<std::unique_ptr<ShardedFrontEnd>>;
+  if (options.shards < 1) return R::fail("fleet_size", "need >= 1 shard");
+  if (options.slots_per_shard < 1) return R::fail("fleet_size", "need >= 1 slot per shard");
+  if (options.vnodes < 1) return R::fail("fleet_size", "need >= 1 vnode per shard");
+
+  std::unique_ptr<ShardedFrontEnd> fe(new ShardedFrontEnd(options));
+
+  if (options.share_verification) {
+    // Unbounded on purpose: the parent is the cross-shard (and sealed-store)
+    // verdict authority; evicting from it would silently re-introduce the
+    // very re-verifications it exists to prevent.
+    fe->parent_ = std::make_shared<verifier::VerificationCache>();
+    if (!options.sealed_store_path.empty()) {
+      verifier::SealedCacheStore store(options.platform);
+      auto loaded = store.load(options.sealed_store_path, options.shard.config.verify,
+                               *fe->parent_);
+      fe->sealed_loaded_ = loaded.records_loaded;
+      fe->sealed_discarded_ = loaded.records_discarded;
+    }
+  }
+
+  // Placement ring: vnodes points per shard, keyed by a digest of the
+  // (shard, vnode) label so the spread is deterministic across runs.
+  for (int s = 0; s < options.shards; ++s) {
+    for (int v = 0; v < options.vnodes; ++v) {
+      fe->ring_[hash64("dflfe-ring-" + std::to_string(s) + "-" + std::to_string(v))] = s;
+    }
+  }
+
+  for (int s = 0; s < options.shards; ++s) {
+    auto unit = fe->make_shard();
+    if (!unit.is_ok()) return R::fail(unit.code(), unit.message());
+    fe->units_.push_back(unit.take());
+  }
+  return fe;
+}
+
+ShardedFrontEnd::~ShardedFrontEnd() { stop(); }
+
+Result<ShardedFrontEnd::Unit> ShardedFrontEnd::make_shard() {
+  Unit unit;
+  unit.cache = std::make_shared<verifier::VerificationCache>(
+      verifier::CacheOptions{options_.cache_max_entries});
+  if (parent_ != nullptr) {
+    unit.cache->set_parent(parent_);
+  } else if (!options_.sealed_store_path.empty()) {
+    // Not sharing: each shard boots warm from the sealed store directly.
+    verifier::SealedCacheStore store(options_.platform);
+    auto loaded = store.load(options_.sealed_store_path, options_.shard.config.verify,
+                             *unit.cache);
+    std::lock_guard lock(route_mutex_);
+    sealed_loaded_ += loaded.records_loaded;
+    sealed_discarded_ += loaded.records_discarded;
+  }
+
+  registry::RouterOptions shard_options = options_.shard;
+  shard_options.slots = options_.slots_per_shard;
+  shard_options.verify_cache = unit.cache;
+  auto router = registry::TenantRouter::create(shard_options);
+  if (!router.is_ok())
+    return Result<Unit>::fail(router.code(), router.message());
+  unit.router = std::shared_ptr<registry::TenantRouter>(router.take().release());
+  return unit;
+}
+
+int ShardedFrontEnd::ring_lookup(const registry::TenantId& id) const {
+  auto it = ring_.upper_bound(hash64(id));
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->second;
+}
+
+int ShardedFrontEnd::home_shard(const registry::TenantId& id) const {
+  return ring_lookup(id);
+}
+
+int ShardedFrontEnd::shard_of(const registry::TenantId& id) const {
+  std::lock_guard lock(route_mutex_);
+  auto it = homes_.find(id);
+  return it == homes_.end() ? -1 : it->second.shard;
+}
+
+bool ShardedFrontEnd::shard_alive(int index) const {
+  std::lock_guard lock(route_mutex_);
+  return index >= 0 && index < static_cast<int>(units_.size()) &&
+         units_[static_cast<std::size_t>(index)].router != nullptr;
+}
+
+Result<crypto::Digest> ShardedFrontEnd::admit_on(registry::TenantRouter& router,
+                                                 const registry::TenantId& id,
+                                                 const codegen::Dxo& service,
+                                                 const registry::TenantQuota& quota,
+                                                 int attempts) {
+  Result<crypto::Digest> result = Result<crypto::Digest>::fail("internal", "no attempt ran");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    result = router.register_tenant(id, service, quota);
+    if (result.is_ok() || !transient_admission_failure(result.code())) return result;
+  }
+  return result;
+}
+
+Result<crypto::Digest> ShardedFrontEnd::register_tenant(const registry::TenantId& id,
+                                                        const codegen::Dxo& service,
+                                                        const registry::TenantQuota& quota) {
+  using R = Result<crypto::Digest>;
+  std::lock_guard admin(admin_mutex_);
+  std::shared_ptr<registry::TenantRouter> router;
+  int shard = ring_lookup(id);
+  {
+    std::lock_guard lock(route_mutex_);
+    if (stopped_) return R::fail("stopped", "front-end stopped");
+    if (homes_.count(id) != 0)
+      return R::fail("tenant_exists", "tenant already registered: " + id);
+    router = units_[static_cast<std::size_t>(shard)].router;
+  }
+  if (router == nullptr)
+    return R::fail("shard_down", "home shard " + std::to_string(shard) + " is down");
+
+  auto admitted = admit_on(*router, id, service, quota, /*attempts=*/1);
+  if (!admitted.is_ok()) return admitted;
+  {
+    std::lock_guard lock(route_mutex_);
+    homes_[id] = TenantHome{service, quota, shard};
+  }
+  // Persistence is an availability optimisation, never a gate on the
+  // registration that already succeeded: a failed seal just means the next
+  // boot admits this binary cold.
+  if (options_.seal_on_register && !options_.sealed_store_path.empty())
+    (void)save_sealed();
+  return admitted;
+}
+
+Status ShardedFrontEnd::unregister_tenant(const registry::TenantId& id) {
+  std::lock_guard admin(admin_mutex_);
+  std::shared_ptr<registry::TenantRouter> router;
+  {
+    std::lock_guard lock(route_mutex_);
+    auto it = homes_.find(id);
+    if (it == homes_.end())
+      return Status::fail("unknown_tenant", "tenant not registered: " + id);
+    router = units_[static_cast<std::size_t>(it->second.shard)].router;
+  }
+  // A dead shard's records died with it; dropping the placement is the
+  // whole drain.
+  Status drained = router != nullptr ? router->unregister_tenant(id) : Status::ok();
+  {
+    std::lock_guard lock(route_mutex_);
+    homes_.erase(id);
+  }
+  return drained;
+}
+
+std::future<ShardedFrontEnd::Response> ShardedFrontEnd::submit_async(
+    const registry::TenantId& id, BytesView request,
+    const registry::RequestOptions& request_options) {
+  std::shared_ptr<registry::TenantRouter> router;
+  {
+    std::lock_guard lock(route_mutex_);
+    if (stopped_) return rejected("stopped", "front-end stopped");
+    auto it = homes_.find(id);
+    if (it == homes_.end())
+      return rejected("unknown_tenant", "tenant not registered: " + id);
+    router = units_[static_cast<std::size_t>(it->second.shard)].router;
+    if (router == nullptr) {
+      ++rejected_shard_down_;
+      return rejected("shard_down",
+                      "shard " + std::to_string(it->second.shard) + " is down");
+    }
+  }
+  return router->submit_async(id, request, request_options);
+}
+
+ShardedFrontEnd::Response ShardedFrontEnd::submit(
+    const registry::TenantId& id, BytesView request,
+    const registry::RequestOptions& request_options) {
+  return submit_async(id, request, request_options).get();
+}
+
+Status ShardedFrontEnd::migrate_tenant(const registry::TenantId& id, int to_shard) {
+  std::lock_guard admin(admin_mutex_);
+  if (to_shard < 0 || to_shard >= static_cast<int>(units_.size()))
+    return Status::fail("bad_shard", "no shard " + std::to_string(to_shard));
+
+  TenantHome home;
+  std::shared_ptr<registry::TenantRouter> from_router, to_router;
+  {
+    std::lock_guard lock(route_mutex_);
+    auto it = homes_.find(id);
+    if (it == homes_.end())
+      return Status::fail("unknown_tenant", "tenant not registered: " + id);
+    home = it->second;
+    if (home.shard == to_shard) return Status::ok();
+    from_router = units_[static_cast<std::size_t>(home.shard)].router;
+    to_router = units_[static_cast<std::size_t>(to_shard)].router;
+  }
+  if (to_router == nullptr)
+    return Status::fail("shard_down", "target shard " + std::to_string(to_shard) + " is down");
+
+  // Drain first: every request the old shard accepted is served before the
+  // tenant exists anywhere else, so no two shards ever serve it at once.
+  if (from_router != nullptr) {
+    Status drained = from_router->unregister_tenant(id);
+    if (!drained.is_ok()) return drained;
+  }
+  // Re-admit on the target — warm through the shared parent cache, so the
+  // move costs an immediate-rewrite, not a re-verification.
+  auto admitted = admit_on(*to_router, id, home.service, home.quota, /*attempts=*/8);
+  if (!admitted.is_ok()) {
+    // Restore on the old shard so the tenant is not lost to a failed move.
+    if (from_router != nullptr &&
+        admit_on(*from_router, id, home.service, home.quota, 8).is_ok())
+      return Status::fail(admitted.code(), "migration failed (tenant restored): " +
+                                               admitted.message());
+    std::lock_guard lock(route_mutex_);
+    homes_.erase(id);
+    return Status::fail(admitted.code(),
+                        "migration failed (tenant dropped): " + admitted.message());
+  }
+  {
+    std::lock_guard lock(route_mutex_);
+    homes_[id].shard = to_shard;
+    ++migrations_;
+  }
+  return Status::ok();
+}
+
+Result<int> ShardedFrontEnd::rebalance(std::size_t tolerance) {
+  std::lock_guard admin(admin_mutex_);
+  int moved = 0;
+  for (;;) {
+    // Tenant counts per LIVE shard (a dead shard neither gives nor takes).
+    std::map<int, std::size_t> counts;
+    {
+      std::lock_guard lock(route_mutex_);
+      for (std::size_t s = 0; s < units_.size(); ++s)
+        if (units_[s].router != nullptr) counts[static_cast<int>(s)] = 0;
+      for (const auto& [id, home] : homes_)
+        if (counts.count(home.shard) != 0) ++counts[home.shard];
+    }
+    if (counts.size() < 2) return moved;
+    int busiest = -1, idlest = -1;
+    for (const auto& [shard, n] : counts) {
+      if (busiest == -1 || n > counts[busiest]) busiest = shard;
+      if (idlest == -1 || n < counts[idlest]) idlest = shard;
+    }
+    if (counts[busiest] - counts[idlest] <= tolerance) return moved;
+
+    registry::TenantId victim;
+    {
+      std::lock_guard lock(route_mutex_);
+      for (const auto& [id, home] : homes_) {
+        if (home.shard == busiest) {
+          victim = id;
+          break;
+        }
+      }
+    }
+    if (victim.empty()) return moved;
+
+    // Inline migration (admin_mutex_ is already held and is not recursive).
+    TenantHome home;
+    std::shared_ptr<registry::TenantRouter> from_router, to_router;
+    {
+      std::lock_guard lock(route_mutex_);
+      home = homes_[victim];
+      from_router = units_[static_cast<std::size_t>(home.shard)].router;
+      to_router = units_[static_cast<std::size_t>(idlest)].router;
+    }
+    if (from_router != nullptr) {
+      Status drained = from_router->unregister_tenant(victim);
+      if (!drained.is_ok()) return Result<int>::fail(drained.code(), drained.message());
+    }
+    auto admitted = admit_on(*to_router, victim, home.service, home.quota, 8);
+    if (!admitted.is_ok()) {
+      if (from_router != nullptr)
+        (void)admit_on(*from_router, victim, home.service, home.quota, 8);
+      return Result<int>::fail(admitted.code(), admitted.message());
+    }
+    {
+      std::lock_guard lock(route_mutex_);
+      homes_[victim].shard = idlest;
+      ++migrations_;
+    }
+    ++moved;
+  }
+}
+
+Status ShardedFrontEnd::kill_shard(int index) {
+  std::lock_guard admin(admin_mutex_);
+  if (index < 0 || index >= static_cast<int>(units_.size()))
+    return Status::fail("bad_shard", "no shard " + std::to_string(index));
+  std::shared_ptr<registry::TenantRouter> router;
+  {
+    std::lock_guard lock(route_mutex_);
+    router = std::move(units_[static_cast<std::size_t>(index)].router);
+    units_[static_cast<std::size_t>(index)].router = nullptr;
+  }
+  if (router == nullptr) return Status::ok();  // already down
+  // Crash semantics with future hygiene: intake is already closed (the
+  // route table has no pointer), but every request the shard accepted is
+  // served to completion before its counters are retired.
+  router->stop();
+  registry::RouterStats final_stats = router->stats();
+  std::lock_guard lock(route_mutex_);
+  units_[static_cast<std::size_t>(index)].retired += final_stats;
+  return Status::ok();
+}
+
+Result<int> ShardedFrontEnd::respawn_shard(int index) {
+  using R = Result<int>;
+  std::lock_guard admin(admin_mutex_);
+  if (index < 0 || index >= static_cast<int>(units_.size()))
+    return R::fail("bad_shard", "no shard " + std::to_string(index));
+  {
+    std::lock_guard lock(route_mutex_);
+    if (units_[static_cast<std::size_t>(index)].router != nullptr)
+      return R::fail("shard_up", "shard " + std::to_string(index) + " is alive");
+  }
+
+  auto unit = make_shard();
+  if (!unit.is_ok()) return R::fail(unit.code(), unit.message());
+
+  // Re-admit every tenant homed here BEFORE the shard takes traffic, so a
+  // submit never races a half-populated registry: it sees "shard_down"
+  // until the shard comes up complete. With verdict sharing (or a sealed
+  // store) these admissions replay cached verdicts — zero re-verification.
+  std::vector<registry::TenantId> homed;
+  {
+    std::lock_guard lock(route_mutex_);
+    for (const auto& [id, home] : homes_)
+      if (home.shard == index) homed.push_back(id);
+  }
+  int admitted_count = 0;
+  for (const auto& id : homed) {
+    TenantHome home;
+    {
+      std::lock_guard lock(route_mutex_);
+      home = homes_[id];
+    }
+    if (admit_on(*unit.value().router, id, home.service, home.quota, 8).is_ok())
+      ++admitted_count;
+  }
+
+  {
+    std::lock_guard lock(route_mutex_);
+    units_[static_cast<std::size_t>(index)].router = unit.value().router;
+    units_[static_cast<std::size_t>(index)].cache = unit.value().cache;
+    ++respawns_;
+  }
+  return admitted_count;
+}
+
+Status ShardedFrontEnd::save_sealed() const {
+  if (options_.sealed_store_path.empty()) return Status::ok();
+  verifier::SealedCacheStore store(options_.platform);
+  if (parent_ != nullptr) return store.save(options_.sealed_store_path, *parent_);
+
+  // No shared parent: seal the union of the shard caches. Importing into a
+  // scratch cache dedupes identical keys across shards.
+  std::vector<std::shared_ptr<verifier::VerificationCache>> caches;
+  {
+    std::lock_guard lock(route_mutex_);
+    for (const auto& unit : units_)
+      if (unit.cache != nullptr) caches.push_back(unit.cache);
+  }
+  verifier::VerificationCache merged;
+  for (const auto& cache : caches)
+    for (const auto& entry : cache->export_entries()) (void)merged.import_entry(entry);
+  return store.save(options_.sealed_store_path, merged);
+}
+
+FrontEndStats ShardedFrontEnd::stats() const {
+  FrontEndStats out;
+  std::vector<std::shared_ptr<registry::TenantRouter>> routers;
+  std::vector<registry::RouterStats> retired;
+  {
+    std::lock_guard lock(route_mutex_);
+    for (const auto& unit : units_) {
+      routers.push_back(unit.router);
+      retired.push_back(unit.retired);
+    }
+    out.migrations = migrations_;
+    out.respawns = respawns_;
+    out.rejected_shard_down = rejected_shard_down_;
+    out.sealed_records_loaded = sealed_loaded_;
+    out.sealed_records_discarded = sealed_discarded_;
+  }
+  for (std::size_t s = 0; s < routers.size(); ++s) {
+    registry::RouterStats shard = retired[s];
+    if (routers[s] != nullptr) shard += routers[s]->stats();
+    out.total += shard;
+    out.shards.push_back(std::move(shard));
+  }
+  if (parent_ != nullptr) out.shared_cache = parent_->stats();
+  return out;
+}
+
+void ShardedFrontEnd::stop() {
+  std::lock_guard admin(admin_mutex_);
+  std::vector<std::shared_ptr<registry::TenantRouter>> routers;
+  {
+    std::lock_guard lock(route_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    for (const auto& unit : units_) routers.push_back(unit.router);
+  }
+  // Final seal while every verdict is still resident, so the next boot of
+  // this path is warm even if the caller never called save_sealed().
+  if (!options_.sealed_store_path.empty()) (void)save_sealed();
+  for (const auto& router : routers)
+    if (router != nullptr) router->stop();
+}
+
+}  // namespace deflection::frontend

@@ -1,0 +1,209 @@
+// ShardedFrontEnd: scale-out serving over independent router shards.
+//
+// One TenantRouter scales to tenants x slots behind a single mutex and one
+// slot fleet; this front-end owns N of them — each shard a fully private
+// TenantRegistry + EnclaveSlotScheduler + TenantRouter — and places tenants
+// across them by consistent hashing, so the serving plane scales out while
+// every per-shard invariant (fair dispatch, drain ordering, breaker
+// semantics) is untouched. The paper's expensive step, full verification,
+// is NOT multiplied by the fan-out: shards share verdicts through a
+// read-through parent VerificationCache, so a binary any shard admitted —
+// or any previous run of this process admitted, via the sealed persistent
+// store — admits warm everywhere else.
+//
+// Placement: a consistent-hash ring (vnodes virtual nodes per shard) maps
+// tenant ids to a home shard; explicit migration (migrate_tenant /
+// rebalance) overrides the ring per tenant. Migration ordering is
+// drain-then-readmit: the tenant is unregistered from its old shard (every
+// accepted request served), re-admitted on the new shard — warm, through
+// the shared parent cache — and only then is the placement flipped.
+// Submits that race a migration can transiently see "unknown_tenant";
+// callers treat it like any other prompt intake rejection.
+//
+// Failure model (chaos/soak seam): kill_shard() drops a shard like a
+// crashed process — submits routed to it fail fast with "shard_down",
+// every request the shard had already accepted is served to completion
+// (futures never hang), and its final counters are retired into the
+// rollup. respawn_shard() builds a fresh shard and re-admits every tenant
+// homed on it BEFORE taking traffic; with the shared cache (or the sealed
+// store after a whole-process restart) that re-admission replays cached
+// verdicts and runs zero full verifications.
+//
+// All intake rejections are prompt resolved futures, never hangs:
+//   "stopped"        submit after stop()
+//   "unknown_tenant" no such tenant anywhere (or racing a migration)
+//   "shard_down"     the tenant's shard is killed and not yet respawned
+// plus every TenantRouter intake code (draining, circuit_open,
+// rate_limited, quota_exceeded).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "registry/router.h"
+#include "sgx/platform.h"
+#include "verifier/sealed_store.h"
+
+namespace deflection::frontend {
+
+struct FrontEndOptions {
+  int shards = 2;
+  int slots_per_shard = 2;
+  // Template for every shard's router: platform config, retry/breaker
+  // policies, fault plan, blur. `slots` and `verify_cache` are overridden
+  // per shard (slots_per_shard and the per-shard child cache).
+  registry::RouterOptions shard;
+  // Cross-shard verdict sharing: every shard's cache gets a common parent,
+  // so a binary one shard verified admits warm on all of them. Off = fully
+  // independent shards (each still warm within itself).
+  bool share_verification = true;
+  // Per-shard cache bound (CacheOptions::max_entries; 0 = unbounded). The
+  // shared parent is never bounded — it is the cross-shard + sealed-store
+  // authority and must not evict what a shard may re-admit.
+  std::size_t cache_max_entries = 0;
+  // Sealed persistent admission cache (verifier/sealed_store.h). Empty =
+  // no persistence. When set, create() preloads the shared cache from this
+  // path (fail-closed per record) and successful registrations re-seal it,
+  // so a restarted front-end boots warm.
+  std::string sealed_store_path;
+  sgx::PlatformIdentity platform;   // sealing identity for the store
+  bool seal_on_register = true;     // re-seal after each registration
+  // Virtual nodes per shard on the placement ring; more vnodes = smoother
+  // spread at slightly larger ring-build cost.
+  int vnodes = 64;
+};
+
+// Rollup snapshot, via ShardedFrontEnd::stats().
+struct FrontEndStats {
+  // Sum over shards (RouterStats::operator+=), including the retired
+  // counters of killed shard generations — nothing a dead shard served is
+  // forgotten.
+  registry::RouterStats total;
+  std::vector<registry::RouterStats> shards;  // per live+retired shard slot
+  verifier::CacheStats shared_cache;          // the parent cache (if sharing)
+  std::uint64_t migrations = 0;          // tenants moved between shards
+  std::uint64_t respawns = 0;            // shards rebuilt after a kill
+  std::uint64_t rejected_shard_down = 0; // submits refused: shard killed
+  std::uint64_t sealed_records_loaded = 0;     // store records imported
+  std::uint64_t sealed_records_discarded = 0;  // store records failed closed
+};
+
+class ShardedFrontEnd {
+ public:
+  using Response = registry::TenantRouter::Response;
+
+  static Result<std::unique_ptr<ShardedFrontEnd>> create(const FrontEndOptions& options);
+
+  // stop() + join every shard.
+  ~ShardedFrontEnd();
+
+  // Admits the tenant on its shard (warm when any shard — or the sealed
+  // store — already verified the binary) and opens intake. Fails with
+  // "tenant_exists" on a duplicate id and "shard_down" when the home shard
+  // is killed.
+  Result<crypto::Digest> register_tenant(const registry::TenantId& id,
+                                         const codegen::Dxo& service,
+                                         const registry::TenantQuota& quota = {});
+
+  // Drains the tenant from its shard (TenantRouter::unregister_tenant
+  // semantics) and drops its placement. Unregistering a tenant homed on a
+  // killed shard just drops the placement — its records died with the
+  // shard.
+  Status unregister_tenant(const registry::TenantId& id);
+
+  std::future<Response> submit_async(const registry::TenantId& id, BytesView request,
+                                     const registry::RequestOptions& request_options = {});
+  Response submit(const registry::TenantId& id, BytesView request,
+                  const registry::RequestOptions& request_options = {});
+
+  // Where the ring alone would place `id` (ignores migrations) — placement
+  // introspection for tests and ops tooling.
+  int home_shard(const registry::TenantId& id) const;
+  // Where `id` actually routes right now (-1 if not registered).
+  int shard_of(const registry::TenantId& id) const;
+
+  // Moves one tenant: drain on the current shard, re-admit (warm) on
+  // `to_shard`, flip placement. No-op Status::ok when already there.
+  Status migrate_tenant(const registry::TenantId& id, int to_shard);
+
+  // Migrates tenants off the most-loaded live shards until the spread
+  // (max - min tenants per live shard) is <= tolerance. Returns how many
+  // tenants moved.
+  Result<int> rebalance(std::size_t tolerance = 1);
+
+  // Chaos seam: drops shard `index` like a crashed process. Every request
+  // it already accepted is served before the call returns; its counters
+  // are retired into the rollup; subsequent submits of tenants homed there
+  // fail fast with "shard_down". Idempotent.
+  Status kill_shard(int index);
+  // Rebuilds shard `index` and re-admits every tenant homed on it before
+  // taking traffic (re-admission retries transient provisioning faults).
+  // Returns the number of tenants re-admitted. Fails with "shard_up" if
+  // the shard is alive.
+  Result<int> respawn_shard(int index);
+  bool shard_alive(int index) const;
+
+  // Seals the shared cache (or the union of shard caches when not sharing)
+  // to sealed_store_path. No-op Status::ok when no path is configured.
+  Status save_sealed() const;
+
+  FrontEndStats stats() const;
+
+  // Seals (if configured), then stops every shard: intake closes, every
+  // accepted request is served, threads join. Idempotent.
+  void stop();
+
+  int shards() const { return static_cast<int>(units_.size()); }
+
+ private:
+  // One shard: router + its child cache. `router == nullptr` means killed;
+  // `retired` accumulates the final stats of every dead generation.
+  struct Unit {
+    std::shared_ptr<registry::TenantRouter> router;
+    std::shared_ptr<verifier::VerificationCache> cache;
+    registry::RouterStats retired;
+  };
+  // Everything respawn needs to re-admit a tenant, plus its placement.
+  struct TenantHome {
+    codegen::Dxo service;
+    registry::TenantQuota quota;
+    int shard = 0;
+  };
+
+  explicit ShardedFrontEnd(const FrontEndOptions& options) : options_(options) {}
+
+  Result<Unit> make_shard();
+  int ring_lookup(const registry::TenantId& id) const;
+  // Registration with bounded retry of transient (injected/provisioning)
+  // admission faults — shared by register_tenant and respawn re-admission.
+  Result<crypto::Digest> admit_on(registry::TenantRouter& router,
+                                  const registry::TenantId& id,
+                                  const codegen::Dxo& service,
+                                  const registry::TenantQuota& quota, int attempts);
+
+  FrontEndOptions options_;
+  std::shared_ptr<verifier::VerificationCache> parent_;  // null if not sharing
+  std::map<std::uint64_t, int> ring_;
+
+  // Locking: admin_mutex_ serializes the slow control-plane operations
+  // (register/unregister/migrate/rebalance/kill/respawn/stop), which touch
+  // shard routers outside any lock. route_mutex_ guards the fast-path state
+  // (homes_, unit router pointers, counters) and is only ever held briefly.
+  // Writers of shared state hold BOTH (admin outer, route inner); the
+  // submit path reads under route_mutex_ alone.
+  mutable std::mutex admin_mutex_;
+  mutable std::mutex route_mutex_;
+  std::vector<Unit> units_;
+  std::map<registry::TenantId, TenantHome> homes_;
+  bool stopped_ = false;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t respawns_ = 0;
+  std::uint64_t rejected_shard_down_ = 0;
+  std::uint64_t sealed_loaded_ = 0;
+  std::uint64_t sealed_discarded_ = 0;
+};
+
+}  // namespace deflection::frontend

@@ -63,24 +63,38 @@ Result<crypto::Digest> TenantRegistry::admit(const TenantId& id,
     tenants_.erase(id);
   };
 
-  Status acquire_error = Status::ok();
-  auto scratch = acquire_admission_worker(acquire_error);
-  if (!scratch.has_value()) {
-    unclaim();
-    return R::fail(acquire_error.code(), acquire_error.message());
-  }
-  scratch->dirty = true;
-  Status admitted = scratch->worker->provision(service, /*is_reprovision=*/false,
-                                               /*strict_admission=*/true);
-  release_admission_worker(std::move(*scratch));
-  if (!admitted.is_ok()) {
-    unclaim();
-    return R::fail(admitted.code(), "tenant '" + id + "': " + admitted.message());
+  // Warm fast path: a resident cache verdict for (digest, claimed mask,
+  // config) already proves the full verifier passed this exact binary
+  // under this exact config — the scratch-enclave provision would only
+  // re-derive it. This is what makes a sealed-store or shared-parent boot
+  // O(hash + probe) per tenant instead of O(enclave build + load). The
+  // serving slot still runs its own begin_admission() at bind time, so a
+  // verdict evicted between now and then merely re-verifies (fail closed).
+  crypto::Digest binary_digest = crypto::Sha256::hash(service.serialize());
+  verifier::VerificationCache* cache = config_.verify_cache.get();
+  bool warm = cache != nullptr &&
+              cache->warm_probe(binary_digest, service.policies.mask(),
+                                config_.verify);
+  if (!warm) {
+    Status acquire_error = Status::ok();
+    auto scratch = acquire_admission_worker(acquire_error);
+    if (!scratch.has_value()) {
+      unclaim();
+      return R::fail(acquire_error.code(), acquire_error.message());
+    }
+    scratch->dirty = true;
+    Status admitted = scratch->worker->provision(service, /*is_reprovision=*/false,
+                                                 /*strict_admission=*/true);
+    release_admission_worker(std::move(*scratch));
+    if (!admitted.is_ok()) {
+      unclaim();
+      return R::fail(admitted.code(), "tenant '" + id + "': " + admitted.message());
+    }
   }
   auto record = std::make_shared<TenantRecord>();
   record->id = id;
   record->service = service;
-  record->digest = crypto::Sha256::hash(service.serialize());
+  record->digest = binary_digest;
   record->claimed_policies = service.policies.mask();
   record->quota = quota;
   crypto::Digest digest = record->digest;

@@ -15,13 +15,28 @@ std::future<TenantRouter::Response> rejected(const std::string& code,
 
 }  // namespace
 
+RouterStats& RouterStats::operator+=(const RouterStats& other) {
+  requests_served += other.requests_served;
+  requests_failed += other.requests_failed;
+  violations += other.violations;
+  retries += other.retries;
+  deadline_exceeded += other.deadline_exceeded;
+  breaker_opens += other.breaker_opens;
+  total_cost += other.total_cost;
+  for (const auto& [id, stats] : other.tenants) tenants[id] += stats;
+  scheduler += other.scheduler;
+  cache += other.cache;
+  return *this;
+}
+
 Result<std::unique_ptr<TenantRouter>> TenantRouter::create(const RouterOptions& options) {
   using R = Result<std::unique_ptr<TenantRouter>>;
   if (options.slots < 1) return R::fail("fleet_size", "need >= 1 slot");
   std::unique_ptr<TenantRouter> router(new TenantRouter(options));
   // One admission cache shared by register-time admission and every slot
   // (re)bind: each distinct tenant binary is verified exactly once.
-  router->cache_ = std::make_shared<verifier::VerificationCache>();
+  router->cache_ = options.verify_cache ? options.verify_cache
+                                        : std::make_shared<verifier::VerificationCache>();
   core::BootstrapConfig config = options.config;
   config.verify_cache = router->cache_;
   config.fault_plan = options.fault_plan;

@@ -70,6 +70,12 @@ struct RouterStats {
   std::map<TenantId, TenantStats> tenants;
   SchedulerStats scheduler;
   verifier::CacheStats cache;          // the shared admission cache
+
+  // Front-end rollup: sums the scalar counters, merges per-tenant rows by
+  // id (TenantStats::operator+=), concatenates scheduler slot rows and sums
+  // cache counters. Used by ShardedFrontEnd to aggregate per-shard
+  // snapshots (and the retired stats of killed shard generations).
+  RouterStats& operator+=(const RouterStats& other);
 };
 
 struct RouterOptions {
@@ -80,6 +86,12 @@ struct RouterOptions {
   // policy set — the platform's published policy floor — for every tenant.
   // Its verify_cache member is overwritten with the router's shared cache.
   core::BootstrapConfig config;
+  // The admission cache the router shares between register-time admission
+  // and every slot rebind. Null (the default) means the router creates a
+  // private one; a front-end injects a per-shard cache here (typically
+  // parented on a cross-shard shared cache, and preloaded from the sealed
+  // store) so shards admit warm off each other's verdicts.
+  std::shared_ptr<verifier::VerificationCache> verify_cache;
   // Wall-clock response blurring, as PoolOptions::response_blur.
   std::chrono::microseconds response_blur{0};
   // Fault-injection seam: installed on the register-time admission enclave,

@@ -51,6 +51,19 @@ struct SchedulerStats {
     std::uint64_t quarantines = 0;       // times this slot was quarantined
   };
   std::vector<SlotStats> slots;
+
+  // Front-end rollup: sums the fleet counters and concatenates the slot
+  // rows — each shard owns a disjoint fleet, so the aggregate fleet is the
+  // union, not an element-wise merge.
+  SchedulerStats& operator+=(const SchedulerStats& other) {
+    binds += other.binds;
+    evictions += other.evictions;
+    reprovisions += other.reprovisions;
+    provision_failures += other.provision_failures;
+    backoff_rejections += other.backoff_rejections;
+    slots.insert(slots.end(), other.slots.begin(), other.slots.end());
+    return *this;
+  }
 };
 
 class EnclaveSlotScheduler {

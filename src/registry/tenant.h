@@ -63,6 +63,27 @@ struct TenantStats {
   std::uint64_t cost = 0;             // VM cost accrued for this tenant
   std::size_t queue_high_water = 0;   // deepest per-tenant backlog observed
   bool draining = false;              // unregister in progress
+
+  // Front-end rollup: sums the counters; high-water takes the max (each
+  // shard's backlog is independent, so the deepest observed anywhere is the
+  // honest aggregate) and draining ORs (true while any shard drains).
+  TenantStats& operator+=(const TenantStats& other) {
+    submitted += other.submitted;
+    served += other.served;
+    failed += other.failed;
+    violations += other.violations;
+    rejected_quota += other.rejected_quota;
+    rejected_rate += other.rejected_rate;
+    rejected_breaker += other.rejected_breaker;
+    retries += other.retries;
+    deadline_exceeded += other.deadline_exceeded;
+    breaker_opens += other.breaker_opens;
+    cost += other.cost;
+    if (other.queue_high_water > queue_high_water)
+      queue_high_water = other.queue_high_water;
+    draining = draining || other.draining;
+    return *this;
+  }
 };
 
 }  // namespace deflection::registry

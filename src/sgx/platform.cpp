@@ -8,6 +8,25 @@ namespace deflection::sgx {
 static_assert(std::endian::native == std::endian::little,
               "DX64 memory image assumes a little-endian host");
 
+crypto::Key256 PlatformIdentity::seal_key(const std::string& purpose) const {
+  // Two-step EGETKEY model: the fused root secret is a pure function of the
+  // platform identity, and every sealing key is an HMAC of the purpose
+  // label under that root — so neither the root nor any sibling purpose key
+  // is recoverable from a leaked derived key.
+  Bytes root_msg;
+  ByteWriter rw(root_msg);
+  rw.str("deflection-platform-fuse-v1");
+  rw.u64(fuse_seed);
+  rw.str(platform_id);
+  crypto::Digest root = crypto::Sha256::hash(root_msg);
+  Bytes msg;
+  ByteWriter mw(msg);
+  mw.str("egetkey-seal-collateral");
+  mw.str(purpose);
+  return crypto::key_from_digest(
+      crypto::hmac_sha256(BytesView(root.data(), root.size()), msg));
+}
+
 AddressSpace::AddressSpace(std::uint64_t host_base, std::uint64_t host_size,
                            std::uint64_t enclave_base, std::uint64_t enclave_size)
     : host_base_(host_base),

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/cipher.h"
 #include "crypto/sha256.h"
 #include "support/bytes.h"
 #include "support/result.h"
@@ -30,6 +31,24 @@
 namespace deflection::sgx {
 
 constexpr std::uint64_t kPageSize = 4096;
+
+// The platform's root sealing identity — the model of the CPU's fused
+// sealing secret that every EGETKEY derivation is ultimately anchored in.
+// QuotingEnclave::seal_key covers per-enclave sealing (bound to an
+// MRENCLAVE); this covers platform-scoped collateral that must outlive any
+// single enclave instance, such as the sealed persistent admission cache a
+// restarted shard boots warm from. Two identities derive the same keys iff
+// both platform_id and fuse_seed agree: collateral sealed on one machine
+// and copied to another fails authentication there and is discarded.
+struct PlatformIdentity {
+  std::string platform_id = "local-platform";
+  std::uint64_t fuse_seed = 0x5EA1'C0DE;
+
+  // Derives the sealing key for one purpose label ("admission-cache-seal",
+  // "admission-cache-mac", ...). Distinct purposes never share keys, so a
+  // ciphertext sealed for one use cannot be replayed into another.
+  crypto::Key256 seal_key(const std::string& purpose) const;
+};
 
 // Page permissions (bitmask).
 enum Perm : std::uint8_t {

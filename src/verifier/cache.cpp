@@ -4,6 +4,19 @@
 
 namespace deflection::verifier {
 
+CacheStats& CacheStats::operator+=(const CacheStats& other) {
+  hits += other.hits;
+  misses += other.misses;
+  bypasses += other.bypasses;
+  insertions += other.insertions;
+  verify_ns_saved += other.verify_ns_saved;
+  coalesced += other.coalesced;
+  evictions += other.evictions;
+  parent_hits += other.parent_hits;
+  preloads += other.preloads;
+  return *this;
+}
+
 std::optional<crypto::Digest> verify_config_fingerprint(const VerifyConfig& config) {
   if (config.custom_check) return std::nullopt;
   Bytes buf;
@@ -50,6 +63,93 @@ std::optional<VerificationCache::Entry> VerificationCache::make_entry(
   return entry;
 }
 
+bool VerificationCache::portable_sites_ok(const PortableEntry& entry) {
+  for (const PatchSite& site : entry.report.patches) {
+    // Subtraction form so a field_addr near UINT64_MAX cannot wrap past the
+    // `+ 8` — oversized offsets from a tampered store must fail, not alias.
+    if (site.field_addr > entry.text_size ||
+        entry.text_size - site.field_addr < 8)
+      return false;
+  }
+  return true;
+}
+
+void VerificationCache::touch_locked(const Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru);
+}
+
+void VerificationCache::store_locked(const Key& key, Entry entry) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    entry.lru = it->second.lru;
+    it->second = std::move(entry);
+    touch_locked(it->second);
+    return;
+  }
+  if (options_.max_entries > 0 && entries_.size() >= options_.max_entries) {
+    // Evict the least-recently-used entry. Only resident verdicts are
+    // displaced; in-flight admissions are unaffected, and the evicted key's
+    // next admission is an ordinary cold miss.
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entry.lru = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+}
+
+void VerificationCache::set_parent(std::shared_ptr<VerificationCache> parent) {
+  if (parent.get() == this) return;  // a self-parent would deadlock
+  std::lock_guard lock(mutex_);
+  parent_ = std::move(parent);
+}
+
+std::optional<VerificationCache::Entry> VerificationCache::parent_peek(const Key& key) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;  // no miss counted: no verifier runs
+  touch_locked(it->second);
+  ++stats_.hits;
+  stats_.verify_ns_saved += it->second.verify_ns;
+  return it->second;
+}
+
+void VerificationCache::parent_put(const Key& key, const Entry& entry) {
+  std::lock_guard lock(mutex_);
+  store_locked(key, entry);
+  ++stats_.insertions;
+}
+
+std::vector<PortableEntry> VerificationCache::export_entries() const {
+  std::lock_guard lock(mutex_);
+  std::vector<PortableEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    PortableEntry e;
+    e.binary = key.binary;
+    e.policy_mask = key.policy_mask;
+    e.config = key.config;
+    e.report = entry.report;
+    e.text_size = entry.text_size;
+    e.verify_ns = entry.verify_ns;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+bool VerificationCache::import_entry(const PortableEntry& entry) {
+  if (!portable_sites_ok(entry)) return false;
+  Entry stored;
+  stored.report = entry.report;
+  stored.text_size = entry.text_size;
+  stored.verify_ns = entry.verify_ns;
+  std::lock_guard lock(mutex_);
+  store_locked(Key{entry.binary, entry.policy_mask, entry.config}, std::move(stored));
+  ++stats_.preloads;
+  return true;
+}
+
 std::optional<VerifyReport> VerificationCache::rebase(const Entry& entry,
                                                       const LoadedBinary& binary) {
   // Fail closed: the digest implies the text size, but the cache does not
@@ -73,19 +173,65 @@ std::optional<VerifyReport> VerificationCache::lookup(const crypto::Digest& bina
     ++stats_.bypasses;
     return std::nullopt;
   }
-  auto it = entries_.find(Key{binary_digest, binary.policies.mask(), *fp});
-  if (it == entries_.end()) {
-    ++stats_.misses;
-    return std::nullopt;
+  Key key{binary_digest, binary.policies.mask(), *fp};
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    auto report = rebase(it->second, binary);
+    if (!report.has_value()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    touch_locked(it->second);
+    ++stats_.hits;
+    stats_.verify_ns_saved += it->second.verify_ns;
+    return report;
   }
-  auto report = rebase(it->second, binary);
-  if (!report.has_value()) {
-    ++stats_.misses;
-    return std::nullopt;
+  // Local miss: read through to the parent (another shard may already have
+  // verified this exact key). An adopted verdict is a hit, never a miss —
+  // no verifier runs — and is kept resident locally so the next admission
+  // does not pay the parent round trip.
+  if (parent_ != nullptr) {
+    if (auto entry = parent_->parent_peek(key)) {
+      if (auto report = rebase(*entry, binary)) {
+        stats_.verify_ns_saved += entry->verify_ns;
+        store_locked(key, std::move(*entry));
+        ++stats_.preloads;
+        ++stats_.hits;
+        ++stats_.parent_hits;
+        return report;
+      }
+    }
   }
-  ++stats_.hits;
-  stats_.verify_ns_saved += it->second.verify_ns;
-  return report;
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+bool VerificationCache::warm_probe(const crypto::Digest& binary_digest,
+                                   std::uint32_t claimed_mask,
+                                   const VerifyConfig& config) {
+  auto fp = verify_config_fingerprint(config);
+  std::lock_guard lock(mutex_);
+  if (!fp.has_value()) {
+    ++stats_.bypasses;
+    return false;
+  }
+  Key key{binary_digest, claimed_mask, *fp};
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    touch_locked(it->second);
+    ++stats_.hits;
+    stats_.verify_ns_saved += it->second.verify_ns;
+    return true;
+  }
+  if (parent_ != nullptr) {
+    if (auto entry = parent_->parent_peek(key)) {
+      stats_.verify_ns_saved += entry->verify_ns;
+      store_locked(key, std::move(*entry));
+      ++stats_.preloads;
+      ++stats_.hits;
+      ++stats_.parent_hits;
+      return true;
+    }
+  }
+  return false;  // not a miss: no verifier ran, and none will on our account
 }
 
 void VerificationCache::insert(const crypto::Digest& binary_digest,
@@ -95,8 +241,10 @@ void VerificationCache::insert(const crypto::Digest& binary_digest,
   if (!fp.has_value()) return;  // unfingerprintable configs are never cached
   auto entry = make_entry(binary, report, verify_ns);
   if (!entry.has_value()) return;
+  Key key{binary_digest, binary.policies.mask(), *fp};
   std::lock_guard lock(mutex_);
-  entries_[Key{binary_digest, binary.policies.mask(), *fp}] = std::move(*entry);
+  if (parent_ != nullptr) parent_->parent_put(key, *entry);  // write-through
+  store_locked(key, std::move(*entry));
   ++stats_.insertions;
 }
 
@@ -116,6 +264,7 @@ VerificationCache::Admission VerificationCache::begin_admission(
     key = Key{binary_digest, binary.policies.mask(), *fp};
     if (auto it = entries_.find(key); it != entries_.end()) {
       if (auto report = rebase(it->second, binary)) {
+        touch_locked(it->second);
         ++stats_.hits;
         stats_.verify_ns_saved += it->second.verify_ns;
         adm.role = Admission::Role::Hit;
@@ -125,6 +274,22 @@ VerificationCache::Admission VerificationCache::begin_admission(
       // Unrebasable entry: same as lookup(), a miss — but still
       // single-flight below, so a stampede on the mismatched key does not
       // multiply verifications.
+    } else if (parent_ != nullptr) {
+      // Read-through before leader election: a sibling shard's verdict (or
+      // a sealed-store preload in the parent) admits this caller warm with
+      // no verifier run and no in-flight record.
+      if (auto entry = parent_->parent_peek(key)) {
+        if (auto report = rebase(*entry, binary)) {
+          stats_.verify_ns_saved += entry->verify_ns;
+          store_locked(key, std::move(*entry));
+          ++stats_.preloads;
+          ++stats_.hits;
+          ++stats_.parent_hits;
+          adm.role = Admission::Role::Hit;
+          adm.report = std::move(report);
+          return adm;
+        }
+      }
     }
     auto in = inflight_.find(key);
     if (in == inflight_.end()) {
@@ -207,7 +372,9 @@ void VerificationCache::AdmissionTicket::publish(const LoadedBinary& binary,
   {
     std::lock_guard lock(cache_->mutex_);
     if (entry.has_value()) {
-      cache_->entries_[key_] = *entry;
+      if (cache_->parent_ != nullptr)  // write-through: shards share verdicts
+        cache_->parent_->parent_put(key_, *entry);
+      cache_->store_locked(key_, *entry);
       ++cache_->stats_.insertions;
     }
     cache_->inflight_.erase(key_);

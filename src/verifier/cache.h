@@ -32,10 +32,12 @@
 // every worker of a fresh pool would redundantly verify the same binary.
 #pragma once
 
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "crypto/sha256.h"
 #include "verifier/verify.h"
@@ -47,6 +49,17 @@ namespace deflection::verifier {
 // fingerprinted — a custom_check is an opaque std::function, so any config
 // carrying one must never hit (or populate) the cache.
 std::optional<crypto::Digest> verify_config_fingerprint(const VerifyConfig& config);
+
+// Bounding knobs, passed at construction. The defaults reproduce the
+// unbounded single-process cache exactly.
+struct CacheOptions {
+  // Maximum resident entries; 0 = unbounded. When a new entry would exceed
+  // the bound, the least-recently-used entry (hits and parent adoptions
+  // both refresh recency) is evicted and counted in CacheStats::evictions.
+  // Eviction only ever costs a re-verification, never soundness: an evicted
+  // key's next admission is an ordinary cold miss.
+  std::size_t max_entries = 0;
+};
 
 // Cache counters, snapshot via VerificationCache::stats().
 struct CacheStats {
@@ -60,6 +73,33 @@ struct CacheStats {
   // leave this 0 and every other counter exactly as lookup()/insert()
   // would).
   std::uint64_t coalesced = 0;
+  std::uint64_t evictions = 0;     // entries displaced by the max_entries bound
+  // Subset of `hits` that this cache could only serve by consulting its
+  // parent (read-through): the verdict was produced by a sibling cache
+  // sharing the same parent, or preloaded into the parent from a sealed
+  // store. Never counted as a miss — no verifier ran.
+  std::uint64_t parent_hits = 0;
+  // Entries adopted without a local full verification: imported from a
+  // sealed store or copied down from the parent on a parent hit.
+  std::uint64_t preloads = 0;
+
+  // Front-end rollup: element-wise sum (used to aggregate per-shard
+  // snapshots; every field is a monotonic counter).
+  CacheStats& operator+=(const CacheStats& other);
+};
+
+// One cache entry in transportable form: the full key that names it plus
+// the verdict with text-relative patch sites. This is the unit the sealed
+// persistent store serializes and the parent-cache hook moves between
+// caches — everything needed to replay the verdict for a byte-identical
+// binary under an identical config, nothing tied to one enclave's base.
+struct PortableEntry {
+  crypto::Digest binary{};         // SHA-256 of the plaintext DXO bytes
+  std::uint32_t policy_mask = 0;   // the binary's claimed PolicySet
+  crypto::Digest config{};         // verify_config_fingerprint at insert time
+  VerifyReport report;             // patches hold text-relative offsets
+  std::uint64_t text_size = 0;
+  std::uint64_t verify_ns = 0;
 };
 
 class VerificationCache {
@@ -74,10 +114,35 @@ class VerificationCache {
     VerifyReport report;             // patches hold text-relative offsets
     std::uint64_t text_size = 0;
     std::uint64_t verify_ns = 0;
+    // Recency position in lru_ (front = most recently used); only
+    // maintained while the entry is resident in entries_.
+    std::list<Key>::iterator lru;
   };
   struct Inflight;  // one in-flight cold verification (defined in cache.cpp)
 
  public:
+  VerificationCache() = default;
+  explicit VerificationCache(const CacheOptions& options) : options_(options) {}
+
+  // Read-through parent hook: when set, a local miss consults the parent
+  // before electing a verification leader, and every locally produced
+  // verdict is written through to the parent. A parent-served admission
+  // counts as a hit (+parent_hits), never a miss — no verifier ran. The
+  // parent is just another VerificationCache (typically shared by every
+  // shard of a front-end) and must not itself point back at a child; lock
+  // order is always child -> parent.
+  void set_parent(std::shared_ptr<VerificationCache> parent);
+
+  // Snapshot of every resident entry in transportable form (sealed-store
+  // export, tests). Order is unspecified.
+  std::vector<PortableEntry> export_entries() const;
+
+  // Preloads a verdict produced elsewhere (sealed store, warm-boot path).
+  // Fail-closed: refuses entries whose patch sites do not fall inside
+  // [0, text_size) — a refused entry simply stays cold and the next
+  // admission runs the full verifier. Returns whether the entry was
+  // adopted; adoption counts in CacheStats::preloads.
+  bool import_entry(const PortableEntry& entry);
   // Leader's handle on an in-flight admission. The leader MUST finish the
   // admission by calling exactly one of publish() (verification succeeded:
   // caches the report and hands it to every waiter) or fail() (propagates
@@ -143,6 +208,19 @@ class VerificationCache {
                                      const LoadedBinary& binary,
                                      const VerifyConfig& config);
 
+  // Admission probe without a loaded enclave: true iff a verdict for
+  // (digest, claimed mask, config) is resident here or in the parent. Lets
+  // register-time admission skip the scratch-enclave provision+load
+  // entirely — a resident verdict already proves the full verifier passed
+  // a byte-identical binary under this exact config, and the serving slot
+  // re-checks via begin_admission() at bind time anyway. A parent-served
+  // probe adopts the entry locally (hit + parent_hit + preload, exactly
+  // like lookup()); a negative probe counts NOTHING — misses must keep
+  // meaning "a full verifier run", and the caller's cold admission will
+  // record it.
+  bool warm_probe(const crypto::Digest& binary_digest, std::uint32_t claimed_mask,
+                  const VerifyConfig& config);
+
   // Stores a report the full verifier just produced for `binary`.
   // `verify_ns` is the wall time that verification took; it is credited to
   // verify_ns_saved on every later hit. Reports with patch sites outside
@@ -167,8 +245,26 @@ class VerificationCache {
   static std::optional<VerifyReport> rebase(const Entry& entry,
                                             const LoadedBinary& binary);
 
+  // Validates a portable entry's patch sites against its own text_size
+  // (overflow-safe); the storage-form analogue of make_entry's range check.
+  static bool portable_sites_ok(const PortableEntry& entry);
+
+  // Under mutex_: (re)stores an entry at key, refreshing recency and
+  // evicting the LRU entry when the max_entries bound would be exceeded.
+  void store_locked(const Key& key, Entry entry);
+  // Under mutex_: marks key most-recently-used.
+  void touch_locked(const Entry& entry);
+  // Under mutex_ of the CHILD (lock order child -> parent): resident-entry
+  // probe / write-through target used by the parent hook. Both take this
+  // cache's own mutex.
+  std::optional<Entry> parent_peek(const Key& key);
+  void parent_put(const Key& key, const Entry& entry);
+
+  CacheOptions options_;
+  std::shared_ptr<VerificationCache> parent_;
   mutable std::mutex mutex_;
   std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // front = most recently used resident key
   std::map<Key, std::shared_ptr<Inflight>> inflight_;
   std::size_t waiting_ = 0;  // callers blocked inside begin_admission()
   CacheStats stats_;

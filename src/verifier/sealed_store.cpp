@@ -1,0 +1,241 @@
+#include "verifier/sealed_store.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "crypto/sha256.h"
+
+namespace deflection::verifier {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'F', 'L', 'S', 'E', 'A', 'L', '1'};
+
+constexpr char kSealPurpose[] = "admission-cache-seal";
+constexpr char kMacPurpose[] = "admission-cache-mac";
+
+void put_digest(ByteWriter& w, const crypto::Digest& d) {
+  w.bytes(BytesView(d.data(), d.size()));
+}
+
+bool get_digest(ByteReader& r, crypto::Digest& out) {
+  Bytes raw = r.bytes(out.size());
+  if (!r.ok()) return false;
+  std::memcpy(out.data(), raw.data(), out.size());
+  return true;
+}
+
+// Entry payload sealed inside a record body: the verdict itself. The record
+// key fields (digest, policy mask, config fingerprint) live in the plaintext
+// header and are bound in via AAD instead of being duplicated here.
+Bytes serialize_body(const PortableEntry& e) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u64(e.text_size);
+  w.u64(e.verify_ns);
+  w.u64(e.report.instructions);
+  w.i32(e.report.store_guards);
+  w.i32(e.report.rsp_guards);
+  w.i32(e.report.shadow_prologues);
+  w.i32(e.report.shadow_epilogues);
+  w.i32(e.report.indirect_guards);
+  w.i32(e.report.aex_probes);
+  w.u64(e.report.patches.size());
+  for (const PatchSite& p : e.report.patches) {
+    w.u64(p.field_addr);  // text-relative (PortableEntry invariant)
+    w.u8(static_cast<std::uint8_t>(p.kind));
+  }
+  return out;
+}
+
+// nullopt on any framing violation — truncated body, or a patch count that
+// does not match the bytes present. The patch-site *range* check is left to
+// VerificationCache::import_entry, the single authority on that invariant.
+std::optional<PortableEntry> deserialize_body(BytesView body, const PortableEntry& key) {
+  ByteReader r(body);
+  PortableEntry e = key;  // digest / policy_mask / config from the header
+  e.text_size = r.u64();
+  e.verify_ns = r.u64();
+  e.report.instructions = static_cast<std::size_t>(r.u64());
+  e.report.store_guards = r.i32();
+  e.report.rsp_guards = r.i32();
+  e.report.shadow_prologues = r.i32();
+  e.report.shadow_epilogues = r.i32();
+  e.report.indirect_guards = r.i32();
+  e.report.aex_probes = r.i32();
+  std::uint64_t patch_count = r.u64();
+  if (!r.ok()) return std::nullopt;
+  // 9 bytes per patch; remaining() bounds patch_count before the reserve so
+  // a corrupt count cannot drive a huge allocation.
+  if (patch_count > r.remaining() / 9) return std::nullopt;
+  e.report.patches.reserve(static_cast<std::size_t>(patch_count));
+  for (std::uint64_t i = 0; i < patch_count; ++i) {
+    PatchSite p;
+    p.field_addr = r.u64();
+    p.kind = static_cast<PatchKind>(r.u8());
+    e.report.patches.push_back(p);
+  }
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return e;
+}
+
+}  // namespace
+
+crypto::Nonce96 SealedCacheStore::record_nonce(std::uint64_t index,
+                                               const crypto::Digest& digest) const {
+  Bytes msg;
+  ByteWriter w(msg);
+  w.str("record-nonce");
+  w.u64(index);
+  put_digest(w, digest);
+  crypto::Key256 mac_key = platform_.seal_key(kMacPurpose);
+  crypto::Digest d = crypto::hmac_sha256(BytesView(mac_key.data(), mac_key.size()), msg);
+  crypto::Nonce96 nonce{};
+  std::memcpy(nonce.data(), d.data(), nonce.size());
+  return nonce;
+}
+
+Bytes SealedCacheStore::record_aad(const PortableEntry& entry, std::uint64_t index) {
+  Bytes aad;
+  ByteWriter w(aad);
+  w.u32(kFormatVersion);
+  w.u64(index);
+  put_digest(w, entry.binary);
+  w.u32(entry.policy_mask);
+  put_digest(w, entry.config);
+  return aad;
+}
+
+Bytes SealedCacheStore::export_entries(const std::vector<PortableEntry>& entries) const {
+  crypto::Key256 seal_key = platform_.seal_key(kSealPurpose);
+  crypto::Key256 mac_key = platform_.seal_key(kMacPurpose);
+
+  Bytes out;
+  ByteWriter w(out);
+  w.bytes(BytesView(reinterpret_cast<const std::uint8_t*>(kMagic), sizeof(kMagic)));
+  w.u32(kFormatVersion);
+  w.str(platform_.platform_id);
+  w.u64(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const PortableEntry& e = entries[i];
+    put_digest(w, e.binary);
+    w.u32(e.policy_mask);
+    put_digest(w, e.config);
+    Bytes body = crypto::aead_seal(seal_key, record_nonce(i, e.binary),
+                                   serialize_body(e), record_aad(e, i));
+    w.u64(body.size());
+    w.bytes(body);
+  }
+  crypto::Digest mac =
+      crypto::hmac_sha256(BytesView(mac_key.data(), mac_key.size()), out);
+  w.bytes(BytesView(mac.data(), mac.size()));
+  return out;
+}
+
+SealedCacheStore::LoadStats SealedCacheStore::import_into(
+    BytesView file, const VerifyConfig& config, VerificationCache& cache) const {
+  LoadStats stats;
+
+  // Header. Any disagreement means "not a store we understand": discard
+  // everything rather than guess at the framing.
+  ByteReader r(file);
+  Bytes magic = r.bytes(sizeof(kMagic));
+  if (!r.ok() || std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) return stats;
+  std::uint32_t version = r.u32();
+  (void)r.str();  // platform_id: informational; the keys are the real binding
+  std::uint64_t count = r.u64();
+  if (!r.ok() || version != kFormatVersion) return stats;
+  stats.header_ok = true;
+  stats.records_total = count;
+  stats.records_discarded = count;
+
+  // Whole-file MAC (trailing 32 bytes over everything before them).
+  // Advisory: per-record AEAD is the admission gate, so a file whose
+  // trailer was clipped or flipped still yields its authentic records.
+  crypto::Key256 mac_key = platform_.seal_key(kMacPurpose);
+  if (file.size() >= 32) {
+    crypto::Digest want =
+        crypto::hmac_sha256(BytesView(mac_key.data(), mac_key.size()),
+                            file.subspan(0, file.size() - 32));
+    crypto::Digest got{};
+    std::memcpy(got.data(), file.data() + file.size() - 32, 32);
+    stats.file_mac_ok = crypto::digest_equal(want, got);
+  }
+
+  std::optional<crypto::Digest> want_config = verify_config_fingerprint(config);
+
+  crypto::Key256 seal_key = platform_.seal_key(kSealPurpose);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PortableEntry key;
+    if (!get_digest(r, key.binary)) break;
+    key.policy_mask = r.u32();
+    if (!get_digest(r, key.config)) break;
+    std::uint64_t body_len = r.u64();
+    if (!r.ok() || body_len > kMaxRecordBody) break;
+    Bytes body = r.bytes(static_cast<std::size_t>(body_len));
+    if (!r.ok()) break;  // truncation: framing is gone, stop here
+
+    // From here on a failure discards only this record; the stream is
+    // still framed, so later records remain reachable.
+    if (!want_config || !crypto::digest_equal(key.config, *want_config)) continue;
+    std::optional<Bytes> plain =
+        crypto::aead_open(seal_key, body, record_aad(key, i));
+    if (!plain) continue;
+    std::optional<PortableEntry> entry = deserialize_body(*plain, key);
+    if (!entry) continue;
+    if (!cache.import_entry(*entry)) continue;
+    ++stats.records_loaded;
+    --stats.records_discarded;
+  }
+  return stats;
+}
+
+Status SealedCacheStore::save(const std::string& path,
+                              const VerificationCache& cache) const {
+  Bytes data = export_cache(cache);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::fail("io", "cannot open sealed store for write: " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) return Status::fail("io", "short write to sealed store: " + path);
+  return Status::ok();
+}
+
+SealedCacheStore::LoadStats SealedCacheStore::load(const std::string& path,
+                                                   const VerifyConfig& config,
+                                                   VerificationCache& cache) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};  // missing store: cold start, not an error
+  Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return import_into(data, config, cache);
+}
+
+SealedCacheStore::Dump SealedCacheStore::dump(BytesView file) {
+  Dump d;
+  ByteReader r(file);
+  Bytes magic = r.bytes(sizeof(kMagic));
+  if (!r.ok() || std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) return d;
+  d.version = r.u32();
+  d.platform_id = r.str();
+  d.record_count = r.u64();
+  if (!r.ok()) return d;
+  d.header_ok = d.version == kFormatVersion;
+  if (!d.header_ok) return d;
+
+  for (std::uint64_t i = 0; i < d.record_count; ++i) {
+    DumpRecord rec;
+    if (!get_digest(r, rec.digest)) break;
+    rec.policy_mask = r.u32();
+    if (!get_digest(r, rec.config)) break;
+    rec.body_len = r.u64();
+    if (!r.ok() || rec.body_len > kMaxRecordBody) break;
+    (void)r.bytes(static_cast<std::size_t>(rec.body_len));  // skip ciphertext
+    if (!r.ok()) break;
+    d.records.push_back(rec);
+  }
+  d.truncated = d.records.size() != d.record_count;
+  d.mac_present = !d.truncated && r.remaining() >= 32;
+  return d;
+}
+
+}  // namespace deflection::verifier

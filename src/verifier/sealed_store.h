@@ -1,0 +1,124 @@
+// Sealed persistent admission cache — verification verdicts that survive
+// process restarts.
+//
+// The paper argues admission cost is paid once per binary; the in-memory
+// VerificationCache delivers that within one process, and this store
+// extends it across restarts: the cacheable-collateral pattern from SGX
+// endorsement caching applied to VerifyReports. A front-end exports its
+// cache as a record file on untrusted storage, encrypted and MAC'd under a
+// key derived from the platform identity (sgx::PlatformIdentity — the
+// EGETKEY fuse-key model), and a restarted or newly spawned shard imports
+// it at boot: every record that authenticates admits its binary warm, so
+// the shard skips the full verifier for the world it already verified.
+//
+// Wire format (all integers little-endian, ByteWriter framing):
+//
+//   magic            8 bytes  "DFLSEAL1"
+//   version          u32      kFormatVersion
+//   platform_id      str      (u32 length + bytes; informational, plaintext)
+//   record_count     u64
+//   record[i]:
+//     binary_digest  32 bytes  } plaintext record key — readable by
+//     policy_mask    u32       } `deflectc cache-dump` without the
+//     config_fp      32 bytes  } platform key
+//     body_len       u64
+//     body           body_len bytes = aead_seal(seal_key, nonce_i,
+//                      serialized entry, aad = record key || index)
+//   file_mac         32 bytes  HMAC-SHA256(mac_key, everything above)
+//
+// Fail-closed import rules (each rule discards, never trusts):
+//   - bad magic or version skew        -> the whole file is discarded;
+//   - truncation mid-record            -> that record and everything after
+//                                         it is discarded (framing is gone);
+//   - body_len overflowing the file    -> same as truncation;
+//   - AEAD failure (bit flip, swapped
+//     record header, wrong platform)   -> that record is discarded;
+//   - config-fingerprint mismatch vs
+//     the importing shard's config     -> that record is discarded;
+//   - patch sites outside the text    -> that record is discarded
+//                                         (VerificationCache::import_entry).
+// A discarded record costs exactly one cold verification on its next
+// admission — the store can accelerate admission, never influence a
+// verdict. The whole-file MAC is integrity telemetry (LoadStats.file_mac_ok)
+// on top of the per-record authentication, not the import gate: a file with
+// one flipped byte still yields every record that individually
+// authenticates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sgx/platform.h"
+#include "verifier/cache.h"
+
+namespace deflection::verifier {
+
+class SealedCacheStore {
+ public:
+  static constexpr std::uint32_t kFormatVersion = 1;
+  // Per-record body sanity cap; a claimed length beyond this (e.g. a
+  // tampered u64 near wrap) is treated as truncation.
+  static constexpr std::uint64_t kMaxRecordBody = 1ull << 28;
+
+  explicit SealedCacheStore(sgx::PlatformIdentity platform)
+      : platform_(std::move(platform)) {}
+
+  const sgx::PlatformIdentity& platform() const { return platform_; }
+
+  // Serializes entries into the sealed record-file format.
+  Bytes export_entries(const std::vector<PortableEntry>& entries) const;
+  Bytes export_cache(const VerificationCache& cache) const {
+    return export_entries(cache.export_entries());
+  }
+
+  struct LoadStats {
+    bool header_ok = false;      // magic + version parsed and matched
+    bool file_mac_ok = false;    // whole-file MAC present and valid
+    std::uint64_t records_total = 0;      // claimed by the header
+    std::uint64_t records_loaded = 0;     // imported into the cache
+    std::uint64_t records_discarded = 0;  // records_total - records_loaded
+  };
+
+  // Imports every record that authenticates AND matches `config`'s
+  // fingerprint into `cache` (as CacheStats::preloads). Never fails: a
+  // malformed or hostile file simply loads fewer (possibly zero) records
+  // and the cache falls back to cold verification.
+  LoadStats import_into(BytesView file, const VerifyConfig& config,
+                        VerificationCache& cache) const;
+
+  // File convenience wrappers. load() of a missing path is a cold start
+  // (header_ok=false, zero records), not an error.
+  Status save(const std::string& path, const VerificationCache& cache) const;
+  LoadStats load(const std::string& path, const VerifyConfig& config,
+                 VerificationCache& cache) const;
+
+  // Plaintext inspection for `deflectc cache-dump`: header and per-record
+  // key metadata, no platform key needed and no body decrypted.
+  struct DumpRecord {
+    crypto::Digest digest{};
+    std::uint32_t policy_mask = 0;
+    crypto::Digest config{};
+    std::uint64_t body_len = 0;
+  };
+  struct Dump {
+    bool header_ok = false;
+    std::uint32_t version = 0;
+    std::string platform_id;
+    std::uint64_t record_count = 0;  // claimed by the header
+    bool truncated = false;          // parse ran out before record_count
+    bool mac_present = false;        // 32 trailer bytes exist after records
+    std::vector<DumpRecord> records; // as many as parsed cleanly
+  };
+  static Dump dump(BytesView file);
+
+ private:
+  crypto::Nonce96 record_nonce(std::uint64_t index,
+                               const crypto::Digest& digest) const;
+  // AAD binding a record body to its plaintext key fields and position, so
+  // swapping two records' headers (or bodies) fails authentication.
+  static Bytes record_aad(const PortableEntry& entry, std::uint64_t index);
+
+  sgx::PlatformIdentity platform_;
+};
+
+}  // namespace deflection::verifier

@@ -339,5 +339,220 @@ TEST(VerifyCacheAdmission, ChangedVerifyConfigMissesAcrossEnclaves) {
   EXPECT_EQ(stats.insertions, 2u);
 }
 
+// --- Capacity bound + LRU eviction (CacheOptions::max_entries) ---
+
+// A family of distinct services (distinct digests) for capacity tests.
+std::string distinct_service(int n) {
+  return "int main() { return " + std::to_string(n + 2) + "; }";
+}
+
+struct InsertedService {
+  codegen::CompileOutput compiled;
+  crypto::Digest digest;
+  std::unique_ptr<VerifiedAt> verified;
+
+  InsertedService(int n, const VerifyConfig& config)
+      : compiled(compile_or_die(distinct_service(n), PolicySet::p1to6())),
+        digest(crypto::Sha256::hash(compiled.dxo.serialize())),
+        verified(std::make_unique<VerifiedAt>(kBaseA, compiled.dxo, config)) {}
+
+  void insert_into(VerificationCache& cache, const VerifyConfig& config) {
+    cache.insert(digest, verified->binary, config, verified->report, 100);
+  }
+  bool hits(VerificationCache& cache, const VerifyConfig& config) {
+    return cache.lookup(digest, verified->binary, config).has_value();
+  }
+};
+
+TEST(VerifyCacheLru, EvictsLeastRecentlyUsedAtCapacity) {
+  VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  VerificationCache cache(verifier::CacheOptions{2});
+  InsertedService a(0, config), b(1, config), c(2, config);
+
+  a.insert_into(cache, config);
+  b.insert_into(cache, config);
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch A so B becomes the least recently used entry...
+  EXPECT_TRUE(a.hits(cache, config));
+  // ...and the third insert displaces B, not A.
+  c.insert_into(cache, config);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(a.hits(cache, config));
+  EXPECT_FALSE(b.hits(cache, config));  // evicted: ordinary cold miss
+  EXPECT_TRUE(c.hits(cache, config));
+
+  // B's re-insert displaces the new LRU; soundness is untouched throughout
+  // (every hit above replayed a genuine full-verifier verdict).
+  b.insert_into(cache, config);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(VerifyCacheLru, UnboundedByDefaultAndOverwriteDoesNotEvict) {
+  VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  VerificationCache unbounded;
+  InsertedService a(0, config), b(1, config), c(2, config);
+  a.insert_into(unbounded, config);
+  b.insert_into(unbounded, config);
+  c.insert_into(unbounded, config);
+  EXPECT_EQ(unbounded.size(), 3u);
+  EXPECT_EQ(unbounded.stats().evictions, 0u);
+
+  // Re-inserting a resident key refreshes it in place: no eviction even at
+  // a capacity of one.
+  VerificationCache tiny(verifier::CacheOptions{1});
+  a.insert_into(tiny, config);
+  a.insert_into(tiny, config);
+  EXPECT_EQ(tiny.size(), 1u);
+  EXPECT_EQ(tiny.stats().evictions, 0u);
+}
+
+// --- Parent hook: cross-shard verdict sharing ---
+
+TEST(VerifyCacheParent, ReadThroughAdoptsParentVerdictAsHitNotMiss) {
+  VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  auto parent = std::make_shared<VerificationCache>();
+  InsertedService svc(0, config);
+  svc.insert_into(*parent, config);
+
+  VerificationCache child;
+  child.set_parent(parent);
+  EXPECT_TRUE(svc.hits(child, config));
+
+  // The adoption is a hit (+parent_hits, +preloads) on the child and a hit
+  // on the parent; NEITHER records a miss — no verifier ran anywhere.
+  auto child_stats = child.stats();
+  EXPECT_EQ(child_stats.hits, 1u);
+  EXPECT_EQ(child_stats.parent_hits, 1u);
+  EXPECT_EQ(child_stats.preloads, 1u);
+  EXPECT_EQ(child_stats.misses, 0u);
+  auto parent_stats = parent->stats();
+  EXPECT_EQ(parent_stats.hits, 1u);
+  EXPECT_EQ(parent_stats.misses, 0u);
+
+  // The verdict is now resident in the child: the next lookup is a plain
+  // local hit, no second parent round trip.
+  EXPECT_TRUE(svc.hits(child, config));
+  EXPECT_EQ(child.stats().parent_hits, 1u);
+  EXPECT_EQ(child.size(), 1u);
+}
+
+TEST(VerifyCacheParent, WriteThroughSharesVerdictWithSiblings) {
+  VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  auto parent = std::make_shared<VerificationCache>();
+  VerificationCache shard_a, shard_b;
+  shard_a.set_parent(parent);
+  shard_b.set_parent(parent);
+
+  // Shard A verifies once and inserts; the write-through makes the verdict
+  // visible to shard B without B ever running the verifier.
+  InsertedService svc(0, config);
+  svc.insert_into(shard_a, config);
+  EXPECT_EQ(parent->size(), 1u);
+  EXPECT_EQ(parent->stats().insertions, 1u);
+
+  EXPECT_TRUE(svc.hits(shard_b, config));
+  auto b_stats = shard_b.stats();
+  EXPECT_EQ(b_stats.hits, 1u);
+  EXPECT_EQ(b_stats.parent_hits, 1u);
+  EXPECT_EQ(b_stats.misses, 0u);
+}
+
+TEST(VerifyCacheParent, ParentMissStaysLocalMiss) {
+  VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  auto parent = std::make_shared<VerificationCache>();
+  VerificationCache child;
+  child.set_parent(parent);
+
+  InsertedService svc(0, config);
+  EXPECT_FALSE(svc.hits(child, config));
+  // The miss lands on the child (it will run the verifier); the parent
+  // records nothing — it did not run one.
+  EXPECT_EQ(child.stats().misses, 1u);
+  EXPECT_EQ(parent->stats().misses, 0u);
+  EXPECT_EQ(parent->stats().hits, 0u);
+}
+
+// --- Portable entries: sealed-store export/import surface ---
+
+TEST(VerifyCachePortable, ExportImportRoundTripReplaysVerdict) {
+  VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  VerificationCache source;
+  InsertedService svc(0, config);
+  svc.insert_into(source, config);
+
+  auto entries = source.export_entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].binary, svc.digest);
+  EXPECT_EQ(entries[0].verify_ns, 100u);
+
+  VerificationCache fresh;
+  EXPECT_TRUE(fresh.import_entry(entries[0]));
+  EXPECT_EQ(fresh.stats().preloads, 1u);
+  // The imported verdict serves a lookup exactly like the original.
+  auto original = source.lookup(svc.digest, svc.verified->binary, config);
+  auto replayed = fresh.lookup(svc.digest, svc.verified->binary, config);
+  ASSERT_TRUE(original.has_value());
+  ASSERT_TRUE(replayed.has_value());
+  ASSERT_EQ(replayed->patches.size(), original->patches.size());
+  for (std::size_t i = 0; i < replayed->patches.size(); ++i) {
+    EXPECT_EQ(replayed->patches[i].field_addr, original->patches[i].field_addr);
+    EXPECT_EQ(replayed->patches[i].kind, original->patches[i].kind);
+  }
+}
+
+TEST(VerifyCachePortable, ImportRefusesOutOfRangePatchSites) {
+  VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  VerificationCache source;
+  InsertedService svc(0, config);
+  svc.insert_into(source, config);
+  auto entries = source.export_entries();
+  ASSERT_EQ(entries.size(), 1u);
+  ASSERT_FALSE(entries[0].report.patches.empty());
+
+  // A site at (or past) text_size cannot hold an 8-byte immediate field;
+  // fail closed, including the near-wrap offsets a tampered store could
+  // claim.
+  VerificationCache fresh;
+  verifier::PortableEntry bad = entries[0];
+  bad.report.patches[0].field_addr = bad.text_size;
+  EXPECT_FALSE(fresh.import_entry(bad));
+  bad.report.patches[0].field_addr = bad.text_size - 7;
+  EXPECT_FALSE(fresh.import_entry(bad));
+  bad.report.patches[0].field_addr = ~0ull - 3;
+  EXPECT_FALSE(fresh.import_entry(bad));
+  EXPECT_EQ(fresh.size(), 0u);
+  EXPECT_EQ(fresh.stats().preloads, 0u);
+}
+
+TEST(VerifyCacheStats, MergeSumsCountersElementWise) {
+  verifier::CacheStats a;
+  a.hits = 1; a.misses = 2; a.bypasses = 3; a.insertions = 4;
+  a.verify_ns_saved = 5; a.coalesced = 6; a.evictions = 7;
+  a.parent_hits = 8; a.preloads = 9;
+  verifier::CacheStats b;
+  b.hits = 10; b.misses = 20; b.bypasses = 30; b.insertions = 40;
+  b.verify_ns_saved = 50; b.coalesced = 60; b.evictions = 70;
+  b.parent_hits = 80; b.preloads = 90;
+  a += b;
+  EXPECT_EQ(a.hits, 11u);
+  EXPECT_EQ(a.misses, 22u);
+  EXPECT_EQ(a.bypasses, 33u);
+  EXPECT_EQ(a.insertions, 44u);
+  EXPECT_EQ(a.verify_ns_saved, 55u);
+  EXPECT_EQ(a.coalesced, 66u);
+  EXPECT_EQ(a.evictions, 77u);
+  EXPECT_EQ(a.parent_hits, 88u);
+  EXPECT_EQ(a.preloads, 99u);
+}
+
 }  // namespace
 }  // namespace deflection::testing

@@ -1,0 +1,339 @@
+// ShardedFrontEnd (frontend/frontend.h): consistent-hash placement,
+// cross-shard warm admission through the shared parent cache, migration
+// (drain -> warm re-admit -> flip), rebalance, kill/respawn with warm
+// re-admission, stats rollup (= sum of per-shard snapshots, the satellite
+// merge-operator contract), and warm boot from the sealed persistent store
+// across a whole front-end restart.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <thread>
+
+#include "frontend/frontend.h"
+#include "test_helpers.h"
+
+namespace deflection::testing {
+namespace {
+
+using frontend::FrontEndOptions;
+using frontend::ShardedFrontEnd;
+
+core::BootstrapConfig platform_config() {
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  return config;
+}
+
+std::string tenant_source(int tenant) {
+  return R"(
+  int main() {
+    byte* buf = alloc(64);
+    int n = ocall_recv(buf, 64);
+    if (n < 1) { return 1; }
+    int acc = 0;
+    for (int i = 0; i < n; i += 1) { acc += buf[i] * buf[i]; }
+    int v = acc % )" + std::to_string(251 - tenant) + R"(;
+    byte* out = alloc(8);
+    for (int i = 0; i < 8; i += 1) { out[i] = (v >> (i * 8)) & 255; }
+    ocall_send(out, 8);
+    return 0;
+  }
+)";
+}
+
+FrontEndOptions small_frontend(int shards, int slots_per_shard = 1) {
+  FrontEndOptions options;
+  options.shards = shards;
+  options.slots_per_shard = slots_per_shard;
+  options.shard.config = platform_config();
+  return options;
+}
+
+// Tenant ids "t-0", "t-1", ... until one lands (by the pure ring) on each
+// requested shard; the ring is deterministic, so these probes are stable.
+std::string id_on_shard(const ShardedFrontEnd& fe, int shard) {
+  for (int i = 0; i < 4096; ++i) {
+    std::string id = "t-" + std::to_string(i);
+    if (fe.home_shard(id) == shard) return id;
+  }
+  ADD_FAILURE() << "no probe id landed on shard " << shard;
+  return "t-0";
+}
+
+TEST(FrontEnd, PlacementIsDeterministicAndCoversEveryShard) {
+  auto fe = ShardedFrontEnd::create(small_frontend(4));
+  ASSERT_TRUE(fe.is_ok()) << fe.message();
+  auto other = ShardedFrontEnd::create(small_frontend(4));
+  ASSERT_TRUE(other.is_ok()) << other.message();
+
+  std::set<int> seen;
+  for (int i = 0; i < 64; ++i) {
+    std::string id = "tenant-" + std::to_string(i);
+    int home = fe.value()->home_shard(id);
+    ASSERT_GE(home, 0);
+    ASSERT_LT(home, 4);
+    // Placement is a pure function of the id: two independently built
+    // front-ends agree, so a restarted deployment routes identically.
+    EXPECT_EQ(home, other.value()->home_shard(id));
+    seen.insert(home);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // 64 ids over 4 shards must touch them all
+}
+
+TEST(FrontEnd, CrossShardAdmissionIsWarmThroughTheSharedCache) {
+  auto fe = ShardedFrontEnd::create(small_frontend(2));
+  ASSERT_TRUE(fe.is_ok()) << fe.message();
+  std::string on0 = id_on_shard(*fe.value(), 0);
+  std::string on1 = id_on_shard(*fe.value(), 1);
+
+  // The SAME binary registered on two different shards: the second shard
+  // must adopt the first's verdict through the parent, not re-verify.
+  codegen::Dxo dxo = compile_or_die(tenant_source(0), PolicySet::p1to5()).dxo;
+  auto first = fe.value()->register_tenant(on0, dxo);
+  ASSERT_TRUE(first.is_ok()) << first.message();
+  auto second = fe.value()->register_tenant(on1, dxo);
+  ASSERT_TRUE(second.is_ok()) << second.message();
+  EXPECT_EQ(first.value(), second.value());  // same bytes, same digest
+  EXPECT_EQ(fe.value()->shard_of(on0), 0);
+  EXPECT_EQ(fe.value()->shard_of(on1), 1);
+
+  auto stats = fe.value()->stats();
+  EXPECT_EQ(stats.total.cache.misses, 1u);       // exactly one full verification
+  EXPECT_GE(stats.total.cache.parent_hits, 1u);  // the other shard went warm
+  EXPECT_EQ(stats.shared_cache.insertions, 1u);  // write-through reached the parent
+
+  // Both tenants actually serve.
+  Bytes payload = {5, 9};
+  EXPECT_TRUE(fe.value()->submit(on0, BytesView(payload)).is_ok());
+  EXPECT_TRUE(fe.value()->submit(on1, BytesView(payload)).is_ok());
+}
+
+TEST(FrontEnd, RollupEqualsSumOfPerShardSnapshotsUnderConcurrentLoad) {
+  auto fe = ShardedFrontEnd::create(small_frontend(2));
+  ASSERT_TRUE(fe.is_ok()) << fe.message();
+  std::string on0 = id_on_shard(*fe.value(), 0);
+  std::string on1 = id_on_shard(*fe.value(), 1);
+  ASSERT_TRUE(fe.value()
+                  ->register_tenant(on0, compile_or_die(tenant_source(0),
+                                                        PolicySet::p1to5()).dxo)
+                  .is_ok());
+  ASSERT_TRUE(fe.value()
+                  ->register_tenant(on1, compile_or_die(tenant_source(1),
+                                                        PolicySet::p1to5()).dxo)
+                  .is_ok());
+
+  constexpr int kClients = 4, kPerClient = 16;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        Bytes payload = {static_cast<std::uint8_t>(i + 1),
+                         static_cast<std::uint8_t>(c + 1)};
+        const std::string& id = (c + i) % 2 == 0 ? on0 : on1;
+        EXPECT_TRUE(fe.value()->submit(id, BytesView(payload)).is_ok());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // The satellite contract: total == sum over the per-shard snapshots via
+  // the merge operators, field for field.
+  auto stats = fe.value()->stats();
+  registry::RouterStats sum;
+  for (const auto& shard : stats.shards) sum += shard;
+  EXPECT_EQ(stats.total.requests_served, sum.requests_served);
+  EXPECT_EQ(stats.total.requests_failed, sum.requests_failed);
+  EXPECT_EQ(stats.total.total_cost, sum.total_cost);
+  EXPECT_EQ(stats.total.cache.hits, sum.cache.hits);
+  EXPECT_EQ(stats.total.cache.misses, sum.cache.misses);
+  EXPECT_EQ(stats.total.scheduler.binds, sum.scheduler.binds);
+  EXPECT_EQ(stats.total.tenants.size(), sum.tenants.size());
+  for (const auto& [id, ts] : stats.total.tenants) {
+    ASSERT_TRUE(sum.tenants.count(id) != 0) << id;
+    EXPECT_EQ(ts.served, sum.tenants.at(id).served) << id;
+    EXPECT_EQ(ts.submitted, sum.tenants.at(id).submitted) << id;
+  }
+  // And the rollup matches the client-side ground truth.
+  EXPECT_EQ(stats.total.requests_served,
+            static_cast<std::uint64_t>(kClients) * kPerClient);
+  EXPECT_EQ(stats.total.requests_failed, 0u);
+  // Per-shard slot fleets stay distinct in the rollup (concatenated, not
+  // collapsed): 2 shards x 1 slot.
+  EXPECT_EQ(stats.total.scheduler.slots.size(), 2u);
+}
+
+TEST(FrontEnd, MigrationDrainsThenReadmitsWarm) {
+  auto fe = ShardedFrontEnd::create(small_frontend(2));
+  ASSERT_TRUE(fe.is_ok()) << fe.message();
+  std::string id = id_on_shard(*fe.value(), 0);
+  ASSERT_TRUE(fe.value()
+                  ->register_tenant(id, compile_or_die(tenant_source(0),
+                                                       PolicySet::p1to5()).dxo)
+                  .is_ok());
+  Bytes payload = {1, 2};
+  ASSERT_TRUE(fe.value()->submit(id, BytesView(payload)).is_ok());
+
+  ASSERT_TRUE(fe.value()->migrate_tenant(id, 1).is_ok());
+  EXPECT_EQ(fe.value()->shard_of(id), 1);
+  EXPECT_EQ(fe.value()->home_shard(id), 0);  // the ring itself never moves
+
+  // Serving continues on the new shard, and the move replayed the cached
+  // verdict instead of re-verifying: still exactly one miss front-end-wide.
+  EXPECT_TRUE(fe.value()->submit(id, BytesView(payload)).is_ok());
+  auto stats = fe.value()->stats();
+  EXPECT_EQ(stats.migrations, 1u);
+  EXPECT_EQ(stats.total.cache.misses, 1u);
+  EXPECT_GE(stats.total.cache.parent_hits, 1u);
+  // Nothing served before the move is lost to the rollup (the old shard
+  // keeps the drained tenant's final counters).
+  EXPECT_EQ(stats.total.requests_served, 2u);
+
+  // Migrating to where it already lives is a clean no-op.
+  ASSERT_TRUE(fe.value()->migrate_tenant(id, 1).is_ok());
+  EXPECT_EQ(fe.value()->stats().migrations, 1u);
+}
+
+TEST(FrontEnd, RebalanceSpreadsAStackedShard) {
+  auto fe = ShardedFrontEnd::create(small_frontend(2));
+  ASSERT_TRUE(fe.is_ok()) << fe.message();
+
+  // Stack 4 tenants onto shard 0 (migrating away any the ring spread out),
+  // then ask rebalance to flatten the skew.
+  std::vector<std::string> ids;
+  for (int t = 0; t < 4; ++t) {
+    std::string id = "stacked-" + std::to_string(t);
+    ASSERT_TRUE(fe.value()
+                    ->register_tenant(id, compile_or_die(tenant_source(t),
+                                                         PolicySet::p1to5()).dxo)
+                    .is_ok());
+    if (fe.value()->shard_of(id) != 0)
+      ASSERT_TRUE(fe.value()->migrate_tenant(id, 0).is_ok());
+    ids.push_back(std::move(id));
+  }
+
+  auto moved = fe.value()->rebalance(/*tolerance=*/1);
+  ASSERT_TRUE(moved.is_ok()) << moved.message();
+  EXPECT_GE(moved.value(), 1);
+  std::size_t on0 = 0, on1 = 0;
+  for (const auto& id : ids) (fe.value()->shard_of(id) == 0 ? on0 : on1) += 1;
+  EXPECT_LE(on0 > on1 ? on0 - on1 : on1 - on0, 1u);
+  // Every tenant still serves from wherever it ended up.
+  Bytes payload = {2, 2};
+  for (const auto& id : ids)
+    EXPECT_TRUE(fe.value()->submit(id, BytesView(payload)).is_ok());
+}
+
+TEST(FrontEnd, KillShardFailsFastAndRespawnRestoresWarm) {
+  auto fe = ShardedFrontEnd::create(small_frontend(2));
+  ASSERT_TRUE(fe.is_ok()) << fe.message();
+  std::string on0 = id_on_shard(*fe.value(), 0);
+  std::string on1 = id_on_shard(*fe.value(), 1);
+  ASSERT_TRUE(fe.value()
+                  ->register_tenant(on0, compile_or_die(tenant_source(0),
+                                                        PolicySet::p1to5()).dxo)
+                  .is_ok());
+  ASSERT_TRUE(fe.value()
+                  ->register_tenant(on1, compile_or_die(tenant_source(1),
+                                                        PolicySet::p1to5()).dxo)
+                  .is_ok());
+  Bytes payload = {4, 4};
+  ASSERT_TRUE(fe.value()->submit(on0, BytesView(payload)).is_ok());
+  std::uint64_t misses_before = fe.value()->stats().total.cache.misses;
+  EXPECT_EQ(misses_before, 2u);  // two distinct binaries, one verify each
+
+  ASSERT_TRUE(fe.value()->kill_shard(0).is_ok());
+  EXPECT_FALSE(fe.value()->shard_alive(0));
+
+  // The dead shard's tenant fails fast; the other shard is untouched.
+  auto down = fe.value()->submit(on0, BytesView(payload));
+  ASSERT_FALSE(down.is_ok());
+  EXPECT_EQ(down.code(), "shard_down");
+  EXPECT_TRUE(fe.value()->submit(on1, BytesView(payload)).is_ok());
+
+  // A duplicate kill is a harmless no-op; a respawn of a live shard is not.
+  EXPECT_TRUE(fe.value()->kill_shard(0).is_ok());
+  EXPECT_EQ(fe.value()->respawn_shard(1).code(), "shard_up");
+
+  auto respawned = fe.value()->respawn_shard(0);
+  ASSERT_TRUE(respawned.is_ok()) << respawned.message();
+  EXPECT_EQ(respawned.value(), 1);  // one tenant homed there, re-admitted
+  EXPECT_TRUE(fe.value()->shard_alive(0));
+  EXPECT_TRUE(fe.value()->submit(on0, BytesView(payload)).is_ok());
+
+  auto stats = fe.value()->stats();
+  EXPECT_EQ(stats.respawns, 1u);
+  EXPECT_GE(stats.rejected_shard_down, 1u);
+  // The respawn admitted from the shared cache: ZERO new full
+  // verifications.
+  EXPECT_EQ(stats.total.cache.misses, misses_before);
+  // Nothing the dead generation served is forgotten: 1 pre-kill + 1 on the
+  // live shard + 1 post-respawn.
+  EXPECT_EQ(stats.total.requests_served, 3u);
+}
+
+TEST(FrontEnd, RestartBootsWarmFromSealedStoreAlone) {
+  const std::string path = ::testing::TempDir() + "frontend_sealed_restart.bin";
+  std::remove(path.c_str());
+  FrontEndOptions options = small_frontend(2);
+  options.sealed_store_path = path;
+  options.platform.platform_id = "restart-test";
+
+  codegen::Dxo dxo0 = compile_or_die(tenant_source(0), PolicySet::p1to5()).dxo;
+  codegen::Dxo dxo1 = compile_or_die(tenant_source(1), PolicySet::p1to5()).dxo;
+  Bytes payload = {7, 3};
+  std::vector<Bytes> expected;
+  {
+    auto fe = ShardedFrontEnd::create(options);
+    ASSERT_TRUE(fe.is_ok()) << fe.message();
+    ASSERT_TRUE(fe.value()->register_tenant("alpha", dxo0).is_ok());
+    ASSERT_TRUE(fe.value()->register_tenant("beta", dxo1).is_ok());
+    auto response = fe.value()->submit("alpha", BytesView(payload));
+    ASSERT_TRUE(response.is_ok()) << response.message();
+    expected = response.take();
+    EXPECT_EQ(fe.value()->stats().total.cache.misses, 2u);
+    fe.value()->stop();  // seals on the way down
+  }
+
+  // A brand-new front-end process: every verdict must come from the sealed
+  // file — zero full verifications — and serving must be byte-identical.
+  auto fresh = ShardedFrontEnd::create(options);
+  ASSERT_TRUE(fresh.is_ok()) << fresh.message();
+  EXPECT_EQ(fresh.value()->stats().sealed_records_loaded, 2u);
+  EXPECT_EQ(fresh.value()->stats().sealed_records_discarded, 0u);
+  ASSERT_TRUE(fresh.value()->register_tenant("alpha", dxo0).is_ok());
+  ASSERT_TRUE(fresh.value()->register_tenant("beta", dxo1).is_ok());
+  auto stats = fresh.value()->stats();
+  EXPECT_EQ(stats.total.cache.misses, 0u);  // warm boot: nothing re-verified
+  EXPECT_GE(stats.total.cache.parent_hits, 2u);
+
+  auto response = fresh.value()->submit("alpha", BytesView(payload));
+  ASSERT_TRUE(response.is_ok()) << response.message();
+  EXPECT_EQ(response.value(), expected);
+  std::remove(path.c_str());
+}
+
+TEST(FrontEnd, IntakeRejectionsArePromptAndNamed) {
+  auto fe = ShardedFrontEnd::create(small_frontend(2));
+  ASSERT_TRUE(fe.is_ok()) << fe.message();
+  Bytes payload = {1};
+  auto unknown = fe.value()->submit("nobody", BytesView(payload));
+  ASSERT_FALSE(unknown.is_ok());
+  EXPECT_EQ(unknown.code(), "unknown_tenant");
+
+  std::string id = id_on_shard(*fe.value(), 0);
+  codegen::Dxo dxo = compile_or_die(tenant_source(0), PolicySet::p1to5()).dxo;
+  ASSERT_TRUE(fe.value()->register_tenant(id, dxo).is_ok());
+  EXPECT_EQ(fe.value()->register_tenant(id, dxo).code(), "tenant_exists");
+  EXPECT_EQ(fe.value()->migrate_tenant(id, 9).code(), "bad_shard");
+  EXPECT_EQ(fe.value()->kill_shard(9).code(), "bad_shard");
+
+  fe.value()->stop();
+  auto stopped = fe.value()->submit(id, BytesView(payload));
+  ASSERT_FALSE(stopped.is_ok());
+  EXPECT_EQ(stopped.code(), "stopped");
+  EXPECT_EQ(fe.value()->register_tenant("late", dxo).code(), "stopped");
+}
+
+}  // namespace
+}  // namespace deflection::testing

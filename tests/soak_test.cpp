@@ -1,0 +1,328 @@
+// Scale-out soak: the sharded front-end under kill/respawn chaos.
+//
+// The tentpole is Soak.KillRespawnUnderLoad — the ISSUE-8 acceptance
+// drill: closed-loop clients drive a 2-shard front-end (sealed store on,
+// fault sites armed, retries on) while a chaos thread kills and respawns
+// shards mid-flight. Invariants:
+//   1. every submitted future resolves exactly once (a kill never strands
+//      an accepted request — the dying shard serves its backlog);
+//   2. every successful response is byte-identical to a fault-free oracle;
+//   3. ZERO re-verification: the front-end-wide full-verifier count (cache
+//      misses across every shard cache) stays at the distinct-binary count
+//      from setup — every respawn re-admits warm through the shared cache;
+//   4. the client tally matches the stats rollup (nothing a dead shard did
+//      is forgotten);
+//   5. p95 of successful requests stays within a generous multiple of the
+//      committed serving baseline (BENCH_serving.json) — a regression
+//      tripwire, the tight gate lives in bench_frontend_shards --check.
+// Runs under plain and TSan builds via `tools/check.sh --soak`.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "frontend/frontend.h"
+#include "test_helpers.h"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define DEFLECTION_SOAK_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define DEFLECTION_SOAK_SANITIZED 1
+#endif
+#endif
+
+namespace deflection::testing {
+namespace {
+
+using namespace std::chrono_literals;
+using frontend::FrontEndOptions;
+using frontend::ShardedFrontEnd;
+
+core::BootstrapConfig platform_config() {
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  return config;
+}
+
+std::string tenant_source(int tenant) {
+  return R"(
+  int main() {
+    byte* buf = alloc(64);
+    int n = ocall_recv(buf, 64);
+    if (n < 1) { return 1; }
+    int acc = 0;
+    for (int i = 0; i < n; i += 1) { acc += buf[i] * buf[i]; }
+    int v = acc % )" + std::to_string(251 - tenant) + R"(;
+    byte* out = alloc(8);
+    for (int i = 0; i < 8; i += 1) { out[i] = (v >> (i * 8)) & 255; }
+    ocall_send(out, 8);
+    return 0;
+  }
+)";
+}
+
+// Committed serving baseline (registry_p95_us from BENCH_serving.json) for
+// the soak's latency tripwire; falls back to a constant if the file moved.
+double committed_registry_p95_us() {
+  std::ifstream in(std::string(DEFLECTION_SOURCE_DIR) + "/../BENCH_serving.json");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto pos = text.find("\"registry_p95_us\"");
+  if (pos == std::string::npos) return 300.0;
+  pos = text.find(':', pos);
+  if (pos == std::string::npos) return 300.0;
+  return std::strtod(text.c_str() + pos + 1, nullptr);
+}
+
+TEST(Soak, KillRespawnUnderLoad) {
+  const auto soak_start = std::chrono::steady_clock::now();
+  constexpr int kShards = 2;
+  constexpr int kSlotsPerShard = 2;
+  constexpr int kTenants = 8;
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 128;  // 512 submits total
+  constexpr int kPayloads = 8;
+  constexpr double kFaultRate = 0.02;
+
+  const std::string sealed_path = ::testing::TempDir() + "soak_sealed_store.bin";
+  std::remove(sealed_path.c_str());
+
+  auto plan = std::make_shared<FaultPlan>(0x50AC'5EED);
+  FrontEndOptions options;
+  options.shards = kShards;
+  options.slots_per_shard = kSlotsPerShard;
+  options.shard.config = platform_config();
+  options.shard.fault_plan = plan;
+  options.shard.retry.max_attempts = 3;
+  options.shard.retry.backoff_base = 100us;
+  options.shard.retry.backoff_max = 2ms;
+  options.shard.reprovision_backoff_base = 200us;
+  options.shard.reprovision_backoff_max = 5ms;
+  options.sealed_store_path = sealed_path;
+  options.platform.platform_id = "soak-platform";
+  auto fe = ShardedFrontEnd::create(options);
+  ASSERT_TRUE(fe.is_ok()) << fe.message();
+
+  // Register every tenant and build the fault-free oracle BEFORE arming
+  // any site, so setup admissions are clean and the oracle is ground truth.
+  std::vector<std::string> ids;
+  std::vector<std::vector<Bytes>> payloads;  // [payload index] -> bytes
+  std::map<std::string, std::vector<std::vector<Bytes>>> oracle;
+  sgx::AttestationService oracle_as;
+  for (int t = 0; t < kTenants; ++t) {
+    codegen::Dxo dxo = compile_or_die(tenant_source(t), PolicySet::p1to5()).dxo;
+    std::string id = "soak-" + std::to_string(t);
+    ASSERT_TRUE(fe.value()->register_tenant(id, dxo).is_ok());
+    core::ServiceWorker reference(oracle_as, platform_config(), t,
+                                  "oracle-platform-", "oracle " + std::to_string(t));
+    ASSERT_TRUE(reference.provision(dxo, false).is_ok());
+    auto& expected = oracle[id];
+    for (int p = 0; p < kPayloads; ++p) {
+      Bytes payload = {static_cast<std::uint8_t>(p + 1),
+                       static_cast<std::uint8_t>(t + 1)};
+      auto response = reference.serve(payload);
+      ASSERT_TRUE(response.is_ok()) << response.message();
+      expected.push_back(response.take());
+    }
+    ids.push_back(std::move(id));
+  }
+  const std::uint64_t setup_misses = fe.value()->stats().total.cache.misses;
+  EXPECT_EQ(setup_misses, static_cast<std::uint64_t>(kTenants));
+
+  for (const char* site :
+       {fault_site::kProvision, fault_site::kServe, fault_site::kSealInput,
+        fault_site::kEcallRun, fault_site::kCacheLookup, fault_site::kSlotBind,
+        fault_site::kQuoteVerify}) {
+    FaultSpec spec;
+    spec.probability = kFaultRate;
+    plan->arm(site, spec);
+  }
+
+  // Chaos thread: kill a shard, let traffic hit the stump, respawn it warm;
+  // alternate shards so at least one is always up.
+  std::atomic<bool> running{true};
+  std::atomic<std::uint64_t> kills{0};
+  std::thread chaos([&] {
+    int victim = 0;
+    while (running.load()) {
+      std::this_thread::sleep_for(25ms);
+      if (!running.load()) break;
+      ASSERT_TRUE(fe.value()->kill_shard(victim).is_ok());
+      ++kills;
+      std::this_thread::sleep_for(25ms);
+      auto respawned = fe.value()->respawn_shard(victim);
+      ASSERT_TRUE(respawned.is_ok()) << respawned.message();
+      victim = (victim + 1) % kShards;
+    }
+    // Leave every shard alive for the epilogue.
+    for (int s = 0; s < kShards; ++s)
+      if (!fe.value()->shard_alive(s)) (void)fe.value()->respawn_shard(s);
+  });
+
+  struct Tally {
+    std::uint64_t ok = 0, failed = 0, intake_rejected = 0, wrong_bytes = 0;
+    std::vector<std::uint64_t> latencies_us;  // successful requests only
+  };
+  const std::set<std::string> intake_codes = {
+      "circuit_open", "rate_limited", "quota_exceeded", "draining",
+      "stopped",      "unknown_tenant", "shard_down"};
+  std::vector<Tally> tallies(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Tally& tally = tallies[static_cast<std::size_t>(c)];
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        int t = (c + i) % kTenants;
+        int p = (c * 7 + i) % kPayloads;
+        Bytes payload = {static_cast<std::uint8_t>(p + 1),
+                         static_cast<std::uint8_t>(t + 1)};
+        auto begin = std::chrono::steady_clock::now();
+        auto future = fe.value()->submit_async(ids[static_cast<std::size_t>(t)],
+                                               BytesView(payload));
+        auto response = future.get();  // invariant 1: resolves exactly once
+        auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - begin)
+                           .count();
+        if (response.is_ok()) {
+          ++tally.ok;
+          tally.latencies_us.push_back(static_cast<std::uint64_t>(elapsed));
+          const auto& want = oracle[ids[static_cast<std::size_t>(t)]]
+                                   [static_cast<std::size_t>(p)];
+          if (response.value() != want) ++tally.wrong_bytes;  // invariant 2
+        } else if (intake_codes.count(response.code()) != 0) {
+          ++tally.intake_rejected;
+        } else {
+          ++tally.failed;
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  running.store(false);
+  chaos.join();
+
+  Tally total;
+  std::vector<std::uint64_t> latencies;
+  for (auto& tally : tallies) {
+    total.ok += tally.ok;
+    total.failed += tally.failed;
+    total.intake_rejected += tally.intake_rejected;
+    total.wrong_bytes += tally.wrong_bytes;
+    latencies.insert(latencies.end(), tally.latencies_us.begin(),
+                     tally.latencies_us.end());
+  }
+  EXPECT_EQ(total.wrong_bytes, 0u);
+  EXPECT_EQ(total.ok + total.failed + total.intake_rejected,
+            static_cast<std::uint64_t>(kClients) * kRequestsPerClient);
+  // The chaos must not have taken the service down.
+  EXPECT_GT(total.ok, static_cast<std::uint64_t>(kClients) * kRequestsPerClient / 2);
+  EXPECT_GT(kills.load(), 0u);
+
+  auto stats = fe.value()->stats();
+  // Invariant 4: the rollup (live + retired shard generations) matches the
+  // client-side ground truth exactly.
+  EXPECT_EQ(stats.total.requests_served, total.ok);
+  EXPECT_EQ(stats.total.requests_failed, total.failed);
+  EXPECT_GE(stats.respawns, kills.load());
+
+  // Invariant 3: ZERO re-verification across every kill/respawn cycle —
+  // the full-verifier count front-end-wide is still the setup count, and
+  // the respawned shards' re-admissions all came through the shared cache.
+  EXPECT_EQ(stats.total.cache.misses, setup_misses);
+  EXPECT_EQ(stats.shared_cache.misses, 0u);
+  if (kills.load() > 0) {
+    EXPECT_GT(stats.total.cache.parent_hits, 0u);
+  }
+
+  // Invariant 5: p95 latency tripwire against the committed baseline.
+  ASSERT_FALSE(latencies.empty());
+  std::size_t p95_index = latencies.size() * 95 / 100;
+  if (p95_index >= latencies.size()) p95_index = latencies.size() - 1;
+  std::nth_element(latencies.begin(),
+                   latencies.begin() + static_cast<std::ptrdiff_t>(p95_index),
+                   latencies.end());
+  double p95_us = static_cast<double>(latencies[p95_index]);
+  double baseline_us = committed_registry_p95_us();
+#ifdef DEFLECTION_SOAK_SANITIZED
+  double budget_us = std::max(2'500'000.0, baseline_us * 10000.0);
+#else
+  double budget_us = std::max(250'000.0, baseline_us * 1000.0);
+#endif
+  EXPECT_LT(p95_us, budget_us)
+      << "p95 " << p95_us << "us vs baseline " << baseline_us << "us";
+
+  fe.value()->stop();
+  std::remove(sealed_path.c_str());
+  EXPECT_LT(std::chrono::steady_clock::now() - soak_start, 300s);
+}
+
+TEST(Soak, TamperedSealedStoreFallsBackToColdVerification) {
+  const std::string path = ::testing::TempDir() + "soak_tampered_store.bin";
+  std::remove(path.c_str());
+  FrontEndOptions options;
+  options.shards = 2;
+  options.slots_per_shard = 1;
+  options.shard.config = platform_config();
+  options.sealed_store_path = path;
+  options.platform.platform_id = "tamper-test";
+
+  codegen::Dxo dxo0 = compile_or_die(tenant_source(0), PolicySet::p1to5()).dxo;
+  codegen::Dxo dxo1 = compile_or_die(tenant_source(1), PolicySet::p1to5()).dxo;
+  Bytes payload = {9, 1};
+  std::vector<Bytes> expected;
+  {
+    auto fe = ShardedFrontEnd::create(options);
+    ASSERT_TRUE(fe.is_ok()) << fe.message();
+    ASSERT_TRUE(fe.value()->register_tenant("alpha", dxo0).is_ok());
+    ASSERT_TRUE(fe.value()->register_tenant("beta", dxo1).is_ok());
+    auto response = fe.value()->submit("alpha", BytesView(payload));
+    ASSERT_TRUE(response.is_ok()) << response.message();
+    expected = response.take();
+    fe.value()->stop();
+  }
+
+  // Flip one ciphertext byte mid-file: the damaged record must be
+  // discarded (fail closed), never trusted — and the tenant it covered
+  // simply pays one cold verification at registration.
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.good());
+    file.seekg(0, std::ios::end);
+    auto size = static_cast<std::streamoff>(file.tellg());
+    ASSERT_GT(size, 200);
+    file.seekp(size / 2);
+    char byte = 0;
+    file.seekg(size / 2);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0xFF);
+    file.seekp(size / 2);
+    file.write(&byte, 1);
+  }
+
+  auto fe = ShardedFrontEnd::create(options);
+  ASSERT_TRUE(fe.is_ok()) << fe.message();
+  auto boot = fe.value()->stats();
+  EXPECT_GE(boot.sealed_records_discarded, 1u);
+  EXPECT_LE(boot.sealed_records_loaded, 1u);
+
+  // Both tenants still register and serve correctly: the surviving record
+  // (if any) admits warm, the damaged one re-verifies cold.
+  ASSERT_TRUE(fe.value()->register_tenant("alpha", dxo0).is_ok());
+  ASSERT_TRUE(fe.value()->register_tenant("beta", dxo1).is_ok());
+  auto stats = fe.value()->stats();
+  EXPECT_EQ(stats.total.cache.misses + stats.shared_cache.preloads, 2u);
+  auto response = fe.value()->submit("alpha", BytesView(payload));
+  ASSERT_TRUE(response.is_ok()) << response.message();
+  EXPECT_EQ(response.value(), expected);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace deflection::testing

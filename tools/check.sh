@@ -9,11 +9,17 @@
 #                               # unrecovered-UB miscompile would hit first)
 #   tools/check.sh --perf       # additionally gate VM dispatch throughput
 #                               # against BENCH_vm.json, fault-free serving
-#                               # throughput against BENCH_serving.json, and
-#                               # the sharded cold-admission speedup against
-#                               # BENCH_cold_admission.json
+#                               # throughput against BENCH_serving.json, the
+#                               # sharded cold-admission speedup against
+#                               # BENCH_cold_admission.json, and the
+#                               # front-end serving + sealed-store warm-boot
+#                               # speedup against BENCH_frontend.json
 #   tools/check.sh --chaos      # additionally run the seeded chaos soak
 #                               # (tests/chaos_test.cpp) under plain AND tsan
+#   tools/check.sh --soak       # additionally run the scale-out kill/respawn
+#                               # soak (tests/soak_test.cpp: shard kills under
+#                               # load, warm boot from the sealed store,
+#                               # byte-exact oracle) under plain AND tsan
 #   JOBS=4 tools/check.sh       # cap build/test parallelism
 #
 # Build trees are build-check-<flavor>/ at the repo root, kept apart from
@@ -24,11 +30,13 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 perf=0
 chaos=0
+soak=0
 flavors=()
 for arg in "$@"; do
   case "$arg" in
     --perf) perf=1 ;;
     --chaos) chaos=1 ;;
+    --soak) soak=1 ;;
     *) flavors+=("$arg") ;;
   esac
 done
@@ -52,7 +60,9 @@ cmake_flags_for() {
 # instead of paying a fourth full-suite run.
 ctest_filter_for() {
   case "$1" in
-    ubsan) echo "-R Vm|Engine|Block|Dispatch|Sgx" ;;
+    # SealedStoreFuzz rides along: hostile-bytes deserialization is the
+    # other place an optimized-build UB miscompile would bite.
+    ubsan) echo "-R Vm|Engine|Block|Dispatch|Sgx|SealedStore" ;;
     *) echo "" ;;
   esac
 }
@@ -98,6 +108,23 @@ if [ "$chaos" -eq 1 ]; then
   done
 fi
 
+if [ "$soak" -eq 1 ]; then
+  # The scale-out chaos drill (tests/soak_test.cpp): kill/respawn sharded
+  # front-end under closed-loop load, every accepted request resolves
+  # byte-identical to a fault-free oracle, respawned shards re-admit warm
+  # (zero re-verification), sealed-store tamper falls back cold. Plain for
+  # the byte-exact oracle and latency tripwire, tsan for the same storm
+  # with every lock/race checked.
+  for flavor in plain tsan; do
+    build_dir="$repo_root/build-check-$flavor"
+    echo "==> [soak/$flavor] build"
+    ensure_tree "$flavor" deflection_tests
+    echo "==> [soak/$flavor] kill/respawn soak (Soak*)"
+    "$build_dir/tests/deflection_tests" --gtest_filter='Soak*' \
+      | tail -n 2
+  done
+fi
+
 if [ "$perf" -eq 1 ]; then
   # Wall-clock gates, so they only make sense on the uninstrumented build:
   #  - the block engine's instructions/sec within 20% of BENCH_vm.json;
@@ -113,6 +140,7 @@ if [ "$perf" -eq 1 ]; then
   ensure_tree plain bench_pool_throughput
   ensure_tree plain bench_registry_multitenant
   ensure_tree plain bench_cold_admission
+  ensure_tree plain bench_frontend_shards
   echo "==> [perf] bench_vm_dispatch --check BENCH_vm.json"
   "$perf_dir/bench/bench_vm_dispatch" --check "$repo_root/BENCH_vm.json"
   echo "==> [perf] bench_pool_throughput --check BENCH_serving.json"
@@ -121,6 +149,8 @@ if [ "$perf" -eq 1 ]; then
   "$perf_dir/bench/bench_registry_multitenant" --check "$repo_root/BENCH_serving.json"
   echo "==> [perf] bench_cold_admission --check BENCH_cold_admission.json"
   "$perf_dir/bench/bench_cold_admission" --check "$repo_root/BENCH_cold_admission.json"
+  echo "==> [perf] bench_frontend_shards --check BENCH_frontend.json"
+  "$perf_dir/bench/bench_frontend_shards" --check "$repo_root/BENCH_frontend.json"
 fi
 
 echo "==> all flavors passed: ${flavors[*]}"

@@ -5,6 +5,7 @@
 //   deflectc verify  <in.dxo> [--required SET]
 //   deflectc run     <in.dxo> [--required SET] [--input FILE]...
 //   deflectc serve   <id=service.dxo>... [--slots N] [--required SET]
+//   deflectc cache-dump <store.bin>
 //
 // SET is one of: none, p1, p1p2, p1to5, p1to6 (default p1to5).
 #include <cstdio>
@@ -16,6 +17,7 @@
 #include "core/protocol.h"
 #include "isa/decode.h"
 #include "registry/router.h"
+#include "verifier/sealed_store.h"
 #include "verifier/verify.h"
 
 using namespace deflection;
@@ -30,6 +32,7 @@ int usage() {
                "  deflectc verify  <in.dxo> [--required SET]\n"
                "  deflectc run     <in.dxo> [--required SET] [--input FILE]...\n"
                "  deflectc serve   <id=service.dxo>... [--slots N] [--required SET]\n"
+               "  deflectc cache-dump <store.bin>\n"
                "SET: none | p1 | p1p2 | p1to5 | p1to6 (default p1to5)\n"
                "serve reads requests from stdin, one per line: <tenant-id> <hex-payload>\n");
   return 2;
@@ -374,6 +377,40 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+// Inspect a sealed admission-cache store without the platform key: the
+// record keys (binary digest, policy mask, config fingerprint) and framing
+// are authenticated-but-plaintext, so an operator can audit WHICH verdicts
+// a store carries; the verdict bodies stay sealed.
+int cmd_cache_dump(int argc, char** argv) {
+  if (argc < 3) return usage();
+  Bytes wire;
+  if (!read_file(argv[2], wire)) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+    return 1;
+  }
+  auto dump = verifier::SealedCacheStore::dump(BytesView(wire));
+  if (!dump.header_ok) {
+    std::fprintf(stderr, "not a sealed admission-cache store (bad magic)\n");
+    return 1;
+  }
+  std::printf("sealed admission cache v%u\n", dump.version);
+  std::printf("platform: %s\n", dump.platform_id.c_str());
+  std::printf("records: %llu declared, %zu readable%s, trailer MAC %s\n",
+              static_cast<unsigned long long>(dump.record_count),
+              dump.records.size(), dump.truncated ? " (TRUNCATED)" : "",
+              dump.mac_present ? "present" : "MISSING");
+  for (std::size_t i = 0; i < dump.records.size(); ++i) {
+    const auto& rec = dump.records[i];
+    std::printf("  [%zu] digest=%s\n", i,
+                to_hex(BytesView(rec.digest.data(), rec.digest.size())).c_str());
+    std::printf("      policies=%s config=%s body=%llu bytes (sealed)\n",
+                PolicySet(rec.policy_mask).to_string().c_str(),
+                to_hex(BytesView(rec.config.data(), rec.config.size())).c_str(),
+                static_cast<unsigned long long>(rec.body_len));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -384,5 +421,6 @@ int main(int argc, char** argv) {
   if (cmd == "verify") return cmd_verify(argc, argv);
   if (cmd == "run") return cmd_run(argc, argv);
   if (cmd == "serve") return cmd_serve(argc, argv);
+  if (cmd == "cache-dump") return cmd_cache_dump(argc, argv);
   return usage();
 }
