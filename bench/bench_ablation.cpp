@@ -133,7 +133,7 @@ void part_d_codegen_quality() {
     bool ok = true;
     for (int opt = 0; opt < 2; ++opt) {
       codegen::InstrumentOptions options;
-      options.optimize = opt == 1;
+      options.opt_level = opt;
       auto base = codegen::compile(src, PolicySet::none(), &options);
       auto inst = codegen::compile(src, PolicySet::p1to5(), &options);
       if (!base.is_ok() || !inst.is_ok()) { ok = false; break; }

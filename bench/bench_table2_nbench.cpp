@@ -6,22 +6,157 @@
 // per configuration because the cost is exactly reproducible.
 //
 // Flags:
-//   --json  emit machine-readable results on stdout
+//   --json          emit machine-readable results on stdout, including the
+//                   optimizer section (per-kernel P1-P6 overhead at -O0 and
+//                   -O2 against same-opt-level uninstrumented baselines)
+//   --check <file>  run the optimizer measurement, then gate: -O2 must cut
+//                   the P1-P6 geomean overhead by >= 15% relative to -O0,
+//                   and the -O2 geomean must stay within 25% of the
+//                   committed baseline (BENCH_codegen.json). Used by
+//                   `tools/check.sh --perf`.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "codegen/compile.h"
 #include "workloads/runner.h"
 #include "workloads/workloads.h"
 
 using namespace deflection;
 
+namespace {
+
+struct OptRow {
+  std::string name;
+  double overhead[2];  // P1-P6 overhead % at -O0 and at -O2
+};
+
+// Per-kernel instrumented-vs-uninstrumented overhead at -O0 and -O2. Both
+// sides of each ratio are compiled at the SAME opt level, so the column
+// isolates what guard reduction buys on the annotations rather than what
+// the peephole buys on the program itself.
+bool measure_codegen(std::vector<OptRow>* table, double geomean[2]) {
+  const int levels[2] = {0, 2};
+  double geo_sum[2] = {0, 0};
+  for (const auto& kernel : workloads::nbench_kernels()) {
+    std::string src = workloads::with_params(kernel.source, kernel.bench_params);
+    core::BootstrapConfig bench_config;
+    bench_config.aex.interval_cost = 20'000'000;
+
+    OptRow row;
+    row.name = kernel.name;
+    bool ok = true;
+    std::uint64_t exit_codes[2] = {0, 0};
+    for (int c = 0; c < 2 && ok; ++c) {
+      codegen::InstrumentOptions options;
+      options.opt_level = levels[c];
+      auto base_built = codegen::compile(src, PolicySet::none(), &options);
+      auto instr_built = codegen::compile(src, PolicySet::p1to6(), &options);
+      if (!base_built.is_ok() || !instr_built.is_ok()) {
+        std::fprintf(stderr, "%-18s  -O%d compile FAILED\n", kernel.name, levels[c]);
+        ok = false;
+        break;
+      }
+      core::BootstrapConfig verify_config = bench_config;
+      verify_config.verify.required = PolicySet::p1to6();
+      auto base = workloads::run_dxo(base_built.value().dxo, PolicySet::none(),
+                                     bench_config);
+      auto instr = workloads::run_dxo(instr_built.value().dxo, PolicySet::p1to6(),
+                                      verify_config);
+      if (!base.is_ok() || !instr.is_ok() || instr.value().outcome.policy_violation) {
+        std::fprintf(stderr, "%-18s  -O%d run FAILED\n", kernel.name, levels[c]);
+        ok = false;
+        break;
+      }
+      exit_codes[c] = instr.value().outcome.result.exit_code;
+      if (instr.value().outcome.result.exit_code !=
+          base.value().outcome.result.exit_code) {
+        std::fprintf(stderr, "%-18s  -O%d CHECKSUM MISMATCH vs baseline\n",
+                     kernel.name, levels[c]);
+        ok = false;
+        break;
+      }
+      row.overhead[c] = 100.0 *
+                        (static_cast<double>(instr.value().cost) -
+                         static_cast<double>(base.value().cost)) /
+                        static_cast<double>(base.value().cost);
+    }
+    if (!ok) return false;
+    if (exit_codes[0] != exit_codes[1]) {
+      std::fprintf(stderr, "%-18s  -O2 CHECKSUM diverges from -O0\n", kernel.name);
+      return false;
+    }
+    for (int c = 0; c < 2; ++c) geo_sum[c] += std::log1p(row.overhead[c] / 100.0);
+    table->push_back(row);
+  }
+  if (table->empty()) return false;
+  for (int c = 0; c < 2; ++c)
+    geomean[c] =
+        100.0 * std::expm1(geo_sum[c] / static_cast<double>(table->size()));
+  return true;
+}
+
+// Minimal extractor for the keys --check needs from our own JSON format.
+double json_number_after(const std::string& text, const std::string& key) {
+  auto pos = text.find("\"" + key + "\":");
+  if (pos == std::string::npos) return -1e18;
+  return std::strtod(text.c_str() + pos + key.size() + 3, nullptr);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool json = false;
-  for (int i = 1; i < argc; ++i)
+  const char* check_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc)
+      check_path = argv[++i];
+  }
+
+  if (check_path != nullptr) {
+    std::vector<OptRow> opt_table;
+    double opt_geomean[2] = {0, 0};
+    if (!measure_codegen(&opt_table, opt_geomean)) return 1;
+    double reduction_pct =
+        opt_geomean[0] > 0
+            ? 100.0 * (1.0 - opt_geomean[1] / opt_geomean[0])
+            : 0;
+    std::ifstream in(check_path);
+    if (!in) {
+      std::fprintf(stderr, "--check: cannot open %s\n", check_path);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    double baseline_o2 = json_number_after(buf.str(), "geomean_O2");
+    if (baseline_o2 <= -1e17) {
+      std::fprintf(stderr, "--check: no geomean_O2 in %s\n", check_path);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "--check: P1-P6 geomean overhead -O0 %.2f%%, -O2 %.2f%% "
+                 "(%.1f%% reduction); committed -O2 baseline %.2f%%\n",
+                 opt_geomean[0], opt_geomean[1], reduction_pct, baseline_o2);
+    if (reduction_pct < 15.0) {
+      std::fprintf(stderr,
+                   "--check: FAIL — -O2 cuts the geomean overhead by only "
+                   "%.1f%%, want >= 15%%\n",
+                   reduction_pct);
+      return 1;
+    }
+    if (opt_geomean[1] > baseline_o2 * 1.25 + 0.5) {
+      std::fprintf(stderr,
+                   "--check: FAIL — -O2 geomean overhead regressed >25%% vs %s\n",
+                   check_path);
+      return 1;
+    }
+    return 0;
+  }
 
   struct Config {
     const char* label;
@@ -82,6 +217,14 @@ int main(int argc, char** argv) {
     for (int c = 0; c < 4; ++c)
       geomean[c] = 100.0 * std::expm1(geo_sum[c] / static_cast<double>(table.size()));
 
+  std::vector<OptRow> opt_table;
+  double opt_geomean[2] = {0, 0};
+  bool opt_ok = measure_codegen(&opt_table, opt_geomean);
+  double reduction_pct =
+      opt_ok && opt_geomean[0] > 0
+          ? 100.0 * (1.0 - opt_geomean[1] / opt_geomean[0])
+          : 0;
+
   if (json) {
     std::printf("{\n  \"bench\": \"table2_nbench\",\n  \"kernels\": [\n");
     for (std::size_t i = 0; i < table.size(); ++i) {
@@ -93,8 +236,16 @@ int main(int argc, char** argv) {
     std::printf("  ],\n  \"geomean\": {");
     for (int c = 0; c < 4; ++c)
       std::printf("\"%s\": %.2f%s", configs[c].label, geomean[c], c < 3 ? ", " : "");
-    std::printf("}\n}\n");
-    return 0;
+    std::printf("},\n");
+    std::printf("  \"codegen\": {\n    \"kernels\": [\n");
+    for (std::size_t i = 0; i < opt_table.size(); ++i)
+      std::printf("      {\"name\": \"%s\", \"O0\": %.2f, \"O2\": %.2f}%s\n",
+                  opt_table[i].name.c_str(), opt_table[i].overhead[0],
+                  opt_table[i].overhead[1], i + 1 < opt_table.size() ? "," : "");
+    std::printf("    ],\n    \"geomean\": {\"O0\": %.2f, \"O2\": %.2f},\n",
+                opt_geomean[0], opt_geomean[1]);
+    std::printf("    \"reduction_pct\": %.2f\n  }\n}\n", reduction_pct);
+    return opt_ok ? 0 : 1;
   }
 
   std::printf("Table II: performance overhead on nBench (vs. in-enclave baseline)\n");
@@ -111,5 +262,15 @@ int main(int argc, char** argv) {
         "\nPaper reference: ~10%% overhead without side-channel mitigation\n"
         "(P1-P5) and ~20%% with it (P1-P6), ordering P1 < P1+P2 < P1-P5 < P1-P6.\n");
   }
-  return 0;
+
+  if (opt_ok) {
+    std::printf("\nAnnotation optimizer: P1-P6 overhead vs same-opt baseline\n");
+    std::printf("%-18s %10s %10s\n", "Program Name", "-O0", "-O2");
+    for (const auto& row : opt_table)
+      std::printf("%-18s %+9.2f%% %+9.2f%%\n", row.name.c_str(), row.overhead[0],
+                  row.overhead[1]);
+    std::printf("%-18s %+9.2f%% %+9.2f%%   (-O2 cuts geomean overhead %.1f%%)\n",
+                "GEOMETRIC MEAN", opt_geomean[0], opt_geomean[1], reduction_pct);
+  }
+  return opt_ok ? 0 : 1;
 }

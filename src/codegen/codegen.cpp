@@ -25,10 +25,7 @@ using minic::Type;
 
 namespace {
 
-// Frame layout (all RSP-relative, within the kRspSlack exemption window):
-//   [0, kTempArea)              expression temporaries
-//   [kTempArea, frame_size)     named locals and local arrays
-constexpr std::int32_t kTempArea = 256;
+// Frame layout: see kTempArea in codegen.h.
 constexpr std::int32_t kMaxFrame = kRspSlack;
 
 struct LocalVar {

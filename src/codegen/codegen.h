@@ -18,6 +18,13 @@
 
 namespace deflection::codegen {
 
+// Frame layout contract (all RSP-relative, within the kRspSlack exemption
+// window): [0, kTempArea) holds expression temporaries, which are never
+// address-taken and only ever accessed through RSP-relative operands;
+// [kTempArea, frame_size) holds named locals and local arrays. The
+// optimization passes rely on the temp-area half of this contract.
+constexpr std::int32_t kTempArea = 256;
+
 struct CodegenResult {
   isa::AsmProgram program;
   Bytes data;                                    // initialized data image

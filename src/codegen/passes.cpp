@@ -1,9 +1,12 @@
 #include "codegen/passes.h"
 
+#include <algorithm>
+#include <map>
 #include <set>
 
 #include "codegen/annotations.h"
 #include "codegen/peephole.h"
+#include "codegen/reduce.h"
 
 namespace deflection::codegen {
 
@@ -32,22 +35,7 @@ bool is_exempt_store(const AsmInstr& ins) {
 }
 
 bool writes_rsp_explicitly(const AsmInstr& ins) {
-  switch (isa::op_layout(ins.op)) {
-    case isa::Layout::RR:
-      if (ins.op == Op::CmpRR || ins.op == Op::TestRR || ins.op == Op::FCmpRR) return false;
-      return ins.rd == Reg::RSP;
-    case isa::Layout::RI32:
-      if (ins.op == Op::CmpRI) return false;
-      return ins.rd == Reg::RSP;
-    case isa::Layout::RI64:
-    case isa::Layout::RM:
-      return ins.rd == Reg::RSP;
-    case isa::Layout::R:
-      if (ins.op == Op::JmpInd || ins.op == Op::CallInd || ins.op == Op::Push) return false;
-      return ins.rd == Reg::RSP;
-    default:
-      return false;
-  }
+  return isa::op_writes_reg(ins.op, ins.rd, Reg::RSP);
 }
 
 bool sets_flags(Op op) {
@@ -100,20 +88,94 @@ class Instrumenter {
       : code_(code), options_(options) {}
 
   Result<InstrumentStats> run() {
-    if (options_.optimize) peephole_optimize(code_.program);
+    const int opt = options_.opt_level;
+    PassContext ctx{code_, options_, stats_};
+
+    // Segment 1: optimizations on the raw program, to a fixed point.
+    PassManager pre;
+    if (opt >= 1) {
+      pre.add("peephole-classic", [](PassContext& c) -> Result<int> {
+        return peephole_classic(c.code.program.items());
+      });
+      pre.add("rsp-write-fold", [](PassContext& c) -> Result<int> {
+        return peephole_rsp_write_fold(c.code.program.items());
+      });
+      if (opt >= 2) {
+        pre.add("dead-store", [](PassContext& c) -> Result<int> {
+          return peephole_dead_store(c.code.program.items());
+        });
+        pre.add("cmp-fold", [](PassContext& c) -> Result<int> {
+          return peephole_cmp_fold(c.code.program.items());
+        });
+      }
+    }
+
+    // Segment 2: the plugin pass, then the policy passes in contract order.
+    PassManager policy;
     if (options_.custom_pass) {
-      if (auto s = options_.custom_pass(code_); !s.is_ok()) return s.error();
+      policy.add("custom", [this](PassContext&) -> Result<int> {
+        if (auto s = options_.custom_pass(code_); !s.is_ok()) return s.error();
+        return 0;
+      });
     }
     if (options_.policies.has(kPolicyP1) || options_.policies.has(kPolicyP3) ||
         options_.policies.has(kPolicyP4)) {
-      if (auto s = pass_store_guards(); !s.is_ok()) return s.error();
+      policy.add("p1-store-guards",
+                 [this](PassContext&) { return pass_store_guards(); });
     }
-    if (options_.policies.has(kPolicyP2)) pass_rsp_guards();
+    if (options_.policies.has(kPolicyP2)) {
+      policy.add("p2-rsp-guards",
+                 [this](PassContext&) -> Result<int> { return pass_rsp_guards(); });
+    }
     if (options_.policies.has(kPolicyP5)) {
-      if (auto s = pass_cfi(); !s.is_ok()) return s.error();
+      policy.add("p5-cfi", [this](PassContext&) { return pass_cfi(); });
     }
-    if (options_.policies.has(kPolicyP6)) pass_aex_probes();
-    if (needs_violation_stub()) append_violation_stub();
+
+    // Segment 3: annotation reductions over the instrumented stream, to a
+    // fixed point (a merge can create the adjacency another merge needs).
+    PassManager reduce;
+    if (opt >= 1) {
+      reduce.add("merge-rsp-guards", [](PassContext& c) -> Result<int> {
+        return merge_rsp_guards(c.code, c.stats);
+      });
+      reduce.add("dedup-branch-targets", [](PassContext& c) -> Result<int> {
+        return dedup_branch_targets(c.code, c.stats);
+      });
+      if (opt >= 2) {
+        reduce.add("coalesce-store-guards", [](PassContext& c) -> Result<int> {
+          return coalesce_store_guards(c.code, c.stats);
+        });
+        if (options_.policies.has(kPolicyP5)) {
+          reduce.add("elide-leaf-shadow", [](PassContext& c) -> Result<int> {
+            return elide_leaf_shadow(c.code, c.stats);
+          });
+        }
+      }
+    }
+
+    // Segment 4: probes over the final stream, then the violation stub.
+    PassManager fin;
+    if (options_.policies.has(kPolicyP6)) {
+      fin.add("p6-aex-probes",
+              [this](PassContext&) -> Result<int> { return pass_aex_probes(); });
+    }
+    if (needs_violation_stub()) {
+      fin.add("violation-stub", [this](PassContext&) -> Result<int> {
+        append_violation_stub();
+        return 1;
+      });
+    }
+
+    if (!pre.empty())
+      if (auto s = pre.run_fixed_point(ctx); !s.is_ok()) return s.error();
+    if (auto s = policy.run_once(ctx); !s.is_ok()) return s.error();
+    if (!reduce.empty())
+      if (auto s = reduce.run_fixed_point(ctx); !s.is_ok()) return s.error();
+    if (auto s = fin.run_once(ctx); !s.is_ok()) return s.error();
+
+    for (const PassManager* pm : {&pre, &policy, &reduce, &fin})
+      stats_.passes.insert(stats_.passes.end(), pm->records().begin(),
+                           pm->records().end());
     return stats_;
   }
 
@@ -125,7 +187,8 @@ class Instrumenter {
   }
 
   // ---- P1/P3/P4: store-bound annotations (paper Fig. 5 shape) ----
-  Status pass_store_guards() {
+  Result<int> pass_store_guards() {
+    int emitted = 0;
     std::vector<AsmItem> out;
     out.reserve(code_.program.items().size() * 2);
     for (auto& item : code_.program.items()) {
@@ -135,8 +198,8 @@ class Instrumenter {
         continue;
       }
       if (mem_uses_scratch(item.instr.mem))
-        return Status::fail("instrument_scratch",
-                            "guarded store uses a reserved scratch register");
+        return Error::make("instrument_scratch",
+                           "guarded store uses a reserved scratch register");
       PatternBuilder p(out, next_group_++);
       p.lea(kScratch0, item.instr.mem);
       p.movri(kScratch1, kMagicStoreLo);
@@ -147,13 +210,15 @@ class Instrumenter {
       p.jcc(Cond::AE, kViolationSymbol);
       p.guarded(std::move(item.instr));
       ++stats_.store_guards;
+      ++emitted;
     }
     code_.program.items() = std::move(out);
-    return Status::ok();
+    return emitted;
   }
 
   // ---- P2: RSP-validity annotations after explicit stack-pointer writes ----
-  void pass_rsp_guards() {
+  int pass_rsp_guards() {
+    int emitted = 0;
     std::vector<AsmItem> out;
     out.reserve(code_.program.items().size() * 2);
     for (auto& item : code_.program.items()) {
@@ -171,18 +236,21 @@ class Instrumenter {
       p.cmprr(Reg::RSP, kScratch1);
       p.jcc(Cond::A, kViolationSymbol);
       ++stats_.rsp_guards;
+      ++emitted;
     }
     code_.program.items() = std::move(out);
+    return emitted;
   }
 
   // ---- P5: shadow stack (backward edges) + branch-target table checks
   //      (forward edges) ----
-  Status pass_cfi() {
+  Result<int> pass_cfi() {
     std::set<std::string> prologue_funcs(code_.functions.begin(), code_.functions.end());
     prologue_funcs.erase(kEntrySymbol);   // entered by jump, no return address
     prologue_funcs.erase(kOomSymbol);     // direct-jump trap stub
     prologue_funcs.erase(kViolationSymbol);
 
+    int emitted = 0;
     std::vector<AsmItem> out;
     out.reserve(code_.program.items().size() * 2);
     for (auto& item : code_.program.items()) {
@@ -192,6 +260,7 @@ class Instrumenter {
         if (is_func) {
           emit_shadow_prologue(out);
           ++stats_.shadow_prologues;
+          ++emitted;
         }
         continue;
       }
@@ -199,20 +268,22 @@ class Instrumenter {
       if (ins.group == 0 && ins.op == Op::Ret) {
         emit_shadow_epilogue(out, std::move(ins));
         ++stats_.shadow_epilogues;
+        ++emitted;
         continue;
       }
       if (ins.group == 0 && (ins.op == Op::CallInd || ins.op == Op::JmpInd)) {
         if (ins.rd == kScratch0 || ins.rd == kScratch1)
-          return Status::fail("instrument_scratch",
-                              "indirect branch uses a reserved scratch register");
+          return Error::make("instrument_scratch",
+                             "indirect branch uses a reserved scratch register");
         emit_indirect_guard(out, std::move(ins));
         ++stats_.indirect_guards;
+        ++emitted;
         continue;
       }
       out.push_back(std::move(item));
     }
     code_.program.items() = std::move(out);
-    return Status::ok();
+    return emitted;
   }
 
   void emit_shadow_prologue(std::vector<AsmItem>& out) {
@@ -262,7 +333,36 @@ class Instrumenter {
   }
 
   // ---- P6: SSA-marker AEX probes (HyperRace-style) ----
-  void pass_aex_probes() {
+  //
+  // Placement modes:
+  //  - probe-all (opt_level < 2): a probe after every run of labels, plus
+  //    spacing probes. Byte-identical to the historical pipeline.
+  //  - target-aware (opt_level >= 2): probes only where the verifier's
+  //    path-sensitive gap check demands one — labels that are call
+  //    targets, address-taken, or backward-branch targets. A plain
+  //    forward-join label instead MERGES the probe distance flowing in
+  //    over its branches (mirroring the verifier's incoming[] merge), so
+  //    the spacing rule still bounds every path's probe gap.
+  int pass_aex_probes() {
+    const bool probe_all = options_.opt_level < 2;
+    std::set<std::string> needs_probe;
+    std::map<std::string, int> incoming;  // label -> max probe distance flowing in
+    std::map<std::string, std::size_t> label_pos;
+    if (!probe_all) {
+      const auto& in = code_.program.items();
+      for (std::size_t i = 0; i < in.size(); ++i)
+        if (in[i].kind == AsmItem::Kind::Label) label_pos[in[i].label] = i;
+      for (const auto& f : code_.functions) needs_probe.insert(f);  // call targets
+      for (const auto& t : code_.address_taken) needs_probe.insert(t);
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        if (in[i].kind != AsmItem::Kind::Instr) continue;
+        const AsmInstr& ins = in[i].instr;
+        if (ins.op != Op::Jmp && ins.op != Op::Jcc) continue;
+        auto p = label_pos.find(ins.target);
+        if (p != label_pos.end() && p->second <= i) needs_probe.insert(ins.target);
+      }
+    }
+
     std::vector<AsmItem> out;
     out.reserve(code_.program.items().size() * 2);
     int since_probe = 0;
@@ -272,7 +372,7 @@ class Instrumenter {
     // it — even with unrelated instructions (e.g. MovRI materializations)
     // in between.
     bool flags_live = false;
-    bool pending_label_probe = false;
+    std::vector<std::string> run_labels;  // current run of co-located labels
 
     auto emit_probe = [&]() {
       PatternBuilder p(out, next_group_++);
@@ -297,17 +397,31 @@ class Instrumenter {
 
     for (auto& item : code_.program.items()) {
       if (item.kind == AsmItem::Kind::Label) {
-        // Emit the probe only after the whole run of co-located labels, so
-        // every label in the run points at the probe itself.
+        // Handle the probe only after the whole run of co-located labels,
+        // so every label in the run points at the same stream position.
+        run_labels.push_back(item.label);
         out.push_back(std::move(item));
-        pending_label_probe = true;
         continue;
       }
       const AsmInstr& ins = item.instr;
-      if (pending_label_probe) {
-        emit_probe();  // labels never sit inside a live-flags window
-        pending_label_probe = false;
-      } else {
+      bool label_probed = false;
+      if (!run_labels.empty()) {
+        bool probe_here = probe_all;
+        for (const auto& l : run_labels)
+          if (!probe_here && needs_probe.contains(l)) probe_here = true;
+        if (probe_here) {
+          emit_probe();  // labels never sit inside a live-flags window
+          label_probed = true;
+        } else {
+          for (const auto& l : run_labels) {
+            auto it = incoming.find(l);
+            if (it != incoming.end()) since_probe = std::max(since_probe, it->second);
+          }
+          ++stats_.probes_elided;
+        }
+        run_labels.clear();
+      }
+      if (!label_probed) {
         bool boundary = ins.group == 0 || ins.group != prev_group;
         if (since_probe >= options_.probe_spacing && boundary && !flags_live)
           emit_probe();
@@ -316,9 +430,21 @@ class Instrumenter {
       if (sets_flags(ins.op)) flags_live = true;
       else if (ins.op == Op::Jcc) flags_live = false;
       ++since_probe;
+      // Record the probe distance this branch carries to a forward label
+      // (mirrors the verifier's incoming[] merge; backward targets carry a
+      // probe instead).
+      if (!probe_all && (ins.op == Op::Jmp || ins.op == Op::Jcc) &&
+          !needs_probe.contains(ins.target)) {
+        auto it = incoming.try_emplace(ins.target, 0).first;
+        it->second = std::max(it->second, since_probe);
+      }
+      bool flow_break = ins.op == Op::Jmp || ins.op == Op::JmpInd ||
+                        ins.op == Op::Ret || ins.op == Op::Hlt;
       out.push_back(std::move(item));
+      if (!probe_all && flow_break) since_probe = 0;  // no fallthrough path
     }
     code_.program.items() = std::move(out);
+    return stats_.aex_probes;
   }
 
   void append_violation_stub() {

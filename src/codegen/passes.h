@@ -1,15 +1,26 @@
 // Policy instrumentation passes (the producer's "backend passes", paper
-// Fig. 4): per-policy switches that rewrite the assembly program emitted by
-// codegen, inserting the security annotations the in-enclave verifier later
-// checks. Run order matters and is fixed by instrument():
-//   P1 (store guards) -> P2 (RSP guards) -> P5 (shadow stack + forward CFI)
-//   -> P6 (SSA probes, on the final stream) -> violation stub.
+// Fig. 4), orchestrated by the fixed-point pass manager (passman.h).
+//
+// The pipeline has four segments, in order:
+//   1. optimization passes on the raw program (opt_level >= 1, fixed point)
+//   2. the custom plugin pass, then the policy passes in their contractual
+//      order: P1 (store guards) -> P2 (RSP guards) -> P5 (shadow stack +
+//      forward CFI)
+//   3. annotation-reduction passes (opt_level >= 1, fixed point): rewrites
+//      that shrink the annotation stream into the optimized forms the
+//      verifier's extended matchers accept (guard coalescing, leaf shadow
+//      elision, RSP-guard merging, branch-target-table dedup)
+//   4. P6 SSA probes over the final stream, then the violation stub.
+// At opt_level 0 segments 1 and 3 are skipped and the P6 pass probes every
+// label, which keeps -O0 output byte-identical to the historical one-shot
+// pipeline.
 #pragma once
 
 #include <functional>
 
 #include "codegen/annotations.h"
 #include "codegen/codegen.h"
+#include "codegen/passman.h"
 #include "codegen/policy.h"
 
 namespace deflection::codegen {
@@ -20,9 +31,14 @@ struct InstrumentOptions {
   std::int32_t aex_threshold = kDefaultAexThreshold;
   // Max final-stream instructions between P6 probes.
   int probe_spacing = kProbeSpacing;
-  // Run the producer's peephole optimizer before instrumenting (ablation
-  // knob: relative overhead is sensitive to baseline code quality).
-  bool optimize = false;
+  // Producer optimization level (deflectc -O{0,1,2}):
+  //   0  no optimization; output byte-identical to the pre-pass-manager
+  //      pipeline.
+  //   1  classic peephole + cheap annotation reductions (RSP-guard
+  //      merging, branch-target-table dedup).
+  //   2  everything: extra peephole rules, store-guard coalescing, leaf
+  //      shadow-stack elision, target-aware P6 probe placement.
+  int opt_level = 0;
   // Plugin hook (paper Sec. V-A: "high-level APIs that allow developers to
   // implement their instrumentation ... passes"): runs FIRST, before the
   // built-in policy passes, so its inserted code is itself policed (e.g.
@@ -39,6 +55,13 @@ struct InstrumentStats {
   int shadow_epilogues = 0;
   int indirect_guards = 0;
   int aex_probes = 0;
+  // Annotation-reduction counters (zero at -O0).
+  int guards_coalesced = 0;     // store guards absorbed into run guards
+  int shadow_pairs_elided = 0;  // leaf prologue/epilogue pairs dropped
+  int rsp_guards_elided = 0;    // RSP guards merged away
+  int probes_elided = 0;        // labels probed at -O0 but not here
+  // Per-pass run/change/time records from the pass manager.
+  std::vector<PassRecord> passes;
 };
 
 // Instruments `code` in place according to the options. `code.functions`

@@ -1,0 +1,44 @@
+#include "codegen/passman.h"
+
+#include <utility>
+
+namespace deflection::codegen {
+
+void PassManager::add(std::string name, PassFn fn) {
+  passes_.push_back(std::move(fn));
+  records_.push_back(PassRecord{std::move(name)});
+}
+
+Result<int> PassManager::run_pass(std::size_t i, PassContext& ctx) {
+  PassRecord& rec = records_[i];
+  auto t0 = std::chrono::steady_clock::now();
+  Result<int> changed = passes_[i](ctx);
+  rec.elapsed += std::chrono::steady_clock::now() - t0;
+  ++rec.runs;
+  if (changed.is_ok()) rec.changes += changed.value();
+  return changed;
+}
+
+Status PassManager::run_once(PassContext& ctx) {
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    auto changed = run_pass(i, ctx);
+    if (!changed.is_ok()) return changed.status();
+  }
+  return Status::ok();
+}
+
+Status PassManager::run_fixed_point(PassContext& ctx, int max_sweeps) {
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    int total = 0;
+    for (std::size_t i = 0; i < passes_.size(); ++i) {
+      auto changed = run_pass(i, ctx);
+      if (!changed.is_ok()) return changed.status();
+      total += changed.value();
+    }
+    if (total == 0) return Status::ok();
+  }
+  return Status::fail("passman_diverged",
+                      "optimization passes did not reach a fixed point");
+}
+
+}  // namespace deflection::codegen

@@ -1,0 +1,71 @@
+// Fixed-point, opt-level-aware pass manager for the producer backend.
+//
+// The instrumentation pipeline used to be a one-shot sequence hardcoded in
+// instrument(); every optimization or annotation pass is now a registered,
+// named unit the manager runs either once in order (the policy passes,
+// whose order is part of the producer/verifier contract) or repeatedly
+// until a whole sweep makes no change (the optimization passes, which
+// enable each other: a peephole fold can create the adjacency a
+// guard-coalescing pass needs, which can create another peephole window).
+//
+// Each pass reports how many changes it made; the manager records per-pass
+// run counts, cumulative change counts and wall-clock time for the
+// producer log (`deflectc compile -v`-style output and the benches).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "codegen/codegen.h"
+
+namespace deflection::codegen {
+
+struct InstrumentOptions;
+struct InstrumentStats;
+
+// Everything a pass may touch. Passes mutate the program (and the
+// module-level side tables in CodegenResult) in place.
+struct PassContext {
+  CodegenResult& code;
+  const InstrumentOptions& options;
+  InstrumentStats& stats;
+};
+
+// Per-pass bookkeeping, kept across sweeps.
+struct PassRecord {
+  std::string name;
+  int runs = 0;     // times the pass body executed
+  int changes = 0;  // cumulative self-reported change count
+  std::chrono::nanoseconds elapsed{0};
+};
+
+class PassManager {
+ public:
+  // A pass returns the number of changes it made, or an error that aborts
+  // the whole pipeline (e.g. a policy pass meeting a malformed program).
+  using PassFn = std::function<Result<int>(PassContext&)>;
+
+  void add(std::string name, PassFn fn);
+  bool empty() const { return passes_.empty(); }
+
+  // Runs every registered pass once, in registration order.
+  Status run_once(PassContext& ctx);
+
+  // Runs sweeps of all passes until one full sweep reports zero changes.
+  // `max_sweeps` bounds runaway ping-pong between buggy passes; hitting it
+  // is an error, not a silent stop, because a non-converging rewrite set
+  // means the producer's output is order-dependent.
+  Status run_fixed_point(PassContext& ctx, int max_sweeps = 16);
+
+  const std::vector<PassRecord>& records() const { return records_; }
+
+ private:
+  Result<int> run_pass(std::size_t i, PassContext& ctx);
+
+  std::vector<PassFn> passes_;
+  std::vector<PassRecord> records_;
+};
+
+}  // namespace deflection::codegen

@@ -1,5 +1,11 @@
 #include "codegen/peephole.h"
 
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "codegen/codegen.h"
+
 namespace deflection::codegen {
 
 using isa::AsmInstr;
@@ -25,8 +31,184 @@ bool is_load_slot(const AsmInstr& ins) {
          !ins.mem.has_index;
 }
 
-// One fixpoint iteration; returns instructions removed.
-int pass_once(std::vector<AsmItem>& items) {
+bool mem_uses_reg(const Mem& m, Reg r) {
+  return (m.has_base && m.base == r) || (m.has_index && m.index == r);
+}
+
+// True when the instruction reads general-purpose register `r` (as an
+// operand source, an address component, or an implicit input).
+bool instr_reads_reg(const AsmInstr& ins, Reg r) {
+  switch (isa::op_layout(ins.op)) {
+    case Layout::RR:
+      if (ins.rs == r) return true;
+      // Every two-register op except the pure writes reads rd too.
+      return ins.rd == r && ins.op != Op::MovRR && ins.op != Op::CvtI2F &&
+             ins.op != Op::CvtF2I;
+    case Layout::RI32:
+    case Layout::RI64:
+      return ins.rd == r && ins.op != Op::MovRI;
+    case Layout::RM:  // Load/Load8/Lea
+      return mem_uses_reg(ins.mem, r);
+    case Layout::MR:  // Store/Store8
+      return ins.rs == r || mem_uses_reg(ins.mem, r);
+    case Layout::MI32:  // StoreI
+      return mem_uses_reg(ins.mem, r);
+    case Layout::R:
+      if (ins.op == Op::Pop) return false;  // pure write
+      return ins.rd == r;  // Push/JmpInd/CallInd/NotR/NegR/F*R read rd
+    case Layout::I8:  // Ocall: args in RDI/RSI/RDX
+      return r == Reg::RDI || r == Reg::RSI || r == Reg::RDX;
+    default:  // None/I32/Rel32/CondRel32
+      return false;
+  }
+}
+
+// What an instruction does to the resource a path scan is tracking.
+enum class Effect : std::uint8_t { None, Read, Kill, Barrier };
+
+// Intraprocedural "killed before read on every path" scan over the linear
+// item stream. Follows fallthrough, conditional-branch targets and
+// unconditional jumps via the label table; anything the classifier marks
+// Barrier (calls, indirect flow, returns, ...) conservatively counts as a
+// read. Cycles are handled optimistically (a revisited label counts as
+// killed), which is sound for this query: if some path reads the resource
+// before a kill, the *shortest* such path never revisits a label, so the
+// scan finds the read without needing the cycle.
+template <typename ClassifyFn>
+class PathScan {
+ public:
+  PathScan(const std::vector<AsmItem>& items, ClassifyFn classify)
+      : items_(items), classify_(std::move(classify)) {
+    for (std::size_t i = 0; i < items_.size(); ++i)
+      if (items_[i].kind == AsmItem::Kind::Label) label_index_[items_[i].label] = i;
+  }
+
+  // True when every path from item index `start` reaches a Kill before any
+  // Read/Barrier. Exhausting the exploration budget counts as a read.
+  bool killed_from(std::size_t start) {
+    visited_.clear();
+    budget_ = 2048;
+    return scan(start);
+  }
+
+ private:
+  bool scan(std::size_t i) {
+    for (; i < items_.size(); ++i) {
+      if (--budget_ <= 0) return false;
+      const AsmItem& item = items_[i];
+      if (item.kind == AsmItem::Kind::Label) {
+        if (!visited_.insert(item.label).second) return true;
+        continue;
+      }
+      const AsmInstr& ins = item.instr;
+      if (ins.group != 0) return false;  // never reason across annotations
+      switch (classify_(ins)) {
+        case Effect::Read:
+        case Effect::Barrier:
+          return false;
+        case Effect::Kill:
+          return true;
+        case Effect::None:
+          break;
+      }
+      if (ins.op == Op::Jmp || ins.op == Op::Jcc) {
+        auto t = label_index_.find(ins.target);
+        if (t == label_index_.end()) return false;
+        if (ins.op == Op::Jmp) return scan(t->second);
+        if (!scan(t->second)) return false;  // taken path, then fallthrough
+      } else if (ins.op == Op::JmpInd || ins.op == Op::Ret || ins.op == Op::Hlt) {
+        return false;  // classifiers mark these Barrier; belt and braces
+      }
+    }
+    return false;  // ran off the end of the stream
+  }
+
+  const std::vector<AsmItem>& items_;
+  ClassifyFn classify_;
+  std::map<std::string, std::size_t> label_index_;
+  std::set<std::string> visited_;
+  int budget_ = 0;
+};
+
+// Classifier for "is register r dead from here": any read kills the fold,
+// opaque flow is a barrier, an explicit overwrite makes it dead.
+struct RegDeadClassify {
+  Reg r;
+  Effect operator()(const AsmInstr& ins) const {
+    if (instr_reads_reg(ins, r)) return Effect::Read;
+    switch (ins.op) {
+      case Op::Call:
+      case Op::CallInd:
+      case Op::JmpInd:
+      case Op::Ret:
+      case Op::Hlt:
+        return Effect::Barrier;
+      default:
+        break;
+    }
+    if (isa::op_writes_reg(ins.op, ins.rd, r)) return Effect::Kill;  // incl. Ocall->RAX
+    return Effect::None;
+  }
+};
+
+int access_size(Op op) {
+  switch (op) {
+    case Op::Load:
+    case Op::Store:
+    case Op::StoreI:
+      return 8;
+    case Op::Load8:
+    case Op::Store8:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+// Classifier for "is the temp slot [rsp+disp] dead from here". Relies on
+// the frame-layout contract (codegen.h): temporaries below kTempArea are
+// never address-taken and only accessed through RSP-relative operands, so
+// computed (non-RSP-based) memory traffic cannot alias them. Anything that
+// moves RSP or runs opaque code is a barrier.
+struct SlotDeadClassify {
+  std::int32_t disp;
+  Effect operator()(const AsmInstr& ins) const {
+    if (isa::op_writes_reg(ins.op, ins.rd, Reg::RSP)) return Effect::Barrier;
+    switch (ins.op) {
+      case Op::Call:
+      case Op::CallInd:
+      case Op::JmpInd:
+      case Op::Ret:
+      case Op::Hlt:
+      case Op::Ocall:
+      case Op::Push:
+      case Op::Pop:
+      case Op::PushI:
+        return Effect::Barrier;  // implicit RSP motion / opaque code
+      default:
+        break;
+    }
+    const Mem& m = ins.mem;
+    bool has_mem = isa::op_layout(ins.op) == Layout::RM ||
+                   isa::op_layout(ins.op) == Layout::MR ||
+                   isa::op_layout(ins.op) == Layout::MI32;
+    if (!has_mem) return Effect::None;
+    bool rsp_based = m.has_base && m.base == Reg::RSP;
+    if (!rsp_based) return Effect::None;  // disjoint by the temp-area contract
+    if (m.has_index) return Effect::Barrier;  // RSP + unknown offset
+    if (ins.op == Op::Lea)  // taking the address of a temp slot: escapes
+      return m.disp < kTempArea ? Effect::Read : Effect::None;
+    bool overlap = m.disp < disp + 8 && disp < m.disp + access_size(ins.op);
+    if (!overlap) return Effect::None;
+    if ((ins.op == Op::Store || ins.op == Op::StoreI) && m.disp == disp)
+      return Effect::Kill;  // full 8-byte overwrite
+    return Effect::Read;  // load, or partial overwrite
+  }
+};
+
+}  // namespace
+
+int peephole_classic(std::vector<AsmItem>& items) {
   int removed = 0;
   std::vector<AsmItem> out;
   out.reserve(items.size());
@@ -43,6 +225,10 @@ int pass_once(std::vector<AsmItem>& items) {
       continue;
     }
     AsmInstr& ins = item.instr;
+    if (ins.group != 0) {  // never rewrite inside annotation patterns
+      out.push_back(std::move(item));
+      continue;
+    }
 
     // Rule 1: self-move.
     if (ins.op == Op::MovRR && ins.rd == ins.rs) {
@@ -51,29 +237,31 @@ int pass_once(std::vector<AsmItem>& items) {
     }
 
     AsmInstr* prev = last_instr();
+    bool prev_free = prev != nullptr && prev->group == 0;
 
     // Rule 2: store [rsp+o], R ; load R, [rsp+o]  -> drop the load.
-    if (prev != nullptr && is_load_slot(ins) && is_store_slot(*prev) &&
+    if (prev_free && is_load_slot(ins) && is_store_slot(*prev) &&
         prev->rs == ins.rd && same_slot(prev->mem, ins.mem)) {
       ++removed;
       continue;
     }
 
-    // Rule 3 (binary-operand shuffle with a constant RHS):
-    //   store [rsp+t], RAX ; movri RAX, imm ; movrr RBX, RAX ;
-    //   load RAX, [rsp+t]
+    // Rule 3 (binary-operand shuffle with a constant RHS), for any value
+    // register R and any distinct destination S:
+    //   store [rsp+t], R ; movri R, imm ; movrr S, R ; load R, [rsp+t]
     // ->
-    //   store [rsp+t], RAX ; movri RBX, imm
-    // (keeps the slot live for any later reads; removes two instructions).
-    if (prev != nullptr && ins.op == Op::MovRI && ins.rd == Reg::RAX &&
-        ins.reloc_symbol.empty() && is_store_slot(*prev) && prev->rs == Reg::RAX &&
-        i + 2 < items.size() && items[i + 1].kind == AsmItem::Kind::Instr &&
+    //   store [rsp+t], R ; movri S, imm
+    // R is unchanged (the reload restored exactly what the store saved), S
+    // gets the constant, and the slot stays live for any later reads.
+    if (prev_free && ins.op == Op::MovRI && ins.reloc_symbol.empty() &&
+        is_store_slot(*prev) && prev->rs == ins.rd && i + 2 < items.size() &&
+        items[i + 1].kind == AsmItem::Kind::Instr &&
         items[i + 2].kind == AsmItem::Kind::Instr) {
       const AsmInstr& mov = items[i + 1].instr;
       const AsmInstr& reload = items[i + 2].instr;
-      if (mov.op == Op::MovRR && mov.rs == Reg::RAX && mov.rd != Reg::RAX &&
-          is_load_slot(reload) && reload.rd == Reg::RAX &&
-          same_slot(reload.mem, prev->mem)) {
+      if (mov.group == 0 && reload.group == 0 && mov.op == Op::MovRR &&
+          mov.rs == ins.rd && mov.rd != ins.rd && is_load_slot(reload) &&
+          reload.rd == ins.rd && same_slot(reload.mem, prev->mem)) {
         AsmInstr folded = ins;
         folded.rd = mov.rd;
         out.push_back(AsmItem{AsmItem::Kind::Instr, {}, std::move(folded)});
@@ -84,7 +272,7 @@ int pass_once(std::vector<AsmItem>& items) {
     }
 
     // Rule 4: load R, [slot] right after load R, [same slot] (re-load).
-    if (prev != nullptr && is_load_slot(ins) && is_load_slot(*prev) &&
+    if (prev_free && is_load_slot(ins) && is_load_slot(*prev) &&
         prev->rd == ins.rd && same_slot(prev->mem, ins.mem)) {
       ++removed;
       continue;
@@ -96,12 +284,117 @@ int pass_once(std::vector<AsmItem>& items) {
   return removed;
 }
 
-}  // namespace
+int peephole_dead_store(std::vector<AsmItem>& items) {
+  int removed = 0;
+  std::vector<bool> drop(items.size(), false);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].kind != AsmItem::Kind::Instr) continue;
+    const AsmInstr& ins = items[i].instr;
+    if (ins.group != 0 || !is_store_slot(ins)) continue;
+    if (ins.mem.disp < 0 || ins.mem.disp >= kTempArea) continue;
+    PathScan scan(items, SlotDeadClassify{ins.mem.disp});
+    if (scan.killed_from(i + 1)) {
+      drop[i] = true;
+      ++removed;
+    }
+  }
+  if (removed == 0) return 0;
+  std::vector<AsmItem> out;
+  out.reserve(items.size() - static_cast<std::size_t>(removed));
+  for (std::size_t i = 0; i < items.size(); ++i)
+    if (!drop[i]) out.push_back(std::move(items[i]));
+  items = std::move(out);
+  return removed;
+}
+
+int peephole_cmp_fold(std::vector<AsmItem>& items) {
+  // Decide all folds over the intact stream first (the deadness scans
+  // follow backward branches, so the label table must stay valid), then
+  // rebuild. Composition of several folds in one sweep is sound: each
+  // removed movri's only reader is its own compare, which stops reading
+  // the register too, and each fold carries its own downstream proof.
+  std::vector<bool> fold(items.size(), false);
+  int removed = 0;
+  for (std::size_t i = 0; i + 1 < items.size(); ++i) {
+    if (items[i].kind != AsmItem::Kind::Instr ||
+        items[i + 1].kind != AsmItem::Kind::Instr)
+      continue;
+    const AsmInstr& mov = items[i].instr;
+    const AsmInstr& cmp = items[i + 1].instr;
+    Reg r = mov.rd;
+    if (mov.op != Op::MovRI || mov.group != 0 || !mov.reloc_symbol.empty() ||
+        r == Reg::RAX || r == Reg::RSP || r == isa::kScratch0 ||
+        r == isa::kScratch1 || mov.imm < INT32_MIN || mov.imm > INT32_MAX)
+      continue;
+    if (cmp.op != Op::CmpRR || cmp.group != 0 || cmp.rs != r || cmp.rd == r)
+      continue;
+    // The fold removes the write of r, so r must be provably dead after
+    // the compare (which is rewritten not to read it either).
+    PathScan scan(items, RegDeadClassify{r});
+    if (scan.killed_from(i + 2)) {
+      fold[i] = true;
+      ++removed;
+      ++i;  // the compare cannot also head a candidate pair
+    }
+  }
+  if (removed == 0) return 0;
+  std::vector<AsmItem> out;
+  out.reserve(items.size() - static_cast<std::size_t>(removed));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (fold[i]) {
+      AsmInstr folded = items[i + 1].instr;
+      folded.op = Op::CmpRI;
+      folded.rs = Reg::RAX;
+      folded.imm = items[i].instr.imm;
+      out.push_back(AsmItem{AsmItem::Kind::Instr, {}, std::move(folded)});
+      ++i;  // skip the original compare
+    } else {
+      out.push_back(std::move(items[i]));
+    }
+  }
+  items = std::move(out);
+  return removed;
+}
+
+int peephole_rsp_write_fold(std::vector<AsmItem>& items) {
+  auto is_rsp_adjust = [](const AsmItem& item) {
+    return item.kind == AsmItem::Kind::Instr && item.instr.group == 0 &&
+           (item.instr.op == Op::AddRI || item.instr.op == Op::SubRI) &&
+           item.instr.rd == Reg::RSP;
+  };
+  int removed = 0;
+  std::vector<AsmItem> out;
+  out.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i + 1 < items.size() && is_rsp_adjust(items[i]) && is_rsp_adjust(items[i + 1])) {
+      const AsmInstr& a = items[i].instr;
+      const AsmInstr& b = items[i + 1].instr;
+      std::int64_t net = (a.op == Op::AddRI ? a.imm : -a.imm) +
+                         (b.op == Op::AddRI ? b.imm : -b.imm);
+      if (net >= INT32_MIN && net <= INT32_MAX) {
+        if (net != 0) {
+          AsmInstr folded = a;
+          folded.op = net > 0 ? Op::AddRI : Op::SubRI;
+          folded.imm = net > 0 ? net : -net;
+          out.push_back(AsmItem{AsmItem::Kind::Instr, {}, std::move(folded)});
+          ++removed;
+        } else {
+          removed += 2;
+        }
+        ++i;  // consume the second adjustment
+        continue;
+      }
+    }
+    out.push_back(std::move(items[i]));
+  }
+  items = std::move(out);
+  return removed;
+}
 
 int peephole_optimize(isa::AsmProgram& program) {
   int total = 0;
   for (;;) {
-    int removed = pass_once(program.items());
+    int removed = peephole_classic(program.items());
     total += removed;
     if (removed == 0) break;
   }

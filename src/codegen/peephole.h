@@ -1,21 +1,50 @@
-// Producer-side peephole optimizer (opt-in).
+// Producer-side peephole optimizer (opt-in via InstrumentOptions::opt_level).
 //
 // The naive backend spills every temporary to an (exempt) RSP-relative
-// slot; this pass removes the most common redundant spill traffic inside
-// straight-line windows. It exists both as ordinary compiler hygiene and as
-// an *ablation knob*: the paper's overheads were measured over LLVM -O2
+// slot; these passes remove the most common redundant spill traffic inside
+// straight-line windows. They exist both as ordinary compiler hygiene and
+// as an *ablation knob*: the paper's overheads were measured over LLVM -O2
 // output, and relative instrumentation overhead is sensitive to baseline
 // code quality (see bench_ablation part D).
 //
-// Runs BEFORE the policy passes, on program instructions only, so the
-// instrumentation always sees (and polices) the final instruction stream.
+// All rules run BEFORE the policy passes, on program instructions only, so
+// the instrumentation always sees (and polices) the final instruction
+// stream. Each entry point performs ONE sweep and returns the number of
+// instructions removed/rewritten; the pass manager drives them to a fixed
+// point. peephole_optimize() is the legacy whole-fixpoint wrapper over the
+// classic rules, kept for tests that exercise the rule set directly.
 #pragma once
 
 #include "isa/assemble.h"
 
 namespace deflection::codegen {
 
-// Applies the rewrites until fixpoint; returns instructions removed.
+// Classic window rules (one sweep):
+//   1. self-move elimination
+//   2. store-to-slot / reload-from-slot forwarding
+//   3. binary-operand shuffle with a constant RHS (any destination register)
+//   4. duplicate reload elimination
+int peephole_classic(std::vector<isa::AsmItem>& items);
+
+// Dead store-to-slot elimination (one sweep): a Store to a temp-area RSP
+// slot (disp < kTempArea) that is provably overwritten before any possible
+// read is dropped. The proof is a small intraprocedural reachability scan
+// that follows fallthrough, conditional-branch targets and unconditional
+// jumps; calls, indirect flow and returns are conservative barriers.
+int peephole_dead_store(std::vector<isa::AsmItem>& items);
+
+// Flag-aware compare folding (one sweep): `movri R, imm ; cmprr X, R`
+// becomes `cmpri X, imm` when R is provably dead after the compare (same
+// reachability scan). R in {RAX, RSP, R14, R15} is never folded: RAX is
+// the return-value register and the rest are reserved.
+int peephole_cmp_fold(std::vector<isa::AsmItem>& items);
+
+// Adjacent explicit RSP adjustments (`add/sub rsp, a ; add/sub rsp, b`)
+// fold into one write (one sweep). Runs pre-instrumentation, so P2 then
+// emits a single guard for the single surviving write.
+int peephole_rsp_write_fold(std::vector<isa::AsmItem>& items);
+
+// Legacy entry point: classic rules to fixpoint; returns total removed.
 int peephole_optimize(isa::AsmProgram& program);
 
 }  // namespace deflection::codegen

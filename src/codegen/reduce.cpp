@@ -1,0 +1,436 @@
+#include "codegen/reduce.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "codegen/annotations.h"
+#include "codegen/passes.h"
+
+namespace deflection::codegen {
+
+using isa::AsmInstr;
+using isa::AsmItem;
+using isa::Cond;
+using isa::Mem;
+using isa::Op;
+using isa::Reg;
+
+namespace {
+
+// A maximal run of consecutive Instr items sharing one pattern group id.
+struct GroupRun {
+  std::size_t begin = 0;  // item index of the first member
+  std::size_t end = 0;    // one past the last member
+  int group = 0;
+};
+
+std::vector<GroupRun> scan_groups(const std::vector<AsmItem>& items) {
+  std::vector<GroupRun> runs;
+  for (std::size_t i = 0; i < items.size();) {
+    if (items[i].kind != AsmItem::Kind::Instr || items[i].instr.group == 0) {
+      ++i;
+      continue;
+    }
+    GroupRun run{i, i + 1, items[i].instr.group};
+    while (run.end < items.size() && items[run.end].kind == AsmItem::Kind::Instr &&
+           items[run.end].instr.group == run.group)
+      ++run.end;
+    runs.push_back(run);
+    i = run.end;
+  }
+  return runs;
+}
+
+int max_group(const std::vector<AsmItem>& items) {
+  int g = 0;
+  for (const auto& item : items)
+    if (item.kind == AsmItem::Kind::Instr) g = std::max(g, item.instr.group);
+  return g;
+}
+
+bool writes_rsp(const AsmInstr& ins) {
+  return isa::op_writes_reg(ins.op, ins.rd, Reg::RSP);
+}
+
+bool is_store(Op op) {
+  return op == Op::Store || op == Op::Store8 || op == Op::StoreI;
+}
+
+int store_size(Op op) {
+  return op == Op::Store8 ? 1 : 8;
+}
+
+// Longest run of patterns one reduction may absorb. Keeps the merged group
+// short enough that the P6 probe-spacing pass (worst-case `since_probe` just
+// under the spacing threshold when it enters the group) can never overshoot
+// kMaxProbeGap: 47 + (8 + 16) < 80.
+constexpr std::size_t kMaxChain = 16;
+
+// ---- Pattern classification (producer side; mirrors the verifier's shape
+// dispatch, but over the producer's own bookkeeping) ----
+
+enum class PatternKind { StoreGuard, RspGuard, ShadowProlog, ShadowEpilog, IndirectGuard, Other };
+
+PatternKind classify(const std::vector<AsmItem>& items, const GroupRun& run) {
+  const AsmInstr& head = items[run.begin].instr;
+  std::size_t n = run.end - run.begin;
+  if (head.annotation && head.op == Op::Lea && head.rd == kScratch0) return PatternKind::StoreGuard;
+  if (!head.annotation && writes_rsp(head)) return PatternKind::RspGuard;
+  if (head.annotation && head.op == Op::MovRI && head.rd == kScratch1 &&
+      head.imm == kMagicSsPtr)
+    return n == 10 ? PatternKind::ShadowProlog
+                   : (n == 13 ? PatternKind::ShadowEpilog : PatternKind::Other);
+  if (head.annotation && head.op == Op::MovRR && head.rd == kScratch0)
+    return PatternKind::IndirectGuard;
+  return PatternKind::Other;
+}
+
+// True when `run` is an UNcoalesced store-guard pattern: 7 annotation
+// instrs (lea; movri lo; cmp; jcc; movri hi; cmp; jcc) + the guarded store.
+bool is_plain_store_guard(const std::vector<AsmItem>& items, const GroupRun& run) {
+  if (run.end - run.begin != 8) return false;
+  const AsmInstr& head = items[run.begin].instr;
+  const AsmInstr& store = items[run.end - 1].instr;
+  return head.annotation && head.op == Op::Lea && head.rd == kScratch0 &&
+         !store.annotation && is_store(store.op) && store.mem == head.mem &&
+         items[run.begin + 4].instr.op == Op::MovRI;  // not the AddRI of a widened guard
+}
+
+// True when `run` is a single-write RSP-guard pattern.
+bool is_plain_rsp_guard(const std::vector<AsmItem>& items, const GroupRun& run) {
+  if (run.end - run.begin != 7) return false;
+  const AsmInstr& head = items[run.begin].instr;
+  return !head.annotation && writes_rsp(head) && items[run.begin + 1].instr.annotation;
+}
+
+void append_annot(std::vector<AsmItem>& out, AsmInstr ins, int group) {
+  ins.annotation = true;
+  ins.group = group;
+  out.push_back(AsmItem{AsmItem::Kind::Instr, {}, std::move(ins)});
+}
+
+}  // namespace
+
+int coalesce_store_guards(CodegenResult& code, InstrumentStats& stats) {
+  std::vector<AsmItem>& items = code.program.items();
+  std::vector<GroupRun> runs = scan_groups(items);
+
+  // Collect maximal chains of ADJACENT plain store guards whose stores
+  // share one base/index/scale (nothing at all between the groups, so the
+  // address registers provably hold the same values for every member).
+  struct Chain {
+    std::size_t first_run = 0;
+    std::size_t count = 0;
+  };
+  std::vector<Chain> chains;
+  for (std::size_t r = 0; r < runs.size();) {
+    if (!is_plain_store_guard(items, runs[r])) {
+      ++r;
+      continue;
+    }
+    std::size_t r2 = r;
+    const Mem& m0 = items[runs[r].begin].instr.mem;
+    std::int32_t dmin = m0.disp, dmax = m0.disp;
+    while (r2 - r + 1 < kMaxChain && r2 + 1 < runs.size() &&
+           runs[r2 + 1].begin == runs[r2].end &&
+           is_plain_store_guard(items, runs[r2 + 1])) {
+      const Mem& m = items[runs[r2 + 1].begin].instr.mem;
+      if (m.has_base != m0.has_base || m.has_index != m0.has_index ||
+          (m.has_base && m.base != m0.base) || (m.has_index && m.index != m0.index) ||
+          (m.has_index && m.scale_log2 != m0.scale_log2))
+        break;
+      std::int32_t lo = std::min(dmin, m.disp), hi = std::max(dmax, m.disp);
+      if (static_cast<std::int64_t>(hi) - lo > kRspSlack) break;  // width cap
+      dmin = lo;
+      dmax = hi;
+      ++r2;
+    }
+    if (r2 > r) chains.push_back({r, r2 - r + 1});
+    r = r2 + 1;
+  }
+  if (chains.empty()) return 0;
+
+  int next_group = max_group(items) + 1;
+  int changes = 0;
+  std::vector<AsmItem> out;
+  out.reserve(items.size());
+  std::size_t chain_idx = 0;
+  for (std::size_t r = 0, i = 0; i < items.size();) {
+    while (r < runs.size() && runs[r].end <= i) ++r;
+    bool at_chain = chain_idx < chains.size() && r == chains[chain_idx].first_run &&
+                    i == runs[r].begin;
+    if (!at_chain) {
+      out.push_back(std::move(items[i]));
+      ++i;
+      continue;
+    }
+    const Chain& chain = chains[chain_idx++];
+    // Gather the member stores and the displacement range.
+    std::vector<AsmInstr> stores;
+    std::int32_t dmin = INT32_MAX, dmax = INT32_MIN;
+    for (std::size_t k = 0; k < chain.count; ++k) {
+      const GroupRun& run = runs[chain.first_run + k];
+      AsmInstr store = items[run.end - 1].instr;
+      dmin = std::min(dmin, store.mem.disp);
+      dmax = std::max(dmax, store.mem.disp);
+      stores.push_back(std::move(store));
+    }
+    Mem lea_mem = stores.front().mem;
+    lea_mem.disp = dmin;
+    int g = next_group++;
+    append_annot(out, {.op = Op::Lea, .rd = kScratch0, .mem = lea_mem}, g);
+    append_annot(out, {.op = Op::MovRI, .rd = kScratch1, .imm = kMagicStoreLo}, g);
+    append_annot(out, {.op = Op::CmpRR, .rd = kScratch0, .rs = kScratch1}, g);
+    append_annot(out, {.op = Op::Jcc, .cond = Cond::B, .target = kViolationSymbol}, g);
+    append_annot(out, {.op = Op::AddRI, .rd = kScratch0, .imm = dmax - dmin}, g);
+    append_annot(out, {.op = Op::MovRI, .rd = kScratch1, .imm = kMagicStoreHi}, g);
+    append_annot(out, {.op = Op::CmpRR, .rd = kScratch0, .rs = kScratch1}, g);
+    append_annot(out, {.op = Op::Jcc, .cond = Cond::AE, .target = kViolationSymbol}, g);
+    for (AsmInstr& store : stores) {
+      store.group = g;  // guarded members keep annotation=false
+      out.push_back(AsmItem{AsmItem::Kind::Instr, {}, std::move(store)});
+    }
+    int absorbed = static_cast<int>(chain.count) - 1;
+    stats.store_guards -= absorbed;
+    stats.guards_coalesced += absorbed;
+    changes += absorbed;
+    i = runs[chain.first_run + chain.count - 1].end;
+  }
+  items = std::move(out);
+  return changes;
+}
+
+int merge_rsp_guards(CodegenResult& code, InstrumentStats& stats) {
+  std::vector<AsmItem>& items = code.program.items();
+  std::vector<GroupRun> runs = scan_groups(items);
+
+  std::vector<std::pair<std::size_t, std::size_t>> chains;  // first run, count
+  for (std::size_t r = 0; r < runs.size();) {
+    if (!is_plain_rsp_guard(items, runs[r])) {
+      ++r;
+      continue;
+    }
+    std::size_t r2 = r;
+    while (r2 - r + 1 < kMaxChain && r2 + 1 < runs.size() &&
+           runs[r2 + 1].begin == runs[r2].end && is_plain_rsp_guard(items, runs[r2 + 1]))
+      ++r2;
+    if (r2 > r) chains.push_back({r, r2 - r + 1});
+    r = r2 + 1;
+  }
+  if (chains.empty()) return 0;
+
+  int next_group = max_group(items) + 1;
+  int changes = 0;
+  std::vector<AsmItem> out;
+  out.reserve(items.size());
+  std::size_t chain_idx = 0;
+  for (std::size_t r = 0, i = 0; i < items.size();) {
+    while (r < runs.size() && runs[r].end <= i) ++r;
+    bool at_chain = chain_idx < chains.size() && r == chains[chain_idx].first &&
+                    i == runs[r].begin;
+    if (!at_chain) {
+      out.push_back(std::move(items[i]));
+      ++i;
+      continue;
+    }
+    auto [first_run, count] = chains[chain_idx++];
+    int g = next_group++;
+    // All the RSP writes back to back, then the LAST pattern's guard (it
+    // validates the final RSP value; intermediate values are never used).
+    for (std::size_t k = 0; k < count; ++k) {
+      AsmInstr head = items[runs[first_run + k].begin].instr;
+      head.group = g;
+      out.push_back(AsmItem{AsmItem::Kind::Instr, {}, std::move(head)});
+    }
+    const GroupRun& last = runs[first_run + count - 1];
+    for (std::size_t j = last.begin + 1; j < last.end; ++j) {
+      AsmInstr ins = items[j].instr;
+      ins.group = g;
+      out.push_back(AsmItem{AsmItem::Kind::Instr, {}, std::move(ins)});
+    }
+    int merged = static_cast<int>(count) - 1;
+    stats.rsp_guards -= merged;
+    stats.rsp_guards_elided += merged;
+    changes += merged;
+    i = last.end;
+  }
+  items = std::move(out);
+  return changes;
+}
+
+int elide_leaf_shadow(CodegenResult& code, InstrumentStats& stats) {
+  std::vector<AsmItem>& items = code.program.items();
+  std::set<std::string> func_names(code.functions.begin(), code.functions.end());
+  std::set<std::string> taken(code.address_taken.begin(), code.address_taken.end());
+
+  // Function extents: [label item, next function label).
+  struct Extent {
+    std::string name;
+    std::size_t begin = 0;  // the function label item
+    std::size_t end = 0;
+    std::set<std::string> labels;  // labels defined inside (incl. the name)
+    bool disqualified = false;
+  };
+  std::vector<Extent> extents;
+  std::map<std::string, std::size_t> label_extent;  // label -> extent index
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].kind != AsmItem::Kind::Label) continue;
+    if (func_names.contains(items[i].label)) {
+      if (!extents.empty()) extents.back().end = i;
+      extents.push_back(Extent{items[i].label, i, items.size(), {}, false});
+    }
+    if (extents.empty()) continue;  // stray label before the first function
+    extents.back().labels.insert(items[i].label);
+    label_extent[items[i].label] = extents.size() - 1;
+  }
+  if (extents.empty()) return 0;
+
+  // Global rule: a direct branch from one extent into another disqualifies
+  // the TARGET (a jump into an elided leaf would reach the bare Ret with
+  // an unchecked return address) — except a Call to the entry label, which
+  // is exactly how leaves are meant to be entered.
+  for (std::size_t e = 0; e < extents.size(); ++e) {
+    for (std::size_t i = extents[e].begin; i < extents[e].end; ++i) {
+      if (items[i].kind != AsmItem::Kind::Instr) continue;
+      const AsmInstr& ins = items[i].instr;
+      if (ins.op != Op::Jmp && ins.op != Op::Jcc && ins.op != Op::Call) continue;
+      auto t = label_extent.find(ins.target);
+      if (t == label_extent.end()) continue;  // violation stub etc.
+      if (t->second == e) continue;
+      Extent& target = extents[t->second];
+      if (ins.op == Op::Call && ins.target == target.name) continue;
+      target.disqualified = true;
+    }
+  }
+
+  int elided = 0;
+  std::vector<bool> drop(items.size(), false);
+  std::vector<std::size_t> bare_rets;  // epilogue Rets to strip back to group 0
+
+  for (Extent& ext : extents) {
+    if (ext.disqualified || taken.contains(ext.name)) continue;
+
+    // Group structure: prologue immediately after the label, epilogue at
+    // the very end, nothing else shadow/store/indirect-shaped.
+    std::vector<GroupRun> runs;
+    for (std::size_t i = ext.begin; i < ext.end;) {
+      if (items[i].kind != AsmItem::Kind::Instr || items[i].instr.group == 0) {
+        ++i;
+        continue;
+      }
+      GroupRun run{i, i + 1, items[i].instr.group};
+      while (run.end < ext.end && items[run.end].kind == AsmItem::Kind::Instr &&
+             items[run.end].instr.group == run.group)
+        ++run.end;
+      runs.push_back(run);
+      i = run.end;
+    }
+    const GroupRun* prolog = nullptr;
+    const GroupRun* epilog = nullptr;
+    bool ok = true;
+    for (const GroupRun& run : runs) {
+      switch (classify(items, run)) {
+        case PatternKind::ShadowProlog:
+          ok = ok && prolog == nullptr && run.begin == ext.begin + 1;
+          prolog = &run;
+          break;
+        case PatternKind::ShadowEpilog:
+          ok = ok && epilog == nullptr && run.end == ext.end;
+          epilog = &run;
+          break;
+        case PatternKind::RspGuard:
+          break;  // checked via the explicit RSP-write scan below
+        default:
+          ok = false;  // store guards, indirect guards, anything unexpected
+      }
+      if (!ok) break;
+    }
+    if (!ok || prolog == nullptr || epilog == nullptr) continue;
+
+    // Instruction-level rules over the whole extent.
+    std::vector<std::size_t> rsp_writes;
+    for (std::size_t i = ext.begin; ok && i < ext.end; ++i) {
+      if (items[i].kind != AsmItem::Kind::Instr) continue;
+      const AsmInstr& ins = items[i].instr;
+      switch (ins.op) {
+        case Op::Call:
+        case Op::CallInd:
+        case Op::JmpInd:
+        case Op::Push:
+        case Op::Pop:
+        case Op::PushI:
+        case Op::Ocall:
+        case Op::Hlt:
+          ok = false;
+          continue;
+        default:
+          break;
+      }
+      if (writes_rsp(ins)) rsp_writes.push_back(i);
+      if (!ins.annotation && (ins.op == Op::Jmp || ins.op == Op::Jcc) &&
+          !ext.labels.contains(ins.target) && ins.target != kViolationSymbol)
+        ok = false;
+      if (ins.op == Op::Ret && i + 1 != ext.end) ok = false;  // only the epilogue Ret
+    }
+    // Exactly one balanced SubRI/AddRI frame pair: the SubRI right after
+    // the prologue, the AddRI heading into the epilogue.
+    if (!ok || rsp_writes.size() != 2) continue;
+    const AsmInstr& sub = items[rsp_writes[0]].instr;
+    const AsmInstr& add = items[rsp_writes[1]].instr;
+    if (sub.op != Op::SubRI || add.op != Op::AddRI || sub.imm != add.imm) continue;
+    std::int64_t frame = sub.imm;
+    if (rsp_writes[0] != prolog->end) continue;
+    // The AddRI (or its P2 guard pattern) must run straight into the
+    // epilogue: no instructions between its group and the epilogue run.
+    std::size_t add_end = rsp_writes[1] + 1;
+    if (items[rsp_writes[1]].instr.group != 0) {
+      while (add_end < ext.end && items[add_end].kind == AsmItem::Kind::Instr &&
+             items[add_end].instr.group == items[rsp_writes[1]].instr.group)
+        ++add_end;
+    }
+    if (add_end != epilog->begin) continue;
+
+    // Every plain store stays inside the frame, strictly below the saved
+    // return address at [RSP + frame].
+    for (std::size_t i = ext.begin; ok && i < ext.end; ++i) {
+      if (items[i].kind != AsmItem::Kind::Instr) continue;
+      const AsmInstr& ins = items[i].instr;
+      if (ins.annotation || !is_store(ins.op)) continue;
+      if (!ins.mem.has_base || ins.mem.base != Reg::RSP || ins.mem.has_index ||
+          ins.mem.disp < 0 || ins.mem.disp + store_size(ins.op) > frame)
+        ok = false;
+    }
+    if (!ok) continue;
+
+    for (std::size_t i = prolog->begin; i < prolog->end; ++i) drop[i] = true;
+    for (std::size_t i = epilog->begin; i + 1 < epilog->end; ++i) drop[i] = true;
+    bare_rets.push_back(epilog->end - 1);
+    ++elided;
+  }
+  if (elided == 0) return 0;
+
+  for (std::size_t i : bare_rets) {
+    items[i].instr.group = 0;
+    items[i].instr.annotation = false;
+  }
+  std::vector<AsmItem> out;
+  out.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    if (!drop[i]) out.push_back(std::move(items[i]));
+  items = std::move(out);
+  stats.shadow_prologues -= elided;
+  stats.shadow_epilogues -= elided;
+  stats.shadow_pairs_elided += elided;
+  return elided;
+}
+
+int dedup_branch_targets(CodegenResult& code, InstrumentStats&) {
+  auto& list = code.address_taken;
+  std::size_t before = list.size();
+  std::sort(list.begin(), list.end());
+  list.erase(std::unique(list.begin(), list.end()), list.end());
+  return static_cast<int>(before - list.size());
+}
+
+}  // namespace deflection::codegen

@@ -1,0 +1,46 @@
+// Annotation-reduction passes (producer side).
+//
+// These run AFTER the policy passes have expanded every sensitive
+// instruction into its full Fig.-5 annotation pattern, and rewrite groups
+// of patterns into the compressed forms the verifier's extended matchers
+// accept (verify.cpp grows a counterpart matcher for every rewrite here —
+// the two sides are co-designed, and the unoptimized forms stay
+// admissible). Each function performs ONE sweep and returns the number of
+// rewrites, so the pass manager can drive them to a fixed point.
+#pragma once
+
+#include "codegen/codegen.h"
+
+namespace deflection::codegen {
+
+struct InstrumentStats;
+
+// Coalesces a run of adjacent store-guard patterns whose stores share one
+// base/index/scale into a single widened guard: the bound check runs once
+// over [base+dmin, base+dmax] (an AddRI width operand widens the upper
+// check) and all the stores follow it back to back. One guard instead of
+// m; the verifier checks every store's displacement against the width.
+int coalesce_store_guards(CodegenResult& code, InstrumentStats& stats);
+
+// Merges a run of adjacent RSP-guard patterns into one: the explicit RSP
+// writes execute back to back and the single guard validates the final
+// value. Sound because nothing between the writes consumes RSP (the run is
+// adjacent by construction) and an AEX saves state to the SSA, not the
+// guest stack.
+int merge_rsp_guards(CodegenResult& code, InstrumentStats& stats);
+
+// Elides the shadow-stack prologue/epilogue pair of leaf functions whose
+// body provably cannot disturb the saved return address: no calls, pushes,
+// pops, indirect flow or guarded stores; exactly one balanced SubRI/AddRI
+// RSP frame pair; every plain store RSP-relative within the frame; all
+// control flow function-local; entry not address-taken and never entered
+// by a jump. Under those rules the return address written by the Call
+// cannot change before the (now bare) Ret, so the backward edge stays
+// protected without the per-call shadow traffic.
+int elide_leaf_shadow(CodegenResult& code, InstrumentStats& stats);
+
+// Sorts and deduplicates the address-taken (branch-target-table) list.
+// Codegen emits it deduplicated already; custom passes may not.
+int dedup_branch_targets(CodegenResult& code, InstrumentStats& stats);
+
+}  // namespace deflection::codegen

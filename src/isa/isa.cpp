@@ -169,28 +169,32 @@ std::uint32_t layout_length(Layout layout) {
   return 1;
 }
 
-bool Instr::writes_rsp_explicitly() const {
-  switch (layout()) {
+bool op_writes_reg(Op op, Reg rd, Reg r) {
+  switch (op_layout(op)) {
     case Layout::RR:
       // Compare/test read rd but do not write it.
       if (op == Op::CmpRR || op == Op::TestRR || op == Op::FCmpRR) return false;
-      return rd == Reg::RSP;
+      return rd == r;
     case Layout::RI32:
       if (op == Op::CmpRI) return false;
-      return rd == Reg::RSP;
+      return rd == r;
     case Layout::RI64:
-      return rd == Reg::RSP;
+      return rd == r;
     case Layout::RM:
-      return rd == Reg::RSP;  // load/lea into rsp
+      return rd == r;  // load/lea into the register
     case Layout::R:
-      // Pop rsp is an explicit rewrite of the stack pointer; unary ALU ops
-      // on rsp likewise.
+      // Pop rd is an explicit rewrite of rd; unary ALU ops likewise.
       if (op == Op::JmpInd || op == Op::CallInd || op == Op::Push) return false;
-      return rd == Reg::RSP;
+      return rd == r;
+    case Layout::I8:
+      // The OCall result clobbers RAX.
+      return op == Op::Ocall && r == Reg::RAX;
     default:
       return false;
   }
 }
+
+bool Instr::writes_rsp_explicitly() const { return op_writes_reg(op, rd, Reg::RSP); }
 
 std::string mem_to_string(const Mem& mem) {
   std::ostringstream os;

@@ -147,6 +147,14 @@ Layout op_layout(Op op);
 std::uint32_t layout_length(Layout layout);
 inline std::uint32_t op_length(Op op) { return layout_length(op_layout(op)); }
 
+// True when an instruction with this opcode and rd operand overwrites
+// general-purpose register `r`. Only explicit destination writes count:
+// the implicit RSP adjustment of Push/Pop/Call/Ret does not (mirroring
+// writes_rsp_explicitly, which is this predicate at r == RSP). Shared by
+// the producer's optimization passes and the verifier's run-guard filler
+// rules, so both sides agree on what can clobber a guarded base register.
+bool op_writes_reg(Op op, Reg rd, Reg r);
+
 // SIB-style memory operand: [base + index*scale + disp32].
 struct Mem {
   bool has_base = false;
@@ -189,6 +197,8 @@ struct Instr {
   // Explicitly writes the stack pointer (paper policy P2 trigger). Push/
   // Pop/Call/Ret adjust RSP implicitly and are covered by guard pages.
   bool writes_rsp_explicitly() const;
+  // Explicitly overwrites general-purpose register `r` (see op_writes_reg).
+  bool writes_reg(Reg r) const { return op_writes_reg(op, rd, r); }
   bool is_indirect_branch() const { return op == Op::JmpInd || op == Op::CallInd; }
   bool is_ret() const { return op == Op::Ret; }
   bool is_call() const { return op == Op::Call || op == Op::CallInd; }

@@ -419,8 +419,9 @@ class Interp {
         out = flt ? as_u(as_f(a) - as_f(b)) : a - (lhs_scaled ? b * 8 : b);
         return Status::ok();
       case '*':
-        out = flt ? as_u(as_f(a) * as_f(b))
-                  : static_cast<std::uint64_t>(sa * sb);
+        // Wrapping multiply: MiniC i64 overflow is defined as two's
+        // complement (it matches the VM's ImulRR), so multiply unsigned.
+        out = flt ? as_u(as_f(a) * as_f(b)) : a * b;
         return Status::ok();
       case '/':
         if (flt) {

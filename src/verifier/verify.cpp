@@ -68,10 +68,11 @@ class Verifier {
   Result<VerifyReport> run() {
     if (auto s = check_policy_cover(); !s.is_ok()) return s.error();
     if (auto s = scan_patterns(0, count(), report_); !s.is_ok()) return s.error();
+    if (auto s = resolve_leaves(); !s.is_ok()) return s.error();
     if (auto s = check_singletons(0, count()); !s.is_ok()) return s.error();
     if (auto s = check_entries(0, count()); !s.is_ok()) return s.error();
     if (auto s = check_entries_tail(); !s.is_ok()) return s.error();
-    if (auto s = check_probe_density(0, count()); !s.is_ok()) return s.error();
+    if (auto s = check_probe_paths(); !s.is_ok()) return s.error();
     if (auto s = check_violation_stub(report_); !s.is_ok()) return s.error();
     report_.instructions = count();
     return report_;
@@ -84,16 +85,17 @@ class Verifier {
   // exactly; kind_/start_ writes stay inside the chunk.
   Status scan_patterns(std::size_t begin, std::size_t end, VerifyReport& report);
   // Phase B per chunk (requires every chunk's scan complete): the
-  // singleton rules, the per-instruction entry rules, and the probe
-  // density walk — the latter enters each chunk with a reset gap counter,
-  // which is exact because the instruction before a chunk boundary ends
-  // flow (serial resets there too).
+  // singleton rules and the per-instruction entry rules. Both only read
+  // the global kind_/start_/leaf arrays, so ranges are independent.
   Status check_singletons(std::size_t begin, std::size_t end);
   Status check_entries(std::size_t begin, std::size_t end);
-  Status check_probe_density(std::size_t begin, std::size_t end);
-  // Serial tail run by the driver's leader after the chunks pass.
+  // Serial steps run by the driver's leader: leaf resolution between the
+  // scan and Phase B (Phase B reads the leaf arrays), the rest after the
+  // chunks pass.
+  Status resolve_leaves();
   Status check_policy_cover() const;
   Status check_entries_tail();
+  Status check_probe_paths();
   Status check_violation_stub(const VerifyReport& merged);
 
  private:
@@ -162,8 +164,24 @@ class Verifier {
   Status match_shadow_epilog(std::size_t& i, VerifyReport& report);
   Status match_indirect_guard(std::size_t& i, VerifyReport& report);
   Status match_aex_probe(std::size_t& i, VerifyReport& report);
-  Status check_entry(std::uint64_t target, std::uint64_t from, bool want_prologue);
+  // How control reaches a target — the entry rules differ per edge kind.
+  enum class EntryVia { Call, Jump, Table, Boot };
+  Status check_entry(std::uint64_t target, std::uint64_t from, EntryVia via,
+                     std::size_t from_idx = SIZE_MAX);
   Result<std::size_t> target_index(std::uint64_t target, std::uint64_t from);
+  Status resolve_leaf_at(std::size_t ret_i);
+
+  // An elided-leaf region (P5, produced by the O2 shadow-elision pass):
+  // instructions [entry, ret] with the frame setup ending at sub_end.
+  struct Leaf {
+    std::size_t entry = 0;
+    std::size_t sub_end = 0;
+    std::size_t ret = 0;
+  };
+  bool in_leaf(std::size_t i) const { return !leaf_id_.empty() && leaf_id_[i] != 0; }
+  bool is_leaf_ret(std::size_t i) const {
+    return in_leaf(i) && leaves_[leaf_id_[i] - 1].ret == i;
+  }
 
   const std::vector<Instr>& instrs_;
   const LoadedBinary& binary_;
@@ -174,6 +192,8 @@ class Verifier {
   // disjoint index ranges from different threads, which a packed bitfield
   // would turn into racing read-modify-writes on shared words).
   std::vector<std::uint8_t> start_;
+  std::vector<Leaf> leaves_;
+  std::vector<std::uint32_t> leaf_id_;  // 1-based index into leaves_, 0 = none
   VerifyReport report_;
 };
 
@@ -230,6 +250,36 @@ Status Verifier::match_store_guard(std::size_t& i, VerifyReport& report) {
     if (!is_movri(at(i + 1), kS1, kMagicStoreLo)) return bad("missing lower bound");
     if (!is_cmprr(at(i + 2), kS0, kS1)) return bad("missing lower compare");
     if (!is_jcc_violation(at(i + 3), Cond::B)) return bad("missing lower exit");
+    if (at(i + 4).op == Op::AddRI && at(i + 4).rd == kS0) {
+      // Widened (coalesced) form: the lower check ran against base+dmin;
+      // an AddRI widens the upper check to base+dmin+W, and a run of
+      // stores to [base+d], d in [dmin, dmin+W], follows back to back.
+      // Sound for every member: lower bound <= base+dmin <= base+d and
+      // base+d <= base+dmin+W < stack_top-7, so even 8-byte stores stay
+      // inside the window the two compares establish.
+      const std::int64_t width = at(i + 4).imm;
+      if (width < 0 || width > codegen::kRspSlack) return bad("widening out of range");
+      if (i + 9 > count()) return bad("truncated");
+      if (!is_movri(at(i + 5), kS1, kMagicStoreHi)) return bad("missing upper bound");
+      if (!is_cmprr(at(i + 6), kS0, kS1)) return bad("missing upper compare");
+      if (!is_jcc_violation(at(i + 7), Cond::AE)) return bad("missing upper exit");
+      std::size_t j = i + 8;
+      while (j < count() && at(j).may_store() && at(j).mem.has_base == m.has_base &&
+             at(j).mem.has_index == m.has_index &&
+             (!m.has_base || at(j).mem.base == m.base) &&
+             (!m.has_index ||
+              (at(j).mem.index == m.index && at(j).mem.scale_log2 == m.scale_log2)) &&
+             at(j).mem.disp >= m.disp &&
+             static_cast<std::int64_t>(at(j).mem.disp) <= m.disp + width)
+        ++j;
+      if (j == i + 8) return bad("no store after annotation");
+      patch(report, i + 1, PatchKind::StoreLo);
+      patch(report, i + 5, PatchKind::StoreHi);
+      mark(i, j, PatternKind::StoreGuard);
+      ++report.store_guards;
+      i = j;
+      return Status::ok();
+    }
     if (!is_movri(at(i + 4), kS1, kMagicStoreHi)) return bad("missing upper bound");
     if (!is_cmprr(at(i + 5), kS0, kS1)) return bad("missing upper compare");
     if (!is_jcc_violation(at(i + 6), Cond::AE)) return bad("missing upper exit");
@@ -249,18 +299,25 @@ Status Verifier::match_rsp_guard(std::size_t& i, VerifyReport& report) {
     auto bad = [&](const std::string& why) {
       return err(a, "verify_rsp_guard", "malformed RSP annotation: " + why);
     };
-    if (i + 7 > count()) return bad("truncated");
-    if (!is_movri(at(i + 1), kS1, kMagicStackLo)) return bad("missing lower bound");
-    if (!is_cmprr(at(i + 2), Reg::RSP, kS1)) return bad("missing lower compare");
-    if (!is_jcc_violation(at(i + 3), Cond::B)) return bad("missing lower exit");
-    if (!is_movri(at(i + 4), kS1, kMagicStackHi)) return bad("missing upper bound");
-    if (!is_cmprr(at(i + 5), Reg::RSP, kS1)) return bad("missing upper compare");
-    if (!is_jcc_violation(at(i + 6), Cond::A)) return bad("missing upper exit");
-    patch(report, i + 1, PatchKind::StackLo);
-    patch(report, i + 4, PatchKind::StackHi);
-    mark(i, i + 7, PatternKind::RspGuard);
+    // One or more back-to-back explicit RSP writes, then one guard that
+    // validates the final value. Sound for any run length: nothing between
+    // the writes reads memory through RSP (they execute back to back), and
+    // an AEX mid-run saves state to the SSA, never to the guest stack, so
+    // only the value the guard checks is ever dereferenced.
+    std::size_t k = i + 1;
+    while (k < count() && writes_rsp(at(k))) ++k;
+    if (k + 6 > count()) return bad("truncated");
+    if (!is_movri(at(k), kS1, kMagicStackLo)) return bad("missing lower bound");
+    if (!is_cmprr(at(k + 1), Reg::RSP, kS1)) return bad("missing lower compare");
+    if (!is_jcc_violation(at(k + 2), Cond::B)) return bad("missing lower exit");
+    if (!is_movri(at(k + 3), kS1, kMagicStackHi)) return bad("missing upper bound");
+    if (!is_cmprr(at(k + 4), Reg::RSP, kS1)) return bad("missing upper compare");
+    if (!is_jcc_violation(at(k + 5), Cond::A)) return bad("missing upper exit");
+    patch(report, k, PatchKind::StackLo);
+    patch(report, k + 3, PatchKind::StackHi);
+    mark(i, k + 6, PatternKind::RspGuard);
     ++report.rsp_guards;
-    i += 7;
+    i = k + 6;
     return Status::ok();
 }
 
@@ -416,7 +473,7 @@ Status Verifier::check_singletons(std::size_t begin, std::size_t end) {
       if (p(kPolicyP5) && ins.is_indirect_branch())
         return err(ins.addr, "verify_unguarded_indirect",
                    "indirect branch without target check");
-      if (p(kPolicyP5) && ins.is_ret())
+      if (p(kPolicyP5) && ins.is_ret() && !is_leaf_ret(i))
         return err(ins.addr, "verify_unguarded_ret",
                    "RET without shadow-stack epilogue");
       if (ins.op == Op::Ocall &&
@@ -448,19 +505,48 @@ Result<std::size_t> Verifier::target_index(std::uint64_t target, std::uint64_t f
     return idx;
 }
 
-Status Verifier::check_entry(std::uint64_t target, std::uint64_t from, bool want_prologue) {
+Status Verifier::check_entry(std::uint64_t target, std::uint64_t from, EntryVia via,
+                             std::size_t from_idx) {
     if (binary_.violation_addr != 0 && target == binary_.violation_addr)
       return Status::ok();  // trapping into the stub is always safe
     auto idx_r = target_index(target, from);
     if (!idx_r.is_ok()) return idx_r.status();
     std::size_t idx = idx_r.value();
-    if (p(kPolicyP6)) {
+    if (in_leaf(idx)) {
+      // Elided-leaf regions have their own entry discipline: the bare RET
+      // is only safe when the return address was pushed by a CALL to the
+      // leaf entry and nothing else could have entered the region.
+      const Leaf& leaf = leaves_[leaf_id_[idx] - 1];
+      switch (via) {
+        case EntryVia::Call:
+          if (idx == leaf.entry) return Status::ok();  // probe verified at resolve time
+          return err(target, "verify_leaf_entry", "call into an elided-leaf body");
+        case EntryVia::Jump:
+          // Only the leaf's own (post-frame-setup) code may branch within
+          // it; a jump to the entry would re-run the frame setup and shift
+          // the return-address slot.
+          if (from_idx < count() && in_leaf(from_idx) &&
+              leaf_id_[from_idx] == leaf_id_[idx] && idx >= leaf.sub_end)
+            return Status::ok();
+          return err(target, "verify_leaf_entry", "jump into an elided leaf");
+        case EntryVia::Table:
+          return err(target, "verify_leaf_entry",
+                     "elided leaf listed as an indirect-branch target");
+        case EntryVia::Boot:
+          return err(target, "verify_leaf_entry", "program entry is an elided leaf");
+      }
+    }
+    // Direct jumps are exempt from the probe-at-target rule: the
+    // path-sensitive probe walk (check_probe_paths) accounts for them
+    // edge by edge, which is what lets an O2 producer drop probes at
+    // forward-only jump targets.
+    if (p(kPolicyP6) && via != EntryVia::Jump) {
       if (!(kind_[idx] == PatternKind::AexProbe && start_[idx]))
         return err(target, "verify_missing_probe",
                    "branch target lacks an SSA probe");
       idx += 12;  // probe length
     }
-    if (p(kPolicyP5) && want_prologue) {
+    if (p(kPolicyP5) && (via == EntryVia::Call || via == EntryVia::Table)) {
       if (idx >= count() || !(kind_[idx] == PatternKind::ShadowProlog && start_[idx]))
         return err(target, "verify_missing_prologue",
                    "call target lacks a shadow-stack prologue");
@@ -470,15 +556,20 @@ Status Verifier::check_entry(std::uint64_t target, std::uint64_t from, bool want
 
 Status Verifier::check_entries(std::size_t begin, std::size_t end) {
     // Program-level direct branches. Each instruction's check reads only
-    // the global kind_/start_ arrays (complete after the scan phase) and
-    // the instruction vector, so ranges are independent.
+    // the global kind_/start_/leaf arrays (complete after the scan and
+    // leaf-resolution phases) and the instruction vector, so ranges are
+    // independent.
     for (std::size_t i = begin; i < end; ++i) {
       if (kind_[i] != PatternKind::None) continue;
       const Instr& ins = at(i);
       if (ins.op == Op::Call) {
-        if (auto s = check_entry(ins.branch_target(), ins.addr, true); !s.is_ok()) return s;
+        if (auto s = check_entry(ins.branch_target(), ins.addr, EntryVia::Call, i);
+            !s.is_ok())
+          return s;
       } else if (ins.op == Op::Jmp || ins.op == Op::Jcc) {
-        if (auto s = check_entry(ins.branch_target(), ins.addr, false); !s.is_ok()) return s;
+        if (auto s = check_entry(ins.branch_target(), ins.addr, EntryVia::Jump, i);
+            !s.is_ok())
+          return s;
       }
     }
     return Status::ok();
@@ -487,45 +578,211 @@ Status Verifier::check_entries(std::size_t begin, std::size_t end) {
 Status Verifier::check_entries_tail() {
     // Indirect-branch list entries are call targets.
     for (std::uint64_t t : binary_.branch_targets) {
-      if (auto s = check_entry(t, t, true); !s.is_ok()) return s;
+      if (auto s = check_entry(t, t, EntryVia::Table); !s.is_ok()) return s;
     }
     // The program entry (jumped to by the bootstrap, not called).
-    if (p(kPolicyP6)) {
-      if (auto s = check_entry(binary_.entry, binary_.entry, false); !s.is_ok()) return s;
-    } else {
-      if (auto s = target_index(binary_.entry, binary_.entry).status(); !s.is_ok()) return s;
+    if (auto s = check_entry(binary_.entry, binary_.entry, EntryVia::Boot); !s.is_ok())
+      return s;
+    return Status::ok();
+}
+
+// ---- P5 leaf resolution ----
+
+// An O2 producer elides the shadow prologue/epilogue pair of provably-safe
+// leaf functions (codegen reduce.cpp: elide_leaf_shadow), leaving a bare
+// RET. Before the singleton rules run, every bare RET must be justified as
+// the exit of such a leaf region:
+//
+//   [SSA probe]  SubRI RSP,F [P2 guard]  body…  AddRI RSP,F [P2 guard]  Ret
+//
+// whose body provably cannot disturb the return address the entering CALL
+// stored at [RSP+F]: no calls, pushes/pops, indirect flow, OCalls, HLTs or
+// nested RETs; no annotation patterns besides SSA probes (a guarded store
+// may legally target any stack address, including the return slot); no RSP
+// writes besides the balanced frame pair; every plain store RSP-relative
+// within [0, F). Entry discipline (only CALLs to the entry may enter;
+// nothing falls through into the frame setup) is enforced here and by
+// check_entry. Fails closed: a bare RET that is not such an exit keeps the
+// classic verify_unguarded_ret rejection.
+Status Verifier::resolve_leaves() {
+    if (!p(kPolicyP5)) return Status::ok();
+    for (std::size_t i = 0; i < count(); ++i) {
+      if (kind_[i] != PatternKind::None || !at(i).is_ret()) continue;
+      if (leaf_id_.empty()) leaf_id_.assign(count(), 0);
+      if (auto s = resolve_leaf_at(i); !s.is_ok()) return s;
     }
     return Status::ok();
 }
 
-// ---- P6 probe density ----
+Status Verifier::resolve_leaf_at(std::size_t ret_i) {
+    auto bad = [&](const std::string& why) {
+      return err(at(ret_i).addr, "verify_unguarded_ret",
+                 "RET without shadow-stack epilogue (not an elided leaf: " + why + ")");
+    };
+    // Walks a pattern run backward from its last instruction to its start.
+    auto run_start = [&](std::size_t j, PatternKind kind) -> std::optional<std::size_t> {
+      std::size_t s = j;
+      while (s > 0 && kind_[s] == kind && !start_[s]) --s;
+      if (kind_[s] != kind || !start_[s]) return std::nullopt;
+      return s;
+    };
+    if (ret_i == 0) return bad("no frame teardown");
+    // 1. Frame teardown: AddRI RSP,F — P2-wrapped or bare — right before
+    //    the RET. The producer's probe pass runs after leaf elision and may
+    //    land an SSA probe between the teardown and the RET; probes write
+    //    neither RSP nor the frame, so they are teardown-transparent.
+    std::size_t t = ret_i;  // exclusive upper bound of the teardown search
+    while (t > 0 && kind_[t - 1] == PatternKind::AexProbe) {
+      auto s = run_start(t - 1, PatternKind::AexProbe);
+      if (!s.has_value()) return bad("torn probe");
+      t = *s;
+    }
+    if (t == 0) return bad("no frame teardown");
+    std::size_t add_i = 0;
+    if (kind_[t - 1] == PatternKind::RspGuard) {
+      auto s = run_start(t - 1, PatternKind::RspGuard);
+      if (!s.has_value()) return bad("torn RSP guard");
+      if (writes_rsp(at(*s + 1))) return bad("merged RSP guard in teardown");
+      add_i = *s;
+    } else if (kind_[t - 1] == PatternKind::None) {
+      add_i = t - 1;
+    } else {
+      return bad("no frame teardown");
+    }
+    const Instr& add = at(add_i);
+    if (add.op != Op::AddRI || add.rd != Reg::RSP || add.imm < 0)
+      return bad("no frame teardown");
+    const std::int64_t frame = add.imm;
+    // 2. Walk the body backward to the frame setup.
+    std::size_t m = add_i;                // exclusive upper bound of the walk
+    std::size_t sub_i = count();          // the SubRI (or its pattern start)
+    std::size_t sub_end = 0;              // one past the frame-setup pattern
+    while (m > 0) {
+      std::size_t j = m - 1;
+      if (kind_[j] == PatternKind::AexProbe) {
+        auto s = run_start(j, PatternKind::AexProbe);
+        if (!s.has_value()) return bad("torn probe");
+        m = *s;  // loop-head probes are welcome in a body
+        continue;
+      }
+      if (kind_[j] == PatternKind::RspGuard) {
+        // The only RSP write below the teardown must be the frame setup.
+        auto s = run_start(j, PatternKind::RspGuard);
+        if (!s.has_value()) return bad("torn RSP guard");
+        if (writes_rsp(at(*s + 1))) return bad("merged RSP guard in frame setup");
+        sub_i = *s;
+        sub_end = j + 1;
+        break;
+      }
+      if (kind_[j] != PatternKind::None) return bad("guarded operation in body");
+      const Instr& ins = at(j);
+      if (writes_rsp(ins)) {
+        sub_i = j;
+        sub_end = j + 1;
+        break;
+      }
+      switch (ins.op) {
+        case Op::Call:
+        case Op::CallInd:
+        case Op::JmpInd:
+        case Op::Push:
+        case Op::Pop:
+        case Op::PushI:
+        case Op::Ocall:
+        case Op::Hlt:
+          return bad("unsupported operation in body");
+        default:
+          break;
+      }
+      if (ins.is_ret()) return bad("nested RET");
+      if (ins.may_store() &&
+          (!ins.mem.has_base || ins.mem.base != Reg::RSP || ins.mem.has_index ||
+           ins.mem.disp < 0 ||
+           ins.mem.disp + (ins.op == Op::Store8 ? 1 : 8) > frame))
+        return bad("store may reach the return-address slot");
+      m = j;
+    }
+    if (sub_i >= count()) return bad("no frame setup");
+    const Instr& sub = at(sub_i);
+    if (sub.op != Op::SubRI || sub.rd != Reg::RSP || sub.imm != frame)
+      return bad("unbalanced frame");
+    // 3. The entry: the SSA probe directly before the frame setup (P6
+    //    claimed), else the frame setup itself. Its basic block must start
+    //    fresh — nothing may fall through into the frame setup with an
+    //    unchecked return slot.
+    std::size_t entry = sub_i;
+    if (p(kPolicyP6)) {
+      if (entry < 12 || kind_[entry - 1] != PatternKind::AexProbe ||
+          kind_[entry - 12] != PatternKind::AexProbe || !start_[entry - 12])
+        return bad("entry lacks an SSA probe");
+      entry -= 12;
+    }
+    if (entry != 0 && !at(entry - 1).ends_flow())
+      return bad("execution can fall through into the entry");
+    leaves_.push_back(Leaf{entry, sub_end, ret_i});
+    const auto id = static_cast<std::uint32_t>(leaves_.size());
+    for (std::size_t x = entry; x <= ret_i; ++x) leaf_id_[x] = id;
+    return Status::ok();
+}
 
-Status Verifier::check_probe_density(std::size_t begin, std::size_t end) {
+// ---- P6 probe paths ----
+
+Status Verifier::check_probe_paths() {
     if (!p(kPolicyP6)) return Status::ok();
-    // Gap semantics (pinned by VerifierProbeGap.* tests): max_probe_gap
-    // bounds the number of instructions between the end of one SSA probe
-    // (or a flow break, whose linear successor is a fresh probed target or
-    // dead) and the start of the next. The probe's own 12 instructions are
-    // free — the producer's spacing counter excludes them too — while guard
-    // annotations DO count: they execute between probes like any program
-    // instruction.
-    //
-    // Range form: entering with since = 0 at `begin` is exact for chunk
-    // boundaries, because the instruction before a boundary ends flow and
-    // the serial walk resets the counter there too.
+    // Path-sensitive successor of the old linear density walk: bounds the
+    // number of instructions executed between SSA probes along EVERY
+    // control path, not just the straight-line sweep. `since` carries the
+    // largest instruction count any path may have accumulated since its
+    // last probe on arrival at instruction i:
+    //   * probe instructions themselves are free (the producer's spacing
+    //     counter excludes them too), guard annotations DO count;
+    //   * a forward direct branch propagates its count to the target,
+    //     merged in when the walk arrives there (all such edges point
+    //     forward, so one pass sees every incoming edge first);
+    //   * a backward direct branch must land on a probe — that cuts every
+    //     cycle, so the forward pass is complete;
+    //   * a flow break resets the linear counter: its successor is only
+    //     reachable through recorded incoming edges (or dead).
+    // Annotation-internal jumps are all shape-checked to target either the
+    // violation stub (which halts within two instructions) or the probe's
+    // own fast-path exit, so only kind-None jumps carry accounting.
+    // This accepts everything the old rule accepted — on a binary whose
+    // direct-branch targets all carry probes, every merge lands on a probe
+    // and the walk degenerates to the old linear counter — while O2
+    // binaries with probe-free forward-jump targets verify precisely.
+    std::vector<int> incoming(count(), 0);
     int since = 0;
-    for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t i = 0; i < count(); ++i) {
       if (kind_[i] == PatternKind::AexProbe) {
         since = 0;
         continue;
       }
+      since = std::max(since, incoming[i]);
       ++since;
-      if (at(i).ends_flow()) {
-        since = 0;  // linear successor is a fresh (probed) target or dead
+      const Instr& ins = at(i);
+      if (kind_[i] == PatternKind::None && (ins.op == Op::Jmp || ins.op == Op::Jcc)) {
+        std::uint64_t t = ins.branch_target();
+        if (!(binary_.violation_addr != 0 && t == binary_.violation_addr)) {
+          auto tidx = find_index(t);
+          if (!tidx.has_value())
+            return err(t, "verify_target_misaligned",
+                       "branch target is not an instruction boundary (from " +
+                           std::to_string(ins.addr) + ")");
+          if (t <= ins.addr) {
+            if (!(kind_[*tidx] == PatternKind::AexProbe && start_[*tidx]))
+              return err(t, "verify_missing_probe",
+                         "backward branch target lacks an SSA probe");
+          } else {
+            incoming[*tidx] = std::max(incoming[*tidx], since);
+          }
+        }
+      }
+      if (ins.ends_flow()) {
+        since = 0;  // successors are reachable only via recorded edges
         continue;
       }
       if (since > config_.max_probe_gap)
-        return err(at(i).addr, "verify_probe_gap",
+        return err(ins.addr, "verify_probe_gap",
                    "more than " + std::to_string(config_.max_probe_gap) +
                        " instructions without an SSA probe");
     }
@@ -566,10 +823,13 @@ Status Verifier::check_violation_stub(const VerifyReport& merged) {
 //
 //   Phase A (per chunk): linear-sweep cross-check of the chunk's byte
 //     range + the pattern scan into a chunk-local report.
+//   Leaf resolution (leader, serial, O(n)): justifies bare RETs between
+//     the phases — Phase B reads the leaf arrays it fills.
 //   Phase B (per chunk, after every scan finished): singleton rules,
-//     per-instruction entry rules, probe-density walk.
-//   Leader tail: branch-target/entry checks, report merge (chunk order ==
-//     address order == serial order), violation-stub check.
+//     per-instruction entry rules.
+//   Leader tail: branch-target/entry checks, the serial probe-path walk,
+//     report merge (chunk order == address order == serial order),
+//     violation-stub check.
 //
 // Determinism contract: returns nullopt on ANY failure anywhere — the
 // caller falls back to the serial pass, which reproduces the exact serial
@@ -642,20 +902,23 @@ std::optional<Result<VerifyReport>> verify_sharded(const sgx::AddressSpace& spac
   });
   if (failed.load(std::memory_order_relaxed)) return std::nullopt;
 
-  // Phase B: singleton, entry, and probe-density rules per chunk. These
-  // read the now-complete kind_/start_ arrays; any failure anywhere falls
+  // Leaf resolution: serial and cheap; its arrays feed Phase B.
+  if (!verifier.resolve_leaves().is_ok()) return std::nullopt;
+
+  // Phase B: singleton and entry rules per chunk. These read the
+  // now-complete kind_/start_/leaf arrays; any failure anywhere falls
   // back to serial for the exact error.
   parallel::run_shards(chunks, [&](int c) {
     const std::size_t begin = bounds[static_cast<std::size_t>(c)];
     const std::size_t end = bounds[static_cast<std::size_t>(c) + 1];
     if (!verifier.check_singletons(begin, end).is_ok() ||
-        !verifier.check_entries(begin, end).is_ok() ||
-        !verifier.check_probe_density(begin, end).is_ok())
+        !verifier.check_entries(begin, end).is_ok())
       failed.store(true, std::memory_order_relaxed);
   });
   if (failed.load(std::memory_order_relaxed)) return std::nullopt;
 
   if (!verifier.check_entries_tail().is_ok()) return std::nullopt;
+  if (!verifier.check_probe_paths().is_ok()) return std::nullopt;
 
   // Merge: chunks are address-ordered, so concatenating their patch lists
   // reproduces the serial scan's emission order exactly.

@@ -3,13 +3,17 @@
 // After the loader rebases the target binary, the verifier:
 //   1. disassembles it (recursive descent, full coverage required),
 //   2. matches every security-annotation pattern the binary's claimed
-//      policy mask implies, rejecting any guardable operation (store,
-//      explicit RSP write, indirect branch, RET) that is not protected by a
-//      correctly-shaped annotation,
+//      policy mask implies — both the classic one-op forms and the
+//      optimizer's compressed forms (widened store guards covering a run
+//      of stores, merged multi-write RSP guards, elided leaf functions
+//      with a justified bare RET) — rejecting any guardable operation
+//      (store, explicit RSP write, indirect branch, RET) that is not
+//      protected by a correctly-shaped annotation,
 //   3. checks control-flow hygiene: no branch may land inside an annotation
-//      pattern, every jump/call target carries the required entry sequence
-//      (P6 probe, P5 shadow-stack prologue), the SSA-probe density bound
-//      holds, and the violation stub is well-formed,
+//      pattern, every call target carries the required entry sequence
+//      (P6 probe, P5 shadow-stack prologue or verified leaf entry), the
+//      path-sensitive SSA-probe gap bound holds along every control path,
+//      and the violation stub is well-formed,
 //   4. records the addresses of every placeholder immediate.
 //
 // If (and only if) verification succeeds, rewrite_immediates() patches the

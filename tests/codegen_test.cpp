@@ -250,6 +250,71 @@ TEST(InstrumentStats, NoAnnotationsWithoutPolicies) {
   EXPECT_EQ(compiled.dxo.find_symbol(codegen::kViolationSymbol), nullptr);
 }
 
+// ---- pass manager ----
+
+constexpr const char* kLeafySource = R"(
+  int g;
+  int leaf(int a, int b) { return a * b + 3; }
+  int main() {
+    int t = 0;
+    for (int i = 0; i < 5; i += 1) { t += leaf(i, t); g = t; }
+    return t;
+  }
+)";
+
+TEST(PassManager, RecordsEveryRegisteredPassAtO2) {
+  codegen::InstrumentOptions options;
+  options.opt_level = 2;
+  auto compiled = codegen::compile(kLeafySource, PolicySet::p1to6(), &options);
+  ASSERT_TRUE(compiled.is_ok()) << compiled.message();
+  const auto& recs = compiled.value().stats.passes;
+  auto runs_of = [&](const std::string& name) {
+    for (const auto& rec : recs)
+      if (rec.name == name) return rec.runs;
+    return 0;
+  };
+  // Every registered pass body executed at least once (fixed-point segments
+  // always complete one full sweep; run-once segments run exactly once).
+  for (const char* name :
+       {"peephole-classic", "rsp-write-fold", "dead-store", "cmp-fold",
+        "p1-store-guards", "p2-rsp-guards", "p5-cfi", "merge-rsp-guards",
+        "dedup-branch-targets", "coalesce-store-guards", "elide-leaf-shadow",
+        "p6-aex-probes", "violation-stub"})
+    EXPECT_GE(runs_of(name), 1) << name << " never ran";
+  // The reductions actually fired on this program: `leaf` loses its shadow
+  // pair, and the target-aware probe placement drops at least one probe.
+  EXPECT_GE(compiled.value().stats.shadow_pairs_elided, 1);
+  EXPECT_GE(compiled.value().stats.probes_elided, 1);
+}
+
+TEST(PassManager, O0IsByteIdenticalToTheDefaultPipeline) {
+  auto implicit = codegen::compile(kLeafySource, PolicySet::p1to6());
+  codegen::InstrumentOptions o0;
+  auto explicit0 = codegen::compile(kLeafySource, PolicySet::p1to6(), &o0);
+  ASSERT_TRUE(implicit.is_ok() && explicit0.is_ok());
+  EXPECT_EQ(implicit.value().dxo.text, explicit0.value().dxo.text);
+  EXPECT_EQ(implicit.value().dxo.data, explicit0.value().dxo.data);
+  // And -O0 never reports reductions.
+  EXPECT_EQ(explicit0.value().stats.guards_coalesced, 0);
+  EXPECT_EQ(explicit0.value().stats.shadow_pairs_elided, 0);
+  EXPECT_EQ(explicit0.value().stats.rsp_guards_elided, 0);
+  EXPECT_EQ(explicit0.value().stats.probes_elided, 0);
+}
+
+TEST(PassManager, NonConvergingPassSetIsAnError) {
+  codegen::PassManager pm;
+  pm.add("ping", [](codegen::PassContext&) -> Result<int> { return 1; });
+  CodegenResult code;
+  codegen::InstrumentOptions options;
+  codegen::InstrumentStats stats;
+  codegen::PassContext ctx{code, options, stats};
+  auto status = pm.run_fixed_point(ctx, 4);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), "passman_diverged");
+  ASSERT_EQ(pm.records().size(), 1u);
+  EXPECT_EQ(pm.records()[0].runs, 4);
+}
+
 // ---- DXO format ----
 
 TEST(DxoFormat, SerializeDeserializeRoundTrip) {

@@ -8,6 +8,7 @@
 #include "minic/parser.h"
 #include "minic/sema.h"
 #include "test_helpers.h"
+#include "workloads/runner.h"
 #include "workloads/workloads.h"
 
 namespace deflection::testing {
@@ -41,6 +42,42 @@ TEST_P(NbenchDifferential, InterpreterAgreesWithCompiledPipeline) {
   EXPECT_EQ(outcome.result.exit_code,
             static_cast<std::uint64_t>(reference.value().exit_code))
       << kernel.name << " diverges from the reference interpreter";
+}
+
+// Optimizer differential: every kernel, at every opt level, must still be
+// admitted by the unmodified verifier under the full policy set and produce
+// an exit code bit-identical to the -O0 build. -O2 binaries carry the
+// compressed annotation forms (coalesced store guards, merged RSP guards,
+// elided leaf shadow pairs, target-aware probes), so this is the end-to-end
+// producer/verifier co-design check.
+TEST_P(NbenchDifferential, AllOptLevelsAdmitAndAgree) {
+  const auto& kernel = workloads::nbench_kernels()[GetParam()];
+  std::string src = workloads::with_params(kernel.source, kernel.test_params);
+
+  std::uint64_t baseline_exit = 0;
+  std::uint64_t baseline_cost = 0;
+  for (int opt = 0; opt <= 2; ++opt) {
+    codegen::InstrumentOptions options;
+    options.opt_level = opt;
+    auto compiled = codegen::compile(src, PolicySet::p1to6(), &options);
+    ASSERT_TRUE(compiled.is_ok())
+        << kernel.name << " -O" << opt << ": " << compiled.message();
+    core::BootstrapConfig config;
+    config.verify.required = PolicySet::p1to6();
+    auto run = workloads::run_dxo(compiled.value().dxo, PolicySet::p1to6(), config);
+    ASSERT_TRUE(run.is_ok()) << kernel.name << " -O" << opt << ": " << run.message();
+    ASSERT_EQ(run.value().outcome.result.exit, vm::Exit::Halt)
+        << kernel.name << " -O" << opt;
+    if (opt == 0) {
+      baseline_exit = run.value().outcome.result.exit_code;
+      baseline_cost = run.value().cost;
+    } else {
+      EXPECT_EQ(run.value().outcome.result.exit_code, baseline_exit)
+          << kernel.name << " -O" << opt << " diverges from -O0";
+      EXPECT_LE(run.value().cost, baseline_cost)
+          << kernel.name << " -O" << opt << " runs slower than -O0";
+    }
+  }
 }
 
 }  // namespace

@@ -70,6 +70,86 @@ TEST(Peephole, FoldsConstantOperandShuffle) {
   EXPECT_EQ(prog.items()[1].instr.imm, 42);
 }
 
+TEST(Peephole, FoldsConstantShuffleForAnyDestinationRegister) {
+  // Regression: rule 3 used to fire only when the round-tripped register
+  // was RAX; the shuffle is register-agnostic.
+  AsmProgram prog;
+  prog.store(Mem::base_disp(Reg::RSP, 8), Reg::RBX);
+  prog.movri(Reg::RBX, 9);
+  prog.movrr(Reg::RCX, Reg::RBX);
+  prog.load(Reg::RBX, Mem::base_disp(Reg::RSP, 8));
+  EXPECT_EQ(codegen::peephole_optimize(prog), 2);
+  ASSERT_EQ(prog.items().size(), 2u);
+  EXPECT_EQ(prog.items()[0].instr.op, Op::Store);
+  EXPECT_EQ(prog.items()[1].instr.op, Op::MovRI);
+  EXPECT_EQ(prog.items()[1].instr.rd, Reg::RCX);
+  EXPECT_EQ(prog.items()[1].instr.imm, 9);
+}
+
+TEST(Peephole, DeadStoreToTempSlotIsDropped) {
+  AsmProgram prog;
+  prog.store(Mem::base_disp(Reg::RSP, 16), Reg::RAX);  // dead: overwritten
+  prog.movri(Reg::RBX, 1);
+  prog.store(Mem::base_disp(Reg::RSP, 16), Reg::RBX);
+  prog.load(Reg::RAX, Mem::base_disp(Reg::RSP, 16));
+  prog.hlt();
+  EXPECT_EQ(codegen::peephole_dead_store(prog.items()), 1);
+  ASSERT_EQ(prog.items().size(), 4u);
+  EXPECT_EQ(prog.items()[0].instr.op, Op::MovRI);
+}
+
+TEST(Peephole, StoreReadBeforeOverwriteIsKept) {
+  AsmProgram prog;
+  prog.store(Mem::base_disp(Reg::RSP, 16), Reg::RAX);
+  prog.load(Reg::RBX, Mem::base_disp(Reg::RSP, 16));  // reads it first
+  prog.store(Mem::base_disp(Reg::RSP, 16), Reg::RCX);
+  prog.load(Reg::RAX, Mem::base_disp(Reg::RSP, 16));
+  prog.hlt();
+  EXPECT_EQ(codegen::peephole_dead_store(prog.items()), 0);
+  EXPECT_EQ(prog.items().size(), 5u);
+}
+
+TEST(Peephole, CmpFoldRewritesWhenTheRegisterDies) {
+  AsmProgram prog;
+  prog.movri(Reg::RBX, 5);
+  prog.op_rr(Op::CmpRR, Reg::RCX, Reg::RBX);
+  prog.movri(Reg::RBX, 0);  // overwrite: RBX provably dead after the compare
+  prog.hlt();
+  EXPECT_EQ(codegen::peephole_cmp_fold(prog.items()), 1);
+  ASSERT_EQ(prog.items().size(), 3u);
+  EXPECT_EQ(prog.items()[0].instr.op, Op::CmpRI);
+  EXPECT_EQ(prog.items()[0].instr.rd, Reg::RCX);
+  EXPECT_EQ(prog.items()[0].instr.imm, 5);
+}
+
+TEST(Peephole, CmpFoldLeavesLiveAndReservedRegistersAlone) {
+  AsmProgram prog;
+  prog.movri(Reg::RBX, 5);
+  prog.op_rr(Op::CmpRR, Reg::RCX, Reg::RBX);
+  prog.movrr(Reg::RDX, Reg::RBX);  // RBX still live
+  prog.hlt();
+  EXPECT_EQ(codegen::peephole_cmp_fold(prog.items()), 0);
+
+  AsmProgram reserved;
+  reserved.movri(Reg::RAX, 5);  // return-value register: never folded
+  reserved.op_rr(Op::CmpRR, Reg::RCX, Reg::RAX);
+  reserved.movri(Reg::RAX, 0);  // even though it dies here
+  reserved.hlt();
+  EXPECT_EQ(codegen::peephole_cmp_fold(reserved.items()), 0);
+}
+
+TEST(Peephole, AdjacentRspWritesFoldIntoOne) {
+  AsmProgram prog;
+  prog.op_ri(Op::SubRI, Reg::RSP, 16);
+  prog.op_ri(Op::SubRI, Reg::RSP, 24);
+  prog.hlt();
+  EXPECT_EQ(codegen::peephole_rsp_write_fold(prog.items()), 1);
+  ASSERT_EQ(prog.items().size(), 2u);
+  EXPECT_EQ(prog.items()[0].instr.op, Op::SubRI);
+  EXPECT_EQ(prog.items()[0].instr.rd, Reg::RSP);
+  EXPECT_EQ(prog.items()[0].instr.imm, 40);
+}
+
 TEST(Peephole, DoesNotFoldRelocatedImmediates) {
   AsmProgram prog;
   prog.store(Mem::base_disp(Reg::RSP, 0), Reg::RAX);
@@ -88,7 +168,7 @@ TEST(Peephole, DoesNotFoldRelocatedImmediates) {
 // every policy level, across the nBench kernels.
 TEST(Peephole, KernelsKeepTheirChecksums) {
   codegen::InstrumentOptions plain, optimized;
-  optimized.optimize = true;
+  optimized.opt_level = 1;
   for (const auto& kernel : workloads::nbench_kernels()) {
     std::string src = workloads::with_params(kernel.source, kernel.test_params);
     auto a = codegen::compile(src, PolicySet::p1to5(), &plain);
@@ -101,6 +181,31 @@ TEST(Peephole, KernelsKeepTheirChecksums) {
     auto ra = workloads::run_dxo(a.value().dxo, PolicySet::p1to5(), config);
     auto rb = workloads::run_dxo(b.value().dxo, PolicySet::p1to5(), config);
     ASSERT_TRUE(ra.is_ok() && rb.is_ok()) << kernel.name;
+    EXPECT_EQ(ra.value().outcome.result.exit_code, rb.value().outcome.result.exit_code)
+        << kernel.name;
+    EXPECT_LT(rb.value().cost, ra.value().cost) << kernel.name;
+  }
+}
+
+// -O2 adds the annotation-reduction passes; the kernels must still verify
+// (compressed annotation forms included), agree with -O0 bit-for-bit on
+// their exit codes, and run strictly cheaper.
+TEST(Peephole, KernelsKeepTheirChecksumsAtO2) {
+  codegen::InstrumentOptions plain, optimized;
+  optimized.opt_level = 2;
+  for (const auto& kernel : workloads::nbench_kernels()) {
+    std::string src = workloads::with_params(kernel.source, kernel.test_params);
+    auto a = codegen::compile(src, PolicySet::p1to5(), &plain);
+    auto b = codegen::compile(src, PolicySet::p1to5(), &optimized);
+    ASSERT_TRUE(a.is_ok() && b.is_ok()) << kernel.name;
+    EXPECT_LT(b.value().dxo.text.size(), a.value().dxo.text.size())
+        << kernel.name << ": -O2 removed nothing";
+    core::BootstrapConfig config;
+    config.verify.required = PolicySet::p1to5();
+    auto ra = workloads::run_dxo(a.value().dxo, PolicySet::p1to5(), config);
+    auto rb = workloads::run_dxo(b.value().dxo, PolicySet::p1to5(), config);
+    ASSERT_TRUE(ra.is_ok() && rb.is_ok())
+        << kernel.name << ": " << (ra.is_ok() ? rb.message() : ra.message());
     EXPECT_EQ(ra.value().outcome.result.exit_code, rb.value().outcome.result.exit_code)
         << kernel.name;
     EXPECT_LT(rb.value().cost, ra.value().cost) << kernel.name;
@@ -131,7 +236,7 @@ TEST(Peephole, MatchesInterpreterOnBranchyPrograms) {
   ASSERT_TRUE(reference.is_ok());
 
   codegen::InstrumentOptions optimized;
-  optimized.optimize = true;
+  optimized.opt_level = 1;
   auto compiled = codegen::compile(src, PolicySet::p1to6(), &optimized);
   ASSERT_TRUE(compiled.is_ok()) << compiled.message();
   core::BootstrapConfig config;

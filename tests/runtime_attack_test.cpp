@@ -167,6 +167,191 @@ TEST(ShadowStack, RunawayRecursionIsStopped) {
       << outcome.value().result.fault_code;
 }
 
+// ---- optimized-annotation forms under attack ----
+//
+// The -O2 reduction passes emit compressed annotation shapes (widened
+// store guards, merged RSP-guard runs, elided leaf shadow pairs). These
+// tests hand-roll those shapes — well-formed and subtly hostile — and push
+// them through the full delivery pipeline: the verifier must admit exactly
+// the forms whose soundness argument holds and nothing more.
+
+// Finishes `code` UNinstrumented, then claims `claimed` on the wire — the
+// handcrafted text must satisfy the claim by itself.
+codegen::Dxo lying_dxo(CodegenResult code, PolicySet claimed) {
+  auto built = codegen::finish(std::move(code), PolicySet::none());
+  EXPECT_TRUE(built.is_ok()) << built.message();
+  codegen::Dxo dxo = built.is_ok() ? built.value().dxo : codegen::Dxo{};
+  dxo.policies = claimed;
+  return dxo;
+}
+
+core::RunOutcome run_lying(CodegenResult code, PolicySet claimed) {
+  core::BootstrapConfig config;
+  config.verify.required = claimed;
+  Pipeline pipe(config);
+  EXPECT_TRUE(pipe.deliver(lying_dxo(std::move(code), claimed)).is_ok());
+  auto outcome = pipe.run();
+  EXPECT_TRUE(outcome.is_ok()) << outcome.message();
+  return outcome.is_ok() ? outcome.take() : core::RunOutcome{};
+}
+
+std::string rejection_of(CodegenResult code, PolicySet claimed) {
+  core::BootstrapConfig config;
+  config.verify.required = claimed;
+  Pipeline pipe(config);
+  EXPECT_TRUE(pipe.deliver(lying_dxo(std::move(code), claimed)).is_ok());
+  auto outcome = pipe.run();
+  EXPECT_FALSE(outcome.is_ok()) << "hostile binary was admitted";
+  return outcome.is_ok() ? std::string{} : outcome.code();
+}
+
+void emit_violation_stub(AsmProgram& prog) {
+  prog.label(codegen::kViolationSymbol);
+  prog.movri(Reg::RAX, static_cast<std::int64_t>(codegen::kViolationExitCode));
+  prog.hlt();
+}
+
+// A widened store guard (lower check at base+dmin, AddRI widens the upper
+// check to base+dmin+W) followed by a run of stores inside the window.
+CodegenResult widened_guard_program(bool add_store_outside_window) {
+  CodegenResult code;
+  AsmProgram& prog = code.program;
+  prog.label(codegen::kEntrySymbol);
+  prog.movri(Reg::RBX, 7);
+  prog.movri_sym(Reg::RCX, "g");
+  prog.lea(isa::kScratch0, Mem::base_disp(Reg::RCX, 0));
+  prog.movri(isa::kScratch1, codegen::kMagicStoreLo);
+  prog.op_rr(Op::CmpRR, isa::kScratch0, isa::kScratch1);
+  prog.jcc(Cond::B, codegen::kViolationSymbol);
+  prog.op_ri(Op::AddRI, isa::kScratch0, 8);  // widen: window [g+0, g+8]
+  prog.movri(isa::kScratch1, codegen::kMagicStoreHi);
+  prog.op_rr(Op::CmpRR, isa::kScratch0, isa::kScratch1);
+  prog.jcc(Cond::AE, codegen::kViolationSymbol);
+  prog.store(Mem::base_disp(Reg::RCX, 0), Reg::RBX);
+  prog.store(Mem::base_disp(Reg::RCX, 8), Reg::RBX);
+  if (add_store_outside_window)
+    prog.store(Mem::base_disp(Reg::RCX, 24), Reg::RBX);  // past the widening
+  prog.movri(Reg::RAX, 42);
+  prog.hlt();
+  emit_violation_stub(prog);
+  code.functions = {codegen::kEntrySymbol, codegen::kViolationSymbol};
+  code.data.assign(32, 0);
+  code.data_symbols = {{codegen::kHeapPtrSymbol, 0},
+                       {codegen::kHeapEndSymbol, 8},
+                       {"g", 16}};
+  return code;
+}
+
+TEST(OptimizedAnnotations, WidenedStoreGuardAdmitsItsWholeRun) {
+  core::RunOutcome outcome =
+      run_lying(widened_guard_program(false), PolicySet::p1());
+  EXPECT_FALSE(outcome.policy_violation);
+  EXPECT_EQ(outcome.result.exit_code, 42u);
+}
+
+TEST(OptimizedAnnotations, StoreOutsideTheWidenedWindowIsRejected) {
+  // A store past base+dmin+W is NOT covered by the two compares; the
+  // matcher must refuse to absorb it into the run.
+  EXPECT_EQ(rejection_of(widened_guard_program(true), PolicySet::p1()),
+            "verify_unguarded_store");
+}
+
+TEST(OptimizedAnnotations, MergedRspGuardRunStillCatchesThePivot) {
+  // -O1 merges back-to-back RSP writes under ONE guard that validates the
+  // final value. A pivot hidden as the second write of a run must still
+  // trap at runtime: the intermediate value is never dereferenced, and the
+  // guard checks exactly what the program goes on to use.
+  CodegenResult code;
+  AsmProgram& prog = code.program;
+  prog.label(codegen::kEntrySymbol);
+  prog.movri(Reg::RBX, 0x5EC12E7);          // the "secret"
+  prog.movri(Reg::RAX, 0x10000 + 0x800);    // host address
+  prog.op_ri(Op::SubRI, Reg::RSP, 32);      // write 1 of the run
+  prog.movrr(Reg::RSP, Reg::RAX);           // write 2: the pivot
+  prog.movri(isa::kScratch1, codegen::kMagicStackLo);
+  prog.op_rr(Op::CmpRR, Reg::RSP, isa::kScratch1);
+  prog.jcc(Cond::B, codegen::kViolationSymbol);
+  prog.movri(isa::kScratch1, codegen::kMagicStackHi);
+  prog.op_rr(Op::CmpRR, Reg::RSP, isa::kScratch1);
+  prog.jcc(Cond::A, codegen::kViolationSymbol);
+  prog.push(Reg::RBX);                      // would leak if reached
+  prog.movri(Reg::RAX, 7);
+  prog.hlt();
+  emit_violation_stub(prog);
+  code.functions = {codegen::kEntrySymbol, codegen::kViolationSymbol};
+  core::RunOutcome outcome =
+      run_lying(std::move(code), PolicySet::none().with(kPolicyP2));
+  EXPECT_TRUE(outcome.policy_violation);
+}
+
+// An elided-leaf program: `leaf` keeps a bare RET, justified by the frame
+// discipline the verifier re-checks (P5's leaf-elision counterpart).
+// `store_disp` positions the body store inside (8) or past (16) the frame.
+CodegenResult leaf_program(std::int32_t store_disp) {
+  CodegenResult code;
+  AsmProgram& prog = code.program;
+  prog.label(codegen::kEntrySymbol);
+  prog.movri(Reg::RBX, 7);
+  prog.call("leaf");
+  prog.hlt();  // exit code = RAX from the leaf
+  prog.label("leaf");
+  prog.op_ri(Op::SubRI, Reg::RSP, 16);
+  prog.store(Mem::base_disp(Reg::RSP, store_disp), Reg::RBX);
+  prog.load(Reg::RAX, Mem::base_disp(Reg::RSP, store_disp));
+  prog.op_ri(Op::AddRI, Reg::RSP, 16);
+  prog.ret();
+  emit_violation_stub(prog);
+  // The stub is unreferenced here; list it as a function so the recursive
+  // descent reaches it (the P5 claim requires a well-formed stub).
+  code.functions = {codegen::kEntrySymbol, "leaf", codegen::kViolationSymbol};
+  return code;
+}
+
+TEST(OptimizedAnnotations, ElidedLeafRunsAndReturns) {
+  core::RunOutcome outcome =
+      run_lying(leaf_program(8), PolicySet::none().with(kPolicyP5));
+  EXPECT_FALSE(outcome.policy_violation);
+  EXPECT_EQ(outcome.result.exit_code, 7u);
+}
+
+TEST(OptimizedAnnotations, LeafStoreReachingTheReturnSlotIsRejected) {
+  // [RSP+16] with a 16-byte frame is the saved return address: a leaf that
+  // could redirect its own RET must keep the shadow-stack pair.
+  EXPECT_EQ(rejection_of(leaf_program(16), PolicySet::none().with(kPolicyP5)),
+            "verify_unguarded_ret");
+}
+
+TEST(OptimizedAnnotations, JumpIntoAnElidedLeafBodyIsRejected) {
+  // Entering the body without executing the frame setup would break the
+  // store-bounds argument that justified dropping the shadow pair.
+  CodegenResult code;
+  AsmProgram& prog = code.program;
+  prog.label(codegen::kEntrySymbol);
+  prog.movri(Reg::RBX, 7);
+  prog.call("leaf");
+  prog.jmp("inside");  // the attack edge
+  prog.label("leaf");
+  prog.op_ri(Op::SubRI, Reg::RSP, 16);
+  prog.label("inside");
+  prog.store(Mem::base_disp(Reg::RSP, 8), Reg::RBX);
+  prog.load(Reg::RAX, Mem::base_disp(Reg::RSP, 8));
+  prog.op_ri(Op::AddRI, Reg::RSP, 16);
+  prog.ret();
+  emit_violation_stub(prog);
+  code.functions = {codegen::kEntrySymbol, "leaf", codegen::kViolationSymbol};
+  EXPECT_EQ(rejection_of(std::move(code), PolicySet::none().with(kPolicyP5)),
+            "verify_leaf_entry");
+}
+
+TEST(OptimizedAnnotations, ElidedLeafAsIndirectTargetIsRejected) {
+  // A leaf in the branch-target table could be reached by JmpInd with a
+  // return address the frame discipline never covered.
+  CodegenResult code = leaf_program(8);
+  code.address_taken = {"leaf"};
+  EXPECT_EQ(rejection_of(std::move(code), PolicySet::none().with(kPolicyP5)),
+            "verify_leaf_entry");
+}
+
 TEST(DynamicLoading, ReplacingTheBinaryRequiresReverification) {
   core::BootstrapConfig config;
   config.verify.required = PolicySet::p1();

@@ -626,5 +626,92 @@ TEST(VerifierProbeGap, ASecondProbeResetsTheCount) {
   ASSERT_TRUE(report.is_ok()) << report.message();
 }
 
+// ---- path-sensitive probe accounting ----
+//
+// The O2 producer only probes labels that a backward branch can reach, so
+// the verifier bounds the gap along every control path instead of the
+// straight-line sweep: backward branches must land ON a probe (cutting
+// every cycle), and forward branches carry their accumulated count to the
+// target, where it merges with the fallthrough count.
+
+// Builds a claimed-P6 program from `body` (stub appended), then verifies.
+Result<verifier::VerifyReport> verify_probe_program(
+    const std::function<void(isa::AsmProgram&)>& body, int max_probe_gap) {
+  codegen::CodegenResult code;
+  auto& prog = code.program;
+  prog.label(codegen::kEntrySymbol);
+  body(prog);
+  prog.label(codegen::kViolationSymbol);
+  prog.movri(isa::Reg::RAX, static_cast<std::int64_t>(codegen::kViolationExitCode));
+  prog.hlt();
+  code.functions = {codegen::kEntrySymbol, codegen::kViolationSymbol};
+  auto built = codegen::finish(code, PolicySet::none());
+  EXPECT_TRUE(built.is_ok()) << built.message();
+  if (!built.is_ok()) return built.error();
+  codegen::Dxo dxo = built.value().dxo;
+  dxo.policies = PolicySet::none().with(kPolicyP6);
+
+  ConsumerFixture fx;
+  auto loaded = fx.load(dxo);
+  EXPECT_TRUE(loaded.is_ok()) << loaded.message();
+  if (!loaded.is_ok()) return loaded.error();
+  verifier::VerifyConfig config;
+  config.max_probe_gap = max_probe_gap;
+  return verifier::verify(*fx.space, loaded.value(), config);
+}
+
+TEST(VerifierProbePaths, BackwardBranchToAProbeIsAccepted) {
+  auto report = verify_probe_program(
+      [](isa::AsmProgram& p) {
+        p.label(".Lback");
+        emit_probe(p, 0);
+        p.movri(isa::Reg::RAX, 1);
+        p.jcc(isa::Cond::E, ".Lback");  // lands on the probe head
+        p.hlt();
+      },
+      6);
+  ASSERT_TRUE(report.is_ok()) << report.message();
+  EXPECT_EQ(report.value().aex_probes, 1);
+}
+
+TEST(VerifierProbePaths, BackwardBranchTargetMustCarryAProbe) {
+  // A probe-free loop would let the enclave spin forever between probes;
+  // the old linear rule missed it whenever the loop body was short.
+  auto report = verify_probe_program(
+      [](isa::AsmProgram& p) {
+        emit_probe(p, 0);
+        p.label(".Lback");  // NOT a probe
+        p.movri(isa::Reg::RAX, 1);
+        p.jcc(isa::Cond::E, ".Lback");
+        p.hlt();
+      },
+      6);
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_EQ(report.code(), "verify_missing_probe");
+}
+
+TEST(VerifierProbePaths, ForwardJumpCarriesItsCountToTheTarget) {
+  // probe ; jcc .Lt ; probe ; .Lt: fillers. The straight-line count resets
+  // at the second probe, but the path through the jcc arrives at .Lt with
+  // one instruction already on the clock — 6 fillers then exceed a gap of
+  // 6 along that path.
+  auto layout = [](int fillers) {
+    return [fillers](isa::AsmProgram& p) {
+      emit_probe(p, 0);
+      p.jcc(isa::Cond::E, ".Lt");
+      emit_probe(p, 1);
+      p.label(".Lt");
+      for (int i = 0; i < fillers; ++i) p.movri(isa::Reg::RAX, i);
+      p.hlt();
+    };
+  };
+  auto report = verify_probe_program(layout(6), 6);
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_EQ(report.code(), "verify_probe_gap");
+  report = verify_probe_program(layout(5), 6);
+  ASSERT_TRUE(report.is_ok()) << report.message();
+  EXPECT_EQ(report.value().aex_probes, 2);
+}
+
 }  // namespace
 }  // namespace deflection::testing

@@ -4,16 +4,20 @@
 #
 #   tools/check.sh              # plain, asan, tsan, ubsan
 #   tools/check.sh plain asan   # a subset
-#   tools/check.sh ubsan        # UBSan-only at full -O3; runs just the VM
-#                               # suites (the threaded dispatcher is what an
+#   tools/check.sh ubsan        # UBSan-only at full -O3; runs the VM suites
+#                               # (the threaded dispatcher is what an
 #                               # unrecovered-UB miscompile would hit first)
+#                               # plus the codegen/verifier suites that
+#                               # exercise the -O2 annotation optimizer
 #   tools/check.sh --perf       # additionally gate VM dispatch throughput
 #                               # against BENCH_vm.json, fault-free serving
 #                               # throughput against BENCH_serving.json, the
 #                               # sharded cold-admission speedup against
-#                               # BENCH_cold_admission.json, and the
+#                               # BENCH_cold_admission.json, the
 #                               # front-end serving + sealed-store warm-boot
-#                               # speedup against BENCH_frontend.json
+#                               # speedup against BENCH_frontend.json, and the
+#                               # -O2 annotation-overhead reduction against
+#                               # BENCH_codegen.json
 #   tools/check.sh --chaos      # additionally run the seeded chaos soak
 #                               # (tests/chaos_test.cpp) under plain AND tsan
 #   tools/check.sh --soak       # additionally run the scale-out kill/respawn
@@ -61,8 +65,10 @@ cmake_flags_for() {
 ctest_filter_for() {
   case "$1" in
     # SealedStoreFuzz rides along: hostile-bytes deserialization is the
-    # other place an optimized-build UB miscompile would bite.
-    ubsan) echo "-R Vm|Engine|Block|Dispatch|Sgx|SealedStore" ;;
+    # other place an optimized-build UB miscompile would bite. The codegen
+    # and verifier suites ride along too: they run the -O2 pass manager and
+    # the optimized-annotation verifier paths, which are the newest -O3 code.
+    ubsan) echo "-R Vm|Engine|Block|Dispatch|Sgx|SealedStore|Codegen|PassManager|Peephole|Verifier|OptimizedAnnotations|NbenchDifferential" ;;
     *) echo "" ;;
   esac
 }
@@ -133,7 +139,10 @@ if [ "$perf" -eq 1 ]; then
   #    BENCH_serving.json;
   #  - the 4-worker sharded verification speedup on the largest nBench
   #    binary at least 2.0x and within 25% of BENCH_cold_admission.json,
-  #    with the 8-way stampede still coalescing to ONE full verification.
+  #    with the 8-way stampede still coalescing to ONE full verification;
+  #  - the -O2 annotation optimizer cutting the P1-P6 geomean overhead by
+  #    at least 15% vs -O0, within 25% of BENCH_codegen.json (deterministic
+  #    cost model, so this one is exactly reproducible).
   perf_dir="$repo_root/build-check-plain"
   echo "==> [perf] building plain tree for the throughput benchmarks"
   ensure_tree plain bench_vm_dispatch
@@ -141,6 +150,7 @@ if [ "$perf" -eq 1 ]; then
   ensure_tree plain bench_registry_multitenant
   ensure_tree plain bench_cold_admission
   ensure_tree plain bench_frontend_shards
+  ensure_tree plain bench_table2_nbench
   echo "==> [perf] bench_vm_dispatch --check BENCH_vm.json"
   "$perf_dir/bench/bench_vm_dispatch" --check "$repo_root/BENCH_vm.json"
   echo "==> [perf] bench_pool_throughput --check BENCH_serving.json"
@@ -151,6 +161,8 @@ if [ "$perf" -eq 1 ]; then
   "$perf_dir/bench/bench_cold_admission" --check "$repo_root/BENCH_cold_admission.json"
   echo "==> [perf] bench_frontend_shards --check BENCH_frontend.json"
   "$perf_dir/bench/bench_frontend_shards" --check "$repo_root/BENCH_frontend.json"
+  echo "==> [perf] bench_table2_nbench --check BENCH_codegen.json"
+  "$perf_dir/bench/bench_table2_nbench" --check "$repo_root/BENCH_codegen.json"
 fi
 
 echo "==> all flavors passed: ${flavors[*]}"

@@ -1,6 +1,7 @@
 // deflectc — command-line driver for the DEFLECTION toolchain.
 //
-//   deflectc compile <in.mc> <out.dxo> [--policies SET] [--listing]
+//   deflectc compile <in.mc> <out.dxo> [-O0|-O1|-O2] [--policies SET]
+//                    [--listing] [--passes]
 //   deflectc inspect <in.dxo>
 //   deflectc verify  <in.dxo> [--required SET]
 //   deflectc run     <in.dxo> [--required SET] [--input FILE]...
@@ -27,7 +28,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  deflectc compile <in.mc> <out.dxo> [--policies SET] [--listing]\n"
+               "  deflectc compile <in.mc> <out.dxo> [-O0|-O1|-O2] [--policies SET]\n"
+               "                   [--listing] [--passes]\n"
                "  deflectc inspect <in.dxo>\n"
                "  deflectc verify  <in.dxo> [--required SET]\n"
                "  deflectc run     <in.dxo> [--required SET] [--input FILE]...\n"
@@ -70,12 +72,19 @@ int cmd_compile(int argc, char** argv) {
   if (argc < 4) return usage();
   std::string in_path = argv[2], out_path = argv[3];
   PolicySet policies = PolicySet::p1to5();
+  codegen::InstrumentOptions options;
   bool listing = false;
+  bool passes = false;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--policies") == 0 && i + 1 < argc) {
       if (!parse_policies(argv[++i], policies)) return usage();
     } else if (std::strcmp(argv[i], "--listing") == 0) {
       listing = true;
+    } else if (std::strcmp(argv[i], "--passes") == 0) {
+      passes = true;
+    } else if (std::strncmp(argv[i], "-O", 2) == 0 && std::strlen(argv[i]) == 3 &&
+               argv[i][2] >= '0' && argv[i][2] <= '2') {
+      options.opt_level = argv[i][2] - '0';
     } else {
       return usage();
     }
@@ -86,7 +95,7 @@ int cmd_compile(int argc, char** argv) {
     return 1;
   }
   std::string source(source_bytes.begin(), source_bytes.end());
-  auto compiled = codegen::compile(source, policies);
+  auto compiled = codegen::compile(source, policies, &options);
   if (!compiled.is_ok()) {
     std::fprintf(stderr, "compile error: %s\n", compiled.message().c_str());
     return 1;
@@ -98,13 +107,23 @@ int cmd_compile(int argc, char** argv) {
     return 1;
   }
   const auto& s = compiled.value().stats;
-  std::printf("%s: %zu bytes (text %zu, data %zu), policies %s\n", out_path.c_str(),
-              wire.size(), compiled.value().dxo.text.size(),
-              compiled.value().dxo.data.size(), policies.to_string().c_str());
+  std::printf("%s: %zu bytes (text %zu, data %zu), policies %s, -O%d\n",
+              out_path.c_str(), wire.size(), compiled.value().dxo.text.size(),
+              compiled.value().dxo.data.size(), policies.to_string().c_str(),
+              options.opt_level);
   std::printf("annotations: %d store guards, %d rsp guards, %d prologues, "
               "%d epilogues, %d indirect guards, %d probes\n",
               s.store_guards, s.rsp_guards, s.shadow_prologues, s.shadow_epilogues,
               s.indirect_guards, s.aex_probes);
+  if (options.opt_level > 0)
+    std::printf("reductions: %d guards coalesced, %d shadow pairs elided, "
+                "%d rsp guards merged, %d probes elided\n",
+                s.guards_coalesced, s.shadow_pairs_elided, s.rsp_guards_elided,
+                s.probes_elided);
+  if (passes)
+    for (const auto& rec : s.passes)
+      std::printf("pass %-24s runs=%d changes=%d %.3fms\n", rec.name.c_str(), rec.runs,
+                  rec.changes, static_cast<double>(rec.elapsed.count()) / 1e6);
   return 0;
 }
 
