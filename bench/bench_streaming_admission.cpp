@@ -1,0 +1,307 @@
+// Streaming cold admission: what does pipelining verification under a
+// paced chunked delivery buy over deliver-then-verify?
+//
+// Both paths stream the largest nBench binary in 16 chunks with IDENTICAL
+// pacing (an absolute sleep-until release schedule per chunk, modelling a
+// remote provider uploading over a paced link: the enclave host is IDLE
+// between chunk arrivals, which is precisely the time a pipelined verifier
+// can use):
+//
+//  - baseline  (pipeline=false): chunks land, then commit runs the full
+//    4-worker verification (disassembly included) strictly after delivery
+//    completes;
+//  - pipelined (pipeline=true): the stream's verifier thread disassembles
+//    and policy-checks every finalized text prefix inside the inter-chunk
+//    idle gaps, so commit only pays the tail (leaf resolution, the
+//    entry/probe phases, report merge).
+//
+// The gated metric is TIME-TO-ADMIT: how long the client waits between
+// sending the last chunk and holding the admission digest. Delivery time
+// is identical by construction (same pacing schedule), so that commit
+// latency is exactly what pipelining buys; total begin-to-admit wall time
+// is reported alongside for context.
+//
+// Every trial is fully cold — a fresh enclave, no VerificationCache — and
+// the harness re-checks on every measurement that both paths admit the
+// binary with the same digest the provider sealed, so a perf win that
+// drifts the verdict fails the bench.
+//
+// Flags:
+//   --json          emit the measurement (verify4_us, chunks,
+//                   pace_us_per_chunk, *_total_us, *_admit_us,
+//                   pipeline_speedup_x) as JSON
+//   --check <file>  run, then gate: pipelined time-to-admit must be
+//                   >= 1.5x faster than deliver-then-verify and within 25%
+//                   of the committed baseline (BENCH_streaming.json). Used
+//                   by `tools/check.sh --perf`.
+// Without flags the full Google-Benchmark sweep runs as before.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "codegen/compile.h"
+#include "core/protocol.h"
+#include "verifier/verify.h"
+#include "workloads/workloads.h"
+
+using namespace deflection;
+
+namespace {
+
+constexpr int kChunks = 16;
+
+// Per-chunk pacing floor: comfortably above the scheduler's sleep quantum
+// so the release schedule is honoured, and large enough that the verifier
+// keeps up with delivery on any machine (the network-bound regime).
+constexpr double kMinPaceUs = 150.0;
+
+// The largest Table II kernel under bench parameters: the binary where
+// time-to-admit matters most.
+const codegen::Dxo& largest_kernel_dxo() {
+  static codegen::Dxo dxo = [] {
+    codegen::Dxo best;
+    for (const auto& kernel : workloads::nbench_kernels()) {
+      std::string src = workloads::with_params(kernel.source, kernel.bench_params);
+      auto built = codegen::compile(src, PolicySet::p1to6());
+      if (built.is_ok() && built.value().dxo.text.size() > best.text.size())
+        best = built.value().dxo;
+    }
+    return best;
+  }();
+  return dxo;
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+core::BootstrapConfig stream_config() {
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to6();
+  config.verify.workers = 4;  // both the offline and the pipelined verifier
+  return config;
+}
+
+// One fully cold streamed admission: fresh enclave, chunked delivery on an
+// absolute per-chunk release schedule, commit. Returns the begin->admitted
+// wall time in *total_us and the last-chunk->admitted latency (the client's
+// time-to-admit once delivery completes) in *admit_us; false on failure.
+bool run_stream(bool pipelined, double pace_us, double* total_us,
+                double* admit_us) {
+  core::BootstrapConfig config = stream_config();
+  sgx::AttestationService as;
+  crypto::Digest expected = core::BootstrapEnclave::expected_mrenclave(config);
+  sgx::QuotingEnclave quoting(as.provision("bench-stream", 1));
+  core::BootstrapEnclave enclave(quoting, config);
+  core::DataOwner owner(as, expected);
+  core::CodeProvider provider(as, expected);
+  auto owner_offer = enclave.open_channel(core::Role::DataOwner, owner.dh_public());
+  if (auto s = owner.accept(owner_offer); !s.is_ok()) return false;
+  auto provider_offer =
+      enclave.open_channel(core::Role::CodeProvider, provider.dh_public());
+  if (auto s = provider.accept(provider_offer); !s.is_ok()) return false;
+
+  auto sealed = provider.seal_binary_stream(largest_kernel_dxo());
+  core::BootstrapEnclave::StreamOptions options;
+  options.claimed_mask = sealed.policy_mask;
+  options.claimed_digest = sealed.digest;
+  options.pipeline = pipelined;
+  const std::size_t total = sealed.sealed.size();
+  const std::size_t step = (total + kChunks - 1) / kChunks;
+
+  double t0 = now_us();
+  if (auto s = enclave.ecall_stream_begin(total, options); !s.is_ok()) {
+    std::fprintf(stderr, "begin: %s\n", s.message().c_str());
+    return false;
+  }
+  std::uint64_t seq = 0;
+  for (std::size_t off = 0; off < total; off += step) {
+    // Absolute-schedule pacing: chunk i is released at t0 + (i+1)*pace_us,
+    // slept (not spun) so the host core is genuinely idle between arrivals
+    // like it would be behind a real link — oversleep shifts both paths'
+    // schedules identically and never touches the admit-latency clock.
+    const double release = t0 + static_cast<double>(seq + 1) * pace_us;
+    std::this_thread::sleep_until(
+        std::chrono::steady_clock::time_point(std::chrono::microseconds(
+            static_cast<std::int64_t>(release))));
+    std::size_t n = std::min(step, total - off);
+    if (auto s = enclave.ecall_stream_chunk(seq++,
+                                            BytesView(sealed.sealed.data() + off, n));
+        !s.is_ok()) {
+      std::fprintf(stderr, "chunk %llu: %s\n",
+                   static_cast<unsigned long long>(seq - 1), s.message().c_str());
+      return false;
+    }
+  }
+  const double delivered = now_us();
+  auto digest = enclave.ecall_stream_commit();
+  const double done = now_us();
+  *total_us = done - t0;
+  *admit_us = done - delivered;
+  if (!digest.is_ok()) {
+    std::fprintf(stderr, "commit: %s\n", digest.message().c_str());
+    return false;
+  }
+  if (digest.value() != sealed.digest) {
+    std::fprintf(stderr, "FAIL: admitted digest differs from the sealed claim\n");
+    return false;
+  }
+  return true;
+}
+
+// Calibration: one 4-worker verification of the loaded binary, min-of-N.
+// Reported for context (the commit-latency delta should track it) and used
+// to keep the pacing above the verifier's chew rate per chunk.
+bool measure_verify4(double* best_us) {
+  constexpr std::uint64_t kBase = 0x7000'0000'0000ull;
+  verifier::LayoutConfig layout_config;
+  verifier::EnclaveLayout layout = verifier::EnclaveLayout::compute(kBase, layout_config);
+  sgx::AddressSpace space(0x10000, 1 << 20, kBase, layout.enclave_size);
+  sgx::Enclave enclave(space, layout.ssa_addr);
+  Bytes image(1024, 0xCC);
+  auto built = verifier::Loader::build_enclave(enclave, kBase, layout_config,
+                                               BytesView(image));
+  if (!built.is_ok()) return false;
+  verifier::Loader loader(enclave, built.value());
+  auto loaded = loader.load(largest_kernel_dxo());
+  if (!loaded.is_ok()) return false;
+  verifier::VerifyConfig config;
+  config.required = PolicySet::p1to6();
+  config.workers = 4;
+  *best_us = 1e18;
+  for (int r = 0; r < 7; ++r) {
+    double t0 = now_us();
+    auto report = verifier::verify(space, loaded.value(), config);
+    double dt = now_us() - t0;
+    if (!report.is_ok()) return false;
+    if (dt < *best_us) *best_us = dt;
+  }
+  return true;
+}
+
+// Min-of-N for one path; every rep is fully cold. Mins are taken per
+// metric independently (standard best-case denoising).
+bool measure_path(bool pipelined, double pace_us, int reps, double* best_total,
+                  double* best_admit) {
+  *best_total = 1e18;
+  *best_admit = 1e18;
+  for (int r = 0; r < reps; ++r) {
+    double total = 0, admit = 0;
+    if (!run_stream(pipelined, pace_us, &total, &admit)) return false;
+    if (total < *best_total) *best_total = total;
+    if (admit < *best_admit) *best_admit = admit;
+  }
+  return true;
+}
+
+// ---- Google-Benchmark sweep (default mode) ----
+
+void BM_StreamAdmit(benchmark::State& state) {
+  double verify4_us = 0;
+  if (!measure_verify4(&verify4_us)) {
+    state.SkipWithError("calibration failed");
+    return;
+  }
+  const bool pipelined = state.range(0) != 0;
+  const double pace_us = std::max(kMinPaceUs, 3.0 * verify4_us / kChunks);
+  for (auto _ : state) {
+    double total = 0, admit = 0;
+    if (!run_stream(pipelined, pace_us, &total, &admit)) {
+      state.SkipWithError("stream admission failed");
+      return;
+    }
+    state.SetIterationTime(admit / 1e6);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamAdmit)->Arg(0)->Arg(1)->UseManualTime()->Unit(benchmark::kMillisecond);
+
+// Minimal extractor for the keys --check needs from our own JSON format.
+double json_number_after(const std::string& text, const std::string& key) {
+  auto pos = text.find("\"" + key + "\":");
+  if (pos == std::string::npos) return -1;
+  return std::strtod(text.c_str() + pos + key.size() + 3, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  const char* check_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc)
+      check_path = argv[++i];
+  }
+  if (!json && check_path == nullptr) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+
+  double verify4_us = 0;
+  if (!measure_verify4(&verify4_us)) return 1;
+  const double pace_us = std::max(kMinPaceUs, 3.0 * verify4_us / kChunks);
+  constexpr int kReps = 9;
+  double baseline_total = 0, baseline_admit = 0;
+  double pipelined_total = 0, pipelined_admit = 0;
+  if (!measure_path(false, pace_us, kReps, &baseline_total, &baseline_admit))
+    return 1;
+  if (!measure_path(true, pace_us, kReps, &pipelined_total, &pipelined_admit))
+    return 1;
+  double speedup = pipelined_admit > 0 ? baseline_admit / pipelined_admit : 0;
+
+  if (json)
+    std::printf(
+        "{\n  \"bench\": \"streaming_admission\",\n  \"verify4_us\": %.1f,\n"
+        "  \"chunks\": %d,\n  \"pace_us_per_chunk\": %.1f,\n"
+        "  \"baseline_total_us\": %.1f,\n  \"pipelined_total_us\": %.1f,\n"
+        "  \"baseline_admit_us\": %.1f,\n  \"pipelined_admit_us\": %.1f,\n"
+        "  \"pipeline_speedup_x\": %.2f\n}\n",
+        verify4_us, kChunks, pace_us, baseline_total, pipelined_total,
+        baseline_admit, pipelined_admit, speedup);
+  else
+    std::printf(
+        "streamed admission (largest nBench, %d chunks, %.1f us/chunk pace): "
+        "time-to-admit after delivery %.1f us -> %.1f us (%.2fx), "
+        "begin-to-admit %.1f us -> %.1f us\n",
+        kChunks, pace_us, baseline_admit, pipelined_admit, speedup,
+        baseline_total, pipelined_total);
+
+  if (check_path != nullptr) {
+    std::ifstream in(check_path);
+    if (!in) {
+      std::fprintf(stderr, "--check: cannot open %s\n", check_path);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    double baseline = json_number_after(buf.str(), "pipeline_speedup_x");
+    if (baseline <= 0) {
+      std::fprintf(stderr, "--check: no pipeline_speedup_x in %s\n", check_path);
+      return 1;
+    }
+    double ratio = speedup / baseline;
+    std::fprintf(stderr, "--check: pipeline_speedup_x %.2f vs baseline %.2f (%.2fx)\n",
+                 speedup, baseline, ratio);
+    if (speedup < 1.5 || ratio < 0.75) {
+      std::fprintf(stderr,
+                   "--check: FAIL — pipelined time-to-admit below the 1.5x "
+                   "floor or >25%% regression vs %s\n",
+                   check_path);
+      return 1;
+    }
+  }
+  return 0;
+}

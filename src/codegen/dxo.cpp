@@ -3,7 +3,7 @@
 namespace deflection::codegen {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x314F5844;  // "DXO1"
+constexpr std::uint32_t kMagic = 0x324F5844;  // "DXO2"
 // Parser hardening limits: the DXO arrives from an untrusted producer.
 constexpr std::uint64_t kMaxSection = 64ull << 20;
 constexpr std::uint32_t kMaxEntries = 1u << 20;
@@ -15,8 +15,8 @@ Bytes Dxo::serialize() const {
   w.u32(kMagic);
   w.u32(policies.mask());
   w.str(entry);
-  w.blob(text);
-  w.blob(data);
+  w.u64(text.size());
+  w.u64(data.size());
   w.u32(static_cast<std::uint32_t>(symbols.size()));
   for (const auto& s : symbols) {
     w.str(s.name);
@@ -32,61 +32,185 @@ Bytes Dxo::serialize() const {
   }
   w.u32(static_cast<std::uint32_t>(branch_targets.size()));
   for (const auto& t : branch_targets) w.str(t);
+  w.bytes(data);
+  w.bytes(text);
   return out;
 }
 
+bool DxoStreamParser::fail(const std::string& msg) {
+  stage_ = Stage::Failed;
+  error_ = msg;
+  return false;
+}
+
+// One tables element per call. A ByteReader overrun means the element is
+// not complete yet (NeedMore: keep the bytes, wait); every explicit check
+// below is a hard malformation that no further bytes could repair.
+bool DxoStreamParser::step() {
+  ByteReader r(BytesView(buf_.data() + consumed_, buf_.size() - consumed_));
+  switch (stage_) {
+    case Stage::Header: {
+      std::uint32_t magic = r.u32();
+      if (r.ok() && magic != kMagic) return fail("bad magic");
+      std::uint32_t mask = r.u32();
+      std::string entry = r.str();
+      std::uint64_t text_len = r.u64();
+      std::uint64_t data_len = r.u64();
+      if (!r.ok()) return false;
+      if (text_len > kMaxSection || data_len > kMaxSection)
+        return fail("section too large");
+      dxo_.policies = PolicySet(mask);
+      dxo_.entry = std::move(entry);
+      text_len_ = text_len;
+      data_len_ = data_len;
+      stage_ = Stage::SymCount;
+      break;
+    }
+    case Stage::SymCount: {
+      std::uint32_t n = r.u32();
+      if (!r.ok()) return false;
+      if (n > kMaxEntries) return fail("too many symbols");
+      dxo_.symbols.reserve(n);
+      want_ = n;
+      stage_ = want_ ? Stage::Sym : Stage::RelocCount;
+      break;
+    }
+    case Stage::Sym: {
+      DxoSymbol s;
+      s.name = r.str();
+      std::uint8_t section = r.u8();
+      std::uint64_t offset = r.u64();
+      std::uint8_t is_function = r.u8();
+      if (!r.ok()) return false;
+      if (section > 1) return fail("bad section id");
+      s.section = static_cast<Section>(section);
+      s.offset = offset;
+      s.is_function = is_function != 0;
+      std::uint64_t limit = s.section == Section::Text ? text_len_ : data_len_;
+      if (s.offset > limit) return fail("symbol offset out of range");
+      dxo_.symbols.push_back(std::move(s));
+      if (--want_ == 0) stage_ = Stage::RelocCount;
+      break;
+    }
+    case Stage::RelocCount: {
+      std::uint32_t n = r.u32();
+      if (!r.ok()) return false;
+      if (n > kMaxEntries) return fail("too many relocations");
+      dxo_.relocs.reserve(n);
+      want_ = n;
+      stage_ = want_ ? Stage::Reloc : Stage::TargetCount;
+      break;
+    }
+    case Stage::Reloc: {
+      DxoReloc rel;
+      rel.text_offset = r.u64();
+      rel.symbol = r.str();
+      rel.addend = r.i64();
+      if (!r.ok()) return false;
+      // Subtraction form: `text_offset + 8` wraps for offsets near 2^64 and
+      // would sail through a `> size` comparison.
+      if (text_len_ < 8 || rel.text_offset > text_len_ - 8)
+        return fail("relocation out of range");
+      dxo_.relocs.push_back(std::move(rel));
+      if (--want_ == 0) stage_ = Stage::TargetCount;
+      break;
+    }
+    case Stage::TargetCount: {
+      std::uint32_t n = r.u32();
+      if (!r.ok()) return false;
+      if (n > kMaxEntries) return fail("too many branch targets");
+      dxo_.branch_targets.reserve(n);
+      want_ = n;
+      stage_ = Stage::Target;
+      break;
+    }
+    case Stage::Target: {
+      if (want_ > 0) {
+        std::string t = r.str();
+        if (!r.ok()) return false;
+        dxo_.branch_targets.push_back(std::move(t));
+        consumed_ += r.pos();
+        if (--want_ > 0) return true;
+      }
+      // Tables complete: the metadata is final. Presize the section staging
+      // buffers and fail the entry check now — no later byte can fix it.
+      if (dxo_.find_symbol(dxo_.entry) == nullptr) return fail("missing entry symbol");
+      dxo_.data.resize(data_len_);
+      dxo_.text.resize(text_len_);
+      tables_ready_ = true;
+      stage_ = data_len_ ? Stage::Data
+               : text_len_ ? Stage::Text
+                           : Stage::Done;
+      if (stage_ == Stage::Done) done_ = true;
+      return false;  // leave the element loop; leftovers route to sections
+    }
+    default:
+      return false;
+  }
+  consumed_ += r.pos();
+  return true;
+}
+
+bool DxoStreamParser::feed(BytesView bytes) {
+  if (stage_ == Stage::Failed) return false;
+  std::size_t off = 0;
+  if (!tables_ready_) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    while (stage_ != Stage::Failed && !tables_ready_ && step()) {
+    }
+    if (stage_ == Stage::Failed) return false;
+    if (!tables_ready_) {
+      // Keep the buffer small: drop the parsed prefix once it adds up.
+      if (consumed_ > 4096) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+        consumed_ = 0;
+      }
+      return true;
+    }
+    // Tables just completed: bytes after the parsed prefix belong to the
+    // data/text sections. Reroute them and release the tables buffer.
+    Bytes leftover(buf_.begin() + static_cast<std::ptrdiff_t>(consumed_), buf_.end());
+    buf_.clear();
+    buf_.shrink_to_fit();
+    consumed_ = 0;
+    if (!leftover.empty() && !feed(leftover)) return false;
+    return true;
+  }
+  if (stage_ == Stage::Data) {
+    std::size_t n = std::min<std::uint64_t>(data_len_ - data_received_, bytes.size() - off);
+    std::memcpy(dxo_.data.data() + data_received_, bytes.data() + off, n);
+    data_received_ += n;
+    off += n;
+    if (data_received_ == data_len_)
+      stage_ = text_len_ ? Stage::Text : Stage::Done;
+  }
+  if (stage_ == Stage::Text) {
+    std::size_t n = std::min<std::uint64_t>(text_len_ - text_received_, bytes.size() - off);
+    std::memcpy(dxo_.text.data() + text_received_, bytes.data() + off, n);
+    text_received_ += n;
+    off += n;
+    if (text_received_ == text_len_) stage_ = Stage::Done;
+  }
+  if (stage_ == Stage::Done) {
+    done_ = true;
+    if (off < bytes.size()) return fail("trailing bytes");
+  }
+  return true;
+}
+
+bool DxoStreamParser::finish() {
+  if (stage_ == Stage::Failed) return false;
+  if (stage_ != Stage::Done) return fail("truncated object");
+  done_ = true;
+  return true;
+}
+
 Result<Dxo> Dxo::deserialize(BytesView bytes) {
-  ByteReader r(bytes);
-  auto fail = [](const std::string& msg) { return Result<Dxo>::fail("dxo_malformed", msg); };
-
-  if (r.u32() != kMagic) return fail("bad magic");
-  Dxo dxo;
-  dxo.policies = PolicySet(r.u32());
-  dxo.entry = r.str();
-  dxo.text = r.blob();
-  dxo.data = r.blob();
-  if (!r.ok()) return fail("truncated sections");
-  if (dxo.text.size() > kMaxSection || dxo.data.size() > kMaxSection)
-    return fail("section too large");
-
-  std::uint32_t nsyms = r.u32();
-  if (nsyms > kMaxEntries) return fail("too many symbols");
-  for (std::uint32_t i = 0; i < nsyms && r.ok(); ++i) {
-    DxoSymbol s;
-    s.name = r.str();
-    std::uint8_t section = r.u8();
-    if (section > 1) return fail("bad section id");
-    s.section = static_cast<Section>(section);
-    s.offset = r.u64();
-    s.is_function = r.u8() != 0;
-    std::uint64_t limit = s.section == Section::Text ? dxo.text.size() : dxo.data.size();
-    if (s.offset > limit) return fail("symbol offset out of range");
-    dxo.symbols.push_back(std::move(s));
-  }
-
-  std::uint32_t nrelocs = r.u32();
-  if (nrelocs > kMaxEntries) return fail("too many relocations");
-  for (std::uint32_t i = 0; i < nrelocs && r.ok(); ++i) {
-    DxoReloc rel;
-    rel.text_offset = r.u64();
-    rel.symbol = r.str();
-    rel.addend = r.i64();
-    // Subtraction form: `text_offset + 8` wraps for offsets near 2^64 and
-    // would sail through a `> size` comparison.
-    if (dxo.text.size() < 8 || rel.text_offset > dxo.text.size() - 8)
-      return fail("relocation out of range");
-    dxo.relocs.push_back(std::move(rel));
-  }
-
-  std::uint32_t ntargets = r.u32();
-  if (ntargets > kMaxEntries) return fail("too many branch targets");
-  for (std::uint32_t i = 0; i < ntargets && r.ok(); ++i)
-    dxo.branch_targets.push_back(r.str());
-
-  if (!r.ok()) return fail("truncated object");
-  if (r.remaining() != 0) return fail("trailing bytes");
-  if (dxo.find_symbol(dxo.entry) == nullptr) return fail("missing entry symbol");
-  return dxo;
+  DxoStreamParser p;
+  auto fail = [&p]() { return Result<Dxo>::fail("dxo_malformed", p.error()); };
+  if (!p.feed(bytes)) return fail();
+  if (!p.finish()) return fail();
+  return std::move(p.dxo());
 }
 
 }  // namespace deflection::codegen

@@ -5,6 +5,15 @@
 // relocation entries, and the indirect-branch-target list as *symbol
 // names* ("the symbol name on the list", Sec. IV-D) that the in-enclave
 // loader translates to addresses while rebasing.
+//
+// Wire layout (DXO2) is metadata-first: header (magic, policy mask, entry,
+// declared text/data lengths), then the symbol/reloc/branch-target tables,
+// then the raw data bytes, then the raw text bytes LAST. A streaming
+// consumer therefore holds every descent root and relocation site before
+// the first text byte arrives, which is what lets the enclave pipeline
+// verification with delivery (ecall_stream_*). DxoStreamParser is the one
+// parser for both paths: Dxo::deserialize is a feed-everything-then-finish
+// wrapper over it, so chunked and one-shot parsing cannot diverge.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +61,60 @@ struct Dxo {
 
   Bytes serialize() const;
   static Result<Dxo> deserialize(BytesView bytes);
+};
+
+// Incremental DXO parser: accepts the serialized object in arbitrary
+// pieces, fails closed on the first malformed element (a byte sequence
+// that no completion could make valid), and distinguishes that from
+// not-enough-bytes-yet. Section bytes land directly in dxo().data /
+// dxo().text, which are presized to their declared lengths the moment the
+// tables complete — dxo().text doubles as the staging buffer a streaming
+// verifier reads behind a watermark.
+class DxoStreamParser {
+ public:
+  // Consumes the next bytes; false once the stream is malformed (the
+  // parser is then poisoned — error() has the reason, further feeds fail).
+  bool feed(BytesView bytes);
+  // No more bytes: true iff the object parsed exactly to completion.
+  bool finish();
+
+  // Header + all three tables parsed; dxo() metadata is final and
+  // dxo().text / dxo().data are presized (contents still streaming in).
+  bool tables_ready() const { return tables_ready_; }
+  bool done() const { return done_; }
+  const std::string& error() const { return error_; }
+
+  Dxo& dxo() { return dxo_; }
+  const Dxo& dxo() const { return dxo_; }
+
+  // Raw count of text bytes received so far (prefix of dxo().text).
+  std::uint64_t text_received() const { return text_received_; }
+  std::uint64_t text_len() const { return text_len_; }
+  std::uint64_t data_len() const { return data_len_; }
+
+ private:
+  enum class Stage : std::uint8_t {
+    Header, SymCount, Sym, RelocCount, Reloc, TargetCount, Target,
+    Data, Text, Done, Failed,
+  };
+
+  bool fail(const std::string& msg);
+  // Attempts to parse the next tables element out of buf_; returns false
+  // when more bytes are needed (or the parser failed).
+  bool step();
+
+  Stage stage_ = Stage::Header;
+  Dxo dxo_;
+  std::string error_;
+  Bytes buf_;                 // unconsumed tables bytes
+  std::size_t consumed_ = 0;  // parsed prefix of buf_
+  std::uint64_t text_len_ = 0;
+  std::uint64_t data_len_ = 0;
+  std::uint32_t want_ = 0;    // remaining elements in the current table
+  std::uint64_t data_received_ = 0;
+  std::uint64_t text_received_ = 0;
+  bool tables_ready_ = false;
+  bool done_ = false;
 };
 
 }  // namespace deflection::codegen

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <thread>
 
 #include "codegen/annotations.h"
+#include "crypto/cipher.h"
 #include "verifier/loader.h"
 
 namespace deflection::core {
@@ -67,6 +70,13 @@ Status BootstrapEnclave::rebuild() {
 }
 
 Status BootstrapEnclave::reset() {
+  {
+    // Scrub any in-flight delivery stream first: joins the pipeline worker
+    // and abandons its admission ticket, so nothing of a half-delivered
+    // binary survives into the next incarnation.
+    std::lock_guard lock(stream_mutex_);
+    stream_.reset();
+  }
   owner_key_.reset();
   provider_key_.reset();
   dxo_.reset();
@@ -107,24 +117,24 @@ BootstrapEnclave::ChannelOffer BootstrapEnclave::open_channel(
 }
 
 Result<crypto::Digest> BootstrapEnclave::ecall_receive_binary(BytesView sealed) {
-  if (!provider_key_.has_value())
-    return Result<crypto::Digest>::fail("no_channel", "code-provider channel not open");
-  auto plain = crypto::aead_open(*provider_key_, sealed);
-  if (!plain.has_value())
-    return Result<crypto::Digest>::fail("auth_fail", "binary payload failed authentication");
-  auto dxo = codegen::Dxo::deserialize(*plain);
-  if (!dxo.is_ok()) return dxo.error();
-  dxo_ = dxo.take();
-  verified_ = false;
-  loaded_.reset();
-  block_cache_.clear();  // drop the previous binary's predecoded blocks
-  // The measurement doubles as the admission-cache key: it is computed here,
-  // over the exact decrypted bytes that were deserialized, so a tampered
-  // binary can never look up another binary's verdict.
-  binary_digest_ = crypto::Sha256::hash(*plain);
-  // The paper's flow: the bootstrap extracts the service-code measurement
-  // and forwards it to the data owner, who approves before feeding data.
-  return *binary_digest_;
+  // One-shot wrapper over the stream path: begin -> single chunk -> commit,
+  // so delivery, digest computation and scrub logic exist exactly once.
+  // Content errors keep the legacy order — the AEAD tag over the whole
+  // payload is checked before any parse verdict is reported — and admission
+  // stays lazy (paid at ecall_prepare/ecall_run), as this surface always
+  // promised. The paper's flow is unchanged: the bootstrap extracts the
+  // service-code measurement and forwards it to the data owner, who
+  // approves before feeding data.
+  StreamOptions options;
+  options.pipeline = false;
+  if (auto s = ecall_stream_begin(sealed.size(), options); !s.is_ok()) {
+    if (s.code() == "stream_bad_total")  // shorter than nonce+tag
+      return Result<crypto::Digest>::fail("auth_fail",
+                                          "binary payload failed authentication");
+    return s.error();
+  }
+  if (auto s = ecall_stream_chunk(0, sealed); !s.is_ok()) return s.error();
+  return stream_commit_internal(/*admit=*/false);
 }
 
 Status BootstrapEnclave::ecall_receive_userdata(BytesView sealed) {
@@ -134,6 +144,426 @@ Status BootstrapEnclave::ecall_receive_userdata(BytesView sealed) {
   if (!plain.has_value())
     return Status::fail("auth_fail", "user data failed authentication");
   inbox_.push_back(std::move(*plain));
+  return Status::ok();
+}
+
+// One in-flight chunked delivery. The chunk path (decrypt, measure, parse,
+// stage relocations) runs on the caller's thread under stream_mutex_; the
+// pipelined verifier runs on `worker`, synchronized only through the
+// watermark handshake below. Destroying the state is the scrub: the worker
+// is joined first, then members die — the staged text, the AEAD/digest
+// state and any held admission ticket (whose destructor releases coalesced
+// waiters with "admission_abandoned") all go at once.
+struct BootstrapEnclave::StreamState {
+  StreamOptions options;
+  std::uint64_t total = 0;     // declared sealed length
+  std::uint64_t fed = 0;       // sealed bytes accepted so far
+  std::uint64_t next_seq = 0;  // strict chunk ordering
+  std::chrono::steady_clock::time_point started;
+  std::chrono::steady_clock::time_point last_activity;
+  crypto::AeadStreamOpener opener;
+  crypto::Sha256 plain_digest;  // incremental SHA-256 of the plaintext
+  codegen::DxoStreamParser parser;
+  Bytes scratch;  // per-chunk decrypted bytes
+
+  // Relocation staging (from tables-ready on). Values are applied into the
+  // parser's text buffer as soon as their 8-byte windows are fully
+  // delivered; load() re-applies the same values at commit (idempotent).
+  bool resolve_ok = false;
+  std::optional<verifier::LoadedBinary> provisional;
+  struct PendingReloc {
+    std::uint64_t off;
+    std::uint64_t value;
+  };
+  std::vector<PendingReloc> relocs;  // sorted by off
+  std::size_t next_reloc = 0;
+
+  // Early single-flight admission under the claimed identity.
+  bool early_polled = false;
+  verifier::VerificationCache::Admission early;
+
+  // Pipelined verification. `watermark` counts FINAL text bytes: every byte
+  // below it has been delivered and had its relocations applied, so the
+  // worker may read it. The chunk thread only ever writes at offsets >= the
+  // previously published watermark; the worker only reads below a watermark
+  // it observed under `m` — the mutex handshake orders every write before
+  // every read.
+  bool pipeline_wanted = false;
+  bool pipeline_ok = false;  // worker health; read only after join
+  std::unique_ptr<verifier::StreamingVerifier> sv;
+  std::thread worker;
+  std::mutex m;
+  std::condition_variable cv;
+  std::uint64_t watermark = 0;  // under m
+  bool stop = false;            // under m
+  FaultPlanPtr fault_plan;
+
+  bool expired_at(std::chrono::steady_clock::time_point now) const {
+    using std::chrono::nanoseconds;
+    if (options.deadline_ns > 0 &&
+        now - started > nanoseconds(options.deadline_ns))
+      return true;
+    if (options.idle_timeout_ns > 0 &&
+        now - last_activity > nanoseconds(options.idle_timeout_ns))
+      return true;
+    return false;
+  }
+
+  void publish(std::uint64_t wm) {
+    {
+      std::lock_guard lock(m);
+      watermark = wm;
+    }
+    cv.notify_one();
+  }
+
+  void halt_worker() {
+    {
+      std::lock_guard lock(m);
+      stop = true;
+    }
+    cv.notify_all();
+    if (worker.joinable()) worker.join();
+  }
+
+  void run_worker() {
+    std::uint64_t done = 0;
+    bool healthy = true;
+    for (;;) {
+      std::uint64_t wm;
+      {
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return stop || watermark > done; });
+        if (stop) return;
+        wm = watermark;
+      }
+      if (healthy) {
+        // An injected fault or a verifier anomaly degrades gracefully: the
+        // worker goes quiet and commit falls back to the serial verifier,
+        // which owns exact error selection.
+        if (!fault_check(fault_plan, fault_site::kStreamVerifyRegion).is_ok() ||
+            !sv->advance(wm))
+          healthy = false;
+        pipeline_ok = healthy;  // read only after join (happens-before)
+      }
+      done = wm;
+    }
+  }
+
+  ~StreamState() { halt_worker(); }
+};
+
+BootstrapEnclave::~BootstrapEnclave() = default;
+
+bool BootstrapEnclave::stream_active() const {
+  std::lock_guard lock(stream_mutex_);
+  return stream_ != nullptr;
+}
+
+Status BootstrapEnclave::ecall_stream_begin(std::uint64_t total_len,
+                                            const StreamOptions& options) {
+  if (!provider_key_.has_value())
+    return Status::fail("no_channel", "code-provider channel not open");
+  std::lock_guard lock(stream_mutex_);
+  if (stream_ != nullptr)
+    return Status::fail("stream_busy", "a delivery stream is already active");
+  if (total_len > kMaxSealedStreamLen)
+    return Status::fail("stream_bad_total", "declared stream length implausible");
+  auto st = std::make_unique<StreamState>();
+  if (!st->opener.begin(*provider_key_, total_len))
+    return Status::fail("stream_bad_total", "declared stream length implausible");
+  st->options = options;
+  st->total = total_len;
+  st->started = st->last_activity = std::chrono::steady_clock::now();
+  st->fault_plan = config_.fault_plan;
+  stream_ = std::move(st);
+  return Status::ok();
+}
+
+Status BootstrapEnclave::ecall_stream_chunk(std::uint64_t seq, BytesView bytes) {
+  std::lock_guard lock(stream_mutex_);
+  if (stream_ == nullptr)
+    return Status::fail("stream_inactive", "no delivery stream active");
+  StreamState& st = *stream_;
+  auto now = std::chrono::steady_clock::now();
+  if (st.expired_at(now)) {
+    stream_.reset();
+    return Status::fail("stream_expired", "delivery stream missed its deadline");
+  }
+  if (seq != st.next_seq) {
+    const std::uint64_t expected = st.next_seq;  // read before the scrub frees st
+    stream_.reset();  // duplicates and gaps are indistinguishable from replay
+    return Status::fail("stream_out_of_order",
+                        "chunk " + std::to_string(seq) + " arrived, expected " +
+                            std::to_string(expected));
+  }
+  if (st.fed + bytes.size() < st.fed || st.fed + bytes.size() > st.total) {
+    stream_.reset();
+    return Status::fail("stream_overrun", "chunk bytes exceed the declared total");
+  }
+  if (auto s = fault_check(config_.fault_plan, fault_site::kStreamChunk);
+      !s.is_ok()) {
+    stream_.reset();  // fail-closed: an injected delivery fault kills the stream
+    return s;
+  }
+  st.scratch.clear();
+  if (!st.opener.feed(bytes, st.scratch)) {
+    stream_.reset();
+    return Status::fail("stream_overrun", "chunk bytes exceed the declared total");
+  }
+  st.fed += bytes.size();
+  ++st.next_seq;
+  st.last_activity = now;
+  if (!st.scratch.empty()) {
+    st.plain_digest.update(BytesView(st.scratch));
+    // Content errors are deliberately NOT reported here: the plaintext is
+    // unauthenticated until the commit-time tag check, so a parse verdict
+    // now would leak plaintext structure pre-auth. The poisoned parser
+    // swallows further feeds and commit reports the error after "auth_fail"
+    // has had its chance.
+    bool was_ready = st.parser.tables_ready();
+    (void)st.parser.feed(BytesView(st.scratch));
+    if (!was_ready && st.parser.tables_ready()) stream_tables_ready_locked();
+    stream_apply_relocs_locked();
+  }
+  return Status::ok();
+}
+
+void BootstrapEnclave::stream_tables_ready_locked() {
+  StreamState& st = *stream_;
+  verifier::Loader loader(*enclave_, layout_);
+  auto resolved = loader.resolve(st.parser.dxo());
+  // A resolve failure is not reported here: commit's load() reproduces the
+  // exact same error post-auth. The stream just loses its pipeline.
+  if (!resolved.is_ok()) return;
+  st.provisional = resolved.take();
+  st.resolve_ok = true;
+
+  // Stage relocation values sorted by text offset. Overlapping 8-byte
+  // windows would make the staged bytes depend on application order (load()
+  // applies in dxo order), so they disable pipelining rather than risk
+  // verifying bytes that differ from the loaded image.
+  const codegen::Dxo& dxo = st.parser.dxo();
+  st.relocs.reserve(dxo.relocs.size());
+  for (const auto& rel : dxo.relocs) {
+    std::uint64_t value = st.provisional->symbols.at(rel.symbol) +
+                          static_cast<std::uint64_t>(rel.addend);
+    st.relocs.push_back({rel.text_offset, value});
+  }
+  std::stable_sort(
+      st.relocs.begin(), st.relocs.end(),
+      [](const StreamState::PendingReloc& a, const StreamState::PendingReloc& b) {
+        return a.off < b.off;
+      });
+  bool overlap = false;
+  for (std::size_t i = 1; i < st.relocs.size(); ++i)
+    if (st.relocs[i - 1].off + 8 > st.relocs[i].off) overlap = true;
+
+  // Early single-flight admission under the claimed identity: a resident
+  // verdict or an in-flight leader for (claimed digest, claimed mask,
+  // config) makes our own pipeline redundant. The claim is unauthenticated
+  // until commit, but that is sound: the poll only coalesces work, and the
+  // verdict is adopted/published only after the digest check proves the
+  // delivered bytes ARE the claimed bytes.
+  bool claimed = st.options.claimed_digest != crypto::Digest{};
+  bool mask_ok = st.options.claimed_mask == dxo.policies.mask();
+  if (claimed && !mask_ok) return;  // commit fails the claim; skip the pipeline
+  verifier::VerificationCache* cache = config_.verify_cache.get();
+  using Role = verifier::VerificationCache::Admission::Role;
+  bool skip_pipeline = false;
+  if (claimed && cache != nullptr) {
+    st.early = cache->poll_admission(st.options.claimed_digest, *st.provisional,
+                                     config_.verify);
+    st.early_polled = true;
+    if (st.early.role == Role::Hit || st.early.role == Role::InFlight)
+      skip_pipeline = true;  // verdict exists / leader elsewhere
+  }
+  if (!st.options.pipeline || overlap || skip_pipeline ||
+      config_.verify.custom_check != nullptr)
+    return;
+  st.sv = std::make_unique<verifier::StreamingVerifier>(
+      BytesView(st.parser.dxo().text), *st.provisional, config_.verify);
+  st.pipeline_wanted = true;
+  st.pipeline_ok = true;
+  st.worker = std::thread([s = stream_.get()] { s->run_worker(); });
+}
+
+void BootstrapEnclave::stream_apply_relocs_locked() {
+  StreamState& st = *stream_;
+  if (!st.resolve_ok) return;
+  const std::uint64_t received = st.parser.text_received();
+  Bytes& text = st.parser.dxo().text;
+  while (st.next_reloc < st.relocs.size() &&
+         st.relocs[st.next_reloc].off + 8 <= received) {
+    store_le64(text.data() + st.relocs[st.next_reloc].off,
+               st.relocs[st.next_reloc].value);
+    ++st.next_reloc;
+  }
+  if (!st.pipeline_wanted) return;
+  // The publishable prefix holds back to the earliest relocation window
+  // still awaiting bytes: everything below it is final.
+  std::uint64_t wm = received;
+  if (st.next_reloc < st.relocs.size())
+    wm = std::min<std::uint64_t>(wm, st.relocs[st.next_reloc].off);
+  st.publish(wm);
+}
+
+Result<crypto::Digest> BootstrapEnclave::ecall_stream_commit() {
+  return stream_commit_internal(/*admit=*/true);
+}
+
+Status BootstrapEnclave::ecall_stream_abort() {
+  std::lock_guard lock(stream_mutex_);
+  stream_.reset();  // idempotent; joins the worker, drops any held ticket
+  return Status::ok();
+}
+
+Result<crypto::Digest> BootstrapEnclave::stream_commit_internal(bool admit) {
+  std::unique_ptr<StreamState> st;
+  {
+    std::lock_guard lock(stream_mutex_);
+    if (stream_ == nullptr)
+      return Result<crypto::Digest>::fail("stream_inactive",
+                                          "no delivery stream active");
+    if (stream_->expired_at(std::chrono::steady_clock::now())) {
+      stream_.reset();
+      return Result<crypto::Digest>::fail("stream_expired",
+                                          "delivery stream missed its deadline");
+    }
+    // Commit owns the stream from here: abort/reaper calls see it gone and
+    // are no-ops, so they never block behind an admission wait below.
+    st = std::move(stream_);
+  }
+  // Propagate commit failures to coalesced waiters through the held leader
+  // ticket (no-op otherwise); `st` then dies, scrubbing everything staged.
+  auto fail = [&st](const std::string& code, const std::string& msg) {
+    Status s = Status::fail(code, msg);
+    if (st->early_polled) st->early.ticket.fail(s);
+    return Result<crypto::Digest>(s.error());
+  };
+  if (auto s = fault_check(config_.fault_plan, fault_site::kStreamCommit);
+      !s.is_ok()) {
+    if (st->early_polled) st->early.ticket.fail(s);
+    return s.error();
+  }
+  st->halt_worker();
+  if (st->fed != st->total)
+    return fail("stream_incomplete", "commit before the declared total arrived");
+  if (!st->opener.finish())
+    return fail("auth_fail", "binary payload failed authentication");
+  if (!st->parser.finish()) return fail("dxo_malformed", st->parser.error());
+  crypto::Digest digest = st->plain_digest.finish();
+  bool claimed = st->options.claimed_digest != crypto::Digest{};
+  if (claimed && digest != st->options.claimed_digest)
+    return fail("stream_digest_mismatch",
+                "delivered binary does not match the claimed digest");
+  if (claimed && st->options.claimed_mask != st->parser.dxo().policies.mask())
+    return fail("stream_claim_mismatch",
+                "delivered binary does not carry the claimed policy mask");
+
+  // Install the delivered binary — the digest is computed over the exact
+  // decrypted bytes that were parsed, so a tampered binary can never look
+  // up another binary's verdict.
+  dxo_ = std::move(st->parser.dxo());
+  binary_digest_ = digest;
+  verified_ = false;
+  loaded_.reset();
+  block_cache_.clear();
+  if (admit) {
+    if (auto s = stream_admit(digest, *st); !s.is_ok()) return s.error();
+  }
+  return digest;
+}
+
+Status BootstrapEnclave::stream_admit(const crypto::Digest& digest,
+                                      StreamState& st) {
+  verifier::Loader loader(*enclave_, layout_);
+  auto loaded = loader.load(*dxo_);
+  if (!loaded.is_ok()) {
+    if (st.early_polled) st.early.ticket.fail(loaded.status());
+    return loaded.status();
+  }
+  loaded_ = loaded.take();
+
+  // Harvest the pipelined verdict (worker already joined). finish() runs
+  // the tail — leaf resolution, entry/probe checks, report merge — on this
+  // thread; any disagreement degrades to the serial verifier below.
+  auto t0 = std::chrono::steady_clock::now();
+  std::optional<verifier::VerifyReport> piped;
+  if (st.pipeline_wanted && st.pipeline_ok) piped = st.sv->finish();
+  auto verify_with_pipeline = [&]() -> Result<verifier::VerifyReport> {
+    if (piped.has_value()) return *piped;
+    return verifier::verify(*space_, *loaded_, config_.verify);
+  };
+  auto elapsed_ns = [&t0] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  };
+
+  using Role = verifier::VerificationCache::Admission::Role;
+  verifier::VerificationCache* cache = config_.verify_cache.get();
+  bool admitted = false;
+  if (st.early_polled && st.early.role == Role::Hit) {
+    // The digest check above proved the delivered bytes ARE the claimed
+    // bytes, so the early verdict (already rebased onto this layout —
+    // identical to the final one) applies.
+    report_ = std::move(*st.early.report);
+    admitted = true;
+  }
+  if (!admitted && cache != nullptr) {
+    verifier::VerificationCache::Admission adm;
+    if (st.early_polled && st.early.role == Role::Leader) {
+      adm = std::move(st.early);
+    } else {
+      // No early claim, or the key was in flight at tables-ready: admit
+      // under the ACTUAL digest now, waiting at most the stream's remaining
+      // deadline for a foreign leader ("admission_timeout" on expiry).
+      std::optional<std::chrono::nanoseconds> max_wait;
+      if (st.options.deadline_ns > 0) {
+        auto budget = std::chrono::nanoseconds(st.options.deadline_ns);
+        auto spent = std::chrono::steady_clock::now() - st.started;
+        if (spent >= budget)
+          return Status::fail("stream_expired",
+                              "delivery stream missed its deadline");
+        max_wait = budget - std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                spent);
+      }
+      adm = cache->begin_admission(digest, *loaded_, config_.verify, max_wait);
+    }
+    if (adm.role == Role::Hit ||
+        (adm.role == Role::Waiter && adm.report.has_value())) {
+      report_ = std::move(*adm.report);
+      admitted = true;
+    } else if (adm.role == Role::Waiter) {
+      return *adm.failure;
+    } else if (adm.role == Role::Leader) {
+      auto report = verify_with_pipeline();
+      if (!report.is_ok()) {
+        adm.ticket.fail(report.status());
+        return report.status();
+      }
+      report_ = report.take();
+      adm.ticket.publish(*loaded_, report_, elapsed_ns());
+      admitted = true;
+    }
+    // Bypass falls through to the standalone path.
+  }
+  if (!admitted) {
+    auto report = verify_with_pipeline();
+    if (!report.is_ok()) return report.status();
+    report_ = report.take();
+  }
+  if (auto s = verifier::rewrite_immediates(*space_, *loaded_, report_); !s.is_ok())
+    return s;
+  if (config_.sgxv2) {
+    if (auto s = enclave_->modify_page_perms(layout_.text_base, layout_.text_size,
+                                             sgx::kPermRX);
+        !s.is_ok())
+      return s;
+  }
+  verified_ = true;
   return Status::ok();
 }
 

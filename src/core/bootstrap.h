@@ -9,8 +9,10 @@
 // enclave.
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "codegen/dxo.h"
@@ -84,6 +86,7 @@ class BootstrapEnclave {
                                            std::uint64_t enclave_base_arg = 0);
 
   BootstrapEnclave(sgx::QuotingEnclave& quoting, const BootstrapConfig& config);
+  ~BootstrapEnclave();
 
   // Worker reset path (used by ServicePool to re-provision a quarantined
   // worker): models destroying the enclave and re-creating it on the same
@@ -114,6 +117,57 @@ class BootstrapEnclave {
   // ecall_receive_userdata: sealed input from the data owner, queued for
   // the service's ocall_recv.
   Status ecall_receive_userdata(BytesView sealed);
+
+  // --- Streaming binary delivery (chunked ECall surface) ---
+  // Incremental alternative to ecall_receive_binary for large DXOs: the
+  // sealed payload arrives in strictly-ordered chunks, each decrypted and
+  // measured as it lands, and — when `pipeline` is set — policy
+  // verification runs concurrently over the already-delivered text regions
+  // so the verdict lands near-simultaneously with the last chunk.
+  //
+  // Failure semantics (fail-closed throughout):
+  //  - exactly one stream may be active per enclave ("stream_busy");
+  //  - chunks must arrive in strict sequence order; a duplicate, skipped or
+  //    replayed chunk poisons and scrubs the stream ("stream_out_of_order");
+  //  - deadlines are enforced lazily at every chunk/commit and by serving-
+  //    layer reapers via ecall_stream_abort ("stream_expired");
+  //  - content errors (malformed DXO) are only reported at commit, AFTER
+  //    the AEAD tag over the whole payload has verified — a pre-auth parser
+  //    verdict would let an attacker distinguish plaintexts ("auth_fail"
+  //    always wins over "dxo_malformed");
+  //  - scrubbing a stream (abort, expiry, reset, failed commit) joins the
+  //    pipeline worker and drops any single-flight admission ticket, so
+  //    no partial binary, staged text or verification state survives and
+  //    coalesced waiters are released with "admission_abandoned".
+  struct StreamOptions {
+    // Expected identity of the plaintext DXO. When claimed_digest is
+    // non-zero the commit fails unless the delivered bytes hash to it
+    // ("stream_digest_mismatch") and carry claimed_mask
+    // ("stream_claim_mismatch"); the claim also enables EARLY cache
+    // admission — a resident verdict or in-flight leader for the claimed
+    // key is discovered at tables-ready instead of at commit.
+    std::uint32_t claimed_mask = 0;
+    crypto::Digest claimed_digest{};  // all-zero = no claim
+    std::uint64_t deadline_ns = 0;      // whole-stream budget; 0 = unbounded
+    std::uint64_t idle_timeout_ns = 0;  // max gap between chunks; 0 = unbounded
+    bool pipeline = true;  // overlap verification with delivery
+  };
+  // Implausible totals are rejected at begin: shorter than nonce+tag, or
+  // beyond any payload the layout could accept (also catches totals chosen
+  // near the u64 wrap).
+  static constexpr std::uint64_t kMaxSealedStreamLen = 256ull << 20;
+  Status ecall_stream_begin(std::uint64_t total_len, const StreamOptions& options);
+  Status ecall_stream_begin(std::uint64_t total_len) {
+    return ecall_stream_begin(total_len, StreamOptions{});
+  }
+  Status ecall_stream_chunk(std::uint64_t seq, BytesView bytes);
+  // Commit: verifies total/tag/format/claims, installs the binary, and pays
+  // admission (pipelined verdict, cache hit, or serial fallback) before
+  // returning the plaintext digest. The stream is consumed either way.
+  Result<crypto::Digest> ecall_stream_commit();
+  // Abort: scrubs the active stream (idempotent; ok when none is active).
+  Status ecall_stream_abort();
+  bool stream_active() const;
   // ecall_prepare: pay admission (load -> verify or cache hit -> rewrite)
   // without executing — lets a serving layer front-load the cost at
   // provision time instead of on the first request. Idempotent; ecall_run
@@ -154,6 +208,22 @@ class BootstrapEnclave {
   // half of ecall_prepare() and ecall_run().
   Status ensure_verified();
 
+  // --- Streaming delivery internals ---
+  struct StreamState;
+  // Shared back half of ecall_stream_commit (admit=true) and the one-shot
+  // ecall_receive_binary wrapper (admit=false: delivery only, admission
+  // stays lazy exactly as the legacy surface promised).
+  Result<crypto::Digest> stream_commit_internal(bool admit);
+  // At tables-ready: provisional resolve, relocation staging, early cache
+  // poll, and pipeline start. stream_mutex_ held.
+  void stream_tables_ready_locked();
+  // Applies staged relocations whose 8-byte windows are fully delivered and
+  // publishes the pipeline watermark. stream_mutex_ held.
+  void stream_apply_relocs_locked();
+  // Commit-side admission: load, harvest/fallback verification, cache
+  // resolution, immediate rewrite, SGXv2 flip.
+  Status stream_admit(const crypto::Digest& digest, StreamState& st);
+
   Result<std::uint64_t> handle_ocall(std::uint8_t num, std::uint64_t rdi,
                                      std::uint64_t rsi, std::uint64_t rdx,
                                      RunOutcome& outcome);
@@ -186,6 +256,13 @@ class BootstrapEnclave {
   std::deque<Bytes> inbox_;            // decrypted user inputs
   std::uint64_t entropy_spent_ = 0;    // plaintext bytes sent out so far
   vm::TraceHook trace_;
+
+  // Active delivery stream (at most one). stream_mutex_ serializes the
+  // chunk path against abort/reaper scrubs; commit takes ownership of the
+  // state under the mutex and finishes outside it, so an abort never
+  // blocks behind a committing (possibly admission-waiting) stream.
+  mutable std::mutex stream_mutex_;
+  std::unique_ptr<StreamState> stream_;
 };
 
 }  // namespace deflection::core

@@ -61,6 +61,26 @@ class CodeProvider : public RemoteParty {
       : RemoteParty(as, expected_mrenclave, Role::CodeProvider, seed) {}
 
   Bytes seal_binary(const codegen::Dxo& dxo) { return seal(dxo.serialize()); }
+
+  // Streaming delivery claim: the sealed payload plus the identity the
+  // stream asserts at ecall_stream_begin — plaintext digest and policy
+  // mask — so the enclave can coalesce cache admission (and start its
+  // pipelined verifier under the claimed key) before the last chunk
+  // arrives. The claim is re-checked by the enclave at commit against the
+  // decrypted bytes; a lying provider gets "stream_digest_mismatch".
+  struct StreamedBinary {
+    Bytes sealed;
+    crypto::Digest digest{};       // SHA-256 of the plaintext DXO bytes
+    std::uint32_t policy_mask = 0; // the binary's claimed PolicySet
+  };
+  StreamedBinary seal_binary_stream(const codegen::Dxo& dxo) {
+    Bytes plain = dxo.serialize();
+    StreamedBinary out;
+    out.digest = crypto::Sha256::hash(BytesView(plain));
+    out.policy_mask = dxo.policies.mask();
+    out.sealed = seal(BytesView(plain));
+    return out;
+  }
 };
 
 // The data owner: approves the (hash of the) service code reported by the

@@ -1,5 +1,7 @@
 #include "core/worker.h"
 
+#include <algorithm>
+
 namespace deflection::core {
 
 ServiceWorker::ServiceWorker(sgx::AttestationService& as, const BootstrapConfig& config,
@@ -46,7 +48,81 @@ Status ServiceWorker::reprovision(const codegen::Dxo& service, bool strict_admis
 
 Status ServiceWorker::reset() {
   provisioned_ = false;
-  return enclave_->reset();
+  stream_sealed_.clear();
+  stream_off_ = stream_seq_ = 0;
+  stream_open_ = false;
+  return enclave_->reset();  // also scrubs any in-flight enclave stream
+}
+
+Result<crypto::Digest> ServiceWorker::provision_stream_begin(
+    const codegen::Dxo& service, std::uint64_t deadline_ns,
+    std::uint64_t idle_timeout_ns, bool pipeline) {
+  using R = Result<crypto::Digest>;
+  if (auto s = fault_check(fault_plan_, fault_site::kProvision); !s.is_ok())
+    return R::fail(s.code(), tag(s.message()));
+  if (stream_open_)
+    return R::fail("stream_busy", tag("a provisioning stream is already open"));
+  auto owner_offer = enclave_->open_channel(Role::DataOwner, owner_->dh_public());
+  if (auto s = owner_->accept(owner_offer); !s.is_ok())
+    return R::fail(s.code(), tag(s.message()));
+  auto provider_offer =
+      enclave_->open_channel(Role::CodeProvider, provider_->dh_public());
+  if (auto s = provider_->accept(provider_offer); !s.is_ok())
+    return R::fail(s.code(), tag(s.message()));
+  auto claimed = provider_->seal_binary_stream(service);
+  BootstrapEnclave::StreamOptions options;
+  options.claimed_mask = claimed.policy_mask;
+  options.claimed_digest = claimed.digest;
+  options.deadline_ns = deadline_ns;
+  options.idle_timeout_ns = idle_timeout_ns;
+  options.pipeline = pipeline;
+  if (auto s = enclave_->ecall_stream_begin(claimed.sealed.size(), options);
+      !s.is_ok())
+    return R::fail(s.code(), tag(s.message()));
+  stream_sealed_ = std::move(claimed.sealed);
+  stream_off_ = stream_seq_ = 0;
+  stream_open_ = true;
+  return claimed.digest;
+}
+
+Result<std::uint64_t> ServiceWorker::provision_stream_feed(std::uint64_t max_bytes) {
+  using R = Result<std::uint64_t>;
+  if (!stream_open_)
+    return R::fail("stream_inactive", tag("no provisioning stream open"));
+  std::uint64_t n = std::min<std::uint64_t>(max_bytes, stream_remaining());
+  if (n > 0) {
+    BytesView chunk(stream_sealed_.data() + stream_off_, n);
+    if (auto s = enclave_->ecall_stream_chunk(stream_seq_, chunk); !s.is_ok()) {
+      // The enclave scrubbed its end; drop ours so the failure is terminal.
+      stream_sealed_.clear();
+      stream_off_ = stream_seq_ = 0;
+      stream_open_ = false;
+      return R::fail(s.code(), tag(s.message()));
+    }
+    stream_off_ += n;
+    ++stream_seq_;
+  }
+  return stream_remaining();
+}
+
+Result<crypto::Digest> ServiceWorker::provision_stream_commit() {
+  using R = Result<crypto::Digest>;
+  if (!stream_open_)
+    return R::fail("stream_inactive", tag("no provisioning stream open"));
+  auto digest = enclave_->ecall_stream_commit();
+  stream_sealed_.clear();
+  stream_off_ = stream_seq_ = 0;
+  stream_open_ = false;
+  if (!digest.is_ok()) return R::fail(digest.code(), tag(digest.message()));
+  provisioned_ = true;
+  return digest;
+}
+
+Status ServiceWorker::provision_stream_abort() {
+  stream_sealed_.clear();
+  stream_off_ = stream_seq_ = 0;
+  stream_open_ = false;
+  return enclave_->ecall_stream_abort();
 }
 
 ServiceWorker::Response ServiceWorker::serve(const Bytes& payload, ServeMetrics* metrics,

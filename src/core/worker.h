@@ -76,6 +76,27 @@ class ServiceWorker {
   Response serve(const Bytes& payload, ServeMetrics* metrics = nullptr,
                  std::uint64_t cost_budget = 0);
 
+  // --- Streaming provision cycle ---
+  // Chunked alternative to provision() for large binaries, always strict:
+  // admission is paid inside the enclave's stream commit. begin runs the
+  // channel handshakes, seals the service and opens a chunked delivery
+  // that claims (digest, policy mask) up front — enabling the enclave's
+  // early cache coalescing and pipelined verification — and returns the
+  // claimed digest. The caller paces delivery with feed (up to max_bytes
+  // of sealed payload per call; returns the bytes still undelivered) and
+  // completes with commit. Any enclave-side failure scrubs both ends of
+  // the stream; the worker must then be reset before reuse, like any
+  // failed provision.
+  Result<crypto::Digest> provision_stream_begin(const codegen::Dxo& service,
+                                                std::uint64_t deadline_ns,
+                                                std::uint64_t idle_timeout_ns,
+                                                bool pipeline = true);
+  Result<std::uint64_t> provision_stream_feed(std::uint64_t max_bytes);
+  Result<crypto::Digest> provision_stream_commit();
+  Status provision_stream_abort();  // idempotent
+  bool stream_open() const { return stream_open_; }
+  std::uint64_t stream_remaining() const { return stream_sealed_.size() - stream_off_; }
+
  private:
   int index_;
   std::string label_;
@@ -85,6 +106,13 @@ class ServiceWorker {
   std::unique_ptr<DataOwner> owner_;
   std::unique_ptr<CodeProvider> provider_;
   bool provisioned_ = false;
+
+  // In-flight streaming provision (host-side pacing state; the enclave
+  // holds the trusted half).
+  Bytes stream_sealed_;
+  std::uint64_t stream_off_ = 0;
+  std::uint64_t stream_seq_ = 0;
+  bool stream_open_ = false;
 };
 
 }  // namespace deflection::core

@@ -102,6 +102,76 @@ std::optional<Bytes> aead_open(const Key256& key, BytesView sealed, BytesView aa
   return plain;
 }
 
+void ChaChaStream::xor_bytes(BytesView in, std::uint8_t* out) {
+  std::size_t off = 0;
+  while (off < in.size()) {
+    if (ks_off_ == 64) {
+      chacha20_block(key_, nonce_, counter_++, ks_);
+      ks_off_ = 0;
+    }
+    std::size_t n = std::min<std::size_t>(64 - ks_off_, in.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = in[off + i] ^ ks_[ks_off_ + i];
+    ks_off_ += n;
+    off += n;
+  }
+}
+
+bool AeadStreamOpener::begin(const Key256& key, std::uint64_t total, BytesView aad) {
+  if (total < 12 + 32) return false;
+  key_ = key;
+  total_ = total;
+  fed_ = 0;
+  cipher_.reset();
+  Digest mac_key = derive_key(BytesView(key.data(), key.size()), "deflection-aead-mac");
+  mac_.emplace(BytesView(mac_key.data(), mac_key.size()));
+  mac_->update(aad);
+  return true;
+}
+
+bool AeadStreamOpener::feed(BytesView in, Bytes& plain_out) {
+  if (fed_ + in.size() > total_) return false;
+  std::size_t off = 0;
+  const std::uint64_t ct_end = total_ - 32;
+  while (off < in.size()) {
+    std::uint64_t pos = fed_ + off;
+    if (pos < 12) {
+      // Nonce prefix: buffer, MAC, and start the cipher once complete.
+      std::size_t n = std::min<std::size_t>(12 - pos, in.size() - off);
+      std::memcpy(head_ + pos, in.data() + off, n);
+      mac_->update(in.subspan(off, n));
+      off += n;
+      if (pos + n == 12) {
+        Nonce96 nonce;
+        std::memcpy(nonce.data(), head_, 12);
+        cipher_.emplace(key_, nonce, 1);
+      }
+    } else if (pos < ct_end) {
+      // Ciphertext: MAC the sealed bytes, then decrypt into the output.
+      std::size_t n = std::min<std::uint64_t>(ct_end - pos, in.size() - off);
+      mac_->update(in.subspan(off, n));
+      std::size_t old = plain_out.size();
+      plain_out.resize(old + n);
+      cipher_->xor_bytes(in.subspan(off, n), plain_out.data() + old);
+      off += n;
+    } else {
+      // Trailing tag bytes: withheld from both MAC and cipher.
+      std::size_t n = in.size() - off;
+      std::memcpy(tail_ + (pos - ct_end), in.data() + off, n);
+      off += n;
+    }
+  }
+  fed_ += in.size();
+  return true;
+}
+
+bool AeadStreamOpener::finish() {
+  if (fed_ != total_ || !mac_) return false;
+  Digest expect = mac_->finish();
+  Digest got;
+  std::memcpy(got.data(), tail_, 32);
+  return digest_equal(expect, got);
+}
+
 Key256 key_from_digest(const Digest& d) {
   Key256 k;
   std::memcpy(k.data(), d.data(), 32);

@@ -30,6 +30,50 @@ Bytes aead_seal(const Key256& key, const Nonce96& nonce, BytesView plaintext,
 // Returns nullopt on authentication failure.
 std::optional<Bytes> aead_open(const Key256& key, BytesView sealed, BytesView aad = {});
 
+// ChaCha20 keystream carried across calls: xor_bytes(a); xor_bytes(b)
+// produces the same bytes as chacha20_xor over concat(a, b), for any split.
+class ChaChaStream {
+ public:
+  ChaChaStream(const Key256& key, const Nonce96& nonce, std::uint32_t counter = 1)
+      : key_(key), nonce_(nonce), counter_(counter) {}
+
+  void xor_bytes(BytesView in, std::uint8_t* out);
+
+ private:
+  Key256 key_;
+  Nonce96 nonce_;
+  std::uint32_t counter_;
+  std::uint8_t ks_[64];
+  std::size_t ks_off_ = 64;  // 64 = no keystream buffered
+};
+
+// Incremental counterpart of aead_open for a sealed stream whose total
+// length is declared up front. The wire format is the same
+// nonce(12) || ciphertext || tag(32); feed() accepts the sealed bytes in
+// arbitrary pieces and appends the plaintext they decode to `plain_out`.
+// The tag is only checked at finish(): until it returns true the plaintext
+// is UNAUTHENTICATED and callers must not act on it beyond parsing into
+// quarantined staging state.
+class AeadStreamOpener {
+ public:
+  // False when `total` cannot be a sealed blob (shorter than nonce + tag).
+  bool begin(const Key256& key, std::uint64_t total, BytesView aad = {});
+  // Consumes the next bytes of the sealed stream; false on overrun past
+  // the declared total.
+  bool feed(BytesView in, Bytes& plain_out);
+  // All `total` bytes fed and the tag authenticates (constant-time).
+  bool finish();
+
+ private:
+  std::optional<ChaChaStream> cipher_;
+  std::optional<HmacSha256> mac_;
+  Key256 key_{};
+  std::uint8_t head_[12];       // nonce, buffered until 12 bytes arrived
+  std::uint8_t tail_[32];       // trailing tag bytes
+  std::uint64_t total_ = 0;
+  std::uint64_t fed_ = 0;
+};
+
 Key256 key_from_digest(const Digest& d);
 
 }  // namespace deflection::crypto

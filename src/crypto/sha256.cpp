@@ -117,7 +117,7 @@ Digest Sha256::finish() {
   return out;
 }
 
-Digest hmac_sha256(BytesView key, BytesView msg) {
+void HmacSha256::reset(BytesView key) {
   std::uint8_t k[64] = {0};
   if (key.size() > 64) {
     Digest kd = Sha256::hash(key);
@@ -125,20 +125,27 @@ Digest hmac_sha256(BytesView key, BytesView msg) {
   } else {
     std::memcpy(k, key.data(), key.size());
   }
-  std::uint8_t ipad[64], opad[64];
+  std::uint8_t ipad[64];
   for (int i = 0; i < 64; ++i) {
     ipad[i] = k[i] ^ 0x36;
-    opad[i] = k[i] ^ 0x5c;
+    opad_[i] = k[i] ^ 0x5c;
   }
-  Sha256 inner;
-  inner.update(BytesView(ipad, 64));
-  inner.update(msg);
-  Digest id = inner.finish();
+  inner_.reset();
+  inner_.update(BytesView(ipad, 64));
+}
 
+Digest HmacSha256::finish() {
+  Digest id = inner_.finish();
   Sha256 outer;
-  outer.update(BytesView(opad, 64));
+  outer.update(BytesView(opad_, 64));
   outer.update(BytesView(id.data(), id.size()));
   return outer.finish();
+}
+
+Digest hmac_sha256(BytesView key, BytesView msg) {
+  HmacSha256 mac(key);
+  mac.update(msg);
+  return mac.finish();
 }
 
 Digest derive_key(BytesView key, const std::string& label) {

@@ -38,6 +38,22 @@ class Sha256 {
 // HMAC-SHA256 (RFC 2104).
 Digest hmac_sha256(BytesView key, BytesView msg);
 
+// Incremental HMAC-SHA256: feed the message in arbitrary pieces. The result
+// is identical to hmac_sha256(key, concat(pieces)); the one-shot helper is a
+// wrapper over this class.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(BytesView key) { reset(key); }
+
+  void reset(BytesView key);
+  void update(BytesView data) { inner_.update(data); }
+  Digest finish();
+
+ private:
+  Sha256 inner_;
+  std::uint8_t opad_[64];
+};
+
 // HKDF-style two-step key derivation used for session keys:
 // derive(key, label) = HMAC(key, label || 0x01).
 Digest derive_key(BytesView key, const std::string& label);

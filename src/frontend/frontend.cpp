@@ -161,6 +161,109 @@ Result<crypto::Digest> ShardedFrontEnd::register_tenant(const registry::TenantId
   return admitted;
 }
 
+Result<ShardedFrontEnd::StreamHandle> ShardedFrontEnd::register_tenant_stream_begin(
+    const registry::TenantId& id, const codegen::Dxo& service,
+    const registry::TenantQuota& quota) {
+  using R = Result<StreamHandle>;
+  std::lock_guard admin(admin_mutex_);
+  std::shared_ptr<registry::TenantRouter> router;
+  int shard = ring_lookup(id);
+  {
+    std::lock_guard lock(route_mutex_);
+    if (stopped_) return R::fail("stopped", "front-end stopped");
+    if (homes_.count(id) != 0)
+      return R::fail("tenant_exists", "tenant already registered: " + id);
+    router = units_[static_cast<std::size_t>(shard)].router;
+  }
+  if (router == nullptr)
+    return R::fail("shard_down", "home shard " + std::to_string(shard) + " is down");
+  auto opened = router->register_tenant_stream_begin(id, service, quota);
+  if (!opened.is_ok()) return R::fail(opened.code(), opened.message());
+  auto stream = std::make_shared<FeStream>();
+  stream->id = id;
+  stream->service = service;
+  stream->quota = quota;
+  stream->shard = shard;
+  stream->router = std::move(router);
+  stream->handle = opened.value();
+  std::lock_guard lock(route_mutex_);
+  StreamHandle handle = next_fe_stream_++;
+  fe_streams_[handle] = std::move(stream);
+  return handle;
+}
+
+// Looks up + liveness-checks a stream under route_mutex_. A tombstoned (or
+// router-replaced) stream is cleared and reported as "shard_down"; an
+// unknown handle as "unknown_stream". The returned FeStream is pinned by
+// shared_ptr, so a racing kill_shard can tombstone but never invalidate it.
+Result<std::shared_ptr<ShardedFrontEnd::FeStream>> ShardedFrontEnd::stream_lookup(
+    StreamHandle handle) {
+  using R = Result<std::shared_ptr<FeStream>>;
+  std::lock_guard lock(route_mutex_);
+  if (stopped_) return R::fail("stopped", "front-end stopped");
+  auto it = fe_streams_.find(handle);
+  if (it == fe_streams_.end())
+    return R::fail("unknown_stream", "no stream " + std::to_string(handle));
+  std::shared_ptr<FeStream> stream = it->second;
+  if (stream->down ||
+      units_[static_cast<std::size_t>(stream->shard)].router != stream->router) {
+    fe_streams_.erase(it);
+    return R::fail("shard_down", "shard " + std::to_string(stream->shard) +
+                                     " died mid-stream");
+  }
+  return stream;
+}
+
+Result<std::uint64_t> ShardedFrontEnd::register_tenant_stream_feed(
+    StreamHandle handle, std::uint64_t max_bytes) {
+  auto stream = stream_lookup(handle);
+  if (!stream.is_ok()) return Result<std::uint64_t>::fail(stream.code(), stream.message());
+  auto remaining = stream.value()->router->register_tenant_stream_feed(
+      stream.value()->handle, max_bytes);
+  if (!remaining.is_ok()) {
+    std::lock_guard lock(route_mutex_);
+    fe_streams_.erase(handle);
+  }
+  return remaining;
+}
+
+Result<crypto::Digest> ShardedFrontEnd::register_tenant_stream_commit(StreamHandle handle) {
+  auto looked_up = stream_lookup(handle);
+  if (!looked_up.is_ok())
+    return Result<crypto::Digest>::fail(looked_up.code(), looked_up.message());
+  std::shared_ptr<FeStream> stream = looked_up.value();
+  // The commit itself runs outside every front-end lock: it may block on
+  // the shared cache's single-flight admission, bounded by the stream
+  // deadline — kill_shard must stay free to run meanwhile.
+  auto digest = stream->router->register_tenant_stream_commit(stream->handle);
+  {
+    std::lock_guard lock(route_mutex_);
+    fe_streams_.erase(handle);
+  }
+  if (!digest.is_ok()) return digest;
+  {
+    std::lock_guard admin(admin_mutex_);
+    std::lock_guard lock(route_mutex_);
+    homes_[stream->id] = TenantHome{stream->service, stream->quota, stream->shard};
+  }
+  if (options_.seal_on_register && !options_.sealed_store_path.empty())
+    (void)save_sealed();
+  return digest;
+}
+
+Status ShardedFrontEnd::register_tenant_stream_abort(StreamHandle handle) {
+  std::shared_ptr<FeStream> stream;
+  {
+    std::lock_guard lock(route_mutex_);
+    auto it = fe_streams_.find(handle);
+    if (it == fe_streams_.end()) return Status::ok();  // idempotent
+    stream = it->second;
+    fe_streams_.erase(it);
+  }
+  if (stream->down) return Status::ok();  // its registry stream died with the shard
+  return stream->router->register_tenant_stream_abort(stream->handle);
+}
+
 Status ShardedFrontEnd::unregister_tenant(const registry::TenantId& id) {
   std::lock_guard admin(admin_mutex_);
   std::shared_ptr<registry::TenantRouter> router;
@@ -327,6 +430,22 @@ Status ShardedFrontEnd::kill_shard(int index) {
     units_[static_cast<std::size_t>(index)].router = nullptr;
   }
   if (router == nullptr) return Status::ok();  // already down
+  // Tombstone every in-flight stream pinned to this shard — their next
+  // touch fails fast with "shard_down" — and abort them on the (still
+  // live) router object so the registry scrubs the enclave streams and the
+  // in-flight accounting returns to zero now, not at a later GC.
+  std::vector<std::shared_ptr<FeStream>> orphans;
+  {
+    std::lock_guard lock(route_mutex_);
+    for (auto& [handle, stream] : fe_streams_) {
+      if (stream->router == router && !stream->down) {
+        stream->down = true;
+        orphans.push_back(stream);
+      }
+    }
+  }
+  for (const auto& stream : orphans)
+    (void)router->register_tenant_stream_abort(stream->handle);
   // Crash semantics with future hygiene: intake is already closed (the
   // route table has no pointer), but every request the shard accepted is
   // served to completion before its counters are retired.

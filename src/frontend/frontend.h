@@ -108,6 +108,23 @@ class ShardedFrontEnd {
                                          const codegen::Dxo& service,
                                          const registry::TenantQuota& quota = {});
 
+  // Streaming registration, pinned to the tenant's home shard at begin.
+  // feed/commit/abort address the stream by the returned front-end handle;
+  // commit installs the placement and opens intake like register_tenant.
+  // kill_shard mid-stream tombstones every stream pinned to that shard:
+  // the next feed/commit fails fast with "shard_down" (never a hang — the
+  // underlying registry stream was aborted with the shard). Registry
+  // shedding ("admission_overloaded") and expiry ("stream_expired")
+  // surface through these calls unchanged.
+  using StreamHandle = std::uint64_t;
+  Result<StreamHandle> register_tenant_stream_begin(
+      const registry::TenantId& id, const codegen::Dxo& service,
+      const registry::TenantQuota& quota = {});
+  Result<std::uint64_t> register_tenant_stream_feed(StreamHandle handle,
+                                                    std::uint64_t max_bytes);
+  Result<crypto::Digest> register_tenant_stream_commit(StreamHandle handle);
+  Status register_tenant_stream_abort(StreamHandle handle);  // idempotent
+
   // Drains the tenant from its shard (TenantRouter::unregister_tenant
   // semantics) and drops its placement. Unregistering a tenant homed on a
   // killed shard just drops the placement — its records died with the
@@ -172,11 +189,25 @@ class ShardedFrontEnd {
     registry::TenantQuota quota;
     int shard = 0;
   };
+  // One in-flight streaming registration, pinned to the router generation
+  // that opened it. `down` is the kill_shard tombstone: the next touch
+  // reports "shard_down" and clears the entry.
+  struct FeStream {
+    registry::TenantId id;
+    codegen::Dxo service;       // for the TenantHome installed at commit
+    registry::TenantQuota quota;
+    int shard = 0;
+    std::shared_ptr<registry::TenantRouter> router;
+    registry::TenantRouter::StreamHandle handle = 0;
+    bool down = false;          // under route_mutex_
+  };
 
   explicit ShardedFrontEnd(const FrontEndOptions& options) : options_(options) {}
 
   Result<Unit> make_shard();
   int ring_lookup(const registry::TenantId& id) const;
+  // Stream lookup + liveness gate (tombstone/router-generation check).
+  Result<std::shared_ptr<FeStream>> stream_lookup(StreamHandle handle);
   // Registration with bounded retry of transient (injected/provisioning)
   // admission faults — shared by register_tenant and respawn re-admission.
   Result<crypto::Digest> admit_on(registry::TenantRouter& router,
@@ -198,6 +229,8 @@ class ShardedFrontEnd {
   mutable std::mutex route_mutex_;
   std::vector<Unit> units_;
   std::map<registry::TenantId, TenantHome> homes_;
+  std::map<StreamHandle, std::shared_ptr<FeStream>> fe_streams_;
+  StreamHandle next_fe_stream_ = 1;
   bool stopped_ = false;
   std::uint64_t migrations_ = 0;
   std::uint64_t respawns_ = 0;

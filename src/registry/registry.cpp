@@ -2,7 +2,17 @@
 
 namespace deflection::registry {
 
-TenantRegistry::TenantRegistry(const core::BootstrapConfig& config) : config_(config) {
+namespace {
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+TenantRegistry::TenantRegistry(const core::BootstrapConfig& config,
+                               const StreamLimits& stream_limits)
+    : config_(config), stream_limits_(stream_limits) {
   // Eagerly create the first scratch consumer (its enclave build cost is
   // paid at registry construction, not the first admission, matching the
   // previous serial registry).
@@ -10,6 +20,17 @@ TenantRegistry::TenantRegistry(const core::BootstrapConfig& config) : config_(co
   first.worker = std::make_unique<core::ServiceWorker>(
       as_, config_, next_worker_index_++, "registry-admission-", "admission");
   idle_workers_.push_back(std::move(first));
+}
+
+TenantRegistry::~TenantRegistry() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  reaper_cv_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
+  // streams_ die with the map: each held consumer's enclave scrubs its own
+  // in-flight stream (joining its pipeline worker) in its destructor.
 }
 
 std::optional<TenantRegistry::AdmissionWorker> TenantRegistry::acquire_admission_worker(
@@ -134,6 +155,230 @@ std::size_t TenantRegistry::size() const {
   for (const auto& [id, record] : tenants_)
     if (record != nullptr) ++n;
   return n;
+}
+
+void TenantRegistry::ensure_reaper_locked() {
+  if (reaper_.joinable() || stopping_) return;
+  reaper_ = std::thread([this] { reaper_main(); });
+}
+
+void TenantRegistry::reaper_main() {
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    reaper_cv_.wait_for(lock,
+                        std::chrono::nanoseconds(stream_limits_.reaper_period_ns),
+                        [&] { return stopping_; });
+    if (stopping_) break;
+    // Snapshot candidates under the registry lock (started is immutable
+    // after publication; last_activity is an atomic), then abort each one
+    // under its own stream lock so an in-flight feed/commit serializes
+    // cleanly against the reap.
+    auto now = std::chrono::steady_clock::now();
+    auto now_ns = steady_now_ns();
+    std::vector<std::pair<StreamHandle, std::shared_ptr<RegStream>>> expired;
+    for (const auto& [handle, s] : streams_) {
+      bool over_deadline =
+          stream_limits_.deadline_ns > 0 &&
+          now - s->started > std::chrono::nanoseconds(stream_limits_.deadline_ns);
+      bool idle = stream_limits_.idle_timeout_ns > 0 &&
+                  now_ns - s->last_activity_ns.load(std::memory_order_relaxed) >
+                      static_cast<std::int64_t>(stream_limits_.idle_timeout_ns);
+      if (over_deadline || idle) expired.push_back({handle, s});
+    }
+    lock.unlock();
+    for (auto& [handle, s] : expired) {
+      std::lock_guard stream_lock(s->m);
+      if (s->done) continue;  // a racing feed/commit/abort got there first
+      terminalize_stream(handle, *s,
+                         Status::fail("stream_expired",
+                                      "tenant '" + s->id +
+                                          "': registration stream missed its deadline"),
+                         /*erase_entry=*/false);  // tombstone informs the feeder
+    }
+    lock.lock();
+  }
+}
+
+void TenantRegistry::terminalize_stream(StreamHandle handle, RegStream& s,
+                                        Status why, bool erase_entry) {
+  s.done = true;
+  s.terminal = why;
+  if (s.worker.worker != nullptr) {
+    (void)s.worker.worker->provision_stream_abort();
+    s.worker.dirty = true;
+    release_admission_worker(std::move(s.worker));
+    s.worker = {};
+  }
+  std::lock_guard lock(mutex_);
+  auto claim = tenants_.find(s.id);
+  if (claim != tenants_.end() && claim->second == nullptr) tenants_.erase(claim);
+  --live_streams_;
+  inflight_bytes_ -= s.total;
+  if (erase_entry) streams_.erase(handle);
+}
+
+Result<TenantRegistry::StreamHandle> TenantRegistry::stream_begin(
+    const TenantId& id, const codegen::Dxo& service, const TenantQuota& quota) {
+  using R = Result<StreamHandle>;
+  if (id.empty()) return R::fail("tenant_id", "tenant id must be non-empty");
+  // The sealed size is exactly nonce(12) + plaintext + tag(32); computing
+  // it (and the record digest) up front lets the shedding gate refuse an
+  // oversized flood before any enclave work happens.
+  Bytes plain = service.serialize();
+  std::uint64_t total = plain.size() + 44;
+  crypto::Digest digest = crypto::Sha256::hash(BytesView(plain));
+  StreamHandle handle = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (live_streams_ >= stream_limits_.max_streams ||
+        inflight_bytes_ + total > stream_limits_.max_total_bytes)
+      return R::fail("admission_overloaded",
+                     "streaming registration limits exceeded; retry later");
+    auto [it, inserted] = tenants_.emplace(id, nullptr);
+    (void)it;
+    if (!inserted)
+      return R::fail("tenant_exists", "tenant '" + id + "' is already registered");
+    ++live_streams_;
+    inflight_bytes_ += total;
+    handle = next_stream_++;
+  }
+  auto rollback = [&] {
+    std::lock_guard lock(mutex_);
+    tenants_.erase(id);
+    --live_streams_;
+    inflight_bytes_ -= total;
+  };
+  Status acquire_error = Status::ok();
+  auto scratch = acquire_admission_worker(acquire_error);
+  if (!scratch.has_value()) {
+    rollback();
+    return R::fail(acquire_error.code(), acquire_error.message());
+  }
+  scratch->dirty = true;
+  auto begun = scratch->worker->provision_stream_begin(
+      service, stream_limits_.deadline_ns, stream_limits_.idle_timeout_ns);
+  if (!begun.is_ok()) {
+    release_admission_worker(std::move(*scratch));
+    rollback();
+    return R::fail(begun.code(), "tenant '" + id + "': " + begun.message());
+  }
+  auto s = std::make_shared<RegStream>();
+  s->id = id;
+  s->quota = quota;
+  s->service = service;
+  s->digest = digest;
+  s->total = total;
+  s->started = std::chrono::steady_clock::now();
+  s->last_activity_ns = steady_now_ns();
+  s->worker = std::move(*scratch);
+  {
+    std::lock_guard lock(mutex_);
+    streams_[handle] = std::move(s);
+    ensure_reaper_locked();
+  }
+  return handle;
+}
+
+Result<std::uint64_t> TenantRegistry::stream_feed(StreamHandle handle,
+                                                  std::uint64_t max_bytes) {
+  using R = Result<std::uint64_t>;
+  std::shared_ptr<RegStream> s;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = streams_.find(handle);
+    if (it == streams_.end())
+      return R::fail("unknown_stream", "no such registration stream");
+    s = it->second;
+  }
+  std::lock_guard stream_lock(s->m);
+  if (s->done) {
+    Status terminal = s->terminal;
+    std::lock_guard lock(mutex_);
+    streams_.erase(handle);
+    return R::fail(terminal.code(), terminal.message());
+  }
+  auto fed = s->worker.worker->provision_stream_feed(max_bytes);
+  if (!fed.is_ok()) {
+    Status why = Status::fail(fed.code(), "tenant '" + s->id + "': " + fed.message());
+    terminalize_stream(handle, *s, why, /*erase_entry=*/true);
+    return R::fail(why.code(), why.message());
+  }
+  s->last_activity_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  return fed;
+}
+
+Result<crypto::Digest> TenantRegistry::stream_commit(StreamHandle handle) {
+  using R = Result<crypto::Digest>;
+  std::shared_ptr<RegStream> s;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = streams_.find(handle);
+    if (it == streams_.end())
+      return R::fail("unknown_stream", "no such registration stream");
+    s = it->second;
+  }
+  std::lock_guard stream_lock(s->m);
+  if (s->done) {
+    Status terminal = s->terminal;
+    std::lock_guard lock(mutex_);
+    streams_.erase(handle);
+    return R::fail(terminal.code(), terminal.message());
+  }
+  auto committed = s->worker.worker->provision_stream_commit();
+  if (!committed.is_ok()) {
+    Status why =
+        Status::fail(committed.code(), "tenant '" + s->id + "': " + committed.message());
+    terminalize_stream(handle, *s, why, /*erase_entry=*/true);
+    return R::fail(why.code(), why.message());
+  }
+  auto record = std::make_shared<TenantRecord>();
+  record->id = s->id;
+  record->service = std::move(s->service);
+  record->digest = s->digest;
+  record->claimed_policies = record->service.policies.mask();
+  record->quota = s->quota;
+  s->done = true;
+  s->terminal = Status::fail("stream_done", "registration stream already committed");
+  s->worker.dirty = true;
+  release_admission_worker(std::move(s->worker));
+  s->worker = {};
+  std::lock_guard lock(mutex_);
+  tenants_[s->id] = std::move(record);
+  --live_streams_;
+  inflight_bytes_ -= s->total;
+  streams_.erase(handle);
+  return s->digest;
+}
+
+Status TenantRegistry::stream_abort(StreamHandle handle) {
+  std::shared_ptr<RegStream> s;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = streams_.find(handle);
+    if (it == streams_.end()) return Status::ok();  // idempotent
+    s = it->second;
+  }
+  std::lock_guard stream_lock(s->m);
+  if (s->done) {
+    std::lock_guard lock(mutex_);
+    streams_.erase(handle);
+    return Status::ok();
+  }
+  terminalize_stream(handle, *s,
+                     Status::fail("stream_aborted",
+                                  "tenant '" + s->id + "': registration stream aborted"),
+                     /*erase_entry=*/true);
+  return Status::ok();
+}
+
+std::size_t TenantRegistry::inflight_streams() const {
+  std::lock_guard lock(mutex_);
+  return live_streams_;
+}
+
+std::uint64_t TenantRegistry::inflight_stream_bytes() const {
+  std::lock_guard lock(mutex_);
+  return inflight_bytes_;
 }
 
 }  // namespace deflection::registry

@@ -19,10 +19,14 @@
 // one of them verify and the rest reuse its verdict.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "core/worker.h"
@@ -31,12 +35,32 @@
 
 namespace deflection::registry {
 
+// Bounds on streaming registrations (stream_begin/feed/commit). Shedding is
+// fail-fast: a begin that would exceed max_streams or max_total_bytes is
+// refused immediately with "admission_overloaded" — never queued — so a
+// flood of large deliveries cannot wedge the control plane. Deadlines are
+// enforced twice: lazily by the enclave at every chunk/commit, and
+// asynchronously by the registry's reaper thread, which aborts expired
+// streams, scrubs their scratch consumers and releases their tenant claims
+// even when the feeder has gone silent.
+struct StreamLimits {
+  std::size_t max_streams = 4;                  // concurrent registrations
+  std::uint64_t max_total_bytes = 64ull << 20;  // summed declared sealed sizes
+  std::uint64_t deadline_ns = 30'000'000'000ull;      // begin -> commit budget
+  std::uint64_t idle_timeout_ns = 10'000'000'000ull;  // max gap between feeds
+  std::uint64_t reaper_period_ns = 50'000'000ull;     // expiry scan period
+};
+
 class TenantRegistry {
  public:
   // `config` is the platform's uniform consumer configuration (one policy
   // floor for every tenant); its verify_cache member must carry the cache
   // shared with the slot fleet for admission to pre-warm it.
-  explicit TenantRegistry(const core::BootstrapConfig& config);
+  explicit TenantRegistry(const core::BootstrapConfig& config,
+                          const StreamLimits& stream_limits = {});
+  // Stops the stream reaper and drops every in-flight stream (each scratch
+  // consumer scrubs its own enclave stream on destruction).
+  ~TenantRegistry();
 
   // Admits and records a tenant. Fails with "tenant_exists" for duplicate
   // ids, "tenant_id" for an empty id, or the verifier's own code (e.g.
@@ -58,6 +82,32 @@ class TenantRegistry {
   std::vector<TenantId> ids() const;
   std::size_t size() const;
 
+  // --- Streaming registration ---
+  // Chunked admission for large binaries: begin claims the tenant id (a
+  // placeholder, like admit()) and opens a chunked delivery on a held
+  // scratch consumer; feed paces up to max_bytes of the sealed payload and
+  // returns the bytes still undelivered; commit completes delivery +
+  // verification (pipelined inside the enclave, coalesced through the
+  // shared cache) and installs the tenant record. Same-binary streams
+  // coalesce exactly like concurrent admit()s: one enclave leads the
+  // verification, the rest adopt its verdict at commit.
+  //
+  // Every stream resolves — commit, abort, or reaper expiry; an expired or
+  // failed stream releases its consumer and tenant claim immediately and
+  // leaves a tombstone, so the feeder's next touch reports the terminal
+  // error (e.g. "stream_expired") and clears it.
+  using StreamHandle = std::uint64_t;
+  Result<StreamHandle> stream_begin(const TenantId& id, const codegen::Dxo& service,
+                                    const TenantQuota& quota);
+  Result<std::uint64_t> stream_feed(StreamHandle handle, std::uint64_t max_bytes);
+  Result<crypto::Digest> stream_commit(StreamHandle handle);
+  Status stream_abort(StreamHandle handle);  // idempotent
+
+  // Introspection: live (non-terminal) streams and their summed declared
+  // sealed sizes — the values the shedding bounds compare against.
+  std::size_t inflight_streams() const;
+  std::uint64_t inflight_stream_bytes() const;
+
  private:
   struct AdmissionWorker {
     std::unique_ptr<core::ServiceWorker> worker;
@@ -75,6 +125,33 @@ class TenantRegistry {
   std::optional<AdmissionWorker> acquire_admission_worker(Status& error);
   void release_admission_worker(AdmissionWorker worker);
 
+  // One in-flight streaming registration. Locking: mutex_ (registry) is
+  // never held while acquiring a stream's m; terminal transitions take m
+  // first, then mutex_ for the accounting — feed/commit/abort and the
+  // reaper all follow that order, so a reaper abort and an in-flight feed
+  // serialize cleanly on m.
+  struct RegStream {
+    TenantId id;
+    TenantQuota quota;
+    codegen::Dxo service;
+    crypto::Digest digest{};
+    std::uint64_t total = 0;  // declared sealed size (shedding accounting)
+    std::chrono::steady_clock::time_point started;
+    std::atomic<std::int64_t> last_activity_ns{0};  // steady-clock nanos
+    std::mutex m;
+    AdmissionWorker worker;  // under m; moved out on terminalization
+    bool done = false;       // under m: terminal tombstone
+    Status terminal;         // under m: why (expired / aborted / failed)
+  };
+
+  // Marks `s` terminal (caller holds s->m), aborting its enclave stream,
+  // releasing its consumer, and dropping its tenant claim + accounting.
+  // The map entry survives as a tombstone unless erase_entry is set.
+  void terminalize_stream(StreamHandle handle, RegStream& s, Status why,
+                          bool erase_entry);
+  void reaper_main();
+  void ensure_reaper_locked();
+
   mutable std::mutex mutex_;
   core::BootstrapConfig config_;
   sgx::AttestationService as_;
@@ -86,6 +163,16 @@ class TenantRegistry {
   // its admission is in flight (lookup/ids/size treat it as absent, a
   // concurrent admit of the same id fails with "tenant_exists").
   std::map<TenantId, std::shared_ptr<const TenantRecord>> tenants_;
+
+  // Streaming registrations (guarded by mutex_; per-stream state by s->m).
+  StreamLimits stream_limits_;
+  std::map<StreamHandle, std::shared_ptr<RegStream>> streams_;
+  StreamHandle next_stream_ = 1;
+  std::size_t live_streams_ = 0;        // non-terminal streams
+  std::uint64_t inflight_bytes_ = 0;    // their summed declared totals
+  std::thread reaper_;                  // lazy; started at first stream_begin
+  std::condition_variable reaper_cv_;
+  bool stopping_ = false;
 };
 
 }  // namespace deflection::registry

@@ -40,7 +40,7 @@ Result<std::unique_ptr<TenantRouter>> TenantRouter::create(const RouterOptions& 
   core::BootstrapConfig config = options.config;
   config.verify_cache = router->cache_;
   config.fault_plan = options.fault_plan;
-  router->registry_ = std::make_unique<TenantRegistry>(config);
+  router->registry_ = std::make_unique<TenantRegistry>(config, options.stream_limits);
   EnclaveSlotScheduler::Options sched_options;
   sched_options.config = config;
   sched_options.fault_plan = options.fault_plan;
@@ -93,6 +93,80 @@ Result<crypto::Digest> TenantRouter::register_tenant(const TenantId& id,
     tenants_[id] = std::move(state);
   }
   return digest;
+}
+
+Result<TenantRouter::StreamHandle> TenantRouter::register_tenant_stream_begin(
+    const TenantId& id, const codegen::Dxo& service, const TenantQuota& quota) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopped_)
+      return Result<StreamHandle>::fail("stopped", "router is stopped");
+  }
+  auto handle = registry_->stream_begin(id, service, quota);
+  if (!handle.is_ok()) return handle;
+  std::lock_guard lock(mutex_);
+  reg_streams_[handle.value()] = id;
+  return handle;
+}
+
+Result<std::uint64_t> TenantRouter::register_tenant_stream_feed(
+    StreamHandle handle, std::uint64_t max_bytes) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopped_)
+      return Result<std::uint64_t>::fail("stopped", "router is stopped");
+  }
+  auto remaining = registry_->stream_feed(handle, max_bytes);
+  if (!remaining.is_ok()) {
+    // Terminal (expired/failed) streams are gone from the registry too;
+    // drop our handle so later touches report "unknown_stream" like it.
+    std::lock_guard lock(mutex_);
+    reg_streams_.erase(handle);
+  }
+  return remaining;
+}
+
+Result<crypto::Digest> TenantRouter::register_tenant_stream_commit(StreamHandle handle) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopped_)
+      return Result<crypto::Digest>::fail("stopped", "router is stopped");
+  }
+  TenantId id;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = reg_streams_.find(handle);
+    if (it != reg_streams_.end()) id = it->second;
+  }
+  auto digest = registry_->stream_commit(handle);
+  {
+    std::lock_guard lock(mutex_);
+    reg_streams_.erase(handle);
+  }
+  if (!digest.is_ok()) return digest;
+  // Open the intake exactly as register_tenant does once admission lands.
+  auto state = std::make_unique<TenantState>();
+  state->record = registry_->lookup(id);
+  if (state->record == nullptr)
+    return Result<crypto::Digest>::fail(
+        "unknown_tenant", "tenant '" + id + "' vanished between commit and intake");
+  state->tokens = state->record->quota.burst;
+  state->last_refill = std::chrono::steady_clock::now();
+  state->cooldown = options_.breaker.cooldown;
+  {
+    std::lock_guard lock(mutex_);
+    retired_.erase(id);
+    tenants_[id] = std::move(state);
+  }
+  return digest;
+}
+
+Status TenantRouter::register_tenant_stream_abort(StreamHandle handle) {
+  {
+    std::lock_guard lock(mutex_);
+    reg_streams_.erase(handle);
+  }
+  return registry_->stream_abort(handle);
 }
 
 Status TenantRouter::unregister_tenant(const TenantId& id) {

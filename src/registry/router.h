@@ -133,6 +133,9 @@ struct RouterOptions {
   std::chrono::microseconds reprovision_backoff_max{250000};
   // Seed for the retry-jitter Rng (deterministic chaos runs).
   std::uint64_t jitter_seed = 0x1E77E8;
+  // Bounds + deadlines for streaming registrations, forwarded to the
+  // registry (shedding, reaper cadence).
+  StreamLimits stream_limits;
 };
 
 // Per-request serving limits, both optional (0 = unlimited).
@@ -160,6 +163,24 @@ class TenantRouter {
   // opens its intake. See TenantRegistry::admit for the error codes.
   Result<crypto::Digest> register_tenant(const TenantId& id, const codegen::Dxo& service,
                                          const TenantQuota& quota = {});
+
+  // Streaming registration: the chunked counterpart of register_tenant for
+  // large binaries. begin claims the id and opens a registry stream
+  // (bounded by RouterOptions::stream_limits — an over-limit begin sheds
+  // fast with "admission_overloaded"); feed paces up to max_bytes of sealed
+  // payload and returns the bytes still undelivered; commit completes
+  // delivery + verification and opens the tenant's serving intake exactly
+  // as register_tenant does. abort is idempotent; an expired or failed
+  // stream reports its terminal error on the next touch. All entry points
+  // fail with "stopped" after stop().
+  using StreamHandle = TenantRegistry::StreamHandle;
+  Result<StreamHandle> register_tenant_stream_begin(const TenantId& id,
+                                                    const codegen::Dxo& service,
+                                                    const TenantQuota& quota = {});
+  Result<std::uint64_t> register_tenant_stream_feed(StreamHandle handle,
+                                                    std::uint64_t max_bytes);
+  Result<crypto::Digest> register_tenant_stream_commit(StreamHandle handle);
+  Status register_tenant_stream_abort(StreamHandle handle);
 
   // Graceful drain: rejects new submits with "draining", serves every
   // already-accepted request of the tenant, resets + unbinds its slots,
@@ -243,6 +264,9 @@ class TenantRouter {
   std::condition_variable drain_cv_;  // unregister_tenant: tenant quiesced
   std::map<TenantId, std::unique_ptr<TenantState>> tenants_;
   std::map<TenantId, TenantStats> retired_;  // final stats of drained tenants
+  // Streaming registrations in flight: handle -> tenant id, so commit can
+  // open the right intake. Entries leave on commit/abort/terminal error.
+  std::map<StreamHandle, TenantId> reg_streams_;
   TenantId cursor_;                   // round-robin: last tenant dispatched
   std::size_t total_pending_ = 0;
   bool stopped_ = false;

@@ -45,6 +45,9 @@ inline constexpr const char* kCacheLookup = "cache_lookup";   // admission verdi
 inline constexpr const char* kVerifyFull = "verify_full";     // before a full cold verification
 inline constexpr const char* kSlotBind = "slot_bind";         // scheduler (re)bind decision
 inline constexpr const char* kQuoteVerify = "quote_verify";   // attestation-service verify
+inline constexpr const char* kStreamChunk = "stream_chunk";   // per streamed delivery chunk
+inline constexpr const char* kStreamCommit = "stream_commit"; // stream commit entry
+inline constexpr const char* kStreamVerifyRegion = "stream_verify_region";  // per pipelined verify round
 }  // namespace fault_site
 
 // How one site misbehaves once armed. A check fires when its 0-based index

@@ -248,75 +248,97 @@ void VerificationCache::insert(const crypto::Digest& binary_digest,
   ++stats_.insertions;
 }
 
+bool VerificationCache::resolve_admission_locked(
+    const crypto::Digest& binary_digest, const LoadedBinary& binary,
+    const std::optional<crypto::Digest>& fp, Admission& adm,
+    std::shared_ptr<Inflight>& rec, Key& key) {
+  if (!fp.has_value()) {
+    ++stats_.bypasses;
+    return false;  // Bypass: caller verifies alone, nothing recorded
+  }
+  key = Key{binary_digest, binary.policies.mask(), *fp};
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    if (auto report = rebase(it->second, binary)) {
+      touch_locked(it->second);
+      ++stats_.hits;
+      stats_.verify_ns_saved += it->second.verify_ns;
+      adm.role = Admission::Role::Hit;
+      adm.report = std::move(report);
+      return false;
+    }
+    // Unrebasable entry: same as lookup(), a miss — but still
+    // single-flight below, so a stampede on the mismatched key does not
+    // multiply verifications.
+  } else if (parent_ != nullptr) {
+    // Read-through before leader election: a sibling shard's verdict (or
+    // a sealed-store preload in the parent) admits this caller warm with
+    // no verifier run and no in-flight record.
+    if (auto entry = parent_->parent_peek(key)) {
+      if (auto report = rebase(*entry, binary)) {
+        stats_.verify_ns_saved += entry->verify_ns;
+        store_locked(key, std::move(*entry));
+        ++stats_.preloads;
+        ++stats_.hits;
+        ++stats_.parent_hits;
+        adm.role = Admission::Role::Hit;
+        adm.report = std::move(report);
+        return false;
+      }
+    }
+  }
+  auto in = inflight_.find(key);
+  if (in == inflight_.end()) {
+    // Leader: counts as the miss that runs the full verifier.
+    ++stats_.misses;
+    rec = std::make_shared<Inflight>();
+    inflight_.emplace(key, rec);
+    adm.role = Admission::Role::Leader;
+    adm.ticket.cache_ = this;
+    adm.ticket.rec_ = rec;
+    adm.ticket.key_ = key;
+    return false;
+  }
+  rec = in->second;
+  return true;
+}
+
 VerificationCache::Admission VerificationCache::begin_admission(
     const crypto::Digest& binary_digest, const LoadedBinary& binary,
-    const VerifyConfig& config) {
+    const VerifyConfig& config, std::optional<std::chrono::nanoseconds> max_wait) {
   Admission adm;
   auto fp = verify_config_fingerprint(config);
   Key key;
   std::shared_ptr<Inflight> rec;
   {
     std::lock_guard lock(mutex_);
-    if (!fp.has_value()) {
-      ++stats_.bypasses;
-      return adm;  // Bypass: caller verifies alone, nothing recorded
-    }
-    key = Key{binary_digest, binary.policies.mask(), *fp};
-    if (auto it = entries_.find(key); it != entries_.end()) {
-      if (auto report = rebase(it->second, binary)) {
-        touch_locked(it->second);
-        ++stats_.hits;
-        stats_.verify_ns_saved += it->second.verify_ns;
-        adm.role = Admission::Role::Hit;
-        adm.report = std::move(report);
-        return adm;
-      }
-      // Unrebasable entry: same as lookup(), a miss — but still
-      // single-flight below, so a stampede on the mismatched key does not
-      // multiply verifications.
-    } else if (parent_ != nullptr) {
-      // Read-through before leader election: a sibling shard's verdict (or
-      // a sealed-store preload in the parent) admits this caller warm with
-      // no verifier run and no in-flight record.
-      if (auto entry = parent_->parent_peek(key)) {
-        if (auto report = rebase(*entry, binary)) {
-          stats_.verify_ns_saved += entry->verify_ns;
-          store_locked(key, std::move(*entry));
-          ++stats_.preloads;
-          ++stats_.hits;
-          ++stats_.parent_hits;
-          adm.role = Admission::Role::Hit;
-          adm.report = std::move(report);
-          return adm;
-        }
-      }
-    }
-    auto in = inflight_.find(key);
-    if (in == inflight_.end()) {
-      // Leader: counts as the miss that runs the full verifier.
-      ++stats_.misses;
-      rec = std::make_shared<Inflight>();
-      inflight_.emplace(key, rec);
-      adm.role = Admission::Role::Leader;
-      adm.ticket.cache_ = this;
-      adm.ticket.rec_ = std::move(rec);
-      adm.ticket.key_ = key;
+    if (!resolve_admission_locked(binary_digest, binary, fp, adm, rec, key))
       return adm;
-    }
-    rec = in->second;
     ++stats_.coalesced;
     ++waiting_;
   }
 
-  // Waiter: block until the leader resolves its ticket. rec outlives the
-  // map entry (shared_ptr), so a leader that erases the key first is fine.
+  // Waiter: block until the leader resolves its ticket (or the bounded
+  // wait expires). rec outlives the map entry (shared_ptr), so a leader
+  // that erases the key first is fine.
+  bool resolved = true;
   {
     std::unique_lock wait_lock(rec->m);
-    rec->cv.wait(wait_lock, [&] { return rec->done; });
+    if (max_wait.has_value())
+      resolved = rec->cv.wait_for(wait_lock, *max_wait, [&] { return rec->done; });
+    else
+      rec->cv.wait(wait_lock, [&] { return rec->done; });
   }
   std::lock_guard lock(mutex_);
   --waiting_;
   adm.role = Admission::Role::Waiter;
+  if (!resolved) {
+    // The leader may still resolve later and its verdict will be cached
+    // normally; this caller just refuses to block past its deadline.
+    adm.failure = Status::fail("admission_timeout",
+                               "timed out waiting for the in-flight "
+                               "verification leader");
+    return adm;
+  }
   if (!rec->ok) {
     adm.failure = rec->error;
     return adm;
@@ -329,6 +351,22 @@ VerificationCache::Admission VerificationCache::begin_admission(
   // The leader's verdict does not fit this enclave's text (fail-closed
   // rebase refusal): verify alone rather than trust it.
   adm.role = Admission::Role::Bypass;
+  return adm;
+}
+
+VerificationCache::Admission VerificationCache::poll_admission(
+    const crypto::Digest& binary_digest, const LoadedBinary& binary,
+    const VerifyConfig& config) {
+  Admission adm;
+  auto fp = verify_config_fingerprint(config);
+  Key key;
+  std::shared_ptr<Inflight> rec;
+  std::lock_guard lock(mutex_);
+  if (!resolve_admission_locked(binary_digest, binary, fp, adm, rec, key))
+    return adm;
+  // In flight elsewhere: report that without joining — a streaming caller
+  // polls at begin and only commits to a blocking wait at commit time.
+  adm.role = Admission::Role::InFlight;
   return adm;
 }
 

@@ -32,6 +32,7 @@
 // every worker of a fresh pool would redundantly verify the same binary.
 #pragma once
 
+#include <chrono>
 #include <list>
 #include <map>
 #include <memory>
@@ -170,20 +171,26 @@ class VerificationCache {
     Key key_{};
   };
 
-  // Outcome of begin_admission(). Exactly one of the four shapes:
-  //   Hit:    report engaged — a previous admission's cached verdict,
-  //           rebased onto this enclave's text.
-  //   Leader: ticket engaged — the caller must run the full verifier and
-  //           resolve the ticket (see AdmissionTicket).
-  //   Waiter: this call blocked on another caller's in-flight verification;
-  //           report engaged if it succeeded, failure engaged with the
-  //           leader's exact error otherwise.
-  //   Bypass: the cache cannot serve this admission (unfingerprintable
-  //           config, or an in-flight result that fails the closed-world
-  //           rebase checks); the caller verifies on its own and nothing
-  //           is recorded.
+  // Outcome of begin_admission() / poll_admission(). One of five shapes:
+  //   Hit:     report engaged — a previous admission's cached verdict,
+  //            rebased onto this enclave's text.
+  //   Leader:  ticket engaged — the caller must run the full verifier and
+  //            resolve the ticket (see AdmissionTicket).
+  //   Waiter:  this call blocked on another caller's in-flight
+  //            verification; report engaged if it succeeded, failure
+  //            engaged with the leader's exact error otherwise (including
+  //            "admission_timeout" when a bounded wait expired before the
+  //            leader resolved — nothing is recorded, the leader runs on).
+  //   InFlight: poll_admission() only — another caller's verification is
+  //            in flight and the poll does not join it; nothing engaged,
+  //            nothing recorded. Re-admit later, typically via the
+  //            blocking begin_admission().
+  //   Bypass:  the cache cannot serve this admission (unfingerprintable
+  //            config, or an in-flight result that fails the closed-world
+  //            rebase checks); the caller verifies on its own and nothing
+  //            is recorded.
   struct Admission {
-    enum class Role { Hit, Leader, Waiter, Bypass };
+    enum class Role { Hit, Leader, Waiter, InFlight, Bypass };
     Role role = Role::Bypass;
     std::optional<VerifyReport> report;
     std::optional<Status> failure;
@@ -192,9 +199,21 @@ class VerificationCache {
 
   // Single-flight admission entry point: cache hit, leader election, or
   // blocking wait on the key's in-flight verification. Blocks only in the
-  // Waiter case, and only until the leader resolves its ticket.
+  // Waiter case — until the leader resolves its ticket, or for at most
+  // `max_wait` when one is given (a stream commit bounds the wait by its
+  // remaining deadline; expiry yields a Waiter with "admission_timeout").
   Admission begin_admission(const crypto::Digest& binary_digest,
-                            const LoadedBinary& binary, const VerifyConfig& config);
+                            const LoadedBinary& binary, const VerifyConfig& config,
+                            std::optional<std::chrono::nanoseconds> max_wait =
+                                std::nullopt);
+
+  // Non-blocking admission probe for streaming: identical to
+  // begin_admission() for the Hit / Leader / Bypass outcomes (a Leader
+  // ticket IS handed out — the stream holds it for its whole life), but an
+  // in-flight key returns Role::InFlight immediately instead of joining
+  // the waiter queue. Counts nothing in the InFlight case.
+  Admission poll_admission(const crypto::Digest& binary_digest,
+                           const LoadedBinary& binary, const VerifyConfig& config);
 
   // Number of callers currently blocked inside begin_admission() waiting
   // for an in-flight verification — introspection for deterministic
@@ -249,6 +268,15 @@ class VerificationCache {
   // (overflow-safe); the storage-form analogue of make_entry's range check.
   static bool portable_sites_ok(const PortableEntry& entry);
 
+  // Shared front half of begin_admission()/poll_admission(), under mutex_:
+  // resolves Hit (local or parent read-through), Bypass, and Leader
+  // election into `adm` and returns false; returns true with `rec` set
+  // when the key has an in-flight verification the caller may join.
+  bool resolve_admission_locked(const crypto::Digest& binary_digest,
+                                const LoadedBinary& binary,
+                                const std::optional<crypto::Digest>& fp,
+                                Admission& adm, std::shared_ptr<Inflight>& rec,
+                                Key& key);
   // Under mutex_: (re)stores an entry at key, refreshing recency and
   // evicting the LRU entry when the max_entries bound would be exceeded.
   void store_locked(const Key& key, Entry entry);

@@ -176,4 +176,157 @@ std::optional<std::vector<isa::Instr>> disassemble_shards(const sgx::AddressSpac
   return out;
 }
 
+StreamingDisassembler::StreamingDisassembler(BytesView text, const LoadedBinary& binary,
+                                             int shards)
+    : text_(text),
+      base_(binary.text_base),
+      size_(binary.text_size),
+      shards_(shards < 1 ? 1 : shards),
+      claimed_(binary.text_size),
+      cursor_(binary.text_base) {
+  if (size_ == 0 || text.size() != size_) {
+    anomaly_ = true;
+    return;
+  }
+  deferred_.reserve(1 + binary.function_addrs.size() + binary.branch_targets.size());
+  deferred_.push_back(binary.entry);
+  for (std::uint64_t f : binary.function_addrs) deferred_.push_back(f);
+  for (std::uint64_t t : binary.branch_targets) deferred_.push_back(t);
+}
+
+// One parallel descent round: explore every deferred address whose offset
+// is below `claim_limit`, re-deferring anything the round cannot prove
+// fully below the watermark yet.
+void StreamingDisassembler::run_round(std::size_t claim_limit) {
+  std::vector<std::uint64_t> ready;
+  {
+    std::vector<std::uint64_t> still;
+    still.reserve(deferred_.size());
+    for (std::uint64_t addr : deferred_) {
+      if (addr < base_ || addr >= base_ + size_) {
+        anomaly_ = true;  // serial: disasm_oob / disasm_target_oob
+        return;
+      }
+      if (addr - base_ < claim_limit)
+        ready.push_back(addr);
+      else
+        still.push_back(addr);
+    }
+    deferred_.swap(still);
+  }
+  if (ready.empty()) return;
+
+  std::atomic<std::size_t> ready_cursor{0};
+  std::atomic<bool> anomaly{false};
+  std::vector<std::vector<Rec>> decoded(static_cast<std::size_t>(shards_));
+  std::vector<std::vector<std::uint64_t>> defer(static_cast<std::size_t>(shards_));
+
+  parallel::run_shards(shards_, [&](int shard) {
+    auto& local = decoded[static_cast<std::size_t>(shard)];
+    auto& local_defer = defer[static_cast<std::size_t>(shard)];
+    std::vector<std::uint64_t> worklist;
+    for (;;) {
+      std::uint64_t addr;
+      if (!worklist.empty()) {
+        addr = worklist.back();
+        worklist.pop_back();
+      } else {
+        std::size_t i = ready_cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= ready.size()) break;
+        addr = ready[i];
+      }
+      for (;;) {
+        if (addr < base_ || addr >= base_ + size_) {
+          anomaly.store(true, std::memory_order_relaxed);
+          break;
+        }
+        if (addr - base_ >= claim_limit) {
+          // Not provably final yet: park it for a later round.
+          local_defer.push_back(addr);
+          break;
+        }
+        if (claimed_[addr - base_].exchange(1, std::memory_order_relaxed)) break;
+        auto r = isa::decode_one(text_, addr - base_, base_);
+        if (!r.is_ok()) {
+          anomaly.store(true, std::memory_order_relaxed);
+          break;
+        }
+        isa::Instr ins = r.take();
+        local.push_back(Rec{addr, ins});
+        if (ins.is_direct_branch()) {
+          std::uint64_t target = ins.branch_target();
+          if (target < base_ || target >= base_ + size_) {
+            anomaly.store(true, std::memory_order_relaxed);
+            break;
+          }
+          if (target - base_ >= claim_limit)
+            local_defer.push_back(target);
+          else if (!claimed_[target - base_].load(std::memory_order_relaxed))
+            worklist.push_back(target);
+        }
+        if (ins.ends_flow()) break;
+        addr += ins.length;
+      }
+      if (anomaly.load(std::memory_order_relaxed)) break;
+    }
+  });
+  if (anomaly.load(std::memory_order_relaxed)) {
+    anomaly_ = true;
+    return;
+  }
+  for (const auto& d : defer) deferred_.insert(deferred_.end(), d.begin(), d.end());
+
+  // Merge the round's records into the sorted pending queue, then extend
+  // the tiled prefix as far as the records are contiguous.
+  std::size_t fresh = 0;
+  for (const auto& v : decoded) fresh += v.size();
+  if (fresh == 0) return;
+  std::size_t mid = pending_.size();
+  pending_.reserve(mid + fresh);
+  for (const auto& v : decoded) pending_.insert(pending_.end(), v.begin(), v.end());
+  auto by_addr = [](const Rec& a, const Rec& b) { return a.addr < b.addr; };
+  std::sort(pending_.begin() + static_cast<std::ptrdiff_t>(mid), pending_.end(), by_addr);
+  std::inplace_merge(pending_.begin() + static_cast<std::ptrdiff_t>(pending_head_),
+                     pending_.begin() + static_cast<std::ptrdiff_t>(mid), pending_.end(),
+                     by_addr);
+
+  while (pending_head_ < pending_.size()) {
+    const Rec& rec = pending_[pending_head_];
+    if (rec.addr != cursor_) {
+      if (rec.addr < cursor_) anomaly_ = true;  // overlap; gaps may still fill
+      break;
+    }
+    cursor_ += rec.ins.length;
+    instrs_.push_back(rec.ins);
+    ++pending_head_;
+  }
+  if (pending_head_ > 4096) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(pending_head_));
+    pending_head_ = 0;
+  }
+}
+
+bool StreamingDisassembler::advance(std::size_t watermark) {
+  if (anomaly_) return false;
+  std::size_t claim_limit =
+      watermark >= size_ ? size_
+                         : (watermark > kMaxInstrLen - 1 ? watermark - (kMaxInstrLen - 1) : 0);
+  run_round(claim_limit);
+  return !anomaly_;
+}
+
+bool StreamingDisassembler::finish() {
+  if (anomaly_) return false;
+  // With the watermark at the end nothing defers, so one round reaches the
+  // full closure of everything still parked.
+  run_round(size_);
+  if (anomaly_) return false;
+  if (pending_head_ != pending_.size() || cursor_ != base_ + size_ || !deferred_.empty()) {
+    anomaly_ = true;  // gap/overlap/unreachable tail: serial owns the error
+    return false;
+  }
+  return true;
+}
+
 }  // namespace deflection::verifier

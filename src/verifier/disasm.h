@@ -8,6 +8,7 @@
 // exactly one decoded instruction — so no bytes can hide from inspection.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <optional>
 #include <set>
@@ -43,5 +44,60 @@ Result<Disassembly> disassemble(const sgx::AddressSpace& space, const LoadedBina
 std::optional<std::vector<isa::Instr>> disassemble_shards(const sgx::AddressSpace& space,
                                                           const LoadedBinary& binary,
                                                           int shards);
+
+// Incremental variant of disassemble_shards for streaming admission: the
+// text arrives front-to-back in a staging buffer behind a watermark, and
+// each advance() runs one parallel descent round over the offsets that
+// became decodable. Exploration state (the per-offset claim array, the
+// deferred worklist of targets past the watermark, the partially tiled
+// prefix) persists across rounds, so the union of all rounds is exactly
+// the closure disassemble() explores. instrs() exposes the longest
+// exactly-tiled prefix — indices into it are FINAL, which is what lets a
+// streaming verifier scan it while later text is still in flight.
+//
+// Same fallback contract as disassemble_shards: any anomaly (undecodable
+// bytes, flow leaving the text, gap/overlap at finish) poisons the object
+// and the caller must rerun the serial path for the exact error.
+class StreamingDisassembler {
+ public:
+  // `text` is the FULL-SIZE staging buffer (binary.text_size bytes);
+  // bytes below the advancing watermark must be final when advance() runs.
+  StreamingDisassembler(BytesView text, const LoadedBinary& binary, int shards);
+
+  // All staging bytes below `watermark` are now final. Only instructions
+  // that provably fit below the watermark are claimed (start offset at
+  // least kMaxInstrLen short of it); the rest defer to a later round.
+  // Returns false once the descent hit an anomaly.
+  bool advance(std::size_t watermark);
+  // Stream complete: drains the worklist to closure and enforces the
+  // exact-tiling coverage rule. False = fall back to serial disassemble().
+  bool finish();
+
+  // The exactly-tiled prefix, sorted by address, contiguous from text_base.
+  const std::vector<isa::Instr>& instrs() const { return instrs_; }
+  bool failed() const { return anomaly_; }
+
+  // Upper bound on any DX64 instruction encoding (Layout::MI32).
+  static constexpr std::size_t kMaxInstrLen = 11;
+
+ private:
+  struct Rec {
+    std::uint64_t addr;
+    isa::Instr ins;
+  };
+  void run_round(std::size_t claim_limit);
+
+  BytesView text_;
+  std::uint64_t base_;
+  std::uint64_t size_;
+  int shards_;
+  std::vector<std::atomic<std::uint8_t>> claimed_;
+  std::vector<std::uint64_t> deferred_;  // absolute addrs past the watermark
+  std::vector<Rec> pending_;             // decoded, not yet tiled (sorted)
+  std::size_t pending_head_ = 0;
+  std::vector<isa::Instr> instrs_;
+  std::uint64_t cursor_;  // next address the tiled prefix must cover
+  bool anomaly_ = false;
+};
 
 }  // namespace deflection::verifier

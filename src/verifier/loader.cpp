@@ -59,7 +59,7 @@ Result<EnclaveLayout> Loader::build_enclave(sgx::Enclave& enclave,
   return layout;
 }
 
-Result<LoadedBinary> Loader::load(const codegen::Dxo& dxo) {
+Result<LoadedBinary> Loader::resolve(const codegen::Dxo& dxo) const {
   auto fail = [](const std::string& code, const std::string& msg) {
     return Result<LoadedBinary>::fail(code, msg);
   };
@@ -81,14 +81,6 @@ Result<LoadedBinary> Loader::load(const codegen::Dxo& dxo) {
   out.data_image_size = dxo.data.size();
   out.heap_base = (layout_.data_base + dxo.data.size() + 15) / 16 * 16;
   out.heap_end = layout_.data_base + layout_.data_size;
-
-  sgx::AddressSpace& space = enclave_.space();
-
-  // Copy sections into the reserved regions (consumer-privilege writes; the
-  // text pages are RWX so this models the paper's relocation into heap-like
-  // pages under SGXv1).
-  if (auto s = space.copy_in(out.text_base, dxo.text); !s.is_ok()) return s.error();
-  if (auto s = space.copy_in(out.data_base, dxo.data); !s.is_ok()) return s.error();
 
   // Resolve symbols against the loaded bases. Offsets are re-checked here
   // rather than trusted from deserialize(): load() also accepts
@@ -117,7 +109,8 @@ Result<LoadedBinary> Loader::load(const codegen::Dxo& dxo) {
   if (auto viol = out.symbols.find(codegen::kViolationSymbol); viol != out.symbols.end())
     out.violation_addr = viol->second;
 
-  // Apply Abs64 relocations into the text image.
+  // Validate Abs64 relocations (applied by load(); the stream path applies
+  // them into its staging buffer as the covered text bytes arrive).
   for (const auto& rel : dxo.relocs) {
     auto sym = out.symbols.find(rel.symbol);
     if (sym == out.symbols.end()) return fail("load_reloc", "undefined " + rel.symbol);
@@ -125,15 +118,10 @@ Result<LoadedBinary> Loader::load(const codegen::Dxo& dxo) {
     // which would slip past the bound and index the raw text wildly.
     if (dxo.text.size() < 8 || rel.text_offset > dxo.text.size() - 8)
       return fail("load_reloc", "relocation outside text");
-    std::uint8_t* p = space.raw(out.text_base + rel.text_offset, 8);
-    if (p == nullptr) return fail("load_reloc", "relocation target unmapped");
-    store_le64(p, sym->second + static_cast<std::uint64_t>(rel.addend));
   }
 
-  // Translate the indirect-branch symbol list and build the byte table.
-  std::uint8_t* table = space.raw(layout_.bt_table_base, layout_.bt_table_size);
-  if (table == nullptr) return fail("load_bt", "branch-target table unmapped");
-  std::memset(table, 0, layout_.bt_table_size);
+  // Translate the indirect-branch symbol list (the byte table is built by
+  // load() from these resolved addresses).
   for (const auto& name : dxo.branch_targets) {
     auto sym = out.symbols.find(name);
     if (sym == out.symbols.end())
@@ -141,9 +129,43 @@ Result<LoadedBinary> Loader::load(const codegen::Dxo& dxo) {
     std::uint64_t addr = sym->second;
     if (addr < out.text_base || addr >= out.text_base + out.text_size)
       return fail("load_bt", "branch target outside loaded text");
-    table[addr - out.text_base] = 1;
     out.branch_targets.push_back(addr);
   }
+  return out;
+}
+
+Result<LoadedBinary> Loader::load(const codegen::Dxo& dxo) {
+  auto fail = [](const std::string& code, const std::string& msg) {
+    return Result<LoadedBinary>::fail(code, msg);
+  };
+  auto resolved = resolve(dxo);
+  if (!resolved.is_ok()) return resolved;
+  LoadedBinary out = resolved.take();
+
+  sgx::AddressSpace& space = enclave_.space();
+
+  // Copy sections into the reserved regions (consumer-privilege writes; the
+  // text pages are RWX so this models the paper's relocation into heap-like
+  // pages under SGXv1).
+  if (auto s = space.copy_in(out.text_base, dxo.text); !s.is_ok()) return s.error();
+  if (auto s = space.copy_in(out.data_base, dxo.data); !s.is_ok()) return s.error();
+
+  // Apply Abs64 relocations into the text image (bounds and symbols were
+  // validated by resolve(); streamed deliveries already carry these exact
+  // values in their staged text, so re-applying is idempotent).
+  for (const auto& rel : dxo.relocs) {
+    auto sym = out.symbols.find(rel.symbol);
+    if (sym == out.symbols.end()) return fail("load_reloc", "undefined " + rel.symbol);
+    std::uint8_t* p = space.raw(out.text_base + rel.text_offset, 8);
+    if (p == nullptr) return fail("load_reloc", "relocation target unmapped");
+    store_le64(p, sym->second + static_cast<std::uint64_t>(rel.addend));
+  }
+
+  // Build the branch-target byte table from the resolved addresses.
+  std::uint8_t* table = space.raw(layout_.bt_table_base, layout_.bt_table_size);
+  if (table == nullptr) return fail("load_bt", "branch-target table unmapped");
+  std::memset(table, 0, layout_.bt_table_size);
+  for (std::uint64_t addr : out.branch_targets) table[addr - out.text_base] = 1;
 
   // Initialize the runtime slots.
   sgx::MemFault mf;

@@ -57,7 +57,18 @@ class Loader {
                                              const LayoutConfig& config,
                                              BytesView consumer_image);
 
-  // Load-phase: rebases `dxo` into the reserved regions.
+  // Metadata-only front half of load(): size checks, symbol resolution,
+  // entry/violation lookup, relocation validation, and branch-target
+  // translation — no address-space writes. The streaming delivery path
+  // calls this at tables-ready (dxo.text / dxo.data are presized to their
+  // declared lengths but still filling) to obtain the provisional
+  // LoadedBinary that pipelined verification and early cache admission
+  // key on; for the same dxo, load() returns an identical LoadedBinary.
+  Result<LoadedBinary> resolve(const codegen::Dxo& dxo) const;
+
+  // Load-phase: rebases `dxo` into the reserved regions — resolve() plus
+  // the section copies, relocation stores, branch-target byte table, and
+  // runtime-slot initialization.
   Result<LoadedBinary> load(const codegen::Dxo& dxo);
 
  private:

@@ -1,5 +1,11 @@
 #include "verifier/sealed_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -192,12 +198,53 @@ SealedCacheStore::LoadStats SealedCacheStore::import_into(
 Status SealedCacheStore::save(const std::string& path,
                               const VerificationCache& cache) const {
   Bytes data = export_cache(cache);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::fail("io", "cannot open sealed store for write: " + path);
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  out.flush();
-  if (!out) return Status::fail("io", "short write to sealed store: " + path);
+  // Crash-atomic publish: write + fsync a same-directory temp file, then
+  // rename it over the destination, then fsync the directory so the rename
+  // itself is durable. A crash at any point leaves either the previous
+  // complete store or the new complete store — never a torn prefix. (The
+  // importer would fail closed on a torn file anyway; atomicity preserves
+  // the warm-boot guarantee instead of silently degrading it to cold.)
+  // The counter keeps concurrent savers (racing stream commits) on
+  // distinct temp files; rename's atomicity picks the last complete one.
+  static std::atomic<std::uint64_t> save_counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(save_counter.fetch_add(1));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0)
+    return Status::fail("io", "cannot open sealed store temp for write: " + tmp);
+  const std::uint8_t* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::fail("io", "short write to sealed store temp: " + tmp);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::fail("io", "fsync failed on sealed store temp: " + tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::fail("io", "close failed on sealed store temp: " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::fail("io", "cannot publish sealed store: " + path);
+  }
+  std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
   return Status::ok();
 }
 

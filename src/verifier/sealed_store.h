@@ -87,7 +87,10 @@ class SealedCacheStore {
                         VerificationCache& cache) const;
 
   // File convenience wrappers. load() of a missing path is a cold start
-  // (header_ok=false, zero records), not an error.
+  // (header_ok=false, zero records), not an error. save() is crash-atomic:
+  // it writes a same-directory temp file, fsyncs, renames over `path` and
+  // fsyncs the directory, so a reader (or a post-crash boot) only ever
+  // sees a complete previous or complete new store, never a torn prefix.
   Status save(const std::string& path, const VerificationCache& cache) const;
   LoadStats load(const std::string& path, const VerifyConfig& config,
                  VerificationCache& cache) const;

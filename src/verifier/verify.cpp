@@ -97,6 +97,15 @@ class Verifier {
   Status check_entries_tail();
   Status check_probe_paths();
   Status check_violation_stub(const VerifyReport& merged);
+  // Streaming-driver support: widens the per-instruction arrays after the
+  // shared instruction vector (the streaming disassembler's tiled prefix)
+  // grew. Existing entries — and the indices the scans handed out — stay
+  // put, which is what makes incremental scanning over a growing prefix
+  // equivalent to one scan over the final vector.
+  void grow() {
+    kind_.resize(instrs_.size(), PatternKind::None);
+    start_.resize(instrs_.size(), 0);
+  }
 
  private:
   // ---- small helpers ----
@@ -942,6 +951,215 @@ std::optional<Result<VerifyReport>> verify_sharded(const sgx::AddressSpace& spac
 }
 
 }  // namespace
+
+// ---- streaming cold-admission driver ----
+//
+// The incremental sibling of verify_sharded: the same Verifier phases over
+// the same (eventually identical) instruction vector, but the pattern scan
+// runs region by region as the StreamingDisassembler's tiled prefix grows
+// behind the delivery watermark. Regions are cut at flow breaks — where
+// the serial scan position provably lands — so the union of all regional
+// scans is exactly one serial scan over the final vector, and the chunk
+// reports, appended in address order across rounds, merge into the serial
+// report byte for byte.
+
+struct StreamingVerifier::Impl {
+  Impl(BytesView text, const LoadedBinary& binary, const VerifyConfig& config)
+      : text_(text),
+        binary_(binary),
+        config_(config),
+        shards_(config.workers > 1 ? config.workers : 1),
+        disasm_(text_, binary_, shards_),
+        verifier_(disasm_.instrs(), binary_, config_) {
+    // Policy cover depends only on metadata: fail the pipeline before any
+    // descent work so the caller falls straight back to serial.
+    if (!verifier_.check_policy_cover().is_ok()) failed_ = true;
+  }
+
+  // Scans [scanned_upto_, limit), cut at flow breaks into up to shards_
+  // chunks run on the pool: per chunk the linear cross-check against the
+  // staging bytes plus the pattern scan into a fresh chunk report. `limit`
+  // must be a position the serial scan lands on (a flow-break boundary or
+  // the final instruction count).
+  void scan_region(std::size_t limit) {
+    const std::vector<Instr>& instrs = disasm_.instrs();
+    const std::size_t begin = scanned_upto_;
+    if (failed_ || limit <= begin) return;
+    std::vector<std::size_t> bounds;
+    bounds.push_back(begin);
+    const std::size_t n = limit - begin;
+    // Shards scale with the region: a pool dispatch costs a wake/join
+    // round trip, so the small per-round regions a paced stream produces
+    // run inline on the pipeline worker instead of fanning out. The merged
+    // report is chunking-independent (address-ordered concatenation), so
+    // this only moves work between threads, never changes the verdict.
+    constexpr std::size_t kMinInstrsPerShard = 256;
+    int eff = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(shards_),
+        std::max<std::size_t>(1, n / kMinInstrsPerShard)));
+    for (int c = 1; c < eff; ++c) {
+      std::size_t want =
+          begin + n * static_cast<std::size_t>(c) / static_cast<std::size_t>(eff);
+      std::size_t b = std::max({want, bounds.back(), begin + 1});
+      while (b < limit && !instrs[b - 1].ends_flow()) ++b;
+      if (b > bounds.back() && b < limit) bounds.push_back(b);
+    }
+    bounds.push_back(limit);
+    const int chunks = static_cast<int>(bounds.size()) - 1;
+    const std::size_t first = chunk_reports_.size();
+    chunk_reports_.resize(first + static_cast<std::size_t>(chunks));
+    std::atomic<bool> bad{false};
+    parallel::run_shards(chunks, [&](int c) {
+      const std::size_t b = bounds[static_cast<std::size_t>(c)];
+      const std::size_t e = bounds[static_cast<std::size_t>(c) + 1];
+      if (config_.cross_check_linear) {
+        // Piecewise linear re-decode of the chunk's byte range: every byte
+        // read here sits below the claim limit of the round that admitted
+        // these instructions, hence below the delivery watermark — final.
+        std::uint64_t off = instrs[b].addr - binary_.text_base;
+        for (std::size_t i = b; i < e; ++i) {
+          auto r = isa::decode_one(text_, off, binary_.text_base);
+          if (!r.is_ok()) {
+            bad.store(true, std::memory_order_relaxed);
+            return;
+          }
+          isa::Instr ins = r.take();
+          if (ins.addr != instrs[i].addr || ins.length != instrs[i].length ||
+              ins.op != instrs[i].op) {
+            bad.store(true, std::memory_order_relaxed);
+            return;
+          }
+          off += ins.length;
+        }
+      }
+      if (!verifier_
+               .scan_patterns(b, e, chunk_reports_[first + static_cast<std::size_t>(c)])
+               .is_ok())
+        bad.store(true, std::memory_order_relaxed);
+    });
+    if (bad.load(std::memory_order_relaxed))
+      failed_ = true;
+    else
+      scanned_upto_ = limit;
+  }
+
+  BytesView text_;
+  LoadedBinary binary_;
+  VerifyConfig config_;
+  int shards_;
+  StreamingDisassembler disasm_;
+  Verifier verifier_;
+  std::size_t scanned_upto_ = 0;  // flow-break boundary the scan reached
+  std::vector<VerifyReport> chunk_reports_;
+  bool failed_ = false;
+};
+
+StreamingVerifier::StreamingVerifier(BytesView text, const LoadedBinary& binary,
+                                     const VerifyConfig& config)
+    : impl_(std::make_unique<Impl>(text, binary, config)) {}
+
+StreamingVerifier::~StreamingVerifier() = default;
+
+bool StreamingVerifier::failed() const { return impl_->failed_; }
+
+bool StreamingVerifier::advance(std::size_t watermark) {
+  Impl& im = *impl_;
+  if (im.failed_) return false;
+  if (!im.disasm_.advance(watermark)) {
+    im.failed_ = true;
+    return false;
+  }
+  im.verifier_.grow();
+  // Scan as far as the last flow break in the tiled prefix: nothing the
+  // serial scan matches can straddle one (annotation patterns end at flow
+  // breaks, never contain an interior one), so the boundary is exact and
+  // the unscanned tail simply waits for the next round.
+  const std::vector<Instr>& instrs = im.disasm_.instrs();
+  std::size_t e = instrs.size();
+  while (e > im.scanned_upto_ && !instrs[e - 1].ends_flow()) --e;
+  im.scan_region(e);
+  return !im.failed_;
+}
+
+std::optional<VerifyReport> StreamingVerifier::finish() {
+  Impl& im = *impl_;
+  if (im.failed_) return std::nullopt;
+  if (!im.disasm_.finish()) {
+    im.failed_ = true;
+    return std::nullopt;
+  }
+  im.verifier_.grow();
+  const std::vector<Instr>& instrs = im.disasm_.instrs();
+  const std::size_t n = instrs.size();
+  if (n == 0) {
+    im.failed_ = true;  // serial disassemble() owns the empty-text error
+    return std::nullopt;
+  }
+  im.scan_region(n);
+  if (im.failed_) return std::nullopt;
+
+  if (!im.verifier_.resolve_leaves().is_ok()) {
+    im.failed_ = true;
+    return std::nullopt;
+  }
+
+  // Phase B over a fresh flow-aligned chunking of the whole stream. The
+  // singleton and entry rules only read the now-complete kind_/start_/leaf
+  // arrays per instruction, so any chunking works — it need not match the
+  // scan regions.
+  std::vector<std::size_t> bounds;
+  bounds.push_back(0);
+  for (int c = 1; c < im.shards_; ++c) {
+    std::size_t want =
+        n * static_cast<std::size_t>(c) / static_cast<std::size_t>(im.shards_);
+    std::size_t b = std::max({want, bounds.back(), std::size_t{1}});
+    while (b < n && !instrs[b - 1].ends_flow()) ++b;
+    if (b > bounds.back() && b < n) bounds.push_back(b);
+  }
+  bounds.push_back(n);
+  const int chunks = static_cast<int>(bounds.size()) - 1;
+  std::atomic<bool> bad{false};
+  parallel::run_shards(chunks, [&](int c) {
+    const std::size_t b = bounds[static_cast<std::size_t>(c)];
+    const std::size_t e = bounds[static_cast<std::size_t>(c) + 1];
+    if (!im.verifier_.check_singletons(b, e).is_ok() ||
+        !im.verifier_.check_entries(b, e).is_ok())
+      bad.store(true, std::memory_order_relaxed);
+  });
+  if (bad.load(std::memory_order_relaxed)) {
+    im.failed_ = true;
+    return std::nullopt;
+  }
+
+  if (!im.verifier_.check_entries_tail().is_ok() ||
+      !im.verifier_.check_probe_paths().is_ok()) {
+    im.failed_ = true;
+    return std::nullopt;
+  }
+
+  // Merge: regions were scanned and appended in address order, so the
+  // concatenation reproduces the serial scan's emission order exactly.
+  VerifyReport merged;
+  std::size_t total_patches = 0;
+  for (const auto& r : im.chunk_reports_) total_patches += r.patches.size();
+  merged.patches.reserve(total_patches);
+  for (const auto& r : im.chunk_reports_) {
+    merged.patches.insert(merged.patches.end(), r.patches.begin(), r.patches.end());
+    merged.store_guards += r.store_guards;
+    merged.rsp_guards += r.rsp_guards;
+    merged.shadow_prologues += r.shadow_prologues;
+    merged.shadow_epilogues += r.shadow_epilogues;
+    merged.indirect_guards += r.indirect_guards;
+    merged.aex_probes += r.aex_probes;
+  }
+  merged.instructions = n;
+
+  if (!im.verifier_.check_violation_stub(merged).is_ok()) {
+    im.failed_ = true;
+    return std::nullopt;
+  }
+  return merged;
+}
 
 Result<VerifyReport> verify_disassembly(const Disassembly& dis, const LoadedBinary& binary,
                                         const VerifyConfig& config) {

@@ -21,6 +21,8 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -111,5 +113,43 @@ Result<VerifyReport> verify_disassembly(const Disassembly& dis, const LoadedBina
 // called with a report produced for the same loaded binary.
 Status rewrite_immediates(sgx::AddressSpace& space, const LoadedBinary& binary,
                           const VerifyReport& report);
+
+// Incremental (pipelined) cold verification for streaming admission. The
+// caller stages relocated text into a full-size buffer front-to-back and
+// calls advance(watermark) as bytes become final; each advance overlaps
+// recursive descent, the linear cross-check, and the annotation-pattern
+// scan (all sharded across config.workers) with delivery, so by the time
+// the last byte lands finish() only has the cheap tail phases left.
+//
+// Same fallback contract as the sharded driver inside verify():
+// advance()/finish() report failure on ANY anomaly — an undecodable byte,
+// a scan mismatch, a policy violation — and the caller must rerun the
+// serial verify() against the loaded address space to reproduce its exact
+// error code and message. A non-null finish() report is byte-identical to
+// verify()'s for the same bytes. Configs with a custom_check must take
+// the serial path instead (the plugin needs the full Disassembly).
+class StreamingVerifier {
+ public:
+  // `text` is the FULL-SIZE staging buffer (binary.text_size bytes) whose
+  // bytes below each advance() watermark are final; `binary` and `config`
+  // are copied and may die after the constructor returns.
+  StreamingVerifier(BytesView text, const LoadedBinary& binary,
+                    const VerifyConfig& config);
+  ~StreamingVerifier();
+  StreamingVerifier(const StreamingVerifier&) = delete;
+  StreamingVerifier& operator=(const StreamingVerifier&) = delete;
+
+  // All staging bytes below `watermark` are now final: runs one pipelined
+  // round (descent + cross-check + scan). False once poisoned.
+  bool advance(std::size_t watermark);
+  // Stream complete: drains the descent, runs the remaining phases, and
+  // returns the merged report — or nullopt (fall back to serial verify()).
+  std::optional<VerifyReport> finish();
+  bool failed() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace deflection::verifier

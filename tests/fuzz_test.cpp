@@ -12,7 +12,11 @@
 // table is unchanged — writes the P1/P3 bounds must exclude.
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
 #include <cstring>
+#include <fstream>
+#include <thread>
 
 #include "support/rng.h"
 #include "test_helpers.h"
@@ -250,11 +254,11 @@ TEST(VerifierFuzz, OverflowingHeadersAreRejected) {
     EXPECT_FALSE(parsed.is_ok());
   };
   auto header = [&](ByteWriter& w) {
-    w.u32(0x314F5844);  // "DXO1"
+    w.u32(0x324F5844);  // "DXO2"
     w.u32(PolicySet::p1to5().mask());
     w.str("main");
-    w.blob(BytesView(compiled.dxo.text));
-    w.blob(BytesView(compiled.dxo.data));
+    w.u64(compiled.dxo.text.size());
+    w.u64(compiled.dxo.data.size());
   };
   {
     // Symbol count 2^32-1: must be refused outright, not looped over.
@@ -293,13 +297,26 @@ TEST(VerifierFuzz, OverflowingHeadersAreRejected) {
     expect_parse_rejected(s);
   }
   {
-    // Section blob claiming 2^32-1 bytes in a short stream.
+    // Declared text length near 2^64: must be refused at the header, never
+    // allocated or waited for.
     Bytes s;
     ByteWriter w(s);
-    w.u32(0x314F5844);
+    w.u32(0x324F5844);
     w.u32(PolicySet::p1to5().mask());
     w.str("main");
-    w.u32(0xFFFFFFFFu);  // text length, far past end-of-stream
+    w.u64(0xFFFF'FFFF'FFFF'FFF0ull);  // text length
+    w.u64(0);                         // data length
+    expect_parse_rejected(s);
+  }
+  {
+    // Declared text length just past the section cap.
+    Bytes s;
+    ByteWriter w(s);
+    w.u32(0x324F5844);
+    w.u32(PolicySet::p1to5().mask());
+    w.str("main");
+    w.u64((64ull << 20) + 1);
+    w.u64(0);
     expect_parse_rejected(s);
   }
 }
@@ -512,6 +529,258 @@ TEST(SealedStoreDump, ReadsHeaderAndRecordKeysWithoutTheKey) {
       BytesView(h.file.data(), h.file.size() - 40));
   EXPECT_TRUE(clipped.header_ok);
   EXPECT_TRUE(clipped.truncated || !clipped.mac_present);
+}
+
+// --- Streamed-delivery chunk framing ---
+//
+// Property: for ANY sequence of (seq, bytes) frames the untrusted host
+// feeds a delivery stream, the enclave either makes progress toward an
+// authenticated commit or fails closed with a terminal framing/auth code —
+// it never crashes, never hangs, and never leaves a half-delivered stream
+// usable. Seeds concentrate on the framing boundaries: truncation,
+// duplicate and overlapping sequence numbers, declared totals near the u64
+// wrap, commit before the last chunk, chunks after commit.
+
+core::BootstrapConfig framing_config() {
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  return config;
+}
+
+// Every code the stream state machine may terminate with; anything else
+// (or a crash) is a fuzz finding.
+bool terminal_stream_code(const std::string& code) {
+  static const char* known[] = {
+      "stream_bad_total",  "stream_busy",     "stream_inactive",
+      "stream_expired",    "stream_out_of_order", "stream_overrun",
+      "stream_incomplete", "auth_fail",       "stream_digest_mismatch",
+      "stream_claim_mismatch", "dxo_malformed",
+  };
+  for (const char* k : known)
+    if (code == k) return true;
+  return false;
+}
+
+TEST(StreamFramingFuzz, TotalsNearTheWrapAreRejectedAtBegin) {
+  Pipeline pipe(framing_config());
+  const std::uint64_t kBad[] = {
+      0, 1, 43,  // below the AEAD minimum (nonce + tag)
+      core::BootstrapEnclave::kMaxSealedStreamLen + 1,
+      ~0ull, ~0ull - 1, ~0ull - 43, 1ull << 63,
+  };
+  for (std::uint64_t total : kBad) {
+    auto s = pipe.enclave->ecall_stream_begin(total);
+    ASSERT_FALSE(s.is_ok()) << "total=" << total;
+    EXPECT_EQ(s.code(), "stream_bad_total") << "total=" << total;
+    EXPECT_FALSE(pipe.enclave->stream_active());
+  }
+  // The rejected begins left the session reusable.
+  EXPECT_TRUE(pipe.enclave->ecall_stream_begin(1024).is_ok());
+}
+
+TEST(StreamFramingFuzz, SeqMutationsFailClosedAndSessionRecovers) {
+  auto compiled = compile_or_die("int main() { return 3; }", PolicySet::p1to5());
+  Pipeline pipe(framing_config());
+  Rng rng(0x5E9F0);
+  for (int round = 0; round < 60; ++round) {
+    auto sb = pipe.provider->seal_binary_stream(compiled.dxo);
+    ASSERT_TRUE(pipe.enclave->ecall_stream_begin(sb.sealed.size()).is_ok());
+    std::uint64_t seq = 0;
+    std::size_t off = 0;
+    Status outcome = Status::ok();
+    bool committed = false;
+    while (off < sb.sealed.size()) {
+      std::size_t n = 1 + rng.below(sb.sealed.size() - off);
+      std::uint64_t use_seq = seq;
+      switch (rng.below(8)) {
+        case 0: use_seq = seq + 1 + rng.below(4); break;       // skip ahead
+        case 1: use_seq = seq == 0 ? 1 : seq - 1; break;       // duplicate/overlap
+        case 2: use_seq = rng.next(); break;                   // wild
+        default: break;                                        // honest
+      }
+      auto s = pipe.enclave->ecall_stream_chunk(
+          use_seq, BytesView(sb.sealed.data() + off, n));
+      if (!s.is_ok()) { outcome = s; break; }
+      ASSERT_EQ(use_seq, seq) << "enclave accepted a misnumbered chunk";
+      ++seq;
+      off += n;
+    }
+    if (outcome.is_ok()) {
+      auto digest = pipe.enclave->ecall_stream_commit();
+      committed = digest.is_ok();
+      if (committed) {
+        EXPECT_EQ(digest.value(), sb.digest);
+      } else {
+        outcome = Status::fail(digest.code(), digest.message());
+      }
+    }
+    if (!committed)
+      EXPECT_TRUE(terminal_stream_code(outcome.code())) << outcome.code();
+    // Whatever happened, the stream is gone and the session is reusable.
+    EXPECT_FALSE(pipe.enclave->stream_active());
+  }
+}
+
+TEST(StreamFramingFuzz, GarbageChunksNeverCrashAndNeverAdmit) {
+  Pipeline pipe(framing_config());
+  Rng rng(0x6A4BA6E);
+  for (int round = 0; round < 40; ++round) {
+    std::uint64_t total = 44 + rng.below(4096);
+    ASSERT_TRUE(pipe.enclave->ecall_stream_begin(total).is_ok());
+    // Honest framing, hostile bytes: the chunks are accepted (no pre-auth
+    // plaintext oracle), and commit must reject with auth_fail.
+    Bytes garbage(static_cast<std::size_t>(total));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    std::uint64_t seq = 0;
+    std::size_t off = 0;
+    while (off < garbage.size()) {
+      std::size_t n = std::min<std::size_t>(1 + rng.below(512), garbage.size() - off);
+      ASSERT_TRUE(pipe.enclave
+                      ->ecall_stream_chunk(seq++, BytesView(garbage.data() + off, n))
+                      .is_ok());
+      off += n;
+    }
+    auto digest = pipe.enclave->ecall_stream_commit();
+    ASSERT_FALSE(digest.is_ok());
+    EXPECT_EQ(digest.code(), "auth_fail");
+  }
+}
+
+TEST(StreamFramingFuzz, CommitBeforeLastChunkAndChunkAfterCommit) {
+  auto compiled = compile_or_die("int main() { return 3; }", PolicySet::p1to5());
+  Pipeline pipe(framing_config());
+  auto sb = pipe.provider->seal_binary_stream(compiled.dxo);
+  // Commit at every proper prefix: always "stream_incomplete", and the
+  // failed commit consumes the stream (later chunks are "stream_inactive").
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, sb.sealed.size() / 2,
+                          sb.sealed.size() - 1}) {
+    ASSERT_TRUE(pipe.enclave->ecall_stream_begin(sb.sealed.size()).is_ok());
+    if (cut > 0)
+      ASSERT_TRUE(
+          pipe.enclave->ecall_stream_chunk(0, BytesView(sb.sealed.data(), cut)).is_ok());
+    EXPECT_EQ(pipe.enclave->ecall_stream_commit().code(), "stream_incomplete");
+    EXPECT_EQ(pipe.enclave->ecall_stream_chunk(1, BytesView(sb.sealed.data(), 1)).code(),
+              "stream_inactive");
+  }
+  // And after a SUCCESSFUL commit, stray late chunks are equally inert.
+  auto sb2 = pipe.provider->seal_binary_stream(compiled.dxo);
+  ASSERT_TRUE(pipe.enclave->ecall_stream_begin(sb2.sealed.size()).is_ok());
+  ASSERT_TRUE(
+      pipe.enclave->ecall_stream_chunk(0, BytesView(sb2.sealed.data(), sb2.sealed.size()))
+          .is_ok());
+  ASSERT_TRUE(pipe.enclave->ecall_stream_commit().is_ok());
+  EXPECT_EQ(pipe.enclave->ecall_stream_chunk(1, BytesView(sb2.sealed.data(), 1)).code(),
+            "stream_inactive");
+  EXPECT_EQ(pipe.enclave->ecall_stream_commit().code(), "stream_inactive");
+}
+
+// --- Crash-atomic sealed-store publication ---
+//
+// Regression suite for SealedCacheStore::save's temp+fsync+rename publish:
+// a reader (or a post-crash boot) must only ever see a complete previous
+// or complete new store — never the torn prefix the old streaming write
+// could leave — and no temp residue may accumulate.
+
+// Files in `dir` whose names contain `needle` — residue detector.
+std::vector<std::string> files_containing(const std::string& dir,
+                                          const std::string& needle) {
+  std::vector<std::string> hits;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return hits;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name.find(needle) != std::string::npos) hits.push_back(name);
+  }
+  ::closedir(d);
+  return hits;
+}
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+TEST(SealedStoreAtomicSave, PublishesCompleteFileWithNoTempResidue) {
+  SealedFuzzHarness h;
+  VerificationCache cache;
+  for (const auto& e : h.entries) ASSERT_TRUE(cache.import_entry(e));
+  SealedCacheStore store(h.platform);
+  const std::string name = "atomic_save.bin";
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(store.save(path, cache).is_ok());
+  // The published file is the complete export, byte for byte.
+  EXPECT_EQ(read_file(path), store.export_cache(cache));
+  // No temp residue next to it.
+  EXPECT_TRUE(files_containing(::testing::TempDir(), name + ".tmp.").empty());
+
+  VerificationCache loaded;
+  auto stats = store.load(path, h.config, loaded);
+  EXPECT_TRUE(stats.file_mac_ok);
+  EXPECT_EQ(stats.records_loaded, h.entries.size());
+  std::remove(path.c_str());
+}
+
+TEST(SealedStoreAtomicSave, SaveOverATornFileRestoresEveryRecord) {
+  SealedFuzzHarness h;
+  VerificationCache cache;
+  for (const auto& e : h.entries) ASSERT_TRUE(cache.import_entry(e));
+  SealedCacheStore store(h.platform);
+  const std::string path = ::testing::TempDir() + "torn_then_saved.bin";
+
+  // Plant the torn prefix a mid-write crash of a NON-atomic writer would
+  // leave, at every truncation point, and re-save over it each time.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{7}, h.file.size() / 3,
+                          h.file.size() - 1}) {
+    {
+      std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+      torn.write(reinterpret_cast<const char*>(h.file.data()),
+                 static_cast<std::streamsize>(cut));
+    }
+    // Sanity: the torn file is observably damaged — it loads short, or at
+    // minimum its whole-file MAC no longer validates (last-byte cuts only
+    // clip the trailer; per-record AEAD still salvages the records).
+    VerificationCache partial;
+    auto before = store.load(path, h.config, partial);
+    EXPECT_TRUE(before.records_loaded < h.entries.size() || !before.file_mac_ok)
+        << "cut=" << cut;
+
+    ASSERT_TRUE(store.save(path, cache).is_ok()) << "cut=" << cut;
+    VerificationCache after;
+    auto stats = store.load(path, h.config, after);
+    EXPECT_TRUE(stats.file_mac_ok) << "cut=" << cut;
+    EXPECT_EQ(stats.records_loaded, h.entries.size()) << "cut=" << cut;
+    EXPECT_EQ(stats.records_discarded, 0u) << "cut=" << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SealedStoreAtomicSave, ConcurrentSaversAlwaysLeaveACompleteStore) {
+  SealedFuzzHarness h;
+  VerificationCache cache;
+  for (const auto& e : h.entries) ASSERT_TRUE(cache.import_entry(e));
+  SealedCacheStore store(h.platform);
+  const std::string name = "concurrent_save.bin";
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+
+  // Racing stream commits all re-seal the same path; distinct temp names +
+  // atomic rename mean the survivor is always one complete file.
+  std::vector<std::thread> savers;
+  for (int t = 0; t < 4; ++t)
+    savers.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) ASSERT_TRUE(store.save(path, cache).is_ok());
+    });
+  for (auto& t : savers) t.join();
+
+  EXPECT_EQ(read_file(path), store.export_cache(cache));
+  EXPECT_TRUE(files_containing(::testing::TempDir(), name + ".tmp.").empty());
+  VerificationCache loaded;
+  auto stats = store.load(path, h.config, loaded);
+  EXPECT_TRUE(stats.file_mac_ok);
+  EXPECT_EQ(stats.records_loaded, h.entries.size());
+  std::remove(path.c_str());
 }
 
 }  // namespace

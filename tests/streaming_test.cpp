@@ -1,0 +1,789 @@
+// Streaming cold admission: chunked delivery, failure semantics, and the
+// layers above it.
+//
+// Covers the stream state machine at the enclave (framing, expiry, abort,
+// one-shot equivalence, pipelined-vs-serial identity), the registry's
+// streaming registration (shedding, reaper expiry, tombstones, claim
+// release), single-flight coalescing across concurrent streams (leader /
+// waiter, leader abort -> "admission_abandoned"), and the sharded
+// front-end (kill_shard mid-stream -> prompt "shard_down", never a hang).
+//
+// The Chaos* suites here run under plain, ASan and TSan builds via
+// `tools/check.sh --chaos`; ChaosStreamSoak is the tentpole: a fault at
+// every chunk boundary, every stream resolving, successes byte-identical
+// to a fault-free oracle, and zero residual in-flight state.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "frontend/frontend.h"
+#include "registry/registry.h"
+#include "registry/router.h"
+#include "test_helpers.h"
+#include "verifier/cache.h"
+
+namespace deflection::testing {
+namespace {
+
+using namespace std::chrono_literals;
+using core::BootstrapEnclave;
+
+core::BootstrapConfig stream_config() {
+  core::BootstrapConfig config;
+  config.verify.required = PolicySet::p1to5();
+  return config;
+}
+
+// A service with observable output so byte-identity against an oracle is a
+// meaningful check (same shape as the chaos suite's tenants).
+const char* kEchoSquares = R"(
+  int main() {
+    byte* buf = alloc(64);
+    int n = ocall_recv(buf, 64);
+    if (n < 1) { return 1; }
+    int acc = 0;
+    for (int i = 0; i < n; i += 1) { acc += buf[i] * buf[i]; }
+    byte* out = alloc(8);
+    for (int i = 0; i < 8; i += 1) { out[i] = (acc >> (i * 8)) & 255; }
+    ocall_send(out, 8);
+    return 0;
+  }
+)";
+
+const char* kReturn7 = "int main() { return 7; }";
+
+// Feeds `sealed` in ~nchunks slices with correct framing; returns the
+// first failing status (the enclave scrubs on failure).
+Status feed_chunks(BootstrapEnclave& enclave, const Bytes& sealed,
+                   std::size_t nchunks) {
+  std::size_t step = std::max<std::size_t>(1, sealed.size() / nchunks);
+  std::size_t off = 0;
+  std::uint64_t seq = 0;
+  while (off < sealed.size()) {
+    std::size_t n = std::min(step, sealed.size() - off);
+    if (auto s = enclave.ecall_stream_chunk(seq++, BytesView(sealed.data() + off, n));
+        !s.is_ok())
+      return s;
+    off += n;
+  }
+  return Status::ok();
+}
+
+BootstrapEnclave::StreamOptions claimed_options(
+    const core::CodeProvider::StreamedBinary& sb) {
+  BootstrapEnclave::StreamOptions options;
+  options.claimed_mask = sb.policy_mask;
+  options.claimed_digest = sb.digest;
+  return options;
+}
+
+// --- Enclave-level stream state machine ---
+
+TEST(StreamDelivery, ChunkedMatchesOneShotAcrossChunkSizes) {
+  auto compiled = compile_or_die(kReturn7, PolicySet::p1to5());
+
+  // Reference: the classic one-shot delivery.
+  Pipeline oneshot(stream_config());
+  auto want = oneshot.deliver(compiled.dxo);
+  ASSERT_TRUE(want.is_ok()) << want.message();
+  ASSERT_TRUE(oneshot.enclave->ecall_prepare().is_ok());
+  auto want_run = oneshot.run();
+  ASSERT_TRUE(want_run.is_ok()) << want_run.message();
+
+  for (std::size_t nchunks : {std::size_t{1}, std::size_t{3}, std::size_t{17},
+                              std::size_t{1000}}) {
+    Pipeline pipe(stream_config());
+    auto sb = pipe.provider->seal_binary_stream(compiled.dxo);
+    ASSERT_TRUE(pipe.enclave->ecall_stream_begin(sb.sealed.size(),
+                                                 claimed_options(sb))
+                    .is_ok());
+    EXPECT_TRUE(pipe.enclave->stream_active());
+    ASSERT_TRUE(feed_chunks(*pipe.enclave, sb.sealed, nchunks).is_ok());
+    auto digest = pipe.enclave->ecall_stream_commit();
+    ASSERT_TRUE(digest.is_ok()) << digest.message() << " nchunks=" << nchunks;
+    EXPECT_FALSE(pipe.enclave->stream_active());
+    EXPECT_EQ(digest.value(), want.value()) << "nchunks=" << nchunks;
+    EXPECT_EQ(digest.value(), sb.digest);
+    ASSERT_TRUE(pipe.enclave->ecall_prepare().is_ok());
+    auto run = pipe.run();
+    ASSERT_TRUE(run.is_ok()) << run.message();
+    EXPECT_EQ(run.value().result.exit_code, want_run.value().result.exit_code);
+  }
+}
+
+TEST(StreamDelivery, PipelinedAndSerialCommitAreIdentical) {
+  auto compiled = compile_or_die(kEchoSquares, PolicySet::p1to5());
+  crypto::Digest digests[2];
+  for (int pipelined = 0; pipelined < 2; ++pipelined) {
+    Pipeline pipe(stream_config());
+    auto sb = pipe.provider->seal_binary_stream(compiled.dxo);
+    auto options = claimed_options(sb);
+    options.pipeline = pipelined == 1;
+    ASSERT_TRUE(pipe.enclave->ecall_stream_begin(sb.sealed.size(), options).is_ok());
+    ASSERT_TRUE(feed_chunks(*pipe.enclave, sb.sealed, 8).is_ok());
+    auto digest = pipe.enclave->ecall_stream_commit();
+    ASSERT_TRUE(digest.is_ok()) << digest.message();
+    ASSERT_TRUE(pipe.enclave->ecall_prepare().is_ok()) << "pipelined=" << pipelined;
+    digests[pipelined] = digest.value();
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+TEST(StreamDelivery, OutOfOrderAndDuplicateChunksFailClosed) {
+  auto compiled = compile_or_die(kReturn7, PolicySet::p1to5());
+  {
+    // Skipped sequence number.
+    Pipeline pipe(stream_config());
+    auto sb = pipe.provider->seal_binary_stream(compiled.dxo);
+    ASSERT_TRUE(pipe.enclave->ecall_stream_begin(sb.sealed.size()).is_ok());
+    auto s = pipe.enclave->ecall_stream_chunk(1, BytesView(sb.sealed.data(), 8));
+    ASSERT_FALSE(s.is_ok());
+    EXPECT_EQ(s.code(), "stream_out_of_order");
+    // Fail-closed: the whole stream is scrubbed, not just the chunk.
+    EXPECT_FALSE(pipe.enclave->stream_active());
+    EXPECT_EQ(pipe.enclave->ecall_stream_chunk(0, BytesView(sb.sealed.data(), 8)).code(),
+              "stream_inactive");
+  }
+  {
+    // Duplicate (replayed) sequence number.
+    Pipeline pipe(stream_config());
+    auto sb = pipe.provider->seal_binary_stream(compiled.dxo);
+    ASSERT_TRUE(pipe.enclave->ecall_stream_begin(sb.sealed.size()).is_ok());
+    ASSERT_TRUE(
+        pipe.enclave->ecall_stream_chunk(0, BytesView(sb.sealed.data(), 8)).is_ok());
+    auto s = pipe.enclave->ecall_stream_chunk(0, BytesView(sb.sealed.data(), 8));
+    ASSERT_FALSE(s.is_ok());
+    EXPECT_EQ(s.code(), "stream_out_of_order");
+    EXPECT_FALSE(pipe.enclave->stream_active());
+  }
+}
+
+TEST(StreamDelivery, OverrunIncompleteAndInactiveAreDistinctErrors) {
+  auto compiled = compile_or_die(kReturn7, PolicySet::p1to5());
+  {
+    // More bytes than the declared total.
+    Pipeline pipe(stream_config());
+    auto sb = pipe.provider->seal_binary_stream(compiled.dxo);
+    ASSERT_TRUE(pipe.enclave->ecall_stream_begin(64).is_ok());
+    auto s = pipe.enclave->ecall_stream_chunk(0, BytesView(sb.sealed.data(), 65));
+    ASSERT_FALSE(s.is_ok());
+    EXPECT_EQ(s.code(), "stream_overrun");
+    EXPECT_FALSE(pipe.enclave->stream_active());
+  }
+  {
+    // Commit before the last chunk.
+    Pipeline pipe(stream_config());
+    auto sb = pipe.provider->seal_binary_stream(compiled.dxo);
+    ASSERT_TRUE(pipe.enclave->ecall_stream_begin(sb.sealed.size()).is_ok());
+    ASSERT_TRUE(
+        pipe.enclave->ecall_stream_chunk(0, BytesView(sb.sealed.data(), 10)).is_ok());
+    auto digest = pipe.enclave->ecall_stream_commit();
+    ASSERT_FALSE(digest.is_ok());
+    EXPECT_EQ(digest.code(), "stream_incomplete");
+    // Chunk after commit: the failed commit consumed the stream.
+    EXPECT_EQ(pipe.enclave->ecall_stream_chunk(1, BytesView(sb.sealed.data(), 8)).code(),
+              "stream_inactive");
+  }
+  {
+    // Commit with no stream at all.
+    Pipeline pipe(stream_config());
+    EXPECT_EQ(pipe.enclave->ecall_stream_commit().code(), "stream_inactive");
+  }
+}
+
+TEST(StreamDelivery, BeginGuardsTotalsAndConcurrentStreams) {
+  auto compiled = compile_or_die(kReturn7, PolicySet::p1to5());
+  Pipeline pipe(stream_config());
+  // Declared totals an AEAD stream cannot possibly carry.
+  EXPECT_EQ(pipe.enclave->ecall_stream_begin(43).code(), "stream_bad_total");
+  EXPECT_EQ(pipe.enclave->ecall_stream_begin(~0ull - 16).code(), "stream_bad_total");
+  EXPECT_EQ(
+      pipe.enclave->ecall_stream_begin(BootstrapEnclave::kMaxSealedStreamLen + 1).code(),
+      "stream_bad_total");
+  // One stream at a time.
+  auto sb = pipe.provider->seal_binary_stream(compiled.dxo);
+  ASSERT_TRUE(pipe.enclave->ecall_stream_begin(sb.sealed.size()).is_ok());
+  EXPECT_EQ(pipe.enclave->ecall_stream_begin(sb.sealed.size()).code(), "stream_busy");
+  // Abort is idempotent and releases the session for a fresh begin.
+  EXPECT_TRUE(pipe.enclave->ecall_stream_abort().is_ok());
+  EXPECT_TRUE(pipe.enclave->ecall_stream_abort().is_ok());
+  ASSERT_TRUE(pipe.enclave->ecall_stream_begin(sb.sealed.size()).is_ok());
+  ASSERT_TRUE(feed_chunks(*pipe.enclave, sb.sealed, 4).is_ok());
+  EXPECT_TRUE(pipe.enclave->ecall_stream_commit().is_ok());
+}
+
+TEST(StreamDelivery, TamperedChunkSurfacesAuthFailAtCommitNotParserError) {
+  // Legacy error-ordering parity AND no pre-auth plaintext oracle: a
+  // tampered byte anywhere in the ciphertext is reported as "auth_fail" at
+  // commit, never as a parser error at chunk time.
+  auto compiled = compile_or_die(kReturn7, PolicySet::p1to5());
+  Pipeline pipe(stream_config());
+  auto sb = pipe.provider->seal_binary_stream(compiled.dxo);
+  Bytes tampered = sb.sealed;
+  tampered[tampered.size() / 2] ^= 0x40;
+  ASSERT_TRUE(pipe.enclave->ecall_stream_begin(tampered.size()).is_ok());
+  ASSERT_TRUE(feed_chunks(*pipe.enclave, tampered, 6).is_ok());  // chunks accepted
+  auto digest = pipe.enclave->ecall_stream_commit();
+  ASSERT_FALSE(digest.is_ok());
+  EXPECT_EQ(digest.code(), "auth_fail");
+}
+
+TEST(StreamDelivery, ClaimMismatchesAreCaughtPostAuth) {
+  auto compiled = compile_or_die(kReturn7, PolicySet::p1to5());
+  {
+    // Wrong claimed digest: delivery authenticates, the claim does not.
+    Pipeline pipe(stream_config());
+    auto sb = pipe.provider->seal_binary_stream(compiled.dxo);
+    auto options = claimed_options(sb);
+    options.claimed_digest[0] ^= 1;
+    ASSERT_TRUE(pipe.enclave->ecall_stream_begin(sb.sealed.size(), options).is_ok());
+    ASSERT_TRUE(feed_chunks(*pipe.enclave, sb.sealed, 4).is_ok());
+    EXPECT_EQ(pipe.enclave->ecall_stream_commit().code(), "stream_digest_mismatch");
+  }
+  {
+    // Wrong claimed policy mask.
+    Pipeline pipe(stream_config());
+    auto sb = pipe.provider->seal_binary_stream(compiled.dxo);
+    auto options = claimed_options(sb);
+    options.claimed_mask ^= 0x1;
+    ASSERT_TRUE(pipe.enclave->ecall_stream_begin(sb.sealed.size(), options).is_ok());
+    ASSERT_TRUE(feed_chunks(*pipe.enclave, sb.sealed, 4).is_ok());
+    EXPECT_EQ(pipe.enclave->ecall_stream_commit().code(), "stream_claim_mismatch");
+  }
+}
+
+TEST(StreamDelivery, DeadlineAndIdleTimeoutExpireTheStream) {
+  auto compiled = compile_or_die(kReturn7, PolicySet::p1to5());
+  {
+    // Absolute begin->commit deadline.
+    Pipeline pipe(stream_config());
+    auto sb = pipe.provider->seal_binary_stream(compiled.dxo);
+    BootstrapEnclave::StreamOptions options;
+    options.deadline_ns = 1;  // already past by the first chunk
+    ASSERT_TRUE(pipe.enclave->ecall_stream_begin(sb.sealed.size(), options).is_ok());
+    std::this_thread::sleep_for(2ms);
+    auto s = pipe.enclave->ecall_stream_chunk(0, BytesView(sb.sealed.data(), 8));
+    ASSERT_FALSE(s.is_ok());
+    EXPECT_EQ(s.code(), "stream_expired");
+    EXPECT_FALSE(pipe.enclave->stream_active());
+  }
+  {
+    // Idle gap between chunks.
+    Pipeline pipe(stream_config());
+    auto sb = pipe.provider->seal_binary_stream(compiled.dxo);
+    BootstrapEnclave::StreamOptions options;
+    options.idle_timeout_ns = 20'000'000;  // 20ms
+    ASSERT_TRUE(pipe.enclave->ecall_stream_begin(sb.sealed.size(), options).is_ok());
+    ASSERT_TRUE(
+        pipe.enclave->ecall_stream_chunk(0, BytesView(sb.sealed.data(), 8)).is_ok());
+    std::this_thread::sleep_for(100ms);
+    auto s = pipe.enclave->ecall_stream_chunk(
+        1, BytesView(sb.sealed.data() + 8, 8));
+    ASSERT_FALSE(s.is_ok());
+    EXPECT_EQ(s.code(), "stream_expired");
+  }
+}
+
+TEST(StreamDelivery, ResetScrubsAnInflightStream) {
+  auto compiled = compile_or_die(kReturn7, PolicySet::p1to5());
+  Pipeline pipe(stream_config());
+  auto sb = pipe.provider->seal_binary_stream(compiled.dxo);
+  ASSERT_TRUE(pipe.enclave->ecall_stream_begin(sb.sealed.size()).is_ok());
+  ASSERT_TRUE(pipe.enclave->ecall_stream_chunk(0, BytesView(sb.sealed.data(), 16)).is_ok());
+  ASSERT_TRUE(pipe.enclave->reset().is_ok());
+  EXPECT_FALSE(pipe.enclave->stream_active());
+}
+
+// --- Registry streaming registration ---
+
+registry::StreamLimits tight_limits() {
+  registry::StreamLimits limits;
+  limits.max_streams = 2;
+  limits.max_total_bytes = 1ull << 20;
+  limits.deadline_ns = 10'000'000'000ull;
+  limits.idle_timeout_ns = 2'000'000'000ull;
+  limits.reaper_period_ns = 2'000'000ull;
+  return limits;
+}
+
+TEST(StreamRegistry, StreamedRegistrationMatchesAdmit) {
+  auto compiled = compile_or_die(kReturn7, PolicySet::p1to5());
+  core::BootstrapConfig config = stream_config();
+  config.verify_cache = std::make_shared<verifier::VerificationCache>();
+
+  registry::TenantRegistry reference(config);
+  auto want = reference.admit("ref", compiled.dxo, {});
+  ASSERT_TRUE(want.is_ok()) << want.message();
+
+  registry::TenantRegistry reg(config, tight_limits());
+  auto handle = reg.stream_begin("t", compiled.dxo, {});
+  ASSERT_TRUE(handle.is_ok()) << handle.message();
+  EXPECT_EQ(reg.inflight_streams(), 1u);
+  EXPECT_GT(reg.inflight_stream_bytes(), 0u);
+  for (;;) {
+    auto remaining = reg.stream_feed(handle.value(), 64);
+    ASSERT_TRUE(remaining.is_ok()) << remaining.message();
+    if (remaining.value() == 0) break;
+  }
+  auto digest = reg.stream_commit(handle.value());
+  ASSERT_TRUE(digest.is_ok()) << digest.message();
+  EXPECT_EQ(digest.value(), want.value());
+  EXPECT_EQ(reg.inflight_streams(), 0u);
+  EXPECT_EQ(reg.inflight_stream_bytes(), 0u);
+  auto record = reg.lookup("t");
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->digest, want.value());
+  // The handle is consumed; later touches are "unknown_stream".
+  EXPECT_EQ(reg.stream_feed(handle.value(), 64).code(), "unknown_stream");
+}
+
+TEST(StreamRegistry, SheddingRefusesOverloadImmediately) {
+  auto compiled = compile_or_die(kReturn7, PolicySet::p1to5());
+  registry::StreamLimits limits = tight_limits();
+  limits.max_streams = 1;
+  registry::TenantRegistry reg(stream_config(), limits);
+  auto first = reg.stream_begin("a", compiled.dxo, {});
+  ASSERT_TRUE(first.is_ok()) << first.message();
+  // Stream slots exhausted: fail fast, nothing queued.
+  auto shed = reg.stream_begin("b", compiled.dxo, {});
+  ASSERT_FALSE(shed.is_ok());
+  EXPECT_EQ(shed.code(), "admission_overloaded");
+  // An abort releases the slot (and the tenant claim) for the next begin.
+  EXPECT_TRUE(reg.stream_abort(first.value()).is_ok());
+  EXPECT_EQ(reg.inflight_streams(), 0u);
+  auto again = reg.stream_begin("b", compiled.dxo, {});
+  EXPECT_TRUE(again.is_ok()) << again.message();
+
+  // Byte budget shedding: a declared total over the remaining budget.
+  registry::StreamLimits tiny = tight_limits();
+  tiny.max_total_bytes = 16;
+  registry::TenantRegistry small(stream_config(), tiny);
+  auto too_big = small.stream_begin("c", compiled.dxo, {});
+  ASSERT_FALSE(too_big.is_ok());
+  EXPECT_EQ(too_big.code(), "admission_overloaded");
+  EXPECT_EQ(small.inflight_streams(), 0u);
+}
+
+TEST(StreamRegistry, DuplicateIdAndAbortReleaseSemantics) {
+  auto compiled = compile_or_die(kReturn7, PolicySet::p1to5());
+  registry::TenantRegistry reg(stream_config(), tight_limits());
+  auto handle = reg.stream_begin("t", compiled.dxo, {});
+  ASSERT_TRUE(handle.is_ok());
+  // The in-flight stream claims the id exactly like a concurrent admit.
+  EXPECT_EQ(reg.stream_begin("t", compiled.dxo, {}).code(), "tenant_exists");
+  EXPECT_EQ(reg.admit("t", compiled.dxo, {}).code(), "tenant_exists");
+  // Abort releases the claim; abort is idempotent on unknown handles.
+  EXPECT_TRUE(reg.stream_abort(handle.value()).is_ok());
+  EXPECT_TRUE(reg.stream_abort(handle.value()).is_ok());
+  EXPECT_TRUE(reg.stream_abort(9999).is_ok());
+  auto admitted = reg.admit("t", compiled.dxo, {});
+  EXPECT_TRUE(admitted.is_ok()) << admitted.message();
+}
+
+TEST(StreamRegistry, ReaperExpiresSilentStreamAndLeavesTombstone) {
+  auto compiled = compile_or_die(kReturn7, PolicySet::p1to5());
+  registry::StreamLimits limits = tight_limits();
+  limits.idle_timeout_ns = 20'000'000;  // 20ms
+  limits.reaper_period_ns = 2'000'000;  // 2ms scans
+  registry::TenantRegistry reg(stream_config(), limits);
+  auto handle = reg.stream_begin("t", compiled.dxo, {});
+  ASSERT_TRUE(handle.is_ok());
+  ASSERT_TRUE(reg.stream_feed(handle.value(), 64).is_ok());
+  // Go silent: the reaper must expire the stream without any feeder call.
+  auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (reg.inflight_streams() != 0 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(5ms);
+  EXPECT_EQ(reg.inflight_streams(), 0u);
+  EXPECT_EQ(reg.inflight_stream_bytes(), 0u);
+  // The tombstone reports the terminal error on the feeder's next touch...
+  auto touched = reg.stream_feed(handle.value(), 64);
+  ASSERT_FALSE(touched.is_ok());
+  EXPECT_EQ(touched.code(), "stream_expired");
+  // ...exactly once; after that the handle is unknown, and the claim is free.
+  EXPECT_EQ(reg.stream_feed(handle.value(), 64).code(), "unknown_stream");
+  EXPECT_TRUE(reg.admit("t", compiled.dxo, {}).is_ok());
+}
+
+// --- Single-flight coalescing across streams ---
+
+TEST(StreamRace, ConcurrentSameBinaryStreamsCoalesceToOneVerification) {
+  auto compiled = compile_or_die(kEchoSquares, PolicySet::p1to5());
+  core::BootstrapConfig config = stream_config();
+  auto cache = std::make_shared<verifier::VerificationCache>();
+  config.verify_cache = cache;
+  registry::TenantRegistry reg(config, tight_limits());
+
+  auto ha = reg.stream_begin("a", compiled.dxo, {});
+  auto hb = reg.stream_begin("b", compiled.dxo, {});
+  ASSERT_TRUE(ha.is_ok()) << ha.message();
+  ASSERT_TRUE(hb.is_ok()) << hb.message();
+  // Interleave delivery so both streams are mid-flight together.
+  for (;;) {
+    auto ra = reg.stream_feed(ha.value(), 512);
+    auto rb = reg.stream_feed(hb.value(), 512);
+    ASSERT_TRUE(ra.is_ok() && rb.is_ok());
+    if (ra.value() == 0 && rb.value() == 0) break;
+  }
+  // Commit concurrently: one leads the verification, the other adopts.
+  auto fa = std::async(std::launch::async, [&] { return reg.stream_commit(ha.value()); });
+  auto fb = std::async(std::launch::async, [&] { return reg.stream_commit(hb.value()); });
+  auto da = fa.get();
+  auto db = fb.get();
+  ASSERT_TRUE(da.is_ok()) << da.message();
+  ASSERT_TRUE(db.is_ok()) << db.message();
+  EXPECT_EQ(da.value(), db.value());
+  // Exactly ONE full verification between them.
+  EXPECT_EQ(cache->stats().misses, 1u);
+  EXPECT_EQ(cache->inflight_waiters(), 0u);
+  EXPECT_NE(reg.lookup("a"), nullptr);
+  EXPECT_NE(reg.lookup("b"), nullptr);
+}
+
+TEST(StreamRace, LeaderAbortMidStreamReleasesWaitersWithAbandonment) {
+  // Enclave-level single flight: the leader's early claimed-identity
+  // ticket is taken at tables-ready; aborting the leader before commit
+  // must release every waiter promptly with "admission_abandoned" — not
+  // strand them until their deadline.
+  auto compiled = compile_or_die(kEchoSquares, PolicySet::p1to5());
+  core::BootstrapConfig config = stream_config();
+  auto cache = std::make_shared<verifier::VerificationCache>();
+  config.verify_cache = cache;
+
+  Pipeline leader(config);
+  Pipeline waiter(config);
+  auto sb_leader = leader.provider->seal_binary_stream(compiled.dxo);
+  auto sb_waiter = waiter.provider->seal_binary_stream(compiled.dxo);
+  ASSERT_EQ(sb_leader.digest, sb_waiter.digest);
+
+  auto options = claimed_options(sb_leader);
+  options.deadline_ns = 30'000'000'000ull;  // far beyond this test's lifetime
+  options.pipeline = false;  // the leader holds its ticket without verifying
+  ASSERT_TRUE(
+      leader.enclave->ecall_stream_begin(sb_leader.sealed.size(), options).is_ok());
+  ASSERT_TRUE(feed_chunks(*leader.enclave, sb_leader.sealed, 4).is_ok());
+  // Leader is fully fed but NOT committed: it holds the single-flight lead.
+
+  auto wopts = claimed_options(sb_waiter);
+  wopts.deadline_ns = 30'000'000'000ull;
+  ASSERT_TRUE(
+      waiter.enclave->ecall_stream_begin(sb_waiter.sealed.size(), wopts).is_ok());
+  ASSERT_TRUE(feed_chunks(*waiter.enclave, sb_waiter.sealed, 4).is_ok());
+  auto blocked = std::async(std::launch::async,
+                            [&] { return waiter.enclave->ecall_stream_commit(); });
+  // Give the waiter time to enter the admission wait, then kill the leader.
+  std::this_thread::sleep_for(50ms);
+  ASSERT_TRUE(leader.enclave->ecall_stream_abort().is_ok());
+  ASSERT_EQ(blocked.wait_for(10s), std::future_status::ready) << "waiter hung";
+  auto released = blocked.get();
+  ASSERT_FALSE(released.is_ok());
+  EXPECT_EQ(released.code(), "admission_abandoned");
+  EXPECT_EQ(cache->inflight_waiters(), 0u);
+
+  // The abandoned key is clean: a fresh delivery admits normally.
+  Pipeline fresh(config);
+  ASSERT_TRUE(fresh.deliver(compiled.dxo).is_ok());
+  EXPECT_TRUE(fresh.enclave->ecall_prepare().is_ok());
+}
+
+TEST(StreamRace, ReaperRacingInflightChunksIsClean) {
+  // The reaper expires aggressively while a feeder pushes chunks with
+  // deliberate stalls: every feed must return a definite status, the
+  // terminal error must be the tombstoned "stream_expired", and all
+  // accounting must return to zero. (The interesting assertions here are
+  // TSan's, via check.sh --chaos.)
+  auto compiled = compile_or_die(kReturn7, PolicySet::p1to5());
+  registry::StreamLimits limits = tight_limits();
+  limits.idle_timeout_ns = 3'000'000;   // 3ms — far below the stall
+  limits.reaper_period_ns = 1'000'000;  // 1ms scans
+  core::BootstrapConfig config = stream_config();
+  registry::TenantRegistry reg(config, limits);
+  for (int round = 0; round < 4; ++round) {
+    auto handle = reg.stream_begin("t" + std::to_string(round), compiled.dxo, {});
+    ASSERT_TRUE(handle.is_ok()) << handle.message();
+    Status terminal = Status::ok();
+    for (int i = 0; i < 200; ++i) {
+      auto remaining = reg.stream_feed(handle.value(), 16);
+      if (!remaining.is_ok()) {
+        terminal = Status::fail(remaining.code(), remaining.message());
+        break;
+      }
+      if (remaining.value() == 0) break;
+      if (i % 8 == 7) std::this_thread::sleep_for(10ms);  // trip the idle timeout
+    }
+    if (!terminal.is_ok()) {
+      EXPECT_EQ(terminal.code(), "stream_expired");
+    } else {
+      (void)reg.stream_commit(handle.value());
+    }
+    (void)reg.stream_abort(handle.value());  // idempotent cleanup either way
+  }
+  auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (reg.inflight_streams() != 0 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(2ms);
+  EXPECT_EQ(reg.inflight_streams(), 0u);
+  EXPECT_EQ(reg.inflight_stream_bytes(), 0u);
+}
+
+// --- Router + front-end streaming ---
+
+TEST(StreamRouter, StreamedTenantServesLikeARegisteredOne) {
+  auto compiled = compile_or_die(kEchoSquares, PolicySet::p1to5());
+  registry::RouterOptions options;
+  options.slots = 2;
+  options.config = stream_config();
+  auto router = registry::TenantRouter::create(options);
+  ASSERT_TRUE(router.is_ok()) << router.message();
+
+  // Reference tenant through the classic path.
+  ASSERT_TRUE(router.value()->register_tenant("classic", compiled.dxo).is_ok());
+  Bytes payload = {3, 5, 7};
+  auto want = router.value()->submit("classic", BytesView(payload));
+  ASSERT_TRUE(want.is_ok()) << want.message();
+
+  // Streamed tenant: begin / feed-to-zero / commit, then serve.
+  auto handle = router.value()->register_tenant_stream_begin("streamed", compiled.dxo);
+  ASSERT_TRUE(handle.is_ok()) << handle.message();
+  for (;;) {
+    auto remaining = router.value()->register_tenant_stream_feed(handle.value(), 1024);
+    ASSERT_TRUE(remaining.is_ok()) << remaining.message();
+    if (remaining.value() == 0) break;
+  }
+  auto digest = router.value()->register_tenant_stream_commit(handle.value());
+  ASSERT_TRUE(digest.is_ok()) << digest.message();
+  auto got = router.value()->submit("streamed", BytesView(payload));
+  ASSERT_TRUE(got.is_ok()) << got.message();
+  EXPECT_EQ(got.value(), want.value());
+
+  // An aborted stream leaves no tenant behind.
+  auto doomed = router.value()->register_tenant_stream_begin("ghost", compiled.dxo);
+  ASSERT_TRUE(doomed.is_ok());
+  ASSERT_TRUE(router.value()->register_tenant_stream_abort(doomed.value()).is_ok());
+  EXPECT_EQ(router.value()->submit("ghost", BytesView(payload)).code(), "unknown_tenant");
+}
+
+frontend::FrontEndOptions stream_frontend(int shards) {
+  frontend::FrontEndOptions options;
+  options.shards = shards;
+  options.slots_per_shard = 2;
+  options.shard.config = stream_config();
+  return options;
+}
+
+TEST(StreamFrontEnd, StreamedRegistrationRoutesAndServes) {
+  auto compiled = compile_or_die(kEchoSquares, PolicySet::p1to5());
+  auto fe = frontend::ShardedFrontEnd::create(stream_frontend(2));
+  ASSERT_TRUE(fe.is_ok()) << fe.message();
+  auto handle = fe.value()->register_tenant_stream_begin("alpha", compiled.dxo);
+  ASSERT_TRUE(handle.is_ok()) << handle.message();
+  for (;;) {
+    auto remaining = fe.value()->register_tenant_stream_feed(handle.value(), 2048);
+    ASSERT_TRUE(remaining.is_ok()) << remaining.message();
+    if (remaining.value() == 0) break;
+  }
+  auto digest = fe.value()->register_tenant_stream_commit(handle.value());
+  ASSERT_TRUE(digest.is_ok()) << digest.message();
+  EXPECT_EQ(fe.value()->shard_of("alpha"), fe.value()->home_shard("alpha"));
+  Bytes payload = {9, 2};
+  auto response = fe.value()->submit("alpha", BytesView(payload));
+  EXPECT_TRUE(response.is_ok()) << response.message();
+  // Unknown and consumed handles are prompt errors.
+  EXPECT_EQ(fe.value()->register_tenant_stream_feed(handle.value(), 64).code(),
+            "unknown_stream");
+  EXPECT_EQ(fe.value()->register_tenant_stream_feed(424242, 64).code(),
+            "unknown_stream");
+}
+
+TEST(ChaosStreamFrontEnd, KillShardMidStreamFailsFastAndRespawnRecovers) {
+  auto compiled = compile_or_die(kEchoSquares, PolicySet::p1to5());
+  auto fe = frontend::ShardedFrontEnd::create(stream_frontend(2));
+  ASSERT_TRUE(fe.is_ok()) << fe.message();
+  const registry::TenantId id = "victim";
+  const int home = fe.value()->home_shard(id);
+
+  auto handle = fe.value()->register_tenant_stream_begin(id, compiled.dxo);
+  ASSERT_TRUE(handle.is_ok()) << handle.message();
+  ASSERT_TRUE(fe.value()->register_tenant_stream_feed(handle.value(), 128).is_ok());
+
+  // Kill the home shard mid-stream. The next touch must fail PROMPTLY with
+  // "shard_down" — the invariant is no hang, bounded by wall clock.
+  ASSERT_TRUE(fe.value()->kill_shard(home).is_ok());
+  auto before = std::chrono::steady_clock::now();
+  auto touched = fe.value()->register_tenant_stream_feed(handle.value(), 128);
+  ASSERT_FALSE(touched.is_ok());
+  EXPECT_EQ(touched.code(), "shard_down");
+  EXPECT_LT(std::chrono::steady_clock::now() - before, 10s);
+  // Commit on the dead stream is equally terminal (the handle is gone).
+  EXPECT_EQ(fe.value()->register_tenant_stream_commit(handle.value()).code(),
+            "unknown_stream");
+  // New streams for tenants homed on the dead shard shed immediately.
+  EXPECT_EQ(fe.value()->register_tenant_stream_begin(id, compiled.dxo).code(),
+            "shard_down");
+
+  // Respawn, stream again end-to-end, serve.
+  ASSERT_TRUE(fe.value()->respawn_shard(home).is_ok());
+  auto retry = fe.value()->register_tenant_stream_begin(id, compiled.dxo);
+  ASSERT_TRUE(retry.is_ok()) << retry.message();
+  for (;;) {
+    auto remaining = fe.value()->register_tenant_stream_feed(retry.value(), 2048);
+    ASSERT_TRUE(remaining.is_ok()) << remaining.message();
+    if (remaining.value() == 0) break;
+  }
+  ASSERT_TRUE(fe.value()->register_tenant_stream_commit(retry.value()).is_ok());
+  Bytes payload = {1, 2, 3};
+  auto response = fe.value()->submit(id, BytesView(payload));
+  EXPECT_TRUE(response.is_ok()) << response.message();
+}
+
+TEST(ChaosStreamFrontEnd, KillShardRacingCommitResolvesPromptly) {
+  auto compiled = compile_or_die(kEchoSquares, PolicySet::p1to5());
+  for (int round = 0; round < 3; ++round) {
+    auto fe = frontend::ShardedFrontEnd::create(stream_frontend(2));
+    ASSERT_TRUE(fe.is_ok()) << fe.message();
+    const registry::TenantId id = "racer-" + std::to_string(round);
+    const int home = fe.value()->home_shard(id);
+    auto handle = fe.value()->register_tenant_stream_begin(id, compiled.dxo);
+    ASSERT_TRUE(handle.is_ok()) << handle.message();
+    for (;;) {
+      auto remaining = fe.value()->register_tenant_stream_feed(handle.value(), 4096);
+      ASSERT_TRUE(remaining.is_ok());
+      if (remaining.value() == 0) break;
+    }
+    auto committing = std::async(std::launch::async, [&] {
+      return fe.value()->register_tenant_stream_commit(handle.value());
+    });
+    if (round % 2 == 1) std::this_thread::sleep_for(1ms);
+    ASSERT_TRUE(fe.value()->kill_shard(home).is_ok());
+    // Whoever wins, the commit future must resolve inside the stream
+    // deadline — success (commit beat the kill) or a terminal code.
+    ASSERT_EQ(committing.wait_for(60s), std::future_status::ready) << "commit hung";
+    auto outcome = committing.get();
+    if (!outcome.is_ok()) {
+      const std::set<std::string> acceptable = {"shard_down", "stream_aborted",
+                                                "unknown_stream", "stopped"};
+      EXPECT_TRUE(acceptable.count(outcome.code()) != 0) << outcome.code();
+    }
+  }
+}
+
+// --- The chunk-boundary chaos soak ---
+
+TEST(ChaosStreamSoak, FaultAtEveryChunkBoundaryResolvesCleanly) {
+  const auto soak_start = std::chrono::steady_clock::now();
+  auto compiled = compile_or_die(kEchoSquares, PolicySet::p1to5());
+
+  // Fault-free oracle: the digest every successful stream must land on.
+  core::BootstrapConfig clean_config = stream_config();
+  clean_config.verify_cache = std::make_shared<verifier::VerificationCache>();
+  registry::TenantRegistry oracle(clean_config);
+  auto oracle_digest = oracle.admit("oracle", compiled.dxo, {});
+  ASSERT_TRUE(oracle_digest.is_ok()) << oracle_digest.message();
+
+  // Discover the chunk count for this binary at the soak's feed size.
+  const std::uint64_t kFeedBytes = 512;
+  std::uint64_t total_chunks = 0;
+  {
+    registry::TenantRegistry probe(stream_config(), tight_limits());
+    auto handle = probe.stream_begin("probe", compiled.dxo, {});
+    ASSERT_TRUE(handle.is_ok());
+    for (;;) {
+      auto remaining = probe.stream_feed(handle.value(), kFeedBytes);
+      ASSERT_TRUE(remaining.is_ok());
+      ++total_chunks;
+      if (remaining.value() == 0) break;
+    }
+    ASSERT_TRUE(probe.stream_commit(handle.value()).is_ok());
+  }
+  ASSERT_GE(total_chunks, 3u);
+
+  struct Scenario {
+    const char* site;   // nullptr = voluntary abort, no fault armed
+    std::uint64_t at;   // chunk boundary (schedule index for the site)
+  };
+  std::vector<Scenario> scenarios;
+  for (std::uint64_t b = 0; b < total_chunks; ++b) {
+    scenarios.push_back({fault_site::kStreamChunk, b});  // killed at chunk b
+    scenarios.push_back({nullptr, b});                   // aborted after chunk b
+  }
+  scenarios.push_back({fault_site::kStreamCommit, 0});
+  scenarios.push_back({fault_site::kStreamVerifyRegion, 0});
+
+  for (std::size_t n = 0; n < scenarios.size(); ++n) {
+    const Scenario& sc = scenarios[n];
+    auto plan = std::make_shared<FaultPlan>(0x57AE4 + n);
+    if (sc.site != nullptr) {
+      FaultSpec spec;
+      spec.schedule = {sc.at};
+      plan->arm(sc.site, spec);
+    }
+    core::BootstrapConfig config = stream_config();
+    auto cache = std::make_shared<verifier::VerificationCache>();
+    config.verify_cache = cache;
+    config.fault_plan = plan;
+    registry::TenantRegistry reg(config, tight_limits());
+
+    auto handle = reg.stream_begin("t", compiled.dxo, {});
+    ASSERT_TRUE(handle.is_ok()) << handle.message();
+    Status terminal = Status::ok();
+    bool committed = false;
+    std::uint64_t fed = 0;
+    for (;;) {
+      if (sc.site == nullptr && fed == sc.at) {
+        ASSERT_TRUE(reg.stream_abort(handle.value()).is_ok());
+        terminal = Status::fail("stream_aborted", "voluntary abort");
+        break;
+      }
+      auto remaining = reg.stream_feed(handle.value(), kFeedBytes);
+      if (!remaining.is_ok()) {
+        terminal = Status::fail(remaining.code(), remaining.message());
+        break;
+      }
+      ++fed;
+      if (remaining.value() == 0) {
+        auto digest = reg.stream_commit(handle.value());
+        if (digest.is_ok()) {
+          committed = true;
+          // Byte-identity with the fault-free oracle.
+          EXPECT_EQ(digest.value(), oracle_digest.value()) << "scenario " << n;
+        } else {
+          terminal = Status::fail(digest.code(), digest.message());
+        }
+        break;
+      }
+    }
+
+    // Invariant: every stream resolved — verdict, abort, or injected kill —
+    // and left zero residual in-flight state.
+    EXPECT_EQ(reg.inflight_streams(), 0u) << "scenario " << n;
+    EXPECT_EQ(reg.inflight_stream_bytes(), 0u) << "scenario " << n;
+    EXPECT_EQ(cache->inflight_waiters(), 0u) << "scenario " << n;
+    if (!committed) {
+      const std::set<std::string> acceptable = {"injected_fault", "stream_aborted"};
+      EXPECT_TRUE(acceptable.count(terminal.code()) != 0)
+          << "scenario " << n << ": " << terminal.code();
+      // Recovery: the claim is free, and a clean one-shot admission of the
+      // same id lands on the oracle digest.
+      auto recovered = reg.admit("t", compiled.dxo, {});
+      ASSERT_TRUE(recovered.is_ok()) << "scenario " << n << ": " << recovered.message();
+      EXPECT_EQ(recovered.value(), oracle_digest.value());
+    } else {
+      // The verify-region fault degrades the pipeline, never the verdict.
+      EXPECT_NE(reg.lookup("t"), nullptr);
+    }
+    // Determinism: each armed site's fires replay exactly from the seed.
+    if (sc.site != nullptr) {
+      auto counters = plan->site(sc.site);
+      EXPECT_EQ(counters.fired, plan->expected_fires(sc.site, counters.armed))
+          << sc.site;
+      if (sc.site != fault_site::kStreamVerifyRegion) EXPECT_EQ(counters.fired, 1u);
+    }
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - soak_start, 300s);
+}
+
+}  // namespace
+}  // namespace deflection::testing

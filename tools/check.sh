@@ -95,7 +95,9 @@ for flavor in "${flavors[@]}"; do
   filter="$(ctest_filter_for "$flavor")"
   echo "==> [$flavor] ctest (-j$jobs${filter:+ $filter})"
   # shellcheck disable=SC2086  # $filter is intentionally word-split
-  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" $filter \
+  # --timeout: a wedged test (e.g. a stream stuck on a lost wakeup) fails
+  # loudly after 5 minutes instead of hanging CI forever.
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" --timeout 300 $filter \
     | tail -n 3
 done
 
@@ -151,6 +153,7 @@ if [ "$perf" -eq 1 ]; then
   ensure_tree plain bench_cold_admission
   ensure_tree plain bench_frontend_shards
   ensure_tree plain bench_table2_nbench
+  ensure_tree plain bench_streaming_admission
   echo "==> [perf] bench_vm_dispatch --check BENCH_vm.json"
   "$perf_dir/bench/bench_vm_dispatch" --check "$repo_root/BENCH_vm.json"
   echo "==> [perf] bench_pool_throughput --check BENCH_serving.json"
@@ -163,6 +166,8 @@ if [ "$perf" -eq 1 ]; then
   "$perf_dir/bench/bench_frontend_shards" --check "$repo_root/BENCH_frontend.json"
   echo "==> [perf] bench_table2_nbench --check BENCH_codegen.json"
   "$perf_dir/bench/bench_table2_nbench" --check "$repo_root/BENCH_codegen.json"
+  echo "==> [perf] bench_streaming_admission --check BENCH_streaming.json"
+  "$perf_dir/bench/bench_streaming_admission" --check "$repo_root/BENCH_streaming.json"
 fi
 
 echo "==> all flavors passed: ${flavors[*]}"
